@@ -1,0 +1,78 @@
+//! Benchmarks the statistical analysis stage: K-means, hierarchical
+//! clustering, and SVM training at the paper's data scale (hundreds of
+//! signatures in a ~3815-dimensional space).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmeter_ir::SparseVec;
+use fmeter_kernel_sim::NUM_KERNEL_FUNCTIONS;
+use fmeter_ml::{Agglomerative, KMeans, Kernel, Label, Linkage, SvmTrainer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = NUM_KERNEL_FUNCTIONS;
+
+/// Two-class synthetic signature set: each class concentrates its mass
+/// on a different band of the space, with shared hot dimensions.
+fn dataset(n_per_class: usize, seed: u64) -> (Vec<SparseVec>, Vec<Label>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for class in 0..2usize {
+        let base = class * 800;
+        for _ in 0..n_per_class {
+            let mut pairs = Vec::new();
+            for k in 0..300 {
+                let term = (base + (k * 7) % 800) as u32;
+                pairs.push((term, rng.random::<f64>()));
+            }
+            // Shared "stop-word" band.
+            for term in 3000..3040u32 {
+                pairs.push((term, 0.5 + rng.random::<f64>()));
+            }
+            xs.push(SparseVec::from_pairs(DIM, pairs).unwrap().l2_normalized());
+            ys.push(if class == 0 { 1 } else { -1 });
+        }
+    }
+    (xs, ys)
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let (xs, _) = dataset(150, 5);
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    group.bench_function("k3_300pts_3815d", |b| {
+        b.iter(|| KMeans::new(3).seed(1).run(&xs).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let (xs, _) = dataset(60, 6);
+    let mut group = c.benchmark_group("hierarchical");
+    group.sample_size(10);
+    group.bench_function("single_linkage_120pts", |b| {
+        b.iter(|| Agglomerative::new(Linkage::Single).fit(&xs).unwrap())
+    });
+    group.bench_function("average_linkage_120pts", |b| {
+        b.iter(|| Agglomerative::new(Linkage::Average).fit(&xs).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_svm(c: &mut Criterion) {
+    let (xs, ys) = dataset(100, 7);
+    let mut group = c.benchmark_group("svm");
+    group.sample_size(10);
+    group.bench_function("train_poly_200pts", |b| {
+        b.iter(|| SvmTrainer::new().train(&xs, &ys).unwrap())
+    });
+    group.bench_function("train_linear_200pts", |b| {
+        b.iter(|| SvmTrainer::new().kernel(Kernel::Linear).train(&xs, &ys).unwrap())
+    });
+    let model = SvmTrainer::new().train(&xs, &ys).unwrap();
+    group.bench_function("predict_one", |b| b.iter(|| model.predict(&xs[0])));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_hierarchical, bench_svm);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks the signature pipeline: snapshot deltas, tf-idf fitting and
+//! transformation, and inverted-index search — the operations the paper
+//! claims are cheap enough to run "continuously over long periods of
+//! time, in real-time".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fmeter_ir::{Corpus, InvertedIndex, SparseVec, TermCounts, TfIdfModel};
+use fmeter_kernel_sim::{Nanos, NUM_KERNEL_FUNCTIONS};
+use fmeter_trace::CounterSnapshot;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = NUM_KERNEL_FUNCTIONS;
+
+/// Synthetic interval counts shaped like real signatures: ~20% of
+/// functions active, power-law-ish counts.
+fn synthetic_counts(rng: &mut SmallRng) -> Vec<u64> {
+    let mut counts = vec![0u64; DIM];
+    for (i, c) in counts.iter_mut().enumerate() {
+        if rng.random::<f32>() < 0.2 {
+            let hot = 1.0 / (1.0 + (i % 997) as f64);
+            *c = 1 + (rng.random::<f64>() * hot * 100_000.0) as u64;
+        }
+    }
+    counts
+}
+
+fn corpus_of(n: usize, seed: u64) -> Corpus {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut corpus = Corpus::new(DIM);
+    for _ in 0..n {
+        corpus.push(TermCounts::from_dense(&synthetic_counts(&mut rng)));
+    }
+    corpus
+}
+
+fn bench_snapshot_delta(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let a = CounterSnapshot::new(synthetic_counts(&mut rng), Nanos(0));
+    let mut later = a.counts().to_vec();
+    for v in later.iter_mut() {
+        *v += 17;
+    }
+    let b = CounterSnapshot::new(later, Nanos(1_000_000));
+    let mut group = c.benchmark_group("daemon");
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.bench_function("snapshot_delta_3815", |bch| bch.iter(|| a.delta(&b)));
+    group.finish();
+}
+
+fn bench_tfidf(c: &mut Criterion) {
+    let corpus = corpus_of(500, 2);
+    let model = TfIdfModel::fit(&corpus).expect("non-empty corpus");
+    let doc = corpus.doc(0).expect("doc 0 exists").clone();
+    let mut group = c.benchmark_group("tfidf");
+    group.sample_size(30);
+    group.bench_function("fit_500_docs", |b| b.iter(|| TfIdfModel::fit(&corpus).unwrap()));
+    group.bench_function("transform_one", |b| b.iter(|| model.transform(&doc)));
+    group.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let corpus = corpus_of(500, 3);
+    let (model, vectors) = TfIdfModel::fit_transform(&corpus).expect("non-empty corpus");
+    let mut index = InvertedIndex::new(DIM);
+    for v in &vectors {
+        index.insert(v.clone()).expect("dimensions match");
+    }
+    let query: SparseVec = model.transform(corpus.doc(250).expect("doc 250 exists"));
+    let mut group = c.benchmark_group("search");
+    group.sample_size(30);
+    group.bench_function("top10_of_500", |b| b.iter(|| index.search(&query, 10).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_delta, bench_tfidf, bench_index);
+criterion_main!(benches);

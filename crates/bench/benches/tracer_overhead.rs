@@ -1,0 +1,169 @@
+//! Measures the *real* per-call cost of the two instrumentation fast
+//! paths — the systems claim behind Tables 1–3: an Fmeter counter bump is
+//! an order of magnitude cheaper than an Ftrace ring-buffer append.
+//!
+//! Also benchmarks the design alternatives DESIGN.md calls out: a single
+//! global atomic counter array (contended) versus Fmeter's per-CPU
+//! indices, and the drain path of the ring buffer.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fmeter_kernel_sim::{
+    CountingTracer, CpuId, FunctionId, FunctionTracer, KernelImageBuilder, NullTracer,
+};
+use fmeter_trace::{FmeterTracer, FtraceTracer, HotSetTracer, LockFreeFtraceTracer};
+
+fn spread(num_functions: usize) -> Vec<FunctionId> {
+    (0..256).map(|i| FunctionId((i * num_functions / 256) as u32)).collect()
+}
+
+fn bench_fast_paths(c: &mut Criterion) {
+    let image = KernelImageBuilder::new().build().expect("image builds");
+    let functions = spread(image.symbols.len());
+    let mut group = c.benchmark_group("tracer_fast_path");
+    group.throughput(Throughput::Elements(functions.len() as u64));
+
+    let null = NullTracer;
+    group.bench_function("null", |b| {
+        b.iter(|| {
+            for &f in &functions {
+                null.on_function_call(CpuId(0), f);
+            }
+        })
+    });
+
+    let fmeter = FmeterTracer::with_cpus(&image.symbols, 16);
+    group.bench_function("fmeter_increment", |b| {
+        b.iter(|| {
+            for &f in &functions {
+                fmeter.on_function_call(CpuId(0), f);
+            }
+        })
+    });
+
+    let global = CountingTracer::new(image.symbols.len());
+    group.bench_function("global_atomic_counter", |b| {
+        b.iter(|| {
+            for &f in &functions {
+                global.on_function_call(CpuId(0), f);
+            }
+        })
+    });
+
+    let ftrace = FtraceTracer::new(&image.symbols, 16, 1 << 22);
+    group.bench_function("ftrace_append", |b| {
+        b.iter(|| {
+            for &f in &functions {
+                ftrace.on_function_call(CpuId(0), f);
+            }
+        })
+    });
+
+    // §3's "wait-free alternative" direction: lock-free queue append.
+    let lockfree = LockFreeFtraceTracer::new(&image.symbols, 16, 1 << 16);
+    group.bench_function("ftrace_lockfree_append", |b| {
+        b.iter(|| {
+            for &f in &functions {
+                lockfree.on_function_call(CpuId(0), f);
+            }
+            // Keep the queue from saturating into the cheap drop path.
+            let _ = lockfree.drain(CpuId(0));
+        })
+    });
+
+    // §6's hot-set cache: increments into a tiny dense array.
+    let profile: Vec<u64> =
+        (0..image.symbols.len() as u64).map(|i| i % 256).collect();
+    let hot = HotSetTracer::from_profile(&image.symbols, 16, &profile, 64);
+    group.bench_function("fmeter_hotset_increment", |b| {
+        b.iter(|| {
+            for &f in &functions {
+                hot.on_function_call(CpuId(0), f);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let image = KernelImageBuilder::new().build().expect("image builds");
+    let functions = Arc::new(spread(image.symbols.len()));
+    let mut group = c.benchmark_group("tracer_4_threads");
+    group.throughput(Throughput::Elements((4 * ROUNDS * functions.len()) as u64));
+    group.sample_size(20);
+
+    // Per-CPU counters: each thread owns its index — no cache-line fights.
+    let fmeter = Arc::new(FmeterTracer::with_cpus(&image.symbols, 4));
+    group.bench_function("fmeter_per_cpu", |b| {
+        b.iter(|| run_threads(4, &functions, |cpu, f| fmeter.on_function_call(cpu, f)))
+    });
+
+    // One shared atomic array: every increment contends.
+    let global = Arc::new(CountingTracer::new(image.symbols.len()));
+    group.bench_function("global_atomic", |b| {
+        b.iter(|| run_threads(4, &functions, |cpu, f| global.on_function_call(cpu, f)))
+    });
+
+    // Ring buffers: per-CPU but lock-guarded, with record encoding.
+    let ftrace = Arc::new(FtraceTracer::new(&image.symbols, 4, 1 << 22));
+    group.bench_function("ftrace_ring", |b| {
+        b.iter(|| run_threads(4, &functions, |cpu, f| ftrace.on_function_call(cpu, f)))
+    });
+    group.finish();
+}
+
+/// Rounds per thread: enough work that recording dominates thread spawn.
+const ROUNDS: usize = 64;
+
+fn run_threads(
+    threads: usize,
+    functions: &Arc<Vec<FunctionId>>,
+    record: impl Fn(CpuId, FunctionId) + Send + Sync,
+) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let functions = Arc::clone(functions);
+            let record = &record;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    for &f in functions.iter() {
+                        record(CpuId(t), f);
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let image = KernelImageBuilder::new().build().expect("image builds");
+    let functions = spread(image.symbols.len());
+    let mut group = c.benchmark_group("consumer");
+
+    group.bench_function("ftrace_drain_4096_events", |b| {
+        b.iter_batched(
+            || {
+                let t = FtraceTracer::new(&image.symbols, 1, 1 << 20);
+                for i in 0..4096u32 {
+                    t.on_function_call(CpuId(0), functions[(i % 256) as usize]);
+                }
+                t
+            },
+            |t| t.drain(CpuId(0)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let fmeter = FmeterTracer::with_cpus(&image.symbols, 16);
+    for i in 0..4096u32 {
+        fmeter.on_function_call(CpuId((i % 16) as usize), functions[(i % 256) as usize]);
+    }
+    group.bench_function("fmeter_snapshot_3815_fns_16_cpus", |b| {
+        b.iter(|| fmeter.snapshot(fmeter_kernel_sim::Nanos(0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_paths, bench_contended, bench_drain);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: clustering distance metric (DESIGN.md §5.5).
+//!
+//! ```text
+//! cargo run --release -p fmeter-bench --bin ablation_distance
+//! ```
+//!
+//! The paper uses the L2-induced Euclidean distance throughout. This
+//! ablation re-runs the 3-workload K-means purity measurement under L2,
+//! L1, Minkowski(3), and cosine distance.
+
+use fmeter_bench::{collect_signatures, tfidf_vectors, SignatureWorkload};
+use fmeter_core::RawSignature;
+use fmeter_ir::{Metric, SparseVec};
+use fmeter_kernel_sim::Nanos;
+use fmeter_ml::metrics::{mean_sem, purity};
+use fmeter_ml::{KMeans, KMeansInit};
+
+fn sig_count(default: usize) -> usize {
+    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let interval = Nanos::from_millis(10);
+    let n = sig_count(80);
+    eprintln!("collecting {n} signatures per workload...");
+    let scp = collect_signatures(SignatureWorkload::Scp, n, interval, 75).unwrap();
+    let kcompile = collect_signatures(SignatureWorkload::KCompile, n, interval, 76).unwrap();
+    let dbench = collect_signatures(SignatureWorkload::Dbench, n, interval, 77).unwrap();
+
+    let mut all: Vec<RawSignature> = scp.clone();
+    all.extend_from_slice(&kcompile);
+    all.extend_from_slice(&dbench);
+    let vectors: Vec<SparseVec> =
+        tfidf_vectors(&all).unwrap().into_iter().map(|v| v.l2_normalized()).collect();
+    let truth: Vec<usize> = std::iter::repeat(0usize)
+        .take(scp.len())
+        .chain(std::iter::repeat(1).take(kcompile.len()))
+        .chain(std::iter::repeat(2).take(dbench.len()))
+        .collect();
+
+    let metrics: Vec<(&str, Metric)> = vec![
+        ("euclidean (paper)", Metric::Euclidean),
+        ("manhattan", Metric::Manhattan),
+        ("minkowski p=3", Metric::Minkowski(3.0)),
+        ("cosine", Metric::Cosine),
+    ];
+    println!("\nAblation: K-means distance metric (3 workloads, random init, 12 runs)\n");
+    println!("{:<20} {:>18}", "Metric", "Purity (mean±sem)");
+    println!("{} {}", "-".repeat(20), "-".repeat(18));
+    for (name, metric) in metrics {
+        let purities: Vec<f64> = (0..12)
+            .map(|run| {
+                let result = KMeans::new(3)
+                    .init(KMeansInit::Random)
+                    .metric(metric)
+                    .seed(run)
+                    .run(&vectors)
+                    .expect("clustering runs");
+                purity(&result.assignments, &truth).expect("aligned")
+            })
+            .collect();
+        let (mean, sem) = mean_sem(&purities);
+        println!("{name:<20} {:>12.4}±{sem:.4}", mean);
+        assert!(mean > 0.6, "{name}: purity collapsed entirely");
+    }
+}

@@ -1,0 +1,99 @@
+//! Ablation: tf-idf vs. tf-only vs. sublinear-tf weighting (DESIGN.md §5.2).
+//!
+//! ```text
+//! cargo run --release -p fmeter-bench --bin ablation_weighting
+//! ```
+//!
+//! Re-runs the Table-4-style 3-workload evaluation under different
+//! weighting schemes and reports SVM accuracy (scp vs kcompile) and
+//! K-means purity (3 classes, random init, 12 runs). The paper's choice
+//! is `Normalized` tf × `Standard` idf; the ablation quantifies what idf
+//! contributes.
+
+use fmeter_bench::{collect_signatures, render_table, tfidf_vectors_with, SignatureWorkload};
+use fmeter_core::RawSignature;
+use fmeter_ir::{IdfMode, SparseVec, TfIdfOptions, TfMode};
+use fmeter_kernel_sim::Nanos;
+use fmeter_ml::metrics::{mean_sem, purity};
+use fmeter_ml::{CrossValidation, KMeans, KMeansInit, Label};
+
+fn sig_count(default: usize) -> usize {
+    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let interval = Nanos::from_millis(10);
+    let n = sig_count(80);
+    eprintln!("collecting {n} signatures per workload...");
+    let scp = collect_signatures(SignatureWorkload::Scp, n, interval, 71).unwrap();
+    let kcompile = collect_signatures(SignatureWorkload::KCompile, n, interval, 72).unwrap();
+    let dbench = collect_signatures(SignatureWorkload::Dbench, n, interval, 73).unwrap();
+
+    let schemes: Vec<(&str, TfIdfOptions)> = vec![
+        (
+            "tf-idf (paper)",
+            TfIdfOptions { tf: TfMode::Normalized, idf: IdfMode::Standard },
+        ),
+        ("tf only", TfIdfOptions { tf: TfMode::Normalized, idf: IdfMode::Unit }),
+        (
+            "tf x smooth idf",
+            TfIdfOptions { tf: TfMode::Normalized, idf: IdfMode::Smooth },
+        ),
+        (
+            "sublinear tf x idf",
+            TfIdfOptions { tf: TfMode::Sublinear, idf: IdfMode::Standard },
+        ),
+        ("raw counts", TfIdfOptions { tf: TfMode::Raw, idf: IdfMode::Unit }),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, options) in schemes {
+        // --- SVM: scp(+1) vs kcompile(-1), 5-fold ---
+        let mut pair: Vec<RawSignature> = scp.clone();
+        pair.extend_from_slice(&kcompile);
+        let xs = tfidf_vectors_with(&pair, options).unwrap();
+        let ys: Vec<Label> = std::iter::repeat(1)
+            .take(scp.len())
+            .chain(std::iter::repeat(-1).take(kcompile.len()))
+            .collect();
+        let report = CrossValidation::new(5).seed(2).run(&xs, &ys).unwrap();
+        let (acc, _) = report.mean_accuracy();
+
+        // --- K-means purity: 3 classes, random init, 12 runs ---
+        let mut all: Vec<RawSignature> = scp.clone();
+        all.extend_from_slice(&kcompile);
+        all.extend_from_slice(&dbench);
+        let vectors: Vec<SparseVec> = tfidf_vectors_with(&all, options)
+            .unwrap()
+            .into_iter()
+            .map(|v| v.l2_normalized())
+            .collect();
+        let truth: Vec<usize> = std::iter::repeat(0usize)
+            .take(scp.len())
+            .chain(std::iter::repeat(1).take(kcompile.len()))
+            .chain(std::iter::repeat(2).take(dbench.len()))
+            .collect();
+        let purities: Vec<f64> = (0..12)
+            .map(|run| {
+                let result = KMeans::new(3)
+                    .init(KMeansInit::Random)
+                    .seed(run)
+                    .run(&vectors)
+                    .expect("clustering runs");
+                purity(&result.assignments, &truth).expect("aligned")
+            })
+            .collect();
+        let (purity_mean, purity_sem) = mean_sem(&purities);
+
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", acc * 100.0),
+            format!("{purity_mean:.4}±{purity_sem:.4}"),
+        ]);
+    }
+    println!("\nAblation: weighting scheme (SVM: scp vs kcompile; purity: 3 classes)\n");
+    println!(
+        "{}",
+        render_table(&["Weighting", "SVM accuracy %", "K-means purity"], &rows)
+    );
+}

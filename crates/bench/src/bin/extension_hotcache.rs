@@ -1,0 +1,106 @@
+//! Extension: evaluates the paper's §6 proposed optimisation — a fast
+//! cache holding call counts for the top-N hottest functions.
+//!
+//! ```text
+//! cargo run --release -p fmeter-bench --bin extension_hotcache
+//! ```
+//!
+//! Procedure, following §6: profile a boot to rank functions, size the
+//! hot set experimentally (the sweep below), then measure (a) what
+//! fraction of increments the hot array absorbs under real workloads and
+//! (b) the simulated lmbench impact with the cheaper stub.
+
+use std::sync::Arc;
+
+use fmeter_bench::{render_table, PAPER_IMAGE_SEED};
+use fmeter_kernel_sim::{CpuId, Kernel, KernelConfig};
+use fmeter_trace::{FmeterTracer, HotSetTracer};
+use fmeter_workloads::{ApacheBench, Dbench, LmbenchTest, Workload};
+
+fn kernel(seed: u64) -> Kernel {
+    Kernel::new(KernelConfig {
+        num_cpus: 4,
+        seed,
+        timer_hz: 1000,
+        image_seed: PAPER_IMAGE_SEED,
+    })
+    .expect("standard image builds")
+}
+
+fn main() {
+    // 1. Profile boot to rank functions (the §6 selection input).
+    let mut profiling_kernel = kernel(1);
+    let profiler = Arc::new(FmeterTracer::with_cpus(profiling_kernel.symbols(), 4));
+    profiling_kernel.set_tracer(profiler.clone());
+    profiling_kernel.boot().expect("boot runs");
+    let profile = profiler.snapshot(profiling_kernel.now()).counts().to_vec();
+
+    // 2. Hit-rate sweep over hot-set sizes, under two workloads the
+    //    profile did not see.
+    println!("Hot-set hit rate by size (boot-profile ranking):\n");
+    let mut rows = Vec::new();
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let mut hits = Vec::new();
+        for workload in 0..2 {
+            let mut k = kernel(50 + workload);
+            let tracer =
+                Arc::new(HotSetTracer::from_profile(k.symbols(), 4, &profile, n).with_stats());
+            k.set_tracer(tracer.clone());
+            match workload {
+                0 => {
+                    let mut w = Dbench::new(3);
+                    w.run_steps(&mut k, &[CpuId(0)], 300).expect("runs");
+                }
+                _ => {
+                    let mut w = ApacheBench::new(4);
+                    w.run_steps(&mut k, &[CpuId(0)], 300).expect("runs");
+                }
+            }
+            hits.push(tracer.hit_rate());
+        }
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}%", hits[0] * 100.0),
+            format!("{:.1}%", hits[1] * 100.0),
+        ]);
+    }
+    println!("{}", render_table(&["N", "dbench hit rate", "apachebench hit rate"], &rows));
+
+    // 3. Simulated latency impact: standard Fmeter stub vs hot-set stub
+    //    on a few lmbench rows.
+    println!("\nSimulated lmbench latency, Fmeter vs Fmeter+hot-set (us):\n");
+    let mut rows = Vec::new();
+    for test in [
+        LmbenchTest::SimpleRead,
+        LmbenchTest::Select100Tcp,
+        LmbenchTest::ForkExit,
+    ] {
+        let mut standard_kernel_ = kernel(7);
+        standard_kernel_.set_tracer(Arc::new(FmeterTracer::with_cpus(
+            standard_kernel_.symbols(),
+            4,
+        )));
+        let standard = test.run(&mut standard_kernel_, CpuId(0), 100).expect("runs");
+
+        let mut hot_kernel = kernel(7);
+        hot_kernel.set_tracer(Arc::new(HotSetTracer::from_profile(
+            hot_kernel.symbols(),
+            4,
+            &profile,
+            64,
+        )));
+        let hot = test.run(&mut hot_kernel, CpuId(0), 100).expect("runs");
+        rows.push(vec![
+            test.label().to_string(),
+            format!("{:.3}", standard.mean_us),
+            format!("{:.3}", hot.mean_us),
+            format!("{:.1}%", (1.0 - hot.mean_us / standard.mean_us) * 100.0),
+        ]);
+        assert!(hot.mean_us < standard.mean_us, "hot set must not slow tracing down");
+    }
+    println!(
+        "{}",
+        render_table(&["Test", "Fmeter", "Fmeter+hot64", "saved"], &rows)
+    );
+    println!("\n(§6: \"a fast cache that holds the call counts for the top N hottest functions\")");
+}

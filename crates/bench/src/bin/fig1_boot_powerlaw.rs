@@ -1,0 +1,66 @@
+//! Regenerates **Figure 1**: kernel function call counts vs. rank during
+//! boot-up, the power-law that motivates the tf-idf embedding.
+//!
+//! ```text
+//! cargo run --release -p fmeter-bench --bin fig1_boot_powerlaw
+//! ```
+//!
+//! Prints `(rank, count)` pairs for a log-log plot, plus a least-squares
+//! slope over the mid range. The paper's figure spans ranks 1..3815 with
+//! counts from 1 to ~10^7; the reproduced curve must span several decades
+//! and be monotonically decreasing.
+
+use std::sync::Arc;
+
+use fmeter_bench::PAPER_IMAGE_SEED;
+use fmeter_kernel_sim::{Kernel, KernelConfig};
+use fmeter_trace::FmeterTracer;
+
+fn main() {
+    let mut kernel = Kernel::new(KernelConfig {
+        num_cpus: 16,
+        seed: 0xb007,
+        timer_hz: 1000,
+        image_seed: PAPER_IMAGE_SEED,
+    })
+    .expect("standard image builds");
+    let tracer = Arc::new(FmeterTracer::with_cpus(kernel.symbols(), 16));
+    kernel.set_tracer(tracer.clone());
+
+    let report = kernel.boot().expect("boot runs");
+    eprintln!(
+        "boot: {} functions, {} total calls, {} simulated",
+        report.functions, report.total_calls, report.duration
+    );
+
+    let mut counts = tracer.snapshot(kernel.now()).counts().to_vec();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+
+    println!("# Figure 1: kernel function call count vs rank during boot-up");
+    println!("# rank count");
+    for (rank, count) in counts.iter().enumerate() {
+        println!("{} {}", rank + 1, count);
+    }
+
+    // Straight-line fit on log-log over the mid-range (the paper's curve
+    // is roughly linear between the flat head and the init-only tail).
+    let lo = counts.len() / 100;
+    let hi = counts.len() * 3 / 4;
+    let points: Vec<(f64, f64)> = (lo..hi)
+        .filter(|&i| counts[i] > 0)
+        .map(|i| (((i + 1) as f64).ln(), (counts[i] as f64).ln()))
+        .collect();
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let decades = (counts[0] as f64 / counts[counts.len() - 1].max(1) as f64).log10();
+    eprintln!("power-law fit slope (log-log, mid-range): {slope:.2}");
+    eprintln!("dynamic range: {decades:.1} decades (paper: ~7)");
+
+    assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    assert!(slope < -0.5, "rank/count curve too flat: slope {slope}");
+    assert!(decades >= 3.5, "dynamic range too narrow: {decades}");
+}

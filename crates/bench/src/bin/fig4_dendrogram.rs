@@ -1,0 +1,69 @@
+//! Regenerates **Figure 4**: agglomerative single-linkage hierarchical
+//! clustering of 20 randomly chosen signatures — 10 `scp` (labelled 0–9)
+//! and 10 `kcompile` (labelled 10–19) — rendered in the paper's nested
+//! parenthesis notation.
+//!
+//! ```text
+//! cargo run --release -p fmeter-bench --bin fig4_dendrogram
+//! ```
+//!
+//! The reproduced property: *perfect separation at the level immediately
+//! below the aggregation tree root* — one root subtree holds exactly the
+//! scp signatures, the other exactly the kcompile signatures.
+
+use fmeter_bench::{collect_signatures, tfidf_vectors, SignatureWorkload};
+use fmeter_ir::SparseVec;
+use fmeter_kernel_sim::Nanos;
+use fmeter_ml::{Agglomerative, Linkage};
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+fn main() {
+    let interval = Nanos::from_millis(10);
+    eprintln!("collecting signatures...");
+    let scp = collect_signatures(SignatureWorkload::Scp, 40, interval, 41).unwrap();
+    let kcompile =
+        collect_signatures(SignatureWorkload::KCompile, 40, interval, 42).unwrap();
+
+    // Sample 10 of each without replacement (the paper samples from its
+    // full pools).
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut chosen = Vec::new();
+    for idx in sample(&mut rng, scp.len(), 10).iter() {
+        chosen.push(scp[idx].clone());
+    }
+    for idx in sample(&mut rng, kcompile.len(), 10).iter() {
+        chosen.push(kcompile[idx].clone());
+    }
+
+    let vectors: Vec<SparseVec> = tfidf_vectors(&chosen)
+        .unwrap()
+        .into_iter()
+        .map(|v| v.l2_normalized())
+        .collect();
+    let tree = Agglomerative::new(Linkage::Single).fit(&vectors).unwrap();
+
+    // Leaves 0-9 are scp, 10-19 kcompile, matching the figure's labels.
+    let labels: Vec<String> = (0..20).map(|i| i.to_string()).collect();
+    println!("# Figure 4: single-linkage dendrogram (0-9 = scp, 10-19 = kcompile)");
+    println!("{}", tree.to_paren_string(&labels));
+
+    println!("\n# merge steps (left, right, distance):");
+    for m in tree.merges() {
+        println!("{} {} {:.5}", m.left, m.right, m.distance);
+    }
+
+    let (left, right) = tree.root_split().expect("20-point tree has a root split");
+    let scp_side: Vec<usize> = (0..10).collect();
+    let kcompile_side: Vec<usize> = (10..20).collect();
+    let perfect = (left == scp_side && right == kcompile_side)
+        || (left == kcompile_side && right == scp_side);
+    println!(
+        "\n# root split: {:?} | {:?} -> {}",
+        left,
+        right,
+        if perfect { "PERFECT separation below the root (as in the paper)" } else { "IMPURE" }
+    );
+    assert!(perfect, "the two workloads must separate perfectly below the root");
+}

@@ -1,0 +1,107 @@
+//! Regenerates **Table 3**: Linux-kernel-compile elapsed time (`time`
+//! utility breakdown: real/user/sys) under the three configurations.
+//!
+//! ```text
+//! cargo run --release -p fmeter-bench --bin table3_kcompile
+//! ```
+//!
+//! The reproduced shape: `user` is configuration-independent (user code
+//! is not instrumented), `sys` inflates mildly under Fmeter (~20%) and
+//! severely under Ftrace (~5x), and `real` follows `user + sys` on a
+//! saturated build machine.
+
+use std::sync::Arc;
+
+use fmeter_bench::{render_table, PAPER_IMAGE_SEED};
+use fmeter_kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
+use fmeter_trace::{FmeterTracer, FtraceTracer};
+use fmeter_workloads::{KCompile, Workload};
+
+const FILES: usize = 1200;
+
+struct TimeBreakdown {
+    real: Nanos,
+    user: Nanos,
+    sys: Nanos,
+}
+
+fn compile(config: &str) -> TimeBreakdown {
+    let mut kernel = Kernel::new(KernelConfig {
+        num_cpus: 16,
+        seed: 0x3c,
+        timer_hz: 1000,
+        image_seed: PAPER_IMAGE_SEED,
+    })
+    .expect("standard image builds");
+    match config {
+        "vanilla" => {}
+        "ftrace" => {
+            let t = Arc::new(FtraceTracer::new(kernel.symbols(), 16, 1 << 20));
+            kernel.set_tracer(t);
+        }
+        "fmeter" => {
+            let t = Arc::new(FmeterTracer::with_cpus(kernel.symbols(), 16));
+            kernel.set_tracer(t);
+        }
+        other => unreachable!("unknown config {other}"),
+    }
+    let mut make = KCompile::new(1);
+    let cpus: Vec<CpuId> = (0..4).map(CpuId).collect();
+    let start = kernel.now();
+    let stats = make.run_steps(&mut kernel, &cpus, FILES).expect("compilation runs");
+    TimeBreakdown {
+        real: kernel.now() - start,
+        user: stats.user_time,
+        sys: stats.sys_time,
+    }
+}
+
+fn fmt_minutes(t: Nanos) -> String {
+    let total_seconds = t.as_secs_f64();
+    let minutes = (total_seconds / 60.0).floor();
+    let seconds = total_seconds - minutes * 60.0;
+    format!("{}m{:.3}s", minutes as u64, seconds)
+}
+
+fn main() {
+    println!("Table 3: kernel compile elapsed time ({FILES} translation units)\n");
+    let vanilla = compile("vanilla");
+    let ftrace = compile("ftrace");
+    let fmeter = compile("fmeter");
+    let rows = vec![
+        vec![
+            "real".to_string(),
+            fmt_minutes(vanilla.real),
+            fmt_minutes(ftrace.real),
+            fmt_minutes(fmeter.real),
+        ],
+        vec![
+            "user".to_string(),
+            fmt_minutes(vanilla.user),
+            fmt_minutes(ftrace.user),
+            fmt_minutes(fmeter.user),
+        ],
+        vec![
+            "sys".to_string(),
+            fmt_minutes(vanilla.sys),
+            fmt_minutes(ftrace.sys),
+            fmt_minutes(fmeter.sys),
+        ],
+    ];
+    println!("{}", render_table(&["", "Unmodified", "Ftrace", "Fmeter"], &rows));
+
+    let sys_ftrace = ftrace.sys.0 as f64 / vanilla.sys.0 as f64;
+    let sys_fmeter = fmeter.sys.0 as f64 / vanilla.sys.0 as f64;
+    let user_drift = (ftrace.user.0 as f64 - vanilla.user.0 as f64).abs()
+        / vanilla.user.0 as f64;
+    println!(
+        "\nsys inflation: fmeter {:.2}x (paper 1.22x), ftrace {:.2}x (paper 5.20x); \
+         user drift across configs {:.1}% (paper ~0%)",
+        sys_fmeter,
+        sys_ftrace,
+        user_drift * 100.0
+    );
+    assert!(sys_fmeter < 2.0, "fmeter sys inflation degenerated: {sys_fmeter}");
+    assert!(sys_ftrace > 3.0, "ftrace sys inflation collapsed: {sys_ftrace}");
+    assert!(user_drift < 0.05, "user time should not depend on tracing");
+}

@@ -1,0 +1,5 @@
+//! Shared harness utilities for the table/figure regeneration binaries.
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub use harness::*;

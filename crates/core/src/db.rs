@@ -1,0 +1,387 @@
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+use fmeter_ir::{Corpus, InvertedIndex, SparseVec, TermCounts, TfIdfModel, TfIdfOptions};
+use fmeter_ml::{KMeans, Linkage};
+use serde::{Deserialize, Serialize};
+
+use crate::{FmeterError, RawSignature, Signature};
+
+/// A syndrome: the centroid of a cluster of signatures, labelled with the
+/// cluster's dominant class.
+///
+/// "The centroid of a cluster of signatures can then be used as a
+/// syndrome which characterizes a manifestation of a common behavior"
+/// (paper §2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Syndrome {
+    /// Cluster centroid in tf-idf space.
+    pub centroid: SparseVec,
+    /// Most frequent label among member signatures (`None` if members are
+    /// unlabelled).
+    pub dominant_label: Option<String>,
+    /// Indices (into the database) of the member signatures.
+    pub members: Vec<usize>,
+}
+
+/// A labelled database of indexable signatures.
+///
+/// This is the paper's envisioned operator workflow (§2.2): signatures
+/// from forensically identified behaviours are labelled and stored; new
+/// signatures are compared against the database by similarity search,
+/// classified, or clustered into syndromes.
+///
+/// Build it from raw daemon output with [`SignatureDb::build`]: the
+/// tf-idf model is fitted on the full corpus, every signature is
+/// transformed and indexed.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SignatureDb {
+    model: TfIdfModel,
+    signatures: Vec<Signature>,
+    index: InvertedIndex,
+}
+
+impl SignatureDb {
+    /// Fits tf-idf over `raw` and indexes every signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmeterError::NoSignatures`] when `raw` is empty.
+    pub fn build(raw: &[RawSignature]) -> Result<Self, FmeterError> {
+        Self::build_with(raw, TfIdfOptions::default())
+    }
+
+    /// Fits with explicit tf/idf options (used by the weighting-scheme
+    /// ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmeterError::NoSignatures`] when `raw` is empty.
+    pub fn build_with(
+        raw: &[RawSignature],
+        options: TfIdfOptions,
+    ) -> Result<Self, FmeterError> {
+        let first = raw.first().ok_or(FmeterError::NoSignatures)?;
+        let dim = first.counts.len();
+        let mut corpus = Corpus::new(dim);
+        for r in raw {
+            corpus.push(r.to_term_counts());
+        }
+        let model = TfIdfModel::fit_with(&corpus, options)?;
+        let mut signatures = Vec::with_capacity(raw.len());
+        let mut index = InvertedIndex::new(dim);
+        for (r, doc) in raw.iter().zip(corpus.iter()) {
+            let vector = model.transform(doc);
+            index.insert(vector.clone())?;
+            signatures.push(Signature {
+                vector,
+                label: r.label.clone(),
+                started_at: r.started_at,
+                ended_at: r.ended_at,
+            });
+        }
+        Ok(SignatureDb { model, signatures, index })
+    }
+
+    /// Number of stored signatures.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Returns `true` when the database is empty (never for built DBs).
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Dimensionality of the signature space.
+    pub fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// The fitted tf-idf model.
+    pub fn model(&self) -> &TfIdfModel {
+        &self.model
+    }
+
+    /// The stored signatures, in insertion order.
+    pub fn signatures(&self) -> &[Signature] {
+        &self.signatures
+    }
+
+    /// Transforms raw interval counts with the database's tf-idf model
+    /// (for querying with fresh, unlabelled intervals).
+    pub fn transform(&self, counts: &TermCounts) -> SparseVec {
+        self.model.transform(counts)
+    }
+
+    /// Finds the `k` most similar stored signatures to a fresh interval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn search(
+        &self,
+        counts: &TermCounts,
+        k: usize,
+    ) -> Result<Vec<(&Signature, f64)>, FmeterError> {
+        let query = self.transform(counts);
+        let hits = self.index.search(&query, k)?;
+        Ok(hits.into_iter().map(|h| (&self.signatures[h.doc], h.score)).collect())
+    }
+
+    /// Classifies a fresh interval by majority label among its `k`
+    /// nearest stored signatures. Returns `None` when no labelled
+    /// neighbour is found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn classify(
+        &self,
+        counts: &TermCounts,
+        k: usize,
+    ) -> Result<Option<String>, FmeterError> {
+        let hits = self.search(counts, k)?;
+        let mut votes: HashMap<&str, usize> = HashMap::new();
+        for (sig, _) in &hits {
+            if let Some(label) = sig.label.as_deref() {
+                *votes.entry(label).or_default() += 1;
+            }
+        }
+        Ok(votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(label, _)| label.to_string()))
+    }
+
+    /// Clusters all signatures into `k` syndromes with seeded K-means.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering failures (e.g. fewer signatures than `k`).
+    pub fn syndromes(&self, k: usize, seed: u64) -> Result<Vec<Syndrome>, FmeterError> {
+        let vectors: Vec<SparseVec> =
+            self.signatures.iter().map(|s| s.vector.clone()).collect();
+        let result = KMeans::new(k).seed(seed).restarts(3).run(&vectors)?;
+        let mut syndromes: Vec<Syndrome> = result
+            .centroids
+            .into_iter()
+            .map(|centroid| Syndrome { centroid, dominant_label: None, members: Vec::new() })
+            .collect();
+        for (i, &cluster) in result.assignments.iter().enumerate() {
+            syndromes[cluster].members.push(i);
+        }
+        for syndrome in &mut syndromes {
+            let mut votes: HashMap<&str, usize> = HashMap::new();
+            for &m in &syndrome.members {
+                if let Some(label) = self.signatures[m].label.as_deref() {
+                    *votes.entry(label).or_default() += 1;
+                }
+            }
+            syndrome.dominant_label = votes
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+                .map(|(l, _)| l.to_string());
+        }
+        Ok(syndromes)
+    }
+
+    /// Meta-clustering (paper §2.2, §6): clusters syndrome *centroids*
+    /// hierarchically to discover which entire behaviour classes are
+    /// similar in how they use the kernel. Returns per-syndrome group
+    /// assignments for `groups` groups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering failures.
+    pub fn meta_cluster(
+        syndromes: &[Syndrome],
+        groups: usize,
+    ) -> Result<Vec<usize>, FmeterError> {
+        let centroids: Vec<SparseVec> =
+            syndromes.iter().map(|s| s.centroid.clone()).collect();
+        let tree = fmeter_ml::Agglomerative::new(Linkage::Average).fit(&centroids)?;
+        Ok(tree.cut(groups))
+    }
+
+    /// The `k` most discriminative functions of a syndrome: the terms
+    /// whose centroid weight most exceeds the corpus-wide mean weight.
+    ///
+    /// This is what an operator reads when labelling a syndrome — "this
+    /// cluster is the one hammering the journal commit path". Returns
+    /// `(term id, centroid weight, lift over corpus mean)` sorted by
+    /// lift; map term ids to names with the kernel's symbol table or a
+    /// parsed [`SymbolMap`](crate::SymbolMap).
+    pub fn explain_syndrome(&self, syndrome: &Syndrome, k: usize) -> Vec<(u32, f64, f64)> {
+        // Corpus mean weight per term.
+        let mut mean = vec![0.0f64; self.dim()];
+        for s in &self.signatures {
+            for (t, w) in s.vector.iter() {
+                mean[t as usize] += w;
+            }
+        }
+        let n = self.signatures.len().max(1) as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut ranked: Vec<(u32, f64, f64)> = syndrome
+            .centroid
+            .iter()
+            .map(|(t, w)| (t, w, w - mean[t as usize]))
+            .collect();
+        ranked.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Serialises the database as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialisation failures.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), FmeterError> {
+        serde_json::to_writer(writer, self)?;
+        Ok(())
+    }
+
+    /// Loads a database previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialisation failures.
+    pub fn load<R: Read>(reader: R) -> Result<Self, FmeterError> {
+        Ok(serde_json::from_reader(reader)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmeter_kernel_sim::Nanos;
+
+    /// Two synthetic behaviour classes over an 8-function space.
+    fn sample_raw() -> Vec<RawSignature> {
+        let mut raw = Vec::new();
+        for i in 0..6u64 {
+            // Class A: functions 0-3 hot.
+            raw.push(RawSignature {
+                counts: vec![50 + i, 40, 30, 20, 0, 1, 0, 0],
+                started_at: Nanos(i * 100),
+                ended_at: Nanos((i + 1) * 100),
+                label: Some("a".into()),
+            });
+            // Class B: functions 4-7 hot.
+            raw.push(RawSignature {
+                counts: vec![0, 1, 0, 0, 60, 50 + i, 40, 30],
+                started_at: Nanos(i * 100),
+                ended_at: Nanos((i + 1) * 100),
+                label: Some("b".into()),
+            });
+        }
+        raw
+    }
+
+    #[test]
+    fn build_indexes_everything() {
+        let db = SignatureDb::build(&sample_raw()).unwrap();
+        assert_eq!(db.len(), 12);
+        assert_eq!(db.dim(), 8);
+        assert!(!db.is_empty());
+        assert_eq!(db.signatures().len(), 12);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(SignatureDb::build(&[]), Err(FmeterError::NoSignatures)));
+    }
+
+    #[test]
+    fn search_finds_same_class() {
+        let db = SignatureDb::build(&sample_raw()).unwrap();
+        let query = TermCounts::from_dense(&[45, 38, 28, 22, 0, 0, 0, 0]);
+        let hits = db.search(&query, 3).unwrap();
+        assert_eq!(hits.len(), 3);
+        for (sig, score) in &hits {
+            assert_eq!(sig.label.as_deref(), Some("a"));
+            assert!(*score > 0.5);
+        }
+    }
+
+    #[test]
+    fn classify_votes_by_neighbours() {
+        let db = SignatureDb::build(&sample_raw()).unwrap();
+        let a_query = TermCounts::from_dense(&[45, 38, 28, 22, 0, 0, 0, 0]);
+        assert_eq!(db.classify(&a_query, 5).unwrap().as_deref(), Some("a"));
+        let b_query = TermCounts::from_dense(&[0, 0, 0, 0, 55, 48, 41, 33]);
+        assert_eq!(db.classify(&b_query, 5).unwrap().as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn syndromes_recover_classes() {
+        let db = SignatureDb::build(&sample_raw()).unwrap();
+        let syndromes = db.syndromes(2, 7).unwrap();
+        assert_eq!(syndromes.len(), 2);
+        let labels: Vec<_> =
+            syndromes.iter().map(|s| s.dominant_label.clone().unwrap()).collect();
+        assert!(labels.contains(&"a".to_string()));
+        assert!(labels.contains(&"b".to_string()));
+        // Each syndrome has 6 members, all of its class.
+        for s in &syndromes {
+            assert_eq!(s.members.len(), 6);
+        }
+    }
+
+    #[test]
+    fn meta_clustering_groups_similar_syndromes() {
+        let db = SignatureDb::build(&sample_raw()).unwrap();
+        // Over-cluster into 4, then meta-cluster back into 2 groups.
+        let syndromes = db.syndromes(4, 3).unwrap();
+        let groups = SignatureDb::meta_cluster(&syndromes, 2).unwrap();
+        assert_eq!(groups.len(), 4);
+        // Syndromes with the same dominant label should land together.
+        for (i, a) in syndromes.iter().enumerate() {
+            for (j, b) in syndromes.iter().enumerate() {
+                if a.dominant_label == b.dominant_label {
+                    assert_eq!(groups[i], groups[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explain_surfaces_class_specific_terms() {
+        let db = SignatureDb::build(&sample_raw()).unwrap();
+        let syndromes = db.syndromes(2, 7).unwrap();
+        for syndrome in &syndromes {
+            let explanation = db.explain_syndrome(syndrome, 3);
+            assert!(!explanation.is_empty());
+            // Lifts are sorted descending and positive at the head.
+            assert!(explanation[0].2 > 0.0);
+            for pair in explanation.windows(2) {
+                assert!(pair[0].2 >= pair[1].2);
+            }
+            // Class "a" lives on terms 0-3, class "b" on 4-7: the top
+            // discriminative term must come from the right band.
+            let top_term = explanation[0].0;
+            match syndrome.dominant_label.as_deref() {
+                Some("a") => assert!(top_term <= 3, "a-syndrome explained by {top_term}"),
+                Some("b") => assert!(top_term >= 4, "b-syndrome explained by {top_term}"),
+                other => panic!("unexpected label {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let db = SignatureDb::build(&sample_raw()).unwrap();
+        let mut buffer = Vec::new();
+        db.save(&mut buffer).unwrap();
+        let restored = SignatureDb::load(&buffer[..]).unwrap();
+        assert_eq!(restored.len(), db.len());
+        let query = TermCounts::from_dense(&[45, 38, 28, 22, 0, 0, 0, 0]);
+        assert_eq!(
+            restored.classify(&query, 3).unwrap(),
+            db.classify(&query, 3).unwrap()
+        );
+    }
+}

@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+use fmeter_ir::IrError;
+use fmeter_kernel_sim::KernelError;
+use fmeter_ml::MlError;
+
+/// Errors produced by the Fmeter core crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FmeterError {
+    /// The simulated kernel rejected an operation.
+    Kernel(KernelError),
+    /// A vector-space operation failed.
+    Ir(IrError),
+    /// A learning operation failed.
+    Ml(MlError),
+    /// No signatures were available where at least one is required.
+    NoSignatures,
+    /// Signature persistence failed.
+    Persist(String),
+}
+
+impl fmt::Display for FmeterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmeterError::Kernel(e) => write!(f, "kernel error: {e}"),
+            FmeterError::Ir(e) => write!(f, "vector space error: {e}"),
+            FmeterError::Ml(e) => write!(f, "learning error: {e}"),
+            FmeterError::NoSignatures => write!(f, "no signatures collected"),
+            FmeterError::Persist(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl Error for FmeterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FmeterError::Kernel(e) => Some(e),
+            FmeterError::Ir(e) => Some(e),
+            FmeterError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<KernelError> for FmeterError {
+    fn from(e: KernelError) -> Self {
+        FmeterError::Kernel(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<IrError> for FmeterError {
+    fn from(e: IrError) -> Self {
+        FmeterError::Ir(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<MlError> for FmeterError {
+    fn from(e: MlError) -> Self {
+        FmeterError::Ml(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<serde_json::Error> for FmeterError {
+    fn from(e: serde_json::Error) -> Self {
+        FmeterError::Persist(e.to_string())
+    }
+}
+
+#[doc(hidden)]
+impl From<std::io::Error> for FmeterError {
+    fn from(e: std::io::Error) -> Self {
+        FmeterError::Persist(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e = FmeterError::from(KernelError::UnknownFunction("x".into()));
+        assert!(e.to_string().contains("kernel error"));
+        assert!(Error::source(&e).is_some());
+        let e = FmeterError::from(IrError::EmptyCorpus);
+        assert!(e.to_string().contains("vector space"));
+        let e = FmeterError::from(MlError::EmptyInput);
+        assert!(e.to_string().contains("learning"));
+        assert_eq!(FmeterError::NoSignatures.to_string(), "no signatures collected");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FmeterError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! Fmeter core: the paper's monitoring system assembled over the
+//! simulated kernel.
+//!
+//! * [`Fmeter`] installs the per-CPU counting tracer on a kernel and
+//!   exposes counters through debugfs,
+//! * [`SignatureLogger`] is the user-space daemon: it samples counters on
+//!   an interval and emits [`RawSignature`]s (count deltas),
+//! * [`SignatureDb`] fits tf-idf over a corpus of raw signatures, indexes
+//!   the resulting weight vectors, and supports similarity search,
+//!   nearest-neighbour classification, K-means [`Syndrome`] extraction,
+//!   and meta-clustering of syndromes — the full operator workflow of
+//!   paper §2.2.
+//!
+//! ```
+//! use fmeter_core::{Fmeter, SignatureDb};
+//! use fmeter_kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
+//! use fmeter_workloads::{Dbench, Scp, Workload};
+//!
+//! let mut kernel = Kernel::new(KernelConfig::default())?;
+//! let fmeter = Fmeter::install(&mut kernel);
+//! let mut logger = fmeter.logger(Nanos::from_millis(5), kernel.now());
+//!
+//! let mut raw = logger.collect(&mut kernel, &mut Dbench::new(1), &[CpuId(0)], 4, Some("dbench"))?;
+//! logger.resync(kernel.now());
+//! raw.extend(logger.collect(&mut kernel, &mut Scp::new(2), &[CpuId(0)], 4, Some("scp"))?);
+//!
+//! let db = SignatureDb::build(&raw)?;
+//! assert_eq!(db.len(), 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anomaly;
+mod db;
+mod error;
+mod fmeter;
+mod logger;
+mod signature;
+mod userspace;
+
+pub use anomaly::{AnomalyDetector, AnomalyVerdict};
+pub use db::{SignatureDb, Syndrome};
+pub use error::FmeterError;
+pub use fmeter::Fmeter;
+pub use logger::SignatureLogger;
+pub use signature::{RawSignature, Signature};
+pub use userspace::{sample_via_debugfs, DebugfsReader, SymbolMap};

@@ -1,0 +1,256 @@
+//! The pure user-space view: parsing the kernel's debugfs exports.
+//!
+//! The paper's logging daemon is an ordinary process: it reads Fmeter's
+//! counter file (addresses → counts) and the symbol map, and never
+//! touches kernel memory. [`DebugfsReader`] reproduces that path — unlike
+//! [`SignatureLogger`](crate::SignatureLogger), which snapshots the
+//! tracer in-process, everything here goes through the rendered debugfs
+//! strings, exercising the full export/parse round trip.
+
+use std::collections::HashMap;
+
+use fmeter_kernel_sim::{Kernel, Nanos};
+use fmeter_trace::CounterSnapshot;
+
+use crate::FmeterError;
+
+/// A user-space symbol map, as parsed from the `kallsyms` debugfs file.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolMap {
+    /// (address, name) in address order.
+    entries: Vec<(u64, String)>,
+    by_address: HashMap<u64, usize>,
+}
+
+impl SymbolMap {
+    /// Parses `/.../kallsyms`-style content (`"<hex addr> t <name>"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmeterError::Persist`] on malformed lines.
+    pub fn parse(content: &str) -> Result<Self, FmeterError> {
+        let mut entries = Vec::new();
+        let mut by_address = HashMap::new();
+        for (lineno, line) in content.lines().enumerate() {
+            let mut parts = line.split_whitespace();
+            let (Some(addr), Some(_kind), Some(name)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(FmeterError::Persist(format!(
+                    "kallsyms line {lineno} malformed: `{line}`"
+                )));
+            };
+            let addr = u64::from_str_radix(addr, 16)
+                .map_err(|e| FmeterError::Persist(format!("line {lineno}: {e}")))?;
+            by_address.insert(addr, entries.len());
+            entries.push((addr, name.to_string()));
+        }
+        Ok(SymbolMap { entries, by_address })
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolves an address to a symbol name.
+    pub fn name_of(&self, address: u64) -> Option<&str> {
+        self.by_address.get(&address).map(|&i| self.entries[i].1.as_str())
+    }
+
+    /// The dense index of an address (the daemon's term id).
+    pub fn index_of(&self, address: u64) -> Option<usize> {
+        self.by_address.get(&address).copied()
+    }
+}
+
+/// Reads Fmeter state through debugfs only — the daemon's kernel
+/// interface.
+#[derive(Debug, Clone, Default)]
+pub struct DebugfsReader {
+    symbols: SymbolMap,
+}
+
+impl DebugfsReader {
+    /// Attaches to a kernel by reading its `kallsyms` export.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmeterError::Kernel`] when the file is missing and
+    /// [`FmeterError::Persist`] on parse failures.
+    pub fn attach(kernel: &Kernel) -> Result<Self, FmeterError> {
+        let content = kernel.debugfs().read("kallsyms")?;
+        Ok(DebugfsReader { symbols: SymbolMap::parse(&content)? })
+    }
+
+    /// The parsed symbol map.
+    pub fn symbols(&self) -> &SymbolMap {
+        &self.symbols
+    }
+
+    /// Reads the Fmeter counter export and returns a snapshot indexed
+    /// like the kernel's function table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmeterError::Kernel`] when the counter file is absent
+    /// (Fmeter not installed) and [`FmeterError::Persist`] on malformed
+    /// content or addresses missing from the symbol map.
+    pub fn read_counters(&self, kernel: &Kernel) -> Result<CounterSnapshot, FmeterError> {
+        let content = kernel.debugfs().read("tracing/fmeter/counters")?;
+        let mut counts = vec![0u64; self.symbols.len()];
+        for (lineno, line) in content.lines().enumerate() {
+            let (addr, count) = line.split_once(' ').ok_or_else(|| {
+                FmeterError::Persist(format!("counter line {lineno} malformed: `{line}`"))
+            })?;
+            let addr = u64::from_str_radix(addr.trim_start_matches("0x"), 16)
+                .map_err(|e| FmeterError::Persist(format!("line {lineno}: {e}")))?;
+            let index = self.symbols.index_of(addr).ok_or_else(|| {
+                FmeterError::Persist(format!("address {addr:#x} not in kallsyms"))
+            })?;
+            counts[index] = count
+                .parse()
+                .map_err(|e| FmeterError::Persist(format!("line {lineno}: {e}")))?;
+        }
+        Ok(CounterSnapshot::new(counts, kernel.now()))
+    }
+
+    /// The top `k` hottest functions by name, as an operator tool would
+    /// display them.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_counters`](Self::read_counters).
+    pub fn top_functions(
+        &self,
+        kernel: &Kernel,
+        k: usize,
+    ) -> Result<Vec<(String, u64)>, FmeterError> {
+        let snapshot = self.read_counters(kernel)?;
+        let mut ranked: Vec<(usize, u64)> =
+            snapshot.counts().iter().copied().enumerate().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(ranked
+            .into_iter()
+            .take(k)
+            .map(|(i, c)| (self.symbols.entries[i].1.clone(), c))
+            .collect())
+    }
+}
+
+/// Convenience: one full daemon-style sample through debugfs — two reads
+/// around a closure that runs the workload, returning the per-function
+/// delta.
+///
+/// # Errors
+///
+/// Propagates debugfs/parse failures and the closure's kernel errors.
+pub fn sample_via_debugfs<E: Into<FmeterError>>(
+    reader: &DebugfsReader,
+    kernel: &mut Kernel,
+    run: impl FnOnce(&mut Kernel) -> Result<(), E>,
+) -> Result<(Vec<u64>, Nanos), FmeterError> {
+    let before = reader.read_counters(kernel)?;
+    run(kernel).map_err(Into::into)?;
+    let after = reader.read_counters(kernel)?;
+    Ok((before.delta(&after), before.interval(&after)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fmeter;
+    use fmeter_kernel_sim::{CpuId, KernelConfig, KernelError, KernelOp};
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig { num_cpus: 2, seed: 4, timer_hz: 0, image_seed: 0x2628 })
+            .unwrap()
+    }
+
+    #[test]
+    fn kallsyms_round_trips_through_parsing() {
+        let k = kernel();
+        let reader = DebugfsReader::attach(&k).unwrap();
+        assert_eq!(reader.symbols().len(), k.num_functions());
+        // Spot-check a known anchor.
+        let vfs_read = k.symbols().lookup("vfs_read").unwrap();
+        let addr = k.symbols().function(vfs_read).unwrap().address;
+        assert_eq!(reader.symbols().name_of(addr), Some("vfs_read"));
+        assert_eq!(reader.symbols().index_of(addr), Some(vfs_read.index()));
+    }
+
+    #[test]
+    fn counters_read_through_debugfs_match_reality() {
+        let mut k = kernel();
+        let fmeter = Fmeter::install(&mut k);
+        let reader = DebugfsReader::attach(&k).unwrap();
+        let stats = k.run_op(CpuId(0), KernelOp::Fork { pages: 16 }).unwrap();
+        let snapshot = reader.read_counters(&k).unwrap();
+        assert_eq!(snapshot.total(), stats.calls);
+        assert_eq!(
+            snapshot.counts(),
+            fmeter.tracer().snapshot(k.now()).counts(),
+            "debugfs view must equal the in-kernel view"
+        );
+    }
+
+    #[test]
+    fn sample_via_debugfs_isolates_the_interval() {
+        let mut k = kernel();
+        let _fmeter = Fmeter::install(&mut k);
+        let reader = DebugfsReader::attach(&k).unwrap();
+        // Pre-interval noise.
+        k.run_op(CpuId(0), KernelOp::SemOp).unwrap();
+        let (delta, interval) =
+            sample_via_debugfs(&reader, &mut k, |k| -> Result<(), KernelError> {
+                k.run_op(CpuId(0), KernelOp::Read { bytes: 8192 })?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(interval > Nanos::ZERO);
+        let sem_entry = k.symbols().lookup("sys_semop").unwrap();
+        assert_eq!(delta[sem_entry.index()], 0, "pre-interval ops must not leak");
+        let read_entry = k.symbols().lookup("vfs_read").unwrap();
+        assert!(delta[read_entry.index()] > 0);
+    }
+
+    #[test]
+    fn top_functions_ranks_by_count() {
+        let mut k = kernel();
+        let _fmeter = Fmeter::install(&mut k);
+        let reader = DebugfsReader::attach(&k).unwrap();
+        for _ in 0..5 {
+            k.run_op(CpuId(0), KernelOp::Open { components: 4 }).unwrap();
+        }
+        let top = reader.top_functions(&k, 10).unwrap();
+        assert_eq!(top.len(), 10);
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        assert!(top[0].1 > 0);
+    }
+
+    #[test]
+    fn malformed_kallsyms_rejected() {
+        assert!(SymbolMap::parse("zzzz t foo").is_err());
+        assert!(SymbolMap::parse("1234").is_err());
+        let ok = SymbolMap::parse("ffffffff81000000 t foo\n").unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(!ok.is_empty());
+    }
+
+    #[test]
+    fn missing_fmeter_export_is_an_error() {
+        let k = kernel(); // Fmeter never installed
+        let reader = DebugfsReader::attach(&k).unwrap();
+        assert!(matches!(
+            reader.read_counters(&k),
+            Err(FmeterError::Kernel(_))
+        ));
+    }
+}

@@ -1,0 +1,307 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{IrError, SparseVec, TermId};
+
+/// Raw term counts for one document.
+///
+/// In Fmeter terms, this is what the logging daemon produces per interval:
+/// the number of times each kernel function was invoked during the
+/// monitoring run (the `n_{i,j}` of the paper). Counts are stored sparsely
+/// and sorted by term id.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TermCounts {
+    dim: usize,
+    terms: Vec<TermId>,
+    counts: Vec<u64>,
+}
+
+impl TermCounts {
+    /// Creates an empty document over a space of `dim` terms.
+    pub fn new(dim: usize) -> Self {
+        TermCounts { dim, terms: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Builds a document from `(term, count)` pairs.
+    ///
+    /// Duplicated term ids are summed; zero counts are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::TermOutOfRange`] if any term id is `>= dim`.
+    pub fn from_pairs(
+        dim: usize,
+        pairs: impl IntoIterator<Item = (TermId, u64)>,
+    ) -> Result<Self, IrError> {
+        let mut entries: Vec<(TermId, u64)> = pairs.into_iter().collect();
+        for &(t, _) in &entries {
+            if t as usize >= dim {
+                return Err(IrError::TermOutOfRange { term: t, dim });
+            }
+        }
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        let mut doc = TermCounts::new(dim);
+        for (t, c) in entries {
+            if c == 0 {
+                continue;
+            }
+            if doc.terms.last() == Some(&t) {
+                *doc.counts.last_mut().expect("counts tracks terms") += c;
+            } else {
+                doc.terms.push(t);
+                doc.counts.push(c);
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Builds a document from a dense count slice.
+    pub fn from_dense(dense: &[u64]) -> Self {
+        let mut doc = TermCounts::new(dense.len());
+        for (i, &c) in dense.iter().enumerate() {
+            if c != 0 {
+                doc.terms.push(i as TermId);
+                doc.counts.push(c);
+            }
+        }
+        doc
+    }
+
+    /// Adds `count` occurrences of `term`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::TermOutOfRange`] if `term >= dim`.
+    pub fn record(&mut self, term: TermId, count: u64) -> Result<(), IrError> {
+        if term as usize >= self.dim {
+            return Err(IrError::TermOutOfRange { term, dim: self.dim });
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        match self.terms.binary_search(&term) {
+            Ok(pos) => self.counts[pos] += count,
+            Err(pos) => {
+                self.terms.insert(pos, term);
+                self.counts.insert(pos, count);
+            }
+        }
+        Ok(())
+    }
+
+    /// Dimensionality of the term space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of distinct terms present in the document.
+    pub fn distinct_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total number of term occurrences (the document "length",
+    /// `sum_k n_{k,j}`).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count for a specific term (zero when absent).
+    pub fn count(&self, term: TermId) -> u64 {
+        match self.terms.binary_search(&term) {
+            Ok(pos) => self.counts[pos],
+            Err(_) => 0,
+        }
+    }
+
+    /// Returns `true` when no term has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(term, count)` pairs in increasing term order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, u64)> + '_ {
+        self.terms.iter().copied().zip(self.counts.iter().copied())
+    }
+
+    /// Converts the raw counts to a sparse `f64` vector (no weighting).
+    pub fn to_sparse(&self) -> SparseVec {
+        SparseVec::from_pairs(self.dim, self.iter().map(|(t, c)| (t, c as f64)))
+            .expect("terms validated on insertion")
+    }
+}
+
+/// A collection of documents sharing one term space — the paper's "corpus"
+/// of monitored low-level system activities.
+///
+/// All documents must have the same dimensionality, enforced at insertion.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    dim: usize,
+    docs: Vec<TermCounts>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus over a space of `dim` terms.
+    pub fn new(dim: usize) -> Self {
+        Corpus { dim, docs: Vec::new() }
+    }
+
+    /// Appends a document, returning its [`DocId`](crate::DocId).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document's dimension differs from the corpus dimension;
+    /// mixing spaces is a programming error, not a runtime condition.
+    pub fn push(&mut self, doc: TermCounts) -> usize {
+        assert_eq!(
+            doc.dim(),
+            self.dim,
+            "document dimension {} does not match corpus dimension {}",
+            doc.dim(),
+            self.dim
+        );
+        self.docs.push(doc);
+        self.docs.len() - 1
+    }
+
+    /// Number of documents (`|D|`).
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Returns `true` when the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Dimensionality of the term space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows document `id`, if present.
+    pub fn doc(&self, id: usize) -> Option<&TermCounts> {
+        self.docs.get(id)
+    }
+
+    /// Iterates over the documents in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &TermCounts> {
+        self.docs.iter()
+    }
+
+    /// Document frequency per term: `df_i = |{d : t_i in d}|`.
+    pub fn document_frequencies(&self) -> Vec<u32> {
+        let mut df = vec![0u32; self.dim];
+        for doc in &self.docs {
+            for (t, _) in doc.iter() {
+                df[t as usize] += 1;
+            }
+        }
+        df
+    }
+}
+
+impl FromIterator<TermCounts> for Corpus {
+    /// Collects documents into a corpus; the dimension is taken from the
+    /// first document (empty input produces a zero-dimension corpus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the documents disagree on dimensionality.
+    fn from_iter<I: IntoIterator<Item = TermCounts>>(iter: I) -> Self {
+        let docs: Vec<TermCounts> = iter.into_iter().collect();
+        let dim = docs.first().map_or(0, |d| d.dim());
+        let mut corpus = Corpus::new(dim);
+        for d in docs {
+            corpus.push(d);
+        }
+        corpus
+    }
+}
+
+impl Extend<TermCounts> for Corpus {
+    fn extend<I: IntoIterator<Item = TermCounts>>(&mut self, iter: I) {
+        for d in iter {
+            self.push(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_sorts() {
+        let mut d = TermCounts::new(10);
+        d.record(5, 2).unwrap();
+        d.record(1, 1).unwrap();
+        d.record(5, 3).unwrap();
+        assert_eq!(d.count(5), 5);
+        assert_eq!(d.count(1), 1);
+        assert_eq!(d.count(0), 0);
+        assert_eq!(d.total(), 6);
+        assert_eq!(d.distinct_terms(), 2);
+        let order: Vec<_> = d.iter().map(|(t, _)| t).collect();
+        assert_eq!(order, vec![1, 5]);
+    }
+
+    #[test]
+    fn record_rejects_out_of_range() {
+        let mut d = TermCounts::new(4);
+        assert!(d.record(4, 1).is_err());
+    }
+
+    #[test]
+    fn record_zero_is_noop() {
+        let mut d = TermCounts::new(4);
+        d.record(1, 0).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn from_pairs_merges_and_drops_zero() {
+        let d = TermCounts::from_pairs(8, [(3, 2), (3, 3), (1, 0)]).unwrap();
+        assert_eq!(d.count(3), 5);
+        assert_eq!(d.distinct_terms(), 1);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = TermCounts::from_dense(&[0, 3, 0, 7]);
+        assert_eq!(d.count(1), 3);
+        assert_eq!(d.count(3), 7);
+        assert_eq!(d.dim(), 4);
+        let s = d.to_sparse();
+        assert_eq!(s.get(3), 7.0);
+    }
+
+    #[test]
+    fn corpus_document_frequencies() {
+        let mut c = Corpus::new(4);
+        c.push(TermCounts::from_pairs(4, [(0, 1), (1, 1)]).unwrap());
+        c.push(TermCounts::from_pairs(4, [(0, 9)]).unwrap());
+        c.push(TermCounts::from_pairs(4, [(0, 2), (2, 1)]).unwrap());
+        assert_eq!(c.document_frequencies(), vec![3, 1, 1, 0]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match corpus dimension")]
+    fn corpus_rejects_mismatched_dim() {
+        let mut c = Corpus::new(4);
+        c.push(TermCounts::new(5));
+    }
+
+    #[test]
+    fn corpus_from_iterator_and_extend() {
+        let docs = vec![
+            TermCounts::from_pairs(3, [(0, 1)]).unwrap(),
+            TermCounts::from_pairs(3, [(1, 1)]).unwrap(),
+        ];
+        let mut c: Corpus = docs.into_iter().collect();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dim(), 3);
+        c.extend([TermCounts::from_pairs(3, [(2, 2)]).unwrap()]);
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{IrError, SparseVec};
+
+/// Distance/similarity metric selector used by the clustering code.
+///
+/// The paper compares vectors "using the Euclidean distance, i.e. the
+/// distance metric induced by the L2 norm" unless stated otherwise; cosine
+/// and L1 are provided for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Metric {
+    /// L2 (Euclidean) distance — the paper's default.
+    Euclidean,
+    /// L1 (Manhattan) distance.
+    Manhattan,
+    /// General Minkowski distance of order `p >= 1`.
+    Minkowski(f64),
+    /// Cosine *distance* `1 - cos(theta)`; zero vectors are treated as
+    /// maximally distant from everything (distance 1).
+    Cosine,
+}
+
+impl Default for Metric {
+    fn default() -> Self {
+        Metric::Euclidean
+    }
+}
+
+impl Metric {
+    /// Computes the distance between two vectors under this metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the dimensions differ and
+    /// [`IrError::InvalidOrder`] for a Minkowski order `p < 1`.
+    pub fn distance(&self, a: &SparseVec, b: &SparseVec) -> Result<f64, IrError> {
+        match *self {
+            Metric::Euclidean => euclidean_distance(a, b),
+            Metric::Manhattan => manhattan_distance(a, b),
+            Metric::Minkowski(p) => minkowski_distance(a, b, p),
+            Metric::Cosine => Ok(1.0 - cosine_similarity(a, b)?),
+        }
+    }
+}
+
+/// Euclidean (L2) distance between two sparse vectors.
+///
+/// # Errors
+///
+/// Returns [`IrError::DimensionMismatch`] when the dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::{euclidean_distance, SparseVec};
+///
+/// let a = SparseVec::from_pairs(4, [(0, 1.0)]).unwrap();
+/// let b = SparseVec::from_pairs(4, [(1, 1.0)]).unwrap();
+/// assert!((euclidean_distance(&a, &b).unwrap() - 2f64.sqrt()).abs() < 1e-12);
+/// ```
+pub fn euclidean_distance(a: &SparseVec, b: &SparseVec) -> Result<f64, IrError> {
+    Ok(a.sub(b)?.norm_l2())
+}
+
+/// Manhattan (L1) distance between two sparse vectors.
+///
+/// # Errors
+///
+/// Returns [`IrError::DimensionMismatch`] when the dimensions differ.
+pub fn manhattan_distance(a: &SparseVec, b: &SparseVec) -> Result<f64, IrError> {
+    Ok(a.sub(b)?.norm_l1())
+}
+
+/// Minkowski distance `d_p(x, y) = (sum_i |x_i - y_i|^p)^(1/p)`.
+///
+/// This is the distance induced by the Lp norm, exactly as defined in §2.1 of
+/// the paper.
+///
+/// # Errors
+///
+/// Returns [`IrError::DimensionMismatch`] when the dimensions differ and
+/// [`IrError::InvalidOrder`] when `p < 1` (the expression is not a metric
+/// below order 1).
+pub fn minkowski_distance(a: &SparseVec, b: &SparseVec, p: f64) -> Result<f64, IrError> {
+    a.sub(b)?.norm_lp(p)
+}
+
+/// Cosine similarity `cos(theta) = (x . y) / (||x|| ||y||)`.
+///
+/// Two identical directions give `1.0`; orthogonal vectors give `0.0`. When
+/// either vector is zero the similarity is defined as `0.0` (no direction to
+/// agree with) rather than NaN, which keeps downstream clustering total.
+/// The result is clamped to `[-1, 1]` to absorb floating-point drift.
+///
+/// # Errors
+///
+/// Returns [`IrError::DimensionMismatch`] when the dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::{cosine_similarity, SparseVec};
+///
+/// let a = SparseVec::from_pairs(3, [(0, 1.0), (1, 1.0)]).unwrap();
+/// let b = SparseVec::from_pairs(3, [(0, 2.0), (1, 2.0)]).unwrap();
+/// assert!((cosine_similarity(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn cosine_similarity(a: &SparseVec, b: &SparseVec) -> Result<f64, IrError> {
+    let dot = a.dot(b)?;
+    let denom = a.norm_l2() * b.norm_l2();
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((dot / denom).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(8, pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn euclidean_345() {
+        let a = v(&[(0, 3.0)]);
+        let b = v(&[(1, 4.0)]);
+        assert!((euclidean_distance(&a, &b).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_is_sum_of_abs() {
+        let a = v(&[(0, 3.0)]);
+        let b = v(&[(1, 4.0)]);
+        assert!((manhattan_distance(&a, &b).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_interpolates_l1_l2() {
+        let a = v(&[(0, 3.0)]);
+        let b = v(&[(1, 4.0)]);
+        let d1 = minkowski_distance(&a, &b, 1.0).unwrap();
+        let d2 = minkowski_distance(&a, &b, 2.0).unwrap();
+        let d15 = minkowski_distance(&a, &b, 1.5).unwrap();
+        assert!(d2 < d15 && d15 < d1);
+    }
+
+    #[test]
+    fn minkowski_rejects_sub_unit_order() {
+        let a = v(&[(0, 1.0)]);
+        assert!(matches!(
+            minkowski_distance(&a, &a, 0.9),
+            Err(IrError::InvalidOrder(_))
+        ));
+    }
+
+    #[test]
+    fn cosine_parallel_orthogonal_antiparallel() {
+        let a = v(&[(0, 1.0)]);
+        let b = v(&[(0, 7.0)]);
+        let c = v(&[(1, 1.0)]);
+        let d = v(&[(0, -2.0)]);
+        assert!((cosine_similarity(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&a, &c).unwrap(), 0.0);
+        assert!((cosine_similarity(&a, &d).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let z = SparseVec::zeros(8);
+        let a = v(&[(0, 1.0)]);
+        assert_eq!(cosine_similarity(&z, &a).unwrap(), 0.0);
+        assert_eq!(cosine_similarity(&z, &z).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn metric_enum_dispatches() {
+        let a = v(&[(0, 3.0)]);
+        let b = v(&[(1, 4.0)]);
+        assert!((Metric::Euclidean.distance(&a, &b).unwrap() - 5.0).abs() < 1e-12);
+        assert!((Metric::Manhattan.distance(&a, &b).unwrap() - 7.0).abs() < 1e-12);
+        assert!(
+            (Metric::Minkowski(2.0).distance(&a, &b).unwrap() - 5.0).abs() < 1e-12
+        );
+        assert!((Metric::Cosine.distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(Metric::default(), Metric::Euclidean);
+    }
+
+    #[test]
+    fn cosine_distance_identical_vectors_is_zero() {
+        let a = v(&[(0, 1.0), (3, 2.0)]);
+        assert!(Metric::Cosine.distance(&a, &a).unwrap().abs() < 1e-12);
+    }
+}

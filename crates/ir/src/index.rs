@@ -1,0 +1,258 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DocId, IrError, SparseVec, TermId};
+
+/// One result of a similarity search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Identifier of the matching document.
+    pub doc: DocId,
+    /// Cosine similarity to the query, in `[-1, 1]`.
+    pub score: f64,
+}
+
+/// Heap entry ordered by ascending score so the root is the worst hit
+/// (classic top-k pattern). Ties break on doc id for determinism.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    score: f64,
+    doc: DocId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score: BinaryHeap is a max-heap, we want min-at-root.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.doc.cmp(&self.doc))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Inverted index over tf-idf signature vectors for similarity-based search.
+///
+/// This is the "database of previously labeled signatures" retrieval path of
+/// the paper: every indexed vector contributes postings `(doc, weight)` under
+/// each of its non-zero terms, and a query is scored by accumulating
+/// dot-products over the postings of its non-zero terms only. Indexed
+/// vectors and queries are L2-normalised internally, so scores are cosine
+/// similarities.
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::{InvertedIndex, SparseVec};
+///
+/// let mut index = InvertedIndex::new(8);
+/// index.insert(SparseVec::from_pairs(8, [(0, 1.0), (1, 1.0)]).unwrap()).unwrap();
+/// index.insert(SparseVec::from_pairs(8, [(5, 2.0)]).unwrap()).unwrap();
+///
+/// let query = SparseVec::from_pairs(8, [(0, 3.0), (1, 3.0)]).unwrap();
+/// let hits = index.search(&query, 1).unwrap();
+/// assert_eq!(hits[0].doc, 0);
+/// assert!((hits[0].score - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    dim: usize,
+    postings: Vec<Vec<(DocId, f64)>>,
+    num_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index over a `dim`-term space.
+    pub fn new(dim: usize) -> Self {
+        InvertedIndex { dim, postings: vec![Vec::new(); dim], num_docs: 0 }
+    }
+
+    /// Inserts a signature vector, returning its assigned [`DocId`].
+    ///
+    /// The vector is L2-normalised before indexing. Zero vectors are
+    /// accepted (they simply match nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the vector dimension
+    /// differs from the index dimension.
+    pub fn insert(&mut self, vector: SparseVec) -> Result<DocId, IrError> {
+        if vector.dim() != self.dim {
+            return Err(IrError::DimensionMismatch { left: self.dim, right: vector.dim() });
+        }
+        let id = self.num_docs;
+        for (t, w) in vector.l2_normalized().iter() {
+            self.postings[t as usize].push((id, w));
+        }
+        self.num_docs += 1;
+        Ok(id)
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Returns `true` when no document has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.num_docs == 0
+    }
+
+    /// Dimensionality of the term space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of postings stored under `term`.
+    pub fn posting_len(&self, term: TermId) -> usize {
+        self.postings.get(term as usize).map_or(0, Vec::len)
+    }
+
+    /// Finds the `k` indexed documents most cosine-similar to `query`,
+    /// best first. Documents sharing no term with the query are not
+    /// returned (their similarity is zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the query dimension
+    /// differs from the index dimension.
+    pub fn search(&self, query: &SparseVec, k: usize) -> Result<Vec<SearchHit>, IrError> {
+        if query.dim() != self.dim {
+            return Err(IrError::DimensionMismatch { left: self.dim, right: query.dim() });
+        }
+        if k == 0 || self.num_docs == 0 {
+            return Ok(Vec::new());
+        }
+        let query = query.l2_normalized();
+        // Accumulate scores over postings of the query's non-zero terms.
+        let mut scores: Vec<f64> = vec![0.0; self.num_docs];
+        let mut touched: Vec<DocId> = Vec::new();
+        for (t, qw) in query.iter() {
+            for &(doc, dw) in &self.postings[t as usize] {
+                if scores[doc] == 0.0 {
+                    touched.push(doc);
+                }
+                scores[doc] += qw * dw;
+            }
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for doc in touched {
+            let score = scores[doc];
+            if score == 0.0 {
+                continue;
+            }
+            heap.push(HeapEntry { score, doc });
+            if heap.len() > k {
+                heap.pop(); // evict the current worst
+            }
+        }
+        let mut hits: Vec<SearchHit> =
+            heap.into_iter().map(|e| SearchHit { doc: e.doc, score: e.score }).collect();
+        hits.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then(a.doc.cmp(&b.doc))
+        });
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec8(pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(8, pairs.iter().copied()).unwrap()
+    }
+
+    fn sample_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new(8);
+        idx.insert(vec8(&[(0, 1.0), (1, 1.0)])).unwrap(); // doc 0
+        idx.insert(vec8(&[(0, 1.0)])).unwrap(); // doc 1
+        idx.insert(vec8(&[(4, 2.0), (5, 2.0)])).unwrap(); // doc 2
+        idx
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut idx = InvertedIndex::new(4);
+        assert_eq!(idx.insert(SparseVec::zeros(4)).unwrap(), 0);
+        assert_eq!(idx.insert(SparseVec::zeros(4)).unwrap(), 1);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_dim() {
+        let mut idx = InvertedIndex::new(4);
+        assert!(idx.insert(SparseVec::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn search_returns_exact_match_first() {
+        let idx = sample_index();
+        let hits = idx.search(&vec8(&[(0, 5.0), (1, 5.0)]), 3).unwrap();
+        assert_eq!(hits[0].doc, 0);
+        assert!((hits[0].score - 1.0).abs() < 1e-9);
+        // doc 1 shares term 0 only: cos = 1/sqrt(2)
+        assert_eq!(hits[1].doc, 1);
+        assert!((hits[1].score - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        // doc 2 shares nothing: absent
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn search_respects_k() {
+        let idx = sample_index();
+        let hits = idx.search(&vec8(&[(0, 1.0)]), 1).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 1); // doc 1 is exactly the query direction
+    }
+
+    #[test]
+    fn search_k_zero_and_empty_index() {
+        let idx = sample_index();
+        assert!(idx.search(&vec8(&[(0, 1.0)]), 0).unwrap().is_empty());
+        let empty = InvertedIndex::new(8);
+        assert!(empty.search(&vec8(&[(0, 1.0)]), 5).unwrap().is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn search_zero_query_matches_nothing() {
+        let idx = sample_index();
+        assert!(idx.search(&SparseVec::zeros(8), 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_rejects_wrong_dim() {
+        let idx = sample_index();
+        assert!(idx.search(&SparseVec::zeros(9), 5).is_err());
+    }
+
+    #[test]
+    fn posting_lengths_track_inserts() {
+        let idx = sample_index();
+        assert_eq!(idx.posting_len(0), 2);
+        assert_eq!(idx.posting_len(4), 1);
+        assert_eq!(idx.posting_len(7), 0);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_doc_id() {
+        let mut idx = InvertedIndex::new(4);
+        idx.insert(SparseVec::from_pairs(4, [(0, 1.0)]).unwrap()).unwrap();
+        idx.insert(SparseVec::from_pairs(4, [(0, 2.0)]).unwrap()).unwrap();
+        let hits = idx.search(&SparseVec::from_pairs(4, [(0, 1.0)]).unwrap(), 2).unwrap();
+        // Both have cosine 1.0; lower doc id first.
+        assert_eq!(hits[0].doc, 0);
+        assert_eq!(hits[1].doc, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Vector space model for Fmeter signatures.
+//!
+//! This crate implements the information-retrieval machinery the Fmeter paper
+//! (Marian et al., MIDDLEWARE 2012) borrows from text mining: documents are
+//! bags of *terms* (kernel functions), weighted with
+//! [tf-idf](crate::TfIdfModel), embedded as [sparse vectors](crate::SparseVec)
+//! in an orthonormal basis induced by the distinct terms, and compared with
+//! [cosine similarity](crate::cosine_similarity) or
+//! [Minkowski distances](crate::minkowski_distance).
+//!
+//! The crate is deliberately independent of the kernel simulator: a *term* is
+//! just a `u32` [`TermId`], so the same model works for kernel-function
+//! signatures, text, or any other bag-of-terms data.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fmeter_ir::{Corpus, TermCounts, TfIdfModel};
+//!
+//! // Three "documents": bags of term counts (term id -> count).
+//! let mut corpus = Corpus::new(4);
+//! corpus.push(TermCounts::from_pairs(4, [(0, 10), (1, 2)]).unwrap());
+//! corpus.push(TermCounts::from_pairs(4, [(0, 8), (2, 5)]).unwrap());
+//! corpus.push(TermCounts::from_pairs(4, [(0, 9), (3, 1)]).unwrap());
+//!
+//! let model = TfIdfModel::fit(&corpus).unwrap();
+//! // Term 0 appears in every document, so its idf (and weight) is zero.
+//! let v = model.transform(corpus.doc(0).unwrap());
+//! assert_eq!(v.get(0), 0.0);
+//! assert!(v.get(1) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod distance;
+mod error;
+mod index;
+mod sparse;
+mod tfidf;
+
+pub use corpus::{Corpus, TermCounts};
+pub use distance::{
+    cosine_similarity, euclidean_distance, manhattan_distance, minkowski_distance, Metric,
+};
+pub use error::IrError;
+pub use index::{InvertedIndex, SearchHit};
+pub use sparse::SparseVec;
+pub use tfidf::{IdfMode, TfIdfModel, TfIdfOptions, TfMode};
+
+/// Identifier of a term in the vector space.
+///
+/// For Fmeter this is (an index derived from) a kernel function; for text it
+/// would be a word id. Term ids are dense indices in `0..dim`.
+pub type TermId = u32;
+
+/// Identifier of a document within a [`Corpus`] or [`InvertedIndex`].
+pub type DocId = usize;

@@ -1,0 +1,329 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Corpus, IrError, SparseVec, TermCounts};
+
+/// Term-frequency flavour used when weighting a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TfMode {
+    /// `tf_{i,j} = n_{i,j} / sum_k n_{k,j}` — the paper's normalised term
+    /// frequency, which "prevents bias towards longer runs".
+    #[default]
+    Normalized,
+    /// Raw occurrence counts, no length normalisation (ablation only).
+    Raw,
+    /// `log(1 + n_{i,j})` — classic sub-linear scaling (ablation only).
+    Sublinear,
+}
+
+/// Inverse-document-frequency flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IdfMode {
+    /// `idf_i = ln(|D| / df_i)` — the paper's formula. Terms present in
+    /// every document get weight zero; terms absent from the corpus are
+    /// undefined and transform to zero.
+    #[default]
+    Standard,
+    /// `idf_i = ln(1 + |D| / df_i)` — smoothed, never zero for seen terms.
+    Smooth,
+    /// `idf_i = 1` for every term — disables idf (tf-only ablation).
+    Unit,
+}
+
+/// Options for fitting a [`TfIdfModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TfIdfOptions {
+    /// Term-frequency scheme.
+    pub tf: TfMode,
+    /// Inverse-document-frequency scheme.
+    pub idf: IdfMode,
+}
+
+/// A fitted tf-idf weighting model.
+///
+/// Fitting computes per-term document frequencies over a [`Corpus`];
+/// transforming a document produces the weight vector
+/// `w_{i,j} = tf_{i,j} x idf_i` of the paper (§2.1).
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::{Corpus, TermCounts, TfIdfModel};
+///
+/// let mut corpus = Corpus::new(3);
+/// corpus.push(TermCounts::from_pairs(3, [(0, 4), (1, 4)]).unwrap());
+/// corpus.push(TermCounts::from_pairs(3, [(0, 4), (2, 4)]).unwrap());
+/// let model = TfIdfModel::fit(&corpus).unwrap();
+///
+/// let w = model.transform(corpus.doc(0).unwrap());
+/// assert_eq!(w.get(0), 0.0);            // term 0 is in every doc
+/// assert!(w.get(1) > 0.0);              // term 1 is discriminative
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TfIdfModel {
+    dim: usize,
+    num_docs: usize,
+    doc_freq: Vec<u32>,
+    idf: Vec<f64>,
+    options: TfIdfOptions,
+}
+
+impl TfIdfModel {
+    /// Fits the model with default (paper) options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::EmptyCorpus`] when the corpus has no documents.
+    pub fn fit(corpus: &Corpus) -> Result<Self, IrError> {
+        Self::fit_with(corpus, TfIdfOptions::default())
+    }
+
+    /// Fits the model with explicit tf/idf schemes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::EmptyCorpus`] when the corpus has no documents.
+    pub fn fit_with(corpus: &Corpus, options: TfIdfOptions) -> Result<Self, IrError> {
+        if corpus.is_empty() {
+            return Err(IrError::EmptyCorpus);
+        }
+        let doc_freq = corpus.document_frequencies();
+        let n = corpus.len() as f64;
+        let idf = doc_freq
+            .iter()
+            .map(|&df| {
+                if df == 0 {
+                    // Unseen term: contributes nothing at transform time.
+                    0.0
+                } else {
+                    match options.idf {
+                        IdfMode::Standard => (n / df as f64).ln(),
+                        IdfMode::Smooth => (1.0 + n / df as f64).ln(),
+                        IdfMode::Unit => 1.0,
+                    }
+                }
+            })
+            .collect();
+        Ok(TfIdfModel {
+            dim: corpus.dim(),
+            num_docs: corpus.len(),
+            doc_freq,
+            idf,
+            options,
+        })
+    }
+
+    /// Transforms one document into its tf-idf weight vector.
+    ///
+    /// Terms unseen during fitting receive weight zero (their idf is
+    /// undefined — the corpus gives no evidence about them). The empty
+    /// document transforms to the zero vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document's dimension differs from the model's; the
+    /// term space is fixed at fit time.
+    pub fn transform(&self, doc: &TermCounts) -> SparseVec {
+        assert_eq!(
+            doc.dim(),
+            self.dim,
+            "document dimension {} does not match model dimension {}",
+            doc.dim(),
+            self.dim
+        );
+        let total = doc.total();
+        if total == 0 {
+            return SparseVec::zeros(self.dim);
+        }
+        let pairs = doc.iter().map(|(t, n)| {
+            let tf = match self.options.tf {
+                TfMode::Normalized => n as f64 / total as f64,
+                TfMode::Raw => n as f64,
+                TfMode::Sublinear => (1.0 + n as f64).ln(),
+            };
+            (t, tf * self.idf[t as usize])
+        });
+        SparseVec::from_pairs(self.dim, pairs).expect("document terms are in range")
+    }
+
+    /// Transforms every document of a corpus (usually the fitting corpus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus dimension differs from the model's.
+    pub fn transform_corpus(&self, corpus: &Corpus) -> Vec<SparseVec> {
+        corpus.iter().map(|d| self.transform(d)).collect()
+    }
+
+    /// Fits on `corpus` and immediately transforms all its documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::EmptyCorpus`] when the corpus has no documents.
+    pub fn fit_transform(corpus: &Corpus) -> Result<(Self, Vec<SparseVec>), IrError> {
+        let model = Self::fit(corpus)?;
+        let vectors = model.transform_corpus(corpus);
+        Ok((model, vectors))
+    }
+
+    /// Dimensionality of the term space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of documents the model was fitted on (`|D|`).
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Document frequency of `term` (how many fitting documents contained it).
+    pub fn document_frequency(&self, term: u32) -> u32 {
+        self.doc_freq.get(term as usize).copied().unwrap_or(0)
+    }
+
+    /// Inverse document frequency of `term` (zero for unseen terms).
+    pub fn idf(&self, term: u32) -> f64 {
+        self.idf.get(term as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The options the model was fitted with.
+    pub fn options(&self) -> TfIdfOptions {
+        self.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Corpus {
+        let mut c = Corpus::new(4);
+        // term 0: in all 4 docs (a "stop word" like a hot utility function)
+        // term 1: in 2 docs, term 2: in 1 doc, term 3: never
+        c.push(TermCounts::from_pairs(4, [(0, 8), (1, 2)]).unwrap());
+        c.push(TermCounts::from_pairs(4, [(0, 5), (1, 5)]).unwrap());
+        c.push(TermCounts::from_pairs(4, [(0, 1), (2, 9)]).unwrap());
+        c.push(TermCounts::from_pairs(4, [(0, 7)]).unwrap());
+        c
+    }
+
+    #[test]
+    fn fit_rejects_empty_corpus() {
+        let c = Corpus::new(4);
+        assert_eq!(TfIdfModel::fit(&c).unwrap_err(), IrError::EmptyCorpus);
+    }
+
+    #[test]
+    fn idf_matches_formula() {
+        let m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        assert_eq!(m.num_docs(), 4);
+        assert!((m.idf(0) - (4.0f64 / 4.0).ln()).abs() < 1e-12); // = 0
+        assert!((m.idf(1) - (4.0f64 / 2.0).ln()).abs() < 1e-12);
+        assert!((m.idf(2) - (4.0f64 / 1.0).ln()).abs() < 1e-12);
+        assert_eq!(m.idf(3), 0.0); // unseen
+        assert_eq!(m.document_frequency(1), 2);
+    }
+
+    #[test]
+    fn ubiquitous_term_gets_zero_weight() {
+        let c = sample_corpus();
+        let m = TfIdfModel::fit(&c).unwrap();
+        let w = m.transform(c.doc(0).unwrap());
+        assert_eq!(w.get(0), 0.0);
+        assert!(w.get(1) > 0.0);
+    }
+
+    #[test]
+    fn tf_is_length_normalized() {
+        let c = sample_corpus();
+        let m = TfIdfModel::fit(&c).unwrap();
+        // Doc 0: term 1 count 2 of total 10 -> tf = 0.2.
+        let w = m.transform(c.doc(0).unwrap());
+        let expected = 0.2 * (4.0f64 / 2.0).ln();
+        assert!((w.get(1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_counts_leaves_normalized_tf_invariant() {
+        // The paper's claim: the collection period (run length) does not
+        // skew the signature because tf is normalised.
+        let c = sample_corpus();
+        let m = TfIdfModel::fit(&c).unwrap();
+        let short = TermCounts::from_pairs(4, [(0, 8), (1, 2)]).unwrap();
+        let long = TermCounts::from_pairs(4, [(0, 800), (1, 200)]).unwrap();
+        let ws = m.transform(&short);
+        let wl = m.transform(&long);
+        for t in 0..4 {
+            assert!((ws.get(t) - wl.get(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_document_transforms_to_zero() {
+        let c = sample_corpus();
+        let m = TfIdfModel::fit(&c).unwrap();
+        let w = m.transform(&TermCounts::new(4));
+        assert!(w.is_zero());
+    }
+
+    #[test]
+    fn unseen_term_transforms_to_zero_weight() {
+        let c = sample_corpus();
+        let m = TfIdfModel::fit(&c).unwrap();
+        let doc = TermCounts::from_pairs(4, [(3, 100)]).unwrap();
+        assert!(m.transform(&doc).is_zero());
+    }
+
+    #[test]
+    fn raw_tf_mode_keeps_counts() {
+        let c = sample_corpus();
+        let m = TfIdfModel::fit_with(
+            &c,
+            TfIdfOptions { tf: TfMode::Raw, idf: IdfMode::Unit },
+        )
+        .unwrap();
+        let w = m.transform(c.doc(0).unwrap());
+        assert_eq!(w.get(0), 8.0);
+        assert_eq!(w.get(1), 2.0);
+    }
+
+    #[test]
+    fn sublinear_tf_mode() {
+        let c = sample_corpus();
+        let m = TfIdfModel::fit_with(
+            &c,
+            TfIdfOptions { tf: TfMode::Sublinear, idf: IdfMode::Unit },
+        )
+        .unwrap();
+        let w = m.transform(c.doc(0).unwrap());
+        assert!((w.get(0) - 9.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_idf_is_nonzero_for_ubiquitous_terms() {
+        let c = sample_corpus();
+        let m = TfIdfModel::fit_with(
+            &c,
+            TfIdfOptions { tf: TfMode::Normalized, idf: IdfMode::Smooth },
+        )
+        .unwrap();
+        assert!(m.idf(0) > 0.0);
+    }
+
+    #[test]
+    fn fit_transform_returns_all_documents() {
+        let c = sample_corpus();
+        let (m, vs) = TfIdfModel::fit_transform(&c).unwrap();
+        assert_eq!(vs.len(), 4);
+        assert_eq!(m.dim(), 4);
+        for v in &vs {
+            assert_eq!(v.dim(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model dimension")]
+    fn transform_rejects_wrong_dim() {
+        let m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        m.transform(&TermCounts::new(5));
+    }
+}

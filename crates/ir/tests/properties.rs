@@ -1,0 +1,193 @@
+//! Property-based tests for the vector space model.
+
+use fmeter_ir::{
+    cosine_similarity, euclidean_distance, manhattan_distance, minkowski_distance, Corpus,
+    Metric, SparseVec, TermCounts, TfIdfModel,
+};
+use proptest::prelude::*;
+
+const DIM: usize = 32;
+
+fn arb_sparse() -> impl Strategy<Value = SparseVec> {
+    prop::collection::vec((0u32..DIM as u32, -100.0f64..100.0), 0..16)
+        .prop_map(|pairs| SparseVec::from_pairs(DIM, pairs).expect("terms in range"))
+}
+
+fn arb_counts() -> impl Strategy<Value = TermCounts> {
+    prop::collection::vec((0u32..DIM as u32, 0u64..1000), 0..16)
+        .prop_map(|pairs| TermCounts::from_pairs(DIM, pairs).expect("terms in range"))
+}
+
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    prop::collection::vec(arb_counts(), 1..12).prop_map(|docs| docs.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn dense_round_trip_preserves_vector(v in arb_sparse()) {
+        let dense = v.to_dense();
+        let back = SparseVec::from_dense(&dense);
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn dot_is_commutative(a in arb_sparse(), b in arb_sparse()) {
+        let ab = a.dot(&b).unwrap();
+        let ba = b.dot(&a).unwrap();
+        prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dot_matches_dense_computation(a in arb_sparse(), b in arb_sparse()) {
+        let sparse = a.dot(&b).unwrap();
+        let dense: f64 = a
+            .to_dense()
+            .iter()
+            .zip(b.to_dense())
+            .map(|(x, y)| x * y)
+            .sum();
+        prop_assert!((sparse - dense).abs() <= 1e-9 * (1.0 + dense.abs()));
+    }
+
+    #[test]
+    fn addition_is_commutative(a in arb_sparse(), b in arb_sparse()) {
+        let l = a.add(&b).unwrap().to_dense();
+        let r = b.add(&a).unwrap().to_dense();
+        for (x, y) in l.iter().zip(&r) {
+            prop_assert!((x - y).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(a in arb_sparse(), b in arb_sparse()) {
+        let back = a.sub(&b).unwrap().add(&b).unwrap().to_dense();
+        for (x, y) in back.iter().zip(a.to_dense()) {
+            prop_assert!((x - y).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in arb_sparse(), b in arb_sparse()) {
+        let dot = a.dot(&b).unwrap().abs();
+        let bound = a.norm_l2() * b.norm_l2();
+        prop_assert!(dot <= bound + 1e-9 * (1.0 + bound));
+    }
+
+    #[test]
+    fn triangle_inequality_euclidean(
+        a in arb_sparse(),
+        b in arb_sparse(),
+        c in arb_sparse(),
+    ) {
+        let ab = euclidean_distance(&a, &b).unwrap();
+        let bc = euclidean_distance(&b, &c).unwrap();
+        let ac = euclidean_distance(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_manhattan(
+        a in arb_sparse(),
+        b in arb_sparse(),
+        c in arb_sparse(),
+    ) {
+        let ab = manhattan_distance(&a, &b).unwrap();
+        let bc = manhattan_distance(&b, &c).unwrap();
+        let ac = manhattan_distance(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_nonnegative(a in arb_sparse(), b in arb_sparse()) {
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Minkowski(3.0)] {
+            let d1 = metric.distance(&a, &b).unwrap();
+            let d2 = metric.distance(&b, &a).unwrap();
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() <= 1e-9 * (1.0 + d1));
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero(a in arb_sparse()) {
+        prop_assert_eq!(euclidean_distance(&a, &a).unwrap(), 0.0);
+        prop_assert_eq!(manhattan_distance(&a, &a).unwrap(), 0.0);
+        prop_assert_eq!(minkowski_distance(&a, &a, 4.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn minkowski_orders_are_monotone_decreasing(a in arb_sparse(), b in arb_sparse()) {
+        // For fixed vectors, d_p decreases (weakly) as p grows.
+        let d1 = minkowski_distance(&a, &b, 1.0).unwrap();
+        let d2 = minkowski_distance(&a, &b, 2.0).unwrap();
+        let d4 = minkowski_distance(&a, &b, 4.0).unwrap();
+        prop_assert!(d2 <= d1 + 1e-9);
+        prop_assert!(d4 <= d2 + 1e-9);
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_scale_invariant(
+        a in arb_sparse(),
+        b in arb_sparse(),
+        s in 0.01f64..100.0,
+    ) {
+        let c = cosine_similarity(&a, &b).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&c));
+        let c_scaled = cosine_similarity(&a.scaled(s), &b).unwrap();
+        prop_assert!((c - c_scaled).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn l2_normalization_is_idempotent_and_unit(a in arb_sparse()) {
+        let n = a.l2_normalized();
+        if !a.is_zero() {
+            prop_assert!((n.norm_l2() - 1.0).abs() <= 1e-9);
+        }
+        let nn = n.l2_normalized();
+        for (x, y) in n.to_dense().iter().zip(nn.to_dense()) {
+            prop_assert!((x - y).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn tfidf_weights_are_nonnegative_and_finite(corpus in arb_corpus()) {
+        let (model, vectors) = TfIdfModel::fit_transform(&corpus).unwrap();
+        prop_assert_eq!(model.num_docs(), corpus.len());
+        for v in vectors {
+            for (_, w) in v.iter() {
+                prop_assert!(w.is_finite());
+                prop_assert!(w >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tfidf_zero_for_ubiquitous_terms(corpus in arb_corpus()) {
+        let model = TfIdfModel::fit(&corpus).unwrap();
+        let df = corpus.document_frequencies();
+        for (term, &f) in df.iter().enumerate() {
+            if f as usize == corpus.len() {
+                prop_assert!(model.idf(term as u32).abs() <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn tfidf_idf_is_monotone_in_rarity(corpus in arb_corpus()) {
+        let model = TfIdfModel::fit(&corpus).unwrap();
+        let df = corpus.document_frequencies();
+        // Rarer terms never get smaller idf than more common (seen) terms.
+        for i in 0..df.len() {
+            for j in 0..df.len() {
+                if df[i] > 0 && df[j] > 0 && df[i] < df[j] {
+                    prop_assert!(model.idf(i as u32) >= model.idf(j as u32) - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn term_counts_total_matches_iter_sum(doc in arb_counts()) {
+        let total: u64 = doc.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(doc.total(), total);
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or driving the simulated kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A named function was referenced but does not exist in the symbol
+    /// table.
+    UnknownFunction(String),
+    /// A function id is out of range for the symbol table.
+    FunctionOutOfRange {
+        /// The offending id.
+        id: u32,
+        /// Number of functions in the table.
+        len: usize,
+    },
+    /// A CPU id is out of range for the machine.
+    CpuOutOfRange {
+        /// The offending CPU id.
+        cpu: usize,
+        /// Number of simulated CPUs.
+        num_cpus: usize,
+    },
+    /// The generated call graph contains a cycle (builder bug or bad
+    /// hand-wired edge).
+    CyclicCallGraph {
+        /// Name of a function on the cycle.
+        function: String,
+    },
+    /// A module with this name is already loaded / was not found.
+    ModuleNotLoaded(String),
+    /// A module with this name is already loaded.
+    ModuleAlreadyLoaded(String),
+    /// A debugfs path was not found.
+    NoSuchDebugfsFile(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnknownFunction(name) => {
+                write!(f, "unknown kernel function `{name}`")
+            }
+            KernelError::FunctionOutOfRange { id, len } => {
+                write!(f, "function id {id} out of range for symbol table of {len}")
+            }
+            KernelError::CpuOutOfRange { cpu, num_cpus } => {
+                write!(f, "cpu {cpu} out of range for machine with {num_cpus} cpus")
+            }
+            KernelError::CyclicCallGraph { function } => {
+                write!(f, "call graph contains a cycle through `{function}`")
+            }
+            KernelError::ModuleNotLoaded(name) => {
+                write!(f, "module `{name}` is not loaded")
+            }
+            KernelError::ModuleAlreadyLoaded(name) => {
+                write!(f, "module `{name}` is already loaded")
+            }
+            KernelError::NoSuchDebugfsFile(path) => {
+                write!(f, "no such debugfs file `{path}`")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            KernelError::UnknownFunction("foo".into()).to_string(),
+            "unknown kernel function `foo`"
+        );
+        assert_eq!(
+            KernelError::CpuOutOfRange { cpu: 17, num_cpus: 16 }.to_string(),
+            "cpu 17 out of range for machine with 16 cpus"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

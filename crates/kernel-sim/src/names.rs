@@ -1,0 +1,616 @@
+//! Kernel symbol name pools.
+//!
+//! Each subsystem gets a hand-authored set of *anchor* names (real Linux
+//! 2.6-era symbols — these are the functions op plans and hand-wired call
+//! edges reference) plus a deterministic generator that fills the subsystem
+//! out to its target population with plausible helper names.
+
+use crate::Subsystem;
+
+/// Hand-authored anchor symbols for a subsystem, in layer order.
+/// `anchors(s)[layer]` lists the anchor names placed at that layer.
+pub(crate) fn anchors(subsystem: Subsystem) -> &'static [&'static [&'static str]] {
+    match subsystem {
+        Subsystem::Syscall => &[
+            &[
+                "system_call", "sys_read", "sys_write", "sys_open", "sys_close", "sys_stat",
+                "sys_fstat", "sys_lstat", "sys_lseek", "sys_select", "sys_poll", "sys_mmap",
+                "sys_munmap", "sys_brk", "sys_fork", "sys_vfork", "sys_clone", "sys_execve",
+                "sys_exit", "sys_exit_group", "sys_wait4", "sys_pipe", "sys_fcntl",
+                "sys_ioctl", "sys_socketcall", "sys_socket", "sys_connect", "sys_accept",
+                "sys_sendto", "sys_recvfrom", "sys_sendmsg", "sys_recvmsg", "sys_sendfile64",
+                "sys_semget", "sys_semop", "sys_semtimedop", "sys_rt_sigaction",
+                "sys_rt_sigprocmask", "sys_rt_sigreturn", "sys_nanosleep", "sys_getpid",
+                "sys_getppid", "sys_gettimeofday", "sys_sched_yield", "sys_unlink",
+                "sys_mkdir", "sys_rename", "sys_fsync", "sys_getdents", "sys_getdents64",
+                "sys_dup2", "sys_kill", "sys_tgkill", "sys_futex", "sys_mprotect",
+            ],
+            &[
+                "syscall_trace_enter", "syscall_trace_leave", "audit_syscall_entry",
+                "audit_syscall_exit", "ret_from_sys_call", "do_notify_resume",
+                "int_ret_from_sys_call", "ptrace_notify",
+            ],
+        ],
+        Subsystem::Vfs => &[
+            &[
+                "vfs_read", "vfs_write", "do_sys_open", "filp_close", "vfs_stat", "vfs_fstat",
+                "vfs_lstat", "do_select", "core_sys_select", "do_sys_poll", "sys_pread64",
+                "vfs_readv", "vfs_writev", "do_sendfile", "vfs_fsync", "do_fcntl",
+                "fcntl_setlk", "vfs_create", "vfs_unlink", "vfs_mkdir", "vfs_rename",
+                "vfs_readdir", "vfs_llseek", "do_pipe_flags", "do_dup2",
+            ],
+            &[
+                "do_filp_open", "path_lookup", "do_path_lookup", "path_walk",
+                "link_path_walk", "fget_light", "fget", "fput", "__fput", "get_empty_filp",
+                "alloc_fd", "fd_install", "put_unused_fd", "expand_files",
+                "generic_file_aio_read", "generic_file_aio_write", "do_sync_read",
+                "do_sync_write", "generic_file_llseek", "rw_verify_area", "pipe_read",
+                "pipe_write", "pipe_poll", "cp_new_stat", "generic_file_open",
+                "may_open", "nameidata_to_filp", "posix_lock_file", "locks_remove_posix",
+                "__posix_lock_file", "generic_file_buffered_write",
+                "generic_file_direct_write", "do_readv_writev", "poll_initwait",
+                "poll_freewait", "__pollwait", "sys_epoll_wait_helper",
+            ],
+            &[
+                "do_lookup", "__link_path_walk", "pipe_wait", "permission", "generic_permission",
+                "exec_permission_lite", "dput", "dget", "d_lookup", "__d_lookup", "d_alloc",
+                "d_instantiate", "d_rehash", "d_invalidate", "dentry_open", "iget_locked",
+                "iput", "__iget", "new_inode", "inode_init_once", "touch_atime",
+                "file_update_time", "mnt_want_write", "mnt_drop_write", "follow_mount",
+                "__follow_mount", "mntput_no_expire", "mntget", "lookup_mnt",
+                "vfs_getattr", "generic_fillattr", "inode_permission", "file_move",
+                "file_kill", "notify_change", "inode_setattr",
+            ],
+            &[
+                "d_free", "d_kill", "dentry_iput", "inode_has_buffers", "ifind_fast",
+                "inode_sb_list_add", "wake_up_inode", "generic_drop_inode",
+                "destroy_inode", "prune_dcache_one", "shrink_dcache_parent_step",
+                "select_parent_step", "fasync_helper", "f_delown", "locks_alloc_lock",
+                "locks_free_lock", "locks_insert_lock", "locks_delete_lock",
+                "flock_lock_file", "vfsmount_lock_ping",
+            ],
+        ],
+        Subsystem::Ipc => &[
+            &[
+                "do_semtimedop", "sys_msgsnd_impl", "do_signal", "get_signal_to_deliver",
+                "do_sigaction", "sigprocmask", "do_group_exit_signal", "pipe_new",
+                "do_futex", "futex_wait", "futex_wake",
+            ],
+            &[
+                "try_atomic_semop", "sem_lock", "sem_unlock", "ipc_lock", "ipc_unlock",
+                "ipcperms", "update_queue", "freeary_step", "send_signal", "__send_signal",
+                "specific_send_sig_info", "force_sig_info", "handle_signal",
+                "setup_rt_frame", "signal_wake_up", "recalc_sigpending",
+                "dequeue_signal", "__dequeue_signal", "next_signal", "collect_signal",
+                "futex_hash_wait", "queue_me", "unqueue_me", "hash_futex",
+            ],
+            &[
+                "sem_revalidate", "ipc_checkid", "ipc_rcu_getref", "ipc_rcu_putref",
+                "sigqueue_alloc", "sigqueue_free", "__sigqueue_alloc", "__sigqueue_free",
+                "sig_ignored", "complete_signal", "rm_from_queue", "flush_sigqueue",
+                "get_futex_key", "drop_futex_key_refs", "futex_requeue_one",
+            ],
+        ],
+        Subsystem::Net => &[
+            &[
+                "sock_sendmsg", "sock_recvmsg", "sys_accept_impl", "inet_stream_connect",
+                "inet_accept", "inet_sendmsg", "inet_recvmsg", "sock_poll", "sock_ioctl",
+                "unix_stream_sendmsg", "unix_stream_recvmsg", "unix_stream_connect",
+                "unix_accept", "sock_create", "sock_release", "sock_aio_read",
+                "sock_aio_write", "netif_receive_skb", "netif_rx", "net_tx_action_entry",
+            ],
+            &[
+                "tcp_sendmsg", "tcp_recvmsg", "tcp_poll", "tcp_v4_connect",
+                "inet_csk_accept", "tcp_close", "tcp_push", "tcp_write_xmit",
+                "__tcp_push_pending_frames", "tcp_v4_rcv", "tcp_rcv_established",
+                "tcp_data_queue", "tcp_ack", "tcp_send_ack", "tcp_send_delayed_ack",
+                "tcp_clean_rtx_queue", "tcp_v4_do_rcv", "tcp_prequeue_process",
+                "udp_sendmsg", "udp_recvmsg", "unix_dgram_sendmsg", "unix_dgram_recvmsg",
+                "unix_create1", "unix_release_sock", "inet_lro_receive_skb",
+                "lro_flush_all", "sock_def_readable", "sock_def_write_space",
+                "sk_stream_wait_memory", "sock_wfree", "sock_rfree", "skb_free_datagram",
+                "skb_recv_datagram", "skb_copy_datagram_iovec",
+            ],
+            &[
+                "tcp_transmit_skb", "tcp_v4_send_check", "tcp_current_mss",
+                "tcp_init_tso_segs", "tcp_event_data_sent", "tcp_rearm_rto",
+                "tcp_schedule_loss_probe", "ip_queue_xmit", "ip_local_out", "ip_output",
+                "ip_finish_output", "ip_finish_output2", "ip_rcv", "ip_rcv_finish",
+                "ip_local_deliver", "ip_local_deliver_finish", "ip_route_input",
+                "ip_route_output_flow", "__ip_route_output_key", "rt_hash_code_fn",
+                "arp_find_entry", "neigh_resolve_output", "neigh_lookup", "dst_release",
+                "dst_hold_fn", "sk_stream_alloc_skb", "tcp_established_options",
+                "tcp_options_write", "inet_ehash_locate", "__inet_lookup_established",
+                "tcp_parse_options", "tcp_urg_check", "tcp_fast_path_check",
+            ],
+            &[
+                "dev_queue_xmit", "dev_hard_start_xmit", "eth_type_trans", "eth_header",
+                "alloc_skb", "__alloc_skb", "kfree_skb", "__kfree_skb", "skb_release_data",
+                "skb_put", "skb_pull", "skb_push", "skb_reserve", "skb_clone", "skb_copy",
+                "pskb_expand_head", "skb_checksum", "skb_copy_bits",
+                "skb_copy_and_csum_bits", "netdev_alloc_skb", "napi_schedule_fn",
+                "__napi_complete", "qdisc_run", "__qdisc_run", "pfifo_fast_enqueue",
+                "pfifo_fast_dequeue", "netif_schedule_queue", "loopback_xmit",
+                "csum_tcpudp_magic_fn", "skb_linearize",
+            ],
+        ],
+        Subsystem::Fs => &[
+            &[
+                "ext3_file_write_entry", "ext3_readpage", "ext3_writepage", "ext3_lookup",
+                "ext3_create", "ext3_unlink", "ext3_mkdir", "ext3_rename", "ext3_readdir",
+                "ext3_sync_file", "ext3_write_begin", "ext3_ordered_write_end",
+                "ext3_dirty_inode", "ext3_setattr", "ext3_getattr", "ext3_permission_hook",
+                "ext3_release_file", "ext3_open_file",
+            ],
+            &[
+                "ext3_get_block", "ext3_get_blocks_handle", "ext3_new_block",
+                "ext3_new_blocks", "ext3_free_blocks", "ext3_alloc_branch",
+                "ext3_find_entry", "ext3_add_entry", "ext3_delete_entry",
+                "ext3_mark_inode_dirty", "ext3_reserve_inode_write",
+                "ext3_mark_iloc_dirty", "ext3_get_inode_loc", "ext3_read_inode_bh",
+                "ext3_block_to_path", "ext3_get_branch", "ext3_find_near",
+                "ext3_find_goal", "ext3_splice_branch", "ext3_truncate_step",
+                "ext3_orphan_add", "ext3_orphan_del", "ext3_journalled_writepage_step",
+            ],
+            &[
+                "journal_start", "journal_stop", "journal_extend", "journal_restart",
+                "journal_get_write_access", "do_get_write_access",
+                "journal_dirty_metadata", "journal_dirty_data", "journal_forget",
+                "journal_add_journal_head", "journal_put_journal_head",
+                "journal_cancel_revoke", "journal_commit_transaction_step",
+                "start_this_handle", "new_handle", "add_transaction_credits",
+                "__journal_file_buffer", "__journal_refile_buffer",
+                "__journal_unfile_buffer", "journal_write_metadata_buffer",
+            ],
+            &[
+                "block_write_begin", "__block_prepare_write", "block_commit_write",
+                "generic_write_end", "block_read_full_page", "mpage_readpage",
+                "mpage_writepage", "do_mpage_readpage", "submit_bh", "sync_dirty_buffer",
+                "mark_buffer_dirty", "__set_page_dirty_buffers", "create_empty_buffers",
+                "alloc_buffer_head", "free_buffer_head", "__getblk", "__find_get_block",
+                "__bread", "ll_rw_block", "unmap_underlying_metadata", "brelse_fn",
+                "__brelse", "bh_lru_install", "lookup_bh_lru", "init_buffer",
+                "end_buffer_read_sync", "end_buffer_write_sync", "try_to_free_buffers",
+            ],
+        ],
+        Subsystem::Block => &[
+            &[
+                "generic_make_request", "submit_bio", "blk_backing_dev_unplug",
+                "generic_unplug_device", "blk_run_queue", "blk_start_queueing",
+                "elv_next_request", "blk_complete_request_entry",
+            ],
+            &[
+                "__make_request", "__generic_unplug_device", "blk_plug_device",
+                "blk_remove_plug", "elv_merge", "elv_insert", "__elv_add_request",
+                "elv_rqhash_find", "elv_rqhash_add", "attempt_back_merge",
+                "ll_back_merge_fn", "blk_rq_map_sg", "get_request", "get_request_wait",
+                "freed_request", "blk_alloc_request", "blk_rq_init",
+                "cfq_insert_request", "cfq_dispatch_requests", "cfq_set_request",
+                "cfq_merge", "cfq_completed_request", "cfq_service_tree_add",
+                "elv_dispatch_sort", "elv_completed_request", "blk_queue_bounce_check",
+            ],
+            &[
+                "scsi_request_fn", "scsi_dispatch_cmd", "scsi_init_io", "scsi_done_entry",
+                "scsi_softirq_done", "scsi_io_completion", "scsi_end_request",
+                "scsi_next_command", "scsi_run_queue", "scsi_get_command",
+                "scsi_put_command", "scsi_setup_fs_cmnd", "scsi_prep_state_check",
+                "sd_prep_fn", "sd_done", "ata_qc_issue_stub", "ahci_qc_issue_stub",
+                "ahci_interrupt_stub",
+            ],
+            &[
+                "bio_alloc", "bio_alloc_bioset", "bio_put", "bio_free", "bio_endio",
+                "bio_add_page", "__bio_add_page", "bio_get_nr_vecs", "bvec_alloc_bs",
+                "bvec_free_bs", "blk_rq_timed_out_timer_fn", "blk_add_timer",
+                "blk_delete_timer", "end_that_request_data", "__end_that_request_first",
+                "update_io_ticks", "disk_map_sector_rcu", "part_round_stats",
+                "blk_account_io_completion", "blk_account_io_done",
+            ],
+        ],
+        Subsystem::Irq => &[
+            &[
+                "do_IRQ", "smp_apic_timer_interrupt", "do_softirq", "__do_softirq",
+                "irq_enter", "irq_exit", "net_rx_action", "net_tx_action",
+                "run_timer_softirq", "tasklet_action", "blk_done_softirq", "rcu_softirq",
+            ],
+            &[
+                "handle_irq", "handle_edge_irq", "handle_fasteoi_irq", "handle_IRQ_event",
+                "note_interrupt", "ack_apic_edge", "ack_apic_level", "mask_ack_irq_fn",
+                "irq_to_desc", "raise_softirq", "raise_softirq_irqoff", "wakeup_softirqd",
+                "__tasklet_schedule", "tasklet_hi_action", "ksoftirqd_should_run",
+                "local_apic_timer_interrupt",
+            ],
+            &[
+                "run_local_timers", "update_process_times", "hrtimer_interrupt",
+                "hrtimer_run_queues", "tick_sched_timer", "tick_handle_periodic",
+                "account_system_time", "account_user_time", "account_idle_time",
+                "run_posix_cpu_timers", "__run_timers", "cascade_timers",
+                "internal_add_timer", "lock_timer_base", "mod_timer", "add_timer",
+                "del_timer", "detach_timer", "call_timer_fn", "process_timeout",
+                "hrtimer_start_range_ns", "__hrtimer_start_range_ns", "enqueue_hrtimer",
+                "__remove_hrtimer", "hrtimer_forward", "apic_write_stub", "ack_APIC_irq",
+            ],
+        ],
+        Subsystem::Sched => &[
+            &[
+                "schedule", "do_fork", "do_exit", "do_wait", "do_execve", "kernel_thread",
+                "wake_up_process", "wake_up_new_task", "__wake_up", "complete",
+                "wait_for_completion", "schedule_timeout", "yield_entry", "io_schedule",
+                "cond_resched_entry", "preempt_schedule",
+            ],
+            &[
+                "copy_process", "dup_task_struct", "copy_files", "copy_fs", "copy_mm",
+                "copy_sighand", "copy_signal", "copy_thread", "alloc_pid", "free_pid",
+                "exit_notify", "release_task", "forget_original_parent", "exit_files",
+                "exit_fs", "exit_sem", "__exit_signal", "wait_task_zombie",
+                "wait_consider_task", "search_binary_handler", "load_elf_binary",
+                "flush_old_exec", "setup_arg_pages", "context_switch", "pick_next_task",
+                "pick_next_task_fair", "put_prev_task_fair", "try_to_wake_up",
+                "__wake_up_common", "sched_fork", "sched_exec",
+            ],
+            &[
+                "enqueue_task_fair", "dequeue_task_fair", "enqueue_entity",
+                "dequeue_entity", "update_curr", "update_rq_clock", "set_next_entity",
+                "pick_next_entity", "check_preempt_wakeup", "check_preempt_curr",
+                "resched_task", "activate_task", "deactivate_task", "effective_load",
+                "task_tick_fair", "entity_tick", "scheduler_tick", "sched_clock_tick",
+                "update_cpu_load", "calc_load_account_active", "load_balance_tick",
+                "idle_balance", "find_busiest_group", "move_tasks_step",
+                "prepare_to_wait", "finish_wait", "autoremove_wake_function",
+                "default_wake_function", "add_wait_queue", "remove_wait_queue",
+                "prepare_task_switch", "finish_task_switch",
+            ],
+            &[
+                "__switch_to", "switch_mm", "enter_lazy_tlb", "native_load_sp0",
+                "native_load_tls", "update_min_vruntime", "__enqueue_entity",
+                "__dequeue_entity", "account_entity_enqueue", "account_entity_dequeue",
+                "place_entity", "sched_slice", "sched_vslice", "calc_delta_fair",
+                "calc_delta_mine", "hrtick_start_fair", "cpuacct_charge",
+                "sched_info_queued", "sched_info_switch", "set_task_cpu",
+                "task_rq_lock", "task_rq_unlock", "double_rq_lock", "double_rq_unlock",
+            ],
+        ],
+        Subsystem::Mm => &[
+            &[
+                "do_page_fault", "handle_mm_fault", "do_mmap_pgoff", "do_munmap",
+                "do_brk", "sys_mprotect_impl", "get_user_pages", "do_mremap",
+                "vm_mmap_pgoff", "expand_stack",
+            ],
+            &[
+                "__do_fault", "do_anonymous_page", "do_wp_page", "do_swap_page",
+                "do_linear_fault", "filemap_fault", "mmap_region", "find_vma",
+                "find_vma_prepare", "find_vma_prev", "vma_adjust", "vma_merge",
+                "split_vma", "insert_vm_struct", "unmap_region", "unmap_vmas",
+                "zap_page_range", "copy_page_range", "dup_mm", "mm_init_fn", "mmput",
+                "exit_mmap", "anon_vma_prepare", "anon_vma_link", "vm_normal_page",
+                "generic_file_mmap", "vma_link", "remove_vma", "may_expand_vm",
+                "acct_stack_growth",
+            ],
+            &[
+                "find_get_page", "find_lock_page", "add_to_page_cache_lru",
+                "add_to_page_cache_locked", "remove_from_page_cache", "unlock_page",
+                "__lock_page", "wait_on_page_bit", "wake_up_page", "mark_page_accessed",
+                "lru_cache_add_active", "lru_cache_add_file", "activate_page",
+                "page_add_new_anon_rmap", "page_add_file_rmap", "page_remove_rmap",
+                "page_referenced", "try_to_unmap_one_step", "shrink_page_list_step",
+                "page_cache_sync_readahead", "page_cache_async_readahead",
+                "ondemand_readahead", "ra_submit", "read_pages", "grab_cache_page_write_begin",
+                "pagevec_lru_add_fn", "release_pages", "pagecache_get_page",
+            ],
+            &[
+                "__alloc_pages_internal", "get_page_from_freelist", "buffered_rmqueue",
+                "rmqueue_bulk", "__rmqueue", "free_hot_cold_page", "__free_pages",
+                "free_pages_bulk", "__page_cache_release", "put_page", "get_page_fn",
+                "page_zone_fn", "zone_watermark_ok", "wakeup_kswapd", "try_to_free_pages_step",
+                "pte_alloc_one", "pte_alloc_map_lock", "pmd_alloc_fn", "pud_alloc_fn",
+                "pgd_alloc_fn", "pte_offset_map_lock_fn", "flush_tlb_page", "flush_tlb_mm",
+                "flush_tlb_range", "native_flush_tlb_single", "zap_pte_range",
+                "copy_pte_range", "copy_one_pte", "set_pte_at_fn", "page_table_range_init",
+                "__inc_zone_page_state", "__dec_zone_page_state", "zone_statistics",
+            ],
+        ],
+        Subsystem::Security => &[
+            &[
+                "security_file_permission", "security_inode_permission",
+                "security_inode_create", "security_inode_unlink", "security_inode_mkdir",
+                "security_socket_sendmsg", "security_socket_recvmsg",
+                "security_socket_create", "security_socket_accept",
+                "security_socket_connect", "security_task_create", "security_task_kill",
+                "security_vm_enough_memory", "security_file_lock", "security_file_fcntl",
+                "security_sem_semop", "security_file_mmap", "security_bprm_check",
+            ],
+            &[
+                "cap_file_permission", "cap_inode_permission", "cap_vm_enough_memory",
+                "cap_task_kill_check", "cap_capable", "cap_socket_create_check",
+                "cap_bprm_set_security", "cap_capget", "cap_capset_check",
+                "security_ops_dispatch", "cred_has_capability",
+            ],
+        ],
+        Subsystem::Time => &[
+            &[
+                "ktime_get", "ktime_get_ts", "getnstimeofday", "do_gettimeofday",
+                "current_kernel_time", "jiffies_to_timeval", "jiffies_to_usecs_fn",
+                "timespec_to_ktime_fn", "get_seconds_fn", "sched_clock",
+            ],
+            &[
+                "clocksource_read_tsc", "native_read_tsc", "cycles_2_ns",
+                "timekeeping_get_ns", "update_wall_time_step", "update_xtime_cache",
+                "set_normalized_timespec", "timespec_add_ns_fn", "ns_to_timeval_fn",
+                "monotonic_to_bootbased", "tsc_khz_read",
+            ],
+        ],
+        Subsystem::Slab => &[
+            &[
+                "__kmalloc", "kfree", "kmem_cache_alloc", "kmem_cache_free",
+                "kmem_cache_alloc_node", "kmem_cache_zalloc_fn", "krealloc_fn",
+                "kstrdup_fn", "kmemdup_fn", "__kzalloc",
+            ],
+            &[
+                "cache_alloc_refill", "cache_flusharray", "cache_grow", "cache_reap_step",
+                "free_block", "slab_get_obj", "slab_put_obj", "check_poison_obj_stub",
+                "kmem_getpages", "kmem_freepages", "transfer_objects",
+                "____cache_alloc", "____cache_alloc_node", "cache_free_alien",
+                "drain_array_step", "ac_get_obj", "ac_put_obj",
+            ],
+        ],
+        Subsystem::Locking => &[
+            &[
+                "_spin_lock", "_spin_unlock", "_spin_lock_irqsave", "_spin_unlock_irqrestore",
+                "_spin_lock_irq", "_spin_unlock_irq", "_spin_lock_bh", "_spin_unlock_bh",
+                "_read_lock", "_read_unlock", "_write_lock", "_write_unlock",
+                "mutex_lock", "mutex_unlock", "down_read", "up_read", "down_write",
+                "up_write", "local_bh_disable", "local_bh_enable",
+                "add_preempt_count", "sub_preempt_count",
+            ],
+            &[
+                "__mutex_lock_slowpath", "__mutex_unlock_slowpath", "mutex_spin_on_owner",
+                "rwsem_down_read_failed", "rwsem_down_write_failed", "rwsem_wake",
+                "__down_read", "__up_read", "__down_write", "__up_write",
+                "_atomic_dec_and_lock", "__rcu_read_lock_fn", "__rcu_read_unlock_fn",
+                "call_rcu", "rcu_process_callbacks", "rcu_check_callbacks",
+                "__rcu_process_callbacks", "rcu_do_batch", "force_quiescent_state_fn",
+                "lock_acquire_stub", "lock_release_stub",
+            ],
+        ],
+        Subsystem::Util => &[
+            &[
+                "memcpy", "memset", "memcmp", "memmove", "strlen", "strcmp", "strncmp",
+                "strcpy", "strncpy", "strlcpy", "strchr", "strsep_fn", "snprintf",
+                "vsnprintf", "sprintf_fn", "copy_to_user", "copy_from_user",
+                "copy_user_generic", "strncpy_from_user", "strnlen_user", "clear_user",
+                "__get_user_4", "__put_user_4",
+            ],
+            &[
+                "radix_tree_lookup", "radix_tree_insert", "radix_tree_delete",
+                "radix_tree_gang_lookup", "radix_tree_tag_set", "radix_tree_tag_clear",
+                "radix_tree_preload", "rb_insert_color", "rb_erase", "rb_next", "rb_prev",
+                "rb_first", "rb_last", "idr_find", "idr_get_new", "idr_remove",
+                "idr_pre_get", "find_next_bit", "find_first_bit", "find_next_zero_bit",
+                "find_first_zero_bit", "bitmap_weight_fn", "hweight32_fn", "hweight64_fn",
+                "csum_partial", "csum_partial_copy_generic", "crc32_le", "crc32c_fn",
+                "kref_get", "kref_put", "kobject_get", "kobject_put", "kobject_uevent_stub",
+                "prio_tree_insert", "prio_tree_remove", "prio_tree_next",
+                "hash_long_fn", "hash_64_fn", "jhash_fn", "jhash2_fn",
+                "list_sort_fn", "sort_fn", "bsearch_fn", "get_random_bytes_stub",
+            ],
+        ],
+    }
+}
+
+/// Per-subsystem generator vocabulary: (prefixes, stems, suffixes).
+/// Filler names are formed as `{prefix}{stem}{suffix}` with deterministic
+/// selection; collisions get a numeric tail.
+pub(crate) fn vocabulary(
+    subsystem: Subsystem,
+) -> (&'static [&'static str], &'static [&'static str], &'static [&'static str]) {
+    const SUFFIXES: &[&str] = &[
+        "", "_slow", "_fast", "_locked", "_unlocked", "_nolock", "_rcu", "_atomic",
+        "_one", "_all", "_range", "_begin", "_end", "_commit", "_prepare", "_finish",
+        "_common", "_internal", "_helper", "_nowait", "_sync", "_async", "_bulk",
+        "_cached", "_uncached", "_irq", "_noirq", "_check", "_update", "_init",
+    ];
+    match subsystem {
+        Subsystem::Syscall => (
+            &["sys_", "compat_sys_", "do_", "__"],
+            &[
+                "arch_prctl", "sysctl", "getrlimit", "setrlimit", "umask", "uname",
+                "sysinfo", "personality", "prctl", "capget", "capset", "times",
+                "getrusage", "getgroups", "setgroups", "setpgid", "getsid", "setsid",
+                "getpriority", "setpriority", "sigaltstack", "sigpending", "sigsuspend",
+                "alarm", "pause", "setitimer", "getitimer", "utime", "access", "chdir",
+                "fchdir", "chroot", "chmod", "fchmod", "chown", "fchown", "truncate",
+                "ftruncate", "link", "symlink", "readlink", "mknod", "statfs", "fstatfs",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Vfs => (
+            &["", "__", "do_", "vfs_", "generic_"],
+            &[
+                "dcache_scan", "inode_walk", "path_validate", "mount_traverse",
+                "namei_step", "dentry_hash", "inode_dirty", "writeback_single",
+                "sb_sync", "file_table_scan", "fd_expand", "ioctx_lookup", "aio_submit",
+                "aio_complete", "splice_to_pipe", "splice_from_pipe", "pipe_buf_map",
+                "pipe_buf_release", "epoll_ctl_walk", "epoll_transfer", "seq_printf_pad",
+                "seq_read_iter", "super_lookup", "sb_lock_walk", "fs_may_remount",
+                "inotify_queue", "inotify_handle", "dnotify_parent", "lease_break",
+                "lease_modify", "lock_get_status", "mount_hash", "mnt_flush",
+                "path_release", "follow_link_step", "page_symlink", "readdir_fill",
+                "dir_emit_step", "file_ra_state", "ra_adjust",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Ipc => (
+            &["", "__", "ipc_", "sig_", "sem_", "msg_", "shm_"],
+            &[
+                "queue_wakeup", "undo_list_walk", "perm_check", "ns_lookup", "id_alloc",
+                "id_free", "array_grow", "array_shrink", "pending_scan", "notify_send",
+                "timedwait_step", "frame_setup", "frame_restore", "stack_expand",
+                "handler_invoke", "mask_update", "pending_retarget", "queue_flush",
+                "shp_attach", "shp_detach", "msgq_send", "msgq_receive",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Net => (
+            &["", "__", "tcp_", "ip_", "sock_", "skb_", "net_", "inet_", "eth_", "dev_"],
+            &[
+                "cwnd_adjust", "rtt_estimate", "sack_process", "fack_count",
+                "retrans_queue", "wmem_schedule", "rmem_schedule", "moderate_rcvbuf",
+                "frag_reassemble", "route_hash", "neigh_update", "pmtu_discover",
+                "keepalive_timer", "delack_timer", "persist_timer", "syn_queue_add",
+                "accept_queue_pop", "listen_overflow", "window_update", "zerocopy_map",
+                "gro_merge", "gso_segment", "csum_validate", "header_build",
+                "header_parse", "addr_compare", "port_rover", "bind_conflict",
+                "ehash_insert", "ehash_remove", "bhash_lookup", "timewait_schedule",
+                "mtu_probe", "nagle_check", "cork_release", "poll_wait_net",
+                "backlog_rcv", "prequeue_add", "ofo_queue_insert", "rcvbuf_collapse",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Fs => (
+            &["ext3_", "journal_", "jbd_", "__", ""],
+            &[
+                "bitmap_load", "bitmap_scan", "group_desc_read", "inode_bitmap",
+                "block_bitmap", "reservation_window", "rsv_alloc", "rsv_discard",
+                "dir_hash", "htree_probe", "htree_split", "extent_probe", "xattr_get",
+                "xattr_set", "xattr_cache", "acl_check", "acl_load", "quota_charge",
+                "quota_release", "orphan_scan", "resize_step", "revoke_record",
+                "checkpoint_push", "checkpoint_drop", "log_space_wait", "log_do_commit",
+                "buffer_trigger", "handle_credit", "sb_feature_check", "balloc_debug",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Block => (
+            &["blk_", "elv_", "cfq_", "scsi_", "bio_", "__", "sd_", "disk_"],
+            &[
+                "queue_drain", "queue_congest", "rq_merge", "rq_sort", "rq_account",
+                "tag_alloc", "tag_free", "segment_count", "bounce_map", "integrity_check",
+                "timeout_scan", "softirq_raise", "cmd_build", "sense_decode",
+                "device_probe_step", "partition_remap", "stat_accum", "iosched_tick",
+                "dispatch_budget", "service_shift", "queue_split", "congestion_wait_step",
+                "barrier_flush", "ordered_seq",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Irq => (
+            &["", "__", "irq_", "softirq_", "timer_", "hrtimer_", "apic_", "tick_"],
+            &[
+                "vector_alloc", "vector_free", "affinity_set", "migrate_step", "poll_spurious",
+                "desc_walk", "wheel_cascade", "wheel_collect", "slack_estimate",
+                "base_switch", "clockevent_program", "broadcast_mask", "oneshot_program",
+                "jiffies_update", "pending_mask", "thread_wake", "eoi_send",
+                "storm_detect", "latency_trace",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Sched => (
+            &["", "__", "sched_", "task_", "rq_", "cfs_", "rt_", "wake_"],
+            &[
+                "vruntime_scale", "load_update", "weight_recalc", "domain_walk",
+                "group_share", "sleeper_credit", "buddy_pick", "throttle_check",
+                "bandwidth_refill", "migrate_degrade", "affine_test", "cache_hot_test",
+                "cpu_pick_idle", "nohz_kick", "stat_account", "prio_recalc",
+                "boost_apply", "burst_track", "latency_probe", "runqueue_shuffle",
+                "cpuset_filter", "cgroup_charge",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Mm => (
+            &["", "__", "page_", "vma_", "pte_", "zone_", "anon_", "swap_", "shmem_"],
+            &[
+                "lru_rotate", "lru_isolate", "reclaim_scan", "writeback_throttle",
+                "dirty_balance", "dirty_ratelimit", "wmark_check", "compaction_step",
+                "migrate_entry", "mlock_apply", "unevictable_move", "refault_track",
+                "fault_around", "numa_hint", "policy_lookup", "mempolicy_rebind",
+                "pgtable_walk", "huge_split", "cow_break", "readahead_window",
+                "cache_charge", "cache_uncharge", "pcp_refill", "pcp_drain",
+                "buddy_merge", "buddy_split", "watermark_boost",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Security => (
+            &["security_", "cap_", "lsm_", "cred_"],
+            &[
+                "ptrace_check", "settime_check", "netlink_check", "msg_perm",
+                "shm_perm", "sem_perm", "key_perm", "getprocattr", "setprocattr",
+                "secid_lookup", "context_compute", "audit_record",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Time => (
+            &["", "__", "ktime_", "clock_", "ntp_", "tk_"],
+            &[
+                "offset_fold", "shift_adjust", "mult_update", "error_accum",
+                "leap_check", "freq_adjust", "wall_to_mono", "raw_advance",
+                "vsyscall_update", "resolution_get",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Slab => (
+            &["", "__", "kmem_", "slab_", "cache_"],
+            &[
+                "colour_next", "order_calc", "objcount_tune", "shared_drain",
+                "alien_drain", "node_refill", "partial_scan", "freelist_walk",
+                "ctor_invoke", "poison_fill", "redzone_check", "shrink_node",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Locking => (
+            &["", "__", "rcu_", "mutex_", "rwsem_", "spin_", "seq_"],
+            &[
+                "owner_spin", "waiter_queue", "waiter_wake", "grace_advance",
+                "callback_drain", "batch_limit", "qlen_track", "contention_probe",
+                "fastpath_try", "slowpath_enter", "seqcount_retry", "ticket_advance",
+            ],
+            SUFFIXES,
+        ),
+        Subsystem::Util => (
+            &["", "__", "str", "mem", "bitmap_", "list_", "hash_", "vsprintf_"],
+            &[
+                "scan_step", "format_field", "digit_emit", "pad_emit", "token_next",
+                "span_measure", "region_copy", "region_fill", "table_grow",
+                "table_probe", "chain_walk", "node_rotate", "entropy_mix",
+                "checksum_fold", "escape_emit", "parse_int", "parse_args_step",
+                "cmp_generic", "swap_generic", "heapify_step",
+            ],
+            SUFFIXES,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_subsystem_has_anchors_and_vocabulary() {
+        for s in Subsystem::ALL {
+            let a = anchors(s);
+            assert!(!a.is_empty(), "{s} has no anchor layers");
+            assert!(!a[0].is_empty(), "{s} has no layer-0 anchors");
+            let (prefixes, stems, suffixes) = vocabulary(s);
+            assert!(!prefixes.is_empty() && !stems.is_empty() && !suffixes.is_empty());
+        }
+    }
+
+    #[test]
+    fn anchor_names_are_globally_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Subsystem::ALL {
+            for layer in anchors(s) {
+                for name in *layer {
+                    assert!(seen.insert(*name), "duplicate anchor `{name}` (in {s})");
+                }
+            }
+        }
+        // Sanity: a healthy number of hand-authored anchors.
+        assert!(seen.len() > 500, "only {} anchors", seen.len());
+    }
+
+    #[test]
+    fn well_known_symbols_exist() {
+        let vfs: Vec<&str> = anchors(Subsystem::Vfs).iter().flat_map(|l| l.iter().copied()).collect();
+        assert!(vfs.contains(&"vfs_read"));
+        let net: Vec<&str> = anchors(Subsystem::Net).iter().flat_map(|l| l.iter().copied()).collect();
+        assert!(net.contains(&"tcp_sendmsg"));
+        assert!(net.contains(&"netif_receive_skb"));
+    }
+}

@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+use fmeter_ir::IrError;
+
+/// Errors produced by the learning crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// No data points were supplied.
+    EmptyInput,
+    /// The number of labels differs from the number of vectors.
+    LabelCountMismatch {
+        /// Number of vectors supplied.
+        vectors: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// Fewer data points than requested clusters/folds.
+    NotEnoughData {
+        /// Points available.
+        have: usize,
+        /// Points required.
+        need: usize,
+    },
+    /// A configuration value is out of range (message explains which).
+    InvalidConfig(String),
+    /// Binary classification requires both a positive and a negative example.
+    SingleClass,
+    /// An underlying vector-space error (dimension mismatch etc.).
+    Ir(IrError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyInput => write!(f, "no data points supplied"),
+            MlError::LabelCountMismatch { vectors, labels } => {
+                write!(f, "label count mismatch: {vectors} vectors vs {labels} labels")
+            }
+            MlError::NotEnoughData { have, need } => {
+                write!(f, "not enough data points: have {have}, need {need}")
+            }
+            MlError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MlError::SingleClass => {
+                write!(f, "training data must contain both classes")
+            }
+            MlError::Ir(e) => write!(f, "vector space error: {e}"),
+        }
+    }
+}
+
+impl Error for MlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MlError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<IrError> for MlError {
+    fn from(e: IrError) -> Self {
+        MlError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MlError::EmptyInput.to_string(), "no data points supplied");
+        assert_eq!(
+            MlError::NotEnoughData { have: 1, need: 3 }.to_string(),
+            "not enough data points: have 1, need 3"
+        );
+    }
+
+    #[test]
+    fn source_chains_to_ir_error() {
+        let e = MlError::from(IrError::EmptyCorpus);
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

@@ -1,0 +1,403 @@
+use fmeter_ir::{Metric, SparseVec};
+use serde::{Deserialize, Serialize};
+
+use crate::MlError;
+
+/// Linkage criterion for agglomerative clustering.
+///
+/// The paper implements complete-, single-, and average-linkage and reports
+/// single-linkage results (Figure 4); the flavours behave similarly on
+/// Fmeter signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Distance between clusters = minimum pairwise distance.
+    #[default]
+    Single,
+    /// Distance between clusters = maximum pairwise distance.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA).
+    Average,
+}
+
+/// One merge step of the agglomeration, in scipy-style linkage format.
+///
+/// Nodes `0..n` are the original points; merge `i` creates node `n + i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged node id.
+    pub left: usize,
+    /// Second merged node id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of original points under the new node.
+    pub size: usize,
+}
+
+/// The full merge tree produced by [`Agglomerative::fit`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dendrogram {
+    num_points: usize,
+    merges: Vec<Merge>,
+}
+
+/// Agglomerative hierarchical clustering.
+///
+/// Starts from singleton clusters and repeatedly merges the closest pair
+/// under the configured [`Linkage`], using the Lance–Williams update to
+/// maintain inter-cluster distances in O(n²) per merge.
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::SparseVec;
+/// use fmeter_ml::{Agglomerative, Linkage};
+///
+/// let pts = vec![
+///     SparseVec::from_pairs(2, [(0, 0.0)]).unwrap(),
+///     SparseVec::from_pairs(2, [(0, 0.1)]).unwrap(),
+///     SparseVec::from_pairs(2, [(0, 9.0)]).unwrap(),
+///     SparseVec::from_pairs(2, [(0, 9.1)]).unwrap(),
+/// ];
+/// let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+/// let cut = tree.cut(2);
+/// assert_eq!(cut[0], cut[1]);
+/// assert_ne!(cut[0], cut[2]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Agglomerative {
+    linkage: Linkage,
+    metric: Metric,
+}
+
+impl Agglomerative {
+    /// Creates a clusterer with the given linkage and Euclidean distance.
+    pub fn new(linkage: Linkage) -> Self {
+        Agglomerative { linkage, metric: Metric::Euclidean }
+    }
+
+    /// Sets the point-to-point distance metric (default Euclidean).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Builds the full dendrogram over `points`.
+    ///
+    /// Ties in the minimum distance break towards the smallest node ids,
+    /// making the tree deterministic.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::EmptyInput`] when no points are given,
+    /// * [`MlError::Ir`] when points disagree on dimensionality.
+    pub fn fit(&self, points: &[SparseVec]) -> Result<Dendrogram, MlError> {
+        let n = points.len();
+        if n == 0 {
+            return Err(MlError::EmptyInput);
+        }
+        // Pairwise distance matrix between *active* nodes, indexed by slot.
+        // Slot i < n is point i; merged clusters reuse the lower slot.
+        let mut dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.metric.distance(&points[i], &points[j])?;
+                dist[i][j] = d;
+                dist[j][i] = d;
+            }
+        }
+        let mut active: Vec<bool> = vec![true; n];
+        // node id of the cluster currently occupying each slot
+        let mut node_of_slot: Vec<usize> = (0..n).collect();
+        let mut size_of_slot: Vec<usize> = vec![1; n];
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        for step in 0..n.saturating_sub(1) {
+            // Find the closest active pair (i < j), ties to smallest ids.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if !active[j] {
+                        continue;
+                    }
+                    let d = dist[i][j];
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bd)) => d < bd,
+                    };
+                    if better {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+            let (i, j, d) = best.expect("at least two active slots remain");
+            let new_node = n + step;
+            let new_size = size_of_slot[i] + size_of_slot[j];
+            merges.push(Merge {
+                left: node_of_slot[i],
+                right: node_of_slot[j],
+                distance: d,
+                size: new_size,
+            });
+            // Lance–Williams update into slot i; slot j is retired.
+            for k in 0..n {
+                if !active[k] || k == i || k == j {
+                    continue;
+                }
+                let dik = dist[i][k];
+                let djk = dist[j][k];
+                let updated = match self.linkage {
+                    Linkage::Single => dik.min(djk),
+                    Linkage::Complete => dik.max(djk),
+                    Linkage::Average => {
+                        let (si, sj) = (size_of_slot[i] as f64, size_of_slot[j] as f64);
+                        (si * dik + sj * djk) / (si + sj)
+                    }
+                };
+                dist[i][k] = updated;
+                dist[k][i] = updated;
+            }
+            active[j] = false;
+            node_of_slot[i] = new_node;
+            size_of_slot[i] = new_size;
+        }
+        Ok(Dendrogram { num_points: n, merges })
+    }
+}
+
+impl Dendrogram {
+    /// Number of original points.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// The merge steps, in merge order (ascending linkage distance for
+    /// single linkage; monotone for complete/average too).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the tree into (at most) `k` clusters by undoing the last
+    /// `k - 1` merges; returns per-point cluster ids in `0..k'` where
+    /// `k' = min(k, n)`. Cluster ids are assigned in order of first
+    /// appearance, so the output is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`; an empty cut is meaningless.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k > 0, "cannot cut a dendrogram into zero clusters");
+        let n = self.num_points;
+        let k = k.min(n);
+        // Union-find over nodes, applying only the first n - k merges.
+        let total_nodes = n + self.merges.len();
+        let mut parent: Vec<usize> = (0..total_nodes).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, merge) in self.merges.iter().take(n - k).enumerate() {
+            let new_node = n + step;
+            let l = find(&mut parent, merge.left);
+            let r = find(&mut parent, merge.right);
+            parent[l] = new_node;
+            parent[r] = new_node;
+        }
+        let mut cluster_of_root: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for p in 0..n {
+            let root = find(&mut parent, p);
+            let next = cluster_of_root.len();
+            let id = *cluster_of_root.entry(root).or_insert(next);
+            out.push(id);
+        }
+        out
+    }
+
+    /// Renders the tree in the nested-parenthesis notation of the paper's
+    /// Figure 4, labelling leaves with `labels` (falling back to the point
+    /// index when out of range): e.g. `((0, 2), (1, 3))`.
+    pub fn to_paren_string(&self, labels: &[String]) -> String {
+        if self.num_points == 0 {
+            return String::new();
+        }
+        let label_of = |leaf: usize| -> String {
+            labels.get(leaf).cloned().unwrap_or_else(|| leaf.to_string())
+        };
+        if self.merges.is_empty() {
+            return label_of(0);
+        }
+        // repr[node] built bottom-up.
+        let n = self.num_points;
+        let mut repr: Vec<String> = (0..n).map(label_of).collect();
+        for merge in &self.merges {
+            let combined = format!("({}, {})", repr[merge.left], repr[merge.right]);
+            repr.push(combined);
+        }
+        repr.pop().expect("root exists")
+    }
+
+    /// The two subtrees directly below the root, as sorted lists of leaf
+    /// indices. Used to check the paper's "perfect separation at the level
+    /// immediately below the aggregation tree root".
+    ///
+    /// Returns `None` for trees with fewer than two points.
+    pub fn root_split(&self) -> Option<(Vec<usize>, Vec<usize>)> {
+        let last = self.merges.last()?;
+        let mut left = self.leaves_under(last.left);
+        let mut right = self.leaves_under(last.right);
+        left.sort_unstable();
+        right.sort_unstable();
+        Some((left, right))
+    }
+
+    /// Collects the original point indices under `node`.
+    fn leaves_under(&self, node: usize) -> Vec<usize> {
+        let n = self.num_points;
+        if node < n {
+            return vec![node];
+        }
+        let merge = self.merges[node - n];
+        let mut leaves = self.leaves_under(merge.left);
+        leaves.extend(self.leaves_under(merge.right));
+        leaves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points(values: &[f64]) -> Vec<SparseVec> {
+        values
+            .iter()
+            .map(|&v| SparseVec::from_pairs(2, [(0, v)]).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn merges_closest_pair_first() {
+        let pts = line_points(&[0.0, 10.0, 0.5]);
+        let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        let first = tree.merges()[0];
+        assert_eq!((first.left, first.right), (0, 2));
+        assert!((first.distance - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_linkage_chains_through_bridges() {
+        // 0 -1- 1 -1- 2 ... single linkage keeps joining at distance 1.
+        let pts = line_points(&[0.0, 1.0, 2.0, 3.0]);
+        let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        for m in tree.merges() {
+            assert!((m.distance - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complete_linkage_grows_distance() {
+        let pts = line_points(&[0.0, 1.0, 2.0, 3.0]);
+        let tree = Agglomerative::new(Linkage::Complete).fit(&pts).unwrap();
+        let last = tree.merges().last().unwrap();
+        assert!((last.distance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_linkage_is_between_single_and_complete() {
+        let pts = line_points(&[0.0, 1.0, 2.0, 3.5, 9.0]);
+        let single = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        let complete = Agglomerative::new(Linkage::Complete).fit(&pts).unwrap();
+        let average = Agglomerative::new(Linkage::Average).fit(&pts).unwrap();
+        let root = |d: &Dendrogram| d.merges().last().unwrap().distance;
+        assert!(root(&single) <= root(&average) + 1e-12);
+        assert!(root(&average) <= root(&complete) + 1e-12);
+    }
+
+    #[test]
+    fn cut_recovers_two_blobs() {
+        let pts = line_points(&[0.0, 0.1, 0.2, 9.0, 9.1, 9.2]);
+        let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        let cut = tree.cut(2);
+        assert_eq!(cut[0], cut[1]);
+        assert_eq!(cut[1], cut[2]);
+        assert_eq!(cut[3], cut[4]);
+        assert_eq!(cut[4], cut[5]);
+        assert_ne!(cut[0], cut[3]);
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let pts = line_points(&[0.0, 1.0, 2.0]);
+        let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        assert_eq!(tree.cut(1), vec![0, 0, 0]);
+        // k = n: every point its own cluster.
+        let all = tree.cut(3);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        // k > n clamps to n.
+        assert_eq!(tree.cut(10), all);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero clusters")]
+    fn cut_zero_panics() {
+        let pts = line_points(&[0.0]);
+        let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        tree.cut(0);
+    }
+
+    #[test]
+    fn paren_string_nests_merges() {
+        let pts = line_points(&[0.0, 0.1, 9.0]);
+        let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        let s = tree.to_paren_string(&["a".into(), "b".into(), "c".into()]);
+        assert_eq!(s, "((a, b), c)");
+        // Missing labels fall back to indices.
+        let s = tree.to_paren_string(&[]);
+        assert_eq!(s, "((0, 1), 2)");
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let pts = line_points(&[1.0]);
+        let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        assert!(tree.merges().is_empty());
+        assert_eq!(tree.cut(1), vec![0]);
+        assert_eq!(tree.to_paren_string(&["x".into()]), "x");
+        assert!(tree.root_split().is_none());
+    }
+
+    #[test]
+    fn root_split_separates_blobs() {
+        let pts = line_points(&[0.0, 0.1, 9.0, 9.1]);
+        let tree = Agglomerative::new(Linkage::Single).fit(&pts).unwrap();
+        let (a, b) = tree.root_split().unwrap();
+        let mut sides = [a, b];
+        sides.sort();
+        assert_eq!(sides[0], vec![0, 1]);
+        assert_eq!(sides[1], vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(
+            Agglomerative::new(Linkage::Single).fit(&[]),
+            Err(MlError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn merge_sizes_sum_to_n() {
+        let pts = line_points(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let tree = Agglomerative::new(Linkage::Average).fit(&pts).unwrap();
+        assert_eq!(tree.merges().last().unwrap().size, 5);
+    }
+}

@@ -1,0 +1,419 @@
+use fmeter_ir::{Metric, SparseVec};
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::MlError;
+
+/// Centroid initialisation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KMeansInit {
+    /// k-means++ seeding (D² weighting) — better and still cheap.
+    #[default]
+    KMeansPlusPlus,
+    /// Uniformly random distinct points as the initial centroids.
+    Random,
+}
+
+/// Configuration + runner for Lloyd's K-means algorithm.
+///
+/// The paper uses K-means with the Euclidean (L2) distance as its primary
+/// unsupervised method (§4.2.2); `K` is the expected number of behaviour
+/// classes. The run is deterministic given [`seed`](Self::seed).
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::SparseVec;
+/// use fmeter_ml::KMeans;
+///
+/// let points = vec![
+///     SparseVec::from_pairs(2, [(0, 0.0)]).unwrap(),
+///     SparseVec::from_pairs(2, [(0, 0.1)]).unwrap(),
+///     SparseVec::from_pairs(2, [(0, 10.0)]).unwrap(),
+///     SparseVec::from_pairs(2, [(0, 10.1)]).unwrap(),
+/// ];
+/// let result = KMeans::new(2).seed(7).run(&points).unwrap();
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[2]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    k: usize,
+    max_iters: usize,
+    tol: f64,
+    init: KMeansInit,
+    seed: u64,
+    metric: Metric,
+    restarts: usize,
+}
+
+/// Outcome of a K-means run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Final centroids, `k` of them. The centroid of a cluster of
+    /// signatures is the paper's "syndrome" characterising a behaviour.
+    pub centroids: Vec<SparseVec>,
+    /// `assignments[i]` is the cluster index of input point `i`.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed (best restart).
+    pub iterations: usize,
+    /// Whether the best restart converged before `max_iters`.
+    pub converged: bool,
+}
+
+impl KMeans {
+    /// Creates a runner that will produce `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeans {
+            k,
+            max_iters: 100,
+            tol: 1e-9,
+            init: KMeansInit::default(),
+            seed: 0,
+            metric: Metric::Euclidean,
+            restarts: 1,
+        }
+    }
+
+    /// Sets the RNG seed (default 0). Same seed, same clustering.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum number of Lloyd iterations (default 100).
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the inertia-improvement convergence tolerance (default 1e-9).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the initialisation strategy (default k-means++).
+    pub fn init(mut self, init: KMeansInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the distance metric (default Euclidean, as in the paper).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Number of independent restarts; the result with the lowest inertia
+    /// wins (default 1).
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Runs K-means over `points`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidConfig`] if `k == 0`,
+    /// * [`MlError::EmptyInput`] if `points` is empty,
+    /// * [`MlError::NotEnoughData`] if `points.len() < k`,
+    /// * [`MlError::Ir`] if the points disagree on dimensionality.
+    pub fn run(&self, points: &[SparseVec]) -> Result<KMeansResult, MlError> {
+        if self.k == 0 {
+            return Err(MlError::InvalidConfig("k must be at least 1".into()));
+        }
+        if points.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if points.len() < self.k {
+            return Err(MlError::NotEnoughData { have: points.len(), need: self.k });
+        }
+        let dim = points[0].dim();
+        for p in points {
+            if p.dim() != dim {
+                return Err(MlError::Ir(fmeter_ir::IrError::DimensionMismatch {
+                    left: dim,
+                    right: p.dim(),
+                }));
+            }
+        }
+        let mut best: Option<KMeansResult> = None;
+        for restart in 0..self.restarts {
+            let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(restart as u64));
+            let result = self.run_once(points, &mut rng)?;
+            let better = match &best {
+                None => true,
+                Some(b) => result.inertia < b.inertia,
+            };
+            if better {
+                best = Some(result);
+            }
+        }
+        Ok(best.expect("at least one restart"))
+    }
+
+    fn run_once(&self, points: &[SparseVec], rng: &mut SmallRng) -> Result<KMeansResult, MlError> {
+        let mut centroids = match self.init {
+            KMeansInit::Random => self.init_random(points, rng),
+            KMeansInit::KMeansPlusPlus => self.init_plusplus(points, rng)?,
+        };
+        let mut assignments = vec![0usize; points.len()];
+        let mut previous_inertia = f64::INFINITY;
+        let mut iterations = 0;
+        let mut converged = false;
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut inertia = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let (cluster, dist) = self.nearest(&centroids, p)?;
+                assignments[i] = cluster;
+                inertia += dist * dist;
+            }
+            // Update step: centroid = mean of members.
+            let mut sums = vec![vec![0.0f64; points[0].dim()]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (t, v) in p.iter() {
+                    sums[a][t as usize] += v;
+                }
+            }
+            // Empty clusters adopt the point farthest from its centroid.
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    let (far_idx, _) = points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            let d = self
+                                .metric
+                                .distance(p, &centroids[assignments[i]])
+                                .unwrap_or(0.0);
+                            (i, d)
+                        })
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("points is non-empty");
+                    assignments[far_idx] = c;
+                    counts[c] = 1;
+                    sums[c] = points[far_idx].to_dense();
+                    // Note: the donor cluster keeps its stale sum this round;
+                    // the next iteration's assignment step repairs it.
+                }
+            }
+            for (c, sum) in sums.iter_mut().enumerate() {
+                let n = counts[c] as f64;
+                for v in sum.iter_mut() {
+                    *v /= n;
+                }
+                centroids[c] = SparseVec::from_dense(sum);
+            }
+            if (previous_inertia - inertia).abs() <= self.tol {
+                converged = true;
+                break;
+            }
+            previous_inertia = inertia;
+        }
+        // Final assignment against the final centroids.
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (cluster, dist) = self.nearest(&centroids, p)?;
+            assignments[i] = cluster;
+            inertia += dist * dist;
+        }
+        Ok(KMeansResult { centroids, assignments, inertia, iterations, converged })
+    }
+
+    fn nearest(&self, centroids: &[SparseVec], p: &SparseVec) -> Result<(usize, f64), MlError> {
+        let mut best = (0usize, f64::INFINITY);
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = self.metric.distance(p, centroid)?;
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        Ok(best)
+    }
+
+    fn init_random(&self, points: &[SparseVec], rng: &mut SmallRng) -> Vec<SparseVec> {
+        sample(rng, points.len(), self.k)
+            .iter()
+            .map(|i| points[i].clone())
+            .collect()
+    }
+
+    fn init_plusplus(
+        &self,
+        points: &[SparseVec],
+        rng: &mut SmallRng,
+    ) -> Result<Vec<SparseVec>, MlError> {
+        let mut centroids = Vec::with_capacity(self.k);
+        centroids.push(points[rng.random_range(0..points.len())].clone());
+        let mut dist2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                let d = self.metric.distance(p, &centroids[0]).unwrap_or(f64::INFINITY);
+                d * d
+            })
+            .collect();
+        while centroids.len() < self.k {
+            let total: f64 = dist2.iter().sum();
+            let next = if total <= 0.0 {
+                // All remaining points coincide with a centroid; pick any.
+                rng.random_range(0..points.len())
+            } else {
+                let mut target = rng.random::<f64>() * total;
+                let mut chosen = points.len() - 1;
+                for (i, &d) in dist2.iter().enumerate() {
+                    target -= d;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            let centroid = points[next].clone();
+            for (i, p) in points.iter().enumerate() {
+                let d = self.metric.distance(p, &centroid)?;
+                dist2[i] = dist2[i].min(d * d);
+            }
+            centroids.push(centroid);
+        }
+        Ok(centroids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs on a line.
+    fn blobs() -> Vec<SparseVec> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(SparseVec::from_pairs(4, [(0, i as f64 * 0.01)]).unwrap());
+            pts.push(SparseVec::from_pairs(4, [(0, 100.0 + i as f64 * 0.01)]).unwrap());
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = blobs();
+        let r = KMeans::new(2).seed(42).run(&pts).unwrap();
+        // Even indices are blob A, odd are blob B.
+        let a = r.assignments[0];
+        let b = r.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..pts.len() {
+            assert_eq!(r.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let r1 = KMeans::new(2).seed(7).run(&pts).unwrap();
+        let r2 = KMeans::new(2).seed(7).run(&pts).unwrap();
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.inertia, r2.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = blobs();
+        let r = KMeans::new(pts.len()).seed(1).restarts(5).run(&pts).unwrap();
+        assert!(r.inertia < 1e-18, "inertia {} should be ~0", r.inertia);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let pts = vec![
+            SparseVec::from_pairs(2, [(0, 0.0)]).unwrap(),
+            SparseVec::from_pairs(2, [(0, 4.0)]).unwrap(),
+        ];
+        let r = KMeans::new(1).run(&pts).unwrap();
+        assert!((r.centroids[0].get(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_is_nearest_centroid() {
+        let pts = blobs();
+        let r = KMeans::new(2).seed(3).run(&pts).unwrap();
+        for (i, p) in pts.iter().enumerate() {
+            let mut best = (usize::MAX, f64::INFINITY);
+            for (c, centroid) in r.centroids.iter().enumerate() {
+                let d = fmeter_ir::euclidean_distance(p, centroid).unwrap();
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            assert_eq!(r.assignments[i], best.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let pts = blobs();
+        assert!(matches!(KMeans::new(0).run(&pts), Err(MlError::InvalidConfig(_))));
+        assert!(matches!(KMeans::new(2).run(&[]), Err(MlError::EmptyInput)));
+        assert!(matches!(
+            KMeans::new(100).run(&pts),
+            Err(MlError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mixed_dimensions() {
+        let pts =
+            vec![SparseVec::zeros(2), SparseVec::zeros(3)];
+        assert!(matches!(KMeans::new(1).run(&pts), Err(MlError::Ir(_))));
+    }
+
+    #[test]
+    fn random_init_also_separates() {
+        let pts = blobs();
+        let r = KMeans::new(2)
+            .init(KMeansInit::Random)
+            .seed(11)
+            .restarts(3)
+            .run(&pts)
+            .unwrap();
+        assert_ne!(r.assignments[0], r.assignments[1]);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash_plusplus() {
+        let pts = vec![SparseVec::from_pairs(2, [(0, 1.0)]).unwrap(); 5];
+        let r = KMeans::new(3).seed(5).run(&pts).unwrap();
+        assert_eq!(r.assignments.len(), 5);
+    }
+
+    #[test]
+    fn cosine_metric_clusters_by_direction() {
+        // Two directions, different magnitudes.
+        let pts = vec![
+            SparseVec::from_pairs(2, [(0, 1.0)]).unwrap(),
+            SparseVec::from_pairs(2, [(0, 50.0)]).unwrap(),
+            SparseVec::from_pairs(2, [(1, 1.0)]).unwrap(),
+            SparseVec::from_pairs(2, [(1, 80.0)]).unwrap(),
+        ];
+        let r = KMeans::new(2)
+            .metric(Metric::Cosine)
+            .seed(2)
+            .restarts(4)
+            .run(&pts)
+            .unwrap();
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[2], r.assignments[3]);
+        assert_ne!(r.assignments[0], r.assignments[2]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Statistical data analysis for Fmeter signatures.
+//!
+//! Implements the learning machinery the paper evaluates in §4.2:
+//!
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ or random initialisation
+//!   (used for the purity experiments of Figures 5 and 6),
+//! * [`Agglomerative`] — hierarchical clustering with single-, complete-, and
+//!   average-linkage, producing the Figure-4 style dendrograms,
+//! * [`SvmTrainer`] / [`SvmModel`] — a soft-margin C-SVM trained with
+//!   sequential minimal optimisation, standing in for `SVMlight`
+//!   (Tables 4 and 5),
+//! * [`CrossValidation`] — the paper's K-fold protocol (fold *i* is the test
+//!   set, fold *i+1 mod K* the validation set used to tune `C`),
+//! * [`metrics`] — accuracy/precision/recall, majority baseline, and cluster
+//!   purity.
+//!
+//! All algorithms are deterministic given a seed, operate on
+//! [`fmeter_ir::SparseVec`] signatures, and use the Euclidean (L2) distance
+//! by default, exactly as the paper does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cv;
+mod ensemble;
+mod error;
+mod hierarchical;
+mod kmeans;
+pub mod metrics;
+mod svm;
+mod tree;
+
+pub use cv::{CrossValidation, CvReport, FoldOutcome};
+pub use ensemble::{AdaBoost, AdaBoostModel, Bagging, BaggingModel};
+pub use error::MlError;
+pub use hierarchical::{Agglomerative, Dendrogram, Linkage, Merge};
+pub use kmeans::{KMeans, KMeansInit, KMeansResult};
+pub use svm::{Kernel, SvmModel, SvmTrainer};
+pub use tree::{DecisionTree, DecisionTreeTrainer};
+
+/// A class label for binary classification: `+1` or `-1`.
+///
+/// The paper's SVM experiments always label one behaviour `+1` and the
+/// other(s) `-1`.
+pub type Label = i8;

@@ -1,0 +1,535 @@
+//! Evaluation metrics: binary confusion counts, accuracy/precision/recall,
+//! the majority-class baseline, and cluster purity.
+//!
+//! These are exactly the quantities reported in the paper's Tables 4 and 5
+//! (classification) and Figures 5 and 6 (purity).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Label, MlError};
+
+/// Confusion counts for a binary classifier with labels `+1` / `-1`.
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ml::metrics::BinaryConfusion;
+///
+/// let truth = [1, 1, -1, -1];
+/// let predicted = [1, -1, -1, -1];
+/// let c = BinaryConfusion::from_labels(&truth, &predicted).unwrap();
+/// assert_eq!(c.accuracy(), 0.75);
+/// assert_eq!(c.precision(), 1.0);
+/// assert_eq!(c.recall(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Positives classified as positive.
+    pub true_positives: usize,
+    /// Negatives classified as positive.
+    pub false_positives: usize,
+    /// Negatives classified as negative.
+    pub true_negatives: usize,
+    /// Positives classified as negative.
+    pub false_negatives: usize,
+}
+
+impl BinaryConfusion {
+    /// Tallies confusion counts from parallel truth/prediction slices.
+    ///
+    /// Any label `> 0` counts as positive, anything else as negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::LabelCountMismatch`] when the slices differ in
+    /// length and [`MlError::EmptyInput`] when they are empty.
+    pub fn from_labels(truth: &[Label], predicted: &[Label]) -> Result<Self, MlError> {
+        if truth.len() != predicted.len() {
+            return Err(MlError::LabelCountMismatch {
+                vectors: truth.len(),
+                labels: predicted.len(),
+            });
+        }
+        if truth.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        let mut c = BinaryConfusion::default();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            match (t > 0, p > 0) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_negatives += 1,
+                (false, true) => c.false_positives += 1,
+                (false, false) => c.true_negatives += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction of examples classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+
+    /// `tp / (tp + fp)`; defined as `0.0` when nothing was predicted
+    /// positive (no claims, no correct claims).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// `tp / (tp + fn)`; defined as `0.0` when the data contains no
+    /// positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall (`0.0` when both are zero).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Accuracy of the pseudo-classifier that always answers with the majority
+/// class — the paper's "baseline accuracy" columns in Tables 4 and 5.
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyInput`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ml::metrics::majority_baseline;
+///
+/// // 150 of 250 examples are negative -> baseline 0.6, as in the paper.
+/// let labels: Vec<i8> = std::iter::repeat(1).take(100)
+///     .chain(std::iter::repeat(-1).take(150)).collect();
+/// assert_eq!(majority_baseline(&labels).unwrap(), 0.6);
+/// ```
+pub fn majority_baseline(labels: &[Label]) -> Result<f64, MlError> {
+    if labels.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    let positives = labels.iter().filter(|&&l| l > 0).count();
+    let negatives = labels.len() - positives;
+    Ok(positives.max(negatives) as f64 / labels.len() as f64)
+}
+
+/// Cluster purity: each cluster is assigned its most frequent true class and
+/// purity is the fraction of points that agree with their cluster's class.
+///
+/// `assignments[i]` is the cluster of point `i` and `classes[i]` its true
+/// class. Returns a probability in `(0, 1]`; it evaluates to `1.0` whenever
+/// every cluster is class-homogeneous — including the degenerate case of one
+/// cluster per point that the paper leverages in Figure 6.
+///
+/// # Errors
+///
+/// Returns [`MlError::LabelCountMismatch`] when the slices differ in length
+/// and [`MlError::EmptyInput`] when they are empty.
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ml::metrics::purity;
+///
+/// let assignments = [0, 0, 1, 1];
+/// let classes = [0, 0, 1, 0];
+/// assert_eq!(purity(&assignments, &classes).unwrap(), 0.75);
+/// ```
+pub fn purity(assignments: &[usize], classes: &[usize]) -> Result<f64, MlError> {
+    if assignments.len() != classes.len() {
+        return Err(MlError::LabelCountMismatch {
+            vectors: assignments.len(),
+            labels: classes.len(),
+        });
+    }
+    if assignments.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    let num_clusters = assignments.iter().max().map_or(0, |&m| m + 1);
+    let num_classes = classes.iter().max().map_or(0, |&m| m + 1);
+    // contingency[cluster][class] = count
+    let mut contingency = vec![vec![0usize; num_classes]; num_clusters];
+    for (&a, &c) in assignments.iter().zip(classes) {
+        contingency[a][c] += 1;
+    }
+    let correct: usize = contingency
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    Ok(correct as f64 / assignments.len() as f64)
+}
+
+/// Builds the cluster-by-class contingency table behind the clustering
+/// quality metrics.
+///
+/// # Errors
+///
+/// Returns [`MlError::LabelCountMismatch`] / [`MlError::EmptyInput`] for
+/// malformed input.
+fn contingency(
+    assignments: &[usize],
+    classes: &[usize],
+) -> Result<Vec<Vec<usize>>, MlError> {
+    if assignments.len() != classes.len() {
+        return Err(MlError::LabelCountMismatch {
+            vectors: assignments.len(),
+            labels: classes.len(),
+        });
+    }
+    if assignments.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    let num_clusters = assignments.iter().max().map_or(0, |&m| m + 1);
+    let num_classes = classes.iter().max().map_or(0, |&m| m + 1);
+    let mut table = vec![vec![0usize; num_classes]; num_clusters];
+    for (&a, &c) in assignments.iter().zip(classes) {
+        table[a][c] += 1;
+    }
+    Ok(table)
+}
+
+/// Normalized mutual information between a clustering and the true
+/// classes: `NMI = 2 I(C; K) / (H(C) + H(K))`, in `[0, 1]`.
+///
+/// One of the alternative clustering-quality measures the paper lists in
+/// §4.2.2. Unlike [`purity`], NMI penalises over-clustering: splitting
+/// every point into its own cluster gives purity 1.0 but low NMI.
+///
+/// Degenerate single-cluster/single-class inputs carry no information
+/// and evaluate to `0.0`.
+///
+/// # Errors
+///
+/// Returns [`MlError::LabelCountMismatch`] / [`MlError::EmptyInput`] for
+/// malformed input.
+pub fn normalized_mutual_information(
+    assignments: &[usize],
+    classes: &[usize],
+) -> Result<f64, MlError> {
+    let table = contingency(assignments, classes)?;
+    let n = assignments.len() as f64;
+    let cluster_sizes: Vec<usize> = table.iter().map(|row| row.iter().sum()).collect();
+    let mut class_sizes = vec![0usize; table.first().map_or(0, Vec::len)];
+    for row in &table {
+        for (c, &v) in row.iter().enumerate() {
+            class_sizes[c] += v;
+        }
+    }
+    let entropy = |sizes: &[usize]| -> f64 {
+        sizes
+            .iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let h_clusters = entropy(&cluster_sizes);
+    let h_classes = entropy(&class_sizes);
+    if h_clusters == 0.0 || h_classes == 0.0 {
+        return Ok(0.0);
+    }
+    let mut mutual_information = 0.0;
+    for (k, row) in table.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            let p_joint = v as f64 / n;
+            let p_k = cluster_sizes[k] as f64 / n;
+            let p_c = class_sizes[c] as f64 / n;
+            mutual_information += p_joint * (p_joint / (p_k * p_c)).ln();
+        }
+    }
+    Ok((2.0 * mutual_information / (h_clusters + h_classes)).clamp(0.0, 1.0))
+}
+
+/// Rand index: the fraction of point pairs on which the clustering and
+/// the true classes agree (same/same or different/different), in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`MlError::LabelCountMismatch`] / [`MlError::EmptyInput`] for
+/// malformed input; requires at least two points (no pairs otherwise).
+pub fn rand_index(assignments: &[usize], classes: &[usize]) -> Result<f64, MlError> {
+    let table = contingency(assignments, classes)?;
+    let n = assignments.len();
+    if n < 2 {
+        return Err(MlError::NotEnoughData { have: n, need: 2 });
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1) / 2) as f64;
+    let total_pairs = choose2(n);
+    let cluster_sizes: Vec<usize> = table.iter().map(|row| row.iter().sum()).collect();
+    let mut class_sizes = vec![0usize; table.first().map_or(0, Vec::len)];
+    for row in &table {
+        for (c, &v) in row.iter().enumerate() {
+            class_sizes[c] += v;
+        }
+    }
+    let same_both: f64 = table.iter().flatten().map(|&v| choose2(v)).sum();
+    let same_cluster: f64 = cluster_sizes.iter().map(|&s| choose2(s)).sum();
+    let same_class: f64 = class_sizes.iter().map(|&s| choose2(s)).sum();
+    // Agreements = pairs together in both + pairs separated in both.
+    let agreements =
+        same_both + (total_pairs - same_cluster - same_class + same_both);
+    Ok(agreements / total_pairs)
+}
+
+/// Clustering F-measure (F1 over pair decisions): precision = of the
+/// pairs the clustering put together, how many share a class; recall = of
+/// the same-class pairs, how many the clustering put together.
+///
+/// # Errors
+///
+/// Returns [`MlError::LabelCountMismatch`] / [`MlError::EmptyInput`] for
+/// malformed input; requires at least two points.
+pub fn clustering_f_measure(
+    assignments: &[usize],
+    classes: &[usize],
+) -> Result<f64, MlError> {
+    let table = contingency(assignments, classes)?;
+    let n = assignments.len();
+    if n < 2 {
+        return Err(MlError::NotEnoughData { have: n, need: 2 });
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1) / 2) as f64;
+    let cluster_sizes: Vec<usize> = table.iter().map(|row| row.iter().sum()).collect();
+    let mut class_sizes = vec![0usize; table.first().map_or(0, Vec::len)];
+    for row in &table {
+        for (c, &v) in row.iter().enumerate() {
+            class_sizes[c] += v;
+        }
+    }
+    let tp: f64 = table.iter().flatten().map(|&v| choose2(v)).sum();
+    let positives: f64 = cluster_sizes.iter().map(|&s| choose2(s)).sum();
+    let actual: f64 = class_sizes.iter().map(|&s| choose2(s)).sum();
+    if positives == 0.0 || actual == 0.0 {
+        return Ok(0.0);
+    }
+    let precision = tp / positives;
+    let recall = tp / actual;
+    if precision + recall == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(2.0 * precision * recall / (precision + recall))
+}
+
+/// Mean and *standard error of the mean* of a sample — the error-bar
+/// statistic used throughout the paper's tables and figures.
+///
+/// Returns `(mean, sem)`; the SEM of a single observation (or an empty
+/// sample) is `0.0`.
+pub fn mean_sem(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, (var / n).sqrt())
+}
+
+/// Mean and (sample) standard deviation, as reported in Tables 4 and 5
+/// ("average ± standard deviation, over all folds").
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_all_quadrants() {
+        let truth = [1, 1, 1, -1, -1, -1];
+        let pred = [1, 1, -1, 1, -1, -1];
+        let c = BinaryConfusion::from_labels(&truth, &pred).unwrap();
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 2);
+        assert_eq!(c.total(), 6);
+        assert!((c.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_rejects_mismatched_and_empty() {
+        assert!(matches!(
+            BinaryConfusion::from_labels(&[1], &[1, 1]),
+            Err(MlError::LabelCountMismatch { .. })
+        ));
+        assert!(matches!(
+            BinaryConfusion::from_labels(&[], &[]),
+            Err(MlError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero_not_nan() {
+        // Nothing predicted positive, no positives in data.
+        let c = BinaryConfusion::from_labels(&[-1, -1], &[-1, -1]).unwrap();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn majority_baseline_matches_paper_example() {
+        // Paper §4.2.1: 100 positive + 150 negative -> 0.6.
+        let labels: Vec<Label> =
+            std::iter::repeat(1).take(100).chain(std::iter::repeat(-1).take(150)).collect();
+        assert_eq!(majority_baseline(&labels).unwrap(), 0.6);
+    }
+
+    #[test]
+    fn majority_baseline_is_at_least_half() {
+        let labels = [1, -1, 1, -1];
+        assert_eq!(majority_baseline(&labels).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn purity_perfect_clustering_is_one() {
+        let assignments = [0, 0, 1, 1, 2, 2];
+        let classes = [1, 1, 0, 0, 2, 2];
+        assert_eq!(purity(&assignments, &classes).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn purity_singleton_clusters_is_one() {
+        // Figure 6's observation: K = n gives purity 1.0 trivially.
+        let assignments = [0, 1, 2, 3];
+        let classes = [0, 0, 1, 1];
+        assert_eq!(purity(&assignments, &classes).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn purity_single_cluster_is_majority_fraction() {
+        let assignments = [0, 0, 0, 0];
+        let classes = [0, 0, 0, 1];
+        assert_eq!(purity(&assignments, &classes).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn purity_rejects_bad_input() {
+        assert!(purity(&[0], &[0, 1]).is_err());
+        assert!(purity(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn nmi_perfect_and_degenerate() {
+        // Perfect clustering (up to relabelling): NMI = 1.
+        let assignments = [1, 1, 0, 0, 2, 2];
+        let classes = [0, 0, 1, 1, 2, 2];
+        let nmi = normalized_mutual_information(&assignments, &classes).unwrap();
+        assert!((nmi - 1.0).abs() < 1e-12);
+        // Single cluster carries no information.
+        let nmi = normalized_mutual_information(&[0, 0, 0, 0], &[0, 0, 1, 1]).unwrap();
+        assert_eq!(nmi, 0.0);
+    }
+
+    #[test]
+    fn nmi_penalizes_overclustering_where_purity_does_not() {
+        // One cluster per point: purity 1.0 but NMI < 1.
+        let classes = [0, 0, 1, 1];
+        let singleton: Vec<usize> = (0..4).collect();
+        assert_eq!(purity(&singleton, &classes).unwrap(), 1.0);
+        let nmi = normalized_mutual_information(&singleton, &classes).unwrap();
+        assert!(nmi < 1.0, "NMI should penalise singleton clusters, got {nmi}");
+    }
+
+    #[test]
+    fn rand_index_extremes() {
+        let classes = [0, 0, 1, 1];
+        assert_eq!(rand_index(&[0, 0, 1, 1], &classes).unwrap(), 1.0);
+        assert_eq!(rand_index(&[1, 1, 0, 0], &classes).unwrap(), 1.0);
+        // Maximally wrong pairing: split every true pair, join every
+        // cross pair.
+        let ri = rand_index(&[0, 1, 0, 1], &classes).unwrap();
+        assert!(ri < 0.5, "anti-clustering should agree on few pairs, got {ri}");
+        assert!(matches!(
+            rand_index(&[0], &[0]),
+            Err(MlError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn f_measure_matches_hand_computation() {
+        // Clusters: {a,a,b}, {b}. Same-cluster pairs: 3 (aa, ab, ab);
+        // tp = 1 (the aa pair). Same-class pairs: aa + bb = 2.
+        let assignments = [0, 0, 0, 1];
+        let classes = [0, 0, 1, 1];
+        let f = clustering_f_measure(&assignments, &classes).unwrap();
+        let precision: f64 = 1.0 / 3.0;
+        let recall: f64 = 1.0 / 2.0;
+        let expected = 2.0 * precision * recall / (precision + recall);
+        assert!((f - expected).abs() < 1e-12);
+        // Perfect clustering: F = 1.
+        assert_eq!(clustering_f_measure(&[0, 0, 1, 1], &classes).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn clustering_metrics_reject_malformed_input() {
+        for result in [
+            normalized_mutual_information(&[0], &[0, 1]).err(),
+            rand_index(&[0], &[0, 1]).err(),
+            clustering_f_measure(&[0], &[0, 1]).err(),
+        ] {
+            assert!(matches!(result, Some(MlError::LabelCountMismatch { .. })));
+        }
+        assert!(normalized_mutual_information(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn mean_sem_and_std() {
+        let (m, s) = mean_sem(&[1.0, 1.0, 1.0]);
+        assert_eq!(m, 1.0);
+        assert_eq!(s, 0.0);
+        let (m, sem) = mean_sem(&[0.0, 2.0]);
+        assert_eq!(m, 1.0);
+        assert!(sem > 0.0);
+        let (_, sd) = mean_std(&[0.0, 2.0]);
+        assert!((sd - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean_sem(&[]), (0.0, 0.0));
+        assert_eq!(mean_sem(&[5.0]), (5.0, 0.0));
+    }
+}

@@ -1,0 +1,641 @@
+use fmeter_ir::SparseVec;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Label, MlError};
+
+/// Kernel function for the SVM.
+///
+/// The paper uses `SVMlight` with "the default polynomial function" kernel;
+/// [`Kernel::polynomial`] with degree 3 mirrors that default. A linear and
+/// an RBF kernel are provided for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `K(x, y) = x . y`
+    Linear,
+    /// `K(x, y) = (gamma * x . y + coef0)^degree`
+    Polynomial {
+        /// Polynomial degree (SVMlight default: 3).
+        degree: u32,
+        /// Scale applied to the dot product.
+        gamma: f64,
+        /// Additive constant (SVMlight default: 1).
+        coef0: f64,
+    },
+    /// `K(x, y) = exp(-gamma * ||x - y||^2)`
+    Rbf {
+        /// Width parameter.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// The paper's kernel: cubic polynomial `(x.y + 1)^3`.
+    pub fn polynomial() -> Self {
+        Kernel::Polynomial { degree: 3, gamma: 1.0, coef0: 1.0 }
+    }
+
+    /// Evaluates the kernel on two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch — training and query vectors must live
+    /// in the same space.
+    pub fn eval(&self, a: &SparseVec, b: &SparseVec) -> f64 {
+        let dot = a.dot(b).expect("kernel operands share one vector space");
+        match *self {
+            Kernel::Linear => dot,
+            Kernel::Polynomial { degree, gamma, coef0 } => {
+                (gamma * dot + coef0).powi(degree as i32)
+            }
+            Kernel::Rbf { gamma } => {
+                let aa = a.dot(a).expect("same space");
+                let bb = b.dot(b).expect("same space");
+                let dist2 = (aa + bb - 2.0 * dot).max(0.0);
+                (-gamma * dist2).exp()
+            }
+        }
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::polynomial()
+    }
+}
+
+/// Configuration + runner for soft-margin C-SVM training via sequential
+/// minimal optimisation (Platt's SMO with an error cache and the
+/// second-choice heuristic).
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::SparseVec;
+/// use fmeter_ml::{Kernel, SvmTrainer};
+///
+/// let xs = vec![
+///     SparseVec::from_pairs(2, [(0, 1.0)]).unwrap(),
+///     SparseVec::from_pairs(2, [(0, 0.9)]).unwrap(),
+///     SparseVec::from_pairs(2, [(1, 1.0)]).unwrap(),
+///     SparseVec::from_pairs(2, [(1, 1.1)]).unwrap(),
+/// ];
+/// let ys = vec![1, 1, -1, -1];
+/// let model = SvmTrainer::new().kernel(Kernel::Linear).train(&xs, &ys).unwrap();
+/// assert_eq!(model.predict(&xs[0]), 1);
+/// assert_eq!(model.predict(&xs[2]), -1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvmTrainer {
+    c: f64,
+    kernel: Kernel,
+    tol: f64,
+    eps: f64,
+    max_passes: usize,
+    seed: u64,
+}
+
+impl Default for SvmTrainer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SvmTrainer {
+    /// Creates a trainer with `C = 1`, the paper's polynomial kernel,
+    /// KKT tolerance `1e-3`, and a deterministic seed.
+    pub fn new() -> Self {
+        SvmTrainer {
+            c: 1.0,
+            kernel: Kernel::default(),
+            tol: 1e-3,
+            eps: 1e-9,
+            max_passes: 200,
+            seed: 0,
+        }
+    }
+
+    /// Sets the error/margin trade-off `C` (the paper tunes exactly this
+    /// parameter on the validation folds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn c(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "C must be positive, got {c}");
+        self.c = c;
+        self
+    }
+
+    /// Sets the kernel (default: cubic polynomial).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the KKT violation tolerance (default `1e-3`).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the RNG seed used for the SMO sweep order (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of full passes without progress (default 200).
+    pub fn max_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes;
+        self
+    }
+
+    /// Trains on `vectors` with labels `+1`/`-1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::EmptyInput`] — no examples,
+    /// * [`MlError::LabelCountMismatch`] — slice lengths differ,
+    /// * [`MlError::SingleClass`] — only one class present,
+    /// * [`MlError::Ir`] — vectors disagree on dimensionality.
+    pub fn train(&self, vectors: &[SparseVec], labels: &[Label]) -> Result<SvmModel, MlError> {
+        if vectors.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if vectors.len() != labels.len() {
+            return Err(MlError::LabelCountMismatch {
+                vectors: vectors.len(),
+                labels: labels.len(),
+            });
+        }
+        let dim = vectors[0].dim();
+        for v in vectors {
+            if v.dim() != dim {
+                return Err(MlError::Ir(fmeter_ir::IrError::DimensionMismatch {
+                    left: dim,
+                    right: v.dim(),
+                }));
+            }
+        }
+        let has_pos = labels.iter().any(|&l| l > 0);
+        let has_neg = labels.iter().any(|&l| l <= 0);
+        if !has_pos || !has_neg {
+            return Err(MlError::SingleClass);
+        }
+        let y: Vec<f64> = labels.iter().map(|&l| if l > 0 { 1.0 } else { -1.0 }).collect();
+        let n = vectors.len();
+
+        // Precompute the kernel matrix; n is at most a few hundred in every
+        // paper experiment, so O(n^2) storage is the right trade.
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = self.kernel.eval(&vectors[i], &vectors[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+
+        let mut smo = Smo {
+            n,
+            c: self.c,
+            tol: self.tol,
+            eps: self.eps,
+            k: &k,
+            y: &y,
+            alpha: vec![0.0; n],
+            b: 0.0,
+            errors: vec![0.0; n],
+        };
+        for i in 0..n {
+            smo.errors[i] = -y[i]; // f(x) = 0 initially, E = f - y
+        }
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut examine_all = true;
+        let mut num_changed = 1;
+        let mut passes = 0;
+        while (num_changed > 0 || examine_all) && passes < self.max_passes {
+            num_changed = 0;
+            order.shuffle(&mut rng);
+            for &i in &order {
+                if examine_all || smo.is_unbound(i) {
+                    num_changed += smo.examine(i) as usize;
+                }
+            }
+            if examine_all {
+                examine_all = false;
+            } else if num_changed == 0 {
+                examine_all = true;
+            }
+            passes += 1;
+        }
+
+        // Keep only support vectors.
+        let mut support = Vec::new();
+        let mut sv_alpha_y = Vec::new();
+        for i in 0..n {
+            if smo.alpha[i] > 0.0 {
+                support.push(vectors[i].clone());
+                sv_alpha_y.push(smo.alpha[i] * y[i]);
+            }
+        }
+        Ok(SvmModel { kernel: self.kernel, support, sv_alpha_y, bias: smo.b, dim })
+    }
+}
+
+/// SMO working state over a precomputed kernel matrix.
+struct Smo<'a> {
+    n: usize,
+    c: f64,
+    tol: f64,
+    eps: f64,
+    k: &'a [f64],
+    y: &'a [f64],
+    alpha: Vec<f64>,
+    b: f64,
+    /// Error cache: `errors[i] = f(x_i) - y_i`, kept exact after each step.
+    errors: Vec<f64>,
+}
+
+impl Smo<'_> {
+    fn kij(&self, i: usize, j: usize) -> f64 {
+        self.k[i * self.n + j]
+    }
+
+    fn is_unbound(&self, i: usize) -> bool {
+        self.alpha[i] > 0.0 && self.alpha[i] < self.c
+    }
+
+    /// Platt's examineExample: returns true if a pair was optimised.
+    fn examine(&mut self, i2: usize) -> bool {
+        let y2 = self.y[i2];
+        let alph2 = self.alpha[i2];
+        let e2 = self.errors[i2];
+        let r2 = e2 * y2;
+        let violates =
+            (r2 < -self.tol && alph2 < self.c) || (r2 > self.tol && alph2 > 0.0);
+        if !violates {
+            return false;
+        }
+        // Heuristic 1: maximise |E1 - E2| over unbound examples.
+        let mut best: Option<(usize, f64)> = None;
+        for i1 in 0..self.n {
+            if i1 == i2 || !self.is_unbound(i1) {
+                continue;
+            }
+            let gap = (self.errors[i1] - e2).abs();
+            if best.map_or(true, |(_, g)| gap > g) {
+                best = Some((i1, gap));
+            }
+        }
+        if let Some((i1, _)) = best {
+            if self.take_step(i1, i2) {
+                return true;
+            }
+        }
+        // Heuristic 2: any unbound example.
+        for i1 in 0..self.n {
+            if i1 != i2 && self.is_unbound(i1) && self.take_step(i1, i2) {
+                return true;
+            }
+        }
+        // Heuristic 3: the whole training set.
+        for i1 in 0..self.n {
+            if i1 != i2 && self.take_step(i1, i2) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn take_step(&mut self, i1: usize, i2: usize) -> bool {
+        let (y1, y2) = (self.y[i1], self.y[i2]);
+        let (alph1, alph2) = (self.alpha[i1], self.alpha[i2]);
+        let (e1, e2) = (self.errors[i1], self.errors[i2]);
+        let s = y1 * y2;
+        let (low, high) = if s < 0.0 {
+            ((alph2 - alph1).max(0.0), (self.c + alph2 - alph1).min(self.c))
+        } else {
+            ((alph2 + alph1 - self.c).max(0.0), (alph2 + alph1).min(self.c))
+        };
+        if low >= high {
+            return false;
+        }
+        let k11 = self.kij(i1, i1);
+        let k12 = self.kij(i1, i2);
+        let k22 = self.kij(i2, i2);
+        let eta = k11 + k22 - 2.0 * k12;
+        let mut a2 = if eta > 0.0 {
+            (alph2 + y2 * (e1 - e2) / eta).clamp(low, high)
+        } else {
+            // Degenerate kernel direction: evaluate the objective at the
+            // clip bounds and move to the better endpoint.
+            let f1 = y1 * e1 - alph1 * k11 - s * alph2 * k12;
+            let f2 = y2 * e2 - s * alph1 * k12 - alph2 * k22;
+            let l1 = alph1 + s * (alph2 - low);
+            let h1 = alph1 + s * (alph2 - high);
+            let obj_low = l1 * f1 + low * f2 + 0.5 * l1 * l1 * k11 + 0.5 * low * low * k22
+                + s * low * l1 * k12;
+            let obj_high = h1 * f1 + high * f2 + 0.5 * h1 * h1 * k11
+                + 0.5 * high * high * k22
+                + s * high * h1 * k12;
+            if obj_low < obj_high - self.eps {
+                low
+            } else if obj_low > obj_high + self.eps {
+                high
+            } else {
+                return false;
+            }
+        };
+        // Snap to the box to avoid lingering 1e-17 support vectors.
+        if a2 < 1e-12 {
+            a2 = 0.0;
+        } else if a2 > self.c - 1e-12 {
+            a2 = self.c;
+        }
+        if (a2 - alph2).abs() < self.eps * (a2 + alph2 + self.eps) {
+            return false;
+        }
+        let a1 = alph1 + s * (alph2 - a2);
+        let a1 = if a1 < 1e-12 {
+            0.0
+        } else if a1 > self.c - 1e-12 {
+            self.c
+        } else {
+            a1
+        };
+
+        // Threshold update (Platt eq. 20-21), f(x) = sum a_j y_j K + b.
+        let b1 = self.b - e1 - y1 * (a1 - alph1) * k11 - y2 * (a2 - alph2) * k12;
+        let b2 = self.b - e2 - y1 * (a1 - alph1) * k12 - y2 * (a2 - alph2) * k22;
+        let new_b = if a1 > 0.0 && a1 < self.c {
+            b1
+        } else if a2 > 0.0 && a2 < self.c {
+            b2
+        } else {
+            (b1 + b2) / 2.0
+        };
+        let delta_b = new_b - self.b;
+        let (d1, d2) = (y1 * (a1 - alph1), y2 * (a2 - alph2));
+        for i in 0..self.n {
+            self.errors[i] += d1 * self.kij(i1, i) + d2 * self.kij(i2, i) + delta_b;
+        }
+        self.b = new_b;
+        self.alpha[i1] = a1;
+        self.alpha[i2] = a2;
+        // Unbound support vectors sit exactly on the margin: pin their
+        // cached error to zero to stop drift.
+        if a1 > 0.0 && a1 < self.c {
+            self.errors[i1] = 0.0;
+        }
+        if a2 > 0.0 && a2 < self.c {
+            self.errors[i2] = 0.0;
+        }
+        true
+    }
+}
+
+/// A trained SVM decision function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvmModel {
+    kernel: Kernel,
+    support: Vec<SparseVec>,
+    /// `alpha_i * y_i` per support vector.
+    sv_alpha_y: Vec<f64>,
+    bias: f64,
+    dim: usize,
+}
+
+impl SvmModel {
+    /// Signed distance-like score: positive means class `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has a different dimensionality than the training data.
+    pub fn decision_function(&self, x: &SparseVec) -> f64 {
+        assert_eq!(
+            x.dim(),
+            self.dim,
+            "query dimension {} does not match training dimension {}",
+            x.dim(),
+            self.dim
+        );
+        let mut f = self.bias;
+        for (sv, ay) in self.support.iter().zip(&self.sv_alpha_y) {
+            f += ay * self.kernel.eval(sv, x);
+        }
+        f
+    }
+
+    /// Predicts `+1` or `-1` ("which side of the hyperplane").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has a different dimensionality than the training data.
+    pub fn predict(&self, x: &SparseVec) -> Label {
+        if self.decision_function(x) >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Predicts a batch of examples.
+    pub fn predict_batch(&self, xs: &[SparseVec]) -> Vec<Label> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of support vectors retained by training.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Dimensionality of the input space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(dim: usize, pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(dim, pairs.iter().copied()).unwrap()
+    }
+
+    /// Linearly separable blobs in 2D.
+    fn separable() -> (Vec<SparseVec>, Vec<Label>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            let off = i as f64 * 0.03;
+            xs.push(point(2, &[(0, 1.0 + off), (1, 1.0 - off)]));
+            ys.push(1);
+            xs.push(point(2, &[(0, -1.0 - off), (1, -1.0 + off)]));
+            ys.push(-1);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn kernel_values() {
+        let a = point(2, &[(0, 1.0), (1, 2.0)]);
+        let b = point(2, &[(0, 3.0), (1, 4.0)]);
+        assert_eq!(Kernel::Linear.eval(&a, &b), 11.0);
+        let poly = Kernel::Polynomial { degree: 2, gamma: 1.0, coef0 : 1.0 };
+        assert_eq!(poly.eval(&a, &b), 144.0);
+        let rbf = Kernel::Rbf { gamma: 1.0 };
+        let d2 = 4.0 + 4.0; // (1-3)^2 + (2-4)^2
+        assert!((rbf.eval(&a, &b) - (-d2f64()).exp()).abs() < 1e-12);
+        fn d2f64() -> f64 {
+            8.0
+        }
+        let _ = d2;
+    }
+
+    #[test]
+    fn rbf_of_self_is_one() {
+        let a = point(2, &[(0, 0.5)]);
+        let rbf = Kernel::Rbf { gamma: 2.5 };
+        assert!((rbf.eval(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_svm_separates_blobs() {
+        let (xs, ys) = separable();
+        let model = SvmTrainer::new().kernel(Kernel::Linear).train(&xs, &ys).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(model.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn polynomial_svm_separates_blobs() {
+        let (xs, ys) = separable();
+        let model = SvmTrainer::new().train(&xs, &ys).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
+        assert_eq!(correct, xs.len());
+    }
+
+    #[test]
+    fn rbf_svm_handles_xor() {
+        // XOR is not linearly separable; RBF should fit it.
+        let xs = vec![
+            point(2, &[(0, 0.0), (1, 0.0)]),
+            point(2, &[(0, 1.0), (1, 1.0)]),
+            point(2, &[(0, 0.0), (1, 1.0)]),
+            point(2, &[(0, 1.0), (1, 0.0)]),
+        ];
+        let ys = vec![1, 1, -1, -1];
+        let model = SvmTrainer::new()
+            .kernel(Kernel::Rbf { gamma: 2.0 })
+            .c(100.0)
+            .train(&xs, &ys)
+            .unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(model.predict(x), y, "misclassified {x:?}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_for_seed() {
+        let (xs, ys) = separable();
+        let m1 = SvmTrainer::new().seed(9).train(&xs, &ys).unwrap();
+        let m2 = SvmTrainer::new().seed(9).train(&xs, &ys).unwrap();
+        let probe = point(2, &[(0, 0.3), (1, 0.2)]);
+        assert_eq!(m1.decision_function(&probe), m2.decision_function(&probe));
+    }
+
+    #[test]
+    fn alphas_respect_box_constraint() {
+        let (xs, ys) = separable();
+        let c = 0.5;
+        let model = SvmTrainer::new().kernel(Kernel::Linear).c(c).train(&xs, &ys).unwrap();
+        for ay in &model.sv_alpha_y {
+            assert!(ay.abs() <= c + 1e-9, "alpha {} exceeds C {}", ay.abs(), c);
+        }
+    }
+
+    #[test]
+    fn margin_examples_have_unit_decision_value() {
+        // With separable data and large C, unbound SVs satisfy |f(x)| ~ 1.
+        let (xs, ys) = separable();
+        let model = SvmTrainer::new().kernel(Kernel::Linear).c(1000.0).train(&xs, &ys).unwrap();
+        // All training points must be outside or on the margin.
+        for (x, &y) in xs.iter().zip(&ys) {
+            let f = model.decision_function(x) * y as f64;
+            assert!(f >= 1.0 - 1e-2, "functional margin {f} below 1");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let (xs, ys) = separable();
+        assert!(matches!(
+            SvmTrainer::new().train(&[], &[]),
+            Err(MlError::EmptyInput)
+        ));
+        assert!(matches!(
+            SvmTrainer::new().train(&xs, &ys[..3]),
+            Err(MlError::LabelCountMismatch { .. })
+        ));
+        let one_class = vec![1, 1, 1, 1];
+        assert!(matches!(
+            SvmTrainer::new().train(&xs[..4], &one_class),
+            Err(MlError::SingleClass)
+        ));
+        let mixed = vec![SparseVec::zeros(2), SparseVec::zeros(3)];
+        assert!(matches!(
+            SvmTrainer::new().train(&mixed, &[1, -1]),
+            Err(MlError::Ir(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be positive")]
+    fn c_must_be_positive() {
+        let _ = SvmTrainer::new().c(0.0);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let (xs, ys) = separable();
+        let model = SvmTrainer::new().kernel(Kernel::Linear).train(&xs, &ys).unwrap();
+        let batch = model.predict_batch(&xs);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(batch[i], model.predict(x));
+        }
+    }
+
+    #[test]
+    fn overlapping_data_still_trains() {
+        // Noisy labels: a few flipped points should not break training.
+        let (mut xs, mut ys) = separable();
+        ys[0] = -1; // flip one label
+        xs.push(point(2, &[(0, 0.0), (1, 0.0)]));
+        ys.push(1);
+        let model = SvmTrainer::new().kernel(Kernel::Linear).c(1.0).train(&xs, &ys).unwrap();
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc >= 0.8, "accuracy {acc} too low on noisy data");
+    }
+}

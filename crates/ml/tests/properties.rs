@@ -1,0 +1,170 @@
+//! Property-based tests for the learning crate.
+
+use fmeter_ir::{euclidean_distance, SparseVec};
+use fmeter_ml::metrics::{majority_baseline, purity, BinaryConfusion};
+use fmeter_ml::{Agglomerative, KMeans, Kernel, Linkage, SvmTrainer};
+use proptest::prelude::*;
+
+const DIM: usize = 8;
+
+fn arb_points(min: usize, max: usize) -> impl Strategy<Value = Vec<SparseVec>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..DIM as u32, -50.0f64..50.0), 1..6),
+        min..max,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|pairs| SparseVec::from_pairs(DIM, pairs).expect("terms in range"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kmeans_assignments_point_to_nearest_centroid(
+        points in arb_points(4, 24),
+        k in 1usize..4,
+        seed in 0u64..32,
+    ) {
+        prop_assume!(points.len() >= k);
+        let r = KMeans::new(k).seed(seed).run(&points).unwrap();
+        prop_assert_eq!(r.assignments.len(), points.len());
+        prop_assert_eq!(r.centroids.len(), k);
+        for (i, p) in points.iter().enumerate() {
+            let assigned = euclidean_distance(p, &r.centroids[r.assignments[i]]).unwrap();
+            for c in &r.centroids {
+                let d = euclidean_distance(p, c).unwrap();
+                prop_assert!(assigned <= d + 1e-9,
+                    "point {} assigned to non-nearest centroid", i);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_nonincreasing_in_k(points in arb_points(8, 20), seed in 0u64..16) {
+        // More clusters can only reduce (best-restart) inertia on average;
+        // use restarts to avoid local-minimum flukes.
+        let r1 = KMeans::new(1).seed(seed).restarts(3).run(&points).unwrap();
+        let r2 = KMeans::new(2).seed(seed).restarts(3).run(&points).unwrap();
+        prop_assert!(r2.inertia <= r1.inertia + 1e-6);
+    }
+
+    #[test]
+    fn purity_is_bounded(
+        pairs in prop::collection::vec((0usize..4, 0usize..4), 1..40),
+    ) {
+        let assignments: Vec<usize> = pairs.iter().map(|&(a, _)| a).collect();
+        let classes: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
+        let p = purity(&assignments, &classes).unwrap();
+        prop_assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn purity_of_identity_clustering_is_one(classes in prop::collection::vec(0usize..4, 1..40)) {
+        let assignments: Vec<usize> = (0..classes.len()).collect();
+        prop_assert_eq!(purity(&assignments, &classes).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn baseline_is_at_least_half(labels in prop::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], 1..60)) {
+        let b = majority_baseline(&labels).unwrap();
+        prop_assert!((0.5..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn confusion_accuracy_complements_error(
+        pairs in prop::collection::vec((prop_oneof![Just(1i8), Just(-1i8)], any::<bool>()), 1..40),
+    ) {
+        let truth: Vec<i8> = pairs.iter().map(|&(t, _)| t).collect();
+        let flips: Vec<bool> = pairs.iter().map(|&(_, f)| f).collect();
+        let predicted: Vec<i8> = truth
+            .iter()
+            .zip(&flips)
+            .map(|(&t, &f)| if f { -t } else { t })
+            .collect();
+        let c = BinaryConfusion::from_labels(&truth, &predicted).unwrap();
+        let errors = flips.iter().filter(|&&f| f).count();
+        let expected = 1.0 - errors as f64 / truth.len() as f64;
+        prop_assert!((c.accuracy() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dendrogram_structure_is_sound(points in arb_points(2, 16)) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let tree = Agglomerative::new(linkage).fit(&points).unwrap();
+            let n = points.len();
+            prop_assert_eq!(tree.merges().len(), n - 1);
+            // Root covers all points.
+            prop_assert_eq!(tree.merges().last().unwrap().size, n);
+            // Distances are non-negative.
+            for m in tree.merges() {
+                prop_assert!(m.distance >= 0.0);
+            }
+            // Cutting into k clusters yields exactly min(k, n) distinct ids.
+            for k in 1..=n {
+                let cut = tree.cut(k);
+                let mut ids = cut.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), k);
+                // ids are dense 0..k
+                prop_assert_eq!(ids, (0..k).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn single_linkage_merge_distances_are_monotone(points in arb_points(3, 16)) {
+        let tree = Agglomerative::new(Linkage::Single).fit(&points).unwrap();
+        let mut prev = 0.0;
+        for m in tree.merges() {
+            prop_assert!(m.distance >= prev - 1e-9);
+            prev = m.distance;
+        }
+    }
+
+    #[test]
+    fn svm_separates_translated_blobs(
+        seed in 0u64..64,
+        separation in 3.0f64..20.0,
+        n in 4usize..14,
+    ) {
+        // Two blobs separated along dimension 0.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let jitter = (i as f64) * 0.05;
+            xs.push(SparseVec::from_pairs(DIM, [(0, jitter), (1, 1.0)]).unwrap());
+            ys.push(-1i8);
+            xs.push(
+                SparseVec::from_pairs(DIM, [(0, separation + jitter), (1, 1.0)]).unwrap(),
+            );
+            ys.push(1i8);
+        }
+        let model = SvmTrainer::new()
+            .kernel(Kernel::Linear)
+            .seed(seed)
+            .train(&xs, &ys)
+            .unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            prop_assert_eq!(model.predict(x), y);
+        }
+        prop_assert!(model.num_support_vectors() >= 2);
+    }
+
+    #[test]
+    fn svm_decision_is_sign_of_f(points in arb_points(6, 20), seed in 0u64..8) {
+        // Assign labels by dimension-0 sign of a hash; just check predict
+        // equals sign(decision_function) even on messy data.
+        let ys: Vec<i8> = (0..points.len()).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        if let Ok(model) = SvmTrainer::new().seed(seed).max_passes(20).train(&points, &ys) {
+            for p in &points {
+                let f = model.decision_function(p);
+                let pred = model.predict(p);
+                prop_assert_eq!(pred, if f >= 0.0 { 1 } else { -1 });
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Real (wall-clock) calibration of the two tracers' fast paths.
+//!
+//! The simulated per-call overheads ([`FMETER_CALL_OVERHEAD`],
+//! [`FTRACE_CALL_OVERHEAD`]) claim a large cost gap between counting into
+//! per-CPU slots and appending ring-buffer records. These helpers measure
+//! the *actual* cost of our two implementations on the host running the
+//! reproduction, so EXPERIMENTS.md can report the measured ratio next to
+//! the modelled one.
+//!
+//! [`FMETER_CALL_OVERHEAD`]: crate::FMETER_CALL_OVERHEAD
+//! [`FTRACE_CALL_OVERHEAD`]: crate::FTRACE_CALL_OVERHEAD
+
+use std::time::Instant;
+
+use fmeter_kernel_sim::{CpuId, FunctionId, FunctionTracer, KernelImageBuilder};
+
+use crate::{FmeterTracer, FtraceTracer};
+
+/// Result of a calibration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Measured nanoseconds per Fmeter counter increment.
+    pub fmeter_ns_per_call: f64,
+    /// Measured nanoseconds per Ftrace ring-buffer append.
+    pub ftrace_ns_per_call: f64,
+}
+
+impl Calibration {
+    /// Measured ftrace/fmeter cost ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.fmeter_ns_per_call == 0.0 {
+            return f64::INFINITY;
+        }
+        self.ftrace_ns_per_call / self.fmeter_ns_per_call
+    }
+
+    /// Runs both measurements with `iterations` calls each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the standard kernel image fails to build (impossible for
+    /// the default builder).
+    pub fn measure(iterations: u64) -> Calibration {
+        Calibration {
+            fmeter_ns_per_call: measure_fmeter_increment(iterations),
+            ftrace_ns_per_call: measure_ftrace_append(iterations),
+        }
+    }
+}
+
+/// Measures the real cost of one Fmeter stub execution (stub lookup +
+/// per-CPU slot increment), in nanoseconds per call.
+pub fn measure_fmeter_increment(iterations: u64) -> f64 {
+    let image = KernelImageBuilder::new().build().expect("standard image builds");
+    let tracer = FmeterTracer::with_cpus(&image.symbols, 1);
+    let functions = spread_functions(image.symbols.len());
+    let start = Instant::now();
+    for i in 0..iterations {
+        tracer.on_function_call(CpuId(0), functions[(i % functions.len() as u64) as usize]);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(tracer.count(functions[0]));
+    elapsed.as_nanos() as f64 / iterations as f64
+}
+
+/// Measures the real cost of one Ftrace event append (lock + encode +
+/// ring push), in nanoseconds per call. Uses a buffer large enough that
+/// overwrite churn matches steady-state tracing.
+pub fn measure_ftrace_append(iterations: u64) -> f64 {
+    let image = KernelImageBuilder::new().build().expect("standard image builds");
+    let tracer = FtraceTracer::new(&image.symbols, 1, 1 << 20);
+    let functions = spread_functions(image.symbols.len());
+    let start = Instant::now();
+    for i in 0..iterations {
+        tracer.on_function_call(CpuId(0), functions[(i % functions.len() as u64) as usize]);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(tracer.total_recorded());
+    elapsed.as_nanos() as f64 / iterations as f64
+}
+
+/// A spread of function ids across the table (defeats a single hot cache
+/// line being the entire benchmark).
+fn spread_functions(num_functions: usize) -> Vec<FunctionId> {
+    (0..64).map(|i| FunctionId((i * num_functions / 64) as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_positive_costs() {
+        let c = Calibration::measure(10_000);
+        assert!(c.fmeter_ns_per_call > 0.0);
+        assert!(c.ftrace_ns_per_call > 0.0);
+        assert!(c.ratio() > 0.0);
+    }
+
+    #[test]
+    fn ftrace_append_costs_more_than_fmeter_increment() {
+        // The data-structure claim, measured for real. Wall-clock
+        // micro-timing is noisy under a loaded test host, so take the
+        // best of three runs per side before comparing.
+        let best = (0..3)
+            .map(|_| Calibration::measure(200_000))
+            .map(|c| {
+                (
+                    c.fmeter_ns_per_call,
+                    c.ftrace_ns_per_call,
+                )
+            })
+            .fold((f64::INFINITY, f64::INFINITY), |acc, (f, t)| {
+                (acc.0.min(f), acc.1.min(t))
+            });
+        let ratio = best.1 / best.0;
+        assert!(
+            ratio > 1.3,
+            "expected ring-buffer append to cost well over a counter bump, ratio={ratio}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+use fmeter_kernel_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time copy of all per-function invocation counters.
+///
+/// The Fmeter logging daemon "reads all kernel function invocation counts
+/// twice (before and after the time interval) and generates the difference
+/// between them" — [`CounterSnapshot::delta`] is that difference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    counts: Vec<u64>,
+    taken_at: Nanos,
+}
+
+impl CounterSnapshot {
+    /// Wraps raw counter values captured at simulated time `taken_at`.
+    pub fn new(counts: Vec<u64>, taken_at: Nanos) -> Self {
+        CounterSnapshot { counts, taken_at }
+    }
+
+    /// The per-function counts (indexed by function id).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of functions covered.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` for an empty (zero-function) snapshot.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Simulated time at which the snapshot was taken.
+    pub fn taken_at(&self) -> Nanos {
+        self.taken_at
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-function difference `later - self`, saturating at zero.
+    ///
+    /// Counters are monotone while a tracer stays installed, so saturation
+    /// only triggers if the counters were reset between snapshots — in that
+    /// case the delta for a shrunken counter is meaningless and clamping to
+    /// zero is the conservative choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshots cover different function counts
+    /// (snapshots from different kernels are not comparable — the paper
+    /// notes signatures are not valid across kernel versions).
+    pub fn delta(&self, later: &CounterSnapshot) -> Vec<u64> {
+        assert_eq!(
+            self.counts.len(),
+            later.counts.len(),
+            "snapshots cover different symbol tables"
+        );
+        self.counts
+            .iter()
+            .zip(&later.counts)
+            .map(|(&a, &b)| b.saturating_sub(a))
+            .collect()
+    }
+
+    /// Interval between this snapshot and a `later` one.
+    pub fn interval(&self, later: &CounterSnapshot) -> Nanos {
+        later.taken_at - self.taken_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_elementwise_difference() {
+        let a = CounterSnapshot::new(vec![1, 5, 10], Nanos(100));
+        let b = CounterSnapshot::new(vec![4, 5, 30], Nanos(400));
+        assert_eq!(a.delta(&b), vec![3, 0, 20]);
+        assert_eq!(a.interval(&b), Nanos(300));
+    }
+
+    #[test]
+    fn delta_saturates_on_reset() {
+        let a = CounterSnapshot::new(vec![10], Nanos(0));
+        let b = CounterSnapshot::new(vec![3], Nanos(1));
+        assert_eq!(a.delta(&b), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different symbol tables")]
+    fn mismatched_lengths_panic() {
+        let a = CounterSnapshot::new(vec![1], Nanos(0));
+        let b = CounterSnapshot::new(vec![1, 2], Nanos(0));
+        let _ = a.delta(&b);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = CounterSnapshot::new(vec![2, 3], Nanos(7));
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.taken_at(), Nanos(7));
+        assert_eq!(s.counts(), &[2, 3]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Workload generators driving the simulated kernel.
+//!
+//! Two families, matching the paper's evaluation:
+//!
+//! * [`lmbench`] — the 23 micro-benchmark latency tests of Table 1, each
+//!   mapped to its kernel operation sequence,
+//! * macro workloads ([`KCompile`], [`Scp`], [`Dbench`], [`ApacheBench`],
+//!   [`NetperfReceive`]) — the §4.2 signature workloads plus the Table 2/3
+//!   throughput benchmarks.
+//!
+//! All workloads implement [`Workload`]: a `step` is one natural unit
+//! (one compiled translation unit, one transferred chunk, one HTTP
+//! request, one received packet batch) issuing kernel operations and
+//! spending un-instrumented user time, just as the real programs would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lmbench;
+mod macros;
+mod mix;
+mod noise;
+mod workload;
+
+pub use lmbench::{LatencyStats, LmbenchTest};
+pub use macros::{ApacheBench, Dbench, KCompile, NetperfReceive, Scp};
+pub use mix::OpMix;
+pub use noise::{Background, WithBackground};
+pub use workload::{StepStats, Workload};

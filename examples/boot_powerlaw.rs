@@ -1,0 +1,51 @@
+//! Figure-1 style exploration: boot the simulated kernel and inspect the
+//! power-law distribution of function invocation counts.
+//!
+//! ```text
+//! cargo run --release --example boot_powerlaw
+//! ```
+
+use std::sync::Arc;
+
+use fmeter::kernel_sim::{FunctionId, Kernel, KernelConfig};
+use fmeter::trace::FmeterTracer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kernel = Kernel::new(KernelConfig::default())?;
+    let tracer = Arc::new(FmeterTracer::with_cpus(kernel.symbols(), kernel.num_cpus()));
+    kernel.set_tracer(tracer.clone());
+
+    let report = kernel.boot()?;
+    println!(
+        "boot complete: {} functions, {} calls, {} simulated",
+        report.functions, report.total_calls, report.duration
+    );
+
+    // Rank functions by invocation count.
+    let snapshot = tracer.snapshot(kernel.now());
+    let mut ranked: Vec<(u64, FunctionId)> = snapshot
+        .counts()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, FunctionId(i as u32)))
+        .collect();
+    ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+
+    println!("\nhottest 15 functions (the idf-attenuated 'stop words'):");
+    for (count, id) in ranked.iter().take(15) {
+        let f = kernel.symbols().function(*id)?;
+        println!("  {:>9} calls  {:<28} [{}]", count, f.name, f.subsystem);
+    }
+
+    println!("\nselected rank/count points (log-log straight line):");
+    for rank in [1usize, 4, 16, 64, 256, 1024, 3815] {
+        let (count, _) = ranked[rank - 1];
+        println!("  rank {rank:>5}: {count}");
+    }
+
+    let decades =
+        (ranked[0].0 as f64 / ranked[ranked.len() - 1].0.max(1) as f64).log10();
+    println!("\ndynamic range: {decades:.1} decades (paper's Figure 1: ~7)");
+    assert!(decades > 3.5);
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Fleet monitoring with unsupervised syndromes — the paper's §2.2
+//! operator workflow: signatures stream in from many production machines,
+//! get clustered into labelled syndromes, and new machines are diagnosed
+//! by their nearest syndrome. Meta-clustering then groups whole behaviour
+//! classes for cache-aware scheduling.
+//!
+//! ```text
+//! cargo run --release --example datacenter_monitor
+//! ```
+
+use fmeter::core::{Fmeter, RawSignature, SignatureDb};
+use fmeter::ir::euclidean_distance;
+use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
+use fmeter::workloads::{ApacheBench, Dbench, KCompile, Scp, Workload};
+
+/// One "production machine" running a known role.
+fn machine_run(
+    role: usize,
+    label: &str,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<RawSignature>, Box<dyn std::error::Error>> {
+    let mut kernel = Kernel::new(KernelConfig { seed, ..KernelConfig::default() })?;
+    let fmeter = Fmeter::install(&mut kernel);
+    let cpus: Vec<CpuId> = (0..4).map(CpuId).collect();
+    let mut logger = fmeter.logger(Nanos::from_millis(8), kernel.now());
+    let mut workload: Box<dyn Workload> = match role {
+        0 => Box::new(ApacheBench::new(seed)),
+        1 => Box::new(Dbench::new(seed)),
+        2 => Box::new(KCompile::new(seed)),
+        _ => Box::new(Scp::new(seed)),
+    };
+    Ok(logger.collect(&mut kernel, workload.as_mut(), &cpus, n, Some(label))?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Twelve machines, four roles, three machines per role.
+    let roles = ["web", "storage", "build", "transfer"];
+    let mut all = Vec::new();
+    for (role, name) in roles.iter().enumerate() {
+        for machine in 0..3 {
+            let seed = (role * 10 + machine) as u64 + 1000;
+            println!("collecting from {name}-{machine}...");
+            all.extend(machine_run(role, name, 10, seed)?);
+        }
+    }
+    println!("fleet corpus: {} signatures", all.len());
+
+    // 2. Cluster the fleet into syndromes (K = number of roles) and
+    //    explain each one by its most discriminative kernel functions
+    //    (resolved through the kallsyms debugfs export, as an operator
+    //    tool would).
+    let db = SignatureDb::build(&all)?;
+    let syndromes = db.syndromes(roles.len(), 42)?;
+    let symbol_kernel = Kernel::new(KernelConfig::default())?;
+    println!("\nsyndromes:");
+    for (i, s) in syndromes.iter().enumerate() {
+        let explanation: Vec<String> = db
+            .explain_syndrome(s, 3)
+            .into_iter()
+            .map(|(term, _, _)| {
+                symbol_kernel
+                    .symbols()
+                    .function(fmeter::kernel_sim::FunctionId(term))
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|_| format!("fn#{term}"))
+            })
+            .collect();
+        println!(
+            "  syndrome {i}: {} members, dominant role = {:?}, signature functions: {}",
+            s.members.len(),
+            s.dominant_label,
+            explanation.join(", ")
+        );
+    }
+    // Every role must surface as some syndrome's dominant label.
+    for name in roles {
+        assert!(
+            syndromes.iter().any(|s| s.dominant_label.as_deref() == Some(name)),
+            "role {name} lost in clustering"
+        );
+    }
+
+    // 3. A new, unlabelled machine reports in — diagnose it by the
+    //    nearest syndrome centroid.
+    println!("\nnew unlabelled machine joins (secretly a storage box)...");
+    let newcomer = machine_run(1, "unknown", 6, 9999)?;
+    let mut verdicts = std::collections::HashMap::<String, usize>::new();
+    for sig in &newcomer {
+        let vector = db.transform(&sig.to_term_counts());
+        let nearest = syndromes
+            .iter()
+            .min_by(|a, b| {
+                let da = euclidean_distance(&vector, &a.centroid).expect("same space");
+                let db_ = euclidean_distance(&vector, &b.centroid).expect("same space");
+                da.total_cmp(&db_)
+            })
+            .expect("syndromes exist");
+        if let Some(label) = &nearest.dominant_label {
+            *verdicts.entry(label.clone()).or_default() += 1;
+        }
+    }
+    let (diagnosis, votes) =
+        verdicts.iter().max_by_key(|(_, &v)| v).expect("votes exist");
+    println!("diagnosis: {diagnosis} ({votes}/{} intervals agree)", newcomer.len());
+    assert_eq!(diagnosis, "storage");
+
+    // 4. Meta-clustering: which whole roles use the kernel similarly?
+    //    (The paper proposes scheduling similar classes on shared cache
+    //    domains.)
+    let groups = SignatureDb::meta_cluster(&syndromes, 2)?;
+    println!("\nmeta-clustering of syndromes into 2 cache-affinity groups:");
+    for (i, s) in syndromes.iter().enumerate() {
+        println!(
+            "  group {}: syndrome {i} ({:?})",
+            groups[i], s.dominant_label
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Fmeter — indexable low-level system signatures by counting kernel
+//! function calls.
+//!
+//! A comprehensive reproduction of *"Fmeter: Extracting Indexable
+//! Low-level System Signatures by Counting Kernel Function Calls"*
+//! (Marian, Lee, Weatherspoon, Sagar — MIDDLEWARE 2012), built from
+//! scratch in Rust, including every substrate the paper depends on:
+//!
+//! * [`kernel_sim`] — a deterministic monolithic-kernel simulator (3815
+//!   instrumented functions, stochastic call graph, per-CPU state,
+//!   loadable modules, timer interrupts),
+//! * [`trace`] — the two instrumentation systems: Fmeter's per-CPU
+//!   counter pages and an Ftrace-style ring-buffer function tracer,
+//! * [`workloads`] — lmbench micro-benchmarks and the paper's macro
+//!   workloads (kcompile, scp, dbench, apachebench, netperf),
+//! * [`ir`] — the vector space model: tf-idf, sparse vectors, distances,
+//!   inverted-index search,
+//! * [`ml`] — K-means, agglomerative hierarchical clustering, an SMO
+//!   SVM, the paper's K-fold cross-validation protocol, and metrics,
+//! * [`core`] — the assembled system: tracer installation, the logging
+//!   daemon, and the labelled signature database.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fmeter::core::{Fmeter, SignatureDb};
+//! use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
+//! use fmeter::workloads::{Dbench, Workload};
+//!
+//! // Boot a machine, install Fmeter, log signatures of a workload.
+//! let mut kernel = Kernel::new(KernelConfig::default())?;
+//! let fmeter = Fmeter::install(&mut kernel);
+//! let mut logger = fmeter.logger(Nanos::from_millis(5), kernel.now());
+//! let raw = logger.collect(&mut kernel, &mut Dbench::new(7), &[CpuId(0)], 5, Some("dbench"))?;
+//!
+//! // Embed them in the vector space model and search by similarity.
+//! let db = SignatureDb::build(&raw)?;
+//! let hits = db.search(&raw[0].to_term_counts(), 3)?;
+//! assert_eq!(hits.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use fmeter_core as core;
+pub use fmeter_ir as ir;
+pub use fmeter_kernel_sim as kernel_sim;
+pub use fmeter_ml as ml;
+pub use fmeter_trace as trace;
+pub use fmeter_workloads as workloads;

@@ -1,0 +1,155 @@
+//! End-to-end integration: boot → workload → daemon → tf-idf → learning,
+//! exercising the full §4.2 methodology at test scale.
+
+use fmeter::core::{Fmeter, RawSignature, SignatureDb};
+use fmeter::ir::{Corpus, TfIdfModel};
+use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
+use fmeter::ml::metrics::purity;
+use fmeter::ml::{Agglomerative, CrossValidation, KMeans, Linkage};
+use fmeter::workloads::{Dbench, KCompile, Scp, Workload};
+
+fn collect(workload: &mut dyn Workload, label: &str, n: usize, seed: u64) -> Vec<RawSignature> {
+    let mut kernel = Kernel::new(KernelConfig {
+        num_cpus: 4,
+        seed,
+        timer_hz: 1000,
+        image_seed: 0x2628,
+    })
+    .expect("standard image builds");
+    let fmeter = Fmeter::install(&mut kernel);
+    let cpus: Vec<CpuId> = (0..2).map(CpuId).collect();
+    let mut logger = fmeter.logger(Nanos::from_millis(5), kernel.now());
+    logger.collect(&mut kernel, workload, &cpus, n, Some(label)).expect("collection runs")
+}
+
+fn vectors_of(raw: &[RawSignature]) -> Vec<fmeter::ir::SparseVec> {
+    let mut corpus = Corpus::new(raw[0].counts.len());
+    for r in raw {
+        corpus.push(r.to_term_counts());
+    }
+    let model = TfIdfModel::fit(&corpus).expect("non-empty corpus");
+    corpus.iter().map(|d| model.transform(d).l2_normalized()).collect()
+}
+
+#[test]
+fn svm_separates_workload_classes() {
+    let scp = collect(&mut Scp::new(1), "scp", 15, 11);
+    let kcompile = collect(&mut KCompile::new(2), "kcompile", 15, 12);
+    let mut all = scp.clone();
+    all.extend(kcompile.clone());
+    let xs = vectors_of(&all);
+    let ys: Vec<i8> =
+        std::iter::repeat(1).take(15).chain(std::iter::repeat(-1).take(15)).collect();
+    let report = CrossValidation::new(3).run(&xs, &ys).expect("cv runs");
+    let (acc, _) = report.mean_accuracy();
+    assert!(acc >= 0.9, "mini Table 4 accuracy collapsed: {acc}");
+}
+
+#[test]
+fn kmeans_recovers_three_workloads() {
+    let scp = collect(&mut Scp::new(3), "scp", 12, 21);
+    let kcompile = collect(&mut KCompile::new(4), "kcompile", 12, 22);
+    let dbench = collect(&mut Dbench::new(5), "dbench", 12, 23);
+    let mut all = scp;
+    all.extend(kcompile);
+    all.extend(dbench);
+    let xs = vectors_of(&all);
+    let truth: Vec<usize> =
+        (0..3).flat_map(|c| std::iter::repeat(c).take(12)).collect();
+    let result = KMeans::new(3).seed(1).restarts(4).run(&xs).expect("clustering runs");
+    let p = purity(&result.assignments, &truth).expect("aligned");
+    assert!(p >= 0.9, "3-class purity collapsed: {p}");
+}
+
+#[test]
+fn dendrogram_separates_two_workloads_below_root() {
+    let scp = collect(&mut Scp::new(6), "scp", 8, 31);
+    let dbench = collect(&mut Dbench::new(7), "dbench", 8, 32);
+    let mut all = scp;
+    all.extend(dbench);
+    let xs = vectors_of(&all);
+    let tree = Agglomerative::new(Linkage::Single).fit(&xs).expect("fit runs");
+    let (mut left, _right) = tree.root_split().expect("root exists");
+    left.sort_unstable();
+    let scp_side: Vec<usize> = (0..8).collect();
+    let dbench_side: Vec<usize> = (8..16).collect();
+    assert!(
+        left == scp_side || left == dbench_side,
+        "root split mixes classes: {left:?}"
+    );
+}
+
+#[test]
+fn signature_db_classifies_and_persists() {
+    let scp = collect(&mut Scp::new(8), "scp", 10, 41);
+    let dbench = collect(&mut Dbench::new(9), "dbench", 10, 42);
+    let mut all = scp;
+    all.extend(dbench);
+    let db = SignatureDb::build(&all).expect("db builds");
+
+    // Fresh intervals classify correctly by nearest neighbours.
+    let fresh_dbench = collect(&mut Dbench::new(10), "probe", 2, 43);
+    for sig in &fresh_dbench {
+        let verdict = db.classify(&sig.to_term_counts(), 5).expect("search runs");
+        assert_eq!(verdict.as_deref(), Some("dbench"));
+    }
+
+    // Round-trip through JSON persistence.
+    let mut buf = Vec::new();
+    db.save(&mut buf).expect("saves");
+    let restored = SignatureDb::load(&buf[..]).expect("loads");
+    assert_eq!(restored.len(), db.len());
+    let verdict = restored
+        .classify(&fresh_dbench[0].to_term_counts(), 5)
+        .expect("search runs");
+    assert_eq!(verdict.as_deref(), Some("dbench"));
+}
+
+#[test]
+fn interval_length_does_not_skew_signatures() {
+    // The paper's claim (§3, §5): tf normalisation removes run-length
+    // bias. Signatures of one workload at 4 ms and 16 ms intervals must
+    // classify as the same class.
+    let short = {
+        let mut kernel = Kernel::new(KernelConfig {
+            num_cpus: 4,
+            seed: 51,
+            timer_hz: 1000,
+            image_seed: 0x2628,
+        })
+        .unwrap();
+        let fmeter = Fmeter::install(&mut kernel);
+        let mut logger = fmeter.logger(Nanos::from_millis(4), kernel.now());
+        logger
+            .collect(&mut kernel, &mut Dbench::new(11), &[CpuId(0)], 8, Some("dbench"))
+            .unwrap()
+    };
+    let long = {
+        let mut kernel = Kernel::new(KernelConfig {
+            num_cpus: 4,
+            seed: 52,
+            timer_hz: 1000,
+            image_seed: 0x2628,
+        })
+        .unwrap();
+        let fmeter = Fmeter::install(&mut kernel);
+        let mut logger = fmeter.logger(Nanos::from_millis(16), kernel.now());
+        logger
+            .collect(&mut kernel, &mut Dbench::new(12), &[CpuId(0)], 8, Some("dbench"))
+            .unwrap()
+    };
+    let scp = collect(&mut Scp::new(13), "scp", 8, 53);
+
+    // Corpus: short-interval dbench + scp. Query: long-interval dbench.
+    let mut training = short.clone();
+    training.extend(scp);
+    let db = SignatureDb::build(&training).expect("db builds");
+    for sig in &long {
+        let verdict = db.classify(&sig.to_term_counts(), 3).expect("search runs");
+        assert_eq!(
+            verdict.as_deref(),
+            Some("dbench"),
+            "a 4x longer interval must not change the class"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration: runtime-loadable modules are invisible to the tracer
+//! except through the core-kernel functions they call — the property the
+//! whole Table 5 experiment rests on.
+
+use std::sync::Arc;
+
+use fmeter::kernel_sim::{
+    modules, CpuId, Kernel, KernelConfig, ModuleOp, RecordingTracer,
+};
+use fmeter::trace::FmeterTracer;
+use fmeter::workloads::{NetperfReceive, Workload};
+
+fn kernel(seed: u64) -> Kernel {
+    Kernel::new(KernelConfig { num_cpus: 2, seed, timer_hz: 0, image_seed: 0x2628 })
+        .expect("standard image builds")
+}
+
+#[test]
+fn module_ops_only_emit_core_kernel_function_ids() {
+    let mut k = kernel(1);
+    k.load_module(modules::myri10ge_v151_no_lro()).unwrap();
+    let recorder = Arc::new(RecordingTracer::new());
+    k.set_tracer(recorder.clone());
+    k.run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 64).unwrap();
+    let num_functions = k.num_functions() as u32;
+    let calls = recorder.calls();
+    assert!(!calls.is_empty());
+    for (_, f) in calls {
+        assert!(f.0 < num_functions, "traced id {f} outside the core symbol table");
+    }
+}
+
+#[test]
+fn no_myri10ge_symbol_exists_in_core_table() {
+    let k = kernel(2);
+    for f in k.symbols().iter() {
+        assert!(
+            !f.name.starts_with("myri10ge"),
+            "driver symbol {} leaked into the instrumented table",
+            f.name
+        );
+    }
+}
+
+#[test]
+fn lro_variants_differ_only_through_core_calls() {
+    // Same receive volume through two driver variants: the LRO-off driver
+    // must show far more netif_receive_skb activity; the LRO-on driver
+    // must show inet_lro activity instead.
+    let run = |module| {
+        let mut k = kernel(3);
+        k.load_module(module).unwrap();
+        let fmeter = Arc::new(FmeterTracer::with_cpus(k.symbols(), 2));
+        k.set_tracer(fmeter.clone());
+        let mut netperf = NetperfReceive::new(4, "myri10ge");
+        netperf.run_steps(&mut k, &[CpuId(0)], 40).unwrap();
+        let netif = k.symbols().lookup("netif_receive_skb").unwrap();
+        let lro = k.symbols().lookup("inet_lro_receive_skb").unwrap();
+        (fmeter.count(netif), fmeter.count(lro))
+    };
+    let (netif_on, lro_on) = run(modules::myri10ge_v151());
+    let (netif_off, lro_off) = run(modules::myri10ge_v151_no_lro());
+    assert!(lro_on > 0, "LRO driver must call inet_lro_receive_skb");
+    assert_eq!(lro_off, 0, "LRO-off driver must never call inet_lro_receive_skb");
+    assert!(
+        netif_off > netif_on * 3,
+        "per-packet delivery must dominate aggregated delivery ({netif_off} vs {netif_on})"
+    );
+}
+
+#[test]
+fn unloading_the_module_stops_its_effects() {
+    let mut k = kernel(5);
+    k.load_module(modules::myri10ge_v143()).unwrap();
+    k.run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 8).unwrap();
+    k.unload_module("myri10ge").unwrap();
+    assert!(k
+        .run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 8)
+        .is_err());
+    assert!(k.loaded_modules().is_empty());
+}
+
+#[test]
+fn driver_internal_time_elapses_without_tracer_events() {
+    let mut k = kernel(6);
+    // A module with pure internal work and zero core-kernel calls.
+    let ghost = fmeter::kernel_sim::KernelModule::new("ghost", "0.1").with_handler(
+        ModuleOp::NicTransmit,
+        fmeter::kernel_sim::ModuleHandler {
+            calls: vec![],
+            internal_cost_per_unit: fmeter::kernel_sim::Nanos(1_000),
+        },
+    );
+    k.load_module(ghost).unwrap();
+    let recorder = Arc::new(RecordingTracer::new());
+    k.set_tracer(recorder.clone());
+    let before = k.now();
+    let stats = k.run_module_op(CpuId(0), "ghost", ModuleOp::NicTransmit, 100).unwrap();
+    assert_eq!(recorder.len(), 0, "ghost module must be invisible");
+    assert_eq!(stats.calls, 0);
+    assert!(k.now() - before >= fmeter::kernel_sim::Nanos(100_000));
+}

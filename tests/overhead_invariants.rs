@@ -1,0 +1,137 @@
+//! Integration: the simulated-cost model behind Tables 1–3 keeps its
+//! defining invariants.
+
+use std::sync::Arc;
+
+use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, KernelOp, Nanos};
+use fmeter::trace::{FmeterTracer, FtraceTracer, FMETER_CALL_OVERHEAD, FTRACE_CALL_OVERHEAD};
+use fmeter::workloads::LmbenchTest;
+
+fn kernel(seed: u64) -> Kernel {
+    Kernel::new(KernelConfig { num_cpus: 2, seed, timer_hz: 0, image_seed: 0x2628 })
+        .expect("standard image builds")
+}
+
+#[test]
+fn identical_walks_differ_only_by_overhead() {
+    // Same seed, three tracers: the executed call multiset is identical,
+    // and the time difference is exactly overhead x calls.
+    let mut vanilla = kernel(17);
+    let mut with_fmeter = kernel(17);
+    let mut with_ftrace = kernel(17);
+    with_fmeter.set_tracer(Arc::new(FmeterTracer::with_cpus(with_fmeter.symbols(), 2)));
+    with_ftrace
+        .set_tracer(Arc::new(FtraceTracer::new(with_ftrace.symbols(), 2, 1 << 22)));
+
+    for op in [
+        KernelOp::Read { bytes: 16384 },
+        KernelOp::Fork { pages: 48 },
+        KernelOp::TcpSend { bytes: 30000 },
+        KernelOp::Fsync,
+    ] {
+        let sv = vanilla.run_op(CpuId(0), op).unwrap();
+        let sm = with_fmeter.run_op(CpuId(0), op).unwrap();
+        let sf = with_ftrace.run_op(CpuId(0), op).unwrap();
+        assert_eq!(sv.calls, sm.calls);
+        assert_eq!(sv.calls, sf.calls);
+        assert_eq!(sm.time.0, sv.time.0 + FMETER_CALL_OVERHEAD.0 * sv.calls);
+        assert_eq!(sf.time.0, sv.time.0 + FTRACE_CALL_OVERHEAD.0 * sv.calls);
+    }
+}
+
+#[test]
+fn overhead_ordering_holds_for_every_lmbench_test() {
+    for test in LmbenchTest::ALL {
+        let mut vanilla = kernel(23);
+        let mut with_fmeter = kernel(23);
+        let mut with_ftrace = kernel(23);
+        with_fmeter
+            .set_tracer(Arc::new(FmeterTracer::with_cpus(with_fmeter.symbols(), 2)));
+        with_ftrace
+            .set_tracer(Arc::new(FtraceTracer::new(with_ftrace.symbols(), 2, 1 << 22)));
+        let v = test.run(&mut vanilla, CpuId(0), 15).unwrap();
+        let m = test.run(&mut with_fmeter, CpuId(0), 15).unwrap();
+        let f = test.run(&mut with_ftrace, CpuId(0), 15).unwrap();
+        assert!(
+            v.mean_us < m.mean_us && m.mean_us < f.mean_us,
+            "{}: ordering vanilla({:.3}) < fmeter({:.3}) < ftrace({:.3}) violated",
+            test.label(),
+            v.mean_us,
+            m.mean_us,
+            f.mean_us
+        );
+        let fmeter_slowdown = m.mean_us / v.mean_us;
+        let ftrace_slowdown = f.mean_us / v.mean_us;
+        assert!(
+            fmeter_slowdown < 2.5,
+            "{}: fmeter slowdown {fmeter_slowdown:.2} out of the paper's band",
+            test.label()
+        );
+        assert!(
+            ftrace_slowdown / fmeter_slowdown > 2.0,
+            "{}: ftrace must be >2x worse than fmeter (got {:.2}x vs {:.2}x)",
+            test.label(),
+            ftrace_slowdown,
+            fmeter_slowdown
+        );
+    }
+}
+
+#[test]
+fn lmbench_relative_magnitudes_match_the_paper() {
+    // Coarse sanity on the baseline column: process tests are the most
+    // expensive, simple syscalls the cheapest, select scales with nfds.
+    let mut k = kernel(29);
+    let run = |k: &mut Kernel, t: LmbenchTest| t.run(k, CpuId(0), 25).unwrap().mean_us;
+    let syscall = run(&mut k, LmbenchTest::SimpleSyscall);
+    let read = run(&mut k, LmbenchTest::SimpleRead);
+    let fork = run(&mut k, LmbenchTest::ForkExit);
+    let fork_sh = run(&mut k, LmbenchTest::ForkSh);
+    let select10 = run(&mut k, LmbenchTest::Select10);
+    let select100 = run(&mut k, LmbenchTest::Select100);
+    assert!(syscall < read, "read must cost more than a null syscall");
+    assert!(fork > 100.0 * syscall, "fork is orders of magnitude above a syscall");
+    assert!(fork_sh > fork, "fork+sh does strictly more work than fork+exit");
+    assert!(select100 > 3.0 * select10, "select cost scales with nfds");
+}
+
+#[test]
+fn user_time_is_configuration_invariant() {
+    // Table 3's `user` row: user-mode time never changes with tracing.
+    use fmeter::workloads::{KCompile, Workload};
+    let mut times = Vec::new();
+    for traced in [false, true] {
+        let mut k = Kernel::new(KernelConfig {
+            num_cpus: 2,
+            seed: 31,
+            timer_hz: 1000,
+            image_seed: 0x2628,
+        })
+        .unwrap();
+        if traced {
+            k.set_tracer(Arc::new(FtraceTracer::new(k.symbols(), 2, 1 << 20)));
+        }
+        let mut make = KCompile::new(9);
+        let stats = make.run_steps(&mut k, &[CpuId(0)], 20).unwrap();
+        times.push(stats.user_time);
+    }
+    assert_eq!(times[0], times[1]);
+}
+
+#[test]
+fn tick_cadence_is_clock_driven_not_op_driven() {
+    let mut k = Kernel::new(KernelConfig {
+        num_cpus: 1,
+        seed: 37,
+        timer_hz: 1000,
+        image_seed: 0x2628,
+    })
+    .unwrap();
+    let tracer = Arc::new(FmeterTracer::with_cpus(k.symbols(), 1));
+    k.set_tracer(tracer.clone());
+    let tick = k.symbols().lookup("smp_apic_timer_interrupt").unwrap();
+    // 20 ms of pure user time -> ~20 ticks regardless of op count.
+    k.run_user_time(CpuId(0), Nanos::from_millis(20)).unwrap();
+    let ticks = tracer.count(tick);
+    assert!((15..=25).contains(&ticks), "expected ~20 ticks, got {ticks}");
+}
