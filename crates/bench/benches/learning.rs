@@ -67,7 +67,12 @@ fn bench_svm(c: &mut Criterion) {
         b.iter(|| SvmTrainer::new().train(&xs, &ys).unwrap())
     });
     group.bench_function("train_linear_200pts", |b| {
-        b.iter(|| SvmTrainer::new().kernel(Kernel::Linear).train(&xs, &ys).unwrap())
+        b.iter(|| {
+            SvmTrainer::new()
+                .kernel(Kernel::Linear)
+                .train(&xs, &ys)
+                .unwrap()
+        })
     });
     let model = SvmTrainer::new().train(&xs, &ys).unwrap();
     group.bench_function("predict_one", |b| b.iter(|| model.predict(&xs[0])));

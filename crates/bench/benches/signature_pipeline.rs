@@ -54,7 +54,9 @@ fn bench_tfidf(c: &mut Criterion) {
     let doc = corpus.doc(0).expect("doc 0 exists").clone();
     let mut group = c.benchmark_group("tfidf");
     group.sample_size(30);
-    group.bench_function("fit_500_docs", |b| b.iter(|| TfIdfModel::fit(&corpus).unwrap()));
+    group.bench_function("fit_500_docs", |b| {
+        b.iter(|| TfIdfModel::fit(&corpus).unwrap())
+    });
     group.bench_function("transform_one", |b| b.iter(|| model.transform(&doc)));
     group.finish();
 }
@@ -69,7 +71,9 @@ fn bench_index(c: &mut Criterion) {
     let query: SparseVec = model.transform(corpus.doc(250).expect("doc 250 exists"));
     let mut group = c.benchmark_group("search");
     group.sample_size(30);
-    group.bench_function("top10_of_500", |b| b.iter(|| index.search(&query, 10).unwrap()));
+    group.bench_function("top10_of_500", |b| {
+        b.iter(|| index.search(&query, 10).unwrap())
+    });
     group.finish();
 }
 

@@ -15,7 +15,9 @@ use fmeter_kernel_sim::{
 use fmeter_trace::{FmeterTracer, FtraceTracer, HotSetTracer, LockFreeFtraceTracer};
 
 fn spread(num_functions: usize) -> Vec<FunctionId> {
-    (0..256).map(|i| FunctionId((i * num_functions / 256) as u32)).collect()
+    (0..256)
+        .map(|i| FunctionId((i * num_functions / 256) as u32))
+        .collect()
 }
 
 fn bench_fast_paths(c: &mut Criterion) {
@@ -73,8 +75,7 @@ fn bench_fast_paths(c: &mut Criterion) {
     });
 
     // §6's hot-set cache: increments into a tiny dense array.
-    let profile: Vec<u64> =
-        (0..image.symbols.len() as u64).map(|i| i % 256).collect();
+    let profile: Vec<u64> = (0..image.symbols.len() as u64).map(|i| i % 256).collect();
     let hot = HotSetTracer::from_profile(&image.symbols, 16, &profile, 64);
     group.bench_function("fmeter_hotset_increment", |b| {
         b.iter(|| {

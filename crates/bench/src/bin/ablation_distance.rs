@@ -16,7 +16,10 @@ use fmeter_ml::metrics::{mean_sem, purity};
 use fmeter_ml::{KMeans, KMeansInit};
 
 fn sig_count(default: usize) -> usize {
-    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("FMETER_SIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -30,12 +33,14 @@ fn main() {
     let mut all: Vec<RawSignature> = scp.clone();
     all.extend_from_slice(&kcompile);
     all.extend_from_slice(&dbench);
-    let vectors: Vec<SparseVec> =
-        tfidf_vectors(&all).unwrap().into_iter().map(|v| v.l2_normalized()).collect();
-    let truth: Vec<usize> = std::iter::repeat(0usize)
-        .take(scp.len())
-        .chain(std::iter::repeat(1).take(kcompile.len()))
-        .chain(std::iter::repeat(2).take(dbench.len()))
+    let vectors: Vec<SparseVec> = tfidf_vectors(&all)
+        .unwrap()
+        .into_iter()
+        .map(|v| v.l2_normalized())
+        .collect();
+    let truth: Vec<usize> = std::iter::repeat_n(0usize, scp.len())
+        .chain(std::iter::repeat_n(1, kcompile.len()))
+        .chain(std::iter::repeat_n(2, dbench.len()))
         .collect();
 
     let metrics: Vec<(&str, Metric)> = vec![

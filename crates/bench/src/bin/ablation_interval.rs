@@ -14,7 +14,10 @@ use fmeter_kernel_sim::Nanos;
 use fmeter_ml::CrossValidation;
 
 fn sig_count(default: usize) -> usize {
-    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("FMETER_SIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -24,28 +27,35 @@ fn main() {
     for (i, &ms) in intervals_ms.iter().enumerate() {
         let interval = Nanos::from_millis(ms);
         eprintln!("interval {ms}ms: collecting 2 x {n} signatures...");
-        let scp =
-            collect_signatures(SignatureWorkload::Scp, n, interval, 80 + i as u64).unwrap();
+        let scp = collect_signatures(SignatureWorkload::Scp, n, interval, 80 + i as u64).unwrap();
         let kcompile =
-            collect_signatures(SignatureWorkload::KCompile, n, interval, 90 + i as u64)
-                .unwrap();
+            collect_signatures(SignatureWorkload::KCompile, n, interval, 90 + i as u64).unwrap();
         let (xs, ys) = binary_dataset(&scp, &kcompile).unwrap();
         let report = CrossValidation::new(5).seed(3).run(&xs, &ys).unwrap();
         let (acc, sd) = report.mean_accuracy();
-        let mean_calls =
-            scp.iter().chain(&kcompile).map(|s| s.total_calls()).sum::<u64>() as f64
-                / (2 * n) as f64;
+        let mean_calls = scp
+            .iter()
+            .chain(&kcompile)
+            .map(|s| s.total_calls())
+            .sum::<u64>() as f64
+            / (2 * n) as f64;
         rows.push(vec![
             format!("{ms} ms"),
             format!("{:.0}", mean_calls),
             format!("{:.2}±{:.2}", acc * 100.0, sd * 100.0),
         ]);
-        assert!(acc > 0.95, "interval {ms}ms: accuracy {acc} should stay high");
+        assert!(
+            acc > 0.95,
+            "interval {ms}ms: accuracy {acc} should stay high"
+        );
     }
     println!("\nAblation: logging interval (scp vs kcompile, 5-fold SVM)\n");
     println!(
         "{}",
-        render_table(&["Interval", "Mean calls/signature", "SVM accuracy %"], &rows)
+        render_table(
+            &["Interval", "Mean calls/signature", "SVM accuracy %"],
+            &rows
+        )
     );
     println!("(expected: accuracy flat across the sweep — tf normalisation at work)");
 }

@@ -18,7 +18,10 @@ use fmeter_ml::metrics::{mean_sem, purity};
 use fmeter_ml::{CrossValidation, KMeans, KMeansInit, Label};
 
 fn sig_count(default: usize) -> usize {
-    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("FMETER_SIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -32,18 +35,39 @@ fn main() {
     let schemes: Vec<(&str, TfIdfOptions)> = vec![
         (
             "tf-idf (paper)",
-            TfIdfOptions { tf: TfMode::Normalized, idf: IdfMode::Standard },
+            TfIdfOptions {
+                tf: TfMode::Normalized,
+                idf: IdfMode::Standard,
+            },
         ),
-        ("tf only", TfIdfOptions { tf: TfMode::Normalized, idf: IdfMode::Unit }),
+        (
+            "tf only",
+            TfIdfOptions {
+                tf: TfMode::Normalized,
+                idf: IdfMode::Unit,
+            },
+        ),
         (
             "tf x smooth idf",
-            TfIdfOptions { tf: TfMode::Normalized, idf: IdfMode::Smooth },
+            TfIdfOptions {
+                tf: TfMode::Normalized,
+                idf: IdfMode::Smooth,
+            },
         ),
         (
             "sublinear tf x idf",
-            TfIdfOptions { tf: TfMode::Sublinear, idf: IdfMode::Standard },
+            TfIdfOptions {
+                tf: TfMode::Sublinear,
+                idf: IdfMode::Standard,
+            },
         ),
-        ("raw counts", TfIdfOptions { tf: TfMode::Raw, idf: IdfMode::Unit }),
+        (
+            "raw counts",
+            TfIdfOptions {
+                tf: TfMode::Raw,
+                idf: IdfMode::Unit,
+            },
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -52,9 +76,8 @@ fn main() {
         let mut pair: Vec<RawSignature> = scp.clone();
         pair.extend_from_slice(&kcompile);
         let xs = tfidf_vectors_with(&pair, options).unwrap();
-        let ys: Vec<Label> = std::iter::repeat(1)
-            .take(scp.len())
-            .chain(std::iter::repeat(-1).take(kcompile.len()))
+        let ys: Vec<Label> = std::iter::repeat_n(1, scp.len())
+            .chain(std::iter::repeat_n(-1, kcompile.len()))
             .collect();
         let report = CrossValidation::new(5).seed(2).run(&xs, &ys).unwrap();
         let (acc, _) = report.mean_accuracy();
@@ -68,10 +91,9 @@ fn main() {
             .into_iter()
             .map(|v| v.l2_normalized())
             .collect();
-        let truth: Vec<usize> = std::iter::repeat(0usize)
-            .take(scp.len())
-            .chain(std::iter::repeat(1).take(kcompile.len()))
-            .chain(std::iter::repeat(2).take(dbench.len()))
+        let truth: Vec<usize> = std::iter::repeat_n(0usize, scp.len())
+            .chain(std::iter::repeat_n(1, kcompile.len()))
+            .chain(std::iter::repeat_n(2, dbench.len()))
             .collect();
         let purities: Vec<f64> = (0..12)
             .map(|run| {

@@ -17,7 +17,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn sig_count(default: usize) -> usize {
-    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("FMETER_SIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Simple stratified 5-fold CV accuracy for an arbitrary train/predict
@@ -34,10 +37,12 @@ fn cv_accuracy(
     order.shuffle(&mut rng);
     let mut correct = 0usize;
     for fold in 0..FOLDS {
-        let test: Vec<usize> =
-            order.iter().copied().skip(fold).step_by(FOLDS).collect();
-        let train: Vec<usize> =
-            order.iter().copied().filter(|i| !test.contains(i)).collect();
+        let test: Vec<usize> = order.iter().copied().skip(fold).step_by(FOLDS).collect();
+        let train: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|i| !test.contains(i))
+            .collect();
         let train_x: Vec<SparseVec> = train.iter().map(|&i| xs[i].clone()).collect();
         let train_y: Vec<Label> = train.iter().map(|&i| ys[i]).collect();
         let test_x: Vec<SparseVec> = test.iter().map(|&i| xs[i].clone()).collect();
@@ -74,16 +79,31 @@ fn main() {
         let xs: Vec<SparseVec> = raw_xs.iter().map(|v| v.l2_normalized()).collect();
 
         let svm = cv_accuracy(&xs, &ys, |tx, ty, qx| {
-            SvmTrainer::new().train(tx, ty).expect("svm trains").predict_batch(qx)
+            SvmTrainer::new()
+                .train(tx, ty)
+                .expect("svm trains")
+                .predict_batch(qx)
         });
         let tree = cv_accuracy(&xs, &ys, |tx, ty, qx| {
-            DecisionTree::trainer().max_depth(6).train(tx, ty).expect("tree trains").predict_batch(qx)
+            DecisionTree::trainer()
+                .max_depth(6)
+                .train(tx, ty)
+                .expect("tree trains")
+                .predict_batch(qx)
         });
         let boosted = cv_accuracy(&xs, &ys, |tx, ty, qx| {
-            AdaBoost::new(25).weak_depth(2).train(tx, ty).expect("boosting trains").predict_batch(qx)
+            AdaBoost::new(25)
+                .weak_depth(2)
+                .train(tx, ty)
+                .expect("boosting trains")
+                .predict_batch(qx)
         });
         let bagged = cv_accuracy(&xs, &ys, |tx, ty, qx| {
-            Bagging::new(15).seed(7).train(tx, ty).expect("bagging trains").predict_batch(qx)
+            Bagging::new(15)
+                .seed(7)
+                .train(tx, ty)
+                .expect("bagging trains")
+                .predict_batch(qx)
         });
         rows.push(vec![
             name.to_string(),
@@ -92,9 +112,12 @@ fn main() {
             format!("{:.2}", boosted * 100.0),
             format!("{:.2}", bagged * 100.0),
         ]);
-        for (label, acc) in
-            [("svm", svm), ("tree", tree), ("boost", boosted), ("bag", bagged)]
-        {
+        for (label, acc) in [
+            ("svm", svm),
+            ("tree", tree),
+            ("boost", boosted),
+            ("bag", bagged),
+        ] {
             assert!(acc > 0.9, "{name}/{label}: accuracy {acc} collapsed");
         }
     }

@@ -64,7 +64,10 @@ fn main() {
             format!("{:.1}%", hits[1] * 100.0),
         ]);
     }
-    println!("{}", render_table(&["N", "dbench hit rate", "apachebench hit rate"], &rows));
+    println!(
+        "{}",
+        render_table(&["N", "dbench hit rate", "apachebench hit rate"], &rows)
+    );
 
     // 3. Simulated latency impact: standard Fmeter stub vs hot-set stub
     //    on a few lmbench rows.
@@ -80,7 +83,9 @@ fn main() {
             standard_kernel_.symbols(),
             4,
         )));
-        let standard = test.run(&mut standard_kernel_, CpuId(0), 100).expect("runs");
+        let standard = test
+            .run(&mut standard_kernel_, CpuId(0), 100)
+            .expect("runs");
 
         let mut hot_kernel = kernel(7);
         hot_kernel.set_tracer(Arc::new(HotSetTracer::from_profile(
@@ -96,7 +101,10 @@ fn main() {
             format!("{:.3}", hot.mean_us),
             format!("{:.1}%", (1.0 - hot.mean_us / standard.mean_us) * 100.0),
         ]);
-        assert!(hot.mean_us < standard.mean_us, "hot set must not slow tracing down");
+        assert!(
+            hot.mean_us < standard.mean_us,
+            "hot set must not slow tracing down"
+        );
     }
     println!(
         "{}",

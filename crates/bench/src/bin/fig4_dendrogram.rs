@@ -23,8 +23,7 @@ fn main() {
     let interval = Nanos::from_millis(10);
     eprintln!("collecting signatures...");
     let scp = collect_signatures(SignatureWorkload::Scp, 40, interval, 41).unwrap();
-    let kcompile =
-        collect_signatures(SignatureWorkload::KCompile, 40, interval, 42).unwrap();
+    let kcompile = collect_signatures(SignatureWorkload::KCompile, 40, interval, 42).unwrap();
 
     // Sample 10 of each without replacement (the paper samples from its
     // full pools).
@@ -63,7 +62,14 @@ fn main() {
         "\n# root split: {:?} | {:?} -> {}",
         left,
         right,
-        if perfect { "PERFECT separation below the root (as in the paper)" } else { "IMPURE" }
+        if perfect {
+            "PERFECT separation below the root (as in the paper)"
+        } else {
+            "IMPURE"
+        }
     );
-    assert!(perfect, "the two workloads must separate perfectly below the root");
+    assert!(
+        perfect,
+        "the two workloads must separate perfectly below the root"
+    );
 }

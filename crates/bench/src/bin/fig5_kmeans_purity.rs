@@ -23,16 +23,15 @@ use rand::SeedableRng;
 const RUNS: usize = 12;
 
 fn sig_count(default: usize) -> usize {
-    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("FMETER_SIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// One purity measurement: sample `per_class` vectors from each class,
 /// K-means with K = #classes, compute purity.
-fn measure(
-    classes: &[&[SparseVec]],
-    per_class: usize,
-    seed: u64,
-) -> f64 {
+fn measure(classes: &[&[SparseVec]], per_class: usize, seed: u64) -> f64 {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut points = Vec::new();
     let mut truth = Vec::new();
@@ -59,8 +58,7 @@ fn main() {
     let pool = sig_count(230);
     eprintln!("collecting {pool} signatures per workload...");
     let scp = collect_signatures(SignatureWorkload::Scp, pool, interval, 51).unwrap();
-    let kcompile =
-        collect_signatures(SignatureWorkload::KCompile, pool, interval, 52).unwrap();
+    let kcompile = collect_signatures(SignatureWorkload::KCompile, pool, interval, 52).unwrap();
     let dbench = collect_signatures(SignatureWorkload::Dbench, pool, interval, 53).unwrap();
 
     // One tf-idf model over the whole corpus, L2-normalised vectors.
@@ -68,8 +66,11 @@ fn main() {
     all.extend_from_slice(&scp);
     all.extend_from_slice(&kcompile);
     all.extend_from_slice(&dbench);
-    let vectors: Vec<SparseVec> =
-        tfidf_vectors(&all).unwrap().into_iter().map(|v| v.l2_normalized()).collect();
+    let vectors: Vec<SparseVec> = tfidf_vectors(&all)
+        .unwrap()
+        .into_iter()
+        .map(|v| v.l2_normalized())
+        .collect();
     let n = pool;
     let scp_v = &vectors[0..n];
     let kc_v = &vectors[n..2 * n];
@@ -88,8 +89,11 @@ fn main() {
         "# curves: {}",
         curves.iter().map(|c| c.0).collect::<Vec<_>>().join(" | ")
     );
-    let sample_points: Vec<usize> =
-        [20, 60, 100, 140, 180, 220].iter().copied().filter(|&s| s <= pool).collect();
+    let sample_points: Vec<usize> = [20, 60, 100, 140, 180, 220]
+        .iter()
+        .copied()
+        .filter(|&s| s <= pool)
+        .collect();
     for &per_class in &sample_points {
         let mut line = format!("{per_class}");
         for (name, classes) in &curves {

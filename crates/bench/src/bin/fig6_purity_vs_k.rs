@@ -23,7 +23,10 @@ use rand::SeedableRng;
 const RUNS: usize = 12;
 
 fn sig_count(default: usize) -> usize {
-    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("FMETER_SIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -36,18 +39,28 @@ fn main() {
     let mut all: Vec<RawSignature> = Vec::new();
     all.extend_from_slice(&scp);
     all.extend_from_slice(&dbench);
-    let vectors: Vec<SparseVec> =
-        tfidf_vectors(&all).unwrap().into_iter().map(|v| v.l2_normalized()).collect();
+    let vectors: Vec<SparseVec> = tfidf_vectors(&all)
+        .unwrap()
+        .into_iter()
+        .map(|v| v.l2_normalized())
+        .collect();
     let scp_v = &vectors[0..pool];
     let db_v = &vectors[pool..2 * pool];
 
-    let sample_sizes: Vec<usize> =
-        [220usize, 140, 60].iter().copied().filter(|&s| s <= pool).collect();
+    let sample_sizes: Vec<usize> = [220usize, 140, 60]
+        .iter()
+        .copied()
+        .filter(|&s| s <= pool)
+        .collect();
     println!("# Figure 6: K-means purity vs target clusters (2 actual classes)");
     println!("# columns: K, then per sample size: mean sem");
     println!(
         "# sample sizes: {}",
-        sample_sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" | ")
+        sample_sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
     );
     // Per paper: the same number of vectors sampled from each class; the
     // plot varies K from 2 to 20.
@@ -56,8 +69,9 @@ fn main() {
         for &per_class in &sample_sizes {
             let purities: Vec<f64> = (0..RUNS)
                 .map(|run| {
-                    let mut rng =
-                        SmallRng::seed_from_u64(run as u64 * 977 + k as u64 * 13 + per_class as u64);
+                    let mut rng = SmallRng::seed_from_u64(
+                        run as u64 * 977 + k as u64 * 13 + per_class as u64,
+                    );
                     let mut points = Vec::new();
                     let mut truth = Vec::new();
                     for (class_id, class) in [scp_v, db_v].iter().enumerate() {

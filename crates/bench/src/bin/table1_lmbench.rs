@@ -47,7 +47,8 @@ fn run_test(test: LmbenchTest, config: Config, iterations: usize) -> LatencyStat
             kernel.set_tracer(tracer);
         }
     }
-    test.run(&mut kernel, CpuId(0), iterations).expect("standard ops resolve")
+    test.run(&mut kernel, CpuId(0), iterations)
+        .expect("standard ops resolve")
 }
 
 fn main() {
@@ -79,7 +80,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Test", "Baseline us", "Ftrace us", "Fmeter us", "Ftrace x", "Fmeter x", "Ratio"],
+            &[
+                "Test",
+                "Baseline us",
+                "Ftrace us",
+                "Fmeter us",
+                "Ftrace x",
+                "Fmeter x",
+                "Ratio"
+            ],
             &rows,
         )
     );
@@ -100,7 +109,13 @@ fn main() {
     );
 
     // Keep the build honest if someone breaks the cost model:
-    assert!(mean_fmeter < 2.5, "Fmeter average slowdown degenerated: {mean_fmeter}");
-    assert!(mean_ftrace > 3.0, "Ftrace average slowdown collapsed: {mean_ftrace}");
+    assert!(
+        mean_fmeter < 2.5,
+        "Fmeter average slowdown degenerated: {mean_fmeter}"
+    );
+    assert!(
+        mean_ftrace > 3.0,
+        "Ftrace average slowdown collapsed: {mean_ftrace}"
+    );
     let _ = standard_kernel as fn(u64) -> _; // shared harness linked
 }

@@ -47,7 +47,8 @@ fn throughput(config: &str, repetition: usize) -> f64 {
     // same box in the paper; its cost is the user time in each step).
     let cpus: Vec<CpuId> = (0..8).map(CpuId).collect();
     let start = kernel.now();
-    ab.run_steps(&mut kernel, &cpus, REQUESTS_PER_REP).expect("requests run");
+    ab.run_steps(&mut kernel, &cpus, REQUESTS_PER_REP)
+        .expect("requests run");
     let elapsed = (kernel.now() - start).as_secs_f64();
     // Requests were served round-robin across 8 CPUs; the simulated clock
     // accumulated their total busy time, so wall-clock throughput is the
@@ -62,8 +63,9 @@ fn main() {
     );
     let mut results: Vec<(String, f64, f64)> = Vec::new();
     for config in ["vanilla", "fmeter", "ftrace"] {
-        let samples: Vec<f64> =
-            (0..REPETITIONS).map(|rep| throughput(config, rep)).collect();
+        let samples: Vec<f64> = (0..REPETITIONS)
+            .map(|rep| throughput(config, rep))
+            .collect();
         let (mean, sem) = mean_sem(&samples);
         results.push((config.to_string(), mean, sem));
     }
@@ -79,14 +81,18 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["Configuration", "Requests per second", "Slowdown"], &rows));
     println!(
-        "(paper: vanilla 14215±70 / 0%, fmeter 10793±78 / 24.07%, ftrace 5525±33 / 61.13%)"
+        "{}",
+        render_table(&["Configuration", "Requests per second", "Slowdown"], &rows)
     );
+    println!("(paper: vanilla 14215±70 / 0%, fmeter 10793±78 / 24.07%, ftrace 5525±33 / 61.13%)");
 
     let fmeter_slow = 1.0 - results[1].1 / vanilla_mean;
     let ftrace_slow = 1.0 - results[2].1 / vanilla_mean;
-    assert!(fmeter_slow > 0.03 && fmeter_slow < 0.45, "fmeter slowdown off: {fmeter_slow}");
+    assert!(
+        fmeter_slow > 0.03 && fmeter_slow < 0.45,
+        "fmeter slowdown off: {fmeter_slow}"
+    );
     assert!(ftrace_slow > 0.40, "ftrace slowdown off: {ftrace_slow}");
     assert!(ftrace_slow > fmeter_slow * 2.0, "ordering collapsed");
 }

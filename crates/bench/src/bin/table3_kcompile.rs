@@ -48,7 +48,9 @@ fn compile(config: &str) -> TimeBreakdown {
     let mut make = KCompile::new(1);
     let cpus: Vec<CpuId> = (0..4).map(CpuId).collect();
     let start = kernel.now();
-    let stats = make.run_steps(&mut kernel, &cpus, FILES).expect("compilation runs");
+    let stats = make
+        .run_steps(&mut kernel, &cpus, FILES)
+        .expect("compilation runs");
     TimeBreakdown {
         real: kernel.now() - start,
         user: stats.user_time,
@@ -88,12 +90,14 @@ fn main() {
             fmt_minutes(fmeter.sys),
         ],
     ];
-    println!("{}", render_table(&["", "Unmodified", "Ftrace", "Fmeter"], &rows));
+    println!(
+        "{}",
+        render_table(&["", "Unmodified", "Ftrace", "Fmeter"], &rows)
+    );
 
     let sys_ftrace = ftrace.sys.0 as f64 / vanilla.sys.0 as f64;
     let sys_fmeter = fmeter.sys.0 as f64 / vanilla.sys.0 as f64;
-    let user_drift = (ftrace.user.0 as f64 - vanilla.user.0 as f64).abs()
-        / vanilla.user.0 as f64;
+    let user_drift = (ftrace.user.0 as f64 - vanilla.user.0 as f64).abs() / vanilla.user.0 as f64;
     println!(
         "\nsys inflation: fmeter {:.2}x (paper 1.22x), ftrace {:.2}x (paper 5.20x); \
          user drift across configs {:.1}% (paper ~0%)",
@@ -101,7 +105,13 @@ fn main() {
         sys_ftrace,
         user_drift * 100.0
     );
-    assert!(sys_fmeter < 2.0, "fmeter sys inflation degenerated: {sys_fmeter}");
-    assert!(sys_ftrace > 3.0, "ftrace sys inflation collapsed: {sys_ftrace}");
+    assert!(
+        sys_fmeter < 2.0,
+        "fmeter sys inflation degenerated: {sys_fmeter}"
+    );
+    assert!(
+        sys_ftrace > 3.0,
+        "ftrace sys inflation collapsed: {sys_ftrace}"
+    );
     assert!(user_drift < 0.05, "user time should not depend on tracing");
 }

@@ -12,16 +12,17 @@
 //! Set `FMETER_SIGS` to shrink the per-class signature count for a quick
 //! run (default ≈250, as in the paper).
 
-use fmeter_bench::{
-    binary_dataset, collect_signatures, render_table, SignatureWorkload,
-};
+use fmeter_bench::{binary_dataset, collect_signatures, render_table, SignatureWorkload};
 use fmeter_core::RawSignature;
 use fmeter_kernel_sim::Nanos;
 use fmeter_ml::metrics::majority_baseline;
 use fmeter_ml::CrossValidation;
 
 fn sig_count(default: usize) -> usize {
-    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("FMETER_SIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -40,8 +41,7 @@ fn main() {
     eprintln!("collecting {n_scp} scp signatures...");
     let scp = collect_signatures(SignatureWorkload::Scp, n_scp, interval, 12).unwrap();
     eprintln!("collecting {n_dbench} dbench signatures...");
-    let dbench =
-        collect_signatures(SignatureWorkload::Dbench, n_dbench, interval, 13).unwrap();
+    let dbench = collect_signatures(SignatureWorkload::Dbench, n_dbench, interval, 13).unwrap();
 
     let union = |a: &[RawSignature], b: &[RawSignature]| -> Vec<RawSignature> {
         let mut out = a.to_vec();
@@ -50,8 +50,16 @@ fn main() {
     };
 
     let groupings: Vec<(String, Vec<RawSignature>, Vec<RawSignature>)> = vec![
-        ("dbench(+1), kcompile(-1)".into(), dbench.clone(), kcompile.clone()),
-        ("scp(+1), kcompile(-1)".into(), scp.clone(), kcompile.clone()),
+        (
+            "dbench(+1), kcompile(-1)".into(),
+            dbench.clone(),
+            kcompile.clone(),
+        ),
+        (
+            "scp(+1), kcompile(-1)".into(),
+            scp.clone(),
+            kcompile.clone(),
+        ),
         ("scp(+1), dbench(-1)".into(), scp.clone(), dbench.clone()),
         (
             "dbench(+1), kcompile U scp(-1)".into(),
@@ -96,7 +104,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Signature grouping", "Baseline acc", "Accuracy", "Precision", "Recall"],
+            &[
+                "Signature grouping",
+                "Baseline acc",
+                "Accuracy",
+                "Precision",
+                "Recall"
+            ],
             &rows,
         )
     );

@@ -20,7 +20,10 @@ use fmeter_ml::metrics::majority_baseline;
 use fmeter_ml::CrossValidation;
 
 fn sig_count(default: usize) -> usize {
-    std::env::var("FMETER_SIGS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("FMETER_SIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -47,9 +50,21 @@ fn main() {
     let nolro = &sets[2].1;
 
     let pairings = vec![
-        ("myri10ge 1.4.3 (+1), 1.5.1 (-1)", v143.clone(), v151.clone()),
-        ("myri10ge 1.5.1 (+1), 1.5.1 LRO disabled (-1)", v151.clone(), nolro.clone()),
-        ("myri10ge 1.4.3 (+1), 1.5.1 LRO disabled (-1)", v143.clone(), nolro.clone()),
+        (
+            "myri10ge 1.4.3 (+1), 1.5.1 (-1)",
+            v143.clone(),
+            v151.clone(),
+        ),
+        (
+            "myri10ge 1.5.1 (+1), 1.5.1 LRO disabled (-1)",
+            v151.clone(),
+            nolro.clone(),
+        ),
+        (
+            "myri10ge 1.4.3 (+1), 1.5.1 LRO disabled (-1)",
+            v143.clone(),
+            nolro.clone(),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -74,7 +89,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Signature comparison", "Baseline acc", "Accuracy", "Precision", "Recall"],
+            &[
+                "Signature comparison",
+                "Baseline acc",
+                "Accuracy",
+                "Precision",
+                "Recall"
+            ],
             &rows,
         )
     );

@@ -9,6 +9,8 @@ use fmeter_ml::Label;
 use fmeter_workloads::{ApacheBench, Dbench, KCompile, NetperfReceive, Scp, WithBackground};
 
 /// The canonical kernel image seed (the "released 2.6.28 build").
+// Grouped to read as kernel version 2.6.28, not a byte count.
+#[allow(clippy::unusual_byte_groupings)]
 pub const PAPER_IMAGE_SEED: u64 = 0x2_6_28;
 
 /// Builds the standard evaluation machine: 16 logical CPUs (dual-socket
@@ -36,8 +38,11 @@ pub enum Myri10geVariant {
 
 impl Myri10geVariant {
     /// All three variants.
-    pub const ALL: [Myri10geVariant; 3] =
-        [Myri10geVariant::V151, Myri10geVariant::V143, Myri10geVariant::V151NoLro];
+    pub const ALL: [Myri10geVariant; 3] = [
+        Myri10geVariant::V151,
+        Myri10geVariant::V143,
+        Myri10geVariant::V151NoLro,
+    ];
 
     /// Human-readable label matching the paper's Table 5 rows.
     pub fn label(&self) -> &'static str {
@@ -127,8 +132,7 @@ pub fn collect_signatures(
             logger.collect(&mut kernel, &mut w, &cpus, count, Some(label))
         }
         SignatureWorkload::ApacheBench => {
-            let mut w =
-                WithBackground::new(ApacheBench::new(seed ^ 0xa9a), seed, BG_LO, BG_HI);
+            let mut w = WithBackground::new(ApacheBench::new(seed ^ 0xa9a), seed, BG_LO, BG_HI);
             logger.collect(&mut kernel, &mut w, &cpus, count, Some(label))
         }
         SignatureWorkload::Netperf(variant) => {
@@ -188,9 +192,8 @@ pub fn binary_dataset(
     all.extend_from_slice(positives);
     all.extend_from_slice(negatives);
     let vectors = tfidf_vectors(&all)?;
-    let labels: Vec<Label> = std::iter::repeat(1)
-        .take(positives.len())
-        .chain(std::iter::repeat(-1).take(negatives.len()))
+    let labels: Vec<Label> = std::iter::repeat_n(1, positives.len())
+        .chain(std::iter::repeat_n(-1, negatives.len()))
         .collect();
     Ok((vectors, labels))
 }

@@ -53,12 +53,7 @@ impl AnomalyDetector {
     ///
     /// Propagates clustering failures; rejects `margin < 1` (a threshold
     /// below the training radius flags training data itself).
-    pub fn fit(
-        db: &SignatureDb,
-        k: usize,
-        margin: f64,
-        seed: u64,
-    ) -> Result<Self, FmeterError> {
+    pub fn fit(db: &SignatureDb, k: usize, margin: f64, seed: u64) -> Result<Self, FmeterError> {
         if margin < 1.0 {
             return Err(FmeterError::Ml(fmeter_ml::MlError::InvalidConfig(
                 "margin must be >= 1".into(),
@@ -68,17 +63,17 @@ impl AnomalyDetector {
         let mut max_radius: f64 = 0.0;
         for syndrome in &syndromes {
             for &member in &syndrome.members {
-                let d = euclidean_distance(
-                    &db.signatures()[member].vector,
-                    &syndrome.centroid,
-                )?;
+                let d = euclidean_distance(&db.signatures()[member].vector, &syndrome.centroid)?;
                 max_radius = max_radius.max(d);
             }
         }
         // A degenerate all-identical corpus has radius 0; keep a floor so
         // exact repeats still pass.
         let threshold = (max_radius * margin).max(1e-9);
-        Ok(AnomalyDetector { syndromes, threshold })
+        Ok(AnomalyDetector {
+            syndromes,
+            threshold,
+        })
     }
 
     /// The syndromes backing the detector.
@@ -160,9 +155,15 @@ mod tests {
         let db = training();
         let detector = AnomalyDetector::fit(&db, 2, 1.5, 1).unwrap();
         let verdict = detector
-            .inspect(&db, &fmeter_ir::TermCounts::from_dense(&[64, 40, 30, 20, 0, 1, 0, 0]))
+            .inspect(
+                &db,
+                &fmeter_ir::TermCounts::from_dense(&[64, 40, 30, 20, 0, 1, 0, 0]),
+            )
             .unwrap();
-        assert!(!verdict.is_anomalous, "near-training signature flagged: {verdict:?}");
+        assert!(
+            !verdict.is_anomalous,
+            "near-training signature flagged: {verdict:?}"
+        );
         assert_eq!(verdict.label.as_deref(), Some("web"));
     }
 
@@ -172,9 +173,15 @@ mod tests {
         let detector = AnomalyDetector::fit(&db, 2, 1.5, 1).unwrap();
         // A behaviour hitting the functions neither class uses.
         let verdict = detector
-            .inspect(&db, &fmeter_ir::TermCounts::from_dense(&[0, 80, 0, 0, 0, 90, 0, 0]))
+            .inspect(
+                &db,
+                &fmeter_ir::TermCounts::from_dense(&[0, 80, 0, 0, 0, 90, 0, 0]),
+            )
             .unwrap();
-        assert!(verdict.is_anomalous, "novel signature not flagged: {verdict:?}");
+        assert!(
+            verdict.is_anomalous,
+            "novel signature not flagged: {verdict:?}"
+        );
         assert!(verdict.distance > verdict.threshold);
     }
 
@@ -183,7 +190,10 @@ mod tests {
         let db = training();
         let detector = AnomalyDetector::fit(&db, 2, 2.0, 3).unwrap();
         let verdict = detector
-            .inspect(&db, &fmeter_ir::TermCounts::from_dense(&[0, 0, 0, 0, 61, 49, 41, 29]))
+            .inspect(
+                &db,
+                &fmeter_ir::TermCounts::from_dense(&[0, 0, 0, 0, 61, 49, 41, 29]),
+            )
             .unwrap();
         assert_eq!(verdict.label.as_deref(), Some("db"));
         assert!(!verdict.is_anomalous);

@@ -57,10 +57,7 @@ impl SignatureDb {
     /// # Errors
     ///
     /// Returns [`FmeterError::NoSignatures`] when `raw` is empty.
-    pub fn build_with(
-        raw: &[RawSignature],
-        options: TfIdfOptions,
-    ) -> Result<Self, FmeterError> {
+    pub fn build_with(raw: &[RawSignature], options: TfIdfOptions) -> Result<Self, FmeterError> {
         let first = raw.first().ok_or(FmeterError::NoSignatures)?;
         let dim = first.counts.len();
         let mut corpus = Corpus::new(dim);
@@ -80,7 +77,11 @@ impl SignatureDb {
                 ended_at: r.ended_at,
             });
         }
-        Ok(SignatureDb { model, signatures, index })
+        Ok(SignatureDb {
+            model,
+            signatures,
+            index,
+        })
     }
 
     /// Number of stored signatures.
@@ -126,7 +127,10 @@ impl SignatureDb {
     ) -> Result<Vec<(&Signature, f64)>, FmeterError> {
         let query = self.transform(counts);
         let hits = self.index.search(&query, k)?;
-        Ok(hits.into_iter().map(|h| (&self.signatures[h.doc], h.score)).collect())
+        Ok(hits
+            .into_iter()
+            .map(|h| (&self.signatures[h.doc], h.score))
+            .collect())
     }
 
     /// Classifies a fresh interval by majority label among its `k`
@@ -136,11 +140,7 @@ impl SignatureDb {
     /// # Errors
     ///
     /// Propagates dimension mismatches.
-    pub fn classify(
-        &self,
-        counts: &TermCounts,
-        k: usize,
-    ) -> Result<Option<String>, FmeterError> {
+    pub fn classify(&self, counts: &TermCounts, k: usize) -> Result<Option<String>, FmeterError> {
         let hits = self.search(counts, k)?;
         let mut votes: HashMap<&str, usize> = HashMap::new();
         for (sig, _) in &hits {
@@ -160,13 +160,16 @@ impl SignatureDb {
     ///
     /// Propagates clustering failures (e.g. fewer signatures than `k`).
     pub fn syndromes(&self, k: usize, seed: u64) -> Result<Vec<Syndrome>, FmeterError> {
-        let vectors: Vec<SparseVec> =
-            self.signatures.iter().map(|s| s.vector.clone()).collect();
+        let vectors: Vec<SparseVec> = self.signatures.iter().map(|s| s.vector.clone()).collect();
         let result = KMeans::new(k).seed(seed).restarts(3).run(&vectors)?;
         let mut syndromes: Vec<Syndrome> = result
             .centroids
             .into_iter()
-            .map(|centroid| Syndrome { centroid, dominant_label: None, members: Vec::new() })
+            .map(|centroid| Syndrome {
+                centroid,
+                dominant_label: None,
+                members: Vec::new(),
+            })
             .collect();
         for (i, &cluster) in result.assignments.iter().enumerate() {
             syndromes[cluster].members.push(i);
@@ -194,12 +197,8 @@ impl SignatureDb {
     /// # Errors
     ///
     /// Propagates clustering failures.
-    pub fn meta_cluster(
-        syndromes: &[Syndrome],
-        groups: usize,
-    ) -> Result<Vec<usize>, FmeterError> {
-        let centroids: Vec<SparseVec> =
-            syndromes.iter().map(|s| s.centroid.clone()).collect();
+    pub fn meta_cluster(syndromes: &[Syndrome], groups: usize) -> Result<Vec<usize>, FmeterError> {
+        let centroids: Vec<SparseVec> = syndromes.iter().map(|s| s.centroid.clone()).collect();
         let tree = fmeter_ml::Agglomerative::new(Linkage::Average).fit(&centroids)?;
         Ok(tree.cut(groups))
     }
@@ -292,7 +291,10 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(SignatureDb::build(&[]), Err(FmeterError::NoSignatures)));
+        assert!(matches!(
+            SignatureDb::build(&[]),
+            Err(FmeterError::NoSignatures)
+        ));
     }
 
     #[test]
@@ -321,8 +323,10 @@ mod tests {
         let db = SignatureDb::build(&sample_raw()).unwrap();
         let syndromes = db.syndromes(2, 7).unwrap();
         assert_eq!(syndromes.len(), 2);
-        let labels: Vec<_> =
-            syndromes.iter().map(|s| s.dominant_label.clone().unwrap()).collect();
+        let labels: Vec<_> = syndromes
+            .iter()
+            .map(|s| s.dominant_label.clone().unwrap())
+            .collect();
         assert!(labels.contains(&"a".to_string()));
         assert!(labels.contains(&"b".to_string()));
         // Each syndrome has 6 members, all of its class.

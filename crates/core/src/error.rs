@@ -92,7 +92,10 @@ mod tests {
         assert!(e.to_string().contains("vector space"));
         let e = FmeterError::from(MlError::EmptyInput);
         assert!(e.to_string().contains("learning"));
-        assert_eq!(FmeterError::NoSignatures.to_string(), "no signatures collected");
+        assert_eq!(
+            FmeterError::NoSignatures.to_string(),
+            "no signatures collected"
+        );
     }
 
     #[test]

@@ -40,8 +40,7 @@ impl Fmeter {
     /// symbol table, sets it as the active tracer, and registers the
     /// debugfs export at `tracing/fmeter/counters`.
     pub fn install(kernel: &mut Kernel) -> Self {
-        let tracer =
-            Arc::new(FmeterTracer::with_cpus(kernel.symbols(), kernel.num_cpus()));
+        let tracer = Arc::new(FmeterTracer::with_cpus(kernel.symbols(), kernel.num_cpus()));
         tracer.register_debugfs(kernel.debugfs_mut());
         kernel.set_tracer(tracer.clone());
         Fmeter { tracer }
@@ -90,7 +89,10 @@ mod tests {
 
         kernel.run_op(CpuId(0), KernelOp::SyscallNull).unwrap();
         let content = kernel.debugfs().read("tracing/fmeter/counters").unwrap();
-        assert!(content.lines().any(|l| !l.ends_with(" 0")), "some counter must be non-zero");
+        assert!(
+            content.lines().any(|l| !l.ends_with(" 0")),
+            "some counter must be non-zero"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl SignatureLogger {
     pub fn new(tracer: Arc<FmeterTracer>, interval: Nanos, now: Nanos) -> Self {
         assert!(interval > Nanos::ZERO, "logging interval must be positive");
         let previous = tracer.snapshot(now);
-        SignatureLogger { tracer, interval, previous }
+        SignatureLogger {
+            tracer,
+            interval,
+            previous,
+        }
     }
 
     /// The configured logging interval.
@@ -49,7 +53,10 @@ impl SignatureLogger {
         cpus: &[CpuId],
         label: Option<&str>,
     ) -> Result<RawSignature, FmeterError> {
-        assert!(!cpus.is_empty(), "need at least one CPU to run the workload on");
+        assert!(
+            !cpus.is_empty(),
+            "need at least one CPU to run the workload on"
+        );
         let deadline = self.previous.taken_at() + self.interval;
         let mut i = 0usize;
         while kernel.now() < deadline {
@@ -82,7 +89,9 @@ impl SignatureLogger {
         count: usize,
         label: Option<&str>,
     ) -> Result<Vec<RawSignature>, FmeterError> {
-        (0..count).map(|_| self.collect_one(kernel, workload, cpus, label)).collect()
+        (0..count)
+            .map(|_| self.collect_one(kernel, workload, cpus, label))
+            .collect()
     }
 
     /// Re-bases the logger on the tracer's current state (e.g. after a
@@ -114,8 +123,7 @@ mod tests {
     #[test]
     fn signatures_cover_disjoint_intervals() {
         let (mut kernel, tracer) = setup();
-        let mut logger =
-            SignatureLogger::new(tracer, Nanos::from_millis(5), kernel.now());
+        let mut logger = SignatureLogger::new(tracer, Nanos::from_millis(5), kernel.now());
         let mut workload = Dbench::new(3);
         let sigs = logger
             .collect(&mut kernel, &mut workload, &[CpuId(0)], 4, Some("dbench"))
@@ -135,11 +143,12 @@ mod tests {
     fn delta_only_counts_new_calls() {
         let (mut kernel, tracer) = setup();
         // Pre-existing activity before the logger attaches.
-        kernel.run_op(CpuId(0), KernelOp::Fork { pages: 64 }).unwrap();
+        kernel
+            .run_op(CpuId(0), KernelOp::Fork { pages: 64 })
+            .unwrap();
         let before_total = tracer.snapshot(kernel.now()).total();
         assert!(before_total > 0);
-        let mut logger =
-            SignatureLogger::new(tracer, Nanos::from_millis(2), kernel.now());
+        let mut logger = SignatureLogger::new(tracer, Nanos::from_millis(2), kernel.now());
         let mut workload = Dbench::new(4);
         let sig = logger
             .collect_one(&mut kernel, &mut workload, &[CpuId(0)], None)
@@ -154,20 +163,23 @@ mod tests {
     #[test]
     fn resync_skips_interim_activity() {
         let (mut kernel, tracer) = setup();
-        let mut logger =
-            SignatureLogger::new(tracer, Nanos::from_millis(1), kernel.now());
+        let mut logger = SignatureLogger::new(tracer, Nanos::from_millis(1), kernel.now());
         // Unlogged burst.
         for _ in 0..10 {
-            kernel.run_op(CpuId(0), KernelOp::Fork { pages: 64 }).unwrap();
+            kernel
+                .run_op(CpuId(0), KernelOp::Fork { pages: 64 })
+                .unwrap();
         }
         logger.resync(kernel.now());
         let mut workload = Dbench::new(5);
-        let sig =
-            logger.collect_one(&mut kernel, &mut workload, &[CpuId(0)], None).unwrap();
+        let sig = logger
+            .collect_one(&mut kernel, &mut workload, &[CpuId(0)], None)
+            .unwrap();
         // Signature must reflect dbench-scale activity, not the forks.
         let fork_entry = kernel.symbols().lookup("copy_page_range").unwrap();
         assert_eq!(
-            sig.counts[fork_entry.index()], 0,
+            sig.counts[fork_entry.index()],
+            0,
             "resync should have discarded the fork burst"
         );
     }

@@ -90,7 +90,12 @@ mod tests {
     use super::*;
 
     fn raw(counts: Vec<u64>) -> RawSignature {
-        RawSignature { counts, started_at: Nanos(0), ended_at: Nanos(100), label: None }
+        RawSignature {
+            counts,
+            started_at: Nanos(0),
+            ended_at: Nanos(100),
+            label: None,
+        }
     }
 
     #[test]

@@ -33,8 +33,7 @@ impl SymbolMap {
         let mut by_address = HashMap::new();
         for (lineno, line) in content.lines().enumerate() {
             let mut parts = line.split_whitespace();
-            let (Some(addr), Some(_kind), Some(name)) =
-                (parts.next(), parts.next(), parts.next())
+            let (Some(addr), Some(_kind), Some(name)) = (parts.next(), parts.next(), parts.next())
             else {
                 return Err(FmeterError::Persist(format!(
                     "kallsyms line {lineno} malformed: `{line}`"
@@ -45,7 +44,10 @@ impl SymbolMap {
             by_address.insert(addr, entries.len());
             entries.push((addr, name.to_string()));
         }
-        Ok(SymbolMap { entries, by_address })
+        Ok(SymbolMap {
+            entries,
+            by_address,
+        })
     }
 
     /// Number of symbols.
@@ -60,7 +62,9 @@ impl SymbolMap {
 
     /// Resolves an address to a symbol name.
     pub fn name_of(&self, address: u64) -> Option<&str> {
-        self.by_address.get(&address).map(|&i| self.entries[i].1.as_str())
+        self.by_address
+            .get(&address)
+            .map(|&i| self.entries[i].1.as_str())
     }
 
     /// The dense index of an address (the daemon's term id).
@@ -85,7 +89,9 @@ impl DebugfsReader {
     /// [`FmeterError::Persist`] on parse failures.
     pub fn attach(kernel: &Kernel) -> Result<Self, FmeterError> {
         let content = kernel.debugfs().read("kallsyms")?;
-        Ok(DebugfsReader { symbols: SymbolMap::parse(&content)? })
+        Ok(DebugfsReader {
+            symbols: SymbolMap::parse(&content)?,
+        })
     }
 
     /// The parsed symbol map.
@@ -132,8 +138,7 @@ impl DebugfsReader {
         k: usize,
     ) -> Result<Vec<(String, u64)>, FmeterError> {
         let snapshot = self.read_counters(kernel)?;
-        let mut ranked: Vec<(usize, u64)> =
-            snapshot.counts().iter().copied().enumerate().collect();
+        let mut ranked: Vec<(usize, u64)> = snapshot.counts().iter().copied().enumerate().collect();
         ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(ranked
             .into_iter()
@@ -168,8 +173,13 @@ mod tests {
     use fmeter_kernel_sim::{CpuId, KernelConfig, KernelError, KernelOp};
 
     fn kernel() -> Kernel {
-        Kernel::new(KernelConfig { num_cpus: 2, seed: 4, timer_hz: 0, image_seed: 0x2628 })
-            .unwrap()
+        Kernel::new(KernelConfig {
+            num_cpus: 2,
+            seed: 4,
+            timer_hz: 0,
+            image_seed: 0x2628,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -214,7 +224,11 @@ mod tests {
             .unwrap();
         assert!(interval > Nanos::ZERO);
         let sem_entry = k.symbols().lookup("sys_semop").unwrap();
-        assert_eq!(delta[sem_entry.index()], 0, "pre-interval ops must not leak");
+        assert_eq!(
+            delta[sem_entry.index()],
+            0,
+            "pre-interval ops must not leak"
+        );
         let read_entry = k.symbols().lookup("vfs_read").unwrap();
         assert!(delta[read_entry.index()] > 0);
     }
@@ -225,7 +239,8 @@ mod tests {
         let _fmeter = Fmeter::install(&mut k);
         let reader = DebugfsReader::attach(&k).unwrap();
         for _ in 0..5 {
-            k.run_op(CpuId(0), KernelOp::Open { components: 4 }).unwrap();
+            k.run_op(CpuId(0), KernelOp::Open { components: 4 })
+                .unwrap();
         }
         let top = reader.top_functions(&k, 10).unwrap();
         assert_eq!(top.len(), 10);

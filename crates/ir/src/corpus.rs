@@ -18,7 +18,11 @@ pub struct TermCounts {
 impl TermCounts {
     /// Creates an empty document over a space of `dim` terms.
     pub fn new(dim: usize) -> Self {
-        TermCounts { dim, terms: Vec::new(), counts: Vec::new() }
+        TermCounts {
+            dim,
+            terms: Vec::new(),
+            counts: Vec::new(),
+        }
     }
 
     /// Builds a document from `(term, count)` pairs.
@@ -73,7 +77,10 @@ impl TermCounts {
     /// Returns [`IrError::TermOutOfRange`] if `term >= dim`.
     pub fn record(&mut self, term: TermId, count: u64) -> Result<(), IrError> {
         if term as usize >= self.dim {
-            return Err(IrError::TermOutOfRange { term, dim: self.dim });
+            return Err(IrError::TermOutOfRange {
+                term,
+                dim: self.dim,
+            });
         }
         if count == 0 {
             return Ok(());
@@ -142,7 +149,10 @@ pub struct Corpus {
 impl Corpus {
     /// Creates an empty corpus over a space of `dim` terms.
     pub fn new(dim: usize) -> Self {
-        Corpus { dim, docs: Vec::new() }
+        Corpus {
+            dim,
+            docs: Vec::new(),
+        }
     }
 
     /// Appends a document, returning its [`DocId`](crate::DocId).

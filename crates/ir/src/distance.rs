@@ -7,9 +7,10 @@ use crate::{IrError, SparseVec};
 /// The paper compares vectors "using the Euclidean distance, i.e. the
 /// distance metric induced by the L2 norm" unless stated otherwise; cosine
 /// and L1 are provided for the ablation benches.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Metric {
     /// L2 (Euclidean) distance — the paper's default.
+    #[default]
     Euclidean,
     /// L1 (Manhattan) distance.
     Manhattan,
@@ -18,12 +19,6 @@ pub enum Metric {
     /// Cosine *distance* `1 - cos(theta)`; zero vectors are treated as
     /// maximally distant from everything (distance 1).
     Cosine,
-}
-
-impl Default for Metric {
-    fn default() -> Self {
-        Metric::Euclidean
-    }
 }
 
 impl Metric {
@@ -180,9 +175,7 @@ mod tests {
         let b = v(&[(1, 4.0)]);
         assert!((Metric::Euclidean.distance(&a, &b).unwrap() - 5.0).abs() < 1e-12);
         assert!((Metric::Manhattan.distance(&a, &b).unwrap() - 7.0).abs() < 1e-12);
-        assert!(
-            (Metric::Minkowski(2.0).distance(&a, &b).unwrap() - 5.0).abs() < 1e-12
-        );
+        assert!((Metric::Minkowski(2.0).distance(&a, &b).unwrap() - 5.0).abs() < 1e-12);
         assert!((Metric::Cosine.distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
         assert_eq!(Metric::default(), Metric::Euclidean);
     }

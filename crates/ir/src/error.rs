@@ -54,7 +54,10 @@ mod tests {
         assert_eq!(e.to_string(), "dimension mismatch: 3 vs 4");
         let e = IrError::TermOutOfRange { term: 9, dim: 4 };
         assert_eq!(e.to_string(), "term id 9 out of range for dimension 4");
-        assert_eq!(IrError::EmptyCorpus.to_string(), "corpus contains no documents");
+        assert_eq!(
+            IrError::EmptyCorpus.to_string(),
+            "corpus contains no documents"
+        );
     }
 
     #[test]

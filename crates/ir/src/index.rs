@@ -74,7 +74,11 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Creates an empty index over a `dim`-term space.
     pub fn new(dim: usize) -> Self {
-        InvertedIndex { dim, postings: vec![Vec::new(); dim], num_docs: 0 }
+        InvertedIndex {
+            dim,
+            postings: vec![Vec::new(); dim],
+            num_docs: 0,
+        }
     }
 
     /// Inserts a signature vector, returning its assigned [`DocId`].
@@ -88,7 +92,10 @@ impl InvertedIndex {
     /// differs from the index dimension.
     pub fn insert(&mut self, vector: SparseVec) -> Result<DocId, IrError> {
         if vector.dim() != self.dim {
-            return Err(IrError::DimensionMismatch { left: self.dim, right: vector.dim() });
+            return Err(IrError::DimensionMismatch {
+                left: self.dim,
+                right: vector.dim(),
+            });
         }
         let id = self.num_docs;
         for (t, w) in vector.l2_normalized().iter() {
@@ -128,7 +135,10 @@ impl InvertedIndex {
     /// differs from the index dimension.
     pub fn search(&self, query: &SparseVec, k: usize) -> Result<Vec<SearchHit>, IrError> {
         if query.dim() != self.dim {
-            return Err(IrError::DimensionMismatch { left: self.dim, right: query.dim() });
+            return Err(IrError::DimensionMismatch {
+                left: self.dim,
+                right: query.dim(),
+            });
         }
         if k == 0 || self.num_docs == 0 {
             return Ok(Vec::new());
@@ -156,10 +166,18 @@ impl InvertedIndex {
                 heap.pop(); // evict the current worst
             }
         }
-        let mut hits: Vec<SearchHit> =
-            heap.into_iter().map(|e| SearchHit { doc: e.doc, score: e.score }).collect();
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit {
+                doc: e.doc,
+                score: e.score,
+            })
+            .collect();
         hits.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then(a.doc.cmp(&b.doc))
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
         });
         Ok(hits)
     }
@@ -248,9 +266,13 @@ mod tests {
     #[test]
     fn ties_break_deterministically_by_doc_id() {
         let mut idx = InvertedIndex::new(4);
-        idx.insert(SparseVec::from_pairs(4, [(0, 1.0)]).unwrap()).unwrap();
-        idx.insert(SparseVec::from_pairs(4, [(0, 2.0)]).unwrap()).unwrap();
-        let hits = idx.search(&SparseVec::from_pairs(4, [(0, 1.0)]).unwrap(), 2).unwrap();
+        idx.insert(SparseVec::from_pairs(4, [(0, 1.0)]).unwrap())
+            .unwrap();
+        idx.insert(SparseVec::from_pairs(4, [(0, 2.0)]).unwrap())
+            .unwrap();
+        let hits = idx
+            .search(&SparseVec::from_pairs(4, [(0, 1.0)]).unwrap(), 2)
+            .unwrap();
         // Both have cosine 1.0; lower doc id first.
         assert_eq!(hits[0].doc, 0);
         assert_eq!(hits[1].doc, 1);

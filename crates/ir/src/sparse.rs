@@ -35,7 +35,11 @@ pub struct SparseVec {
 impl SparseVec {
     /// Creates an all-zero vector of the given dimensionality.
     pub fn zeros(dim: usize) -> Self {
-        SparseVec { dim, terms: Vec::new(), values: Vec::new() }
+        SparseVec {
+            dim,
+            terms: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Builds a vector from `(term, value)` pairs.
@@ -78,7 +82,11 @@ impl SparseVec {
                 kept_values.push(v);
             }
         }
-        Ok(SparseVec { dim, terms: kept_terms, values: kept_values })
+        Ok(SparseVec {
+            dim,
+            terms: kept_terms,
+            values: kept_values,
+        })
     }
 
     /// Builds a vector from a dense slice, storing only non-zero entries.
@@ -91,7 +99,11 @@ impl SparseVec {
                 values.push(v);
             }
         }
-        SparseVec { dim: dense.len(), terms, values }
+        SparseVec {
+            dim: dense.len(),
+            terms,
+            values,
+        }
     }
 
     /// Dimensionality of the vector space this vector lives in.
@@ -171,10 +183,15 @@ impl SparseVec {
     ///
     /// Returns [`IrError::InvalidOrder`] when `p < 1` or `p` is NaN.
     pub fn norm_lp(&self, p: f64) -> Result<f64, IrError> {
-        if !(p >= 1.0) {
+        if p < 1.0 || p.is_nan() {
             return Err(IrError::InvalidOrder(p));
         }
-        Ok(self.values.iter().map(|v| v.abs().powf(p)).sum::<f64>().powf(1.0 / p))
+        Ok(self
+            .values
+            .iter()
+            .map(|v| v.abs().powf(p))
+            .sum::<f64>()
+            .powf(1.0 / p))
     }
 
     /// Returns a copy scaled by `factor`.
@@ -241,9 +258,7 @@ impl SparseVec {
             }
         };
         while i < self.terms.len() || j < other.terms.len() {
-            if j >= other.terms.len()
-                || (i < self.terms.len() && self.terms[i] < other.terms[j])
-            {
+            if j >= other.terms.len() || (i < self.terms.len() && self.terms[i] < other.terms[j]) {
                 push(self.terms[i], combine(self.values[i], 0.0));
                 i += 1;
             } else if i >= self.terms.len() || other.terms[j] < self.terms[i] {
@@ -255,12 +270,19 @@ impl SparseVec {
                 j += 1;
             }
         }
-        Ok(SparseVec { dim: self.dim, terms, values })
+        Ok(SparseVec {
+            dim: self.dim,
+            terms,
+            values,
+        })
     }
 
     fn check_dim(&self, other: &SparseVec) -> Result<(), IrError> {
         if self.dim != other.dim {
-            Err(IrError::DimensionMismatch { left: self.dim, right: other.dim })
+            Err(IrError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            })
         } else {
             Ok(())
         }
@@ -278,7 +300,11 @@ impl FromIterator<(TermId, f64)> for SparseVec {
     /// term id seen (or zero when empty).
     fn from_iter<I: IntoIterator<Item = (TermId, f64)>>(iter: I) -> Self {
         let pairs: Vec<(TermId, f64)> = iter.into_iter().collect();
-        let dim = pairs.iter().map(|&(t, _)| t as usize + 1).max().unwrap_or(0);
+        let dim = pairs
+            .iter()
+            .map(|&(t, _)| t as usize + 1)
+            .max()
+            .unwrap_or(0);
         SparseVec::from_pairs(dim, pairs).expect("dim computed from max term id")
     }
 }
@@ -335,7 +361,7 @@ mod tests {
     fn dot_product_matches_dense() {
         let a = v(&[(0, 1.0), (3, 2.0), (7, -1.0)]);
         let b = v(&[(3, 4.0), (7, 2.0), (9, 100.0)]);
-        assert_eq!(a.dot(&b).unwrap(), 2.0 * 4.0 + (-1.0) * 2.0);
+        assert_eq!(a.dot(&b).unwrap(), 2.0 * 4.0 + -2.0);
     }
 
     #[test]

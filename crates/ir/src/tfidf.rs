@@ -278,7 +278,10 @@ mod tests {
         let c = sample_corpus();
         let m = TfIdfModel::fit_with(
             &c,
-            TfIdfOptions { tf: TfMode::Raw, idf: IdfMode::Unit },
+            TfIdfOptions {
+                tf: TfMode::Raw,
+                idf: IdfMode::Unit,
+            },
         )
         .unwrap();
         let w = m.transform(c.doc(0).unwrap());
@@ -291,7 +294,10 @@ mod tests {
         let c = sample_corpus();
         let m = TfIdfModel::fit_with(
             &c,
-            TfIdfOptions { tf: TfMode::Sublinear, idf: IdfMode::Unit },
+            TfIdfOptions {
+                tf: TfMode::Sublinear,
+                idf: IdfMode::Unit,
+            },
         )
         .unwrap();
         let w = m.transform(c.doc(0).unwrap());
@@ -303,7 +309,10 @@ mod tests {
         let c = sample_corpus();
         let m = TfIdfModel::fit_with(
             &c,
-            TfIdfOptions { tf: TfMode::Normalized, idf: IdfMode::Smooth },
+            TfIdfOptions {
+                tf: TfMode::Normalized,
+                idf: IdfMode::Smooth,
+            },
         )
         .unwrap();
         assert!(m.idf(0) > 0.0);
@@ -325,5 +334,34 @@ mod tests {
     fn transform_rejects_wrong_dim() {
         let m = TfIdfModel::fit(&sample_corpus()).unwrap();
         m.transform(&TermCounts::new(5));
+    }
+
+    #[test]
+    fn corpus_absent_terms_transform_finite_zero_in_every_idf_mode() {
+        // Regression guard: a term with df = 0 must short-circuit to idf 0
+        // *before* the mode formula runs — IdfMode::Standard would otherwise
+        // compute ln(n/0) = inf, and a document containing that term would
+        // transform to an inf/NaN weight and poison every downstream
+        // distance. Term 3 never occurs in sample_corpus().
+        for idf in [IdfMode::Standard, IdfMode::Smooth, IdfMode::Unit] {
+            let m = TfIdfModel::fit_with(
+                &sample_corpus(),
+                TfIdfOptions {
+                    tf: TfMode::Normalized,
+                    idf,
+                },
+            )
+            .unwrap();
+            assert_eq!(m.idf(3), 0.0, "{idf:?}: unseen idf must be exactly 0");
+            let doc = TermCounts::from_pairs(4, [(1, 1), (3, 100)]).unwrap();
+            let w = m.transform(&doc);
+            assert_eq!(w.get(3), 0.0, "{idf:?}: unseen term weight must be 0");
+            for (t, x) in w.iter() {
+                assert!(x.is_finite(), "{idf:?}: weight of term {t} is {x}");
+            }
+        }
+        // Out-of-vocabulary idf lookups report 0 instead of panicking.
+        let m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        assert_eq!(m.idf(999), 0.0);
     }
 }

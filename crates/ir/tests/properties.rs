@@ -1,8 +1,8 @@
 //! Property-based tests for the vector space model.
 
 use fmeter_ir::{
-    cosine_similarity, euclidean_distance, manhattan_distance, minkowski_distance, Corpus,
-    Metric, SparseVec, TermCounts, TfIdfModel,
+    cosine_similarity, euclidean_distance, manhattan_distance, minkowski_distance, Corpus, Metric,
+    SparseVec, TermCounts, TfIdfModel,
 };
 use proptest::prelude::*;
 

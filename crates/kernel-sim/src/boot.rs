@@ -133,7 +133,10 @@ mod tests {
     fn boot_touches_every_function() {
         let (_, tracer, report) = booted();
         let counts = tracer.snapshot();
-        assert!(counts.iter().all(|&c| c >= 1), "some function never ran during boot");
+        assert!(
+            counts.iter().all(|&c| c >= 1),
+            "some function never ran during boot"
+        );
         assert_eq!(report.functions, counts.len());
         assert!(report.total_calls > counts.len() as u64);
         assert!(report.duration > Nanos::ZERO);
@@ -159,9 +162,8 @@ mod tests {
         // (locks, memcpy, allocation), like a real kernel's boot profile.
         let (k, tracer, _) = booted();
         let counts = tracer.snapshot();
-        let mut ranked: Vec<(u64, usize)> =
-            counts.iter().copied().zip(0..).map(|(c, i)| (c, i)).collect();
-        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        let mut ranked: Vec<(u64, usize)> = counts.iter().copied().zip(0..).collect();
+        ranked.sort_unstable_by_key(|&(count, _)| std::cmp::Reverse(count));
         let top_service = ranked.iter().take(20).filter(|&&(_, i)| {
             k.symbols()
                 .function(crate::FunctionId(i as u32))

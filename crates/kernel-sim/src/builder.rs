@@ -75,9 +75,9 @@ const COST_OVERRIDES: &[(&str, u64)] = &[
     ("setup_rt_frame", 350),    // signal frame to user stack
     ("force_sig_info", 200),
     ("__alloc_pages_internal", 120),
-    ("submit_bio", 350),        // device doorbell
+    ("submit_bio", 350), // device doorbell
     ("scsi_dispatch_cmd", 400),
-    ("io_schedule", 1500),      // I/O wait before completion
+    ("io_schedule", 1500), // I/O wait before completion
     ("copy_to_user", 120),
     ("copy_from_user", 120),
     ("memcpy", 60),
@@ -115,6 +115,8 @@ impl Default for KernelImageBuilder {
 impl KernelImageBuilder {
     /// Builder with the default seed (the "released kernel build").
     pub fn new() -> Self {
+        // Grouped to read as kernel version 2.6.28, not a byte count.
+        #[allow(clippy::unusual_byte_groupings)]
         KernelImageBuilder { seed: 0x2_6_28 }
     }
 
@@ -161,14 +163,21 @@ impl KernelImageBuilder {
         let mut address: u64 = 0xffff_ffff_8100_0000;
         let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
         for &(subsystem, target) in POPULATION {
-            let layers = if subsystem.is_service() { SERVICE_LAYERS } else { VERTICAL_LAYERS };
+            let layers = if subsystem.is_service() {
+                SERVICE_LAYERS
+            } else {
+                VERTICAL_LAYERS
+            };
             let anchor_layers = anchors(subsystem);
             let (lo, hi) = cost_range(subsystem);
             let mut remaining = target;
             // Anchors first, at their designated layers.
             for (layer, names) in anchor_layers.iter().enumerate() {
                 for name in *names {
-                    assert!(remaining > 0, "{subsystem}: population smaller than anchors");
+                    assert!(
+                        remaining > 0,
+                        "{subsystem}: population smaller than anchors"
+                    );
                     let cost = rng.random_range(lo..=hi);
                     used.insert((*name).to_string());
                     table.push(*name, address, subsystem, layer as u8, Nanos(cost));
@@ -241,7 +250,10 @@ impl KernelImageBuilder {
         for f in symbols.iter() {
             by_sl.entry((f.subsystem, f.layer)).or_default().push(f.id);
             if !is_anchor[f.id.index()] {
-                filler_by_sl.entry((f.subsystem, f.layer)).or_default().push(f.id);
+                filler_by_sl
+                    .entry((f.subsystem, f.layer))
+                    .or_default()
+                    .push(f.id);
             }
         }
         let service_pool: Vec<(Subsystem, f32)> = vec![
@@ -253,7 +265,11 @@ impl KernelImageBuilder {
         ];
         for f in symbols.iter() {
             let subsystem = f.subsystem;
-            let layers = if subsystem.is_service() { SERVICE_LAYERS } else { VERTICAL_LAYERS };
+            let layers = if subsystem.is_service() {
+                SERVICE_LAYERS
+            } else {
+                VERTICAL_LAYERS
+            };
             // --- Intra-subsystem edges to deeper layers ---
             if f.layer + 1 < layers {
                 let fanout = match f.layer {
@@ -280,7 +296,11 @@ impl KernelImageBuilder {
                         let max_repeats = if rng.random::<f32>() < 0.15 { 3 } else { 1 };
                         graph.add_edge(
                             f.id,
-                            CallEdge { callee, probability, max_repeats },
+                            CallEdge {
+                                callee,
+                                probability,
+                                max_repeats,
+                            },
                         );
                     }
                 }
@@ -325,7 +345,14 @@ impl KernelImageBuilder {
                     let callee = candidates[idx];
                     let probability = 0.3 + rng.random::<f32>() * 0.7;
                     let max_repeats = if rng.random::<f32>() < 0.25 { 2 } else { 1 };
-                    graph.add_edge(f.id, CallEdge { callee, probability, max_repeats });
+                    graph.add_edge(
+                        f.id,
+                        CallEdge {
+                            callee,
+                            probability,
+                            max_repeats,
+                        },
+                    );
                 }
             }
             // --- Locking pairs: a function that takes a lock releases it ---
@@ -352,13 +379,23 @@ impl KernelImageBuilder {
             ("generic_file_aio_read", "touch_atime", 0.8, 1),
             ("generic_file_aio_read", "copy_to_user", 1.0, 2),
             // Cache-miss path: readahead into the filesystem, then block.
-            ("generic_file_aio_read", "page_cache_sync_readahead", 0.08, 1),
+            (
+                "generic_file_aio_read",
+                "page_cache_sync_readahead",
+                0.08,
+                1,
+            ),
             ("page_cache_sync_readahead", "ondemand_readahead", 1.0, 1),
             ("ondemand_readahead", "ra_submit", 0.9, 1),
             ("ra_submit", "read_pages", 1.0, 1),
             ("read_pages", "add_to_page_cache_lru", 1.0, 3),
             // --- VFS write path ---
-            ("generic_file_buffered_write", "grab_cache_page_write_begin", 1.0, 2),
+            (
+                "generic_file_buffered_write",
+                "grab_cache_page_write_begin",
+                1.0,
+                2,
+            ),
             ("generic_file_buffered_write", "copy_from_user", 1.0, 2),
             ("generic_file_buffered_write", "mark_page_accessed", 0.7, 1),
             ("grab_cache_page_write_begin", "find_lock_page", 1.0, 1),
@@ -395,11 +432,26 @@ impl KernelImageBuilder {
             ("journal_start", "start_this_handle", 0.9, 1),
             ("journal_stop", "__journal_refile_buffer", 0.3, 1),
             ("journal_get_write_access", "do_get_write_access", 1.0, 1),
-            ("journal_commit_transaction_step", "journal_write_metadata_buffer", 0.9, 2),
+            (
+                "journal_commit_transaction_step",
+                "journal_write_metadata_buffer",
+                0.9,
+                2,
+            ),
             ("journal_commit_transaction_step", "submit_bh", 0.9, 2),
-            ("journal_commit_transaction_step", "__journal_file_buffer", 0.8, 2),
+            (
+                "journal_commit_transaction_step",
+                "__journal_file_buffer",
+                0.8,
+                2,
+            ),
             ("ext3_mark_inode_dirty", "ext3_reserve_inode_write", 1.0, 1),
-            ("ext3_reserve_inode_write", "journal_get_write_access", 0.9, 1),
+            (
+                "ext3_reserve_inode_write",
+                "journal_get_write_access",
+                0.9,
+                1,
+            ),
             ("ext3_reserve_inode_write", "ext3_get_inode_loc", 0.9, 1),
             ("ext3_mark_inode_dirty", "ext3_mark_iloc_dirty", 1.0, 1),
             ("ext3_mark_iloc_dirty", "journal_dirty_metadata", 0.9, 1),
@@ -430,7 +482,12 @@ impl KernelImageBuilder {
             ("irq_exit", "do_softirq", 0.4, 1),
             ("do_softirq", "__do_softirq", 1.0, 1),
             ("smp_apic_timer_interrupt", "irq_enter", 1.0, 1),
-            ("smp_apic_timer_interrupt", "local_apic_timer_interrupt", 1.0, 1),
+            (
+                "smp_apic_timer_interrupt",
+                "local_apic_timer_interrupt",
+                1.0,
+                1,
+            ),
             ("smp_apic_timer_interrupt", "irq_exit", 1.0, 1),
             ("local_apic_timer_interrupt", "hrtimer_interrupt", 1.0, 1),
             ("hrtimer_interrupt", "tick_sched_timer", 0.95, 1),
@@ -751,7 +808,11 @@ impl KernelImageBuilder {
             let callee_id = symbols.lookup(callee)?;
             graph.add_edge(
                 caller_id,
-                CallEdge { callee: callee_id, probability, max_repeats },
+                CallEdge {
+                    callee: callee_id,
+                    probability,
+                    max_repeats,
+                },
             );
         }
         Ok(())
@@ -799,7 +860,13 @@ mod tests {
     #[test]
     fn anchor_entries_resolve() {
         let image = KernelImageBuilder::new().build().unwrap();
-        for name in ["sys_read", "vfs_read", "tcp_sendmsg", "do_page_fault", "schedule"] {
+        for name in [
+            "sys_read",
+            "vfs_read",
+            "tcp_sendmsg",
+            "do_page_fault",
+            "schedule",
+        ] {
             assert!(image.symbols.lookup(name).is_ok(), "{name} missing");
         }
     }
@@ -820,7 +887,13 @@ mod tests {
         // Expected dynamic calls per entry subtree must stay bounded —
         // the walk cost per op is the simulator's main scaling knob.
         let image = KernelImageBuilder::new().build().unwrap();
-        for name in ["sys_read", "vfs_read", "tcp_sendmsg", "schedule", "do_page_fault"] {
+        for name in [
+            "sys_read",
+            "vfs_read",
+            "tcp_sendmsg",
+            "schedule",
+            "do_page_fault",
+        ] {
             let id = image.symbols.lookup(name).unwrap();
             let calls = image.callgraph.expected_calls(id);
             assert!(calls >= 2.0, "{name}: suspiciously small subtree {calls}");

@@ -22,12 +22,20 @@ pub struct CallEdge {
 impl CallEdge {
     /// An unconditional single call.
     pub fn always(callee: FunctionId) -> Self {
-        CallEdge { callee, probability: 1.0, max_repeats: 1 }
+        CallEdge {
+            callee,
+            probability: 1.0,
+            max_repeats: 1,
+        }
     }
 
     /// A call that fires with probability `p` (clamped to `(0, 1]`).
     pub fn with_probability(callee: FunctionId, p: f32) -> Self {
-        CallEdge { callee, probability: p.clamp(f32::EPSILON, 1.0), max_repeats: 1 }
+        CallEdge {
+            callee,
+            probability: p.clamp(f32::EPSILON, 1.0),
+            max_repeats: 1,
+        }
     }
 
     /// Sets the repeat bound.
@@ -50,7 +58,9 @@ pub struct CallGraph {
 impl CallGraph {
     /// Creates an empty graph for `num_functions` functions.
     pub fn new(num_functions: usize) -> Self {
-        CallGraph { edges: vec![Vec::new(); num_functions] }
+        CallGraph {
+            edges: vec![Vec::new(); num_functions],
+        }
     }
 
     /// Number of callers the graph covers.
@@ -172,7 +182,13 @@ mod tests {
     fn symbols(n: usize) -> SymbolTable {
         let mut t = SymbolTable::new();
         for i in 0..n {
-            t.push(format!("f{i}"), 0x1000 + i as u64 * 0x10, Subsystem::Util, 0, Nanos(10));
+            t.push(
+                format!("f{i}"),
+                0x1000 + i as u64 * 0x10,
+                Subsystem::Util,
+                0,
+                Nanos(10),
+            );
         }
         t
     }
@@ -181,7 +197,10 @@ mod tests {
     fn edges_are_recorded_in_order() {
         let mut g = CallGraph::new(3);
         g.add_edge(FunctionId(0), CallEdge::always(FunctionId(1)));
-        g.add_edge(FunctionId(0), CallEdge::with_probability(FunctionId(2), 0.5));
+        g.add_edge(
+            FunctionId(0),
+            CallEdge::with_probability(FunctionId(2), 0.5),
+        );
         assert_eq!(g.callees(FunctionId(0)).len(), 2);
         assert_eq!(g.callees(FunctionId(0))[0].callee, FunctionId(1));
         assert_eq!(g.callees(FunctionId(1)).len(), 0);
@@ -233,7 +252,10 @@ mod tests {
         let mut g = CallGraph::new(3);
         // 0 -> 1 always; 0 -> 2 with p=0.5; 1 -> 2 always x(1..=3 reps, mean 2)
         g.add_edge(FunctionId(0), CallEdge::always(FunctionId(1)));
-        g.add_edge(FunctionId(0), CallEdge::with_probability(FunctionId(2), 0.5));
+        g.add_edge(
+            FunctionId(0),
+            CallEdge::with_probability(FunctionId(2), 0.5),
+        );
         g.add_edge(FunctionId(1), CallEdge::always(FunctionId(2)).repeats(3));
         // E[2] = 1; E[1] = 1 + 2*1 = 3; E[0] = 1 + 3 + 0.5 = 4.5
         assert!((g.expected_calls(FunctionId(0)) - 4.5).abs() < 1e-12);

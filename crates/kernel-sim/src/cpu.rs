@@ -50,7 +50,10 @@ impl CpuState {
     /// Panics on underflow — unbalanced enable/disable is a simulator bug,
     /// exactly as it would be a kernel bug.
     pub fn preempt_enable(&mut self) {
-        assert!(self.preempt_count > 0, "preempt_enable without matching disable");
+        assert!(
+            self.preempt_count > 0,
+            "preempt_enable without matching disable"
+        );
         self.preempt_count -= 1;
     }
 

@@ -43,7 +43,9 @@ pub struct Debugfs {
 
 impl std::fmt::Debug for Debugfs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Debugfs").field("files", &self.ls()).finish()
+        f.debug_struct("Debugfs")
+            .field("files", &self.ls())
+            .finish()
     }
 }
 
@@ -116,7 +118,10 @@ mod tests {
         let counter = Arc::new(AtomicU64::new(0));
         let mut dfs = Debugfs::new();
         let provider = Arc::clone(&counter);
-        dfs.register("count", Arc::new(move || provider.load(Ordering::Relaxed).to_string()));
+        dfs.register(
+            "count",
+            Arc::new(move || provider.load(Ordering::Relaxed).to_string()),
+        );
         assert_eq!(dfs.read("count").unwrap(), "0");
         counter.store(42, Ordering::Relaxed);
         assert_eq!(dfs.read("count").unwrap(), "42");
@@ -125,8 +130,8 @@ mod tests {
     #[test]
     fn ls_is_sorted() {
         let mut dfs = Debugfs::new();
-        dfs.register("b", Arc::new(|| String::new()));
-        dfs.register("a", Arc::new(|| String::new()));
+        dfs.register("b", Arc::new(String::new));
+        dfs.register("a", Arc::new(String::new));
         assert_eq!(dfs.ls(), vec!["a", "b"]);
         assert_eq!(dfs.len(), 2);
     }

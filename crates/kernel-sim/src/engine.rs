@@ -8,8 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     CallGraph, CpuId, CpuState, Debugfs, FunctionId, FunctionTracer, KernelError, KernelImage,
-    KernelImageBuilder, KernelModule, KernelOp, ModuleOp, Nanos, NullTracer, SimClock,
-    SymbolTable,
+    KernelImageBuilder, KernelModule, KernelOp, ModuleOp, Nanos, NullTracer, SimClock, SymbolTable,
 };
 
 /// Configuration of a simulated machine.
@@ -32,7 +31,14 @@ pub struct KernelConfig {
 
 impl Default for KernelConfig {
     fn default() -> Self {
-        KernelConfig { num_cpus: 16, seed: 1, timer_hz: 1000, image_seed: 0x2_6_28 }
+        // Grouped to read as kernel version 2.6.28, not a byte count.
+        #[allow(clippy::unusual_byte_groupings)]
+        KernelConfig {
+            num_cpus: 16,
+            seed: 1,
+            timer_hz: 1000,
+            image_seed: 0x2_6_28,
+        }
     }
 }
 
@@ -145,7 +151,9 @@ impl Kernel {
         Kernel {
             symbols,
             callgraph: Arc::new(image.callgraph),
-            cpus: (0..config.num_cpus.max(1)).map(|_| CpuState::new()).collect(),
+            cpus: (0..config.num_cpus.max(1))
+                .map(|_| CpuState::new())
+                .collect(),
             clock: SimClock::new(),
             rng: SmallRng::seed_from_u64(config.seed),
             tracer: Arc::new(NullTracer),
@@ -210,9 +218,10 @@ impl Kernel {
     ///
     /// Returns [`KernelError::CpuOutOfRange`] for an invalid id.
     pub fn cpu(&self, cpu: CpuId) -> Result<&CpuState, KernelError> {
-        self.cpus
-            .get(cpu.0)
-            .ok_or(KernelError::CpuOutOfRange { cpu: cpu.0, num_cpus: self.cpus.len() })
+        self.cpus.get(cpu.0).ok_or(KernelError::CpuOutOfRange {
+            cpu: cpu.0,
+            num_cpus: self.cpus.len(),
+        })
     }
 
     /// Total operations executed since boot.
@@ -240,12 +249,20 @@ impl Kernel {
     /// * [`KernelError::UnknownFunction`] if a handler references a
     ///   non-existent core-kernel function.
     pub fn load_module(&mut self, module: KernelModule) -> Result<(), KernelError> {
-        if self.modules.iter().any(|m| m.module.name() == module.name()) {
+        if self
+            .modules
+            .iter()
+            .any(|m| m.module.name() == module.name())
+        {
             return Err(KernelError::ModuleAlreadyLoaded(module.name().to_string()));
         }
         let mut resolved = HashMap::new();
         let mut internal = HashMap::new();
-        for op in [ModuleOp::NicReceive, ModuleOp::NicTransmit, ModuleOp::NicInterrupt] {
+        for op in [
+            ModuleOp::NicReceive,
+            ModuleOp::NicTransmit,
+            ModuleOp::NicInterrupt,
+        ] {
             let handler = module.handler(op);
             let mut entries = Vec::with_capacity(handler.calls.len());
             for call in &handler.calls {
@@ -254,7 +271,11 @@ impl Kernel {
             resolved.insert(op, entries);
             internal.insert(op, handler.internal_cost_per_unit);
         }
-        self.modules.push(LoadedModule { module, resolved, internal });
+        self.modules.push(LoadedModule {
+            module,
+            resolved,
+            internal,
+        });
         Ok(())
     }
 
@@ -274,7 +295,10 @@ impl Kernel {
 
     /// The named loaded module, if present.
     pub fn module(&self, name: &str) -> Option<&KernelModule> {
-        self.modules.iter().find(|m| m.module.name() == name).map(|m| &m.module)
+        self.modules
+            .iter()
+            .find(|m| m.module.name() == name)
+            .map(|m| &m.module)
     }
 
     /// Names of loaded modules.
@@ -373,14 +397,21 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns [`KernelError::FunctionOutOfRange`] for a bad id.
-    pub fn call_single(&mut self, cpu: CpuId, function: FunctionId) -> Result<ExecStats, KernelError> {
+    pub fn call_single(
+        &mut self,
+        cpu: CpuId,
+        function: FunctionId,
+    ) -> Result<ExecStats, KernelError> {
         self.check_cpu(cpu)?;
         let func = self.symbols.function(function)?;
         let cost = func.base_cost + self.tracer.overhead();
         self.tracer.on_function_call(cpu, function);
         self.cpus[cpu.0].calls_executed += 1;
         self.clock.advance(cost);
-        Ok(ExecStats { calls: 1, time: cost })
+        Ok(ExecStats {
+            calls: 1,
+            time: cost,
+        })
     }
 
     /// Walks the call subtree rooted at `entry`, firing the tracer for
@@ -398,8 +429,7 @@ impl Kernel {
             let func = symbols.function(f).expect("graph ids are table-valid");
             time += func.base_cost + overhead;
             for edge in graph.callees(f) {
-                let fires =
-                    edge.probability >= 1.0 || self.rng.random::<f32>() < edge.probability;
+                let fires = edge.probability >= 1.0 || self.rng.random::<f32>() < edge.probability;
                 if fires {
                     let reps = if edge.max_repeats <= 1 {
                         1
@@ -450,7 +480,7 @@ impl Kernel {
         // missed ticks similarly).
         let mut fired = 0;
         while self.clock.now() >= self.next_tick && fired < 64 {
-            self.next_tick = self.next_tick + period;
+            self.next_tick += period;
             stats += self.run_op_inner(cpu, KernelOp::TimerTick)?;
             fired += 1;
         }
@@ -463,7 +493,10 @@ impl Kernel {
 
     fn check_cpu(&self, cpu: CpuId) -> Result<(), KernelError> {
         if cpu.0 >= self.cpus.len() {
-            return Err(KernelError::CpuOutOfRange { cpu: cpu.0, num_cpus: self.cpus.len() });
+            return Err(KernelError::CpuOutOfRange {
+                cpu: cpu.0,
+                num_cpus: self.cpus.len(),
+            });
         }
         Ok(())
     }
@@ -475,8 +508,13 @@ mod tests {
     use crate::CountingTracer;
 
     fn small_kernel() -> Kernel {
-        Kernel::new(KernelConfig { num_cpus: 2, seed: 7, timer_hz: 0, image_seed: 0x2628 })
-            .expect("image builds")
+        Kernel::new(KernelConfig {
+            num_cpus: 2,
+            seed: 7,
+            timer_hz: 0,
+            image_seed: 0x2628,
+        })
+        .expect("image builds")
     }
 
     #[test]
@@ -496,7 +534,11 @@ mod tests {
         let tracer = Arc::new(CountingTracer::new(k.num_functions()));
         k.set_tracer(tracer.clone());
         let mut expected = 0;
-        for op in [KernelOp::SyscallNull, KernelOp::Open { components: 3 }, KernelOp::Fstat] {
+        for op in [
+            KernelOp::SyscallNull,
+            KernelOp::Open { components: 3 },
+            KernelOp::Fstat,
+        ] {
             expected += k.run_op(CpuId(0), op).unwrap().calls;
         }
         assert_eq!(tracer.total(), expected);
@@ -516,13 +558,22 @@ mod tests {
 
     #[test]
     fn different_seeds_diverge() {
-        let image_config = |seed| KernelConfig { num_cpus: 1, seed, timer_hz: 0, image_seed: 0x2628 };
+        let image_config = |seed| KernelConfig {
+            num_cpus: 1,
+            seed,
+            timer_hz: 0,
+            image_seed: 0x2628,
+        };
         let mut a = Kernel::new(image_config(1)).unwrap();
         let mut b = Kernel::new(image_config(2)).unwrap();
         let mut diverged = false;
         for _ in 0..10 {
-            let sa = a.run_op(CpuId(0), KernelOp::Open { components: 4 }).unwrap();
-            let sb = b.run_op(CpuId(0), KernelOp::Open { components: 4 }).unwrap();
+            let sa = a
+                .run_op(CpuId(0), KernelOp::Open { components: 4 })
+                .unwrap();
+            let sb = b
+                .run_op(CpuId(0), KernelOp::Open { components: 4 })
+                .unwrap();
             if sa != sb {
                 diverged = true;
             }
@@ -545,8 +596,12 @@ mod tests {
         let mut vanilla = small_kernel();
         let mut traced = small_kernel();
         traced.set_tracer(Arc::new(Expensive));
-        let sv = vanilla.run_op(CpuId(0), KernelOp::Fork { pages: 8 }).unwrap();
-        let st = traced.run_op(CpuId(0), KernelOp::Fork { pages: 8 }).unwrap();
+        let sv = vanilla
+            .run_op(CpuId(0), KernelOp::Fork { pages: 8 })
+            .unwrap();
+        let st = traced
+            .run_op(CpuId(0), KernelOp::Fork { pages: 8 })
+            .unwrap();
         // Same seed => same walk; only the per-call overhead differs.
         assert_eq!(sv.calls, st.calls);
         assert_eq!(st.time.0, sv.time.0 + 100 * st.calls);
@@ -593,9 +648,11 @@ mod tests {
         let mut k = small_kernel();
         let tracer = Arc::new(CountingTracer::new(k.num_functions()));
         k.set_tracer(tracer.clone());
-        k.load_module(crate::modules::myri10ge_v151_no_lro()).unwrap();
-        let stats =
-            k.run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 32).unwrap();
+        k.load_module(crate::modules::myri10ge_v151_no_lro())
+            .unwrap();
+        let stats = k
+            .run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 32)
+            .unwrap();
         // 32 packets, no LRO: at least one netif_receive_skb per packet.
         let netif = k.symbols().lookup("netif_receive_skb").unwrap();
         assert!(tracer.count(netif) >= 32);

@@ -77,7 +77,11 @@ mod tests {
             "unknown kernel function `foo`"
         );
         assert_eq!(
-            KernelError::CpuOutOfRange { cpu: 17, num_cpus: 16 }.to_string(),
+            KernelError::CpuOutOfRange {
+                cpu: 17,
+                num_cpus: 16
+            }
+            .to_string(),
             "cpu 17 out of range for machine with 16 cpus"
         );
     }

@@ -39,7 +39,10 @@ pub struct ModuleCall {
 impl ModuleCall {
     /// Convenience constructor.
     pub fn new(entry: impl Into<String>, calls_per_unit: f64) -> Self {
-        ModuleCall { entry: entry.into(), calls_per_unit }
+        ModuleCall {
+            entry: entry.into(),
+            calls_per_unit,
+        }
     }
 }
 
@@ -287,16 +290,29 @@ mod tests {
         let a = myri10ge_v151();
         let b = myri10ge_v151_no_lro();
         let c = myri10ge_v143();
-        assert_ne!(a.handler(ModuleOp::NicReceive), b.handler(ModuleOp::NicReceive));
-        assert_ne!(a.handler(ModuleOp::NicReceive), c.handler(ModuleOp::NicReceive));
-        assert_ne!(b.handler(ModuleOp::NicReceive), c.handler(ModuleOp::NicReceive));
+        assert_ne!(
+            a.handler(ModuleOp::NicReceive),
+            b.handler(ModuleOp::NicReceive)
+        );
+        assert_ne!(
+            a.handler(ModuleOp::NicReceive),
+            c.handler(ModuleOp::NicReceive)
+        );
+        assert_ne!(
+            b.handler(ModuleOp::NicReceive),
+            c.handler(ModuleOp::NicReceive)
+        );
     }
 
     #[test]
     fn lro_off_goes_per_packet() {
         let no_lro = myri10ge_v151_no_lro();
         let rx = no_lro.handler(ModuleOp::NicReceive);
-        let netif = rx.calls.iter().find(|c| c.entry == "netif_receive_skb").unwrap();
+        let netif = rx
+            .calls
+            .iter()
+            .find(|c| c.entry == "netif_receive_skb")
+            .unwrap();
         assert_eq!(netif.calls_per_unit, 1.0);
         assert!(!rx.calls.iter().any(|c| c.entry == "inet_lro_receive_skb"));
 

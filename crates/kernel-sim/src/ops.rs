@@ -178,7 +178,10 @@ pub enum KernelOp {
 
 /// One step of an operation plan: execute the call subtree rooted at the
 /// named entry `repeats` times, each time with probability `probability`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serializes (for plan dumps) but does not deserialize: the entry is a
+/// `&'static str` anchor into the compiled-in plan tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Stage {
     /// Anchor symbol name of the entry function.
     pub entry: &'static str,
@@ -190,11 +193,19 @@ pub struct Stage {
 
 impl Stage {
     const fn new(entry: &'static str, repeats: u32) -> Self {
-        Stage { entry, repeats, probability: 1.0 }
+        Stage {
+            entry,
+            repeats,
+            probability: 1.0,
+        }
     }
 
     const fn maybe(entry: &'static str, repeats: u32, probability: f32) -> Self {
-        Stage { entry, repeats, probability }
+        Stage {
+            entry,
+            repeats,
+            probability,
+        }
     }
 }
 
@@ -708,8 +719,14 @@ impl KernelOp {
             Stat { components: 3 },
             Fstat,
             Lseek,
-            Select { nfds: 10, tcp: false },
-            Select { nfds: 100, tcp: true },
+            Select {
+                nfds: 10,
+                tcp: false,
+            },
+            Select {
+                nfds: 100,
+                tcp: true,
+            },
             FcntlLock,
             Mmap { pages: 16 },
             Munmap { pages: 16 },
@@ -762,7 +779,12 @@ mod tests {
             let stages = op.stages();
             assert!(!stages.is_empty(), "{} has an empty plan", op.name());
             for s in &stages {
-                assert!(s.repeats >= 1, "{}: zero-repeat stage {}", op.name(), s.entry);
+                assert!(
+                    s.repeats >= 1,
+                    "{}: zero-repeat stage {}",
+                    op.name(),
+                    s.entry
+                );
                 assert!(s.probability > 0.0 && s.probability <= 1.0);
             }
         }
@@ -782,8 +804,16 @@ mod tests {
 
     #[test]
     fn select_switches_poll_path() {
-        let tcp = KernelOp::Select { nfds: 10, tcp: true }.stages();
-        let pipe = KernelOp::Select { nfds: 10, tcp: false }.stages();
+        let tcp = KernelOp::Select {
+            nfds: 10,
+            tcp: true,
+        }
+        .stages();
+        let pipe = KernelOp::Select {
+            nfds: 10,
+            tcp: false,
+        }
+        .stages();
         assert!(tcp.iter().any(|s| s.entry == "tcp_poll"));
         assert!(!tcp.iter().any(|s| s.entry == "pipe_poll"));
         assert!(pipe.iter().any(|s| s.entry == "pipe_poll"));

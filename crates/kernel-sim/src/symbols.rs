@@ -11,9 +11,7 @@ use crate::{KernelError, Nanos};
 /// Function ids double as term ids in the signature vector space — the
 /// paper's orthonormal basis is exactly the set of distinct instrumented
 /// kernel functions.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FunctionId(pub u32);
 
 impl FunctionId {
@@ -36,9 +34,7 @@ impl fmt::Display for FunctionId {
 /// vertical paths (VFS -> filesystem -> block, IRQ -> net, ...), and the
 /// *service* subsystems (locking, slab, time, utilities) are callable from
 /// everywhere — they become the corpus' high-frequency "stop words".
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Subsystem {
     /// System call dispatch and entry stubs.
     Syscall,
@@ -195,7 +191,14 @@ impl SymbolTable {
         let id = FunctionId(self.functions.len() as u32);
         let previous = self.by_name.insert(name.clone(), id);
         assert!(previous.is_none(), "duplicate kernel symbol `{name}`");
-        self.functions.push(KernelFunction { id, name, address, subsystem, layer, base_cost });
+        self.functions.push(KernelFunction {
+            id,
+            name,
+            address,
+            subsystem,
+            layer,
+            base_cost,
+        });
         id
     }
 
@@ -219,7 +222,10 @@ impl SymbolTable {
     pub fn function(&self, id: FunctionId) -> Result<&KernelFunction, KernelError> {
         self.functions
             .get(id.index())
-            .ok_or(KernelError::FunctionOutOfRange { id: id.0, len: self.functions.len() })
+            .ok_or(KernelError::FunctionOutOfRange {
+                id: id.0,
+                len: self.functions.len(),
+            })
     }
 
     /// Looks a function up by exact symbol name.
@@ -285,9 +291,21 @@ mod tests {
 
     fn table() -> SymbolTable {
         let mut t = SymbolTable::new();
-        t.push("sys_read", 0xffffffff81000000, Subsystem::Syscall, 0, Nanos(10));
+        t.push(
+            "sys_read",
+            0xffffffff81000000,
+            Subsystem::Syscall,
+            0,
+            Nanos(10),
+        );
         t.push("vfs_read", 0xffffffff81000100, Subsystem::Vfs, 0, Nanos(15));
-        t.push("fget_light", 0xffffffff81000200, Subsystem::Vfs, 1, Nanos(5));
+        t.push(
+            "fget_light",
+            0xffffffff81000200,
+            Subsystem::Vfs,
+            1,
+            Nanos(5),
+        );
         t
     }
 

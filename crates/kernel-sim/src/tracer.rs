@@ -58,7 +58,9 @@ pub struct CountingTracer {
 impl CountingTracer {
     /// Creates a tracer for a symbol table of `num_functions` functions.
     pub fn new(num_functions: usize) -> Self {
-        CountingTracer { counts: (0..num_functions).map(|_| AtomicU64::new(0)).collect() }
+        CountingTracer {
+            counts: (0..num_functions).map(|_| AtomicU64::new(0)).collect(),
+        }
     }
 
     /// Number of times `function` has been observed.
@@ -73,7 +75,10 @@ impl CountingTracer {
 
     /// Snapshot of all counters.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Resets every counter to zero.
@@ -113,12 +118,18 @@ impl RecordingTracer {
 
     /// The recorded call sequence so far.
     pub fn calls(&self) -> Vec<(CpuId, FunctionId)> {
-        self.calls.lock().expect("recording tracer lock poisoned").clone()
+        self.calls
+            .lock()
+            .expect("recording tracer lock poisoned")
+            .clone()
     }
 
     /// Number of recorded calls.
     pub fn len(&self) -> usize {
-        self.calls.lock().expect("recording tracer lock poisoned").len()
+        self.calls
+            .lock()
+            .expect("recording tracer lock poisoned")
+            .len()
     }
 
     /// Returns `true` when nothing has been recorded.
@@ -129,7 +140,10 @@ impl RecordingTracer {
 
 impl FunctionTracer for RecordingTracer {
     fn on_function_call(&self, cpu: CpuId, function: FunctionId) {
-        self.calls.lock().expect("recording tracer lock poisoned").push((cpu, function));
+        self.calls
+            .lock()
+            .expect("recording tracer lock poisoned")
+            .push((cpu, function));
     }
 
     fn overhead(&self) -> Nanos {
@@ -174,7 +188,10 @@ mod tests {
         assert!(t.is_empty());
         t.on_function_call(CpuId(0), FunctionId(5));
         t.on_function_call(CpuId(2), FunctionId(1));
-        assert_eq!(t.calls(), vec![(CpuId(0), FunctionId(5)), (CpuId(2), FunctionId(1))]);
+        assert_eq!(
+            t.calls(),
+            vec![(CpuId(0), FunctionId(5)), (CpuId(2), FunctionId(1))]
+        );
         assert_eq!(t.len(), 2);
     }
 

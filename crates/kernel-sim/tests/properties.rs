@@ -34,8 +34,13 @@ fn arb_op() -> impl Strategy<Value = KernelOp> {
 }
 
 fn kernel(seed: u64) -> Kernel {
-    Kernel::new(KernelConfig { num_cpus: 2, seed, timer_hz: 0, image_seed: 0x2628 })
-        .expect("standard image builds")
+    Kernel::new(KernelConfig {
+        num_cpus: 2,
+        seed,
+        timer_hz: 0,
+        image_seed: 0x2628,
+    })
+    .expect("standard image builds")
 }
 
 proptest! {

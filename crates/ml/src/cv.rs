@@ -82,7 +82,10 @@ impl CrossValidation {
     /// Panics if `folds < 3` — the protocol needs disjoint training,
     /// validation, and test data.
     pub fn new(folds: usize) -> Self {
-        assert!(folds >= 3, "need at least 3 folds (train/validation/test), got {folds}");
+        assert!(
+            folds >= 3,
+            "need at least 3 folds (train/validation/test), got {folds}"
+        );
         CrossValidation {
             folds,
             c_grid: vec![0.01, 0.1, 1.0, 10.0, 100.0],
@@ -203,7 +206,7 @@ impl CrossValidation {
                 let predictions = model.predict_batch(&val_x);
                 let acc = BinaryConfusion::from_labels(&val_y, &predictions)?.accuracy();
                 // Strict > keeps the smallest C on ties (larger margin).
-                if best.map_or(true, |(_, b)| acc > b) {
+                if best.is_none_or(|(_, b)| acc > b) {
                     best = Some((c, acc));
                 }
             }
@@ -234,17 +237,35 @@ impl CrossValidation {
 impl CvReport {
     /// Mean and standard deviation of test accuracy over folds.
     pub fn mean_accuracy(&self) -> (f64, f64) {
-        mean_std(&self.folds.iter().map(|f| f.confusion.accuracy()).collect::<Vec<_>>())
+        mean_std(
+            &self
+                .folds
+                .iter()
+                .map(|f| f.confusion.accuracy())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Mean and standard deviation of test precision over folds.
     pub fn mean_precision(&self) -> (f64, f64) {
-        mean_std(&self.folds.iter().map(|f| f.confusion.precision()).collect::<Vec<_>>())
+        mean_std(
+            &self
+                .folds
+                .iter()
+                .map(|f| f.confusion.precision())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Mean and standard deviation of test recall over folds.
     pub fn mean_recall(&self) -> (f64, f64) {
-        mean_std(&self.folds.iter().map(|f| f.confusion.recall()).collect::<Vec<_>>())
+        mean_std(
+            &self
+                .folds
+                .iter()
+                .map(|f| f.confusion.recall())
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -269,7 +290,10 @@ mod tests {
     #[test]
     fn separable_data_scores_perfectly() {
         let (xs, ys) = dataset(25);
-        let report = CrossValidation::new(5).kernel(Kernel::Linear).run(&xs, &ys).unwrap();
+        let report = CrossValidation::new(5)
+            .kernel(Kernel::Linear)
+            .run(&xs, &ys)
+            .unwrap();
         let (acc, std) = report.mean_accuracy();
         assert_eq!(acc, 1.0);
         assert_eq!(std, 0.0);
@@ -301,7 +325,10 @@ mod tests {
     fn every_example_tested_exactly_once() {
         // Fold sizes must partition the data.
         let (xs, ys) = dataset(13); // not divisible by folds
-        let report = CrossValidation::new(5).kernel(Kernel::Linear).run(&xs, &ys).unwrap();
+        let report = CrossValidation::new(5)
+            .kernel(Kernel::Linear)
+            .run(&xs, &ys)
+            .unwrap();
         let tested: usize = report.folds.iter().map(|f| f.confusion.total()).sum();
         assert_eq!(tested, xs.len());
     }
@@ -314,7 +341,10 @@ mod tests {
             xs.push(SparseVec::from_pairs(3, [(1, 2.0 + i as f64 * 0.01)]).unwrap());
             ys.push(-1);
         }
-        let report = CrossValidation::new(4).kernel(Kernel::Linear).run(&xs, &ys).unwrap();
+        let report = CrossValidation::new(4)
+            .kernel(Kernel::Linear)
+            .run(&xs, &ys)
+            .unwrap();
         assert!((report.baseline_accuracy - 40.0 / 60.0).abs() < 1e-12);
     }
 

@@ -55,7 +55,10 @@ impl AdaBoost {
     /// Panics if `rounds` is zero.
     pub fn new(rounds: usize) -> Self {
         assert!(rounds > 0, "need at least one boosting round");
-        AdaBoost { rounds, weak_depth: 1 }
+        AdaBoost {
+            rounds,
+            weak_depth: 1,
+        }
     }
 
     /// Depth of each weak learner (default 1 — decision stumps).
@@ -70,11 +73,7 @@ impl AdaBoost {
     ///
     /// Propagates tree-training failures (empty input, mismatched
     /// labels, mixed dimensions).
-    pub fn train(
-        &self,
-        vectors: &[SparseVec],
-        labels: &[Label],
-    ) -> Result<AdaBoostModel, MlError> {
+    pub fn train(&self, vectors: &[SparseVec], labels: &[Label]) -> Result<AdaBoostModel, MlError> {
         if vectors.is_empty() {
             return Err(MlError::EmptyInput);
         }
@@ -118,7 +117,10 @@ impl AdaBoost {
             let tree = trainer.train(vectors, labels)?;
             trees.push((tree, 1.0));
         }
-        Ok(AdaBoostModel { trees, dim: vectors[0].dim() })
+        Ok(AdaBoostModel {
+            trees,
+            dim: vectors[0].dim(),
+        })
     }
 }
 
@@ -176,7 +178,11 @@ impl Bagging {
     /// Panics if `rounds` is zero.
     pub fn new(rounds: usize) -> Self {
         assert!(rounds > 0, "need at least one bagging round");
-        Bagging { rounds, max_depth: 8, seed: 0 }
+        Bagging {
+            rounds,
+            max_depth: 8,
+            seed: 0,
+        }
     }
 
     /// Depth bound for each tree (default 8).
@@ -196,11 +202,7 @@ impl Bagging {
     /// # Errors
     ///
     /// Propagates tree-training failures.
-    pub fn train(
-        &self,
-        vectors: &[SparseVec],
-        labels: &[Label],
-    ) -> Result<BaggingModel, MlError> {
+    pub fn train(&self, vectors: &[SparseVec], labels: &[Label]) -> Result<BaggingModel, MlError> {
         if vectors.is_empty() {
             return Err(MlError::EmptyInput);
         }
@@ -270,9 +272,15 @@ mod tests {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for _ in 0..30 {
-            xs.push(point(&[(0, 1.0 + rng.random::<f64>()), (2, rng.random::<f64>())]));
+            xs.push(point(&[
+                (0, 1.0 + rng.random::<f64>()),
+                (2, rng.random::<f64>()),
+            ]));
             ys.push(1);
-            xs.push(point(&[(1, 1.0 + rng.random::<f64>()), (2, rng.random::<f64>())]));
+            xs.push(point(&[
+                (1, 1.0 + rng.random::<f64>()),
+                (2, rng.random::<f64>()),
+            ]));
             ys.push(-1);
         }
         (xs, ys)
@@ -300,8 +308,11 @@ mod tests {
         let model = AdaBoost::new(50).weak_depth(4).train(&xs, &ys).unwrap();
         // Separable by one tree: should terminate well before 50 rounds.
         assert!(model.num_rounds() < 5, "rounds = {}", model.num_rounds());
-        let correct =
-            xs.iter().zip(&ys).filter(|(x, &y)| model.predict(x) == y).count();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
         assert_eq!(correct, xs.len());
     }
 
@@ -321,16 +332,25 @@ mod tests {
         let m1 = Bagging::new(7).seed(4).train(&xs, &ys).unwrap();
         let m2 = Bagging::new(7).seed(4).train(&xs, &ys).unwrap();
         assert_eq!(m1.num_trees(), 7);
-        let correct =
-            xs.iter().zip(&ys).filter(|(x, &y)| m1.predict(x) == y).count();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m1.predict(x) == y)
+            .count();
         assert!(correct as f64 / xs.len() as f64 > 0.95);
         assert_eq!(m1.predict_batch(&xs), m2.predict_batch(&xs));
     }
 
     #[test]
     fn ensembles_reject_empty_input() {
-        assert!(matches!(AdaBoost::new(3).train(&[], &[]), Err(MlError::EmptyInput)));
-        assert!(matches!(Bagging::new(3).train(&[], &[]), Err(MlError::EmptyInput)));
+        assert!(matches!(
+            AdaBoost::new(3).train(&[], &[]),
+            Err(MlError::EmptyInput)
+        ));
+        assert!(matches!(
+            Bagging::new(3).train(&[], &[]),
+            Err(MlError::EmptyInput)
+        ));
     }
 
     #[test]
@@ -346,8 +366,11 @@ mod tests {
         ys[0] = -ys[0];
         ys[7] = -ys[7];
         let model = AdaBoost::new(20).weak_depth(2).train(&xs, &ys).unwrap();
-        let correct =
-            xs.iter().zip(&ys).filter(|(x, &y)| model.predict(x) == y).count();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| model.predict(x) == y)
+            .count();
         assert!(correct as f64 / xs.len() as f64 > 0.85);
     }
 }

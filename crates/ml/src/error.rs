@@ -36,7 +36,10 @@ impl fmt::Display for MlError {
         match self {
             MlError::EmptyInput => write!(f, "no data points supplied"),
             MlError::LabelCountMismatch { vectors, labels } => {
-                write!(f, "label count mismatch: {vectors} vectors vs {labels} labels")
+                write!(
+                    f,
+                    "label count mismatch: {vectors} vectors vs {labels} labels"
+                )
             }
             MlError::NotEnoughData { have, need } => {
                 write!(f, "not enough data points: have {have}, need {need}")

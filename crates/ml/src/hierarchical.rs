@@ -73,7 +73,10 @@ pub struct Agglomerative {
 impl Agglomerative {
     /// Creates a clusterer with the given linkage and Euclidean distance.
     pub fn new(linkage: Linkage) -> Self {
-        Agglomerative { linkage, metric: Metric::Euclidean }
+        Agglomerative {
+            linkage,
+            metric: Metric::Euclidean,
+        }
     }
 
     /// Sets the point-to-point distance metric (default Euclidean).
@@ -163,7 +166,10 @@ impl Agglomerative {
             node_of_slot[i] = new_node;
             size_of_slot[i] = new_size;
         }
-        Ok(Dendrogram { num_points: n, merges })
+        Ok(Dendrogram {
+            num_points: n,
+            merges,
+        })
     }
 }
 
@@ -194,7 +200,7 @@ impl Dendrogram {
         // Union-find over nodes, applying only the first n - k merges.
         let total_nodes = n + self.merges.len();
         let mut parent: Vec<usize> = (0..total_nodes).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -228,7 +234,10 @@ impl Dendrogram {
             return String::new();
         }
         let label_of = |leaf: usize| -> String {
-            labels.get(leaf).cloned().unwrap_or_else(|| leaf.to_string())
+            labels
+                .get(leaf)
+                .cloned()
+                .unwrap_or_else(|| leaf.to_string())
         };
         if self.merges.is_empty() {
             return label_of(0);

@@ -132,7 +132,10 @@ impl KMeans {
             return Err(MlError::EmptyInput);
         }
         if points.len() < self.k {
-            return Err(MlError::NotEnoughData { have: points.len(), need: self.k });
+            return Err(MlError::NotEnoughData {
+                have: points.len(),
+                need: self.k,
+            });
         }
         let dim = points[0].dim();
         for p in points {
@@ -227,7 +230,13 @@ impl KMeans {
             assignments[i] = cluster;
             inertia += dist * dist;
         }
-        Ok(KMeansResult { centroids, assignments, inertia, iterations, converged })
+        Ok(KMeansResult {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+            converged,
+        })
     }
 
     fn nearest(&self, centroids: &[SparseVec], p: &SparseVec) -> Result<(usize, f64), MlError> {
@@ -258,7 +267,10 @@ impl KMeans {
         let mut dist2: Vec<f64> = points
             .iter()
             .map(|p| {
-                let d = self.metric.distance(p, &centroids[0]).unwrap_or(f64::INFINITY);
+                let d = self
+                    .metric
+                    .distance(p, &centroids[0])
+                    .unwrap_or(f64::INFINITY);
                 d * d
             })
             .collect();
@@ -330,7 +342,11 @@ mod tests {
     #[test]
     fn k_equals_n_gives_zero_inertia() {
         let pts = blobs();
-        let r = KMeans::new(pts.len()).seed(1).restarts(5).run(&pts).unwrap();
+        let r = KMeans::new(pts.len())
+            .seed(1)
+            .restarts(5)
+            .run(&pts)
+            .unwrap();
         assert!(r.inertia < 1e-18, "inertia {} should be ~0", r.inertia);
     }
 
@@ -363,7 +379,10 @@ mod tests {
     #[test]
     fn rejects_bad_configs() {
         let pts = blobs();
-        assert!(matches!(KMeans::new(0).run(&pts), Err(MlError::InvalidConfig(_))));
+        assert!(matches!(
+            KMeans::new(0).run(&pts),
+            Err(MlError::InvalidConfig(_))
+        ));
         assert!(matches!(KMeans::new(2).run(&[]), Err(MlError::EmptyInput)));
         assert!(matches!(
             KMeans::new(100).run(&pts),
@@ -373,8 +392,7 @@ mod tests {
 
     #[test]
     fn rejects_mixed_dimensions() {
-        let pts =
-            vec![SparseVec::zeros(2), SparseVec::zeros(3)];
+        let pts = vec![SparseVec::zeros(2), SparseVec::zeros(3)];
         assert!(matches!(KMeans::new(1).run(&pts), Err(MlError::Ir(_))));
     }
 

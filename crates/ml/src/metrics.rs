@@ -189,10 +189,7 @@ pub fn purity(assignments: &[usize], classes: &[usize]) -> Result<f64, MlError> 
 ///
 /// Returns [`MlError::LabelCountMismatch`] / [`MlError::EmptyInput`] for
 /// malformed input.
-fn contingency(
-    assignments: &[usize],
-    classes: &[usize],
-) -> Result<Vec<Vec<usize>>, MlError> {
+fn contingency(assignments: &[usize], classes: &[usize]) -> Result<Vec<Vec<usize>>, MlError> {
     if assignments.len() != classes.len() {
         return Err(MlError::LabelCountMismatch {
             vectors: assignments.len(),
@@ -294,8 +291,7 @@ pub fn rand_index(assignments: &[usize], classes: &[usize]) -> Result<f64, MlErr
     let same_cluster: f64 = cluster_sizes.iter().map(|&s| choose2(s)).sum();
     let same_class: f64 = class_sizes.iter().map(|&s| choose2(s)).sum();
     // Agreements = pairs together in both + pairs separated in both.
-    let agreements =
-        same_both + (total_pairs - same_cluster - same_class + same_both);
+    let agreements = same_both + (total_pairs - same_cluster - same_class + same_both);
     Ok(agreements / total_pairs)
 }
 
@@ -307,10 +303,7 @@ pub fn rand_index(assignments: &[usize], classes: &[usize]) -> Result<f64, MlErr
 ///
 /// Returns [`MlError::LabelCountMismatch`] / [`MlError::EmptyInput`] for
 /// malformed input; requires at least two points.
-pub fn clustering_f_measure(
-    assignments: &[usize],
-    classes: &[usize],
-) -> Result<f64, MlError> {
+pub fn clustering_f_measure(assignments: &[usize], classes: &[usize]) -> Result<f64, MlError> {
     let table = contingency(assignments, classes)?;
     let n = assignments.len();
     if n < 2 {
@@ -416,8 +409,9 @@ mod tests {
     #[test]
     fn majority_baseline_matches_paper_example() {
         // Paper §4.2.1: 100 positive + 150 negative -> 0.6.
-        let labels: Vec<Label> =
-            std::iter::repeat(1).take(100).chain(std::iter::repeat(-1).take(150)).collect();
+        let labels: Vec<Label> = std::iter::repeat_n(1, 100)
+            .chain(std::iter::repeat_n(-1, 150))
+            .collect();
         assert_eq!(majority_baseline(&labels).unwrap(), 0.6);
     }
 
@@ -474,7 +468,10 @@ mod tests {
         let singleton: Vec<usize> = (0..4).collect();
         assert_eq!(purity(&singleton, &classes).unwrap(), 1.0);
         let nmi = normalized_mutual_information(&singleton, &classes).unwrap();
-        assert!(nmi < 1.0, "NMI should penalise singleton clusters, got {nmi}");
+        assert!(
+            nmi < 1.0,
+            "NMI should penalise singleton clusters, got {nmi}"
+        );
     }
 
     #[test]
@@ -485,7 +482,10 @@ mod tests {
         // Maximally wrong pairing: split every true pair, join every
         // cross pair.
         let ri = rand_index(&[0, 1, 0, 1], &classes).unwrap();
-        assert!(ri < 0.5, "anti-clustering should agree on few pairs, got {ri}");
+        assert!(
+            ri < 0.5,
+            "anti-clustering should agree on few pairs, got {ri}"
+        );
         assert!(matches!(
             rand_index(&[0], &[0]),
             Err(MlError::NotEnoughData { .. })

@@ -34,7 +34,11 @@ pub enum Kernel {
 impl Kernel {
     /// The paper's kernel: cubic polynomial `(x.y + 1)^3`.
     pub fn polynomial() -> Self {
-        Kernel::Polynomial { degree: 3, gamma: 1.0, coef0: 1.0 }
+        Kernel::Polynomial {
+            degree: 3,
+            gamma: 1.0,
+            coef0: 1.0,
+        }
     }
 
     /// Evaluates the kernel on two vectors.
@@ -47,9 +51,11 @@ impl Kernel {
         let dot = a.dot(b).expect("kernel operands share one vector space");
         match *self {
             Kernel::Linear => dot,
-            Kernel::Polynomial { degree, gamma, coef0 } => {
-                (gamma * dot + coef0).powi(degree as i32)
-            }
+            Kernel::Polynomial {
+                degree,
+                gamma,
+                coef0,
+            } => (gamma * dot + coef0).powi(degree as i32),
             Kernel::Rbf { gamma } => {
                 let aa = a.dot(a).expect("same space");
                 let bb = b.dot(b).expect("same space");
@@ -185,7 +191,10 @@ impl SvmTrainer {
         if !has_pos || !has_neg {
             return Err(MlError::SingleClass);
         }
-        let y: Vec<f64> = labels.iter().map(|&l| if l > 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l > 0 { 1.0 } else { -1.0 })
+            .collect();
         let n = vectors.len();
 
         // Precompute the kernel matrix; n is at most a few hundred in every
@@ -210,8 +219,8 @@ impl SvmTrainer {
             b: 0.0,
             errors: vec![0.0; n],
         };
-        for i in 0..n {
-            smo.errors[i] = -y[i]; // f(x) = 0 initially, E = f - y
+        for (error, &label) in smo.errors.iter_mut().zip(&y) {
+            *error = -label; // f(x) = 0 initially, E = f - y
         }
 
         let mut rng = SmallRng::seed_from_u64(self.seed);
@@ -244,7 +253,13 @@ impl SvmTrainer {
                 sv_alpha_y.push(smo.alpha[i] * y[i]);
             }
         }
-        Ok(SvmModel { kernel: self.kernel, support, sv_alpha_y, bias: smo.b, dim })
+        Ok(SvmModel {
+            kernel: self.kernel,
+            support,
+            sv_alpha_y,
+            bias: smo.b,
+            dim,
+        })
     }
 }
 
@@ -277,8 +292,7 @@ impl Smo<'_> {
         let alph2 = self.alpha[i2];
         let e2 = self.errors[i2];
         let r2 = e2 * y2;
-        let violates =
-            (r2 < -self.tol && alph2 < self.c) || (r2 > self.tol && alph2 > 0.0);
+        let violates = (r2 < -self.tol && alph2 < self.c) || (r2 > self.tol && alph2 > 0.0);
         if !violates {
             return false;
         }
@@ -289,7 +303,7 @@ impl Smo<'_> {
                 continue;
             }
             let gap = (self.errors[i1] - e2).abs();
-            if best.map_or(true, |(_, g)| gap > g) {
+            if best.is_none_or(|(_, g)| gap > g) {
                 best = Some((i1, gap));
             }
         }
@@ -319,9 +333,15 @@ impl Smo<'_> {
         let (e1, e2) = (self.errors[i1], self.errors[i2]);
         let s = y1 * y2;
         let (low, high) = if s < 0.0 {
-            ((alph2 - alph1).max(0.0), (self.c + alph2 - alph1).min(self.c))
+            (
+                (alph2 - alph1).max(0.0),
+                (self.c + alph2 - alph1).min(self.c),
+            )
         } else {
-            ((alph2 + alph1 - self.c).max(0.0), (alph2 + alph1).min(self.c))
+            (
+                (alph2 + alph1 - self.c).max(0.0),
+                (alph2 + alph1).min(self.c),
+            )
         };
         if low >= high {
             return false;
@@ -339,9 +359,14 @@ impl Smo<'_> {
             let f2 = y2 * e2 - s * alph1 * k12 - alph2 * k22;
             let l1 = alph1 + s * (alph2 - low);
             let h1 = alph1 + s * (alph2 - high);
-            let obj_low = l1 * f1 + low * f2 + 0.5 * l1 * l1 * k11 + 0.5 * low * low * k22
+            let obj_low = l1 * f1
+                + low * f2
+                + 0.5 * l1 * l1 * k11
+                + 0.5 * low * low * k22
                 + s * low * l1 * k12;
-            let obj_high = h1 * f1 + high * f2 + 0.5 * h1 * h1 * k11
+            let obj_high = h1 * f1
+                + high * f2
+                + 0.5 * h1 * h1 * k11
                 + 0.5 * high * high * k22
                 + s * high * h1 * k12;
             if obj_low < obj_high - self.eps {
@@ -493,7 +518,11 @@ mod tests {
         let a = point(2, &[(0, 1.0), (1, 2.0)]);
         let b = point(2, &[(0, 3.0), (1, 4.0)]);
         assert_eq!(Kernel::Linear.eval(&a, &b), 11.0);
-        let poly = Kernel::Polynomial { degree: 2, gamma: 1.0, coef0 : 1.0 };
+        let poly = Kernel::Polynomial {
+            degree: 2,
+            gamma: 1.0,
+            coef0: 1.0,
+        };
         assert_eq!(poly.eval(&a, &b), 144.0);
         let rbf = Kernel::Rbf { gamma: 1.0 };
         let d2 = 4.0 + 4.0; // (1-3)^2 + (2-4)^2
@@ -514,7 +543,10 @@ mod tests {
     #[test]
     fn linear_svm_separates_blobs() {
         let (xs, ys) = separable();
-        let model = SvmTrainer::new().kernel(Kernel::Linear).train(&xs, &ys).unwrap();
+        let model = SvmTrainer::new()
+            .kernel(Kernel::Linear)
+            .train(&xs, &ys)
+            .unwrap();
         for (x, &y) in xs.iter().zip(&ys) {
             assert_eq!(model.predict(x), y);
         }
@@ -565,7 +597,11 @@ mod tests {
     fn alphas_respect_box_constraint() {
         let (xs, ys) = separable();
         let c = 0.5;
-        let model = SvmTrainer::new().kernel(Kernel::Linear).c(c).train(&xs, &ys).unwrap();
+        let model = SvmTrainer::new()
+            .kernel(Kernel::Linear)
+            .c(c)
+            .train(&xs, &ys)
+            .unwrap();
         for ay in &model.sv_alpha_y {
             assert!(ay.abs() <= c + 1e-9, "alpha {} exceeds C {}", ay.abs(), c);
         }
@@ -575,7 +611,11 @@ mod tests {
     fn margin_examples_have_unit_decision_value() {
         // With separable data and large C, unbound SVs satisfy |f(x)| ~ 1.
         let (xs, ys) = separable();
-        let model = SvmTrainer::new().kernel(Kernel::Linear).c(1000.0).train(&xs, &ys).unwrap();
+        let model = SvmTrainer::new()
+            .kernel(Kernel::Linear)
+            .c(1000.0)
+            .train(&xs, &ys)
+            .unwrap();
         // All training points must be outside or on the margin.
         for (x, &y) in xs.iter().zip(&ys) {
             let f = model.decision_function(x) * y as f64;
@@ -615,7 +655,10 @@ mod tests {
     #[test]
     fn predict_batch_matches_predict() {
         let (xs, ys) = separable();
-        let model = SvmTrainer::new().kernel(Kernel::Linear).train(&xs, &ys).unwrap();
+        let model = SvmTrainer::new()
+            .kernel(Kernel::Linear)
+            .train(&xs, &ys)
+            .unwrap();
         let batch = model.predict_batch(&xs);
         for (i, x) in xs.iter().enumerate() {
             assert_eq!(batch[i], model.predict(x));
@@ -629,7 +672,11 @@ mod tests {
         ys[0] = -1; // flip one label
         xs.push(point(2, &[(0, 0.0), (1, 0.0)]));
         ys.push(1);
-        let model = SvmTrainer::new().kernel(Kernel::Linear).c(1.0).train(&xs, &ys).unwrap();
+        let model = SvmTrainer::new()
+            .kernel(Kernel::Linear)
+            .c(1.0)
+            .train(&xs, &ys)
+            .unwrap();
         let acc = xs
             .iter()
             .zip(&ys)

@@ -17,10 +17,7 @@ use crate::{Label, MlError};
 enum Node {
     /// Terminal node predicting `label`; `confidence` is the weighted
     /// fraction of training examples agreeing with the prediction.
-    Leaf {
-        label: Label,
-        confidence: f64,
-    },
+    Leaf { label: Label, confidence: f64 },
     /// Internal split: `term`'s weight `<= threshold` goes left,
     /// otherwise right.
     Split {
@@ -97,11 +94,7 @@ impl DecisionTreeTrainer {
     /// * [`MlError::EmptyInput`] — no examples,
     /// * [`MlError::LabelCountMismatch`] — slice lengths differ,
     /// * [`MlError::Ir`] — mixed dimensionality.
-    pub fn train(
-        &self,
-        vectors: &[SparseVec],
-        labels: &[Label],
-    ) -> Result<DecisionTree, MlError> {
+    pub fn train(&self, vectors: &[SparseVec], labels: &[Label]) -> Result<DecisionTree, MlError> {
         let weights = vec![1.0 / vectors.len().max(1) as f64; vectors.len()];
         self.train_weighted(vectors, labels, &weights)
     }
@@ -135,7 +128,9 @@ impl DecisionTreeTrainer {
             });
         }
         if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
-            return Err(MlError::InvalidConfig("weights must be non-negative".into()));
+            return Err(MlError::InvalidConfig(
+                "weights must be non-negative".into(),
+            ));
         }
         let dim = vectors[0].dim();
         for v in vectors {
@@ -165,10 +160,16 @@ impl DecisionTreeTrainer {
         let (pos_weight, neg_weight) = class_weights(&members, labels, weights);
         let total = pos_weight + neg_weight;
         let majority: Label = if pos_weight >= neg_weight { 1 } else { -1 };
-        let confidence =
-            if total > 0.0 { pos_weight.max(neg_weight) / total } else { 1.0 };
+        let confidence = if total > 0.0 {
+            pos_weight.max(neg_weight) / total
+        } else {
+            1.0
+        };
         let make_leaf = |nodes: &mut Vec<Node>| {
-            nodes.push(Node::Leaf { label: majority, confidence });
+            nodes.push(Node::Leaf {
+                label: majority,
+                confidence,
+            });
             nodes.len() - 1
         };
         if depth >= self.max_depth
@@ -177,25 +178,33 @@ impl DecisionTreeTrainer {
         {
             return make_leaf(nodes);
         }
-        let Some((term, threshold, gain)) =
-            self.best_split(vectors, labels, weights, &members)
+        let Some((term, threshold, gain)) = self.best_split(vectors, labels, weights, &members)
         else {
             return make_leaf(nodes);
         };
         if gain < self.min_gain {
             return make_leaf(nodes);
         }
-        let (left_members, right_members): (Vec<usize>, Vec<usize>) =
-            members.iter().partition(|&&i| vectors[i].get(term) <= threshold);
+        let (left_members, right_members): (Vec<usize>, Vec<usize>) = members
+            .iter()
+            .partition(|&&i| vectors[i].get(term) <= threshold);
         if left_members.is_empty() || right_members.is_empty() {
             return make_leaf(nodes);
         }
         // Reserve our slot before growing children so indices stay stable.
-        nodes.push(Node::Leaf { label: majority, confidence });
+        nodes.push(Node::Leaf {
+            label: majority,
+            confidence,
+        });
         let this = nodes.len() - 1;
         let left = self.grow(nodes, vectors, labels, weights, left_members, depth + 1);
         let right = self.grow(nodes, vectors, labels, weights, right_members, depth + 1);
-        nodes[this] = Node::Split { term, threshold, left, right };
+        nodes[this] = Node::Split {
+            term,
+            threshold,
+            left,
+            right,
+        };
         this
     }
 
@@ -260,7 +269,7 @@ impl DecisionTreeTrainer {
                 let children = (left_total / total) * entropy(left_pos, left_neg)
                     + (right_total / total) * entropy(right_pos, right_neg);
                 let gain = parent_entropy - children;
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((term, threshold, gain));
                 }
             }
@@ -323,8 +332,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { label, .. } => return *label,
-                Node::Split { term, threshold, left, right } => {
-                    node = if x.get(*term) <= *threshold { *left } else { *right };
+                Node::Split {
+                    term,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x.get(*term) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -342,7 +360,10 @@ impl DecisionTree {
 
     /// Number of leaf nodes.
     pub fn num_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     /// Maximum root-to-leaf depth (a single leaf is depth 0).
@@ -396,10 +417,12 @@ mod tests {
     #[test]
     fn stump_handles_threshold_split() {
         // Class by magnitude on one feature.
-        let xs: Vec<SparseVec> =
-            (0..12).map(|i| point(&[(0, i as f64)])).collect();
+        let xs: Vec<SparseVec> = (0..12).map(|i| point(&[(0, i as f64)])).collect();
         let ys: Vec<Label> = (0..12).map(|i| if i < 6 { -1 } else { 1 }).collect();
-        let stump = DecisionTree::trainer().max_depth(1).train(&xs, &ys).unwrap();
+        let stump = DecisionTree::trainer()
+            .max_depth(1)
+            .train(&xs, &ys)
+            .unwrap();
         assert_eq!(stump.depth(), 1);
         for (x, &y) in xs.iter().zip(&ys) {
             assert_eq!(stump.predict(x), y);
@@ -415,11 +438,20 @@ mod tests {
             point(&[(0, 1.0), (1, 0.0)]),
         ];
         let ys = vec![1, 1, -1, -1];
-        let stump = DecisionTree::trainer().max_depth(1).train(&xs, &ys).unwrap();
-        let stump_correct =
-            xs.iter().zip(&ys).filter(|(x, &y)| stump.predict(x) == y).count();
+        let stump = DecisionTree::trainer()
+            .max_depth(1)
+            .train(&xs, &ys)
+            .unwrap();
+        let stump_correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| stump.predict(x) == y)
+            .count();
         assert!(stump_correct < 4, "a stump cannot solve XOR");
-        let deep = DecisionTree::trainer().max_depth(3).train(&xs, &ys).unwrap();
+        let deep = DecisionTree::trainer()
+            .max_depth(3)
+            .train(&xs, &ys)
+            .unwrap();
         for (x, &y) in xs.iter().zip(&ys) {
             assert_eq!(deep.predict(x), y);
         }
@@ -482,8 +514,7 @@ mod tests {
             Err(MlError::LabelCountMismatch { .. })
         ));
         assert!(matches!(
-            DecisionTree::trainer()
-                .train_weighted(&xs[..2], &ys[..2], &[-1.0, 1.0]),
+            DecisionTree::trainer().train_weighted(&xs[..2], &ys[..2], &[-1.0, 1.0]),
             Err(MlError::InvalidConfig(_))
         ));
         let mixed = vec![SparseVec::zeros(2), SparseVec::zeros(3)];
@@ -497,8 +528,10 @@ mod tests {
     fn max_depth_bounds_tree() {
         let (xs, ys) = axis_data();
         for depth in 1..4 {
-            let tree =
-                DecisionTree::trainer().max_depth(depth).train(&xs, &ys).unwrap();
+            let tree = DecisionTree::trainer()
+                .max_depth(depth)
+                .train(&xs, &ys)
+                .unwrap();
             assert!(tree.depth() <= depth);
         }
     }

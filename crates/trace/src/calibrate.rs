@@ -51,7 +51,9 @@ impl Calibration {
 /// Measures the real cost of one Fmeter stub execution (stub lookup +
 /// per-CPU slot increment), in nanoseconds per call.
 pub fn measure_fmeter_increment(iterations: u64) -> f64 {
-    let image = KernelImageBuilder::new().build().expect("standard image builds");
+    let image = KernelImageBuilder::new()
+        .build()
+        .expect("standard image builds");
     let tracer = FmeterTracer::with_cpus(&image.symbols, 1);
     let functions = spread_functions(image.symbols.len());
     let start = Instant::now();
@@ -67,7 +69,9 @@ pub fn measure_fmeter_increment(iterations: u64) -> f64 {
 /// ring push), in nanoseconds per call. Uses a buffer large enough that
 /// overwrite churn matches steady-state tracing.
 pub fn measure_ftrace_append(iterations: u64) -> f64 {
-    let image = KernelImageBuilder::new().build().expect("standard image builds");
+    let image = KernelImageBuilder::new()
+        .build()
+        .expect("standard image builds");
     let tracer = FtraceTracer::new(&image.symbols, 1, 1 << 20);
     let functions = spread_functions(image.symbols.len());
     let start = Instant::now();
@@ -82,7 +86,9 @@ pub fn measure_ftrace_append(iterations: u64) -> f64 {
 /// A spread of function ids across the table (defeats a single hot cache
 /// line being the entire benchmark).
 fn spread_functions(num_functions: usize) -> Vec<FunctionId> {
-    (0..64).map(|i| FunctionId((i * num_functions / 64) as u32)).collect()
+    (0..64)
+        .map(|i| FunctionId((i * num_functions / 64) as u32))
+        .collect()
 }
 
 #[cfg(test)]
@@ -104,12 +110,7 @@ mod tests {
         // best of three runs per side before comparing.
         let best = (0..3)
             .map(|_| Calibration::measure(200_000))
-            .map(|c| {
-                (
-                    c.fmeter_ns_per_call,
-                    c.ftrace_ns_per_call,
-                )
-            })
+            .map(|c| (c.fmeter_ns_per_call, c.ftrace_ns_per_call))
             .fold((f64::INFINITY, f64::INFINITY), |acc, (f, t)| {
                 (acc.0.min(f), acc.1.min(t))
             });

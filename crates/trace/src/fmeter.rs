@@ -1,9 +1,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fmeter_kernel_sim::{
-    CpuId, Debugfs, FunctionId, FunctionTracer, Nanos, SymbolTable,
-};
+use fmeter_kernel_sim::{CpuId, Debugfs, FunctionId, FunctionTracer, Nanos, SymbolTable};
 
 use crate::{CounterSnapshot, FMETER_CALL_OVERHEAD};
 
@@ -23,7 +21,10 @@ impl PerCpuIndex {
         let num_pages = num_functions.div_ceil(SLOTS_PER_PAGE).max(1);
         let pages = (0..num_pages)
             .map(|_| {
-                (0..SLOTS_PER_PAGE).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice()
+                (0..SLOTS_PER_PAGE)
+                    .map(|_| AtomicU64::new(0))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
             })
             .collect();
         PerCpuIndex { pages }
@@ -135,8 +136,7 @@ impl FmeterTracer {
     /// Panics if `cpu` or `function` is out of range.
     pub fn count_on_cpu(&self, cpu: CpuId, function: FunctionId) -> u64 {
         let stub = self.stubs[function.index()];
-        self.per_cpu[cpu.0].pages[stub.page as usize][stub.slot as usize]
-            .load(Ordering::Relaxed)
+        self.per_cpu[cpu.0].pages[stub.page as usize][stub.slot as usize].load(Ordering::Relaxed)
     }
 
     /// Aggregated (all-CPU) count for one function.
@@ -155,8 +155,7 @@ impl FmeterTracer {
         for idx in &self.per_cpu {
             for (i, count) in counts.iter_mut().enumerate() {
                 let stub = self.stubs[i];
-                *count +=
-                    idx.pages[stub.page as usize][stub.slot as usize].load(Ordering::Relaxed);
+                *count += idx.pages[stub.page as usize][stub.slot as usize].load(Ordering::Relaxed);
             }
         }
         CounterSnapshot::new(counts, now)
@@ -190,7 +189,10 @@ impl FmeterTracer {
     /// `tracing/fmeter/counters`.
     pub fn register_debugfs(self: &Arc<Self>, debugfs: &mut Debugfs) {
         let me = Arc::clone(self);
-        debugfs.register("tracing/fmeter/counters", Arc::new(move || me.render_debugfs()));
+        debugfs.register(
+            "tracing/fmeter/counters",
+            Arc::new(move || me.render_debugfs()),
+        );
     }
 }
 
@@ -203,8 +205,7 @@ impl FunctionTracer for FmeterTracer {
         // follow (page, slot); increment; preempt_enable().
         let stub = self.stubs[function.index()];
         let cpu_index = &self.per_cpu[cpu.0 % self.per_cpu.len()];
-        cpu_index.pages[stub.page as usize][stub.slot as usize]
-            .fetch_add(1, Ordering::Relaxed);
+        cpu_index.pages[stub.page as usize][stub.slot as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     fn overhead(&self) -> Nanos {

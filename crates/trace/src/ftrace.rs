@@ -133,20 +133,27 @@ impl FtraceTracer {
 
     /// Drains every CPU, returning events sorted by timestamp.
     pub fn drain_all(&self) -> Vec<TraceEvent> {
-        let mut events: Vec<TraceEvent> =
-            (0..self.buffers.len()).flat_map(|c| self.drain(CpuId(c))).collect();
+        let mut events: Vec<TraceEvent> = (0..self.buffers.len())
+            .flat_map(|c| self.drain(CpuId(c)))
+            .collect();
         events.sort_by_key(|e| e.timestamp);
         events
     }
 
     /// Events lost to ring-buffer overwrite so far, across all CPUs.
     pub fn total_overwritten(&self) -> u64 {
-        self.buffers.iter().map(|b| b.lock().ring.overwritten()).sum()
+        self.buffers
+            .iter()
+            .map(|b| b.lock().ring.overwritten())
+            .sum()
     }
 
     /// Total events ever recorded (including later-overwritten ones).
     pub fn total_recorded(&self) -> u64 {
-        self.buffers.iter().map(|b| b.lock().ring.total_pushed()).sum()
+        self.buffers
+            .iter()
+            .map(|b| b.lock().ring.total_pushed())
+            .sum()
     }
 
     fn decode(raw: &[u8]) -> TraceEvent {
@@ -285,7 +292,7 @@ mod tests {
     fn ftrace_is_much_costlier_than_fmeter() {
         // The central systems claim, encoded as a guard: the simulated
         // per-call costs must keep a wide gap.
-        assert!(FTRACE_CALL_OVERHEAD.0 >= 10 * crate::FMETER_CALL_OVERHEAD.0);
+        const { assert!(FTRACE_CALL_OVERHEAD.0 >= 10 * crate::FMETER_CALL_OVERHEAD.0) }
     }
 
     #[test]

@@ -66,18 +66,20 @@ impl HotSetTracer {
     ///
     /// Panics if `num_cpus` is zero, `n` is zero, or the profile length
     /// differs from the symbol table.
-    pub fn from_profile(
-        symbols: &SymbolTable,
-        num_cpus: usize,
-        profile: &[u64],
-        n: usize,
-    ) -> Self {
+    pub fn from_profile(symbols: &SymbolTable, num_cpus: usize, profile: &[u64], n: usize) -> Self {
         assert!(num_cpus > 0, "need at least one CPU");
         assert!(n > 0, "hot set must hold at least one function");
-        assert_eq!(profile.len(), symbols.len(), "profile must cover the symbol table");
+        assert_eq!(
+            profile.len(),
+            symbols.len(),
+            "profile must cover the symbol table"
+        );
         let n = n.min(symbols.len()).min(COLD as usize);
-        let mut ranked: Vec<(u64, u32)> =
-            profile.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+        let mut ranked: Vec<(u64, u32)> = profile
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
         ranked.sort_unstable_by(|a, b| b.cmp(a));
         let mut hot_slot = vec![COLD; symbols.len()];
         let mut hot_members = Vec::with_capacity(n);
@@ -144,7 +146,10 @@ impl HotSetTracer {
         if slot == COLD {
             self.cold.count(function)
         } else {
-            self.hot.iter().map(|cpu| cpu[slot as usize].load(Ordering::Relaxed)).sum()
+            self.hot
+                .iter()
+                .map(|cpu| cpu[slot as usize].load(Ordering::Relaxed))
+                .sum()
         }
     }
 
@@ -152,8 +157,11 @@ impl HotSetTracer {
     pub fn snapshot(&self, now: Nanos) -> CounterSnapshot {
         let mut base = self.cold.snapshot(now).counts().to_vec();
         for (slot, member) in self.hot_members.iter().enumerate() {
-            let hot_total: u64 =
-                self.hot.iter().map(|cpu| cpu[slot].load(Ordering::Relaxed)).sum();
+            let hot_total: u64 = self
+                .hot
+                .iter()
+                .map(|cpu| cpu[slot].load(Ordering::Relaxed))
+                .sum();
             base[member.index()] += hot_total;
         }
         CounterSnapshot::new(base, now)

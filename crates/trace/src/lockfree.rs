@@ -123,7 +123,10 @@ impl LockFreeFtraceTracer {
 
     /// Events dropped because a queue was full (newest-dropped policy).
     pub fn total_dropped(&self) -> u64 {
-        self.cpus.iter().map(|c| c.dropped.load(Ordering::Relaxed)).sum()
+        self.cpus
+            .iter()
+            .map(|c| c.dropped.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Drains and decodes one CPU's queue, oldest first.
@@ -141,8 +144,9 @@ impl LockFreeFtraceTracer {
 
     /// Drains every CPU, sorted by timestamp.
     pub fn drain_all(&self) -> Vec<TraceEvent> {
-        let mut events: Vec<TraceEvent> =
-            (0..self.cpus.len()).flat_map(|c| self.drain(CpuId(c))).collect();
+        let mut events: Vec<TraceEvent> = (0..self.cpus.len())
+            .flat_map(|c| self.drain(CpuId(c)))
+            .collect();
         events.sort_by_key(|e| e.timestamp);
         events
     }

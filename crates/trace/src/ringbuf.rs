@@ -48,7 +48,10 @@ impl RingBuffer {
     /// Panics if `capacity` cannot hold at least one length prefix plus
     /// one byte.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > LEN_PREFIX, "capacity {capacity} too small for any record");
+        assert!(
+            capacity > LEN_PREFIX,
+            "capacity {capacity} too small for any record"
+        );
         RingBuffer {
             buf: vec![0; capacity],
             head: 0,

@@ -168,10 +168,22 @@ impl LmbenchTest {
             ],
             LmbenchTest::ForkExit => vec![Fork { pages: 220 }, Exit { pages: 60 }, Wait],
             LmbenchTest::ProtectionFault => vec![ProtectionFault],
-            LmbenchTest::Select10 => vec![Select { nfds: 10, tcp: false }],
-            LmbenchTest::Select10Tcp => vec![Select { nfds: 10, tcp: true }],
-            LmbenchTest::Select100 => vec![Select { nfds: 100, tcp: false }],
-            LmbenchTest::Select100Tcp => vec![Select { nfds: 100, tcp: true }],
+            LmbenchTest::Select10 => vec![Select {
+                nfds: 10,
+                tcp: false,
+            }],
+            LmbenchTest::Select10Tcp => vec![Select {
+                nfds: 10,
+                tcp: true,
+            }],
+            LmbenchTest::Select100 => vec![Select {
+                nfds: 100,
+                tcp: false,
+            }],
+            LmbenchTest::Select100Tcp => vec![Select {
+                nfds: 100,
+                tcp: true,
+            }],
             // lat_sem ping-pongs between two processes: each round trip is
             // two semops and two context switches.
             LmbenchTest::Semaphore => vec![SemOp, ContextSwitch, SemOp, ContextSwitch],
@@ -221,8 +233,7 @@ impl LmbenchTest {
         let sem = if latencies_us.len() < 2 {
             0.0
         } else {
-            let var =
-                latencies_us.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            let var = latencies_us.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
             (var / n).sqrt()
         };
         Ok(LatencyStats {
@@ -240,8 +251,13 @@ mod tests {
     use fmeter_kernel_sim::KernelConfig;
 
     fn kernel() -> Kernel {
-        Kernel::new(KernelConfig { num_cpus: 1, seed: 11, timer_hz: 0, image_seed: 0x2628 })
-            .unwrap()
+        Kernel::new(KernelConfig {
+            num_cpus: 1,
+            seed: 11,
+            timer_hz: 0,
+            image_seed: 0x2628,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -274,7 +290,9 @@ mod tests {
     fn latency_ordering_is_sane() {
         // Fork tests must dwarf the simple syscall; select 100 > select 10.
         let mut k = kernel();
-        let syscall = LmbenchTest::SimpleSyscall.run(&mut k, CpuId(0), 30).unwrap();
+        let syscall = LmbenchTest::SimpleSyscall
+            .run(&mut k, CpuId(0), 30)
+            .unwrap();
         let fork = LmbenchTest::ForkExit.run(&mut k, CpuId(0), 10).unwrap();
         let s10 = LmbenchTest::Select10.run(&mut k, CpuId(0), 30).unwrap();
         let s100 = LmbenchTest::Select100.run(&mut k, CpuId(0), 30).unwrap();

@@ -263,7 +263,10 @@ pub struct ApacheBench {
 impl ApacheBench {
     /// Creates the workload with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        ApacheBench { rng: SmallRng::seed_from_u64(seed), requests: 0 }
+        ApacheBench {
+            rng: SmallRng::seed_from_u64(seed),
+            requests: 0,
+        }
     }
 }
 
@@ -292,7 +295,13 @@ impl Workload for ApacheBench {
         stats.absorb(kernel.run_op(cpu, KernelOp::TcpSend { bytes: 60 })?);
         // ab holds 512 concurrent connections: the event loop scans a
         // large fd set every request.
-        stats.absorb(kernel.run_op(cpu, KernelOp::Select { nfds: 48, tcp: true })?);
+        stats.absorb(kernel.run_op(
+            cpu,
+            KernelOp::Select {
+                nfds: 48,
+                tcp: true,
+            },
+        )?);
         if self.rng.random::<f32>() < 0.3 {
             stats.absorb(kernel.run_op(cpu, KernelOp::ContextSwitch)?);
         }
@@ -343,12 +352,17 @@ impl Workload for NetperfReceive {
 
     fn step(&mut self, kernel: &mut Kernel, cpu: CpuId) -> Result<StepStats, KernelError> {
         let mut stats = StepStats::default();
-        let batch = self.batch + self.rng.random_range(0..=8);
+        let batch = self.batch + self.rng.random_range(0..=8u32);
         // NIC interrupt fires; driver pulls packets and feeds the stack.
         stats.absorb(kernel.run_module_op(cpu, &self.module, ModuleOp::NicInterrupt, 1)?);
         stats.absorb(kernel.run_module_op(cpu, &self.module, ModuleOp::NicReceive, batch)?);
         // netperf's recv loop drains the socket.
-        stats.absorb(kernel.run_op(cpu, KernelOp::TcpRecv { bytes: batch * 1448 })?);
+        stats.absorb(kernel.run_op(
+            cpu,
+            KernelOp::TcpRecv {
+                bytes: batch * 1448,
+            },
+        )?);
         // ACK transmissions go back out through the driver.
         let acks = batch.div_ceil(4);
         stats.absorb(kernel.run_module_op(cpu, &self.module, ModuleOp::NicTransmit, acks)?);
@@ -363,8 +377,13 @@ mod tests {
     use fmeter_kernel_sim::{modules, KernelConfig};
 
     fn kernel() -> Kernel {
-        Kernel::new(KernelConfig { num_cpus: 4, seed: 9, timer_hz: 1000, image_seed: 0x2628 })
-            .unwrap()
+        Kernel::new(KernelConfig {
+            num_cpus: 4,
+            seed: 9,
+            timer_hz: 1000,
+            image_seed: 0x2628,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -382,7 +401,10 @@ mod tests {
         let mut k = kernel();
         let mut w = Dbench::new(2);
         let total = w.run_steps(&mut k, &[CpuId(0)], 50).unwrap();
-        assert!(total.sys_time > total.user_time, "dbench lives in the kernel");
+        assert!(
+            total.sys_time > total.user_time,
+            "dbench lives in the kernel"
+        );
         assert_eq!(w.transactions, 50);
     }
 
@@ -398,9 +420,14 @@ mod tests {
     fn apachebench_counts_requests() {
         let mut k = kernel();
         let mut w = ApacheBench::new(4);
-        let total = w.run_steps(&mut k, &[CpuId(0), CpuId(1), CpuId(2)], 30).unwrap();
+        let total = w
+            .run_steps(&mut k, &[CpuId(0), CpuId(1), CpuId(2)], 30)
+            .unwrap();
         assert_eq!(w.requests, 30);
-        assert!(total.kernel_calls > 30 * 50, "each request is syscall-heavy");
+        assert!(
+            total.kernel_calls > 30 * 50,
+            "each request is syscall-heavy"
+        );
     }
 
     #[test]

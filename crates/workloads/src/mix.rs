@@ -37,13 +37,19 @@ impl OpMix {
     ///
     /// Panics if the list is empty or any weight is non-positive.
     pub fn new(entries: Vec<(KernelOp, f64)>) -> Self {
-        assert!(!entries.is_empty(), "an operation mix needs at least one entry");
+        assert!(
+            !entries.is_empty(),
+            "an operation mix needs at least one entry"
+        );
         assert!(
             entries.iter().all(|&(_, w)| w > 0.0),
             "operation weights must be positive"
         );
         let total_weight = entries.iter().map(|&(_, w)| w).sum();
-        OpMix { entries, total_weight }
+        OpMix {
+            entries,
+            total_weight,
+        }
     }
 
     /// Number of distinct operations in the mix.
@@ -81,10 +87,7 @@ mod tests {
 
     #[test]
     fn sampling_respects_weights() {
-        let mix = OpMix::new(vec![
-            (KernelOp::SyscallNull, 9.0),
-            (KernelOp::Fstat, 1.0),
-        ]);
+        let mix = OpMix::new(vec![(KernelOp::SyscallNull, 9.0), (KernelOp::Fstat, 1.0)]);
         let mut rng = SmallRng::seed_from_u64(7);
         let mut nulls = 0;
         for _ in 0..10_000 {

@@ -35,10 +35,16 @@ impl Background {
                 (KernelOp::Close, 6.0),
                 (KernelOp::Write { bytes: 512 }, 5.0), // syslog append
                 (KernelOp::UnixSend { bytes: 256 }, 4.0), // syslog socket
-                (KernelOp::Select { nfds: 4, tcp: false }, 6.0),
+                (
+                    KernelOp::Select {
+                        nfds: 4,
+                        tcp: false,
+                    },
+                    6.0,
+                ),
                 (KernelOp::ContextSwitch, 8.0),
                 (KernelOp::SyscallNull, 6.0),
-                (KernelOp::Fsync, 1.0),   // pdflush-style writeback
+                (KernelOp::Fsync, 1.0), // pdflush-style writeback
                 (KernelOp::BlockIrq, 2.0),
                 (KernelOp::Fork { pages: 16 }, 0.6), // cron job
                 (KernelOp::Execve { pages: 24 }, 0.6),
@@ -92,7 +98,10 @@ impl<W: Workload> WithBackground<W> {
     ///
     /// Panics unless `0 <= lo <= hi < 1`.
     pub fn new(primary: W, seed: u64, lo: f32, hi: f32) -> Self {
-        assert!((0.0..1.0).contains(&lo) && lo <= hi && hi < 1.0, "bad fraction range");
+        assert!(
+            (0.0..1.0).contains(&lo) && lo <= hi && hi < 1.0,
+            "bad fraction range"
+        );
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xba5e);
         let fraction = lo + (hi - lo) * rng.random::<f32>();
         WithBackground {
@@ -153,8 +162,13 @@ mod tests {
     use fmeter_kernel_sim::KernelConfig;
 
     fn kernel() -> Kernel {
-        Kernel::new(KernelConfig { num_cpus: 2, seed: 3, timer_hz: 1000, image_seed: 0x2628 })
-            .unwrap()
+        Kernel::new(KernelConfig {
+            num_cpus: 2,
+            seed: 3,
+            timer_hz: 1000,
+            image_seed: 0x2628,
+        })
+        .unwrap()
     }
 
     #[test]

@@ -74,9 +74,15 @@ mod tests {
     #[test]
     fn step_stats_accumulate() {
         let mut s = StepStats::default();
-        s.absorb(ExecStats { calls: 10, time: Nanos(100) });
+        s.absorb(ExecStats {
+            calls: 10,
+            time: Nanos(100),
+        });
         s.user_time += Nanos(50);
-        s.absorb(ExecStats { calls: 5, time: Nanos(20) });
+        s.absorb(ExecStats {
+            calls: 5,
+            time: Nanos(20),
+        });
         assert_eq!(s.kernel_calls, 15);
         assert_eq!(s.sys_time, Nanos(120));
         assert_eq!(s.total_time(), Nanos(170));

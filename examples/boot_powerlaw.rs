@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .map(|(i, &c)| (c, FunctionId(i as u32)))
         .collect();
-    ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    ranked.sort_unstable_by_key(|&(count, _)| std::cmp::Reverse(count));
 
     println!("\nhottest 15 functions (the idf-attenuated 'stop words'):");
     for (count, id) in ranked.iter().take(15) {
@@ -43,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  rank {rank:>5}: {count}");
     }
 
-    let decades =
-        (ranked[0].0 as f64 / ranked[ranked.len() - 1].0.max(1) as f64).log10();
+    let decades = (ranked[0].0 as f64 / ranked[ranked.len() - 1].0.max(1) as f64).log10();
     println!("\ndynamic range: {decades:.1} decades (paper's Figure 1: ~7)");
     assert!(decades > 3.5);
     Ok(())

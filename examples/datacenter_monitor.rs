@@ -20,7 +20,10 @@ fn machine_run(
     n: usize,
     seed: u64,
 ) -> Result<Vec<RawSignature>, Box<dyn std::error::Error>> {
-    let mut kernel = Kernel::new(KernelConfig { seed, ..KernelConfig::default() })?;
+    let mut kernel = Kernel::new(KernelConfig {
+        seed,
+        ..KernelConfig::default()
+    })?;
     let fmeter = Fmeter::install(&mut kernel);
     let cpus: Vec<CpuId> = (0..4).map(CpuId).collect();
     let mut logger = fmeter.logger(Nanos::from_millis(8), kernel.now());
@@ -76,7 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Every role must surface as some syndrome's dominant label.
     for name in roles {
         assert!(
-            syndromes.iter().any(|s| s.dominant_label.as_deref() == Some(name)),
+            syndromes
+                .iter()
+                .any(|s| s.dominant_label.as_deref() == Some(name)),
             "role {name} lost in clustering"
         );
     }
@@ -100,9 +105,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *verdicts.entry(label.clone()).or_default() += 1;
         }
     }
-    let (diagnosis, votes) =
-        verdicts.iter().max_by_key(|(_, &v)| v).expect("votes exist");
-    println!("diagnosis: {diagnosis} ({votes}/{} intervals agree)", newcomer.len());
+    let (diagnosis, votes) = verdicts
+        .iter()
+        .max_by_key(|(_, &v)| v)
+        .expect("votes exist");
+    println!(
+        "diagnosis: {diagnosis} ({votes}/{} intervals agree)",
+        newcomer.len()
+    );
     assert_eq!(diagnosis, "storage");
 
     // 4. Meta-clustering: which whole roles use the kernel similarly?

@@ -18,7 +18,10 @@ fn receive_run(
     n: usize,
     seed: u64,
 ) -> Result<Vec<RawSignature>, Box<dyn std::error::Error>> {
-    let mut kernel = Kernel::new(KernelConfig { seed, ..KernelConfig::default() })?;
+    let mut kernel = Kernel::new(KernelConfig {
+        seed,
+        ..KernelConfig::default()
+    })?;
     kernel.load_module(module)?;
     let fmeter = Fmeter::install(&mut kernel);
     let cpus: Vec<CpuId> = (0..4).map(CpuId).collect();
@@ -77,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threshold = (control_score + suspect_score) / 2.0;
     println!(
         "verdict: suspect machine {} (threshold {threshold:.4})",
-        if suspect_score < threshold { "FLAGGED as anomalous" } else { "looks normal" }
+        if suspect_score < threshold {
+            "FLAGGED as anomalous"
+        } else {
+            "looks normal"
+        }
     );
     Ok(())
 }

@@ -12,10 +12,16 @@ use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
 use fmeter::ml::{metrics::BinaryConfusion, CrossValidation, SvmTrainer};
 use fmeter::workloads::{KCompile, Scp, Workload};
 
-fn collect(workload: &mut dyn Workload, label: &str, n: usize, seed: u64)
-    -> Result<Vec<RawSignature>, Box<dyn std::error::Error>>
-{
-    let mut kernel = Kernel::new(KernelConfig { seed, ..KernelConfig::default() })?;
+fn collect(
+    workload: &mut dyn Workload,
+    label: &str,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<RawSignature>, Box<dyn std::error::Error>> {
+    let mut kernel = Kernel::new(KernelConfig {
+        seed,
+        ..KernelConfig::default()
+    })?;
     let fmeter = Fmeter::install(&mut kernel);
     let cpus: Vec<CpuId> = (0..4).map(CpuId).collect();
     let mut logger = fmeter.logger(Nanos::from_millis(10), kernel.now());
@@ -35,11 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         corpus.push(sig.to_term_counts());
     }
     let model = TfIdfModel::fit(&corpus)?;
-    let vectors: Vec<_> =
-        corpus.iter().map(|d| model.transform(d).l2_normalized()).collect();
-    let labels: Vec<i8> = std::iter::repeat(1i8)
-        .take(scp.len())
-        .chain(std::iter::repeat(-1i8).take(kcompile.len()))
+    let vectors: Vec<_> = corpus
+        .iter()
+        .map(|d| model.transform(d).l2_normalized())
+        .collect();
+    let labels: Vec<i8> = std::iter::repeat_n(1i8, scp.len())
+        .chain(std::iter::repeat_n(-1i8, kcompile.len()))
         .collect();
 
     // 3. The paper's protocol: K-fold CV with the C parameter tuned on a

@@ -10,8 +10,13 @@ use fmeter::trace::{CounterSnapshot, FmeterTracer};
 use fmeter::workloads::Background;
 
 fn kernel(seed: u64) -> Kernel {
-    Kernel::new(KernelConfig { num_cpus: 2, seed, timer_hz: 1000, image_seed: 0x2628 })
-        .expect("standard image builds")
+    Kernel::new(KernelConfig {
+        num_cpus: 2,
+        seed,
+        timer_hz: 1000,
+        image_seed: 0x2628,
+    })
+    .expect("standard image builds")
 }
 
 /// Parses the debugfs export back into (address, count) pairs.
@@ -41,7 +46,10 @@ fn debugfs_export_matches_snapshot() {
 
     let snapshot = fmeter.tracer().snapshot(k.now());
     for (i, &(addr, count)) in parsed.iter().enumerate() {
-        let f = k.symbols().function(fmeter::kernel_sim::FunctionId(i as u32)).unwrap();
+        let f = k
+            .symbols()
+            .function(fmeter::kernel_sim::FunctionId(i as u32))
+            .unwrap();
         assert_eq!(addr, f.address, "line {i} address mismatch");
         assert_eq!(count, snapshot.counts()[i], "line {i} count mismatch");
     }
@@ -59,9 +67,15 @@ fn daemon_reads_counts_twice_and_diffs() {
     let after: Vec<(u64, u64)> =
         parse_debugfs(&k.debugfs().read("tracing/fmeter/counters").unwrap());
 
-    let diff_total: u64 =
-        before.iter().zip(&after).map(|(&(_, b), &(_, a))| a - b).sum();
-    assert_eq!(diff_total, stats.calls, "debugfs diff equals executed calls");
+    let diff_total: u64 = before
+        .iter()
+        .zip(&after)
+        .map(|(&(_, b), &(_, a))| a - b)
+        .sum();
+    assert_eq!(
+        diff_total, stats.calls,
+        "debugfs diff equals executed calls"
+    );
 }
 
 #[test]
@@ -74,7 +88,9 @@ fn logger_intervals_tile_time_and_counts() {
 
     let mut logger = fmeter.logger(Nanos::from_millis(2), k.now());
     let mut background = Background::new(4);
-    let sigs = logger.collect(&mut k, &mut background, &[CpuId(0)], 5, None).unwrap();
+    let sigs = logger
+        .collect(&mut k, &mut background, &[CpuId(0)], 5, None)
+        .unwrap();
 
     // Intervals tile exactly and sum to the overall delta.
     for pair in sigs.windows(2) {
@@ -101,12 +117,20 @@ fn switch_off_produces_empty_intervals() {
     let mut background = Background::new(6);
 
     fmeter.set_enabled(false);
-    let sigs = logger.collect(&mut k, &mut background, &[CpuId(0)], 2, None).unwrap();
+    let sigs = logger
+        .collect(&mut k, &mut background, &[CpuId(0)], 2, None)
+        .unwrap();
     for s in &sigs {
-        assert_eq!(s.total_calls(), 0, "disabled tracer must log empty signatures");
+        assert_eq!(
+            s.total_calls(),
+            0,
+            "disabled tracer must log empty signatures"
+        );
     }
     fmeter.set_enabled(true);
-    let sigs = logger.collect(&mut k, &mut background, &[CpuId(0)], 2, None).unwrap();
+    let sigs = logger
+        .collect(&mut k, &mut background, &[CpuId(0)], 2, None)
+        .unwrap();
     for s in &sigs {
         assert!(s.total_calls() > 0);
     }
@@ -120,7 +144,9 @@ fn timer_ticks_appear_in_signatures_uniformly() {
     let fmeter = Fmeter::install(&mut k);
     let mut logger = fmeter.logger(Nanos::from_millis(3), k.now());
     let mut background = Background::new(8);
-    let sigs = logger.collect(&mut k, &mut background, &[CpuId(0)], 6, None).unwrap();
+    let sigs = logger
+        .collect(&mut k, &mut background, &[CpuId(0)], 6, None)
+        .unwrap();
     let tick_entry = k.symbols().lookup("smp_apic_timer_interrupt").unwrap();
     for s in &sigs {
         assert!(

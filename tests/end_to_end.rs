@@ -19,7 +19,9 @@ fn collect(workload: &mut dyn Workload, label: &str, n: usize, seed: u64) -> Vec
     let fmeter = Fmeter::install(&mut kernel);
     let cpus: Vec<CpuId> = (0..2).map(CpuId).collect();
     let mut logger = fmeter.logger(Nanos::from_millis(5), kernel.now());
-    logger.collect(&mut kernel, workload, &cpus, n, Some(label)).expect("collection runs")
+    logger
+        .collect(&mut kernel, workload, &cpus, n, Some(label))
+        .expect("collection runs")
 }
 
 fn vectors_of(raw: &[RawSignature]) -> Vec<fmeter::ir::SparseVec> {
@@ -28,7 +30,10 @@ fn vectors_of(raw: &[RawSignature]) -> Vec<fmeter::ir::SparseVec> {
         corpus.push(r.to_term_counts());
     }
     let model = TfIdfModel::fit(&corpus).expect("non-empty corpus");
-    corpus.iter().map(|d| model.transform(d).l2_normalized()).collect()
+    corpus
+        .iter()
+        .map(|d| model.transform(d).l2_normalized())
+        .collect()
 }
 
 #[test]
@@ -38,8 +43,9 @@ fn svm_separates_workload_classes() {
     let mut all = scp.clone();
     all.extend(kcompile.clone());
     let xs = vectors_of(&all);
-    let ys: Vec<i8> =
-        std::iter::repeat(1).take(15).chain(std::iter::repeat(-1).take(15)).collect();
+    let ys: Vec<i8> = std::iter::repeat_n(1, 15)
+        .chain(std::iter::repeat_n(-1, 15))
+        .collect();
     let report = CrossValidation::new(3).run(&xs, &ys).expect("cv runs");
     let (acc, _) = report.mean_accuracy();
     assert!(acc >= 0.9, "mini Table 4 accuracy collapsed: {acc}");
@@ -54,9 +60,12 @@ fn kmeans_recovers_three_workloads() {
     all.extend(kcompile);
     all.extend(dbench);
     let xs = vectors_of(&all);
-    let truth: Vec<usize> =
-        (0..3).flat_map(|c| std::iter::repeat(c).take(12)).collect();
-    let result = KMeans::new(3).seed(1).restarts(4).run(&xs).expect("clustering runs");
+    let truth: Vec<usize> = (0..3).flat_map(|c| std::iter::repeat_n(c, 12)).collect();
+    let result = KMeans::new(3)
+        .seed(1)
+        .restarts(4)
+        .run(&xs)
+        .expect("clustering runs");
     let p = purity(&result.assignments, &truth).expect("aligned");
     assert!(p >= 0.9, "3-class purity collapsed: {p}");
 }
@@ -68,7 +77,9 @@ fn dendrogram_separates_two_workloads_below_root() {
     let mut all = scp;
     all.extend(dbench);
     let xs = vectors_of(&all);
-    let tree = Agglomerative::new(Linkage::Single).fit(&xs).expect("fit runs");
+    let tree = Agglomerative::new(Linkage::Single)
+        .fit(&xs)
+        .expect("fit runs");
     let (mut left, _right) = tree.root_split().expect("root exists");
     left.sort_unstable();
     let scp_side: Vec<usize> = (0..8).collect();
@@ -121,7 +132,13 @@ fn interval_length_does_not_skew_signatures() {
         let fmeter = Fmeter::install(&mut kernel);
         let mut logger = fmeter.logger(Nanos::from_millis(4), kernel.now());
         logger
-            .collect(&mut kernel, &mut Dbench::new(11), &[CpuId(0)], 8, Some("dbench"))
+            .collect(
+                &mut kernel,
+                &mut Dbench::new(11),
+                &[CpuId(0)],
+                8,
+                Some("dbench"),
+            )
             .unwrap()
     };
     let long = {
@@ -135,7 +152,13 @@ fn interval_length_does_not_skew_signatures() {
         let fmeter = Fmeter::install(&mut kernel);
         let mut logger = fmeter.logger(Nanos::from_millis(16), kernel.now());
         logger
-            .collect(&mut kernel, &mut Dbench::new(12), &[CpuId(0)], 8, Some("dbench"))
+            .collect(
+                &mut kernel,
+                &mut Dbench::new(12),
+                &[CpuId(0)],
+                8,
+                Some("dbench"),
+            )
             .unwrap()
     };
     let scp = collect(&mut Scp::new(13), "scp", 8, 53);

@@ -11,8 +11,13 @@ use fmeter::trace::{FmeterTracer, HotSetTracer};
 use fmeter::workloads::{Dbench, NetperfReceive, Scp, Workload};
 
 fn kernel(seed: u64) -> Kernel {
-    Kernel::new(KernelConfig { num_cpus: 4, seed, timer_hz: 1000, image_seed: 0x2628 })
-        .expect("standard image builds")
+    Kernel::new(KernelConfig {
+        num_cpus: 4,
+        seed,
+        timer_hz: 1000,
+        image_seed: 0x2628,
+    })
+    .expect("standard image builds")
 }
 
 #[test]
@@ -38,7 +43,10 @@ fn hot_set_tracer_counts_agree_with_standard_fmeter() {
     // recorded call.
     let snap = hot.snapshot(k2.now());
     assert_eq!(snap.total(), hot.hot_hits() + hot.cold_hits());
-    assert!(hot.hit_rate() > 0.3, "boot-free dbench profile should hit the hot set");
+    assert!(
+        hot.hit_rate() > 0.3,
+        "boot-free dbench profile should hit the hot set"
+    );
 }
 
 #[test]
@@ -93,7 +101,9 @@ fn anomaly_detector_flags_a_novel_workload() {
             _ => {
                 k.load_module(modules::myri10ge_v151()).unwrap();
                 let mut w = NetperfReceive::new(seed, "myri10ge");
-                logger.collect(&mut k, &mut w, &[CpuId(0)], 10, Some(label)).unwrap()
+                logger
+                    .collect(&mut k, &mut w, &[CpuId(0)], 10, Some(label))
+                    .unwrap()
             }
         }
     };
@@ -106,15 +116,28 @@ fn anomaly_detector_flags_a_novel_workload() {
     let known = collect(83, "dbench");
     let known_flags = known
         .iter()
-        .filter(|s| detector.inspect(&db, &s.to_term_counts()).unwrap().is_anomalous)
+        .filter(|s| {
+            detector
+                .inspect(&db, &s.to_term_counts())
+                .unwrap()
+                .is_anomalous
+        })
         .count();
-    assert!(known_flags <= known.len() / 2, "{known_flags} known intervals flagged");
+    assert!(
+        known_flags <= known.len() / 2,
+        "{known_flags} known intervals flagged"
+    );
 
     // Novel behaviour is caught.
     let novel = collect(84, "netperf");
     let novel_flags = novel
         .iter()
-        .filter(|s| detector.inspect(&db, &s.to_term_counts()).unwrap().is_anomalous)
+        .filter(|s| {
+            detector
+                .inspect(&db, &s.to_term_counts())
+                .unwrap()
+                .is_anomalous
+        })
         .count();
     assert!(
         novel_flags > novel.len() / 2,
@@ -130,7 +153,9 @@ fn tree_and_boosting_classify_real_signatures() {
         let fmeter = Fmeter::install(&mut k);
         let mut logger = fmeter.logger(Nanos::from_millis(5), k.now());
         if label == "scp" {
-            logger.collect(&mut k, &mut Scp::new(seed), &[CpuId(0)], 12, Some(label)).unwrap()
+            logger
+                .collect(&mut k, &mut Scp::new(seed), &[CpuId(0)], 12, Some(label))
+                .unwrap()
         } else {
             logger
                 .collect(&mut k, &mut Dbench::new(seed), &[CpuId(0)], 12, Some(label))
@@ -144,18 +169,31 @@ fn tree_and_boosting_classify_real_signatures() {
         corpus.push(s.to_term_counts());
     }
     let model = fmeter::ir::TfIdfModel::fit(&corpus).unwrap();
-    let xs: Vec<_> = corpus.iter().map(|d| model.transform(d).l2_normalized()).collect();
-    let ys: Vec<i8> =
-        std::iter::repeat(1).take(12).chain(std::iter::repeat(-1).take(12)).collect();
+    let xs: Vec<_> = corpus
+        .iter()
+        .map(|d| model.transform(d).l2_normalized())
+        .collect();
+    let ys: Vec<i8> = std::iter::repeat_n(1, 12)
+        .chain(std::iter::repeat_n(-1, 12))
+        .collect();
 
-    let tree = DecisionTree::trainer().max_depth(4).train(&xs, &ys).unwrap();
-    let tree_acc =
-        xs.iter().zip(&ys).filter(|(x, &y)| tree.predict(x) == y).count();
+    let tree = DecisionTree::trainer()
+        .max_depth(4)
+        .train(&xs, &ys)
+        .unwrap();
+    let tree_acc = xs
+        .iter()
+        .zip(&ys)
+        .filter(|(x, &y)| tree.predict(x) == y)
+        .count();
     assert!(tree_acc >= 22, "tree training accuracy {tree_acc}/24");
 
     let boosted = AdaBoost::new(10).weak_depth(1).train(&xs, &ys).unwrap();
-    let boost_acc =
-        xs.iter().zip(&ys).filter(|(x, &y)| boosted.predict(x) == y).count();
+    let boost_acc = xs
+        .iter()
+        .zip(&ys)
+        .filter(|(x, &y)| boosted.predict(x) == y)
+        .count();
     assert!(boost_acc >= 22, "boosting training accuracy {boost_acc}/24");
 }
 

@@ -4,15 +4,18 @@
 
 use std::sync::Arc;
 
-use fmeter::kernel_sim::{
-    modules, CpuId, Kernel, KernelConfig, ModuleOp, RecordingTracer,
-};
+use fmeter::kernel_sim::{modules, CpuId, Kernel, KernelConfig, ModuleOp, RecordingTracer};
 use fmeter::trace::FmeterTracer;
 use fmeter::workloads::{NetperfReceive, Workload};
 
 fn kernel(seed: u64) -> Kernel {
-    Kernel::new(KernelConfig { num_cpus: 2, seed, timer_hz: 0, image_seed: 0x2628 })
-        .expect("standard image builds")
+    Kernel::new(KernelConfig {
+        num_cpus: 2,
+        seed,
+        timer_hz: 0,
+        image_seed: 0x2628,
+    })
+    .expect("standard image builds")
 }
 
 #[test]
@@ -21,12 +24,16 @@ fn module_ops_only_emit_core_kernel_function_ids() {
     k.load_module(modules::myri10ge_v151_no_lro()).unwrap();
     let recorder = Arc::new(RecordingTracer::new());
     k.set_tracer(recorder.clone());
-    k.run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 64).unwrap();
+    k.run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 64)
+        .unwrap();
     let num_functions = k.num_functions() as u32;
     let calls = recorder.calls();
     assert!(!calls.is_empty());
     for (_, f) in calls {
-        assert!(f.0 < num_functions, "traced id {f} outside the core symbol table");
+        assert!(
+            f.0 < num_functions,
+            "traced id {f} outside the core symbol table"
+        );
     }
 }
 
@@ -61,7 +68,10 @@ fn lro_variants_differ_only_through_core_calls() {
     let (netif_on, lro_on) = run(modules::myri10ge_v151());
     let (netif_off, lro_off) = run(modules::myri10ge_v151_no_lro());
     assert!(lro_on > 0, "LRO driver must call inet_lro_receive_skb");
-    assert_eq!(lro_off, 0, "LRO-off driver must never call inet_lro_receive_skb");
+    assert_eq!(
+        lro_off, 0,
+        "LRO-off driver must never call inet_lro_receive_skb"
+    );
     assert!(
         netif_off > netif_on * 3,
         "per-packet delivery must dominate aggregated delivery ({netif_off} vs {netif_on})"
@@ -72,7 +82,8 @@ fn lro_variants_differ_only_through_core_calls() {
 fn unloading_the_module_stops_its_effects() {
     let mut k = kernel(5);
     k.load_module(modules::myri10ge_v143()).unwrap();
-    k.run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 8).unwrap();
+    k.run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 8)
+        .unwrap();
     k.unload_module("myri10ge").unwrap();
     assert!(k
         .run_module_op(CpuId(0), "myri10ge", ModuleOp::NicReceive, 8)
@@ -95,7 +106,9 @@ fn driver_internal_time_elapses_without_tracer_events() {
     let recorder = Arc::new(RecordingTracer::new());
     k.set_tracer(recorder.clone());
     let before = k.now();
-    let stats = k.run_module_op(CpuId(0), "ghost", ModuleOp::NicTransmit, 100).unwrap();
+    let stats = k
+        .run_module_op(CpuId(0), "ghost", ModuleOp::NicTransmit, 100)
+        .unwrap();
     assert_eq!(recorder.len(), 0, "ghost module must be invisible");
     assert_eq!(stats.calls, 0);
     assert!(k.now() - before >= fmeter::kernel_sim::Nanos(100_000));

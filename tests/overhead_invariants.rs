@@ -8,8 +8,13 @@ use fmeter::trace::{FmeterTracer, FtraceTracer, FMETER_CALL_OVERHEAD, FTRACE_CAL
 use fmeter::workloads::LmbenchTest;
 
 fn kernel(seed: u64) -> Kernel {
-    Kernel::new(KernelConfig { num_cpus: 2, seed, timer_hz: 0, image_seed: 0x2628 })
-        .expect("standard image builds")
+    Kernel::new(KernelConfig {
+        num_cpus: 2,
+        seed,
+        timer_hz: 0,
+        image_seed: 0x2628,
+    })
+    .expect("standard image builds")
 }
 
 #[test]
@@ -20,8 +25,11 @@ fn identical_walks_differ_only_by_overhead() {
     let mut with_fmeter = kernel(17);
     let mut with_ftrace = kernel(17);
     with_fmeter.set_tracer(Arc::new(FmeterTracer::with_cpus(with_fmeter.symbols(), 2)));
-    with_ftrace
-        .set_tracer(Arc::new(FtraceTracer::new(with_ftrace.symbols(), 2, 1 << 22)));
+    with_ftrace.set_tracer(Arc::new(FtraceTracer::new(
+        with_ftrace.symbols(),
+        2,
+        1 << 22,
+    )));
 
     for op in [
         KernelOp::Read { bytes: 16384 },
@@ -45,10 +53,12 @@ fn overhead_ordering_holds_for_every_lmbench_test() {
         let mut vanilla = kernel(23);
         let mut with_fmeter = kernel(23);
         let mut with_ftrace = kernel(23);
-        with_fmeter
-            .set_tracer(Arc::new(FmeterTracer::with_cpus(with_fmeter.symbols(), 2)));
-        with_ftrace
-            .set_tracer(Arc::new(FtraceTracer::new(with_ftrace.symbols(), 2, 1 << 22)));
+        with_fmeter.set_tracer(Arc::new(FmeterTracer::with_cpus(with_fmeter.symbols(), 2)));
+        with_ftrace.set_tracer(Arc::new(FtraceTracer::new(
+            with_ftrace.symbols(),
+            2,
+            1 << 22,
+        )));
         let v = test.run(&mut vanilla, CpuId(0), 15).unwrap();
         let m = test.run(&mut with_fmeter, CpuId(0), 15).unwrap();
         let f = test.run(&mut with_ftrace, CpuId(0), 15).unwrap();
@@ -90,8 +100,14 @@ fn lmbench_relative_magnitudes_match_the_paper() {
     let select10 = run(&mut k, LmbenchTest::Select10);
     let select100 = run(&mut k, LmbenchTest::Select100);
     assert!(syscall < read, "read must cost more than a null syscall");
-    assert!(fork > 100.0 * syscall, "fork is orders of magnitude above a syscall");
-    assert!(fork_sh > fork, "fork+sh does strictly more work than fork+exit");
+    assert!(
+        fork > 100.0 * syscall,
+        "fork is orders of magnitude above a syscall"
+    );
+    assert!(
+        fork_sh > fork,
+        "fork+sh does strictly more work than fork+exit"
+    );
     assert!(select100 > 3.0 * select10, "select cost scales with nfds");
 }
 
@@ -133,5 +149,8 @@ fn tick_cadence_is_clock_driven_not_op_driven() {
     // 20 ms of pure user time -> ~20 ticks regardless of op count.
     k.run_user_time(CpuId(0), Nanos::from_millis(20)).unwrap();
     let ticks = tracer.count(tick);
-    assert!((15..=25).contains(&ticks), "expected ~20 ticks, got {ticks}");
+    assert!(
+        (15..=25).contains(&ticks),
+        "expected ~20 ticks, got {ticks}"
+    );
 }

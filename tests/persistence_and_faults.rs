@@ -9,7 +9,7 @@ use fmeter::ir::{SparseVec, TermCounts, TfIdfModel};
 use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, KernelOp, Nanos};
 use fmeter::ml::{DecisionTree, Kernel as SvmKernel, SvmTrainer};
 use fmeter::trace::FmeterTracer;
-use fmeter::workloads::{Dbench, Workload};
+use fmeter::workloads::Dbench;
 
 #[test]
 fn ir_types_survive_json() {
@@ -26,8 +26,7 @@ fn ir_types_survive_json() {
     corpus.push(TermCounts::from_pairs(4, [(0, 2), (1, 1)]).unwrap());
     corpus.push(TermCounts::from_pairs(4, [(0, 1), (2, 5)]).unwrap());
     let model = TfIdfModel::fit(&corpus).unwrap();
-    let back: TfIdfModel =
-        serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+    let back: TfIdfModel = serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
     // Same transform behaviour after the round trip.
     let doc = corpus.doc(0).unwrap();
     assert_eq!(model.transform(doc), back.transform(doc));
@@ -43,7 +42,10 @@ fn trained_models_survive_json() {
     ];
     let ys = vec![1i8, 1, -1, -1];
 
-    let svm = SvmTrainer::new().kernel(SvmKernel::Linear).train(&xs, &ys).unwrap();
+    let svm = SvmTrainer::new()
+        .kernel(SvmKernel::Linear)
+        .train(&xs, &ys)
+        .unwrap();
     let svm_back: fmeter::ml::SvmModel =
         serde_json::from_str(&serde_json::to_string(&svm).unwrap()).unwrap();
     let tree = DecisionTree::trainer().train(&xs, &ys).unwrap();
@@ -74,7 +76,13 @@ fn db_round_trips_through_real_collection() {
     let fmeter = Fmeter::install(&mut kernel);
     let mut logger = fmeter.logger(Nanos::from_millis(4), kernel.now());
     let raw = logger
-        .collect(&mut kernel, &mut Dbench::new(1), &[CpuId(0)], 6, Some("dbench"))
+        .collect(
+            &mut kernel,
+            &mut Dbench::new(1),
+            &[CpuId(0)],
+            6,
+            Some("dbench"),
+        )
         .unwrap();
     let db = SignatureDb::build(&raw).unwrap();
     let mut buf = Vec::new();
@@ -110,7 +118,9 @@ fn counter_reset_mid_interval_saturates_not_underflows() {
     .unwrap();
     let tracer = Arc::new(FmeterTracer::with_cpus(kernel.symbols(), 1));
     kernel.set_tracer(tracer.clone());
-    kernel.run_op(CpuId(0), KernelOp::Fork { pages: 32 }).unwrap();
+    kernel
+        .run_op(CpuId(0), KernelOp::Fork { pages: 32 })
+        .unwrap();
     let before = tracer.snapshot(kernel.now());
     tracer.reset(); // injected fault
     kernel.run_op(CpuId(0), KernelOp::SyscallNull).unwrap();
@@ -134,11 +144,17 @@ fn workload_stream_survives_tracer_swap_mid_run() {
     let fmeter = Fmeter::install(&mut kernel);
     let mut logger = fmeter.logger(Nanos::from_millis(2), kernel.now());
     let mut w = Dbench::new(2);
-    let first = logger.collect_one(&mut kernel, &mut w, &[CpuId(0)], None).unwrap();
+    let first = logger
+        .collect_one(&mut kernel, &mut w, &[CpuId(0)], None)
+        .unwrap();
     fmeter.set_enabled(false);
-    let dark = logger.collect_one(&mut kernel, &mut w, &[CpuId(0)], None).unwrap();
+    let dark = logger
+        .collect_one(&mut kernel, &mut w, &[CpuId(0)], None)
+        .unwrap();
     fmeter.set_enabled(true);
-    let third = logger.collect_one(&mut kernel, &mut w, &[CpuId(0)], None).unwrap();
+    let third = logger
+        .collect_one(&mut kernel, &mut w, &[CpuId(0)], None)
+        .unwrap();
     assert!(first.total_calls() > 0);
     assert_eq!(dark.total_calls(), 0);
     assert!(third.total_calls() > 0);

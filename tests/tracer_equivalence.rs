@@ -4,14 +4,17 @@
 
 use std::sync::Arc;
 
-use fmeter::kernel_sim::{
-    CountingTracer, CpuId, FunctionId, Kernel, KernelConfig, KernelOp,
-};
+use fmeter::kernel_sim::{CountingTracer, CpuId, FunctionId, Kernel, KernelConfig, KernelOp};
 use fmeter::trace::{FmeterTracer, FtraceTracer};
 
 fn kernel(seed: u64) -> Kernel {
-    Kernel::new(KernelConfig { num_cpus: 4, seed, timer_hz: 1000, image_seed: 0x2628 })
-        .expect("standard image builds")
+    Kernel::new(KernelConfig {
+        num_cpus: 4,
+        seed,
+        timer_hz: 1000,
+        image_seed: 0x2628,
+    })
+    .expect("standard image builds")
 }
 
 fn ops() -> Vec<KernelOp> {
@@ -22,7 +25,10 @@ fn ops() -> Vec<KernelOp> {
         KernelOp::Fork { pages: 32 },
         KernelOp::Exit { pages: 32 },
         KernelOp::TcpSend { bytes: 20000 },
-        KernelOp::Select { nfds: 30, tcp: true },
+        KernelOp::Select {
+            nfds: 30,
+            tcp: true,
+        },
         KernelOp::PageFault { major: true },
         KernelOp::SemOp,
     ]
@@ -57,8 +63,7 @@ fn fmeter_counts_match_reference_counts() {
     for _ in 0..50 {
         tick_kernel.run_op(CpuId(0), KernelOp::TimerTick).unwrap();
     }
-    let tick_touched: Vec<bool> =
-        tick_ref.snapshot().iter().map(|&c| c > 0).collect();
+    let tick_touched: Vec<bool> = tick_ref.snapshot().iter().map(|&c| c > 0).collect();
 
     let mut compared = 0;
     for i in 0..ref_counts.len() {
@@ -78,13 +83,22 @@ fn fmeter_counts_match_reference_counts() {
 fn ftrace_event_stream_aggregates_to_fmeter_counts() {
     // Ftrace stores per-event records; aggregating them per function must
     // reproduce Fmeter's counters for the same (seeded) activity.
-    let mut k1 =
-        Kernel::new(KernelConfig { num_cpus: 4, seed: 7, timer_hz: 0, image_seed: 0x2628 })
-            .unwrap();
+    let mut k1 = Kernel::new(KernelConfig {
+        num_cpus: 4,
+        seed: 7,
+        timer_hz: 0,
+        image_seed: 0x2628,
+    })
+    .unwrap();
     let ftrace = Arc::new(FtraceTracer::new(k1.symbols(), 4, 1 << 24));
     k1.set_tracer(ftrace.clone());
-    let mut k2 = Kernel::new(KernelConfig { num_cpus: 4, seed: 7, timer_hz: 0, image_seed: 0x2628 })
-        .unwrap();
+    let mut k2 = Kernel::new(KernelConfig {
+        num_cpus: 4,
+        seed: 7,
+        timer_hz: 0,
+        image_seed: 0x2628,
+    })
+    .unwrap();
     let fmeter = Arc::new(FmeterTracer::with_cpus(k2.symbols(), 4));
     k2.set_tracer(fmeter.clone());
 
@@ -96,8 +110,11 @@ fn ftrace_event_stream_aggregates_to_fmeter_counts() {
     assert_eq!(ftrace.total_overwritten(), 0, "buffer must be big enough");
     let events = ftrace.drain_all();
     let mut from_events = vec![0u64; k1.num_functions()];
-    let address_to_id: std::collections::HashMap<u64, usize> =
-        k1.symbols().iter().map(|f| (f.address, f.id.index())).collect();
+    let address_to_id: std::collections::HashMap<u64, usize> = k1
+        .symbols()
+        .iter()
+        .map(|f| (f.address, f.id.index()))
+        .collect();
     for e in &events {
         from_events[address_to_id[&e.ip]] += 1;
     }
@@ -114,8 +131,7 @@ fn per_cpu_counts_sum_to_total() {
         k.run_op(CpuId(i % 4), op).unwrap();
     }
     let probe = k.symbols().lookup("_spin_lock").unwrap();
-    let per_cpu_sum: u64 =
-        (0..4).map(|c| fmeter.count_on_cpu(CpuId(c), probe)).sum();
+    let per_cpu_sum: u64 = (0..4).map(|c| fmeter.count_on_cpu(CpuId(c), probe)).sum();
     assert_eq!(per_cpu_sum, fmeter.count(probe));
     assert!(per_cpu_sum > 0);
     // All four CPUs executed work.
@@ -126,9 +142,13 @@ fn per_cpu_counts_sum_to_total() {
 
 #[test]
 fn ftrace_small_buffer_loses_oldest_but_counts_losses() {
-    let mut k =
-        Kernel::new(KernelConfig { num_cpus: 1, seed: 3, timer_hz: 0, image_seed: 0x2628 })
-            .unwrap();
+    let mut k = Kernel::new(KernelConfig {
+        num_cpus: 1,
+        seed: 3,
+        timer_hz: 0,
+        image_seed: 0x2628,
+    })
+    .unwrap();
     // Tiny 2 KiB ring: heavy ops must overflow it.
     let ftrace = Arc::new(FtraceTracer::new(k.symbols(), 1, 2048));
     k.set_tracer(ftrace.clone());
@@ -137,7 +157,11 @@ fn ftrace_small_buffer_loses_oldest_but_counts_losses() {
     let lost = ftrace.total_overwritten();
     let kept = ftrace.drain(CpuId(0)).len() as u64;
     assert!(lost > 0, "a fork must overflow a 2 KiB ring");
-    assert_eq!(lost + kept, stats.calls, "every event is either kept or counted lost");
+    assert_eq!(
+        lost + kept,
+        stats.calls,
+        "every event is either kept or counted lost"
+    );
 }
 
 #[test]

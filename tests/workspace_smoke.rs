@@ -1,0 +1,59 @@
+//! Workspace smoke test: the examples compile and the end-to-end
+//! `sanity_check` regeneration binary runs to completion.
+//!
+//! These shell out to the same `cargo` that is running the test suite,
+//! against this workspace, so a broken example or a bit-rotted bench
+//! binary fails tier-1 instead of lingering until someone runs it by
+//! hand.
+
+use std::process::Command;
+
+fn cargo() -> Command {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+#[test]
+fn examples_compile() {
+    let output = cargo()
+        .args(["build", "--examples", "--quiet"])
+        .output()
+        .expect("cargo is invocable");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn sanity_check_runs_to_completion() {
+    // Release: the binary simulates tens of millions of kernel calls.
+    let output = cargo()
+        .args([
+            "run",
+            "--release",
+            "--quiet",
+            "-p",
+            "fmeter-bench",
+            "--bin",
+            "sanity_check",
+        ])
+        .output()
+        .expect("cargo is invocable");
+    assert!(
+        output.status.success(),
+        "sanity_check exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for marker in ["SVM scp vs kcompile", "KMeans purity"] {
+        assert!(
+            stdout.contains(marker),
+            "sanity_check output lost the `{marker}` section:\n{stdout}"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! Implements the subset the trace crate uses: big-endian `get_*`/`put_*`
+//! cursors over byte slices, a growable [`BytesMut`] scratch buffer with
+//! `split`/`freeze`, and the immutable [`Bytes`] handle. No refcounted
+//! zero-copy machinery — buffers here are small per-event scratch space.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Read cursor over a byte source (big-endian accessors).
+pub trait Buf {
+    /// Remaining bytes.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a big-endian `u32`, advancing 4 bytes.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`, advancing 8 bytes.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write cursor over a byte sink (big-endian accessors).
+pub trait BufMut {
+    /// Appends raw bytes, advancing the cursor.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(self.len() >= src.len(), "buffer overflow");
+        let taken = std::mem::take(self);
+        let (head, tail) = taken.split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A growable byte scratch buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Clears the contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Splits off the full contents, leaving `self` empty (with its
+    /// capacity retained, so the scratch buffer does not reallocate).
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut(std::mem::take(&mut self.0))
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_round_trip_big_endian() {
+        let mut buf = [0u8; 12];
+        {
+            let mut w: &mut [u8] = &mut buf;
+            w.put_u32(0xdead_beef);
+            w.put_u64(0x0102_0304_0506_0708);
+        }
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytesmut_split_freeze() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64(7);
+        b.put_u32(9);
+        assert_eq!(b.len(), 12);
+        let frozen = b.split().freeze();
+        assert!(b.is_empty());
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u64(), 7);
+        assert_eq!(r.get_u32(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32();
+    }
+}

@@ -1,0 +1,232 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Provides the macro/API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `Bencher::iter`/`iter_batched`, `Throughput`, `BatchSize`) with a
+//! simple wall-clock measurement loop: warm up briefly, then run batches
+//! until a small time budget is spent and report the mean ns/iteration.
+//! No statistics, plots, or baselines — enough to compare the tracers'
+//! fast paths by eye and to keep `cargo bench` runnable offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration input sizing hint (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_budget: Duration,
+    warmup_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_budget: Duration::from_millis(200),
+            warmup_budget: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, None, name, None, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the
+    /// vendored runner is time-budgeted instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.criterion, Some(&self.name), name, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Measures a closure's per-iteration cost.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over per-iteration inputs built by `setup`
+    /// (setup time excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full_name = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    // Warm up and estimate per-iteration cost with a single iteration.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warmup_start = Instant::now();
+    f(&mut bencher);
+    let mut per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    while warmup_start.elapsed() < criterion.warmup_budget {
+        f(&mut bencher);
+        per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    }
+    // One measured run sized to the budget.
+    let iters = (criterion.measure_budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000);
+    bencher.iters = iters as u64;
+    f(&mut bencher);
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.1} Melem/s)", n as f64 / ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{full_name:<40} {ns_per_iter:>12.1} ns/iter  [{} iters]{rate}",
+        bencher.iters
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test --benches` pass harness flags
+            // (e.g. --bench, --test) which this simple runner ignores;
+            // `--list` must print nothing and exit for test discovery.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn runner_completes_quickly() {
+        let mut c = Criterion {
+            measure_budget: Duration::from_millis(5),
+            warmup_budget: Duration::from_millis(1),
+        };
+        bench_addition(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimal, dependency-free stand-in for `crossbeam`.
+//!
+//! Provides `queue::ArrayQueue` with crossbeam's API. The vendored
+//! implementation is a mutex-guarded ring — same semantics (bounded MPMC
+//! FIFO, `push` fails when full), weaker scalability. `#![forbid(unsafe)]`
+//! rules out a true lock-free ring here; the tracer built on top measures
+//! its own cost honestly either way.
+
+#![forbid(unsafe_code)]
+
+/// Bounded queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded multi-producer multi-consumer FIFO queue.
+    #[derive(Debug)]
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `capacity` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity` is zero, like crossbeam.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+            }
+        }
+
+        /// Attempts to enqueue, returning `Err(value)` when full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.capacity {
+                Err(value)
+            } else {
+                q.push_back(value);
+                Ok(())
+            }
+        }
+
+        /// Dequeues the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Maximum number of elements.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// Current number of elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Whether the queue is full.
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.capacity
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_capacity() {
+            let q = ArrayQueue::new(2);
+            assert!(q.push(1).is_ok());
+            assert!(q.push(2).is_ok());
+            assert_eq!(q.push(3), Err(3));
+            assert!(q.is_full());
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+            assert_eq!(q.capacity(), 2);
+        }
+
+        #[test]
+        fn concurrent_producers_conserve_items() {
+            let q = std::sync::Arc::new(ArrayQueue::new(10_000));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = std::sync::Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..1_000 {
+                            q.push(i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(q.len(), 4_000);
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements exactly the API surface the workspace uses, with the
+//! `rand` 0.9 method names (`random`, `random_range`, `random_bool`):
+//!
+//! * [`SmallRng`] — xoshiro256++, seeded via SplitMix64 like upstream,
+//! * the [`Rng`] / [`RngCore`] / [`SeedableRng`] traits,
+//! * [`seq::SliceRandom`] (Fisher–Yates `shuffle`, `choose`),
+//! * [`seq::index::sample`] (partial Fisher–Yates without replacement).
+//!
+//! Everything is deterministic given a seed; stream values differ from
+//! upstream `rand` (no compatibility promise is needed — the workspace
+//! only requires seed-stable determinism).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of 32/64-bit random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed (via SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the "standard" distribution:
+/// `f64`/`f32` in `[0, 1)`, integers over their full range, fair `bool`.
+pub trait StandardDist: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardDist for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardDist for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardDist for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardDist for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value; panics on an empty range like upstream.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (reduce(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (reduce(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + reduce(rng.next_u64(), span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi as i128 - lo as i128 + 1;
+                if span > u64::MAX as i128 {
+                    // Full i64/isize domain: every word is a valid draw.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + reduce(rng.next_u64(), span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as StandardDist>::sample_standard(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = <$t as StandardDist>::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Maps a random word to `0..span` (Lemire's multiply-shift reduction;
+/// the tiny modulo bias is irrelevant for simulation use).
+fn reduce(word: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws from the standard distribution of `T`.
+    fn random<T: StandardDist>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn random_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        <f64 as StandardDist>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::SmallRng;
+}
+
+/// A small, fast, seedable generator: xoshiro256++.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as upstream uses for seed_from_u64.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{RngCore, SampleRange};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = SampleRange::sample_single(0..=i, rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = SampleRange::sample_single(0..self.len(), rng);
+                self.get(i)
+            }
+        }
+    }
+
+    /// Index sampling without replacement, mirroring `rand::seq::index`.
+    pub mod index {
+        use super::super::{RngCore, SampleRange};
+
+        /// A set of sampled indices.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Iterates over the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Converts into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` uniformly,
+        /// in random order (partial Fisher–Yates).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`, like upstream.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} of {length} indices"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = SampleRange::sample_single(i..length, rng);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::index::sample;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u64 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let f: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u: f32 = rng.random::<f32>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_ranges() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Must not overflow the span computation (regression: the signed
+        // full-domain span is 2^64, which truncated to 0 as u64).
+        let mut saw_negative = false;
+        let mut saw_positive = false;
+        for _ in 0..200 {
+            let x: i64 = rng.random_range(i64::MIN..=i64::MAX);
+            saw_negative |= x < 0;
+            saw_positive |= x > 0;
+            let y: u64 = rng.random_range(0..=u64::MAX);
+            let _ = y;
+            let b: i8 = rng.random_range(i8::MIN..=i8::MAX);
+            let _ = b;
+        }
+        assert!(saw_negative && saw_positive, "full-domain draw is not degenerate");
+    }
+
+    #[test]
+    fn full_range_coverage_small_span() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let picked = sample(&mut rng, 100, 10).into_vec();
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(picked.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn random_bool_probability_extremes() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

@@ -1,0 +1,454 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! The build environment has no crates.io access, so this proc-macro
+//! crate parses the item's token stream by hand (no `syn`/`quote`) and
+//! emits `to_value`/`from_value` impls against the value-tree model of
+//! the vendored `serde` crate. Supported shapes — everything this
+//! workspace derives on:
+//!
+//! * structs with named fields, tuple structs (newtype included), unit
+//!   structs,
+//! * enums with unit, tuple/newtype, and struct variants (externally
+//!   tagged, like real serde's default).
+//!
+//! Generic parameters and `#[serde(...)]` attributes are unsupported and
+//! rejected with a compile-time panic naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum FieldsKind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: FieldsKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: FieldsKind,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("mini-serde derive does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    FieldsKind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    FieldsKind::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => FieldsKind::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("unsupported enum body for `{name}`: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("mini-serde derive supports struct/enum only, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate), pub(super), ...
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Advances past one field's type: everything up to a comma at angle
+/// depth zero (the comma is consumed).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                FieldsKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                FieldsKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => FieldsKind::Unit,
+        };
+        // Skip to the next variant: discriminants (`= expr`) and the
+        // trailing comma.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &FieldsKind) -> String {
+    let body = match fields {
+        FieldsKind::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        FieldsKind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        FieldsKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        FieldsKind::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &FieldsKind) -> String {
+    let body = match fields {
+        FieldsKind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get_field({f:?})?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        FieldsKind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        FieldsKind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array()?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"expected {n} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        FieldsKind::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|variant| {
+            let vname = &variant.name;
+            match &variant.fields {
+                FieldsKind::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                ),
+                FieldsKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), {inner})])",
+                        binds = binds.join(", ")
+                    )
+                }
+                FieldsKind::Named(fields) => {
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), \
+                              ::serde::Value::Object(::std::vec![{pairs}]))])",
+                        fields = fields.join(", "),
+                        pairs = pairs.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join(",\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, FieldsKind::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("{vname:?} => ::std::result::Result::Ok({name}::{vname})")
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|variant| {
+            let vname = &variant.name;
+            match &variant.fields {
+                FieldsKind::Unit => None,
+                FieldsKind::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?))"
+                )),
+                FieldsKind::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{\n\
+                             let items = inner.as_array()?;\n\
+                             if items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                                     \"expected {n} elements for {name}::{vname}, found {{}}\", items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }}",
+                        inits.join(", ")
+                    ))
+                }
+                FieldsKind::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(inner.get_field({f:?})?)?")
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    let str_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {},\n\
+                 other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                     \"unknown {name} variant `{{other}}`\"))),\n\
+             }},",
+            unit_arms.join(",\n")
+        )
+    };
+    let obj_match = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                     {},\n\
+                     other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+             }},",
+            data_arms.join(",\n")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     {str_match}\n\
+                     {obj_match}\n\
+                     other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                         \"invalid value for {name}: {{}}\", other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
