@@ -38,16 +38,21 @@ fn dataset(n_per_class: usize, seed: u64) -> (Vec<SparseVec>, Vec<Label>) {
 
 fn bench_kmeans(c: &mut Criterion) {
     let (xs, _) = dataset(150, 5);
+    let large = fmeter_bench::synthetic_points(1000, 5000, 128, 9);
     let mut group = c.benchmark_group("kmeans");
     group.sample_size(10);
     group.bench_function("k3_300pts_3815d", |b| {
         b.iter(|| KMeans::new(3).seed(1).run(&xs).unwrap())
+    });
+    group.bench_function("fit_k4_1000pts_5000d", |b| {
+        b.iter(|| KMeans::new(4).seed(1).run(&large).unwrap())
     });
     group.finish();
 }
 
 fn bench_hierarchical(c: &mut Criterion) {
     let (xs, _) = dataset(60, 6);
+    let large = fmeter_bench::synthetic_points(1000, 5000, 128, 10);
     let mut group = c.benchmark_group("hierarchical");
     group.sample_size(10);
     group.bench_function("single_linkage_120pts", |b| {
@@ -55,6 +60,9 @@ fn bench_hierarchical(c: &mut Criterion) {
     });
     group.bench_function("average_linkage_120pts", |b| {
         b.iter(|| Agglomerative::new(Linkage::Average).fit(&xs).unwrap())
+    });
+    group.bench_function("fit_single_1000pts_5000d", |b| {
+        b.iter(|| Agglomerative::new(Linkage::Single).fit(&large).unwrap())
     });
     group.finish();
 }

@@ -4,7 +4,7 @@
 //! time, in real-time".
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use fmeter_ir::{Corpus, InvertedIndex, SparseVec, TermCounts, TfIdfModel};
+use fmeter_ir::{Corpus, InvertedIndex, SearchScratch, SparseVec, TermCounts, TfIdfModel};
 use fmeter_kernel_sim::{Nanos, NUM_KERNEL_FUNCTIONS};
 use fmeter_trace::CounterSnapshot;
 use rand::rngs::SmallRng;
@@ -58,6 +58,9 @@ fn bench_tfidf(c: &mut Criterion) {
         b.iter(|| TfIdfModel::fit(&corpus).unwrap())
     });
     group.bench_function("transform_one", |b| b.iter(|| model.transform(&doc)));
+    group.bench_function("transform_corpus_csr_500", |b| {
+        b.iter(|| model.transform_corpus_csr(&corpus))
+    });
     group.finish();
 }
 
@@ -68,11 +71,29 @@ fn bench_index(c: &mut Criterion) {
     for v in &vectors {
         index.insert(v.clone()).expect("dimensions match");
     }
+    index.optimize();
     let query: SparseVec = model.transform(corpus.doc(250).expect("doc 250 exists"));
     let mut group = c.benchmark_group("search");
     group.sample_size(30);
     group.bench_function("top10_of_500", |b| {
         b.iter(|| index.search(&query, 10).unwrap())
+    });
+    let mut scratch = SearchScratch::new();
+    group.bench_function("top10_of_500_scratch_reuse", |b| {
+        b.iter(|| index.search_with(&query, 10, &mut scratch).unwrap())
+    });
+    // Corpus scale: 1k docs in a 5k-dim space.
+    let large = fmeter_bench::synthetic_corpus(1000, 5000, 160, 4);
+    let (model, vectors) = TfIdfModel::fit_transform(&large).expect("non-empty corpus");
+    let mut index = InvertedIndex::new(5000);
+    for v in &vectors {
+        index.insert(v.clone()).expect("dimensions match");
+    }
+    index.optimize();
+    let query: SparseVec = model.transform(large.doc(500).expect("doc 500 exists"));
+    let mut scratch = SearchScratch::new();
+    group.bench_function("top10_of_1000_5000d", |b| {
+        b.iter(|| index.search_with(&query, 10, &mut scratch).unwrap())
     });
     group.finish();
 }

@@ -1,0 +1,229 @@
+//! Machine-readable perf baseline for the compare/cluster/search hot path.
+//!
+//! Times the fused distance kernels, the CSR batch kernel, K-means fit,
+//! hierarchical fit, and inverted-index search with plain wall-clock
+//! loops, and writes the results as JSON (default `BENCH_ir.json`) so
+//! successive PRs accumulate a perf trajectory that scripts can diff.
+//!
+//! Usage:
+//!   perf_baseline [--quick] [--out PATH]
+//!
+//! `--quick` shrinks the corpora and the per-case time budget for CI; the
+//! full mode matches the criterion benches' scales (300–1000 points,
+//! 3815–5000 dims).
+
+use std::time::Instant;
+
+use fmeter_bench::{synthetic_corpus, synthetic_points};
+use fmeter_ir::{CsrMatrix, InvertedIndex, Metric, SearchScratch, TfIdfModel};
+use fmeter_ml::{Agglomerative, KMeans, Linkage};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    mode: &'static str,
+    /// Historical criterion measurements pinned at refactor boundaries so
+    /// the trajectory has fixed reference points alongside the live runs.
+    reference: Vec<Reference>,
+    cases: Vec<Case>,
+}
+
+#[derive(Serialize)]
+struct Reference {
+    name: &'static str,
+    note: &'static str,
+    ns_per_iter: f64,
+}
+
+/// Criterion numbers recorded on the CI reference container around the
+/// zero-allocation hot-path refactor (fused kernels + CSR + dense
+/// centroids + flat postings).
+const REFERENCES: [Reference; 5] = [
+    Reference {
+        name: "kmeans/k3_300pts_3815d",
+        note: "pre-refactor (sub()-allocating kernels)",
+        ns_per_iter: 33_764_364.0,
+    },
+    Reference {
+        name: "kmeans/k3_300pts_3815d",
+        note: "post-refactor (7.8x)",
+        ns_per_iter: 4_316_226.0,
+    },
+    Reference {
+        name: "search/top10_of_500",
+        note: "pre-refactor (per-query score vec, AoS postings)",
+        ns_per_iter: 281_621.0,
+    },
+    Reference {
+        name: "search/top10_of_500",
+        note: "post-refactor (1.9x)",
+        ns_per_iter: 145_764.0,
+    },
+    Reference {
+        name: "search/top10_of_500_scratch_reuse",
+        note: "post-refactor, SearchScratch reuse (2.3x vs pre)",
+        ns_per_iter: 121_629.0,
+    },
+];
+
+#[derive(Serialize)]
+struct Case {
+    name: String,
+    params: String,
+    iters: u64,
+    ns_per_iter: f64,
+}
+
+/// Times `f` until the budget is spent (at least `min_iters` runs after a
+/// single warm-up call) and reports the mean ns/iteration.
+fn time_case<O>(budget_ms: u64, min_iters: u64, mut f: impl FnMut() -> O) -> (u64, f64) {
+    std::hint::black_box(f()); // warm-up
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < min_iters || start.elapsed() < budget {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    (iters, ns)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ir.json".to_string());
+
+    let (budget_ms, kmeans_n, hier_n, search_n, dim) = if quick {
+        (120, 200, 80, 300, 2000)
+    } else {
+        (400, 1000, 300, 1000, 5000)
+    };
+    let mut cases = Vec::new();
+    let mut push = |name: &str, params: String, iters: u64, ns: f64| {
+        println!("{name:<44} {ns:>14.1} ns/iter  [{iters} iters]");
+        cases.push(Case {
+            name: name.to_string(),
+            params,
+            iters,
+            ns_per_iter: ns,
+        });
+    };
+
+    // Fused distance kernels over a realistic signature pair.
+    let pair = synthetic_points(2, 3815, 300, 1);
+    let (a, b) = (&pair[0], &pair[1]);
+    for (name, metric) in [
+        ("distance/euclidean_3815d", Metric::Euclidean),
+        ("distance/cosine_3815d", Metric::Cosine),
+        ("distance/manhattan_3815d", Metric::Manhattan),
+    ] {
+        let (iters, ns) = time_case(budget_ms, 100, || metric.distance(a, b).unwrap());
+        push(name, "nnz=300".into(), iters, ns);
+    }
+    let (iters, ns) = time_case(budget_ms, 100, || {
+        Metric::Euclidean.distance_sq(a, b).unwrap()
+    });
+    push("distance/euclidean_sq_3815d", "nnz=300".into(), iters, ns);
+
+    // CSR batch pairwise kernel.
+    let pts = synthetic_points(hier_n, dim, 128, 2);
+    let csr = CsrMatrix::from_rows(&pts).unwrap();
+    let mut cond = Vec::new();
+    let (iters, ns) = time_case(budget_ms, 2, || {
+        csr.pairwise_condensed_into(Metric::Euclidean, &mut cond)
+            .unwrap()
+    });
+    push(
+        "csr/pairwise_euclidean",
+        format!("n={hier_n} dim={dim} nnz=128"),
+        iters,
+        ns,
+    );
+
+    // K-means fit (the paper-scale case mirrors criterion's
+    // kmeans/k3_300pts_3815d so trajectories line up).
+    let paper_pts = synthetic_points(300, 3815, 300, 5);
+    let (iters, ns) = time_case(budget_ms, 2, || {
+        KMeans::new(3).seed(1).run(&paper_pts).unwrap()
+    });
+    push(
+        "kmeans/fit_k3_300pts_3815d",
+        "k=3 n=300 dim=3815".into(),
+        iters,
+        ns,
+    );
+    let kmeans_pts = synthetic_points(kmeans_n, dim, 128, 6);
+    let (iters, ns) = time_case(budget_ms, 2, || {
+        KMeans::new(4).seed(1).run(&kmeans_pts).unwrap()
+    });
+    push(
+        "kmeans/fit_k4_large",
+        format!("k=4 n={kmeans_n} dim={dim}"),
+        iters,
+        ns,
+    );
+
+    // Hierarchical fit (parallel CSR matrix + Lance-Williams merges).
+    let (iters, ns) = time_case(budget_ms, 2, || {
+        Agglomerative::new(Linkage::Single).fit(&pts).unwrap()
+    });
+    push(
+        "hierarchical/fit_single_large",
+        format!("n={hier_n} dim={dim}"),
+        iters,
+        ns,
+    );
+
+    // Inverted-index search, fresh allocation vs scratch reuse.
+    let corpus = synthetic_corpus(search_n, dim, 160, 3);
+    let (model, vectors) = TfIdfModel::fit_transform(&corpus).unwrap();
+    let mut index = InvertedIndex::new(dim);
+    for v in &vectors {
+        index.insert(v.clone()).unwrap();
+    }
+    index.optimize();
+    let query = model.transform(corpus.doc(search_n / 2).unwrap());
+    let (iters, ns) = time_case(budget_ms, 20, || index.search(&query, 10).unwrap());
+    push(
+        "search/top10_alloc",
+        format!("n={search_n} dim={dim}"),
+        iters,
+        ns,
+    );
+    let mut scratch = SearchScratch::new();
+    let (iters, ns) = time_case(budget_ms, 20, || {
+        index.search_with(&query, 10, &mut scratch).unwrap()
+    });
+    push(
+        "search/top10_scratch_reuse",
+        format!("n={search_n} dim={dim}"),
+        iters,
+        ns,
+    );
+
+    // tf-idf corpus transform straight into CSR.
+    let (iters, ns) = time_case(budget_ms, 2, || model.transform_corpus_csr(&corpus));
+    push(
+        "tfidf/transform_corpus_csr",
+        format!("n={search_n} dim={dim}"),
+        iters,
+        ns,
+    );
+
+    let report = Report {
+        schema: "fmeter-perf-baseline/v1",
+        mode: if quick { "quick" } else { "full" },
+        reference: REFERENCES.into_iter().collect(),
+        cases,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write baseline JSON");
+    println!("wrote {out_path}");
+}

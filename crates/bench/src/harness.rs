@@ -3,10 +3,51 @@
 //! binaries.
 
 use fmeter_core::{Fmeter, FmeterError, RawSignature};
-use fmeter_ir::{Corpus, SparseVec, TfIdfModel, TfIdfOptions};
+use fmeter_ir::{Corpus, SparseVec, TermCounts, TfIdfModel, TfIdfOptions};
 use fmeter_kernel_sim::{modules, CpuId, Kernel, KernelConfig, Nanos};
 use fmeter_ml::Label;
 use fmeter_workloads::{ApacheBench, Dbench, KCompile, NetperfReceive, Scp, WithBackground};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Corpus-scale synthetic signature set: `n` unit-norm vectors in a
+/// `dim`-dimensional space with `nnz` non-zeros each, spread over four
+/// latent class bands. The criterion benches and `perf_baseline` share
+/// this generator so their numbers measure the same workload.
+pub fn synthetic_points(n: usize, dim: usize, nnz: usize, seed: u64) -> Vec<SparseVec> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let classes = 4;
+    let band = dim / classes;
+    (0..n)
+        .map(|i| {
+            let base = (i % classes) * band;
+            let pairs: Vec<(u32, f64)> = (0..nnz)
+                .map(|k| (((base + (k * 13) % band) % dim) as u32, rng.random::<f64>()))
+                .collect();
+            SparseVec::from_pairs(dim, pairs)
+                .expect("terms in range")
+                .l2_normalized()
+        })
+        .collect()
+}
+
+/// `n` count documents over a `dim`-term space, each with ~`active`
+/// expected active terms carrying uniform counts — the shared index/tf-idf
+/// benchmark corpus.
+pub fn synthetic_corpus(n: usize, dim: usize, active: usize, seed: u64) -> Corpus {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut corpus = Corpus::new(dim);
+    for _ in 0..n {
+        let mut counts = vec![0u64; dim];
+        for c in counts.iter_mut() {
+            if rng.random::<f32>() < active as f32 / dim as f32 {
+                *c = 1 + (rng.random::<f64>() * 10_000.0) as u64;
+            }
+        }
+        corpus.push(TermCounts::from_dense(&counts));
+    }
+    corpus
+}
 
 /// The canonical kernel image seed (the "released 2.6.28 build").
 // Grouped to read as kernel version 2.6.28, not a byte count.

@@ -77,6 +77,9 @@ impl SignatureDb {
                 ended_at: r.ended_at,
             });
         }
+        // Bulk load finished: fold any tail postings into the flat buffer
+        // so queries stream one contiguous region.
+        index.optimize();
         Ok(SignatureDb {
             model,
             signatures,

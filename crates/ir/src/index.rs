@@ -41,6 +41,58 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable scratch state for [`InvertedIndex::search_with`].
+///
+/// A search accumulates partial scores in a dense per-document buffer; a
+/// fresh allocation per query is pure overhead once the daemon queries the
+/// index continuously. The scratch keeps the buffers alive across calls
+/// and invalidates stale entries with an *epoch stamp* instead of
+/// clearing: bumping the epoch makes every slot logically zero in O(1).
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::{InvertedIndex, SearchScratch, SparseVec};
+///
+/// let mut index = InvertedIndex::new(4);
+/// index.insert(SparseVec::from_pairs(4, [(0, 1.0)]).unwrap()).unwrap();
+/// let mut scratch = SearchScratch::new();
+/// let q = SparseVec::from_pairs(4, [(0, 2.0)]).unwrap();
+/// for _ in 0..3 {
+///     let hits = index.search_with(&q, 1, &mut scratch).unwrap();
+///     assert_eq!(hits[0].doc, 0);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    epoch: u64,
+    stamps: Vec<u64>,
+    scores: Vec<f64>,
+    touched: Vec<DocId>,
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch; buffers grow to the index size on first
+    /// use.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// Prepares for a query over `num_docs` documents and returns the
+    /// fresh epoch.
+    fn begin(&mut self, num_docs: usize) -> u64 {
+        // Stale stamps from a smaller index are never equal to the new
+        // epoch, so resizing with zeros is sound.
+        if self.stamps.len() < num_docs {
+            self.stamps.resize(num_docs, 0);
+            self.scores.resize(num_docs, 0.0);
+        }
+        self.touched.clear();
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
 /// Inverted index over tf-idf signature vectors for similarity-based search.
 ///
 /// This is the "database of previously labeled signatures" retrieval path of
@@ -64,19 +116,49 @@ impl PartialOrd for HeapEntry {
 /// assert_eq!(hits[0].doc, 0);
 /// assert!((hits[0].score - 1.0).abs() < 1e-9);
 /// ```
+///
+/// # Storage layout
+///
+/// Postings live in one flat CSR-style buffer — `offsets[t]..offsets[t+1]`
+/// delimits term `t`'s `(docs, weights)` parallel arrays — so a query's
+/// accumulation streams contiguous memory with u32 doc ids (12 bytes per
+/// posting instead of a pointer-chased 16). Fresh inserts land in small
+/// per-term tail lists and are folded into the flat buffer by geometric
+/// compaction, keeping `insert` amortised O(nnz).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InvertedIndex {
     dim: usize,
-    postings: Vec<Vec<(DocId, f64)>>,
+    /// Flat compacted postings: term `t` owns `docs[offsets[t]..offsets[t+1]]`.
+    offsets: Vec<usize>,
+    docs: Vec<u32>,
+    weights: Vec<f64>,
+    /// Per-term postings inserted since the last compaction.
+    tail: Vec<PostingList>,
+    /// Total postings in `tail` (compaction trigger).
+    tail_len: usize,
     num_docs: usize,
 }
+
+/// One term's not-yet-compacted postings, as parallel arrays.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct PostingList {
+    docs: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+/// A term's postings as parallel `(docs, weights)` slices.
+type PostingSlices<'a> = (&'a [u32], &'a [f64]);
 
 impl InvertedIndex {
     /// Creates an empty index over a `dim`-term space.
     pub fn new(dim: usize) -> Self {
         InvertedIndex {
             dim,
-            postings: vec![Vec::new(); dim],
+            offsets: vec![0; dim + 1],
+            docs: Vec::new(),
+            weights: Vec::new(),
+            tail: vec![PostingList::default(); dim],
+            tail_len: 0,
             num_docs: 0,
         }
     }
@@ -98,11 +180,67 @@ impl InvertedIndex {
             });
         }
         let id = self.num_docs;
+        debug_assert!(id <= u32::MAX as usize, "doc ids are stored as u32");
         for (t, w) in vector.l2_normalized().iter() {
-            self.postings[t as usize].push((id, w));
+            let list = &mut self.tail[t as usize];
+            list.docs.push(id as u32);
+            list.weights.push(w);
         }
+        self.tail_len += vector.nnz();
         self.num_docs += 1;
+        // Geometric trigger: fold the tail in once it reaches a quarter of
+        // the flat buffer, so total compaction work stays O(N) amortised.
+        if self.tail_len * 4 >= self.docs.len() + 256 {
+            self.compact();
+        }
         Ok(id)
+    }
+
+    /// Fully compacts the postings into the flat buffer.
+    ///
+    /// Inserts self-compact geometrically, but up to a quarter of the
+    /// postings may sit in per-term tail lists at any moment. Call this
+    /// once after bulk-loading a corpus so every query streams a single
+    /// contiguous buffer.
+    pub fn optimize(&mut self) {
+        self.compact();
+    }
+
+    /// Folds the per-term tails into the flat postings buffer.
+    fn compact(&mut self) {
+        if self.tail_len == 0 {
+            return;
+        }
+        let total = self.docs.len() + self.tail_len;
+        let mut offsets = Vec::with_capacity(self.dim + 1);
+        let mut docs = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        offsets.push(0);
+        for t in 0..self.dim {
+            let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+            docs.extend_from_slice(&self.docs[lo..hi]);
+            weights.extend_from_slice(&self.weights[lo..hi]);
+            let list = &mut self.tail[t];
+            docs.append(&mut list.docs);
+            weights.append(&mut list.weights);
+            offsets.push(docs.len());
+        }
+        self.offsets = offsets;
+        self.docs = docs;
+        self.weights = weights;
+        self.tail_len = 0;
+    }
+
+    /// Term `t`'s postings as `(flat, tail)` slice pairs; doc ids ascend
+    /// across the concatenation because tail postings are always newer.
+    #[inline]
+    fn term_postings(&self, t: usize) -> (PostingSlices<'_>, PostingSlices<'_>) {
+        let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+        let list = &self.tail[t];
+        (
+            (&self.docs[lo..hi], &self.weights[lo..hi]),
+            (&list.docs, &list.weights),
+        )
     }
 
     /// Number of indexed documents.
@@ -122,7 +260,11 @@ impl InvertedIndex {
 
     /// Number of postings stored under `term`.
     pub fn posting_len(&self, term: TermId) -> usize {
-        self.postings.get(term as usize).map_or(0, Vec::len)
+        let t = term as usize;
+        if t >= self.dim {
+            return 0;
+        }
+        (self.offsets[t + 1] - self.offsets[t]) + self.tail[t].docs.len()
     }
 
     /// Finds the `k` indexed documents most cosine-similar to `query`,
@@ -134,6 +276,27 @@ impl InvertedIndex {
     /// Returns [`IrError::DimensionMismatch`] when the query dimension
     /// differs from the index dimension.
     pub fn search(&self, query: &SparseVec, k: usize) -> Result<Vec<SearchHit>, IrError> {
+        self.search_with(query, k, &mut SearchScratch::new())
+    }
+
+    /// Like [`search`](Self::search) but reuses `scratch` across calls, so
+    /// repeated queries perform no per-document allocations.
+    ///
+    /// Each document is visited exactly once per query: a visited stamp
+    /// (not the accumulated score) decides membership in the candidate
+    /// list, so a partial score that cancels to exactly `0.0`
+    /// mid-accumulation cannot re-enter and occupy two top-k slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the query dimension
+    /// differs from the index dimension.
+    pub fn search_with(
+        &self,
+        query: &SparseVec,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<SearchHit>, IrError> {
         if query.dim() != self.dim {
             return Err(IrError::DimensionMismatch {
                 left: self.dim,
@@ -143,27 +306,72 @@ impl InvertedIndex {
         if k == 0 || self.num_docs == 0 {
             return Ok(Vec::new());
         }
-        let query = query.l2_normalized();
-        // Accumulate scores over postings of the query's non-zero terms.
-        let mut scores: Vec<f64> = vec![0.0; self.num_docs];
-        let mut touched: Vec<DocId> = Vec::new();
-        for (t, qw) in query.iter() {
-            for &(doc, dw) in &self.postings[t as usize] {
-                if scores[doc] == 0.0 {
-                    touched.push(doc);
-                }
-                scores[doc] += qw * dw;
-            }
+        // Normalise the query on the fly: scoring against unit-length
+        // postings with weights `qw / ‖q‖` is exactly scoring with
+        // `query.l2_normalized()`, without materialising it.
+        let query_norm = query.norm_l2();
+        if query_norm == 0.0 {
+            return Ok(Vec::new());
         }
+        let inv_norm = 1.0 / query_norm;
+        let epoch = scratch.begin(self.num_docs);
+        // Two accumulation strategies over the postings of the query's
+        // non-zero terms. Both visit identical contributions in identical
+        // order per document, so they produce bit-identical scores; only
+        // the bookkeeping differs.
+        let total_postings: usize = query.terms().iter().map(|&t| self.posting_len(t)).sum();
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-        for doc in touched {
-            let score = scores[doc];
+        let mut push_hit = |doc: DocId, score: f64| {
+            // A final score of exactly zero means "shares no signal with
+            // the query" — same contract as an untouched doc.
             if score == 0.0 {
-                continue;
+                return;
             }
             heap.push(HeapEntry { score, doc });
             if heap.len() > k {
                 heap.pop(); // evict the current worst
+            }
+        };
+        if total_postings * 2 >= self.num_docs {
+            // Dense mode: the postings touch a large share of the corpus,
+            // so zero the whole score buffer once and accumulate without
+            // any per-posting membership test or branch.
+            let scores = &mut scratch.scores[..self.num_docs];
+            scores.fill(0.0);
+            for (t, qw) in query.iter() {
+                let qw = qw * inv_norm;
+                let (flat, tail) = self.term_postings(t as usize);
+                for part in [flat, tail] {
+                    for (&doc, &dw) in part.0.iter().zip(part.1) {
+                        scores[doc as usize] += qw * dw;
+                    }
+                }
+            }
+            for (doc, &score) in scores.iter().enumerate() {
+                push_hit(doc, score);
+            }
+        } else {
+            // Sparse mode: few candidates — track membership with the
+            // epoch stamp (not the score, which can transiently cancel to
+            // exactly 0.0 and must not re-enter the candidate list).
+            for (t, qw) in query.iter() {
+                let qw = qw * inv_norm;
+                let (flat, tail) = self.term_postings(t as usize);
+                for part in [flat, tail] {
+                    for (&doc, &dw) in part.0.iter().zip(part.1) {
+                        let doc = doc as usize;
+                        if scratch.stamps[doc] != epoch {
+                            scratch.stamps[doc] = epoch;
+                            scratch.scores[doc] = qw * dw;
+                            scratch.touched.push(doc);
+                        } else {
+                            scratch.scores[doc] += qw * dw;
+                        }
+                    }
+                }
+            }
+            for &doc in &scratch.touched {
+                push_hit(doc, scratch.scores[doc]);
             }
         }
         let mut hits: Vec<SearchHit> = heap
@@ -261,6 +469,105 @@ mod tests {
         assert_eq!(idx.posting_len(0), 2);
         assert_eq!(idx.posting_len(4), 1);
         assert_eq!(idx.posting_len(7), 0);
+    }
+
+    #[test]
+    fn cancelling_partial_score_does_not_duplicate_hit() {
+        // Regression: doc 0 carries a negative-weight posting, so against
+        // this query its partial score cancels to exactly 0.0 after term 1
+        // (+s then -s), then goes positive again on term 2. The old
+        // score==0.0 membership test pushed doc 0 into the candidate list
+        // twice; both copies carried the (higher) final score and evicted
+        // doc 1 from the top-2 entirely.
+        let mut idx = InvertedIndex::new(8);
+        idx.insert(vec8(&[(0, 1.0), (1, -1.0), (2, 1.0)])).unwrap(); // doc 0
+        idx.insert(vec8(&[(0, 1.0)])).unwrap(); // doc 1
+        let query = vec8(&[(0, 1.0), (1, 1.0), (2, 2.0)]);
+        let hits = idx.search(&query, 2).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_ne!(hits[0].doc, hits[1].doc, "a doc must occupy one slot only");
+        // doc 0: (1 - 1 + 2)/(sqrt(6)*sqrt(3)), doc 1: 1/sqrt(6).
+        assert_eq!(hits[0].doc, 0);
+        assert_eq!(hits[1].doc, 1);
+        assert!((hits[0].score - 2.0 / 18f64.sqrt()).abs() < 1e-12);
+        assert!((hits[1].score - 1.0 / 6f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_mode_cancelling_partial_score_does_not_duplicate_hit() {
+        // Same cancellation shape as above, but with enough unrelated docs
+        // that the accumulator takes the stamp-tracked sparse path
+        // (total_postings * 2 < num_docs).
+        let mut idx = InvertedIndex::new(8);
+        idx.insert(vec8(&[(0, 1.0), (1, -1.0), (2, 1.0)])).unwrap(); // doc 0
+        for _ in 0..9 {
+            idx.insert(vec8(&[(7, 1.0)])).unwrap(); // docs 1..=9, untouched
+        }
+        let query = vec8(&[(0, 1.0), (1, 1.0), (2, 2.0)]);
+        let hits = idx.search(&query, 3).unwrap();
+        assert_eq!(hits.len(), 1, "doc 0 must appear exactly once");
+        assert_eq!(hits[0].doc, 0);
+        assert!((hits[0].score - 2.0 / 18f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_and_dense_modes_agree() {
+        // Build one corpus where a broad query takes the dense path and a
+        // narrow query the sparse path; both must match a brute-force
+        // cosine scan.
+        let mut idx = InvertedIndex::new(8);
+        let docs: Vec<SparseVec> = (0..12)
+            .map(|i| vec8(&[(i % 8, 1.0 + i as f64), ((i + 3) % 8, 0.5)]))
+            .collect();
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        for query in [
+            vec8(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]), // dense
+            vec8(&[(5, 1.0)]),                               // sparse
+        ] {
+            let hits = idx.search(&query, 12).unwrap();
+            for h in &hits {
+                let expected = crate::cosine_similarity(&query, &docs[h.doc]).unwrap();
+                assert!(
+                    (h.score - expected).abs() < 1e-12,
+                    "doc {}: {} vs {}",
+                    h.doc,
+                    h.score,
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn search_with_scratch_reuse_matches_fresh_search() {
+        let idx = sample_index();
+        let mut scratch = SearchScratch::new();
+        let queries = [
+            vec8(&[(0, 5.0), (1, 5.0)]),
+            vec8(&[(4, 1.0)]),
+            SparseVec::zeros(8),
+            vec8(&[(0, 1.0)]),
+        ];
+        for q in &queries {
+            let fresh = idx.search(q, 3).unwrap();
+            let reused = idx.search_with(q, 3, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn scratch_tracks_index_growth() {
+        let mut idx = InvertedIndex::new(8);
+        idx.insert(vec8(&[(0, 1.0)])).unwrap();
+        let mut scratch = SearchScratch::new();
+        let q = vec8(&[(0, 1.0), (3, 1.0)]);
+        assert_eq!(idx.search_with(&q, 5, &mut scratch).unwrap().len(), 1);
+        // Grow the index; the same scratch must cover the new doc.
+        idx.insert(vec8(&[(3, 2.0)])).unwrap();
+        let hits = idx.search_with(&q, 5, &mut scratch).unwrap();
+        assert_eq!(hits.len(), 2);
     }
 
     #[test]

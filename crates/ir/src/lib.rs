@@ -37,15 +37,18 @@ mod corpus;
 mod distance;
 mod error;
 mod index;
+mod matrix;
 mod sparse;
 mod tfidf;
 
 pub use corpus::{Corpus, TermCounts};
 pub use distance::{
-    cosine_similarity, euclidean_distance, manhattan_distance, minkowski_distance, Metric,
+    cosine_similarity, dot_slices, dot_sparse_dense, euclidean_distance, euclidean_distance_sq,
+    manhattan_distance, minkowski_distance, Metric,
 };
 pub use error::IrError;
-pub use index::{InvertedIndex, SearchHit};
+pub use index::{InvertedIndex, SearchHit, SearchScratch};
+pub use matrix::CsrMatrix;
 pub use sparse::SparseVec;
 pub use tfidf::{IdfMode, TfIdfModel, TfIdfOptions, TfMode};
 

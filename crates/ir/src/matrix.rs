@@ -1,0 +1,516 @@
+//! Contiguous CSR (compressed sparse row) storage for a corpus of
+//! signature vectors.
+//!
+//! Clustering and search iterate over *all* pairs of signatures; keeping
+//! every row in one packed `(indices, values)` buffer removes the
+//! per-vector pointer chase and lets the pairwise kernels run
+//! allocation-free over slices. L2 norms and squared norms are cached per
+//! row at construction so cosine similarity and the K-means norm trick
+//! never recompute them.
+
+use crate::distance::{cosine_similarity_with_norms, sq_norm};
+use crate::{IrError, Metric, SparseVec, TermId};
+
+/// Minimum number of pairwise distances before
+/// [`CsrMatrix::pairwise_condensed`] fans out across threads; below this
+/// the spawn overhead dominates.
+const PARALLEL_PAIR_THRESHOLD: usize = 4096;
+
+/// A corpus of sparse vectors packed into one CSR buffer.
+///
+/// Row `i` occupies `indices[indptr[i]..indptr[i + 1]]` (sorted term ids)
+/// and the parallel `values` range. Construction caches each row's L2
+/// norm and squared norm.
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_ir::{CsrMatrix, Metric, SparseVec};
+///
+/// let rows = vec![
+///     SparseVec::from_pairs(4, [(0, 3.0)]).unwrap(),
+///     SparseVec::from_pairs(4, [(1, 4.0)]).unwrap(),
+/// ];
+/// let m = CsrMatrix::from_rows(&rows).unwrap();
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.nnz(), 2);
+/// let d = m.pairwise_condensed(Metric::Euclidean).unwrap();
+/// assert!((d[0] - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CsrMatrix {
+    dim: usize,
+    indptr: Vec<usize>,
+    indices: Vec<TermId>,
+    values: Vec<f64>,
+    norms: Vec<f64>,
+    sq_norms: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Packs a slice of sparse vectors into one CSR buffer.
+    ///
+    /// An empty slice yields an empty matrix of dimension zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the rows disagree on
+    /// dimensionality.
+    pub fn from_rows(rows: &[SparseVec]) -> Result<Self, IrError> {
+        let dim = rows.first().map_or(0, SparseVec::dim);
+        let total_nnz: usize = rows.iter().map(SparseVec::nnz).sum();
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::with_capacity(total_nnz);
+        let mut values = Vec::with_capacity(total_nnz);
+        let mut norms = Vec::with_capacity(rows.len());
+        let mut sq_norms = Vec::with_capacity(rows.len());
+        indptr.push(0);
+        for row in rows {
+            if row.dim() != dim {
+                return Err(IrError::DimensionMismatch {
+                    left: dim,
+                    right: row.dim(),
+                });
+            }
+            indices.extend_from_slice(row.terms());
+            values.extend_from_slice(row.values());
+            indptr.push(indices.len());
+            let sq = sq_norm(row.values());
+            sq_norms.push(sq);
+            norms.push(sq.sqrt());
+        }
+        Ok(CsrMatrix {
+            dim,
+            indptr,
+            indices,
+            values,
+            norms,
+            sq_norms,
+        })
+    }
+
+    /// Builds a matrix from raw CSR parts (e.g. assembled directly by
+    /// [`TfIdfModel::transform_corpus_csr`](crate::TfIdfModel::transform_corpus_csr)
+    /// without intermediate [`SparseVec`]s). Norms are computed here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::TermOutOfRange`] when an index is `>= dim` and
+    /// [`IrError::DimensionMismatch`] when the parts are inconsistent
+    /// (`indptr` not monotone from 0 to `indices.len()`, `indices` and
+    /// `values` lengths differ, or a row's terms are not strictly
+    /// increasing).
+    pub fn from_raw_parts(
+        dim: usize,
+        indptr: Vec<usize>,
+        indices: Vec<TermId>,
+        values: Vec<f64>,
+    ) -> Result<Self, IrError> {
+        let shape_err = IrError::DimensionMismatch {
+            left: indices.len(),
+            right: values.len(),
+        };
+        if indices.len() != values.len() {
+            return Err(shape_err);
+        }
+        if indptr.first() != Some(&0) || indptr.last() != Some(&indices.len()) {
+            return Err(shape_err);
+        }
+        for w in indptr.windows(2) {
+            // Bound-check before slicing: a non-monotone indptr whose
+            // middle value overshoots indices.len() must error, not panic.
+            if w[0] > w[1] || w[1] > indices.len() {
+                return Err(shape_err);
+            }
+            let row = &indices[w[0]..w[1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(shape_err);
+                }
+            }
+            if let Some(&t) = row.last() {
+                if t as usize >= dim {
+                    return Err(IrError::TermOutOfRange { term: t, dim });
+                }
+            }
+        }
+        let rows = indptr.len() - 1;
+        let mut norms = Vec::with_capacity(rows);
+        let mut sq_norms = Vec::with_capacity(rows);
+        for w in indptr.windows(2) {
+            let sq = sq_norm(&values[w[0]..w[1]]);
+            sq_norms.push(sq);
+            norms.push(sq.sqrt());
+        }
+        Ok(CsrMatrix {
+            dim,
+            indptr,
+            indices,
+            values,
+            norms,
+            sq_norms,
+        })
+    }
+
+    /// Internal constructor for callers that guarantee the CSR invariants
+    /// by construction (sorted in-range rows, consistent `indptr`); only
+    /// norms are computed. Debug builds still verify.
+    pub(crate) fn from_parts_trusted(
+        dim: usize,
+        indptr: Vec<usize>,
+        indices: Vec<TermId>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert!(
+            CsrMatrix::from_raw_parts(dim, indptr.clone(), indices.clone(), values.clone()).is_ok(),
+            "trusted CSR parts violate the layout invariants"
+        );
+        let rows = indptr.len().saturating_sub(1);
+        let mut norms = Vec::with_capacity(rows);
+        let mut sq_norms = Vec::with_capacity(rows);
+        for w in indptr.windows(2) {
+            let sq = sq_norm(&values[w[0]..w[1]]);
+            sq_norms.push(sq);
+            norms.push(sq.sqrt());
+        }
+        CsrMatrix {
+            dim,
+            indptr,
+            indices,
+            values,
+            norms,
+            sq_norms,
+        }
+    }
+
+    /// Number of rows (documents).
+    pub fn len(&self) -> usize {
+        self.indptr.len().saturating_sub(1)
+    }
+
+    /// Returns `true` when the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the vector space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row `i` as `(terms, values)` slices, sorted by term id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn row(&self, i: usize) -> (&[TermId], &[f64]) {
+        let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Cached L2 norm of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn norm(&self, i: usize) -> f64 {
+        self.norms[i]
+    }
+
+    /// Cached squared L2 norm of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn sq_norm(&self, i: usize) -> f64 {
+        self.sq_norms[i]
+    }
+
+    /// Copies row `i` back out as a standalone [`SparseVec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn row_to_sparse(&self, i: usize) -> SparseVec {
+        let (terms, values) = self.row(i);
+        SparseVec::from_pairs(self.dim, terms.iter().copied().zip(values.iter().copied()))
+            .expect("CSR terms are in range")
+    }
+
+    /// Distance between rows `i` and `j` under `metric`, allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidOrder`] for a Minkowski order `p < 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` or `j` is out of range.
+    pub fn row_distance(&self, i: usize, j: usize, metric: Metric) -> Result<f64, IrError> {
+        metric.validate()?;
+        Ok(self.row_distance_unchecked(i, j, metric))
+    }
+
+    #[inline]
+    fn row_distance_unchecked(&self, i: usize, j: usize, metric: Metric) -> f64 {
+        let (at, av) = self.row(i);
+        let (bt, bv) = self.row(j);
+        match metric {
+            // Cosine reuses the cached norms instead of re-deriving them.
+            Metric::Cosine => {
+                1.0 - cosine_similarity_with_norms(at, av, bt, bv, self.norms[i], self.norms[j])
+            }
+            _ => metric.distance_slices_unchecked(at, av, bt, bv),
+        }
+    }
+
+    /// Computes all pairwise distances into a condensed upper-triangular
+    /// vector of length `n * (n - 1) / 2`: the distance between rows
+    /// `i < j` lands at `i * (2n - i - 1) / 2 + (j - i - 1)` (scipy's
+    /// `pdist` layout).
+    ///
+    /// Large inputs are fanned out across threads with
+    /// [`std::thread::scope`]; every pair is computed independently, so
+    /// the result is identical regardless of thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidOrder`] for a Minkowski order `p < 1`.
+    pub fn pairwise_condensed(&self, metric: Metric) -> Result<Vec<f64>, IrError> {
+        let mut out = Vec::new();
+        self.pairwise_condensed_into(metric, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`pairwise_condensed`](Self::pairwise_condensed) but reuses
+    /// `out`'s allocation across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidOrder`] for a Minkowski order `p < 1`.
+    pub fn pairwise_condensed_into(
+        &self,
+        metric: Metric,
+        out: &mut Vec<f64>,
+    ) -> Result<(), IrError> {
+        metric.validate()?;
+        let n = self.len();
+        let pairs = n * n.saturating_sub(1) / 2;
+        out.clear();
+        out.resize(pairs, 0.0);
+        if pairs == 0 {
+            return Ok(());
+        }
+        let threads = if pairs >= PARALLEL_PAIR_THRESHOLD {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(n - 1)
+        } else {
+            1
+        };
+        if threads <= 1 {
+            let mut idx = 0;
+            for i in 0..n - 1 {
+                for j in i + 1..n {
+                    out[idx] = self.row_distance_unchecked(i, j, metric);
+                    idx += 1;
+                }
+            }
+            return Ok(());
+        }
+        // Chop the condensed buffer into per-row slices (row i owns the
+        // n-1-i distances to rows i+1..n) and deal rows round-robin so
+        // every thread gets a mix of long (early) and short (late) rows.
+        let mut row_slices: Vec<(usize, &mut [f64])> = Vec::with_capacity(n - 1);
+        let mut rest = out.as_mut_slice();
+        for i in 0..n - 1 {
+            let (head, tail) = rest.split_at_mut(n - 1 - i);
+            row_slices.push((i, head));
+            rest = tail;
+        }
+        let mut buckets: Vec<Vec<(usize, &mut [f64])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (k, item) in row_slices.into_iter().enumerate() {
+            buckets[k % threads].push(item);
+        }
+        std::thread::scope(|s| {
+            for bucket in buckets {
+                s.spawn(move || {
+                    for (i, row_out) in bucket {
+                        for (off, slot) in row_out.iter_mut().enumerate() {
+                            *slot = self.row_distance_unchecked(i, i + 1 + off, metric);
+                        }
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Index of the pair `(i, j)`, `i < j`, in the condensed layout of
+    /// [`pairwise_condensed`](Self::pairwise_condensed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= j` or `j >= len()`.
+    pub fn condensed_index(&self, i: usize, j: usize) -> usize {
+        let n = self.len();
+        assert!(i < j && j < n, "condensed index requires i < j < n");
+        i * (2 * n - i - 1) / 2 + (j - i - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean_distance;
+
+    fn rows() -> Vec<SparseVec> {
+        vec![
+            SparseVec::from_pairs(8, [(0, 1.0), (3, 2.0)]).unwrap(),
+            SparseVec::from_pairs(8, [(3, -1.0), (5, 4.0)]).unwrap(),
+            SparseVec::zeros(8),
+            SparseVec::from_pairs(8, [(0, 1.0), (3, 2.0)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn from_rows_packs_and_caches_norms() {
+        let rs = rows();
+        let m = CsrMatrix::from_rows(&rs).unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.dim(), 8);
+        assert_eq!(m.nnz(), 6);
+        assert!(!m.is_empty());
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(m.row_to_sparse(i), *r);
+            assert!((m.norm(i) - r.norm_l2()).abs() < 1e-15);
+            assert!((m.sq_norm(i) - r.norm_l2() * r.norm_l2()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_mixed_dims() {
+        let rs = vec![SparseVec::zeros(4), SparseVec::zeros(5)];
+        assert!(matches!(
+            CsrMatrix::from_rows(&rs),
+            Err(IrError::DimensionMismatch { left: 4, right: 5 })
+        ));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::from_rows(&[]).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.pairwise_condensed(Metric::Euclidean).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn pairwise_matches_pointwise_distances() {
+        let rs = rows();
+        let m = CsrMatrix::from_rows(&rs).unwrap();
+        for metric in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Minkowski(3.0),
+            Metric::Cosine,
+        ] {
+            let cond = m.pairwise_condensed(metric).unwrap();
+            assert_eq!(cond.len(), 6);
+            for i in 0..rs.len() {
+                for j in i + 1..rs.len() {
+                    let expected = metric.distance(&rs[i], &rs[j]).unwrap();
+                    let got = cond[m.condensed_index(i, j)];
+                    assert!(
+                        (got - expected).abs() < 1e-12,
+                        "{metric:?} ({i},{j}): {got} vs {expected}"
+                    );
+                    let direct = m.row_distance(i, j, metric).unwrap();
+                    assert!((direct - expected).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_have_zero_distance() {
+        let m = CsrMatrix::from_rows(&rows()).unwrap();
+        let cond = m.pairwise_condensed(Metric::Euclidean).unwrap();
+        assert_eq!(cond[m.condensed_index(0, 3)], 0.0);
+    }
+
+    #[test]
+    fn parallel_path_agrees_with_serial() {
+        // Enough rows that pairs >= PARALLEL_PAIR_THRESHOLD.
+        let n = 128;
+        let rs: Vec<SparseVec> = (0..n)
+            .map(|i| {
+                SparseVec::from_pairs(
+                    64,
+                    (0..8u32).map(|k| (((i as u32) * 7 + k * 5) % 64, (i + k as usize) as f64)),
+                )
+                .unwrap()
+            })
+            .collect();
+        let m = CsrMatrix::from_rows(&rs).unwrap();
+        let cond = m.pairwise_condensed(Metric::Euclidean).unwrap();
+        assert!(n * (n - 1) / 2 >= PARALLEL_PAIR_THRESHOLD);
+        for i in 0..n {
+            for j in i + 1..n {
+                let expected = euclidean_distance(&rs[i], &rs[j]).unwrap();
+                assert_eq!(cond[m.condensed_index(i, j)], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_into_reuses_buffer_and_rejects_bad_order() {
+        let m = CsrMatrix::from_rows(&rows()).unwrap();
+        let mut buf = vec![99.0; 2];
+        m.pairwise_condensed_into(Metric::Manhattan, &mut buf)
+            .unwrap();
+        assert_eq!(buf.len(), 6);
+        assert!(matches!(
+            m.pairwise_condensed(Metric::Minkowski(0.5)),
+            Err(IrError::InvalidOrder(_))
+        ));
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        // Valid two-row matrix.
+        let m = CsrMatrix::from_raw_parts(4, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+            .unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+        // Length mismatch.
+        assert!(CsrMatrix::from_raw_parts(4, vec![0, 1], vec![0], vec![]).is_err());
+        // Non-monotone indptr.
+        assert!(CsrMatrix::from_raw_parts(4, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // Non-monotone indptr whose middle value overshoots indices.len()
+        // (regression: used to panic on the row slice instead of erroring).
+        assert!(
+            CsrMatrix::from_raw_parts(4, vec![0, 5, 3], vec![0, 1, 2], vec![1.0, 1.0, 1.0])
+                .is_err()
+        );
+        // Unsorted row.
+        assert!(CsrMatrix::from_raw_parts(4, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+        // Term out of range.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(2, vec![0, 1], vec![5], vec![1.0]),
+            Err(IrError::TermOutOfRange { term: 5, dim: 2 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "i < j < n")]
+    fn condensed_index_rejects_bad_pair() {
+        let m = CsrMatrix::from_rows(&rows()).unwrap();
+        m.condensed_index(2, 2);
+    }
+}

@@ -61,32 +61,24 @@ impl SparseVec {
             }
         }
         entries.sort_unstable_by_key(|&(t, _)| t);
-        let mut terms = Vec::with_capacity(entries.len());
+        // Single pass: merge duplicate terms as they stream by and evict an
+        // entry the moment its accumulated value is (or cancels to) zero.
+        let mut terms: Vec<TermId> = Vec::with_capacity(entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(entries.len());
         for (t, v) in entries {
-            if let Some(&last) = terms.last() {
-                if last == t {
-                    *values.last_mut().expect("values tracks terms") += v;
-                    continue;
+            if terms.last() == Some(&t) {
+                let last = values.last_mut().expect("values tracks terms");
+                *last += v;
+                if *last == 0.0 {
+                    terms.pop();
+                    values.pop();
                 }
-            }
-            terms.push(t);
-            values.push(v);
-        }
-        // Drop explicit zeros (including duplicates that cancelled out).
-        let mut kept_terms = Vec::with_capacity(terms.len());
-        let mut kept_values = Vec::with_capacity(values.len());
-        for (t, v) in terms.into_iter().zip(values) {
-            if v != 0.0 {
-                kept_terms.push(t);
-                kept_values.push(v);
+            } else if v != 0.0 {
+                terms.push(t);
+                values.push(v);
             }
         }
-        Ok(SparseVec {
-            dim,
-            terms: kept_terms,
-            values: kept_values,
-        })
+        Ok(SparseVec { dim, terms, values })
     }
 
     /// Builds a vector from a dense slice, storing only non-zero entries.
@@ -134,6 +126,21 @@ impl SparseVec {
         self.terms.iter().copied().zip(self.values.iter().copied())
     }
 
+    /// The stored term ids, in increasing order.
+    ///
+    /// Together with [`values`](Self::values) this exposes the raw sparse
+    /// layout so allocation-free kernels (the fused distance loops, the
+    /// [`CsrMatrix`](crate::CsrMatrix) batch kernels) can run directly over
+    /// the slices.
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// The stored values, parallel to [`terms`](Self::terms).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Expands to a dense `Vec<f64>` of length [`dim`](Self::dim).
     pub fn to_dense(&self) -> Vec<f64> {
         let mut dense = vec![0.0; self.dim];
@@ -169,7 +176,13 @@ impl SparseVec {
 
     /// Euclidean (L2) norm.
     pub fn norm_l2(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.norm_l2_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm `‖v‖²` (no sqrt — the K-means hot path
+    /// consumes this directly in `‖x‖² − 2x·c + ‖c‖²`).
+    pub fn norm_l2_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>()
     }
 
     /// L1 norm (sum of absolute values).
@@ -277,7 +290,7 @@ impl SparseVec {
         })
     }
 
-    fn check_dim(&self, other: &SparseVec) -> Result<(), IrError> {
+    pub(crate) fn check_dim(&self, other: &SparseVec) -> Result<(), IrError> {
         if self.dim != other.dim {
             Err(IrError::DimensionMismatch {
                 left: self.dim,
@@ -341,6 +354,23 @@ mod tests {
         let a = v(&[(1, 0.0), (2, 5.0), (2, -5.0), (3, 1.0)]);
         assert_eq!(a.nnz(), 1);
         assert_eq!(a.get(3), 1.0);
+    }
+
+    #[test]
+    fn from_pairs_single_pass_handles_cancel_then_readd() {
+        // A run of duplicates that cancels mid-stream must not shadow a
+        // later contribution to the same term.
+        let a = v(&[(2, 5.0), (2, -5.0), (2, 3.0), (7, 0.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(2), 3.0);
+    }
+
+    #[test]
+    fn terms_values_expose_sorted_storage() {
+        let a = v(&[(5, 1.0), (2, 2.0)]);
+        assert_eq!(a.terms(), &[2, 5]);
+        assert_eq!(a.values(), &[2.0, 1.0]);
+        assert_eq!(a.norm_l2_sq(), 5.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{Corpus, IrError, SparseVec, TermCounts};
+use crate::{Corpus, CsrMatrix, IrError, SparseVec, TermCounts};
 
 /// Term-frequency flavour used when weighting a document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -134,15 +134,19 @@ impl TfIdfModel {
         if total == 0 {
             return SparseVec::zeros(self.dim);
         }
-        let pairs = doc.iter().map(|(t, n)| {
-            let tf = match self.options.tf {
-                TfMode::Normalized => n as f64 / total as f64,
-                TfMode::Raw => n as f64,
-                TfMode::Sublinear => (1.0 + n as f64).ln(),
-            };
-            (t, tf * self.idf[t as usize])
-        });
+        let pairs = doc
+            .iter()
+            .map(|(t, n)| (t, self.weight(n, total) * self.idf[t as usize]));
         SparseVec::from_pairs(self.dim, pairs).expect("document terms are in range")
+    }
+
+    /// The configured tf scheme applied to one raw count.
+    fn weight(&self, n: u64, total: u64) -> f64 {
+        match self.options.tf {
+            TfMode::Normalized => n as f64 / total as f64,
+            TfMode::Raw => n as f64,
+            TfMode::Sublinear => (1.0 + n as f64).ln(),
+        }
     }
 
     /// Transforms every document of a corpus (usually the fitting corpus).
@@ -152,6 +156,47 @@ impl TfIdfModel {
     /// Panics if the corpus dimension differs from the model's.
     pub fn transform_corpus(&self, corpus: &Corpus) -> Vec<SparseVec> {
         corpus.iter().map(|d| self.transform(d)).collect()
+    }
+
+    /// Transforms every document of a corpus directly into a packed
+    /// [`CsrMatrix`] — no intermediate per-document [`SparseVec`]
+    /// allocations. Row `i` of the result equals
+    /// `transform(corpus.doc(i))`; per-row L2 norms come cached, ready for
+    /// the batch distance kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus dimension differs from the model's.
+    pub fn transform_corpus_csr(&self, corpus: &Corpus) -> CsrMatrix {
+        assert_eq!(
+            corpus.dim(),
+            self.dim,
+            "corpus dimension {} does not match model dimension {}",
+            corpus.dim(),
+            self.dim
+        );
+        let nnz_bound: usize = corpus.iter().map(TermCounts::distinct_terms).sum();
+        let mut indptr = Vec::with_capacity(corpus.len() + 1);
+        let mut indices = Vec::with_capacity(nnz_bound);
+        let mut values = Vec::with_capacity(nnz_bound);
+        indptr.push(0);
+        for doc in corpus.iter() {
+            let total = doc.total();
+            if total > 0 {
+                // TermCounts iterates in ascending term order with no
+                // duplicates, so the CSR row comes out sorted for free —
+                // the layout invariants hold by construction.
+                for (t, n) in doc.iter() {
+                    let w = self.weight(n, total) * self.idf[t as usize];
+                    if w != 0.0 {
+                        indices.push(t);
+                        values.push(w);
+                    }
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_parts_trusted(self.dim, indptr, indices, values)
     }
 
     /// Fits on `corpus` and immediately transforms all its documents.
@@ -327,6 +372,46 @@ mod tests {
         for v in &vs {
             assert_eq!(v.dim(), 4);
         }
+    }
+
+    #[test]
+    fn transform_corpus_csr_matches_per_doc_transform() {
+        let c = sample_corpus();
+        for (tf, idf) in [
+            (TfMode::Normalized, IdfMode::Standard),
+            (TfMode::Raw, IdfMode::Smooth),
+            (TfMode::Sublinear, IdfMode::Unit),
+        ] {
+            let m = TfIdfModel::fit_with(&c, TfIdfOptions { tf, idf }).unwrap();
+            let vectors = m.transform_corpus(&c);
+            let csr = m.transform_corpus_csr(&c);
+            assert_eq!(csr.len(), vectors.len());
+            assert_eq!(csr.dim(), m.dim());
+            for (i, v) in vectors.iter().enumerate() {
+                assert_eq!(&csr.row_to_sparse(i), v, "row {i} under {tf:?}/{idf:?}");
+                assert!((csr.norm(i) - v.norm_l2()).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_corpus_csr_handles_empty_documents() {
+        let mut c = Corpus::new(4);
+        c.push(TermCounts::from_pairs(4, [(1, 3)]).unwrap());
+        c.push(TermCounts::new(4)); // empty doc -> empty CSR row
+        c.push(TermCounts::from_pairs(4, [(2, 1)]).unwrap());
+        let m = TfIdfModel::fit(&c).unwrap();
+        let csr = m.transform_corpus_csr(&c);
+        assert_eq!(csr.len(), 3);
+        assert_eq!(csr.row(1).0.len(), 0);
+        assert_eq!(csr.norm(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model dimension")]
+    fn transform_corpus_csr_rejects_wrong_dim() {
+        let m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        m.transform_corpus_csr(&Corpus::new(5));
     }
 
     #[test]

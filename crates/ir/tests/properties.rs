@@ -1,8 +1,8 @@
 //! Property-based tests for the vector space model.
 
 use fmeter_ir::{
-    cosine_similarity, euclidean_distance, manhattan_distance, minkowski_distance, Corpus, Metric,
-    SparseVec, TermCounts, TfIdfModel,
+    cosine_similarity, euclidean_distance, euclidean_distance_sq, manhattan_distance,
+    minkowski_distance, Corpus, CsrMatrix, Metric, SparseVec, TermCounts, TfIdfModel,
 };
 use proptest::prelude::*;
 
@@ -11,6 +11,41 @@ const DIM: usize = 32;
 fn arb_sparse() -> impl Strategy<Value = SparseVec> {
     prop::collection::vec((0u32..DIM as u32, -100.0f64..100.0), 0..16)
         .prop_map(|pairs| SparseVec::from_pairs(DIM, pairs).expect("terms in range"))
+}
+
+/// Every metric the fused kernels implement, Minkowski at a few orders.
+const ALL_METRICS: [Metric; 6] = [
+    Metric::Euclidean,
+    Metric::Manhattan,
+    Metric::Minkowski(1.0),
+    Metric::Minkowski(1.5),
+    Metric::Minkowski(3.0),
+    Metric::Cosine,
+];
+
+/// The naive reference the fused kernels replaced: materialise the
+/// difference vector with `sub()` and take its norm (cosine from the
+/// textbook dot/norms formula).
+fn naive_distance(metric: Metric, a: &SparseVec, b: &SparseVec) -> f64 {
+    let diff = a.sub(b).expect("dims match");
+    match metric {
+        Metric::Euclidean => diff.norm_l2(),
+        Metric::Manhattan => diff.norm_l1(),
+        Metric::Minkowski(p) => diff.norm_lp(p).expect("valid order"),
+        Metric::Cosine => {
+            let denom = a.norm_l2() * b.norm_l2();
+            if denom == 0.0 {
+                1.0
+            } else {
+                1.0 - (a.dot(b).expect("dims match") / denom).clamp(-1.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Tolerance scaled by magnitude: 1e-12 relative, 1e-12 floor.
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() <= 1e-12 * (1.0 + x.abs().max(y.abs()))
 }
 
 fn arb_counts() -> impl Strategy<Value = TermCounts> {
@@ -145,6 +180,88 @@ proptest! {
         let nn = n.l2_normalized();
         for (x, y) in n.to_dense().iter().zip(nn.to_dense()) {
             prop_assert!((x - y).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_kernels_match_naive_reference(a in arb_sparse(), b in arb_sparse()) {
+        for metric in ALL_METRICS {
+            let reference = naive_distance(metric, &a, &b);
+            let fused = metric.distance(&a, &b).unwrap();
+            prop_assert!(close(fused, reference), "{metric:?}: {fused} vs {reference}");
+            let fused_sq = metric.distance_sq(&a, &b).unwrap();
+            prop_assert!(
+                close(fused_sq, reference * reference),
+                "{metric:?} sq: {fused_sq} vs {}", reference * reference
+            );
+            let via_slices = metric
+                .distance_slices(a.terms(), a.values(), b.terms(), b.values())
+                .unwrap();
+            prop_assert!(close(via_slices, reference));
+        }
+        prop_assert!(close(
+            euclidean_distance_sq(&a, &b).unwrap(),
+            naive_distance(Metric::Euclidean, &a, &b).powi(2)
+        ));
+    }
+
+    #[test]
+    fn fused_kernels_match_naive_on_zero_vectors(a in arb_sparse()) {
+        let z = SparseVec::zeros(DIM);
+        for metric in ALL_METRICS {
+            for (x, y) in [(&a, &z), (&z, &a), (&z, &z)] {
+                let reference = naive_distance(metric, x, y);
+                let fused = metric.distance(x, y).unwrap();
+                prop_assert!(close(fused, reference), "{metric:?}: {fused} vs {reference}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernels_match_naive_on_disjoint_supports(a in arb_sparse(), b in arb_sparse()) {
+        // Remap a onto even terms and b onto odd terms of a doubled space:
+        // the merge-join never sees a shared term.
+        let a2: SparseVec = SparseVec::from_pairs(
+            2 * DIM, a.iter().map(|(t, v)| (2 * t, v))).unwrap();
+        let b2: SparseVec = SparseVec::from_pairs(
+            2 * DIM, b.iter().map(|(t, v)| (2 * t + 1, v))).unwrap();
+        for metric in ALL_METRICS {
+            let reference = naive_distance(metric, &a2, &b2);
+            let fused = metric.distance(&a2, &b2).unwrap();
+            prop_assert!(close(fused, reference), "{metric:?}: {fused} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn csr_batch_kernel_matches_naive_reference(
+        rows in prop::collection::vec(arb_sparse(), 0..10),
+    ) {
+        let m = CsrMatrix::from_rows(&rows).unwrap();
+        prop_assert_eq!(m.len(), rows.len());
+        for metric in ALL_METRICS {
+            let cond = m.pairwise_condensed(metric).unwrap();
+            let n = rows.len();
+            prop_assert_eq!(cond.len(), n * n.saturating_sub(1) / 2);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let reference = naive_distance(metric, &rows[i], &rows[j]);
+                    let got = cond[m.condensed_index(i, j)];
+                    prop_assert!(
+                        close(got, reference),
+                        "{metric:?} ({i},{j}): {got} vs {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_round_trips_rows_and_norms(rows in prop::collection::vec(arb_sparse(), 1..10)) {
+        let m = CsrMatrix::from_rows(&rows).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(m.row_to_sparse(i), r.clone());
+            prop_assert!(close(m.norm(i), r.norm_l2()));
+            prop_assert!(close(m.sq_norm(i), r.norm_l2_sq()));
         }
     }
 

@@ -1,4 +1,4 @@
-use fmeter_ir::{Metric, SparseVec};
+use fmeter_ir::{CsrMatrix, Metric, SparseVec};
 use serde::{Deserialize, Serialize};
 
 use crate::MlError;
@@ -99,14 +99,22 @@ impl Agglomerative {
         if n == 0 {
             return Err(MlError::EmptyInput);
         }
+        // Pack the corpus into one CSR buffer and batch-compute the
+        // condensed distance matrix with the parallel pairwise kernel
+        // (fans out over std::thread::scope for large inputs), then mirror
+        // it into a flat n x n matrix for the merge loop below.
+        let csr = CsrMatrix::from_rows(points)?;
+        let condensed = csr.pairwise_condensed(self.metric)?;
         // Pairwise distance matrix between *active* nodes, indexed by slot.
         // Slot i < n is point i; merged clusters reuse the lower slot.
-        let mut dist = vec![vec![0.0f64; n]; n];
+        let mut dist = vec![0.0f64; n * n];
+        let mut idx = 0;
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = self.metric.distance(&points[i], &points[j])?;
-                dist[i][j] = d;
-                dist[j][i] = d;
+                let d = condensed[idx];
+                idx += 1;
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
             }
         }
         let mut active: Vec<bool> = vec![true; n];
@@ -125,7 +133,7 @@ impl Agglomerative {
                     if !active[j] {
                         continue;
                     }
-                    let d = dist[i][j];
+                    let d = dist[i * n + j];
                     let better = match best {
                         None => true,
                         Some((_, _, bd)) => d < bd,
@@ -149,8 +157,8 @@ impl Agglomerative {
                 if !active[k] || k == i || k == j {
                     continue;
                 }
-                let dik = dist[i][k];
-                let djk = dist[j][k];
+                let dik = dist[i * n + k];
+                let djk = dist[j * n + k];
                 let updated = match self.linkage {
                     Linkage::Single => dik.min(djk),
                     Linkage::Complete => dik.max(djk),
@@ -159,8 +167,8 @@ impl Agglomerative {
                         (si * dik + sj * djk) / (si + sj)
                     }
                 };
-                dist[i][k] = updated;
-                dist[k][i] = updated;
+                dist[i * n + k] = updated;
+                dist[k * n + i] = updated;
             }
             active[j] = false;
             node_of_slot[i] = new_node;

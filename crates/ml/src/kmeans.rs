@@ -1,10 +1,76 @@
-use fmeter_ir::{Metric, SparseVec};
+use fmeter_ir::{dot_sparse_dense, Metric, SparseVec, TermId};
 use rand::rngs::SmallRng;
 use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::MlError;
+
+/// A centroid kept as a reusable dense buffer plus a sparse view.
+///
+/// The dense form serves the O(nnz) inner products of the assignment step
+/// (`x · c` without a merge-join); the sparse view serves the metrics that
+/// genuinely need a merge over both supports (L1/Lp). Both are rewritten
+/// in place after every update step — no per-iteration allocation once the
+/// buffers reach their high-water capacity.
+#[derive(Debug, Clone)]
+struct CentroidBuf {
+    dense: Vec<f64>,
+    terms: Vec<TermId>,
+    values: Vec<f64>,
+    sq_norm: f64,
+    norm: f64,
+}
+
+impl CentroidBuf {
+    fn new(dim: usize) -> Self {
+        CentroidBuf {
+            dense: vec![0.0; dim],
+            terms: Vec::new(),
+            values: Vec::new(),
+            sq_norm: 0.0,
+            norm: 0.0,
+        }
+    }
+
+    /// Overwrites the centroid with a data point (initialisation).
+    fn set_from_point(&mut self, p: &SparseVec) {
+        // Zero only the previous support, then scatter the new one.
+        for &t in &self.terms {
+            self.dense[t as usize] = 0.0;
+        }
+        self.terms.clear();
+        self.values.clear();
+        for (t, v) in p.iter() {
+            self.dense[t as usize] = v;
+            self.terms.push(t);
+            self.values.push(v);
+        }
+        self.sq_norm = p.norm_l2_sq();
+        self.norm = self.sq_norm.sqrt();
+    }
+
+    /// Overwrites the centroid with an already-divided mean vector.
+    fn set_from_mean(&mut self, mean: &[f64]) {
+        self.dense.copy_from_slice(mean);
+        self.terms.clear();
+        self.values.clear();
+        let mut sq = 0.0;
+        for (t, &v) in self.dense.iter().enumerate() {
+            if v != 0.0 {
+                self.terms.push(t as TermId);
+                self.values.push(v);
+                sq += v * v;
+            }
+        }
+        self.sq_norm = sq;
+        self.norm = sq.sqrt();
+    }
+
+    fn to_sparse(&self) -> SparseVec {
+        SparseVec::from_dense(&self.dense)
+    }
+}
 
 /// Centroid initialisation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -146,10 +212,16 @@ impl KMeans {
                 }));
             }
         }
+        // Reject invalid metric parameters up front so every inner-loop
+        // kernel below is infallible.
+        self.metric.validate().map_err(MlError::Ir)?;
+        // Point norms are loop invariants of the whole fit: compute once.
+        let sq_norms: Vec<f64> = points.iter().map(SparseVec::norm_l2_sq).collect();
+        let norms: Vec<f64> = sq_norms.iter().map(|s| s.sqrt()).collect();
         let mut best: Option<KMeansResult> = None;
         for restart in 0..self.restarts {
             let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(restart as u64));
-            let result = self.run_once(points, &mut rng)?;
+            let result = self.run_once(points, &sq_norms, &norms, &mut rng);
             let better = match &best {
                 None => true,
                 Some(b) => result.inertia < b.inertia,
@@ -161,27 +233,46 @@ impl KMeans {
         Ok(best.expect("at least one restart"))
     }
 
-    fn run_once(&self, points: &[SparseVec], rng: &mut SmallRng) -> Result<KMeansResult, MlError> {
-        let mut centroids = match self.init {
+    fn run_once(
+        &self,
+        points: &[SparseVec],
+        sq_norms: &[f64],
+        norms: &[f64],
+        rng: &mut SmallRng,
+    ) -> KMeansResult {
+        let dim = points[0].dim();
+        let seeds = match self.init {
             KMeansInit::Random => self.init_random(points, rng),
-            KMeansInit::KMeansPlusPlus => self.init_plusplus(points, rng)?,
+            KMeansInit::KMeansPlusPlus => self.init_plusplus(points, rng),
         };
+        let mut centroids: Vec<CentroidBuf> = Vec::with_capacity(self.k);
+        for &s in &seeds {
+            let mut c = CentroidBuf::new(dim);
+            c.set_from_point(&points[s]);
+            centroids.push(c);
+        }
         let mut assignments = vec![0usize; points.len()];
+        // Reusable update-step accumulators — allocated once per run, not
+        // once per iteration.
+        let mut sums = vec![vec![0.0f64; dim]; self.k];
+        let mut counts = vec![0usize; self.k];
         let mut previous_inertia = f64::INFINITY;
         let mut iterations = 0;
         let mut converged = false;
         for iter in 0..self.max_iters {
             iterations = iter + 1;
-            // Assignment step.
+            // Assignment step: O(nnz) per point-centroid pair, no temporaries.
             let mut inertia = 0.0;
             for (i, p) in points.iter().enumerate() {
-                let (cluster, dist) = self.nearest(&centroids, p)?;
+                let (cluster, d_sq) = self.nearest(&centroids, p, sq_norms[i], norms[i]);
                 assignments[i] = cluster;
-                inertia += dist * dist;
+                inertia += d_sq;
             }
             // Update step: centroid = mean of members.
-            let mut sums = vec![vec![0.0f64; points[0].dim()]; self.k];
-            let mut counts = vec![0usize; self.k];
+            for s in sums.iter_mut() {
+                s.fill(0.0);
+            }
+            counts.fill(0);
             for (p, &a) in points.iter().zip(&assignments) {
                 counts[a] += 1;
                 for (t, v) in p.iter() {
@@ -191,21 +282,26 @@ impl KMeans {
             // Empty clusters adopt the point farthest from its centroid.
             for c in 0..self.k {
                 if counts[c] == 0 {
-                    let (far_idx, _) = points
-                        .iter()
-                        .enumerate()
-                        .map(|(i, p)| {
-                            let d = self
-                                .metric
-                                .distance(p, &centroids[assignments[i]])
-                                .unwrap_or(0.0);
-                            (i, d)
+                    let far_idx = (0..points.len())
+                        .map(|i| {
+                            let a = assignments[i];
+                            let d_sq = self.point_centroid_dist_sq(
+                                &points[i],
+                                sq_norms[i],
+                                norms[i],
+                                &centroids[a],
+                            );
+                            (i, d_sq)
                         })
                         .max_by(|a, b| a.1.total_cmp(&b.1))
-                        .expect("points is non-empty");
+                        .expect("points is non-empty")
+                        .0;
                     assignments[far_idx] = c;
                     counts[c] = 1;
-                    sums[c] = points[far_idx].to_dense();
+                    sums[c].fill(0.0);
+                    for (t, v) in points[far_idx].iter() {
+                        sums[c][t as usize] = v;
+                    }
                     // Note: the donor cluster keeps its stale sum this round;
                     // the next iteration's assignment step repairs it.
                 }
@@ -215,7 +311,7 @@ impl KMeans {
                 for v in sum.iter_mut() {
                     *v /= n;
                 }
-                centroids[c] = SparseVec::from_dense(sum);
+                centroids[c].set_from_mean(sum);
             }
             if (previous_inertia - inertia).abs() <= self.tol {
                 converged = true;
@@ -226,55 +322,93 @@ impl KMeans {
         // Final assignment against the final centroids.
         let mut inertia = 0.0;
         for (i, p) in points.iter().enumerate() {
-            let (cluster, dist) = self.nearest(&centroids, p)?;
+            let (cluster, d_sq) = self.nearest(&centroids, p, sq_norms[i], norms[i]);
             assignments[i] = cluster;
-            inertia += dist * dist;
+            inertia += d_sq;
         }
-        Ok(KMeansResult {
-            centroids,
+        KMeansResult {
+            centroids: centroids.iter().map(CentroidBuf::to_sparse).collect(),
             assignments,
             inertia,
             iterations,
             converged,
-        })
+        }
     }
 
-    fn nearest(&self, centroids: &[SparseVec], p: &SparseVec) -> Result<(usize, f64), MlError> {
+    /// Squared distance from a point to a centroid buffer under the
+    /// configured metric, with zero heap allocation.
+    ///
+    /// Euclidean expands to `‖x‖² − 2·x·c + ‖c‖²` against the dense
+    /// centroid (O(nnz(x)) instead of a merge over both supports); cosine
+    /// reuses the cached norms; L1/Lp merge-join the point against the
+    /// centroid's sparse view.
+    fn point_centroid_dist_sq(
+        &self,
+        p: &SparseVec,
+        p_sq_norm: f64,
+        p_norm: f64,
+        c: &CentroidBuf,
+    ) -> f64 {
+        match self.metric {
+            Metric::Euclidean => {
+                let dot = dot_sparse_dense(p.terms(), p.values(), &c.dense);
+                // Cancellation can leave a tiny negative; clamp to keep
+                // sqrt-free inertia sums non-negative.
+                (p_sq_norm - 2.0 * dot + c.sq_norm).max(0.0)
+            }
+            Metric::Cosine => {
+                let denom = p_norm * c.norm;
+                let sim = if denom == 0.0 {
+                    0.0
+                } else {
+                    (dot_sparse_dense(p.terms(), p.values(), &c.dense) / denom).clamp(-1.0, 1.0)
+                };
+                let d = 1.0 - sim;
+                d * d
+            }
+            metric => metric
+                .distance_sq_slices(p.terms(), p.values(), &c.terms, &c.values)
+                .expect("metric parameters validated in run()"),
+        }
+    }
+
+    fn nearest(
+        &self,
+        centroids: &[CentroidBuf],
+        p: &SparseVec,
+        p_sq_norm: f64,
+        p_norm: f64,
+    ) -> (usize, f64) {
         let mut best = (0usize, f64::INFINITY);
         for (c, centroid) in centroids.iter().enumerate() {
-            let d = self.metric.distance(p, centroid)?;
-            if d < best.1 {
-                best = (c, d);
+            let d_sq = self.point_centroid_dist_sq(p, p_sq_norm, p_norm, centroid);
+            if d_sq < best.1 {
+                best = (c, d_sq);
             }
         }
-        Ok(best)
+        best
     }
 
-    fn init_random(&self, points: &[SparseVec], rng: &mut SmallRng) -> Vec<SparseVec> {
-        sample(rng, points.len(), self.k)
-            .iter()
-            .map(|i| points[i].clone())
-            .collect()
+    /// Uniformly random distinct seed points.
+    fn init_random(&self, points: &[SparseVec], rng: &mut SmallRng) -> Vec<usize> {
+        sample(rng, points.len(), self.k).iter().collect()
     }
 
-    fn init_plusplus(
-        &self,
-        points: &[SparseVec],
-        rng: &mut SmallRng,
-    ) -> Result<Vec<SparseVec>, MlError> {
-        let mut centroids = Vec::with_capacity(self.k);
-        centroids.push(points[rng.random_range(0..points.len())].clone());
-        let mut dist2: Vec<f64> = points
-            .iter()
-            .map(|p| {
-                let d = self
-                    .metric
-                    .distance(p, &centroids[0])
-                    .unwrap_or(f64::INFINITY);
-                d * d
-            })
-            .collect();
-        while centroids.len() < self.k {
+    /// k-means++ D² seeding over point indices; distances use the fused
+    /// squared-distance kernel directly (no sqrt/square round trip and no
+    /// difference vectors).
+    fn init_plusplus(&self, points: &[SparseVec], rng: &mut SmallRng) -> Vec<usize> {
+        let metric = self.metric;
+        let d_sq = |a: &SparseVec, b: &SparseVec| -> f64 {
+            metric
+                .distance_sq_slices(a.terms(), a.values(), b.terms(), b.values())
+                .expect("metric parameters validated in run()")
+        };
+        let mut seeds = Vec::with_capacity(self.k);
+        seeds.push(rng.random_range(0..points.len()));
+        let first = &points[seeds[0]];
+        let mut dist2: Vec<f64> = points.iter().map(|p| d_sq(p, first)).collect();
+        while seeds.len() < self.k {
             let total: f64 = dist2.iter().sum();
             let next = if total <= 0.0 {
                 // All remaining points coincide with a centroid; pick any.
@@ -291,14 +425,16 @@ impl KMeans {
                 }
                 chosen
             };
-            let centroid = points[next].clone();
+            let centroid = &points[next];
             for (i, p) in points.iter().enumerate() {
-                let d = self.metric.distance(p, &centroid)?;
-                dist2[i] = dist2[i].min(d * d);
+                let d = d_sq(p, centroid);
+                if d < dist2[i] {
+                    dist2[i] = d;
+                }
             }
-            centroids.push(centroid);
+            seeds.push(next);
         }
-        Ok(centroids)
+        seeds
     }
 }
 

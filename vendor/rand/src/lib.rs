@@ -380,7 +380,10 @@ mod tests {
             let b: i8 = rng.random_range(i8::MIN..=i8::MAX);
             let _ = b;
         }
-        assert!(saw_negative && saw_positive, "full-domain draw is not degenerate");
+        assert!(
+            saw_negative && saw_positive,
+            "full-domain draw is not degenerate"
+        );
     }
 
     #[test]
