@@ -39,6 +39,7 @@ fn dataset(n_per_class: usize, seed: u64) -> (Vec<SparseVec>, Vec<Label>) {
 fn bench_kmeans(c: &mut Criterion) {
     let (xs, _) = dataset(150, 5);
     let large = fmeter_bench::synthetic_points(1000, 5000, 128, 9);
+    let ten_k = fmeter_bench::synthetic_points(10_000, 2000, 64, 12);
     let mut group = c.benchmark_group("kmeans");
     group.sample_size(10);
     group.bench_function("k3_300pts_3815d", |b| {
@@ -47,12 +48,28 @@ fn bench_kmeans(c: &mut Criterion) {
     group.bench_function("fit_k4_1000pts_5000d", |b| {
         b.iter(|| KMeans::new(4).seed(1).run(&large).unwrap())
     });
+    // Thread-parallel assignment (worker pool) vs the forced-sequential
+    // path over the same 10k-point corpus.
+    group.bench_function("sequential_10k", |b| {
+        b.iter(|| {
+            KMeans::new(8)
+                .seed(1)
+                .max_iters(20)
+                .threads(1)
+                .run(&ten_k)
+                .unwrap()
+        })
+    });
+    group.bench_function("parallel_10k", |b| {
+        b.iter(|| KMeans::new(8).seed(1).max_iters(20).run(&ten_k).unwrap())
+    });
     group.finish();
 }
 
 fn bench_hierarchical(c: &mut Criterion) {
     let (xs, _) = dataset(60, 6);
     let large = fmeter_bench::synthetic_points(1000, 5000, 128, 10);
+    let ten_k = fmeter_bench::synthetic_points(10_000, 2000, 32, 11);
     let mut group = c.benchmark_group("hierarchical");
     group.sample_size(10);
     group.bench_function("single_linkage_120pts", |b| {
@@ -63,6 +80,18 @@ fn bench_hierarchical(c: &mut Criterion) {
     });
     group.bench_function("fit_single_1000pts_5000d", |b| {
         b.iter(|| Agglomerative::new(Linkage::Single).fit(&large).unwrap())
+    });
+    // The O(n³) reference the NN-chain replaced, at the same 1k scale.
+    group.bench_function("brute_force_1000pts_5000d", |b| {
+        b.iter(|| {
+            Agglomerative::new(Linkage::Single)
+                .fit_brute_force(&large)
+                .unwrap()
+        })
+    });
+    // NN-chain at fleet scale: O(n²) over the condensed matrix.
+    group.bench_function("nn_chain_10k", |b| {
+        b.iter(|| Agglomerative::new(Linkage::Single).fit(&ten_k).unwrap())
     });
     group.finish();
 }

@@ -95,6 +95,23 @@ fn bench_index(c: &mut Criterion) {
     group.bench_function("top10_of_1000_5000d", |b| {
         b.iter(|| index.search_with(&query, 10, &mut scratch).unwrap())
     });
+    // WAND early-exit vs exhaustive scoring over a 10k-signature corpus
+    // with fleet-realistic idf skew (50 behaviour classes).
+    let class_corpus = fmeter_bench::synthetic_class_corpus(10_000, 50, DIM, 13);
+    let (model, vectors) = TfIdfModel::fit_transform(&class_corpus).expect("non-empty corpus");
+    let mut index = InvertedIndex::new(DIM);
+    for v in &vectors {
+        index.insert(v.clone()).expect("dimensions match");
+    }
+    index.optimize();
+    let query: SparseVec = model.transform(class_corpus.doc(5000).expect("doc 5000 exists"));
+    let mut scratch = SearchScratch::new();
+    group.bench_function("top10_of_10k_exhaustive", |b| {
+        b.iter(|| index.search_exhaustive(&query, 10, &mut scratch).unwrap())
+    });
+    group.bench_function("top10_of_10k_wand", |b| {
+        b.iter(|| index.search_wand(&query, 10, &mut scratch).unwrap())
+    });
     group.finish();
 }
 

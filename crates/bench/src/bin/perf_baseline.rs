@@ -6,18 +6,28 @@
 //! successive PRs accumulate a perf trajectory that scripts can diff.
 //!
 //! Usage:
-//!   perf_baseline [--quick] [--out PATH]
+//!   perf_baseline [--quick] [--out PATH] [--compare PATH]
 //!
 //! `--quick` shrinks the corpora and the per-case time budget for CI; the
-//! full mode matches the criterion benches' scales (300–1000 points,
-//! 3815–5000 dims).
+//! full mode matches the criterion benches' scales (300–10000 points,
+//! 2000–5000 dims).
+//!
+//! `--compare PATH` diffs the fresh run against a previously committed
+//! baseline (matching cases by name *and* params, so quick-mode runs
+//! only gate against the size-independent cases) and exits non-zero when
+//! any shared case regressed by more than [`REGRESSION_FACTOR`] — the CI
+//! perf-trajectory gate.
 
 use std::time::Instant;
 
-use fmeter_bench::{synthetic_corpus, synthetic_points};
+use fmeter_bench::{synthetic_class_corpus, synthetic_corpus, synthetic_points};
 use fmeter_ir::{CsrMatrix, InvertedIndex, Metric, SearchScratch, TfIdfModel};
 use fmeter_ml::{Agglomerative, KMeans, Linkage};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+/// A shared case fails the trajectory gate when it runs more than this
+/// many times slower than the committed baseline.
+const REGRESSION_FACTOR: f64 = 2.0;
 
 #[derive(Serialize)]
 struct Report {
@@ -36,10 +46,12 @@ struct Reference {
     ns_per_iter: f64,
 }
 
-/// Criterion numbers recorded on the CI reference container around the
+/// Numbers recorded on the CI reference container around the
 /// zero-allocation hot-path refactor (fused kernels + CSR + dense
-/// centroids + flat postings).
-const REFERENCES: [Reference; 5] = [
+/// centroids + flat postings) and the corpus-scale refactor (NN-chain
+/// agglomeration, scatter/gather pairwise kernel, worker-pool K-means,
+/// WAND/MaxScore early-exit top-k).
+const REFERENCES: [Reference; 11] = [
     Reference {
         name: "kmeans/k3_300pts_3815d",
         note: "pre-refactor (sub()-allocating kernels)",
@@ -65,6 +77,36 @@ const REFERENCES: [Reference; 5] = [
         note: "post-refactor, SearchScratch reuse (2.3x vs pre)",
         ns_per_iter: 121_629.0,
     },
+    Reference {
+        name: "hierarchical/fit_1k",
+        note: "pre corpus-scale refactor (O(n^3) closest-pair scan, merge-join pairwise)",
+        ns_per_iter: 794_505_159.0,
+    },
+    Reference {
+        name: "hierarchical/fit_1k",
+        note: "post corpus-scale refactor (NN-chain + scatter/gather pairwise, 7.8x)",
+        ns_per_iter: 101_768_582.0,
+    },
+    Reference {
+        name: "search/top10_of_10k_probe40",
+        note: "pre (exhaustive accumulation)",
+        ns_per_iter: 340_288.0,
+    },
+    Reference {
+        name: "search/top10_of_10k_probe40",
+        note: "post (WAND/MaxScore early-exit, 1.75x)",
+        ns_per_iter: 194_756.0,
+    },
+    Reference {
+        name: "kmeans/assign_10k",
+        note: "sequential assignment (threads=1)",
+        ns_per_iter: 189_770_254.0,
+    },
+    Reference {
+        name: "kmeans/assign_10k",
+        note: "worker-pool parallel assignment (2-core throttled reference box)",
+        ns_per_iter: 172_309_444.0,
+    },
 ];
 
 #[derive(Serialize)]
@@ -73,6 +115,57 @@ struct Case {
     params: String,
     iters: u64,
     ns_per_iter: f64,
+}
+
+/// A committed baseline, read back for the trajectory gate. Only the
+/// fields the comparison needs; the rest of the document is ignored.
+#[derive(Deserialize)]
+struct BaselineDoc {
+    cases: Vec<BaselineCase>,
+}
+
+#[derive(Deserialize)]
+struct BaselineCase {
+    name: String,
+    params: String,
+    ns_per_iter: f64,
+}
+
+/// Diffs `fresh` against the committed `baseline`, printing one line per
+/// shared `(name, params)` case. Returns the names of cases that
+/// regressed beyond [`REGRESSION_FACTOR`].
+fn diff_against_baseline(fresh: &[Case], baseline: &BaselineDoc) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let mut shared = 0;
+    println!("\n-- trajectory vs committed baseline --");
+    for case in fresh {
+        let Some(old) = baseline
+            .cases
+            .iter()
+            .find(|b| b.name == case.name && b.params == case.params)
+        else {
+            continue;
+        };
+        shared += 1;
+        let ratio = case.ns_per_iter / old.ns_per_iter;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            regressions.push(case.name.clone());
+            "REGRESSED"
+        } else if ratio < 1.0 / REGRESSION_FACTOR {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<44} {:>12.1} -> {:>12.1} ns/iter  ({ratio:.2}x) {verdict}",
+            case.name, old.ns_per_iter, case.ns_per_iter
+        );
+    }
+    println!(
+        "{shared} shared case(s) compared, {} regression(s)",
+        regressions.len()
+    );
+    regressions
 }
 
 /// Times `f` until the budget is spent (at least `min_iters` runs after a
@@ -99,6 +192,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_ir.json".to_string());
+    let compare_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let (budget_ms, kmeans_n, hier_n, search_n, dim) = if quick {
         (120, 200, 80, 300, 2000)
@@ -170,13 +268,87 @@ fn main() {
         ns,
     );
 
-    // Hierarchical fit (parallel CSR matrix + Lance-Williams merges).
+    // Hierarchical fit (parallel CSR matrix + NN-chain merges).
     let (iters, ns) = time_case(budget_ms, 2, || {
         Agglomerative::new(Linkage::Single).fit(&pts).unwrap()
     });
     push(
         "hierarchical/fit_single_large",
         format!("n={hier_n} dim={dim}"),
+        iters,
+        ns,
+    );
+
+    // NN-chain vs the retained O(n³) closest-pair reference at the
+    // 1k-point scale of the acceptance criterion.
+    let pair_n = if quick { 300 } else { 1000 };
+    let pair_pts = synthetic_points(pair_n, dim, 128, 10);
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        Agglomerative::new(Linkage::Single).fit(&pair_pts).unwrap()
+    });
+    push(
+        "hierarchical/nn_chain_1k",
+        format!("n={pair_n} dim={dim}"),
+        iters,
+        ns,
+    );
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        Agglomerative::new(Linkage::Single)
+            .fit_brute_force(&pair_pts)
+            .unwrap()
+    });
+    push(
+        "hierarchical/brute_force_1k",
+        format!("n={pair_n} dim={dim}"),
+        iters,
+        ns,
+    );
+
+    // 10k-signature dendrogram: NN-chain works in place on the condensed
+    // matrix (~400 MB at 10k points; the old n x n mirror would have
+    // doubled that before even starting the O(n³) scan).
+    let big_hier_n = if quick { 1500 } else { 10_000 };
+    let big_hier_pts = synthetic_points(big_hier_n, 2000, 32, 11);
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        Agglomerative::new(Linkage::Single)
+            .fit(&big_hier_pts)
+            .unwrap()
+    });
+    push(
+        "hierarchical/nn_chain_10k",
+        format!("n={big_hier_n} dim=2000 nnz=32"),
+        iters,
+        ns,
+    );
+
+    // Thread-parallel K-means assignment at corpus scale: the explicit
+    // threads(1) run is the scaling denominator.
+    let big_km_n = if quick { 2000 } else { 10_000 };
+    let big_km_pts = synthetic_points(big_km_n, 2000, 64, 12);
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        KMeans::new(8)
+            .seed(1)
+            .max_iters(20)
+            .threads(1)
+            .run(&big_km_pts)
+            .unwrap()
+    });
+    push(
+        "kmeans/sequential_10k",
+        format!("k=8 n={big_km_n} dim=2000"),
+        iters,
+        ns,
+    );
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        KMeans::new(8)
+            .seed(1)
+            .max_iters(20)
+            .run(&big_km_pts)
+            .unwrap()
+    });
+    push(
+        "kmeans/parallel_10k",
+        format!("k=8 n={big_km_n} dim=2000"),
         iters,
         ns,
     );
@@ -208,6 +380,58 @@ fn main() {
         ns,
     );
 
+    // WAND early-exit vs exhaustive top-k over a 10k-signature database
+    // with fleet-realistic idf skew (50 behaviour classes, each hot on
+    // its own kernel-function band + a shared daemon-noise band). The
+    // query is a syndrome probe — the interval's 40 hottest functions,
+    // the shape an operator (or a bandwidth-limited agent) sends — which
+    // is where per-term bounds actually prune: a handful of ubiquitous
+    // daemon terms own most of the postings, and WAND leaps over them
+    // once the top-k bar passes their summed impact.
+    let big_docs = if quick { 2000 } else { 10_000 };
+    let classes = 50;
+    let class_corpus = synthetic_class_corpus(big_docs, classes, 3815, 13);
+    let (class_model, class_vectors) = TfIdfModel::fit_transform(&class_corpus).unwrap();
+    let mut class_index = InvertedIndex::new(3815);
+    for v in &class_vectors {
+        class_index.insert(v.clone()).unwrap();
+    }
+    class_index.optimize();
+    let probe_doc = class_corpus.doc(big_docs / 2).unwrap();
+    let mut hottest: Vec<(u32, u64)> = probe_doc.iter().collect();
+    hottest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hottest.truncate(40);
+    let hot_terms: std::collections::HashSet<u32> = hottest.iter().map(|&(t, _)| t).collect();
+    let full_query = class_model.transform(probe_doc);
+    let class_query = fmeter_ir::SparseVec::from_pairs(
+        full_query.dim(),
+        full_query.iter().filter(|(t, _)| hot_terms.contains(t)),
+    )
+    .unwrap();
+    let mut class_scratch = SearchScratch::new();
+    let (iters, ns) = time_case(budget_ms, 20, || {
+        class_index
+            .search_exhaustive(&class_query, 10, &mut class_scratch)
+            .unwrap()
+    });
+    push(
+        "search/top10_of_10k_exhaustive",
+        format!("n={big_docs} dim=3815 classes={classes} probe=40"),
+        iters,
+        ns,
+    );
+    let (iters, ns) = time_case(budget_ms, 20, || {
+        class_index
+            .search_wand(&class_query, 10, &mut class_scratch)
+            .unwrap()
+    });
+    push(
+        "search/top10_of_10k_wand",
+        format!("n={big_docs} dim=3815 classes={classes} probe=40"),
+        iters,
+        ns,
+    );
+
     // tf-idf corpus transform straight into CSR.
     let (iters, ns) = time_case(budget_ms, 2, || model.transform_corpus_csr(&corpus));
     push(
@@ -226,4 +450,21 @@ fn main() {
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write baseline JSON");
     println!("wrote {out_path}");
+
+    if let Some(path) = compare_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read --compare baseline {path}: {e}"));
+        let baseline: BaselineDoc = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("parse --compare baseline {path}: {e}"));
+        let regressions = diff_against_baseline(&report.cases, &baseline);
+        if !regressions.is_empty() {
+            eprintln!(
+                "perf gate FAILED: {} case(s) regressed more than {REGRESSION_FACTOR}x: {}",
+                regressions.len(),
+                regressions.join(", ")
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate passed");
+    }
 }

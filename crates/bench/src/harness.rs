@@ -49,6 +49,42 @@ pub fn synthetic_corpus(n: usize, dim: usize, active: usize, seed: u64) -> Corpu
     corpus
 }
 
+/// `n` count documents spread over `classes` behaviour classes in a
+/// `dim`-term space: each class hammers its own band of hot functions
+/// (the paper's premise — distinct workloads concentrate on distinct
+/// kernel paths) on top of a small shared "daemon noise" band that most
+/// documents touch. After tf-idf the corpus has the skewed impact
+/// distribution a fleet-scale signature database shows: class terms are
+/// rare and heavy (high idf), shared terms ubiquitous and light — the
+/// shape WAND's per-term bounds exploit.
+pub fn synthetic_class_corpus(n: usize, classes: usize, dim: usize, seed: u64) -> Corpus {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let shared = 40.min(dim / 8).max(1);
+    // More classes than class-band slots would push `base` past `dim`;
+    // fold the surplus classes together instead.
+    let classes = classes.clamp(1, (dim - shared).max(1));
+    let band = ((dim - shared) / classes).max(1);
+    let mut corpus = Corpus::new(dim);
+    for i in 0..n {
+        let class = i % classes;
+        let base = shared + class * band;
+        let mut counts = vec![0u64; dim];
+        // Ambient daemon activity: present in ~60% of intervals, so its
+        // idf is small but non-zero and its postings span the corpus.
+        for c in counts.iter_mut().take(shared) {
+            if rng.random::<f32>() < 0.6 {
+                *c = 500 + (rng.random::<f64>() * 1000.0) as u64;
+            }
+        }
+        let hot = (band / 2).max(1);
+        for k in 0..hot {
+            counts[base + (k * 7) % band] = 1 + (rng.random::<f64>() * 10_000.0) as u64;
+        }
+        corpus.push(TermCounts::from_dense(&counts));
+    }
+    corpus
+}
+
 /// The canonical kernel image seed (the "released 2.6.28 build").
 // Grouped to read as kernel version 2.6.28, not a byte count.
 #[allow(clippy::unusual_byte_groupings)]

@@ -1,7 +1,9 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 
-use fmeter_ir::{Corpus, InvertedIndex, SparseVec, TermCounts, TfIdfModel, TfIdfOptions};
+use fmeter_ir::{
+    Corpus, InvertedIndex, SearchScratch, SparseVec, TermCounts, TfIdfModel, TfIdfOptions,
+};
 use fmeter_ml::{KMeans, Linkage};
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +122,12 @@ impl SignatureDb {
 
     /// Finds the `k` most similar stored signatures to a fresh interval.
     ///
+    /// Goes through [`InvertedIndex::search`], which at database scale
+    /// dispatches to the WAND early-exit top-k (per-term impact bounds
+    /// skip every signature that cannot reach the current k-th best
+    /// similarity). For a steady query stream, prefer
+    /// [`search_with`](Self::search_with) with a long-lived scratch.
+    ///
     /// # Errors
     ///
     /// Propagates dimension mismatches.
@@ -128,8 +136,24 @@ impl SignatureDb {
         counts: &TermCounts,
         k: usize,
     ) -> Result<Vec<(&Signature, f64)>, FmeterError> {
+        self.search_with(counts, k, &mut SearchScratch::new())
+    }
+
+    /// Like [`search`](Self::search) but reuses `scratch` across calls,
+    /// so a daemon querying the database continuously performs no
+    /// per-query candidate allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn search_with(
+        &self,
+        counts: &TermCounts,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<(&Signature, f64)>, FmeterError> {
         let query = self.transform(counts);
-        let hits = self.index.search(&query, k)?;
+        let hits = self.index.search_with(&query, k, scratch)?;
         Ok(hits
             .into_iter()
             .map(|h| (&self.signatures[h.doc], h.score))
@@ -309,6 +333,25 @@ mod tests {
         for (sig, score) in &hits {
             assert_eq!(sig.label.as_deref(), Some("a"));
             assert!(*score > 0.5);
+        }
+    }
+
+    #[test]
+    fn search_with_scratch_reuse_matches_search() {
+        let db = SignatureDb::build(&sample_raw()).unwrap();
+        let mut scratch = SearchScratch::new();
+        for dense in [
+            [45u64, 38, 28, 22, 0, 0, 0, 0],
+            [0, 0, 0, 0, 55, 48, 41, 33],
+        ] {
+            let query = TermCounts::from_dense(&dense);
+            let fresh = db.search(&query, 4).unwrap();
+            let reused = db.search_with(&query, 4, &mut scratch).unwrap();
+            assert_eq!(fresh.len(), reused.len());
+            for ((s1, d1), (s2, d2)) in fresh.iter().zip(&reused) {
+                assert_eq!(s1.label, s2.label);
+                assert_eq!(d1, d2);
+            }
         }
     }
 

@@ -69,7 +69,48 @@ pub struct SearchScratch {
     stamps: Vec<u64>,
     scores: Vec<f64>,
     touched: Vec<DocId>,
+    /// WAND per-query-term cursors, reused across queries.
+    cursors: Vec<WandCursor>,
+    /// Cursor indices that contributed to the current candidate.
+    touched_cursors: Vec<usize>,
+    /// Per-cursor contribution to the current candidate's score.
+    contrib: Vec<f64>,
+    /// `prefix_bounds[i]` = sum of the `i + 1` smallest cursor bounds.
+    prefix_bounds: Vec<f64>,
 }
+
+/// One query term's read position over its posting list during a WAND
+/// search. Plain data (term id + position), so the scratch can own it
+/// without borrowing the index.
+#[derive(Debug, Clone, Copy, Default)]
+struct WandCursor {
+    term: TermId,
+    /// Normalised query weight for this term.
+    qw: f64,
+    /// Upper bound on this term's score contribution for any document:
+    /// `|qw| * max_impact[term]`.
+    bound: f64,
+    /// Position across the concatenated flat + tail postings.
+    pos: usize,
+    /// Total postings under the term.
+    len: usize,
+    /// Doc id at `pos`, cached so candidate selection never touches the
+    /// postings buffers (`u32::MAX` once exhausted).
+    doc: u32,
+    /// Start of the term's flat postings in the index buffers, cached so
+    /// an advance is two direct array reads instead of slice rebuilds.
+    flat_lo: usize,
+    /// Length of the term's flat postings (`pos >= flat_len` ⇒ tail).
+    flat_len: usize,
+}
+
+/// Absolute slack subtracted from the top-k threshold before a WAND skip:
+/// a per-term bound sum and a fully accumulated score can round
+/// differently in the last bits, and a pruned document must never be one
+/// the exhaustive path would have kept. Scores are cosine similarities in
+/// `[-1, 1]`, so 1e-9 dwarfs the accumulation error while costing
+/// essentially no pruning power.
+const WAND_SLACK: f64 = 1e-9;
 
 impl SearchScratch {
     /// Creates an empty scratch; buffers grow to the index size on first
@@ -137,6 +178,11 @@ pub struct InvertedIndex {
     /// Total postings in `tail` (compaction trigger).
     tail_len: usize,
     num_docs: usize,
+    /// Per-term max-impact bound: the largest `|weight|` stored under the
+    /// term across flat and tail postings, maintained through `insert`
+    /// and compaction. `|qw| * max_impact[t]` bounds term `t`'s score
+    /// contribution for any document — the WAND pruning invariant.
+    max_impact: Vec<f64>,
 }
 
 /// One term's not-yet-compacted postings, as parallel arrays.
@@ -160,6 +206,7 @@ impl InvertedIndex {
             tail: vec![PostingList::default(); dim],
             tail_len: 0,
             num_docs: 0,
+            max_impact: vec![0.0; dim],
         }
     }
 
@@ -185,6 +232,8 @@ impl InvertedIndex {
             let list = &mut self.tail[t as usize];
             list.docs.push(id as u32);
             list.weights.push(w);
+            let impact = &mut self.max_impact[t as usize];
+            *impact = impact.max(w.abs());
         }
         self.tail_len += vector.nnz();
         self.num_docs += 1;
@@ -282,6 +331,41 @@ impl InvertedIndex {
     /// Like [`search`](Self::search) but reuses `scratch` across calls, so
     /// repeated queries perform no per-document allocations.
     ///
+    /// Dispatches between two scoring strategies that return identical
+    /// results: WAND early-exit top-k
+    /// ([`search_wand`](Self::search_wand)) when the corpus is large and
+    /// `k` is a small fraction of it, and exhaustive accumulation
+    /// ([`search_exhaustive`](Self::search_exhaustive)) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the query dimension
+    /// differs from the index dimension.
+    pub fn search_with(
+        &self,
+        query: &SparseVec,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<SearchHit>, IrError> {
+        // WAND pays off for selective queries over large corpora: few
+        // terms (so per-candidate cursor bookkeeping stays small and the
+        // bound sum can actually drop below the top-k bar) and a small k.
+        // Dense whole-signature queries keep the exhaustive accumulator —
+        // with hundreds of terms the cumulative bound almost never prunes
+        // and DAAT degenerates to a slower exhaustive pass.
+        if self.num_docs >= 4096
+            && k.saturating_mul(8) <= self.num_docs
+            && query.nnz().saturating_mul(32) <= self.num_docs
+        {
+            self.search_wand(query, k, scratch)
+        } else {
+            self.search_exhaustive(query, k, scratch)
+        }
+    }
+
+    /// Exhaustive top-k: accumulates every posting of the query's
+    /// non-zero terms, then heap-selects the `k` best.
+    ///
     /// Each document is visited exactly once per query: a visited stamp
     /// (not the accumulated score) decides membership in the candidate
     /// list, so a partial score that cancels to exactly `0.0`
@@ -291,7 +375,7 @@ impl InvertedIndex {
     ///
     /// Returns [`IrError::DimensionMismatch`] when the query dimension
     /// differs from the index dimension.
-    pub fn search_with(
+    pub fn search_exhaustive(
         &self,
         query: &SparseVec,
         k: usize,
@@ -388,6 +472,248 @@ impl InvertedIndex {
                 .then(a.doc.cmp(&b.doc))
         });
         Ok(hits)
+    }
+
+    /// WAND-style early-exit top-k: walks the query terms' posting lists
+    /// document-at-a-time and uses the per-term max-impact bounds to skip
+    /// every document whose score *upper bound* cannot displace the
+    /// current k-th best hit. The traversal is the MaxScore variant of
+    /// the WAND family (Turtle & Flood): cursors are split into
+    /// *essential* terms (which drive the document iteration) and a
+    /// *non-essential* prefix whose summed bounds sit below the top-k
+    /// bar — non-essential lists never surface new candidates, they are
+    /// only probed (with a binary-search seek) for documents the
+    /// essential lists produce, and a probe abandons early once the
+    /// partial score plus the unprobed bounds cannot reach the bar.
+    ///
+    /// Returns exactly what [`search_exhaustive`](Self::search_exhaustive)
+    /// returns (same documents, bit-identical scores): a completed
+    /// candidate re-sums its contributions in the same term-ascending
+    /// order, and every pruning decision keeps [`WAND_SLACK`] of safety
+    /// margin so bound rounding can never drop a true top-k member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the query dimension
+    /// differs from the index dimension.
+    pub fn search_wand(
+        &self,
+        query: &SparseVec,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<SearchHit>, IrError> {
+        if query.dim() != self.dim {
+            return Err(IrError::DimensionMismatch {
+                left: self.dim,
+                right: query.dim(),
+            });
+        }
+        if k == 0 || self.num_docs == 0 {
+            return Ok(Vec::new());
+        }
+        let query_norm = query.norm_l2();
+        if query_norm == 0.0 {
+            return Ok(Vec::new());
+        }
+        let inv_norm = 1.0 / query_norm;
+        // Cursors stay in ascending term order so candidate scoring
+        // accumulates contributions exactly like the exhaustive path.
+        scratch.cursors.clear();
+        for (t, qw) in query.iter() {
+            let len = self.posting_len(t);
+            if len == 0 {
+                continue;
+            }
+            let qw = qw * inv_norm;
+            let flat_lo = self.offsets[t as usize];
+            let mut cursor = WandCursor {
+                term: t,
+                qw,
+                bound: qw.abs() * self.max_impact[t as usize],
+                pos: 0,
+                len,
+                doc: 0,
+                flat_lo,
+                flat_len: self.offsets[t as usize + 1] - flat_lo,
+            };
+            cursor.doc = self.cursor_doc(&cursor);
+            scratch.cursors.push(cursor);
+        }
+        let cursors = &mut scratch.cursors;
+        let touched = &mut scratch.touched_cursors;
+        let contrib = &mut scratch.contrib;
+        let prefix_bounds = &mut scratch.prefix_bounds;
+        // Bound-ascending cursor order: the non-essential set is always a
+        // prefix of this ordering, so the essential boundary is a single
+        // monotonically advancing index.
+        cursors.sort_unstable_by(|a, b| a.bound.total_cmp(&b.bound).then(a.term.cmp(&b.term)));
+        let m = cursors.len();
+        prefix_bounds.clear();
+        let mut acc = 0.0;
+        for c in cursors.iter() {
+            acc += c.bound;
+            prefix_bounds.push(acc);
+        }
+        contrib.clear();
+        contrib.resize(m, 0.0);
+        touched.clear();
+        let mut essential_from = 0;
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        loop {
+            // Current entry bar: the k-th best score so far (with slack),
+            // or no bar at all while the heap is filling.
+            let threshold = if heap.len() == k {
+                heap.peek().expect("heap is full").score - WAND_SLACK
+            } else {
+                f64::NEG_INFINITY
+            };
+            // Grow the non-essential prefix while its total bound stays
+            // under the bar (the boundary only ever moves forward, since
+            // the bar only ever rises).
+            while essential_from < m && prefix_bounds[essential_from] < threshold {
+                essential_from += 1;
+            }
+            if essential_from >= m {
+                break; // even all bounds together cannot reach the bar
+            }
+            // Next candidate: the smallest live doc under an essential
+            // cursor. Documents carried only by non-essential terms are
+            // unreachable by construction of the boundary.
+            let mut pivot_doc = u32::MAX;
+            for c in &cursors[essential_from..] {
+                pivot_doc = pivot_doc.min(c.doc);
+            }
+            if pivot_doc == u32::MAX {
+                break; // every essential list is exhausted
+            }
+            // Essential contributions: every matching essential cursor
+            // advances past the candidate (they drive the iteration).
+            // `partial` orders its adds by bound, not term — it is only a
+            // pruning estimate; the exact sum is rebuilt below.
+            touched.clear();
+            let mut partial = 0.0;
+            for ci in essential_from..m {
+                if cursors[ci].doc == pivot_doc {
+                    let p = cursors[ci].qw * self.cursor_advance(&mut cursors[ci]);
+                    contrib[ci] = p;
+                    touched.push(ci);
+                    partial += p;
+                }
+            }
+            // Probe the non-essential terms in bound-descending order,
+            // abandoning as soon as the unprobed bounds cannot lift the
+            // candidate over the bar.
+            let mut abandoned = false;
+            for ci in (0..essential_from).rev() {
+                if partial + prefix_bounds[ci] < threshold {
+                    abandoned = true;
+                    break;
+                }
+                if cursors[ci].doc < pivot_doc {
+                    self.cursor_seek(&mut cursors[ci], pivot_doc);
+                }
+                if cursors[ci].doc == pivot_doc {
+                    let p = cursors[ci].qw * self.cursor_advance(&mut cursors[ci]);
+                    contrib[ci] = p;
+                    touched.push(ci);
+                    partial += p;
+                }
+            }
+            if !abandoned {
+                // Exact score: the same contributions the exhaustive path
+                // accumulates, re-summed in ascending term order so the
+                // result is bit-identical.
+                touched.sort_unstable_by_key(|&ci| cursors[ci].term);
+                let mut score = 0.0;
+                for &ci in touched.iter() {
+                    score += contrib[ci];
+                }
+                // Zero means "shares no signal with the query", same
+                // contract as the exhaustive path.
+                if score != 0.0 {
+                    heap.push(HeapEntry {
+                        score,
+                        doc: pivot_doc as DocId,
+                    });
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                }
+            }
+            for &ci in touched.iter() {
+                contrib[ci] = 0.0;
+            }
+        }
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit {
+                doc: e.doc,
+                score: e.score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        Ok(hits)
+    }
+
+    /// The doc id under a live cursor.
+    #[inline]
+    fn cursor_doc(&self, c: &WandCursor) -> u32 {
+        if c.pos < c.flat_len {
+            self.docs[c.flat_lo + c.pos]
+        } else {
+            self.tail[c.term as usize].docs[c.pos - c.flat_len]
+        }
+    }
+
+    /// Returns the posting weight under a live cursor and steps it to the
+    /// next posting, refreshing the cached doc id — two direct array
+    /// reads in the (compacted) common case.
+    #[inline]
+    fn cursor_advance(&self, c: &mut WandCursor) -> f64 {
+        let w = if c.pos < c.flat_len {
+            self.weights[c.flat_lo + c.pos]
+        } else {
+            self.tail[c.term as usize].weights[c.pos - c.flat_len]
+        };
+        c.pos += 1;
+        c.doc = if c.pos < c.len {
+            self.cursor_doc(c)
+        } else {
+            u32::MAX
+        };
+        w
+    }
+
+    /// Advances `c` to the first posting with doc id `>= target`
+    /// (possibly past the end), binary-searching the remaining range.
+    fn cursor_seek(&self, c: &mut WandCursor, target: u32) {
+        if c.pos < c.flat_len {
+            let flat = &self.docs[c.flat_lo..c.flat_lo + c.flat_len];
+            c.pos += flat[c.pos..].partition_point(|&d| d < target);
+            if c.pos < c.flat_len {
+                c.doc = flat[c.pos];
+                return;
+            }
+        }
+        let tail = &self.tail[c.term as usize].docs;
+        let tail_pos = c.pos - c.flat_len;
+        c.pos += tail[tail_pos..].partition_point(|&d| d < target);
+        c.doc = if c.pos < c.len {
+            tail[c.pos - c.flat_len]
+        } else {
+            u32::MAX
+        };
+    }
+
+    /// The largest `|weight|` indexed under `term` (the WAND per-term
+    /// impact bound); zero for empty or out-of-range terms.
+    pub fn max_impact(&self, term: TermId) -> f64 {
+        self.max_impact.get(term as usize).copied().unwrap_or(0.0)
     }
 }
 
@@ -568,6 +894,155 @@ mod tests {
         idx.insert(vec8(&[(3, 2.0)])).unwrap();
         let hits = idx.search_with(&q, 5, &mut scratch).unwrap();
         assert_eq!(hits.len(), 2);
+    }
+
+    /// Deterministic midsize corpus with banded term usage (every doc
+    /// hits a hot shared term, so postings overlap heavily).
+    fn banded_corpus(n: usize, dim: u32) -> Vec<SparseVec> {
+        (0..n)
+            .map(|i| {
+                let base = (i as u32 * 3) % (dim - 4);
+                SparseVec::from_pairs(
+                    dim as usize,
+                    [
+                        (base, 1.0 + (i % 7) as f64),
+                        (base + 2, 0.5 + (i % 3) as f64),
+                        (dim - 1, 0.25),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wand_matches_exhaustive_bit_for_bit() {
+        let dim = 64u32;
+        let docs = banded_corpus(400, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        // Half-compacted on purpose: cursors must traverse flat + tail.
+        let mut scratch = SearchScratch::new();
+        for k in [1usize, 3, 10, 400] {
+            for qseed in 0..8u32 {
+                let q = SparseVec::from_pairs(
+                    dim as usize,
+                    [
+                        (qseed * 5 % dim, 2.0),
+                        (qseed * 11 % dim, 1.0),
+                        (dim - 1, 0.5),
+                    ],
+                )
+                .unwrap();
+                let exhaustive = idx.search_exhaustive(&q, k, &mut scratch).unwrap();
+                let wand = idx.search_wand(&q, k, &mut scratch).unwrap();
+                assert_eq!(wand, exhaustive, "k={k} qseed={qseed}");
+            }
+        }
+    }
+
+    #[test]
+    fn wand_matches_exhaustive_with_negative_weights() {
+        let mut idx = InvertedIndex::new(8);
+        idx.insert(vec8(&[(0, 1.0), (1, -1.0), (2, 1.0)])).unwrap();
+        idx.insert(vec8(&[(0, 1.0), (2, -2.0)])).unwrap();
+        idx.insert(vec8(&[(1, 3.0)])).unwrap();
+        idx.insert(vec8(&[(0, -1.0), (1, 1.0)])).unwrap();
+        idx.optimize();
+        let mut scratch = SearchScratch::new();
+        for k in 1..=4 {
+            let q = vec8(&[(0, 1.0), (1, 1.0), (2, 2.0)]);
+            let exhaustive = idx.search_exhaustive(&q, k, &mut scratch).unwrap();
+            let wand = idx.search_wand(&q, k, &mut scratch).unwrap();
+            assert_eq!(wand, exhaustive, "k={k}");
+        }
+    }
+
+    #[test]
+    fn wand_prunes_but_keeps_topk_on_skewed_impacts() {
+        // One rare high-impact term vs a broad low-impact one: WAND
+        // should skip most of the broad postings once the heap holds the
+        // high-impact docs, and still return the exact answer.
+        let dim = 16usize;
+        let mut idx = InvertedIndex::new(dim);
+        let n = 3000;
+        for i in 0..n {
+            let mut pairs = vec![(0u32, 0.05 + (i % 5) as f64 * 0.01)];
+            if i % 100 == 0 {
+                pairs.push((1, 10.0));
+            }
+            idx.insert(SparseVec::from_pairs(dim, pairs).unwrap())
+                .unwrap();
+        }
+        idx.optimize();
+        let q = SparseVec::from_pairs(dim, [(0, 0.3), (1, 3.0)]).unwrap();
+        let mut scratch = SearchScratch::new();
+        let wand = idx.search_wand(&q, 10, &mut scratch).unwrap();
+        let exhaustive = idx.search_exhaustive(&q, 10, &mut scratch).unwrap();
+        assert_eq!(wand, exhaustive);
+        // Every returned doc carries the high-impact term.
+        for h in &wand {
+            assert_eq!(h.doc % 100, 0);
+        }
+    }
+
+    #[test]
+    fn search_with_dispatches_to_wand_at_scale() {
+        // Above the dispatch threshold (large corpus, narrow query) the
+        // default entry point must give the same answer as both explicit
+        // strategies.
+        let dim = 32u32;
+        let docs = banded_corpus(5000, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        idx.optimize();
+        let q = SparseVec::from_pairs(dim as usize, [(3, 1.0), (9, 2.0), (dim - 1, 0.5)]).unwrap();
+        let mut scratch = SearchScratch::new();
+        let auto = idx.search_with(&q, 10, &mut scratch).unwrap();
+        let wand = idx.search_wand(&q, 10, &mut scratch).unwrap();
+        let exhaustive = idx.search_exhaustive(&q, 10, &mut scratch).unwrap();
+        assert_eq!(auto, wand);
+        assert_eq!(auto, exhaustive);
+    }
+
+    #[test]
+    fn max_impact_tracks_inserts_and_compaction() {
+        let mut idx = InvertedIndex::new(4);
+        assert_eq!(idx.max_impact(0), 0.0);
+        idx.insert(SparseVec::from_pairs(4, [(0, 3.0), (1, -4.0)]).unwrap())
+            .unwrap();
+        // Vectors are L2-normalised on insert: weights are 3/5 and -4/5.
+        assert!((idx.max_impact(0) - 0.6).abs() < 1e-12);
+        assert!((idx.max_impact(1) - 0.8).abs() < 1e-12);
+        idx.insert(SparseVec::from_pairs(4, [(0, 1.0)]).unwrap())
+            .unwrap();
+        assert!((idx.max_impact(0) - 1.0).abs() < 1e-12);
+        idx.optimize();
+        assert!((idx.max_impact(0) - 1.0).abs() < 1e-12);
+        assert!((idx.max_impact(1) - 0.8).abs() < 1e-12);
+        assert_eq!(idx.max_impact(3), 0.0);
+        assert_eq!(idx.max_impact(99), 0.0);
+    }
+
+    #[test]
+    fn wand_zero_query_and_k_zero() {
+        let idx = sample_index();
+        let mut scratch = SearchScratch::new();
+        assert!(idx
+            .search_wand(&SparseVec::zeros(8), 5, &mut scratch)
+            .unwrap()
+            .is_empty());
+        assert!(idx
+            .search_wand(&vec8(&[(0, 1.0)]), 0, &mut scratch)
+            .unwrap()
+            .is_empty());
+        assert!(idx
+            .search_wand(&SparseVec::zeros(9), 5, &mut scratch)
+            .is_err());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use fmeter_ir::{
     cosine_similarity, euclidean_distance, euclidean_distance_sq, manhattan_distance,
-    minkowski_distance, Corpus, CsrMatrix, Metric, SparseVec, TermCounts, TfIdfModel,
+    minkowski_distance, Corpus, CsrMatrix, InvertedIndex, Metric, SearchScratch, SparseVec,
+    TermCounts, TfIdfModel,
 };
 use proptest::prelude::*;
 
@@ -306,5 +307,59 @@ proptest! {
     fn term_counts_total_matches_iter_sum(doc in arb_counts()) {
         let total: u64 = doc.iter().map(|(_, c)| c).sum();
         prop_assert_eq!(doc.total(), total);
+    }
+
+    #[test]
+    fn wand_topk_matches_exhaustive_scoring(
+        docs in prop::collection::vec(arb_sparse(), 1..40),
+        query in arb_sparse(),
+        k in 1usize..12,
+        optimize in any::<bool>(),
+    ) {
+        // The WAND path must return *identical* hits to the exhaustive
+        // accumulator — same documents, bit-identical scores — for any
+        // corpus shape (negative weights, zero vectors, duplicate docs)
+        // and any compaction state (flat postings vs live tails).
+        let mut index = InvertedIndex::new(DIM);
+        for d in &docs {
+            index.insert(d.clone()).unwrap();
+        }
+        if optimize {
+            index.optimize();
+        }
+        let mut scratch = SearchScratch::new();
+        let exhaustive = index.search_exhaustive(&query, k, &mut scratch).unwrap();
+        let wand = index.search_wand(&query, k, &mut scratch).unwrap();
+        prop_assert_eq!(&wand, &exhaustive);
+        // And the dispatching entry point agrees with both.
+        let auto = index.search_with(&query, k, &mut scratch).unwrap();
+        prop_assert_eq!(&auto, &exhaustive);
+    }
+
+    #[test]
+    fn wand_max_impact_bounds_every_posting(
+        docs in prop::collection::vec(arb_sparse(), 1..20),
+        optimize in any::<bool>(),
+    ) {
+        let mut index = InvertedIndex::new(DIM);
+        for d in &docs {
+            index.insert(d.clone()).unwrap();
+        }
+        if optimize {
+            index.optimize();
+        }
+        // Recompute the bound from the normalised source vectors.
+        let mut expected = vec![0.0f64; DIM];
+        for d in &docs {
+            for (t, w) in d.l2_normalized().iter() {
+                expected[t as usize] = expected[t as usize].max(w.abs());
+            }
+        }
+        for t in 0..DIM as u32 {
+            prop_assert!(
+                close(index.max_impact(t), expected[t as usize]),
+                "term {}: {} vs {}", t, index.max_impact(t), expected[t as usize]
+            );
+        }
     }
 }

@@ -43,9 +43,11 @@ pub struct Dendrogram {
 
 /// Agglomerative hierarchical clustering.
 ///
-/// Starts from singleton clusters and repeatedly merges the closest pair
-/// under the configured [`Linkage`], using the Lance–Williams update to
-/// maintain inter-cluster distances in O(n²) per merge.
+/// Starts from singleton clusters and repeatedly merges mutual nearest
+/// neighbours under the configured [`Linkage`], using the
+/// nearest-neighbour-chain algorithm over Lance–Williams distance updates
+/// on the condensed distance matrix — O(n²) total instead of the O(n³)
+/// closest-pair scan, which makes 10k-signature dendrograms interactive.
 ///
 /// # Examples
 ///
@@ -87,8 +89,19 @@ impl Agglomerative {
 
     /// Builds the full dendrogram over `points`.
     ///
-    /// Ties in the minimum distance break towards the smallest node ids,
-    /// making the tree deterministic.
+    /// Runs the nearest-neighbour-chain algorithm over the condensed
+    /// distance matrix produced by the parallel
+    /// [`CsrMatrix::pairwise_condensed`] batch kernel: the chain walks to
+    /// a pair of mutual nearest neighbours, merges it, and backtracks,
+    /// touching each inter-cluster distance O(1) times per merge — O(n²)
+    /// total where the closest-pair scan of
+    /// [`fit_brute_force`](Self::fit_brute_force) is O(n³). Merges are
+    /// discovered out of height order, so they are canonicalized
+    /// afterwards: sorted stably by linkage distance and relabelled so
+    /// merge `i` creates node `n + i` (the scipy linkage convention, same
+    /// as before). The result is deterministic; on exact distance ties
+    /// the tree may differ from the brute-force one, but both are valid
+    /// dendrograms of the same height multiset.
     ///
     /// # Errors
     ///
@@ -99,14 +112,28 @@ impl Agglomerative {
         if n == 0 {
             return Err(MlError::EmptyInput);
         }
-        // Pack the corpus into one CSR buffer and batch-compute the
-        // condensed distance matrix with the parallel pairwise kernel
-        // (fans out over std::thread::scope for large inputs), then mirror
-        // it into a flat n x n matrix for the merge loop below.
+        let csr = CsrMatrix::from_rows(points)?;
+        let mut condensed = csr.pairwise_condensed(self.metric)?;
+        Ok(self.merge_nn_chain(n, &mut condensed))
+    }
+
+    /// The original O(n³) closest-pair implementation, kept as the
+    /// executable reference that property tests pin [`fit`](Self::fit)
+    /// against. Prefer `fit`; this exists so the fast path can always be
+    /// re-validated.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`fit`](Self::fit).
+    pub fn fit_brute_force(&self, points: &[SparseVec]) -> Result<Dendrogram, MlError> {
+        let n = points.len();
+        if n == 0 {
+            return Err(MlError::EmptyInput);
+        }
         let csr = CsrMatrix::from_rows(points)?;
         let condensed = csr.pairwise_condensed(self.metric)?;
-        // Pairwise distance matrix between *active* nodes, indexed by slot.
-        // Slot i < n is point i; merged clusters reuse the lower slot.
+        // Full n x n mirror of the condensed matrix; slots are reused by
+        // merged clusters (slot i < n starts as point i).
         let mut dist = vec![0.0f64; n * n];
         let mut idx = 0;
         for i in 0..n {
@@ -179,6 +206,130 @@ impl Agglomerative {
             merges,
         })
     }
+
+    /// Nearest-neighbour-chain agglomeration over a condensed distance
+    /// matrix, destroying `d` in the process (Lance–Williams updates are
+    /// written in place, so no n × n mirror is ever allocated — at 10k
+    /// points that alone halves the working set).
+    fn merge_nn_chain(&self, n: usize, d: &mut [f64]) -> Dendrogram {
+        debug_assert_eq!(d.len(), n * n.saturating_sub(1) / 2);
+        let idx = |a: usize, b: usize| -> usize {
+            let (i, j) = if a < b { (a, b) } else { (b, a) };
+            i * (2 * n - i - 1) / 2 + (j - i - 1)
+        };
+        // size[s] doubles as the active flag (0 = retired slot); clusters
+        // are represented by the original point index of one member.
+        let mut size = vec![1usize; n];
+        let mut chain: Vec<usize> = Vec::with_capacity(n);
+        // Raw merges as (slot, slot, height); node relabelling happens in
+        // the canonicalization pass below.
+        let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n.saturating_sub(1));
+        for _ in 0..n.saturating_sub(1) {
+            if chain.is_empty() {
+                let start = size
+                    .iter()
+                    .position(|&s| s > 0)
+                    .expect("an active cluster remains");
+                chain.push(start);
+            }
+            // Extend the chain with nearest neighbours until it reaches a
+            // mutual pair. Ties prefer the previous chain element (strict
+            // `<` below), which is what guarantees termination.
+            let (x, y, height) = loop {
+                let x = *chain.last().expect("chain is non-empty");
+                let mut y = usize::MAX;
+                let mut best = f64::INFINITY;
+                if chain.len() > 1 {
+                    y = chain[chain.len() - 2];
+                    best = d[idx(x, y)];
+                }
+                for i in 0..n {
+                    if size[i] == 0 || i == x {
+                        continue;
+                    }
+                    let dist = d[idx(x, i)];
+                    if dist < best {
+                        best = dist;
+                        y = i;
+                    }
+                }
+                if chain.len() > 1 && y == chain[chain.len() - 2] {
+                    break (x, y, best);
+                }
+                chain.push(y);
+            };
+            chain.pop();
+            chain.pop();
+            let (x, y) = if x > y { (y, x) } else { (x, y) };
+            let (nx, ny) = (size[x], size[y]);
+            raw.push((x, y, height));
+            // The merged cluster takes slot y; slot x is retired.
+            size[x] = 0;
+            size[y] = nx + ny;
+            for i in 0..n {
+                if size[i] == 0 || i == y {
+                    continue;
+                }
+                let dxi = d[idx(x, i)];
+                let dyi = d[idx(y, i)];
+                d[idx(y, i)] = match self.linkage {
+                    Linkage::Single => dxi.min(dyi),
+                    Linkage::Complete => dxi.max(dyi),
+                    Linkage::Average => {
+                        ((nx as f64) * dxi + (ny as f64) * dyi) / ((nx + ny) as f64)
+                    }
+                };
+            }
+        }
+        Dendrogram {
+            num_points: n,
+            merges: canonicalize_merges(n, raw),
+        }
+    }
+}
+
+/// Canonicalizes raw NN-chain merges: stable-sorts by height (single,
+/// complete, and average linkage are reducible, so the sorted sequence is
+/// a valid monotone merge order) and relabels clusters with a union-find
+/// so merge `i` creates node `n + i`. `left` is the side containing the
+/// smallest original point index, matching the brute-force slot
+/// convention.
+fn canonicalize_merges(n: usize, mut raw: Vec<(usize, usize, f64)>) -> Vec<Merge> {
+    raw.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let total_nodes = 2 * n - 1;
+    let mut parent: Vec<usize> = (0..total_nodes).collect();
+    let mut min_leaf: Vec<usize> = (0..total_nodes).collect();
+    let mut node_size: Vec<usize> = vec![1; total_nodes];
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut merges = Vec::with_capacity(raw.len());
+    for (step, (a, b, height)) in raw.into_iter().enumerate() {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        let new_node = n + step;
+        let (left, right) = if min_leaf[ra] < min_leaf[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let new_size = node_size[ra] + node_size[rb];
+        parent[ra] = new_node;
+        parent[rb] = new_node;
+        min_leaf[new_node] = min_leaf[ra].min(min_leaf[rb]);
+        node_size[new_node] = new_size;
+        merges.push(Merge {
+            left,
+            right,
+            distance: height,
+            size: new_size,
+        });
+    }
+    merges
 }
 
 impl Dendrogram {
@@ -187,8 +338,8 @@ impl Dendrogram {
         self.num_points
     }
 
-    /// The merge steps, in merge order (ascending linkage distance for
-    /// single linkage; monotone for complete/average too).
+    /// The merge steps, sorted by ascending linkage distance (the
+    /// canonical order; merge `i` creates node `num_points + i`).
     pub fn merges(&self) -> &[Merge] {
         &self.merges
     }
@@ -409,6 +560,38 @@ mod tests {
             Agglomerative::new(Linkage::Single).fit(&[]),
             Err(MlError::EmptyInput)
         ));
+    }
+
+    #[test]
+    fn nn_chain_matches_brute_force_on_distinct_heights() {
+        // Irregular spacing: all pairwise single-linkage heights distinct,
+        // so NN-chain and the closest-pair scan must produce the same tree.
+        let pts = line_points(&[0.0, 0.7, 1.9, 5.0, 5.4, 11.0, 11.9, 30.0]);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let fast = Agglomerative::new(linkage).fit(&pts).unwrap();
+            let slow = Agglomerative::new(linkage).fit_brute_force(&pts).unwrap();
+            let heights =
+                |t: &Dendrogram| -> Vec<f64> { t.merges().iter().map(|m| m.distance).collect() };
+            let mut slow_heights = heights(&slow);
+            slow_heights.sort_by(f64::total_cmp);
+            for (a, b) in heights(&fast).iter().zip(&slow_heights) {
+                assert!((a - b).abs() < 1e-12, "height {a} vs {b}");
+            }
+            for k in 1..=pts.len() {
+                assert_eq!(fast.cut(k), slow.cut(k), "{linkage:?} cut at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn nn_chain_merge_heights_are_sorted() {
+        let pts = line_points(&[3.0, 0.0, 9.5, 1.2, 7.7, 4.4]);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let tree = Agglomerative::new(linkage).fit(&pts).unwrap();
+            for pair in tree.merges().windows(2) {
+                assert!(pair[0].distance <= pair[1].distance);
+            }
+        }
     }
 
     #[test]

@@ -86,7 +86,12 @@ pub enum KMeansInit {
 ///
 /// The paper uses K-means with the Euclidean (L2) distance as its primary
 /// unsupervised method (§4.2.2); `K` is the expected number of behaviour
-/// classes. The run is deterministic given [`seed`](Self::seed).
+/// classes. The run is deterministic given [`seed`](Self::seed) and a
+/// fixed [`threads`](Self::threads) setting (see `threads` for the
+/// fine print on comparing *different* thread counts); the assignment
+/// step fans out across [`std::thread::scope`] workers on large inputs,
+/// with per-worker partial centroid sums merged at the barrier in chunk
+/// order.
 ///
 /// # Examples
 ///
@@ -113,6 +118,30 @@ pub struct KMeans {
     seed: u64,
     metric: Metric,
     restarts: usize,
+    threads: usize,
+}
+
+/// Minimum `n * k` before the assignment step fans out across a worker
+/// pool; below this the pool spawn cost (one thread per worker for the
+/// whole run, ~1 ms each on some kernels) dominates the distance work.
+const PARALLEL_ASSIGN_THRESHOLD: usize = 1 << 16;
+
+/// One worker's share of the assignment step: partial centroid sums
+/// (flattened `k * dim`) and member counts, merged into the shared
+/// accumulators at the barrier.
+#[derive(Debug, Clone)]
+struct AssignPartial {
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl AssignPartial {
+    fn new(k: usize, dim: usize) -> Self {
+        AssignPartial {
+            sums: vec![0.0f64; k * dim],
+            counts: vec![0usize; k],
+        }
+    }
 }
 
 /// Outcome of a K-means run.
@@ -142,7 +171,24 @@ impl KMeans {
             seed: 0,
             metric: Metric::Euclidean,
             restarts: 1,
+            threads: 0,
         }
+    }
+
+    /// Caps the worker threads of the assignment step: `0` (the default)
+    /// picks [`std::thread::available_parallelism`] for large inputs and
+    /// stays sequential for small ones; `1` forces the sequential path.
+    ///
+    /// Any fixed `threads` value is exactly reproducible (partial sums
+    /// merge in deterministic chunk order). Across *different* thread
+    /// counts, seeding is byte-identical and assignments are pure
+    /// per-point functions of the centroids — but the centroid partial
+    /// sums regroup, so from the second Lloyd iteration on the centroids
+    /// can drift by last-bit ulps, which in principle can flip an exact
+    /// assignment tie or a convergence check sitting exactly on `tol`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the RNG seed (default 0). Same seed, same clustering.
@@ -251,9 +297,29 @@ impl KMeans {
             c.set_from_point(&points[s]);
             centroids.push(c);
         }
-        let mut assignments = vec![0usize; points.len()];
-        // Reusable update-step accumulators — allocated once per run, not
-        // once per iteration.
+        let threads = self.effective_threads(points.len());
+        if threads <= 1 {
+            self.lloyd_sequential(points, sq_norms, norms, centroids)
+        } else {
+            self.lloyd_parallel(points, sq_norms, norms, centroids, threads)
+        }
+    }
+
+    /// The Lloyd loop with an inline single-threaded assignment step.
+    fn lloyd_sequential(
+        &self,
+        points: &[SparseVec],
+        sq_norms: &[f64],
+        norms: &[f64],
+        mut centroids: Vec<CentroidBuf>,
+    ) -> KMeansResult {
+        let dim = points[0].dim();
+        let n = points.len();
+        let mut assignments = vec![0usize; n];
+        let mut d_sqs = vec![0.0f64; n];
+        // Reusable accumulators — allocated once per run, not once per
+        // iteration.
+        let mut partial = AssignPartial::new(self.k, dim);
         let mut sums = vec![vec![0.0f64; dim]; self.k];
         let mut counts = vec![0usize; self.k];
         let mut previous_inertia = f64::INFINITY;
@@ -261,58 +327,29 @@ impl KMeans {
         let mut converged = false;
         for iter in 0..self.max_iters {
             iterations = iter + 1;
-            // Assignment step: O(nnz) per point-centroid pair, no temporaries.
-            let mut inertia = 0.0;
-            for (i, p) in points.iter().enumerate() {
-                let (cluster, d_sq) = self.nearest(&centroids, p, sq_norms[i], norms[i]);
-                assignments[i] = cluster;
-                inertia += d_sq;
-            }
-            // Update step: centroid = mean of members.
-            for s in sums.iter_mut() {
-                s.fill(0.0);
-            }
-            counts.fill(0);
-            for (p, &a) in points.iter().zip(&assignments) {
-                counts[a] += 1;
-                for (t, v) in p.iter() {
-                    sums[a][t as usize] += v;
-                }
-            }
-            // Empty clusters adopt the point farthest from its centroid.
-            for c in 0..self.k {
-                if counts[c] == 0 {
-                    let far_idx = (0..points.len())
-                        .map(|i| {
-                            let a = assignments[i];
-                            let d_sq = self.point_centroid_dist_sq(
-                                &points[i],
-                                sq_norms[i],
-                                norms[i],
-                                &centroids[a],
-                            );
-                            (i, d_sq)
-                        })
-                        .max_by(|a, b| a.1.total_cmp(&b.1))
-                        .expect("points is non-empty")
-                        .0;
-                    assignments[far_idx] = c;
-                    counts[c] = 1;
-                    sums[c].fill(0.0);
-                    for (t, v) in points[far_idx].iter() {
-                        sums[c][t as usize] = v;
-                    }
-                    // Note: the donor cluster keeps its stale sum this round;
-                    // the next iteration's assignment step repairs it.
-                }
-            }
-            for (c, sum) in sums.iter_mut().enumerate() {
-                let n = counts[c] as f64;
-                for v in sum.iter_mut() {
-                    *v /= n;
-                }
-                centroids[c].set_from_mean(sum);
-            }
+            // Assignment step: O(nnz) per point-centroid pair, no
+            // temporaries.
+            self.assign_chunk(
+                points,
+                sq_norms,
+                norms,
+                &centroids,
+                &mut assignments,
+                &mut d_sqs,
+                &mut partial,
+            );
+            let inertia: f64 = d_sqs.iter().sum();
+            Self::reset_accumulators(&mut sums, &mut counts);
+            Self::merge_partial(&mut sums, &mut counts, &partial);
+            self.finish_update(
+                points,
+                sq_norms,
+                norms,
+                &mut centroids,
+                &mut assignments,
+                &mut sums,
+                &mut counts,
+            );
             if (previous_inertia - inertia).abs() <= self.tol {
                 converged = true;
                 break;
@@ -320,18 +357,285 @@ impl KMeans {
             previous_inertia = inertia;
         }
         // Final assignment against the final centroids.
-        let mut inertia = 0.0;
-        for (i, p) in points.iter().enumerate() {
-            let (cluster, d_sq) = self.nearest(&centroids, p, sq_norms[i], norms[i]);
-            assignments[i] = cluster;
-            inertia += d_sq;
-        }
+        self.assign_chunk(
+            points,
+            sq_norms,
+            norms,
+            &centroids,
+            &mut assignments,
+            &mut d_sqs,
+            &mut partial,
+        );
+        let inertia: f64 = d_sqs.iter().sum();
         KMeansResult {
             centroids: centroids.iter().map(CentroidBuf::to_sparse).collect(),
             assignments,
             inertia,
             iterations,
             converged,
+        }
+    }
+
+    /// The Lloyd loop over a pool of `threads` workers that live for the
+    /// whole run: spawning threads per iteration costs up to a
+    /// millisecond on some kernels, which would swallow the parallel
+    /// speed-up, so each worker blocks on a channel and processes its
+    /// fixed chunk of points every round. Centroids travel through an
+    /// `RwLock` (workers read during the assignment phase, the main
+    /// thread writes strictly between rounds), and the chunk buffers
+    /// travel by ownership through the channels — no locking inside the
+    /// per-point hot loop.
+    fn lloyd_parallel(
+        &self,
+        points: &[SparseVec],
+        sq_norms: &[f64],
+        norms: &[f64],
+        centroids: Vec<CentroidBuf>,
+        threads: usize,
+    ) -> KMeansResult {
+        use std::sync::{mpsc, RwLock};
+
+        /// One worker's chunk: buffer ownership moves main -> worker ->
+        /// main every round.
+        struct Job {
+            chunk: usize,
+            lo: usize,
+            hi: usize,
+            assignments: Vec<usize>,
+            d_sqs: Vec<f64>,
+            partial: AssignPartial,
+        }
+
+        let dim = points[0].dim();
+        let n = points.len();
+        let chunk_len = n.div_ceil(threads);
+        let centroid_lock = RwLock::new(centroids);
+        let (done_tx, done_rx) = mpsc::channel::<Job>();
+        std::thread::scope(|s| {
+            let mut job_txs = Vec::with_capacity(threads);
+            let mut slots: Vec<Option<Job>> = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let (job_tx, job_rx) = mpsc::channel::<Job>();
+                job_txs.push(job_tx);
+                let lo = (t * chunk_len).min(n);
+                let hi = ((t + 1) * chunk_len).min(n);
+                slots.push(Some(Job {
+                    chunk: t,
+                    lo,
+                    hi,
+                    assignments: vec![0usize; hi - lo],
+                    d_sqs: vec![0.0f64; hi - lo],
+                    partial: AssignPartial::new(self.k, dim),
+                }));
+                let done_tx = done_tx.clone();
+                let centroid_lock = &centroid_lock;
+                s.spawn(move || {
+                    while let Ok(mut job) = job_rx.recv() {
+                        let centroids = centroid_lock.read().expect("centroid lock");
+                        self.assign_chunk(
+                            &points[job.lo..job.hi],
+                            &sq_norms[job.lo..job.hi],
+                            &norms[job.lo..job.hi],
+                            &centroids,
+                            &mut job.assignments,
+                            &mut job.d_sqs,
+                            &mut job.partial,
+                        );
+                        drop(centroids);
+                        if done_tx.send(job).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            // One parallel assignment round: dispatch every chunk, wait
+            // for all of them back (the barrier), copy into the global
+            // per-point buffers.
+            let assign_round =
+                |slots: &mut Vec<Option<Job>>, assignments: &mut [usize], d_sqs: &mut [f64]| {
+                    for (tx, slot) in job_txs.iter().zip(slots.iter_mut()) {
+                        tx.send(slot.take().expect("job checked in"))
+                            .expect("worker alive");
+                    }
+                    for _ in 0..threads {
+                        let job = done_rx.recv().expect("worker alive");
+                        let chunk = job.chunk;
+                        slots[chunk] = Some(job);
+                    }
+                    for job in slots.iter().flatten() {
+                        assignments[job.lo..job.hi].copy_from_slice(&job.assignments);
+                        d_sqs[job.lo..job.hi].copy_from_slice(&job.d_sqs);
+                    }
+                };
+            let mut assignments = vec![0usize; n];
+            let mut d_sqs = vec![0.0f64; n];
+            let mut sums = vec![vec![0.0f64; dim]; self.k];
+            let mut counts = vec![0usize; self.k];
+            let mut previous_inertia = f64::INFINITY;
+            let mut iterations = 0;
+            let mut converged = false;
+            for iter in 0..self.max_iters {
+                iterations = iter + 1;
+                assign_round(&mut slots, &mut assignments, &mut d_sqs);
+                // Summed in point order: bit-identical to sequential.
+                let inertia: f64 = d_sqs.iter().sum();
+                Self::reset_accumulators(&mut sums, &mut counts);
+                // Merge the workers' partial sums in chunk order
+                // (deterministic for a fixed thread count).
+                for job in slots.iter().flatten() {
+                    Self::merge_partial(&mut sums, &mut counts, &job.partial);
+                }
+                {
+                    let mut centroids = centroid_lock.write().expect("centroid lock");
+                    self.finish_update(
+                        points,
+                        sq_norms,
+                        norms,
+                        &mut centroids,
+                        &mut assignments,
+                        &mut sums,
+                        &mut counts,
+                    );
+                }
+                if (previous_inertia - inertia).abs() <= self.tol {
+                    converged = true;
+                    break;
+                }
+                previous_inertia = inertia;
+            }
+            // Final assignment against the final centroids.
+            assign_round(&mut slots, &mut assignments, &mut d_sqs);
+            let inertia: f64 = d_sqs.iter().sum();
+            drop(job_txs); // workers drain and exit before the scope joins
+            let centroids = centroid_lock.read().expect("centroid lock");
+            KMeansResult {
+                centroids: centroids.iter().map(CentroidBuf::to_sparse).collect(),
+                assignments,
+                inertia,
+                iterations,
+                converged,
+            }
+        })
+    }
+
+    /// Zeroes the merged update-step accumulators.
+    fn reset_accumulators(sums: &mut [Vec<f64>], counts: &mut [usize]) {
+        for s in sums.iter_mut() {
+            s.fill(0.0);
+        }
+        counts.fill(0);
+    }
+
+    /// Folds one worker's partial centroid sums and counts into the
+    /// merged accumulators.
+    fn merge_partial(sums: &mut [Vec<f64>], counts: &mut [usize], part: &AssignPartial) {
+        let dim = sums.first().map_or(0, Vec::len);
+        for (c, sum) in sums.iter_mut().enumerate() {
+            counts[c] += part.counts[c];
+            let src = &part.sums[c * dim..(c + 1) * dim];
+            for (dst, &v) in sum.iter_mut().zip(src) {
+                if v != 0.0 {
+                    *dst += v;
+                }
+            }
+        }
+    }
+
+    /// Second half of a Lloyd iteration, after `sums`/`counts` hold the
+    /// merged per-cluster accumulations: empty clusters adopt the point
+    /// farthest from its centroid, then every centroid is rewritten to
+    /// its cluster mean.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_update(
+        &self,
+        points: &[SparseVec],
+        sq_norms: &[f64],
+        norms: &[f64],
+        centroids: &mut [CentroidBuf],
+        assignments: &mut [usize],
+        sums: &mut [Vec<f64>],
+        counts: &mut [usize],
+    ) {
+        // Empty clusters adopt the point farthest from its centroid.
+        for c in 0..self.k {
+            if counts[c] == 0 {
+                let far_idx = (0..points.len())
+                    .map(|i| {
+                        let a = assignments[i];
+                        let d_sq = self.point_centroid_dist_sq(
+                            &points[i],
+                            sq_norms[i],
+                            norms[i],
+                            &centroids[a],
+                        );
+                        (i, d_sq)
+                    })
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("points is non-empty")
+                    .0;
+                assignments[far_idx] = c;
+                counts[c] = 1;
+                sums[c].fill(0.0);
+                for (t, v) in points[far_idx].iter() {
+                    sums[c][t as usize] = v;
+                }
+                // Note: the donor cluster keeps its stale sum this round;
+                // the next iteration's assignment step repairs it.
+            }
+        }
+        for (c, sum) in sums.iter_mut().enumerate() {
+            let members = counts[c] as f64;
+            for v in sum.iter_mut() {
+                *v /= members;
+            }
+            centroids[c].set_from_mean(sum);
+        }
+    }
+
+    /// Worker-thread count for the assignment step over `n` points.
+    fn effective_threads(&self, n: usize) -> usize {
+        let requested = if self.threads > 0 {
+            self.threads
+        } else if n * self.k >= PARALLEL_ASSIGN_THRESHOLD {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        requested.clamp(1, n.max(1))
+    }
+
+    /// Assigns one contiguous chunk of points, accumulating the chunk's
+    /// centroid sums and counts into `part` (zeroed here, by the owning
+    /// worker).
+    ///
+    /// Assignments and squared distances are pure per-point functions of
+    /// the current centroids, so a single pass is thread-count
+    /// independent given the same centroids.
+    #[allow(clippy::too_many_arguments)]
+    fn assign_chunk(
+        &self,
+        points: &[SparseVec],
+        sq_norms: &[f64],
+        norms: &[f64],
+        centroids: &[CentroidBuf],
+        assignments: &mut [usize],
+        d_sqs: &mut [f64],
+        part: &mut AssignPartial,
+    ) {
+        let dim = centroids[0].dense.len();
+        part.sums.fill(0.0);
+        part.counts.fill(0);
+        for (i, p) in points.iter().enumerate() {
+            let (cluster, d_sq) = self.nearest(centroids, p, sq_norms[i], norms[i]);
+            assignments[i] = cluster;
+            d_sqs[i] = d_sq;
+            part.counts[cluster] += 1;
+            let row = &mut part.sums[cluster * dim..(cluster + 1) * dim];
+            for (t, v) in p.iter() {
+                row[t as usize] += v;
+            }
         }
     }
 
@@ -549,6 +853,42 @@ mod tests {
         let pts = vec![SparseVec::from_pairs(2, [(0, 1.0)]).unwrap(); 5];
         let r = KMeans::new(3).seed(5).run(&pts).unwrap();
         assert_eq!(r.assignments.len(), 5);
+    }
+
+    #[test]
+    fn parallel_assignment_matches_sequential() {
+        // Enough points that the auto path would already parallelize;
+        // force explicit thread counts to compare them all.
+        let pts: Vec<SparseVec> = (0..600)
+            .map(|i| {
+                let band = (i % 3) as u32 * 8;
+                SparseVec::from_pairs(
+                    24,
+                    (0..4u32).map(|k| (band + k, ((i * 31 + k as usize * 7) % 97) as f64)),
+                )
+                .unwrap()
+            })
+            .collect();
+        let sequential = KMeans::new(3).seed(9).threads(1).run(&pts).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel = KMeans::new(3).seed(9).threads(threads).run(&pts).unwrap();
+            assert_eq!(
+                parallel.assignments, sequential.assignments,
+                "{threads} threads"
+            );
+            let rel = (parallel.inertia - sequential.inertia).abs()
+                / sequential.inertia.max(f64::MIN_POSITIVE);
+            assert!(rel < 1e-9, "inertia drift {rel} at {threads} threads");
+            assert_eq!(parallel.iterations, sequential.iterations);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_points_is_safe() {
+        let pts = blobs();
+        let r = KMeans::new(2).seed(4).threads(64).run(&pts).unwrap();
+        assert_eq!(r.assignments.len(), pts.len());
+        assert_ne!(r.assignments[0], r.assignments[1]);
     }
 
     #[test]

@@ -126,6 +126,68 @@ proptest! {
     }
 
     #[test]
+    fn nn_chain_dendrogram_matches_brute_force(points in arb_points(2, 20)) {
+        // The NN-chain fast path must reproduce the O(n³) closest-pair
+        // reference: same multiset of merge heights and, for every k, the
+        // same flat clustering (`cut` relabels by first appearance, so
+        // identical partitions give identical label vectors).
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let fast = Agglomerative::new(linkage).fit(&points).unwrap();
+            let slow = Agglomerative::new(linkage).fit_brute_force(&points).unwrap();
+            let mut slow_heights: Vec<f64> =
+                slow.merges().iter().map(|m| m.distance).collect();
+            slow_heights.sort_by(f64::total_cmp);
+            let fast_heights: Vec<f64> =
+                fast.merges().iter().map(|m| m.distance).collect();
+            prop_assert_eq!(fast_heights.len(), slow_heights.len());
+            for (a, b) in fast_heights.iter().zip(&slow_heights) {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "merge height {} vs {}", a, b
+                );
+            }
+            for k in 1..=points.len() {
+                prop_assert_eq!(fast.cut(k), slow.cut(k));
+            }
+        }
+    }
+
+    #[test]
+    fn nn_chain_heights_are_sorted_for_all_linkages(points in arb_points(2, 20)) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let tree = Agglomerative::new(linkage).fit(&points).unwrap();
+            for pair in tree.merges().windows(2) {
+                prop_assert!(pair[0].distance <= pair[1].distance);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_kmeans_matches_sequential(
+        points in arb_points(8, 40),
+        k in 1usize..5,
+        seed in 0u64..16,
+        threads in 2usize..5,
+    ) {
+        prop_assume!(points.len() >= k);
+        // Assignments are pure per-point functions of the centroids, and
+        // the centroid partial sums regroup only by float-merge ulps
+        // across thread counts — far below any decision boundary on this
+        // generator's continuous random data, so labels and iteration
+        // counts pin exactly (the deterministic runner keeps this stable).
+        let sequential = KMeans::new(k).seed(seed).threads(1).run(&points).unwrap();
+        let parallel = KMeans::new(k).seed(seed).threads(threads).run(&points).unwrap();
+        prop_assert_eq!(&parallel.assignments, &sequential.assignments);
+        prop_assert_eq!(parallel.iterations, sequential.iterations);
+        prop_assert_eq!(parallel.converged, sequential.converged);
+        let scale = sequential.inertia.abs().max(1.0);
+        prop_assert!(
+            (parallel.inertia - sequential.inertia).abs() <= 1e-9 * scale,
+            "inertia {} vs {}", parallel.inertia, sequential.inertia
+        );
+    }
+
+    #[test]
     fn svm_separates_translated_blobs(
         seed in 0u64..64,
         separation in 3.0f64..20.0,
