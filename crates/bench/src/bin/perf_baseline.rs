@@ -6,7 +6,7 @@
 //! successive PRs accumulate a perf trajectory that scripts can diff.
 //!
 //! Usage:
-//!   perf_baseline [--quick] [--out PATH] [--compare PATH]
+//!   perf_baseline [--quick] [--out PATH] [--compare PATH] [--summary PATH]
 //!
 //! `--quick` shrinks the corpora and the per-case time budget for CI; the
 //! full mode matches the criterion benches' scales (300–10000 points,
@@ -17,10 +17,18 @@
 //! only gate against the size-independent cases) and exits non-zero when
 //! any shared case regressed by more than [`REGRESSION_FACTOR`] — the CI
 //! perf-trajectory gate.
+//!
+//! `--summary PATH` appends a GitHub-flavoured markdown table of the run
+//! (and, with `--compare`, the per-case delta table) to PATH — the
+//! nightly workflow points this at `$GITHUB_STEP_SUMMARY` so trajectory
+//! drift is readable straight from the run page.
 
 use std::time::Instant;
 
-use fmeter_bench::{synthetic_class_corpus, synthetic_corpus, synthetic_points};
+use fmeter_bench::{
+    synthetic_class_corpus, synthetic_corpus, synthetic_points, synthetic_raw_signatures,
+};
+use fmeter_core::{RefitPolicy, SignatureDb};
 use fmeter_ir::{CsrMatrix, InvertedIndex, Metric, SearchScratch, TfIdfModel};
 use fmeter_ml::{Agglomerative, KMeans, Linkage};
 use serde::{Deserialize, Serialize};
@@ -51,7 +59,7 @@ struct Reference {
 /// centroids + flat postings) and the corpus-scale refactor (NN-chain
 /// agglomeration, scatter/gather pairwise kernel, worker-pool K-means,
 /// WAND/MaxScore early-exit top-k).
-const REFERENCES: [Reference; 11] = [
+const REFERENCES: [Reference; 13] = [
     Reference {
         name: "kmeans/k3_300pts_3815d",
         note: "pre-refactor (sub()-allocating kernels)",
@@ -107,6 +115,18 @@ const REFERENCES: [Reference; 11] = [
         note: "worker-pool parallel assignment (2-core throttled reference box)",
         ns_per_iter: 172_309_444.0,
     },
+    Reference {
+        name: "db/build_base",
+        note:
+            "full SignatureDb rebuild at 10k docs — the per-insert cost before incremental ingest",
+        ns_per_iter: 39_468_319.0,
+    },
+    Reference {
+        name: "db/insert_stream_into_base",
+        note:
+            "incremental insert into a 10k-doc db, threshold refits (~1300x vs rebuild-per-insert)",
+        ns_per_iter: 30_473.0,
+    },
 ];
 
 #[derive(Serialize)]
@@ -131,13 +151,20 @@ struct BaselineCase {
     ns_per_iter: f64,
 }
 
-/// Diffs `fresh` against the committed `baseline`, printing one line per
-/// shared `(name, params)` case. Returns the names of cases that
-/// regressed beyond [`REGRESSION_FACTOR`].
-fn diff_against_baseline(fresh: &[Case], baseline: &BaselineDoc) -> Vec<String> {
-    let mut regressions = Vec::new();
-    let mut shared = 0;
-    println!("\n-- trajectory vs committed baseline --");
+/// One row of the trajectory diff, kept structured so the stdout report
+/// and the markdown step summary render the same comparison.
+struct CompareRow {
+    name: String,
+    old_ns: f64,
+    new_ns: f64,
+    ratio: f64,
+    verdict: &'static str,
+}
+
+/// Diffs `fresh` against the committed `baseline` over shared
+/// `(name, params)` cases.
+fn diff_against_baseline(fresh: &[Case], baseline: &BaselineDoc) -> Vec<CompareRow> {
+    let mut rows = Vec::new();
     for case in fresh {
         let Some(old) = baseline
             .cases
@@ -146,26 +173,54 @@ fn diff_against_baseline(fresh: &[Case], baseline: &BaselineDoc) -> Vec<String> 
         else {
             continue;
         };
-        shared += 1;
         let ratio = case.ns_per_iter / old.ns_per_iter;
         let verdict = if ratio > REGRESSION_FACTOR {
-            regressions.push(case.name.clone());
             "REGRESSED"
         } else if ratio < 1.0 / REGRESSION_FACTOR {
             "improved"
         } else {
             "ok"
         };
-        println!(
-            "{:<44} {:>12.1} -> {:>12.1} ns/iter  ({ratio:.2}x) {verdict}",
-            case.name, old.ns_per_iter, case.ns_per_iter
-        );
+        rows.push(CompareRow {
+            name: case.name.clone(),
+            old_ns: old.ns_per_iter,
+            new_ns: case.ns_per_iter,
+            ratio,
+            verdict,
+        });
     }
-    println!(
-        "{shared} shared case(s) compared, {} regression(s)",
-        regressions.len()
-    );
-    regressions
+    rows
+}
+
+/// Renders the run (and optional trajectory diff) as GitHub-flavoured
+/// markdown for `$GITHUB_STEP_SUMMARY`.
+fn render_summary_markdown(report: &Report, comparison: Option<&[CompareRow]>) -> String {
+    let mut md = format!("## perf_baseline ({} mode)\n\n", report.mode);
+    if let Some(rows) = comparison {
+        md.push_str("### Trajectory vs committed baseline\n\n");
+        md.push_str("| case | baseline ns/iter | fresh ns/iter | ratio | verdict |\n");
+        md.push_str("|---|---:|---:|---:|---|\n");
+        for r in rows {
+            md.push_str(&format!(
+                "| `{}` | {:.1} | {:.1} | {:.2}x | {} |\n",
+                r.name, r.old_ns, r.new_ns, r.ratio, r.verdict
+            ));
+        }
+        let regressed = rows.iter().filter(|r| r.verdict == "REGRESSED").count();
+        md.push_str(&format!(
+            "\n{} shared case(s) compared, {} regression(s)\n\n",
+            rows.len(),
+            regressed
+        ));
+    }
+    md.push_str("### All cases\n\n| case | params | ns/iter | iters |\n|---|---|---:|---:|\n");
+    for c in &report.cases {
+        md.push_str(&format!(
+            "| `{}` | {} | {:.1} | {} |\n",
+            c.name, c.params, c.ns_per_iter, c.iters
+        ));
+    }
+    md
 }
 
 /// Times `f` until the budget is spent (at least `min_iters` runs after a
@@ -195,6 +250,11 @@ fn main() {
     let compare_path = args
         .iter()
         .position(|a| a == "--compare")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let summary_path = args
+        .iter()
+        .position(|a| a == "--summary")
         .and_then(|i| args.get(i + 1))
         .cloned();
 
@@ -441,6 +501,110 @@ fn main() {
         ns,
     );
 
+    // Incremental SignatureDb ingest vs full rebuild — the streaming
+    // daemon's acceptance case. One full build is what every insert
+    // would cost if the daemon re-built from scratch; the streamed
+    // insert runs under a threshold refit policy tight enough that
+    // several epoch refits land inside the measured window.
+    let ingest_base = if quick { 2_000 } else { 10_000 };
+    let ingest_stream = if quick { 200 } else { 1_000 };
+    let ingest_dim = 1_000;
+    let raws = synthetic_raw_signatures(ingest_base + ingest_stream, 50, ingest_dim, 21);
+    let (base_raws, stream_raws) = raws.split_at(ingest_base);
+    let (iters, ns) = time_case(budget_ms, 1, || SignatureDb::build(base_raws).unwrap());
+    push(
+        "db/build_base",
+        format!("n={ingest_base} dim={ingest_dim} classes=50"),
+        iters,
+        ns,
+    );
+    let build_ns = ns;
+    let mut db = SignatureDb::build(base_raws).unwrap();
+    db.set_refit_policy(RefitPolicy::Threshold {
+        max_idf_drift: 0.02,
+        max_stale_fraction: 0.05,
+    });
+    let start = Instant::now();
+    for r in stream_raws {
+        db.insert(r).unwrap();
+    }
+    let insert_ns = start.elapsed().as_nanos() as f64 / ingest_stream as f64;
+    push(
+        "db/insert_stream_into_base",
+        format!("base={ingest_base} stream={ingest_stream} dim={ingest_dim} policy=threshold"),
+        ingest_stream as u64,
+        insert_ns,
+    );
+    println!(
+        "   ingest: {insert_ns:.0} ns/insert (incl. {} threshold refits) vs \
+         {build_ns:.0} ns/full-build -> {:.0}x faster than rebuild-per-insert",
+        db.epoch(),
+        build_ns / insert_ns
+    );
+
+    // Staleness vs search quality: suppress refits entirely, stream the
+    // same signatures, and measure (a) probe classification timing on
+    // the stale database, (b) the refit that catches it up, (c) probe
+    // timing refitted — printing how many probe classifications the
+    // staleness had actually changed.
+    let mut stale_db = SignatureDb::build(base_raws).unwrap();
+    stale_db.set_refit_policy(RefitPolicy::Manual);
+    for r in stream_raws {
+        stale_db.insert(r).unwrap();
+    }
+    let probes: Vec<_> = stream_raws.iter().step_by(7).collect();
+    let classify_all = |db: &SignatureDb| -> Vec<Option<String>> {
+        probes
+            .iter()
+            .map(|p| db.classify(&p.to_term_counts(), 5).unwrap())
+            .collect()
+    };
+    let (iters, ns) = time_case(budget_ms, 3, || classify_all(&stale_db));
+    push(
+        "db/classify_probes_stale",
+        format!(
+            "n={} probes={} dim={ingest_dim}",
+            stale_db.len(),
+            probes.len()
+        ),
+        iters,
+        ns,
+    );
+    let stale_verdicts = classify_all(&stale_db);
+    let start = Instant::now();
+    let refit_stats = stale_db.refit();
+    let refit_ns = start.elapsed().as_nanos() as f64;
+    push(
+        "db/refit_after_stream",
+        format!("n={} dim={ingest_dim}", stale_db.len()),
+        1,
+        refit_ns,
+    );
+    let (iters, ns) = time_case(budget_ms, 3, || classify_all(&stale_db));
+    push(
+        "db/classify_probes_refit",
+        format!(
+            "n={} probes={} dim={ingest_dim}",
+            stale_db.len(),
+            probes.len()
+        ),
+        iters,
+        ns,
+    );
+    let refit_verdicts = classify_all(&stale_db);
+    let agree = stale_verdicts
+        .iter()
+        .zip(&refit_verdicts)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "   staleness vs quality: {agree}/{} probe classifications unchanged by the refit \
+         ({} terms re-published, {} docs re-weighted)",
+        probes.len(),
+        refit_stats.changed_terms,
+        refit_stats.reweighted_docs
+    );
+
     let report = Report {
         schema: "fmeter-perf-baseline/v1",
         mode: if quick { "quick" } else { "full" },
@@ -451,12 +615,45 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write baseline JSON");
     println!("wrote {out_path}");
 
-    if let Some(path) = compare_path {
+    let comparison = compare_path.map(|path| {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("read --compare baseline {path}: {e}"));
         let baseline: BaselineDoc = serde_json::from_str(&text)
             .unwrap_or_else(|e| panic!("parse --compare baseline {path}: {e}"));
-        let regressions = diff_against_baseline(&report.cases, &baseline);
+        let rows = diff_against_baseline(&report.cases, &baseline);
+        println!("\n-- trajectory vs committed baseline --");
+        for r in &rows {
+            println!(
+                "{:<44} {:>12.1} -> {:>12.1} ns/iter  ({:.2}x) {}",
+                r.name, r.old_ns, r.new_ns, r.ratio, r.verdict
+            );
+        }
+        let regressed = rows.iter().filter(|r| r.verdict == "REGRESSED").count();
+        println!(
+            "{} shared case(s) compared, {regressed} regression(s)",
+            rows.len()
+        );
+        rows
+    });
+
+    if let Some(path) = summary_path {
+        use std::io::Write as _;
+        let md = render_summary_markdown(&report, comparison.as_deref());
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("open --summary {path}: {e}"));
+        file.write_all(md.as_bytes()).expect("write summary");
+        println!("appended step summary to {path}");
+    }
+
+    if let Some(rows) = comparison {
+        let regressions: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.verdict == "REGRESSED")
+            .map(|r| r.name.as_str())
+            .collect();
         if !regressions.is_empty() {
             eprintln!(
                 "perf gate FAILED: {} case(s) regressed more than {REGRESSION_FACTOR}x: {}",

@@ -85,6 +85,35 @@ pub fn synthetic_class_corpus(n: usize, classes: usize, dim: usize, seed: u64) -
     corpus
 }
 
+/// `n` labelled [`RawSignature`]s over the same banded class structure
+/// as [`synthetic_class_corpus`] — the ingest-throughput benches feed
+/// these through the incremental `SignatureDb` paths, which consume raw
+/// daemon output rather than pre-built documents.
+pub fn synthetic_raw_signatures(
+    n: usize,
+    classes: usize,
+    dim: usize,
+    seed: u64,
+) -> Vec<RawSignature> {
+    let corpus = synthetic_class_corpus(n, classes, dim, seed);
+    corpus
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            let mut counts = vec![0u64; dim];
+            for (t, c) in doc.iter() {
+                counts[t as usize] = c;
+            }
+            RawSignature {
+                counts,
+                started_at: Nanos(i as u64 * 1_000),
+                ended_at: Nanos((i as u64 + 1) * 1_000),
+                label: Some(format!("class{}", i % classes.max(1))),
+            }
+        })
+        .collect()
+}
+
 /// The canonical kernel image seed (the "released 2.6.28 build").
 // Grouped to read as kernel version 2.6.28, not a byte count.
 #[allow(clippy::unusual_byte_groupings)]

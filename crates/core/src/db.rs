@@ -2,7 +2,8 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 
 use fmeter_ir::{
-    Corpus, InvertedIndex, SearchScratch, SparseVec, TermCounts, TfIdfModel, TfIdfOptions,
+    Corpus, DocId, InvertedIndex, IrError, SearchScratch, SparseVec, TermCounts, TfIdfModel,
+    TfIdfOptions,
 };
 use fmeter_ml::{KMeans, Linkage};
 use serde::{Deserialize, Serialize};
@@ -26,6 +27,59 @@ pub struct Syndrome {
     pub members: Vec<usize>,
 }
 
+/// When an incremental [`SignatureDb`] re-publishes its idf weights.
+///
+/// Inserted signatures are weighted with the idf generation current at
+/// insert time; as the document frequencies drift away from it, stored
+/// vectors slowly lose comparability. A *refit* recomputes idf and
+/// re-weights every affected signature (see [`SignatureDb::refit`]).
+/// The policy decides when the database does this by itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RefitPolicy {
+    /// Never refit automatically; the owner calls
+    /// [`SignatureDb::refit`] (e.g. from a daemon's idle loop).
+    Manual,
+    /// Refit after every `n` mutations (inserts + removals). `n = 0`
+    /// behaves like [`Manual`](RefitPolicy::Manual).
+    EveryN(usize),
+    /// Refit as soon as either bound is crossed: the published idf
+    /// weights drifted more than `max_idf_drift` (see
+    /// [`TfIdfModel::idf_drift`]), or more than `max_stale_fraction` of
+    /// the live corpus worth of mutations accumulated since the last
+    /// refit.
+    Threshold {
+        /// Maximum tolerated idf drift before an automatic refit.
+        max_idf_drift: f64,
+        /// Maximum tolerated `mutations / live docs` ratio.
+        max_stale_fraction: f64,
+    },
+}
+
+impl Default for RefitPolicy {
+    /// The streaming-daemon default: refit at 10% idf drift or after
+    /// mutations totalling a quarter of the corpus, whichever first.
+    fn default() -> Self {
+        RefitPolicy::Threshold {
+            max_idf_drift: 0.1,
+            max_stale_fraction: 0.25,
+        }
+    }
+}
+
+/// Outcome of one [`SignatureDb::refit`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefitStats {
+    /// The idf generation this refit published.
+    pub epoch: u64,
+    /// Terms whose idf value changed.
+    pub changed_terms: usize,
+    /// Live signatures that were re-transformed (they contained at
+    /// least one changed term).
+    pub reweighted_docs: usize,
+    /// The drift absorbed, as measured just before the refit.
+    pub max_idf_drift: f64,
+}
+
 /// A labelled database of indexable signatures.
 ///
 /// This is the paper's envisioned operator workflow (§2.2): signatures
@@ -36,11 +90,44 @@ pub struct Syndrome {
 /// Build it from raw daemon output with [`SignatureDb::build`]: the
 /// tf-idf model is fitted on the full corpus, every signature is
 /// transformed and indexed.
+///
+/// # Streaming ingest
+///
+/// The database is *incremental*: a monitoring daemon keeps one
+/// `SignatureDb` alive and feeds it as intervals stream off the machine
+/// — [`insert`](Self::insert) / [`insert_batch`](Self::insert_batch)
+/// append signatures, [`remove`](Self::remove) tombstones them (e.g. a
+/// sliding retention window), and the tf-idf document frequencies are
+/// maintained in place throughout. Because re-deriving idf on every
+/// insert would re-weight the whole corpus each time, published idf
+/// weights are versioned by an *epoch*: inserts are transformed with
+/// the current (possibly stale) generation, and a
+/// [`refit`](Self::refit) — manual or driven by the
+/// [`RefitPolicy`] — republishes idf and re-weights the affected
+/// signatures in one pass. After a refit the database is exactly what
+/// [`build`](Self::build) would produce over the surviving corpus.
+///
+/// Doc ids are stable for the lifetime of the database: removal leaves
+/// a permanent hole, [`signatures`](Self::signatures) stays indexable
+/// by doc id, and [`len`](Self::len) counts live signatures only.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct SignatureDb {
     model: TfIdfModel,
     signatures: Vec<Signature>,
     index: InvertedIndex,
+    /// Raw interval counts per doc-id slot (kept so refits can
+    /// re-transform and removals can un-observe exactly).
+    corpus: Corpus,
+    /// Liveness per doc-id slot.
+    live: Vec<bool>,
+    num_live: usize,
+    /// Current idf generation; bumped by every refit.
+    epoch: u64,
+    /// Idf generation each stored vector was (re)computed under.
+    doc_epoch: Vec<u64>,
+    refit_policy: RefitPolicy,
+    /// Inserts + removals since the last refit (staleness measure).
+    mutations_since_refit: usize,
 }
 
 impl SignatureDb {
@@ -82,21 +169,237 @@ impl SignatureDb {
         // Bulk load finished: fold any tail postings into the flat buffer
         // so queries stream one contiguous region.
         index.optimize();
+        let n = signatures.len();
         Ok(SignatureDb {
             model,
             signatures,
             index,
+            corpus,
+            live: vec![true; n],
+            num_live: n,
+            epoch: 0,
+            doc_epoch: vec![0; n],
+            refit_policy: RefitPolicy::default(),
+            mutations_since_refit: 0,
         })
     }
 
-    /// Number of stored signatures.
+    /// Appends one signature, weighting it with the current idf
+    /// generation, and returns its stable [`DocId`].
+    ///
+    /// Document frequencies are updated immediately; the published idf
+    /// weights are not (they change only at a [`refit`](Self::refit)).
+    /// The configured [`RefitPolicy`] is consulted after the insert, so
+    /// a drift- or staleness-crossing insert triggers a refit before
+    /// this method returns — observable through [`epoch`](Self::epoch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch when the raw counts do not match the
+    /// database's function space.
+    pub fn insert(&mut self, raw: &RawSignature) -> Result<DocId, FmeterError> {
+        let id = self.insert_stale(raw)?;
+        self.maybe_refit();
+        Ok(id)
+    }
+
+    /// Appends a batch of signatures, returning their [`DocId`]s.
+    ///
+    /// Equivalent to calling [`insert`](Self::insert) for each element,
+    /// except the refit policy is consulted once after the whole batch —
+    /// a mid-batch drift crossing does not split the batch across two
+    /// idf generations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch on the first offending signature;
+    /// earlier elements of the batch remain inserted.
+    pub fn insert_batch(&mut self, raw: &[RawSignature]) -> Result<Vec<DocId>, FmeterError> {
+        let mut ids = Vec::with_capacity(raw.len());
+        for r in raw {
+            ids.push(self.insert_stale(r)?);
+        }
+        self.maybe_refit();
+        Ok(ids)
+    }
+
+    /// The shared insert path: mutate df, transform with the current
+    /// (stale) generation, index, and track the epoch — no policy check.
+    fn insert_stale(&mut self, raw: &RawSignature) -> Result<DocId, FmeterError> {
+        let counts = raw.to_term_counts();
+        if counts.dim() != self.dim() {
+            return Err(IrError::DimensionMismatch {
+                left: self.dim(),
+                right: counts.dim(),
+            }
+            .into());
+        }
+        self.model.observe(&counts);
+        let vector = self.model.transform(&counts);
+        let id = self.index.insert(vector.clone())?;
+        self.corpus.push(counts);
+        self.signatures.push(Signature {
+            vector,
+            label: raw.label.clone(),
+            started_at: raw.started_at,
+            ended_at: raw.ended_at,
+        });
+        self.live.push(true);
+        self.doc_epoch.push(self.epoch);
+        self.num_live += 1;
+        self.mutations_since_refit += 1;
+        Ok(id)
+    }
+
+    /// Tombstones a stored signature: it stops appearing in search,
+    /// classification, and clustering immediately, and its contribution
+    /// leaves the document frequencies. The doc id is never reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DocNotLive`] (wrapped) when `doc` was never
+    /// assigned or is already removed.
+    pub fn remove(&mut self, doc: DocId) -> Result<(), FmeterError> {
+        if !self.is_live(doc) {
+            return Err(IrError::DocNotLive(doc).into());
+        }
+        self.index.remove(doc)?;
+        self.model
+            .unobserve(self.corpus.doc(doc).expect("slot exists for live doc"));
+        self.live[doc] = false;
+        self.num_live -= 1;
+        self.mutations_since_refit += 1;
+        self.maybe_refit();
+        Ok(())
+    }
+
+    /// Republishes the idf weights from the current document
+    /// frequencies and re-weights every affected live signature in one
+    /// pass, bumping the epoch.
+    ///
+    /// Only signatures containing at least one changed term are
+    /// re-transformed (an unchanged-idf support yields a bit-identical
+    /// vector); the posting store is then rewritten from the live
+    /// vectors — which also purges any tombstoned postings and tightens
+    /// the per-term max-impact bounds. After this call the database
+    /// matches a from-scratch [`build`](Self::build) over the surviving
+    /// corpus exactly.
+    pub fn refit(&mut self) -> RefitStats {
+        self.epoch += 1;
+        self.mutations_since_refit = 0;
+        let refit = self.model.refit_idf();
+        let mut stats = RefitStats {
+            epoch: self.epoch,
+            changed_terms: refit.changed_terms.len(),
+            reweighted_docs: 0,
+            max_idf_drift: refit.max_drift,
+        };
+        if refit.changed_terms.is_empty() {
+            // No re-weighting to do, but the refit contract still
+            // promises a tombstone-free posting store with tight bounds
+            // (reachable e.g. under IdfMode::Unit, or when mutations net
+            // out) — optimize() purges if any tombstones linger.
+            self.index.optimize();
+            return stats;
+        }
+        let mut changed = vec![false; self.dim()];
+        for &t in &refit.changed_terms {
+            changed[t as usize] = true;
+        }
+        for d in 0..self.signatures.len() {
+            if !self.live[d] {
+                continue;
+            }
+            let doc = self.corpus.doc(d).expect("slot exists");
+            if doc.iter().any(|(t, _)| changed[t as usize]) {
+                self.signatures[d].vector = self.model.transform(doc);
+                self.doc_epoch[d] = self.epoch;
+                stats.reweighted_docs += 1;
+            }
+        }
+        let signatures = &self.signatures;
+        let live = &self.live;
+        self.index
+            .rebuild_postings(
+                (0..signatures.len())
+                    .filter(|&d| live[d])
+                    .map(|d| (d, &signatures[d].vector)),
+            )
+            .expect("live vectors are consistent with the index");
+        stats
+    }
+
+    /// Runs the configured [`RefitPolicy`], refitting when due.
+    fn maybe_refit(&mut self) -> Option<RefitStats> {
+        let due = match self.refit_policy {
+            RefitPolicy::Manual => false,
+            RefitPolicy::EveryN(n) => n > 0 && self.mutations_since_refit >= n,
+            RefitPolicy::Threshold {
+                max_idf_drift,
+                max_stale_fraction,
+            } => {
+                self.mutations_since_refit > 0
+                    && ((self.num_live > 0
+                        && self.mutations_since_refit as f64
+                            >= max_stale_fraction * self.num_live as f64)
+                        || self.model.idf_drift() > max_idf_drift)
+            }
+        };
+        due.then(|| self.refit())
+    }
+
+    /// The automatic-refit policy (defaults to
+    /// [`RefitPolicy::default`]).
+    pub fn refit_policy(&self) -> RefitPolicy {
+        self.refit_policy
+    }
+
+    /// Replaces the automatic-refit policy.
+    pub fn set_refit_policy(&mut self, policy: RefitPolicy) {
+        self.refit_policy = policy;
+    }
+
+    /// The current idf generation (bumped by every refit).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The idf generation `doc`'s stored vector was last computed
+    /// under; `None` for unassigned ids.
+    pub fn doc_epoch(&self, doc: DocId) -> Option<u64> {
+        self.doc_epoch.get(doc).copied()
+    }
+
+    /// Inserts + removals since the last refit.
+    pub fn mutations_since_refit(&self) -> usize {
+        self.mutations_since_refit
+    }
+
+    /// How far the published idf weights lag behind the maintained
+    /// document frequencies (see [`TfIdfModel::idf_drift`]).
+    pub fn idf_drift(&self) -> f64 {
+        self.model.idf_drift()
+    }
+
+    /// Returns `true` when `doc` names a live (inserted, not removed)
+    /// signature.
+    pub fn is_live(&self, doc: DocId) -> bool {
+        self.live.get(doc).copied().unwrap_or(false)
+    }
+
+    /// Number of live signatures.
     pub fn len(&self) -> usize {
+        self.num_live
+    }
+
+    /// Number of doc-id slots ever assigned (live + tombstoned).
+    pub fn num_slots(&self) -> usize {
         self.signatures.len()
     }
 
-    /// Returns `true` when the database is empty (never for built DBs).
+    /// Returns `true` when no live signature is stored.
     pub fn is_empty(&self) -> bool {
-        self.signatures.is_empty()
+        self.num_live == 0
     }
 
     /// Dimensionality of the signature space.
@@ -109,7 +412,9 @@ impl SignatureDb {
         &self.model
     }
 
-    /// The stored signatures, in insertion order.
+    /// The stored signature slots, indexable by [`DocId`]. Removed
+    /// slots keep their last contents — check [`is_live`](Self::is_live)
+    /// when iterating a database that saw removals.
     pub fn signatures(&self) -> &[Signature] {
         &self.signatures
     }
@@ -187,7 +492,13 @@ impl SignatureDb {
     ///
     /// Propagates clustering failures (e.g. fewer signatures than `k`).
     pub fn syndromes(&self, k: usize, seed: u64) -> Result<Vec<Syndrome>, FmeterError> {
-        let vectors: Vec<SparseVec> = self.signatures.iter().map(|s| s.vector.clone()).collect();
+        let live_ids: Vec<usize> = (0..self.signatures.len())
+            .filter(|&d| self.live[d])
+            .collect();
+        let vectors: Vec<SparseVec> = live_ids
+            .iter()
+            .map(|&d| self.signatures[d].vector.clone())
+            .collect();
         let result = KMeans::new(k).seed(seed).restarts(3).run(&vectors)?;
         let mut syndromes: Vec<Syndrome> = result
             .centroids
@@ -199,7 +510,7 @@ impl SignatureDb {
             })
             .collect();
         for (i, &cluster) in result.assignments.iter().enumerate() {
-            syndromes[cluster].members.push(i);
+            syndromes[cluster].members.push(live_ids[i]);
         }
         for syndrome in &mut syndromes {
             let mut votes: HashMap<&str, usize> = HashMap::new();
@@ -239,14 +550,14 @@ impl SignatureDb {
     /// lift; map term ids to names with the kernel's symbol table or a
     /// parsed [`SymbolMap`](crate::SymbolMap).
     pub fn explain_syndrome(&self, syndrome: &Syndrome, k: usize) -> Vec<(u32, f64, f64)> {
-        // Corpus mean weight per term.
+        // Corpus mean weight per term (live signatures only).
         let mut mean = vec![0.0f64; self.dim()];
-        for s in &self.signatures {
+        for (s, _) in self.signatures.iter().zip(&self.live).filter(|(_, &l)| l) {
             for (t, w) in s.vector.iter() {
                 mean[t as usize] += w;
             }
         }
-        let n = self.signatures.len().max(1) as f64;
+        let n = self.num_live.max(1) as f64;
         for m in &mut mean {
             *m /= n;
         }
@@ -433,5 +744,188 @@ mod tests {
             restored.classify(&query, 3).unwrap(),
             db.classify(&query, 3).unwrap()
         );
+    }
+
+    /// A raw class-A-shaped signature with a distinguishing count.
+    fn raw_a(i: u64, label: Option<&str>) -> RawSignature {
+        RawSignature {
+            counts: vec![50 + i, 40, 30, 20, 0, 1, 0, 0],
+            started_at: Nanos(i * 100),
+            ended_at: Nanos((i + 1) * 100),
+            label: label.map(str::to_owned),
+        }
+    }
+
+    /// Compares every live incremental signature and search result with a
+    /// from-scratch build over the surviving raw corpus.
+    fn assert_matches_rebuild(db: &SignatureDb, surviving: &[RawSignature]) {
+        let fresh = SignatureDb::build(surviving).unwrap();
+        assert_eq!(db.len(), fresh.len());
+        let live: Vec<usize> = (0..db.num_slots()).filter(|&d| db.is_live(d)).collect();
+        for (&d, f) in live.iter().zip(fresh.signatures()) {
+            assert_eq!(
+                db.signatures()[d].vector,
+                f.vector,
+                "doc {d} vector drifted from rebuild"
+            );
+        }
+        for probe in surviving.iter().take(4) {
+            let q = probe.to_term_counts();
+            let a = db.search(&q, 5).unwrap();
+            let b = fresh.search(&q, 5).unwrap();
+            assert_eq!(a.len(), b.len());
+            for ((s1, d1), (s2, d2)) in a.iter().zip(&b) {
+                assert_eq!(s1.label, s2.label);
+                assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+            }
+            assert_eq!(db.classify(&q, 3).unwrap(), fresh.classify(&q, 3).unwrap());
+        }
+    }
+
+    #[test]
+    fn insert_then_refit_matches_rebuild() {
+        let mut raw = sample_raw();
+        let mut db = SignatureDb::build(&raw).unwrap();
+        db.set_refit_policy(RefitPolicy::Manual);
+        for i in 20..26u64 {
+            let r = raw_a(i, Some("a"));
+            let id = db.insert(&r).unwrap();
+            assert_eq!(id, raw.len());
+            raw.push(r);
+        }
+        assert_eq!(db.len(), 18);
+        assert!(db.idf_drift() > 0.0 || db.mutations_since_refit() > 0);
+        let stats = db.refit();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.mutations_since_refit(), 0);
+        assert_matches_rebuild(&db, &raw);
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_inserts() {
+        let raw = sample_raw();
+        let mut a = SignatureDb::build(&raw).unwrap();
+        let mut b = SignatureDb::build(&raw).unwrap();
+        a.set_refit_policy(RefitPolicy::Manual);
+        b.set_refit_policy(RefitPolicy::Manual);
+        let extra: Vec<RawSignature> = (30..34).map(|i| raw_a(i, Some("a"))).collect();
+        let batch_ids = a.insert_batch(&extra).unwrap();
+        let single_ids: Vec<usize> = extra.iter().map(|r| b.insert(r).unwrap()).collect();
+        assert_eq!(batch_ids, single_ids);
+        for d in 0..a.num_slots() {
+            assert_eq!(a.signatures()[d].vector, b.signatures()[d].vector);
+        }
+    }
+
+    #[test]
+    fn remove_hides_signature_and_updates_df() {
+        let raw = sample_raw();
+        let mut db = SignatureDb::build(&raw).unwrap();
+        db.set_refit_policy(RefitPolicy::Manual);
+        // Remove all six "b" signatures (odd doc ids).
+        for d in (1..12).step_by(2) {
+            db.remove(d).unwrap();
+        }
+        assert_eq!(db.len(), 6);
+        assert_eq!(db.num_slots(), 12);
+        assert!(!db.is_live(1));
+        assert!(db.is_live(0));
+        let b_query = TermCounts::from_dense(&[0, 0, 0, 0, 55, 48, 41, 33]);
+        // No live "b" signature remains to vote.
+        for (sig, _) in db.search(&b_query, 5).unwrap() {
+            assert_eq!(sig.label.as_deref(), Some("a"));
+        }
+        db.refit();
+        let surviving: Vec<RawSignature> = raw.iter().step_by(2).cloned().collect();
+        assert_matches_rebuild(&db, &surviving);
+        // Double removal and unknown ids are rejected.
+        assert!(db.remove(1).is_err());
+        assert!(db.remove(99).is_err());
+    }
+
+    #[test]
+    fn threshold_policy_triggers_refit_automatically() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.set_refit_policy(RefitPolicy::Threshold {
+            max_idf_drift: 0.05,
+            max_stale_fraction: 0.25,
+        });
+        assert_eq!(db.epoch(), 0);
+        // 12 docs: the fourth mutation crosses 25% staleness at the
+        // latest; drift likely crosses sooner.
+        for i in 0..4u64 {
+            db.insert(&raw_a(40 + i, Some("a"))).unwrap();
+        }
+        assert!(db.epoch() >= 1, "threshold policy never fired");
+        assert!(db.mutations_since_refit() < 4);
+    }
+
+    #[test]
+    fn every_n_policy_counts_mutations() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.set_refit_policy(RefitPolicy::EveryN(3));
+        for i in 0..2u64 {
+            db.insert(&raw_a(50 + i, Some("a"))).unwrap();
+        }
+        assert_eq!(db.epoch(), 0);
+        db.remove(0).unwrap(); // third mutation
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.mutations_since_refit(), 0);
+    }
+
+    #[test]
+    fn refit_without_mutations_changes_nothing() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        let before: Vec<SparseVec> = db.signatures().iter().map(|s| s.vector.clone()).collect();
+        let stats = db.refit();
+        assert_eq!(stats.changed_terms, 0);
+        assert_eq!(stats.reweighted_docs, 0);
+        assert_eq!(stats.max_idf_drift, 0.0);
+        assert_eq!(db.epoch(), 1);
+        for (s, b) in db.signatures().iter().zip(&before) {
+            assert_eq!(&s.vector, b);
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_epoch_state() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.set_refit_policy(RefitPolicy::EveryN(100));
+        db.insert(&raw_a(60, Some("a"))).unwrap();
+        db.refit();
+        db.insert(&raw_a(61, Some("a"))).unwrap();
+        db.remove(1).unwrap();
+        let mut buffer = Vec::new();
+        db.save(&mut buffer).unwrap();
+        let mut restored = SignatureDb::load(&buffer[..]).unwrap();
+        assert_eq!(restored.epoch(), db.epoch());
+        assert_eq!(restored.len(), db.len());
+        assert_eq!(restored.num_slots(), db.num_slots());
+        assert_eq!(restored.refit_policy(), db.refit_policy());
+        assert_eq!(restored.mutations_since_refit(), db.mutations_since_refit());
+        for d in 0..db.num_slots() {
+            assert_eq!(restored.is_live(d), db.is_live(d));
+            assert_eq!(restored.doc_epoch(d), db.doc_epoch(d));
+        }
+        assert!((restored.idf_drift() - db.idf_drift()).abs() < 1e-15);
+        // The restored database keeps mutating identically.
+        let r = raw_a(62, Some("a"));
+        assert_eq!(restored.insert(&r).unwrap(), db.insert(&r).unwrap());
+        assert_eq!(restored.refit(), db.refit());
+    }
+
+    #[test]
+    fn syndromes_ignore_removed_signatures() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.set_refit_policy(RefitPolicy::Manual);
+        for d in (1..12).step_by(2) {
+            db.remove(d).unwrap();
+        }
+        db.refit();
+        let syndromes = db.syndromes(1, 7).unwrap();
+        assert_eq!(syndromes[0].members.len(), 6);
+        assert!(syndromes[0].members.iter().all(|&m| db.is_live(m)));
+        assert_eq!(syndromes[0].dominant_label.as_deref(), Some("a"));
     }
 }

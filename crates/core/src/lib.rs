@@ -41,7 +41,7 @@ mod signature;
 mod userspace;
 
 pub use anomaly::{AnomalyDetector, AnomalyVerdict};
-pub use db::{SignatureDb, Syndrome};
+pub use db::{RefitPolicy, RefitStats, SignatureDb, Syndrome};
 pub use error::FmeterError;
 pub use fmeter::Fmeter;
 pub use logger::SignatureLogger;

@@ -1,7 +1,7 @@
 use std::sync::Arc;
 
 use fmeter_kernel_sim::{CpuId, Kernel, Nanos};
-use fmeter_trace::{CounterSnapshot, FmeterTracer};
+use fmeter_trace::{DeltaCursor, FmeterTracer};
 use fmeter_workloads::Workload;
 
 use crate::{FmeterError, RawSignature};
@@ -15,11 +15,15 @@ use crate::{FmeterError, RawSignature};
 /// them"; the interval is a configuration parameter (2–10 s in the
 /// paper). Because the tf term frequency is length-normalised, the exact
 /// interval does not skew signatures.
+///
+/// Interval state lives in a trace-layer [`DeltaCursor`], so the same
+/// rolling-delta mechanics are available to daemons that bypass this
+/// logger and feed an incremental signature database directly.
 #[derive(Debug)]
 pub struct SignatureLogger {
     tracer: Arc<FmeterTracer>,
     interval: Nanos,
-    previous: CounterSnapshot,
+    cursor: DeltaCursor,
 }
 
 impl SignatureLogger {
@@ -27,11 +31,11 @@ impl SignatureLogger {
     /// starting from the tracer's current state.
     pub fn new(tracer: Arc<FmeterTracer>, interval: Nanos, now: Nanos) -> Self {
         assert!(interval > Nanos::ZERO, "logging interval must be positive");
-        let previous = tracer.snapshot(now);
+        let cursor = DeltaCursor::new(tracer.snapshot(now));
         SignatureLogger {
             tracer,
             interval,
-            previous,
+            cursor,
         }
     }
 
@@ -57,23 +61,21 @@ impl SignatureLogger {
             !cpus.is_empty(),
             "need at least one CPU to run the workload on"
         );
-        let deadline = self.previous.taken_at() + self.interval;
+        let deadline = self.cursor.previous().taken_at() + self.interval;
         let mut i = 0usize;
         while kernel.now() < deadline {
             let cpu = cpus[i % cpus.len()];
             workload.step(kernel, cpu)?;
             i += 1;
         }
-        let current = self.tracer.snapshot(kernel.now());
-        let counts = self.previous.delta(&current);
-        let signature = RawSignature {
+        let (counts, started_at, ended_at) =
+            self.cursor.advance(self.tracer.snapshot(kernel.now()));
+        Ok(RawSignature {
             counts,
-            started_at: self.previous.taken_at(),
-            ended_at: current.taken_at(),
+            started_at,
+            ended_at,
             label: label.map(str::to_owned),
-        };
-        self.previous = current;
-        Ok(signature)
+        })
     }
 
     /// Collects `count` consecutive signatures.
@@ -97,7 +99,7 @@ impl SignatureLogger {
     /// Re-bases the logger on the tracer's current state (e.g. after a
     /// workload change, to avoid a mixed-interval signature).
     pub fn resync(&mut self, now: Nanos) {
-        self.previous = self.tracer.snapshot(now);
+        self.cursor.rebase(self.tracer.snapshot(now));
     }
 }
 

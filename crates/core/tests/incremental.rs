@@ -1,0 +1,194 @@
+//! Property tests for the incremental `SignatureDb`: any interleave of
+//! insert / remove / refit must, once refitted, be indistinguishable
+//! from a from-scratch `build` over the surviving corpus, and the epoch
+//! state must survive save/load.
+
+use fmeter_core::{RawSignature, RefitPolicy, SignatureDb};
+use fmeter_ir::TermCounts;
+use fmeter_kernel_sim::Nanos;
+use proptest::prelude::*;
+
+const DIM: usize = 10;
+
+/// One scripted mutation against the database under test.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u64>),
+    /// Remove the `selector % live`-th live signature.
+    Remove(usize),
+    Refit,
+}
+
+fn arb_counts() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..60, DIM..DIM + 1)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_counts().prop_map(Op::Insert),
+        (0usize..64).prop_map(Op::Remove),
+        Just(Op::Refit),
+    ]
+}
+
+fn raw(counts: Vec<u64>, i: u64, label: &str) -> RawSignature {
+    RawSignature {
+        counts,
+        started_at: Nanos(i * 10),
+        ended_at: Nanos((i + 1) * 10),
+        label: Some(label.to_string()),
+    }
+}
+
+/// Seed corpora: two term-band classes so searches have structure.
+fn seed_corpus(n_each: usize) -> Vec<RawSignature> {
+    let mut out = Vec::new();
+    for i in 0..n_each as u64 {
+        out.push(raw(vec![40 + i, 30, 20, 10, 0, 0, 1, 0, 0, 0], i, "alpha"));
+        out.push(raw(vec![0, 0, 1, 0, 0, 50, 40 + i, 30, 20, 10], i, "beta"));
+    }
+    out
+}
+
+/// Applies `ops`, mirroring the raw corpus, and returns the surviving
+/// raw signatures in doc-id order.
+fn apply_ops(db: &mut SignatureDb, raws: &mut Vec<RawSignature>, ops: &[Op]) {
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(counts) => {
+                let label = if i % 2 == 0 { "alpha" } else { "beta" };
+                let r = raw(counts.clone(), 100 + i as u64, label);
+                let id = db.insert(&r).expect("insert succeeds");
+                assert_eq!(id, raws.len(), "doc ids stay dense over the slot space");
+                raws.push(r);
+            }
+            Op::Remove(selector) => {
+                if db.len() <= 1 {
+                    continue; // keep the db non-empty so build() stays comparable
+                }
+                let live: Vec<usize> = (0..db.num_slots()).filter(|&d| db.is_live(d)).collect();
+                let victim = live[selector % live.len()];
+                db.remove(victim).expect("victim is live");
+            }
+            Op::Refit => {
+                db.refit();
+            }
+        }
+    }
+}
+
+fn surviving(db: &SignatureDb, raws: &[RawSignature]) -> Vec<RawSignature> {
+    (0..db.num_slots())
+        .filter(|&d| db.is_live(d))
+        .map(|d| raws[d].clone())
+        .collect()
+}
+
+/// Asserts the incremental database matches a fresh build over the
+/// surviving corpus: identical live vectors (doc-order aligned) and
+/// identical search/classify behaviour within 1e-9.
+fn assert_equivalent(db: &SignatureDb, fresh: &SignatureDb, probes: &[RawSignature]) {
+    assert_eq!(db.len(), fresh.len());
+    let live: Vec<usize> = (0..db.num_slots()).filter(|&d| db.is_live(d)).collect();
+    for (&d, f) in live.iter().zip(fresh.signatures()) {
+        let a = &db.signatures()[d].vector;
+        let b = &f.vector;
+        assert_eq!(a.dim(), b.dim());
+        for t in 0..a.dim() as u32 {
+            let (x, y) = (a.get(t), b.get(t));
+            assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                "doc {d} term {t}: {x} vs {y}"
+            );
+        }
+    }
+    for probe in probes.iter().take(5) {
+        let q = probe.to_term_counts();
+        let a = db.search(&q, 4).expect("search");
+        let b = fresh.search(&q, 4).expect("search");
+        assert_eq!(a.len(), b.len(), "hit counts diverged");
+        for ((s1, d1), (s2, d2)) in a.iter().zip(&b) {
+            assert_eq!(s1.label, s2.label, "hit labels diverged");
+            assert!((d1 - d2).abs() < 1e-9, "scores diverged: {d1} vs {d2}");
+        }
+        assert_eq!(
+            db.classify(&q, 3).expect("classify"),
+            fresh.classify(&q, 3).expect("classify"),
+            "classification diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_mutations_match_rebuild_after_refit(
+        ops in prop::collection::vec(arb_op(), 0..24),
+        n_each in 2usize..5,
+    ) {
+        let mut raws = seed_corpus(n_each);
+        let mut db = SignatureDb::build(&raws).expect("seed corpus builds");
+        db.set_refit_policy(RefitPolicy::Manual);
+        apply_ops(&mut db, &mut raws, &ops);
+        // The equivalence contract is *post-refit*: between refits the
+        // stored vectors deliberately ride a stale idf generation.
+        db.refit();
+        let survivors = surviving(&db, &raws);
+        prop_assert!(!survivors.is_empty());
+        let fresh = SignatureDb::build(&survivors).expect("survivors build");
+        assert_equivalent(&db, &fresh, &survivors);
+    }
+
+    #[test]
+    fn automatic_policies_preserve_equivalence_too(
+        ops in prop::collection::vec(arb_op(), 0..16),
+        every_n in 1usize..5,
+    ) {
+        // Same contract, but with refits firing mid-interleave via the
+        // EveryN policy (exercising auto-refit on both mutation paths).
+        let mut raws = seed_corpus(3);
+        let mut db = SignatureDb::build(&raws).expect("seed corpus builds");
+        db.set_refit_policy(RefitPolicy::EveryN(every_n));
+        apply_ops(&mut db, &mut raws, &ops);
+        db.refit();
+        let survivors = surviving(&db, &raws);
+        let fresh = SignatureDb::build(&survivors).expect("survivors build");
+        assert_equivalent(&db, &fresh, &survivors);
+    }
+
+    #[test]
+    fn save_load_round_trips_epoch_state(
+        ops in prop::collection::vec(arb_op(), 0..16),
+    ) {
+        let mut raws = seed_corpus(3);
+        let mut db = SignatureDb::build(&raws).expect("seed corpus builds");
+        db.set_refit_policy(RefitPolicy::EveryN(3));
+        apply_ops(&mut db, &mut raws, &ops);
+        let mut buf = Vec::new();
+        db.save(&mut buf).expect("save");
+        let mut restored = SignatureDb::load(&buf[..]).expect("load");
+        prop_assert_eq!(restored.epoch(), db.epoch());
+        prop_assert_eq!(restored.len(), db.len());
+        prop_assert_eq!(restored.num_slots(), db.num_slots());
+        prop_assert_eq!(restored.refit_policy(), db.refit_policy());
+        prop_assert_eq!(restored.mutations_since_refit(), db.mutations_since_refit());
+        for d in 0..db.num_slots() {
+            prop_assert_eq!(restored.is_live(d), db.is_live(d));
+            prop_assert_eq!(restored.doc_epoch(d), db.doc_epoch(d));
+        }
+        // The restored copy continues the stream identically: same next
+        // doc id, same refit outcome.
+        let extra = raw(vec![1, 2, 3, 4, 5, 0, 0, 0, 0, 1], 999, "alpha");
+        prop_assert_eq!(
+            restored.insert(&extra).expect("insert"),
+            db.insert(&extra).expect("insert")
+        );
+        prop_assert_eq!(restored.refit(), db.refit());
+        let q = TermCounts::from_dense(&extra.counts);
+        prop_assert_eq!(
+            restored.classify(&q, 3).expect("classify"),
+            db.classify(&q, 3).expect("classify")
+        );
+    }
+}

@@ -23,6 +23,8 @@ pub enum IrError {
     EmptyCorpus,
     /// A Minkowski order `p < 1` was requested (not a metric).
     InvalidOrder(f64),
+    /// A document id does not name a live (inserted, not removed) document.
+    DocNotLive(usize),
 }
 
 impl fmt::Display for IrError {
@@ -37,6 +39,9 @@ impl fmt::Display for IrError {
             IrError::EmptyCorpus => write!(f, "corpus contains no documents"),
             IrError::InvalidOrder(p) => {
                 write!(f, "minkowski order must satisfy p >= 1, got {p}")
+            }
+            IrError::DocNotLive(doc) => {
+                write!(f, "document {doc} is not live in the index")
             }
         }
     }

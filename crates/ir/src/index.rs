@@ -182,7 +182,18 @@ pub struct InvertedIndex {
     /// term across flat and tail postings, maintained through `insert`
     /// and compaction. `|qw| * max_impact[t]` bounds term `t`'s score
     /// contribution for any document — the WAND pruning invariant.
+    /// Removals can leave it loose (still a sound upper bound) until the
+    /// next [`purge`](Self::purge) recomputes it exactly.
     max_impact: Vec<f64>,
+    /// Tombstones: `removed[d]` marks doc `d` as deleted. Doc ids are
+    /// never reused; searches skip tombstoned docs and purging eventually
+    /// drops their postings.
+    removed: Vec<bool>,
+    /// Number of tombstoned docs (`live_len = num_docs - num_removed`).
+    num_removed: usize,
+    /// Tombstoned docs whose postings still sit in the buffers (purge
+    /// trigger).
+    dead_unpurged: usize,
 }
 
 /// One term's not-yet-compacted postings, as parallel arrays.
@@ -207,6 +218,9 @@ impl InvertedIndex {
             tail_len: 0,
             num_docs: 0,
             max_impact: vec![0.0; dim],
+            removed: Vec::new(),
+            num_removed: 0,
+            dead_unpurged: 0,
         }
     }
 
@@ -237,6 +251,7 @@ impl InvertedIndex {
         }
         self.tail_len += vector.nnz();
         self.num_docs += 1;
+        self.removed.push(false);
         // Geometric trigger: fold the tail in once it reaches a quarter of
         // the flat buffer, so total compaction work stays O(N) amortised.
         if self.tail_len * 4 >= self.docs.len() + 256 {
@@ -245,14 +260,94 @@ impl InvertedIndex {
         Ok(id)
     }
 
+    /// Tombstones a document: it stops appearing in search results
+    /// immediately, and its postings are physically dropped by the next
+    /// purge (triggered geometrically, or by [`optimize`](Self::optimize)
+    /// / [`rebuild_postings`](Self::rebuild_postings)). Doc ids are never
+    /// reused — the id space keeps a permanent hole.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DocNotLive`] when `doc` was never inserted or
+    /// is already removed.
+    pub fn remove(&mut self, doc: DocId) -> Result<(), IrError> {
+        if doc >= self.num_docs || self.removed[doc] {
+            return Err(IrError::DocNotLive(doc));
+        }
+        self.removed[doc] = true;
+        self.num_removed += 1;
+        self.dead_unpurged += 1;
+        // Geometric trigger, mirroring insert's: once a quarter of the
+        // docs with postings still in the buffers are dead, rewrite the
+        // buffers so search stops streaming (and bounding) ghosts.
+        if self.dead_unpurged * 4 >= (self.live_len() + self.dead_unpurged).max(64) {
+            self.purge();
+        }
+        Ok(())
+    }
+
+    /// Returns `true` when `doc` is inserted and not tombstoned.
+    pub fn is_live(&self, doc: DocId) -> bool {
+        doc < self.num_docs && !self.removed[doc]
+    }
+
+    /// Number of live (inserted, not removed) documents.
+    pub fn live_len(&self) -> usize {
+        self.num_docs - self.num_removed
+    }
+
+    /// Number of tombstoned documents.
+    pub fn num_removed(&self) -> usize {
+        self.num_removed
+    }
+
+    /// Rewrites every posting buffer, dropping tombstoned docs' postings
+    /// and recomputing the per-term max-impact bounds exactly over the
+    /// survivors (removal alone can only leave the bounds loose).
+    fn purge(&mut self) {
+        let total = self.docs.len() + self.tail_len;
+        let mut offsets = Vec::with_capacity(self.dim + 1);
+        let mut docs = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        offsets.push(0);
+        for t in 0..self.dim {
+            let mut impact = 0.0f64;
+            let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+            let list = &mut self.tail[t];
+            let flat = self.docs[lo..hi].iter().zip(&self.weights[lo..hi]);
+            let tail = list.docs.iter().zip(&list.weights);
+            for (&d, &w) in flat.chain(tail) {
+                if !self.removed[d as usize] {
+                    docs.push(d);
+                    weights.push(w);
+                    impact = impact.max(w.abs());
+                }
+            }
+            list.docs.clear();
+            list.weights.clear();
+            offsets.push(docs.len());
+            self.max_impact[t] = impact;
+        }
+        self.offsets = offsets;
+        self.docs = docs;
+        self.weights = weights;
+        self.tail_len = 0;
+        self.dead_unpurged = 0;
+    }
+
     /// Fully compacts the postings into the flat buffer.
     ///
     /// Inserts self-compact geometrically, but up to a quarter of the
     /// postings may sit in per-term tail lists at any moment. Call this
     /// once after bulk-loading a corpus so every query streams a single
-    /// contiguous buffer.
+    /// contiguous buffer. When tombstones are present their postings are
+    /// purged and the max-impact bounds tightened in the same rewrite.
     pub fn optimize(&mut self) {
-        self.compact();
+        if self.dead_unpurged > 0 {
+            self.purge();
+        } else {
+            self.compact();
+        }
     }
 
     /// Folds the per-term tails into the flat postings buffer.
@@ -280,6 +375,71 @@ impl InvertedIndex {
         self.tail_len = 0;
     }
 
+    /// Replaces every posting with the given live vectors in one pass —
+    /// the idf-refit path: when a re-weighting generation changes the
+    /// stored weights (and possibly their term supports), the whole
+    /// posting store is rewritten from the new vectors instead of
+    /// patching term-by-term. Doc ids, tombstones, and the id space are
+    /// preserved; tombstoned docs must be absent from `live`, and their
+    /// postings are purged by the rewrite. Max-impact bounds come out
+    /// exact.
+    ///
+    /// Vectors are L2-normalised exactly as [`insert`](Self::insert)
+    /// does, so a rebuilt index is posting-for-posting identical to one
+    /// freshly built from the same vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DocNotLive`] when `live` names a doc outside
+    /// the id space, a tombstoned doc, or repeats/disorders ids, and
+    /// [`IrError::DimensionMismatch`] on a vector dimension mismatch.
+    /// The index is left unchanged on error.
+    pub fn rebuild_postings<'a, I>(&mut self, live: I) -> Result<(), IrError>
+    where
+        I: IntoIterator<Item = (DocId, &'a SparseVec)>,
+    {
+        let mut lists: Vec<PostingList> = vec![PostingList::default(); self.dim];
+        let mut max_impact = vec![0.0f64; self.dim];
+        let mut prev: Option<DocId> = None;
+        for (doc, vector) in live {
+            if !self.is_live(doc) || prev.is_some_and(|p| p >= doc) {
+                return Err(IrError::DocNotLive(doc));
+            }
+            if vector.dim() != self.dim {
+                return Err(IrError::DimensionMismatch {
+                    left: self.dim,
+                    right: vector.dim(),
+                });
+            }
+            prev = Some(doc);
+            for (t, w) in vector.l2_normalized().iter() {
+                let list = &mut lists[t as usize];
+                list.docs.push(doc as u32);
+                list.weights.push(w);
+                let impact = &mut max_impact[t as usize];
+                *impact = impact.max(w.abs());
+            }
+        }
+        let total: usize = lists.iter().map(|l| l.docs.len()).sum();
+        let mut offsets = Vec::with_capacity(self.dim + 1);
+        let mut docs = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        offsets.push(0);
+        for list in &mut lists {
+            docs.append(&mut list.docs);
+            weights.append(&mut list.weights);
+            offsets.push(docs.len());
+        }
+        self.offsets = offsets;
+        self.docs = docs;
+        self.weights = weights;
+        self.tail = lists;
+        self.tail_len = 0;
+        self.max_impact = max_impact;
+        self.dead_unpurged = 0;
+        Ok(())
+    }
+
     /// Term `t`'s postings as `(flat, tail)` slice pairs; doc ids ascend
     /// across the concatenation because tail postings are always newer.
     #[inline]
@@ -292,7 +452,9 @@ impl InvertedIndex {
         )
     }
 
-    /// Number of indexed documents.
+    /// Number of doc ids ever assigned, including tombstoned ones (the
+    /// id-space size; see [`live_len`](Self::live_len) for the number of
+    /// searchable documents).
     pub fn len(&self) -> usize {
         self.num_docs
     }
@@ -405,10 +567,13 @@ impl InvertedIndex {
         // the bookkeeping differs.
         let total_postings: usize = query.terms().iter().map(|&t| self.posting_len(t)).sum();
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        let removed = &self.removed;
         let mut push_hit = |doc: DocId, score: f64| {
             // A final score of exactly zero means "shares no signal with
-            // the query" — same contract as an untouched doc.
-            if score == 0.0 {
+            // the query" — same contract as an untouched doc. Tombstoned
+            // docs may still have postings (purging is lazy) and are
+            // filtered here.
+            if score == 0.0 || removed[doc] {
                 return;
             }
             heap.push(HeapEntry { score, doc });
@@ -489,7 +654,7 @@ impl InvertedIndex {
     /// Returns exactly what [`search_exhaustive`](Self::search_exhaustive)
     /// returns (same documents, bit-identical scores): a completed
     /// candidate re-sums its contributions in the same term-ascending
-    /// order, and every pruning decision keeps [`WAND_SLACK`] of safety
+    /// order, and every pruning decision keeps `WAND_SLACK` (1e-9) of safety
     /// margin so bound rounding can never drop a true top-k member.
     ///
     /// # Errors
@@ -585,6 +750,17 @@ impl InvertedIndex {
             }
             if pivot_doc == u32::MAX {
                 break; // every essential list is exhausted
+            }
+            // Tombstoned candidate: advance the essential cursors past it
+            // and move on without scoring (same exclusion the exhaustive
+            // path applies at hit-push time).
+            if self.removed[pivot_doc as usize] {
+                for c in cursors[essential_from..].iter_mut() {
+                    if c.doc == pivot_doc {
+                        self.cursor_advance(c);
+                    }
+                }
+                continue;
             }
             // Essential contributions: every matching essential cursor
             // advances past the candidate (they drive the iteration).
@@ -1043,6 +1219,161 @@ mod tests {
         assert!(idx
             .search_wand(&SparseVec::zeros(9), 5, &mut scratch)
             .is_err());
+    }
+
+    #[test]
+    fn remove_hides_doc_from_all_search_paths() {
+        let dim = 64u32;
+        let docs = banded_corpus(400, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        let mut scratch = SearchScratch::new();
+        let q = docs[7].clone();
+        let before = idx.search_exhaustive(&q, 5, &mut scratch).unwrap();
+        assert_eq!(before[0].doc, 7);
+        idx.remove(7).unwrap();
+        assert_eq!(idx.live_len(), 399);
+        assert_eq!(idx.num_removed(), 1);
+        assert!(!idx.is_live(7));
+        for hits in [
+            idx.search_exhaustive(&q, 5, &mut scratch).unwrap(),
+            idx.search_wand(&q, 5, &mut scratch).unwrap(),
+            idx.search_with(&q, 5, &mut scratch).unwrap(),
+        ] {
+            assert!(hits.iter().all(|h| h.doc != 7), "doc 7 is tombstoned");
+            assert_eq!(hits.len(), 5);
+        }
+    }
+
+    #[test]
+    fn remove_rejects_unknown_and_double_removal() {
+        let mut idx = sample_index();
+        assert_eq!(idx.remove(99), Err(IrError::DocNotLive(99)));
+        idx.remove(1).unwrap();
+        assert_eq!(idx.remove(1), Err(IrError::DocNotLive(1)));
+        // Ids are never reused: a new insert continues the sequence.
+        assert_eq!(idx.insert(vec8(&[(2, 1.0)])).unwrap(), 3);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.live_len(), 3);
+    }
+
+    #[test]
+    fn purge_drops_dead_postings_and_tightens_bounds() {
+        let mut idx = InvertedIndex::new(4);
+        // Doc 0 carries the largest weight under term 0.
+        idx.insert(SparseVec::from_pairs(4, [(0, 1.0)]).unwrap())
+            .unwrap();
+        for _ in 0..3 {
+            idx.insert(SparseVec::from_pairs(4, [(0, 3.0), (1, 4.0)]).unwrap())
+                .unwrap();
+        }
+        assert!((idx.max_impact(0) - 1.0).abs() < 1e-12);
+        idx.remove(0).unwrap();
+        idx.optimize(); // purges tombstoned postings, recomputes bounds
+        assert_eq!(idx.posting_len(0), 3);
+        assert!((idx.max_impact(0) - 0.6).abs() < 1e-12);
+        assert!((idx.max_impact(1) - 0.8).abs() < 1e-12);
+        // The tombstone itself survives the purge.
+        assert!(!idx.is_live(0));
+        assert_eq!(idx.live_len(), 3);
+    }
+
+    #[test]
+    fn removal_heavy_interleave_matches_fresh_index() {
+        // Insert 200, remove every third (triggering geometric purges),
+        // then compare every search path against an index freshly built
+        // from the survivors under the *same doc ids* (via placeholder
+        // zero vectors, which index nothing).
+        let dim = 32u32;
+        let docs = banded_corpus(200, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        let mut fresh = InvertedIndex::new(dim as usize);
+        for (i, d) in docs.iter().enumerate() {
+            if i % 3 == 0 {
+                fresh.insert(SparseVec::zeros(dim as usize)).unwrap();
+            } else {
+                fresh.insert(d.clone()).unwrap();
+            }
+        }
+        for i in (0..200).step_by(3) {
+            idx.remove(i).unwrap();
+        }
+        let mut scratch = SearchScratch::new();
+        for qseed in 0..6usize {
+            let q = &docs[qseed * 31 % docs.len()];
+            let a = idx.search_exhaustive(q, 10, &mut scratch).unwrap();
+            let b = fresh.search_exhaustive(q, 10, &mut scratch).unwrap();
+            assert_eq!(a, b, "exhaustive qseed={qseed}");
+            let w = idx.search_wand(q, 10, &mut scratch).unwrap();
+            assert_eq!(w, a, "wand qseed={qseed}");
+        }
+    }
+
+    #[test]
+    fn rebuild_postings_matches_fresh_build() {
+        let dim = 16usize;
+        let mut idx = InvertedIndex::new(dim);
+        let docs: Vec<SparseVec> = (0..20)
+            .map(|i| {
+                SparseVec::from_pairs(dim, [(i % 16, 1.0 + i as f64), ((i + 5) % 16, 2.0)]).unwrap()
+            })
+            .collect();
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        idx.remove(3).unwrap();
+        idx.remove(8).unwrap();
+        // Re-weight the survivors (scaling changes nothing after L2
+        // normalisation, so results must match the original vectors).
+        let reweighted: Vec<(usize, SparseVec)> = (0..20)
+            .filter(|&i| i != 3 && i != 8)
+            .map(|i| (i, docs[i].scaled(2.0)))
+            .collect();
+        idx.rebuild_postings(reweighted.iter().map(|(i, v)| (*i, v)))
+            .unwrap();
+        let mut fresh = InvertedIndex::new(dim);
+        for (i, d) in docs.iter().enumerate() {
+            if i == 3 || i == 8 {
+                fresh.insert(SparseVec::zeros(dim)).unwrap();
+            } else {
+                fresh.insert(d.clone()).unwrap();
+            }
+        }
+        let mut scratch = SearchScratch::new();
+        for q in &docs {
+            let a = idx.search_exhaustive(q, 20, &mut scratch).unwrap();
+            let b = fresh.search_exhaustive(q, 20, &mut scratch).unwrap();
+            assert_eq!(a, b);
+        }
+        for t in 0..dim as u32 {
+            assert_eq!(idx.posting_len(t), fresh.posting_len(t));
+            assert!((idx.max_impact(t) - fresh.max_impact(t)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rebuild_postings_rejects_bad_input() {
+        let mut idx = sample_index();
+        idx.remove(1).unwrap();
+        let v = vec8(&[(0, 1.0)]);
+        // Tombstoned doc.
+        assert!(idx.rebuild_postings([(1usize, &v)]).is_err());
+        // Out of range.
+        assert!(idx.rebuild_postings([(9usize, &v)]).is_err());
+        // Disordered ids.
+        assert!(idx.rebuild_postings([(2usize, &v), (0usize, &v)]).is_err());
+        // Wrong dimension.
+        let bad = SparseVec::zeros(9);
+        assert!(idx.rebuild_postings([(0usize, &bad)]).is_err());
+        // The failed rebuilds left the index intact.
+        let hits = idx.search(&vec8(&[(0, 1.0)]), 3).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 0);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use error::IrError;
 pub use index::{InvertedIndex, SearchHit, SearchScratch};
 pub use matrix::CsrMatrix;
 pub use sparse::SparseVec;
-pub use tfidf::{IdfMode, TfIdfModel, TfIdfOptions, TfMode};
+pub use tfidf::{IdfMode, IdfRefit, TfIdfModel, TfIdfOptions, TfMode};
 
 /// Identifier of a term in the vector space.
 ///

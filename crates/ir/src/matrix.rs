@@ -183,6 +183,41 @@ impl CsrMatrix {
         }
     }
 
+    /// Appends one row to the matrix, returning its row index — the
+    /// streaming-ingest path: a daemon can keep a packed corpus matrix
+    /// current as signatures arrive, instead of re-packing all rows
+    /// before every re-clustering pass. Norms are cached exactly as the
+    /// batch constructors do.
+    ///
+    /// An empty matrix (dimension zero, no rows) adopts the first pushed
+    /// row's dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the row's dimension
+    /// differs from the matrix's.
+    pub fn push_row(&mut self, row: &SparseVec) -> Result<usize, IrError> {
+        if self.is_empty() && self.nnz() == 0 && self.dim == 0 {
+            self.dim = row.dim();
+            if self.indptr.is_empty() {
+                self.indptr.push(0);
+            }
+        }
+        if row.dim() != self.dim {
+            return Err(IrError::DimensionMismatch {
+                left: self.dim,
+                right: row.dim(),
+            });
+        }
+        self.indices.extend_from_slice(row.terms());
+        self.values.extend_from_slice(row.values());
+        self.indptr.push(self.indices.len());
+        let sq = sq_norm(row.values());
+        self.sq_norms.push(sq);
+        self.norms.push(sq.sqrt());
+        Ok(self.len() - 1)
+    }
+
     /// Number of rows (documents).
     pub fn len(&self) -> usize {
         self.indptr.len().saturating_sub(1)
@@ -481,6 +516,32 @@ mod tests {
             assert!((m.norm(i) - r.norm_l2()).abs() < 1e-15);
             assert!((m.sq_norm(i) - r.norm_l2() * r.norm_l2()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn push_row_matches_batch_construction() {
+        let rs = rows();
+        let batch = CsrMatrix::from_rows(&rs).unwrap();
+        let mut incremental = CsrMatrix::from_rows(&rs[..2]).unwrap();
+        assert_eq!(incremental.push_row(&rs[2]).unwrap(), 2);
+        assert_eq!(incremental.push_row(&rs[3]).unwrap(), 3);
+        assert_eq!(incremental, batch);
+        // Growing from empty adopts the first row's dimension.
+        let mut from_empty = CsrMatrix::from_rows(&[]).unwrap();
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(from_empty.push_row(r).unwrap(), i);
+        }
+        assert_eq!(from_empty, batch);
+        let mut from_default = CsrMatrix::default();
+        for r in &rs {
+            from_default.push_row(r).unwrap();
+        }
+        assert_eq!(from_default, batch);
+        // Dimension mismatches are rejected once the dimension is set.
+        assert!(matches!(
+            from_empty.push_row(&SparseVec::zeros(5)),
+            Err(IrError::DimensionMismatch { left: 8, right: 5 })
+        ));
     }
 
     #[test]

@@ -38,11 +38,37 @@ pub struct TfIdfOptions {
     pub idf: IdfMode,
 }
 
+/// Outcome of one [`TfIdfModel::refit_idf`] pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdfRefit {
+    /// Terms whose idf value changed in this refit (ascending order).
+    pub changed_terms: Vec<crate::TermId>,
+    /// The largest per-term drift absorbed, as measured by
+    /// [`TfIdfModel::idf_drift`] just before the refit.
+    pub max_drift: f64,
+}
+
 /// A fitted tf-idf weighting model.
 ///
 /// Fitting computes per-term document frequencies over a [`Corpus`];
 /// transforming a document produces the weight vector
 /// `w_{i,j} = tf_{i,j} x idf_i` of the paper (§2.1).
+///
+/// # Incremental maintenance
+///
+/// A model fitted once can track a *changing* corpus: [`observe`]
+/// ([`unobserve`]) adds (drops) one document's contribution to the
+/// document frequencies without touching the published idf weights, so
+/// transforms stay cheap and deterministic while the df state drifts.
+/// [`idf_drift`] measures how far the published weights have fallen
+/// behind and [`refit_idf`] republishes them in one O(dim) pass — the
+/// primitive the core crate's epoch-based incremental signature
+/// database builds on.
+///
+/// [`observe`]: TfIdfModel::observe
+/// [`unobserve`]: TfIdfModel::unobserve
+/// [`idf_drift`]: TfIdfModel::idf_drift
+/// [`refit_idf`]: TfIdfModel::refit_idf
 ///
 /// # Examples
 ///
@@ -67,6 +93,23 @@ pub struct TfIdfModel {
     options: TfIdfOptions,
 }
 
+/// The idf formula for one term: `df` documents contain it out of `n`.
+///
+/// A term absent from the corpus (`df == 0`) short-circuits to zero
+/// *before* the mode formula runs — `IdfMode::Standard` would otherwise
+/// compute `ln(n / 0) = inf` and poison every downstream distance.
+fn idf_value(mode: IdfMode, df: u32, n: usize) -> f64 {
+    if df == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    match mode {
+        IdfMode::Standard => (n / df as f64).ln(),
+        IdfMode::Smooth => (1.0 + n / df as f64).ln(),
+        IdfMode::Unit => 1.0,
+    }
+}
+
 impl TfIdfModel {
     /// Fits the model with default (paper) options.
     ///
@@ -87,29 +130,111 @@ impl TfIdfModel {
             return Err(IrError::EmptyCorpus);
         }
         let doc_freq = corpus.document_frequencies();
-        let n = corpus.len() as f64;
+        let n = corpus.len();
         let idf = doc_freq
             .iter()
-            .map(|&df| {
-                if df == 0 {
-                    // Unseen term: contributes nothing at transform time.
-                    0.0
-                } else {
-                    match options.idf {
-                        IdfMode::Standard => (n / df as f64).ln(),
-                        IdfMode::Smooth => (1.0 + n / df as f64).ln(),
-                        IdfMode::Unit => 1.0,
-                    }
-                }
-            })
+            .map(|&df| idf_value(options.idf, df, n))
             .collect();
         Ok(TfIdfModel {
             dim: corpus.dim(),
-            num_docs: corpus.len(),
+            num_docs: n,
             doc_freq,
             idf,
             options,
         })
+    }
+
+    /// Adds one document's contribution to the document frequencies
+    /// (`|D| += 1`, `df_t += 1` for every distinct term of `doc`).
+    ///
+    /// The published idf weights are deliberately *not* updated — they
+    /// keep describing the last [`refit_idf`](Self::refit_idf)
+    /// generation, so transforms of concurrent documents stay mutually
+    /// comparable. Call [`idf_drift`](Self::idf_drift) to see how stale
+    /// they have become.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document's dimension differs from the model's.
+    pub fn observe(&mut self, doc: &TermCounts) {
+        assert_eq!(
+            doc.dim(),
+            self.dim,
+            "document dimension {} does not match model dimension {}",
+            doc.dim(),
+            self.dim
+        );
+        self.num_docs += 1;
+        for (t, _) in doc.iter() {
+            self.doc_freq[t as usize] += 1;
+        }
+    }
+
+    /// Drops one document's contribution to the document frequencies —
+    /// the exact inverse of [`observe`](Self::observe). Like `observe`,
+    /// it leaves the published idf weights untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document's dimension differs from the model's, or
+    /// if the document was never observed (a `df` would underflow —
+    /// mismatched observe/unobserve pairs are a programming error).
+    pub fn unobserve(&mut self, doc: &TermCounts) {
+        assert_eq!(
+            doc.dim(),
+            self.dim,
+            "document dimension {} does not match model dimension {}",
+            doc.dim(),
+            self.dim
+        );
+        assert!(self.num_docs > 0, "unobserve on an empty model");
+        self.num_docs -= 1;
+        for (t, _) in doc.iter() {
+            let df = &mut self.doc_freq[t as usize];
+            assert!(*df > 0, "unobserve of a document never observed (term {t})");
+            *df -= 1;
+        }
+    }
+
+    /// How far the published idf weights lag behind the current document
+    /// frequencies: the maximum over all terms of
+    /// `|idf_fresh - idf_published| / max(1, |idf_published|)`.
+    ///
+    /// The denominator floors at 1 so the measure reads as an *absolute*
+    /// delta for near-zero idfs (ubiquitous terms, whose idf hovers at
+    /// `ln(1) = 0`) and a *relative* one for large idfs — without the
+    /// floor, any ubiquitous term would report unbounded drift from the
+    /// first mutation. Zero when no mutation happened since the last
+    /// refit.
+    pub fn idf_drift(&self) -> f64 {
+        let mut drift = 0.0f64;
+        for (t, &df) in self.doc_freq.iter().enumerate() {
+            let fresh = idf_value(self.options.idf, df, self.num_docs);
+            let published = self.idf[t];
+            let d = (fresh - published).abs() / published.abs().max(1.0);
+            drift = drift.max(d);
+        }
+        drift
+    }
+
+    /// Recomputes the published idf weights from the current document
+    /// frequencies in one O(dim) pass, returning which terms changed and
+    /// the drift absorbed. Transforms performed after this call use the
+    /// fresh generation.
+    pub fn refit_idf(&mut self) -> IdfRefit {
+        let max_drift = self.idf_drift();
+        let mut changed_terms = Vec::new();
+        for (t, &df) in self.doc_freq.iter().enumerate() {
+            let fresh = idf_value(self.options.idf, df, self.num_docs);
+            if fresh != self.idf[t] {
+                self.idf[t] = fresh;
+                changed_terms.push(t as crate::TermId);
+            }
+        }
+        IdfRefit {
+            changed_terms,
+            max_drift,
+        }
     }
 
     /// Transforms one document into its tf-idf weight vector.
@@ -448,5 +573,83 @@ mod tests {
         // Out-of-vocabulary idf lookups report 0 instead of panicking.
         let m = TfIdfModel::fit(&sample_corpus()).unwrap();
         assert_eq!(m.idf(999), 0.0);
+    }
+
+    #[test]
+    fn observe_updates_df_but_not_idf() {
+        let mut m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        let idf_before: Vec<f64> = (0..4).map(|t| m.idf(t)).collect();
+        m.observe(&TermCounts::from_pairs(4, [(1, 3), (3, 1)]).unwrap());
+        assert_eq!(m.num_docs(), 5);
+        assert_eq!(m.document_frequency(1), 3);
+        assert_eq!(m.document_frequency(3), 1);
+        // Published weights are the old generation until a refit.
+        for t in 0..4 {
+            assert_eq!(m.idf(t), idf_before[t as usize]);
+        }
+        assert!(m.idf_drift() > 0.0);
+    }
+
+    #[test]
+    fn refit_after_observe_matches_fresh_fit() {
+        for (tf, idf) in [
+            (TfMode::Normalized, IdfMode::Standard),
+            (TfMode::Normalized, IdfMode::Smooth),
+            (TfMode::Raw, IdfMode::Unit),
+        ] {
+            let options = TfIdfOptions { tf, idf };
+            let mut grown = sample_corpus();
+            let mut m = TfIdfModel::fit_with(&grown, options).unwrap();
+            let extra = TermCounts::from_pairs(4, [(1, 3), (3, 7)]).unwrap();
+            m.observe(&extra);
+            let refit = m.refit_idf();
+            grown.push(extra);
+            let fresh = TfIdfModel::fit_with(&grown, options).unwrap();
+            assert_eq!(m.num_docs(), fresh.num_docs());
+            for t in 0..4u32 {
+                assert_eq!(m.document_frequency(t), fresh.document_frequency(t));
+                assert_eq!(m.idf(t), fresh.idf(t), "{tf:?}/{idf:?} term {t}");
+            }
+            // Term 3 went from unseen (idf 0) to seen; in Standard/Smooth
+            // modes term 1's idf moved too.
+            assert!(refit.changed_terms.contains(&3) || idf == IdfMode::Unit);
+            assert_eq!(m.idf_drift(), 0.0, "refit must zero the drift");
+        }
+    }
+
+    #[test]
+    fn unobserve_is_inverse_of_observe() {
+        let mut m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        let reference = TfIdfModel::fit(&sample_corpus()).unwrap();
+        let doc = TermCounts::from_pairs(4, [(0, 2), (2, 5)]).unwrap();
+        m.observe(&doc);
+        m.unobserve(&doc);
+        assert_eq!(m.num_docs(), reference.num_docs());
+        for t in 0..4u32 {
+            assert_eq!(m.document_frequency(t), reference.document_frequency(t));
+        }
+        assert_eq!(m.idf_drift(), 0.0);
+        assert!(m.refit_idf().changed_terms.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "never observed")]
+    fn unobserve_unknown_document_panics() {
+        let mut m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        // Term 3 has df = 0: unobserving a doc containing it underflows.
+        m.unobserve(&TermCounts::from_pairs(4, [(3, 1)]).unwrap());
+    }
+
+    #[test]
+    fn drift_floors_denominator_for_near_zero_idf() {
+        // Term 0 is ubiquitous (idf = ln(1) = 0). Growing the corpus with
+        // docs that omit it gives it a small positive idf; drift must
+        // report that as an absolute delta, not divide by ~0.
+        let mut m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        m.observe(&TermCounts::from_pairs(4, [(1, 1)]).unwrap());
+        let drift = m.idf_drift();
+        let expected = (5.0f64 / 4.0).ln(); // term 0: idf 0 -> ln(5/4)
+        assert!(drift >= expected - 1e-12, "drift {drift} < {expected}");
+        assert!(drift.is_finite());
     }
 }

@@ -33,7 +33,7 @@ pub use ftrace::{FtraceTracer, TraceEvent};
 pub use hotcache::HotSetTracer;
 pub use lockfree::LockFreeFtraceTracer;
 pub use ringbuf::RingBuffer;
-pub use snapshot::CounterSnapshot;
+pub use snapshot::{CounterSnapshot, DeltaCursor};
 
 use fmeter_kernel_sim::Nanos;
 

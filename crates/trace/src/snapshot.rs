@@ -74,6 +74,67 @@ impl CounterSnapshot {
     }
 }
 
+/// A rolling delta over a stream of [`CounterSnapshot`]s — the state a
+/// streaming logging daemon carries between intervals.
+///
+/// Each [`advance`](DeltaCursor::advance) consumes the next snapshot and
+/// yields the per-function count difference since the previous one,
+/// together with the interval bounds: exactly the payload an incremental
+/// signature database ingests per interval. The cursor owns only the
+/// latest snapshot, so a daemon that runs forever holds O(functions)
+/// state, not O(history).
+///
+/// # Examples
+///
+/// ```
+/// use fmeter_kernel_sim::Nanos;
+/// use fmeter_trace::{CounterSnapshot, DeltaCursor};
+///
+/// let mut cursor = DeltaCursor::new(CounterSnapshot::new(vec![5, 0], Nanos(100)));
+/// let (counts, started, ended) = cursor.advance(CounterSnapshot::new(vec![9, 2], Nanos(200)));
+/// assert_eq!(counts, vec![4, 2]);
+/// assert_eq!((started, ended), (Nanos(100), Nanos(200)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaCursor {
+    previous: CounterSnapshot,
+}
+
+impl DeltaCursor {
+    /// Starts the stream at `initial` (its counts are the baseline the
+    /// first delta is measured from).
+    pub fn new(initial: CounterSnapshot) -> Self {
+        DeltaCursor { previous: initial }
+    }
+
+    /// The snapshot the next delta will be measured from.
+    pub fn previous(&self) -> &CounterSnapshot {
+        &self.previous
+    }
+
+    /// Consumes `next` and returns `(counts, started_at, ended_at)` for
+    /// the interval between the previous snapshot and `next`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshots cover different function counts (see
+    /// [`CounterSnapshot::delta`]).
+    pub fn advance(&mut self, next: CounterSnapshot) -> (Vec<u64>, Nanos, Nanos) {
+        let counts = self.previous.delta(&next);
+        let started_at = self.previous.taken_at();
+        let ended_at = next.taken_at();
+        self.previous = next;
+        (counts, started_at, ended_at)
+    }
+
+    /// Re-bases the stream on `snapshot`, discarding whatever happened
+    /// since the previous one (e.g. after a workload change, to avoid a
+    /// mixed-interval signature).
+    pub fn rebase(&mut self, snapshot: CounterSnapshot) {
+        self.previous = snapshot;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +170,27 @@ mod tests {
         assert!(!s.is_empty());
         assert_eq!(s.taken_at(), Nanos(7));
         assert_eq!(s.counts(), &[2, 3]);
+    }
+
+    #[test]
+    fn cursor_yields_consecutive_disjoint_deltas() {
+        let mut cursor = DeltaCursor::new(CounterSnapshot::new(vec![0, 10], Nanos(0)));
+        let (d1, s1, e1) = cursor.advance(CounterSnapshot::new(vec![3, 12], Nanos(5)));
+        assert_eq!(d1, vec![3, 2]);
+        assert_eq!((s1, e1), (Nanos(0), Nanos(5)));
+        let (d2, s2, e2) = cursor.advance(CounterSnapshot::new(vec![3, 20], Nanos(9)));
+        assert_eq!(d2, vec![0, 8]);
+        // Intervals tile the stream with no gap or overlap.
+        assert_eq!((s2, e2), (e1, Nanos(9)));
+        assert_eq!(cursor.previous().taken_at(), Nanos(9));
+    }
+
+    #[test]
+    fn cursor_rebase_discards_interim_counts() {
+        let mut cursor = DeltaCursor::new(CounterSnapshot::new(vec![0], Nanos(0)));
+        cursor.rebase(CounterSnapshot::new(vec![100], Nanos(50)));
+        let (d, s, e) = cursor.advance(CounterSnapshot::new(vec![101], Nanos(60)));
+        assert_eq!(d, vec![1]);
+        assert_eq!((s, e), (Nanos(50), Nanos(60)));
     }
 }

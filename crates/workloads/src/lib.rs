@@ -20,10 +20,12 @@ pub mod lmbench;
 mod macros;
 mod mix;
 mod noise;
+mod streaming;
 mod workload;
 
 pub use lmbench::{LatencyStats, LmbenchTest};
 pub use macros::{ApacheBench, Dbench, KCompile, NetperfReceive, Scp};
 pub use mix::OpMix;
 pub use noise::{Background, WithBackground};
+pub use streaming::RollingMix;
 pub use workload::{StepStats, Workload};

@@ -67,6 +67,16 @@ pub trait Workload {
     }
 }
 
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn step(&mut self, kernel: &mut Kernel, cpu: CpuId) -> Result<StepStats, KernelError> {
+        (**self).step(kernel, cpu)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,8 +15,20 @@ fn cargo() -> Command {
     cmd
 }
 
+/// The smoke tests shell out to `cargo ... --release`, so running them
+/// from a debug `cargo test` triggers a second, cold full-workspace
+/// release build. CI's debug matrix leg sets this variable to skip them
+/// there (the release leg still runs them).
+fn release_smoke_skipped() -> bool {
+    // Non-empty value required: CI exports the variable as "" on the
+    // release leg (GitHub env expressions cannot omit a key).
+    std::env::var("FMETER_SKIP_RELEASE_SMOKE").is_ok_and(|v| !v.is_empty())
+}
+
 #[test]
 fn examples_compile() {
+    // Builds in the ambient profile (no --release), so this stays cheap
+    // and is not gated by FMETER_SKIP_RELEASE_SMOKE.
     let output = cargo()
         .args(["build", "--examples", "--quiet"])
         .output()
@@ -29,7 +41,44 @@ fn examples_compile() {
 }
 
 #[test]
+fn streaming_daemon_example_runs_to_completion() {
+    if release_smoke_skipped() {
+        return;
+    }
+    // Release: the ingest loop simulates a full rolling-mix monitoring
+    // run. The example self-checks online accuracy and post-refit
+    // equivalence with a from-scratch rebuild, so a green exit means the
+    // incremental path still works end to end.
+    let output = cargo()
+        .args([
+            "run",
+            "--release",
+            "--quiet",
+            "--example",
+            "streaming_daemon",
+        ])
+        .output()
+        .expect("cargo is invocable");
+    assert!(
+        output.status.success(),
+        "streaming_daemon exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for marker in ["online classification accuracy", "post-refit equivalence"] {
+        assert!(
+            stdout.contains(marker),
+            "streaming_daemon output lost the `{marker}` section:\n{stdout}"
+        );
+    }
+}
+
+#[test]
 fn sanity_check_runs_to_completion() {
+    if release_smoke_skipped() {
+        return;
+    }
     // Release: the binary simulates tens of millions of kernel calls.
     let output = cargo()
         .args([
