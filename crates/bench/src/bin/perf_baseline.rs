@@ -56,10 +56,11 @@ struct Reference {
 
 /// Numbers recorded on the CI reference container around the
 /// zero-allocation hot-path refactor (fused kernels + CSR + dense
-/// centroids + flat postings) and the corpus-scale refactor (NN-chain
+/// centroids + flat postings), the corpus-scale refactor (NN-chain
 /// agglomeration, scatter/gather pairwise kernel, worker-pool K-means,
-/// WAND/MaxScore early-exit top-k).
-const REFERENCES: [Reference; 13] = [
+/// WAND/MaxScore early-exit top-k), and the durability refactor
+/// (versioned persistence envelope + vacuum compaction).
+const REFERENCES: [Reference; 15] = [
     Reference {
         name: "kmeans/k3_300pts_3815d",
         note: "pre-refactor (sub()-allocating kernels)",
@@ -126,6 +127,17 @@ const REFERENCES: [Reference; 13] = [
         note:
             "incremental insert into a 10k-doc db, threshold refits (~1300x vs rebuild-per-insert)",
         ns_per_iter: 30_473.0,
+    },
+    Reference {
+        name: "db/vacuum_after_churn",
+        note: "clone + vacuum of an 11k-slot db with a third tombstoned \
+               (clone alone ~11.1 ms, so compaction proper is ~17.6 ms)",
+        ns_per_iter: 28_688_461.0,
+    },
+    Reference {
+        name: "db/save_load",
+        note: "versioned-envelope save + migrate/validate/load round trip at 11k docs",
+        ns_per_iter: 977_006_913.0,
     },
 ];
 
@@ -603,6 +615,55 @@ fn main() {
         probes.len(),
         refit_stats.changed_terms,
         refit_stats.reweighted_docs
+    );
+
+    // Vacuum compaction after churn: tombstone a third of the database
+    // (a long-horizon daemon's accumulated eviction debt), then measure
+    // the clone+vacuum cost against the clone alone — the difference is
+    // what a daemon pays to cap its memory. Post-vacuum behaviour is
+    // pinned by the property suite; here we pin the cost.
+    let mut churned = stale_db;
+    for d in (0..churned.num_slots()).step_by(3) {
+        if churned.is_live(d) {
+            churned.remove(d).unwrap();
+        }
+    }
+    let dead = churned.num_slots() - churned.len();
+    let (iters, ns) = time_case(budget_ms, 1, || churned.clone());
+    push(
+        "db/clone_churned",
+        format!("n={} dead={dead} dim={ingest_dim}", churned.num_slots()),
+        iters,
+        ns,
+    );
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        let mut c = churned.clone();
+        c.vacuum();
+        c
+    });
+    push(
+        "db/vacuum_after_churn",
+        format!("n={} dead={dead} dim={ingest_dim}", churned.num_slots()),
+        iters,
+        ns,
+    );
+
+    // Envelope persistence round trip: what a daemon pays at
+    // checkpoint/restart (save writes the versioned envelope, load
+    // detects, migrates if needed, validates, and rebuilds).
+    let mut saved = Vec::new();
+    db.save(&mut saved).unwrap();
+    let saved_len = saved.len();
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        saved.clear();
+        db.save(&mut saved).unwrap();
+        SignatureDb::load(&saved[..]).unwrap()
+    });
+    push(
+        "db/save_load",
+        format!("n={} dim={ingest_dim} bytes={saved_len}", db.num_slots()),
+        iters,
+        ns,
     );
 
     let report = Report {

@@ -80,6 +80,58 @@ pub struct RefitStats {
     pub max_idf_drift: f64,
 }
 
+/// When an incremental [`SignatureDb`] compacts its tombstoned slots.
+///
+/// Removals leave permanent holes: the raw counts, the stored vector,
+/// and the doc-epoch bookkeeping of a removed signature all stay
+/// allocated so that doc ids remain stable. A long-horizon daemon with
+/// a sliding retention window therefore grows without bound — one dead
+/// slot per evicted interval. [`SignatureDb::vacuum`] reclaims that
+/// memory by renumbering; this policy decides when the database does it
+/// by itself (on the removal path, right after the refit policy runs).
+///
+/// **An automatic vacuum renumbers doc ids**, exactly like a manual
+/// one. Callers holding doc ids across mutations must either keep the
+/// policy at [`Never`](VacuumPolicy::Never) and vacuum at moments they
+/// control, or translate their ids through
+/// [`SignatureDb::last_vacuum`]'s remap after every removal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VacuumPolicy {
+    /// Never vacuum automatically; the owner calls
+    /// [`SignatureDb::vacuum`] (e.g. alongside a manual refit).
+    Never,
+    /// Vacuum as soon as tombstoned slots exceed `max_dead_fraction` of
+    /// the slot space *and* at least `min_dead` slots are dead (the
+    /// floor keeps small databases from vacuuming on every removal).
+    DeadFraction {
+        /// Maximum tolerated `dead slots / total slots` ratio.
+        max_dead_fraction: f64,
+        /// Minimum number of dead slots before a vacuum can trigger.
+        min_dead: usize,
+    },
+}
+
+impl Default for VacuumPolicy {
+    /// Defaults to [`Never`](VacuumPolicy::Never): compaction
+    /// invalidates external doc ids, so it must be opted into.
+    fn default() -> Self {
+        VacuumPolicy::Never
+    }
+}
+
+/// Outcome of one [`SignatureDb::vacuum`] pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VacuumStats {
+    /// Tombstoned slots whose raw counts, vectors, and bookkeeping were
+    /// reclaimed.
+    pub dropped_slots: usize,
+    /// Live signatures surviving the compaction (`== len()`).
+    pub live_docs: usize,
+    /// Old doc id → new doc id; `None` for slots that were dead.
+    /// Indexed by pre-vacuum doc id over the pre-vacuum slot space.
+    pub remap: Vec<Option<DocId>>,
+}
+
 /// A labelled database of indexable signatures.
 ///
 /// This is the paper's envisioned operator workflow (§2.2): signatures
@@ -109,25 +161,43 @@ pub struct RefitStats {
 ///
 /// Doc ids are stable for the lifetime of the database: removal leaves
 /// a permanent hole, [`signatures`](Self::signatures) stays indexable
-/// by doc id, and [`len`](Self::len) counts live signatures only.
-#[derive(Debug, Serialize, Deserialize)]
+/// by doc id, and [`len`](Self::len) counts live signatures only —
+/// until a [`vacuum`](Self::vacuum), which deliberately renumbers the
+/// live ids densely and reclaims the dead slots' memory.
+///
+/// # Persistence
+///
+/// [`save`](Self::save) writes a versioned envelope (magic, format
+/// version, section table) and [`load`](Self::load) reads *any*
+/// supported historical format, migrating it forward — including the
+/// bare unversioned JSON that pre-envelope releases wrote. See the
+/// [`persist`](crate::persist) module for the format contract.
+#[derive(Debug, Clone)]
 pub struct SignatureDb {
-    model: TfIdfModel,
-    signatures: Vec<Signature>,
-    index: InvertedIndex,
+    pub(crate) model: TfIdfModel,
+    pub(crate) signatures: Vec<Signature>,
+    pub(crate) index: InvertedIndex,
     /// Raw interval counts per doc-id slot (kept so refits can
     /// re-transform and removals can un-observe exactly).
-    corpus: Corpus,
+    pub(crate) corpus: Corpus,
     /// Liveness per doc-id slot.
-    live: Vec<bool>,
-    num_live: usize,
+    pub(crate) live: Vec<bool>,
+    pub(crate) num_live: usize,
     /// Current idf generation; bumped by every refit.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Idf generation each stored vector was (re)computed under.
-    doc_epoch: Vec<u64>,
-    refit_policy: RefitPolicy,
+    pub(crate) doc_epoch: Vec<u64>,
+    pub(crate) refit_policy: RefitPolicy,
     /// Inserts + removals since the last refit (staleness measure).
-    mutations_since_refit: usize,
+    pub(crate) mutations_since_refit: usize,
+    pub(crate) vacuum_policy: VacuumPolicy,
+    /// Vacuums performed over the database's lifetime (survives
+    /// save/load; observability for long-horizon daemons).
+    pub(crate) vacuums: u64,
+    /// Stats (incl. the id remap) of the most recent vacuum in this
+    /// process. *Not* persisted — a remap is only meaningful to the
+    /// process whose ids it invalidated.
+    pub(crate) last_vacuum: Option<VacuumStats>,
 }
 
 impl SignatureDb {
@@ -181,6 +251,9 @@ impl SignatureDb {
             doc_epoch: vec![0; n],
             refit_policy: RefitPolicy::default(),
             mutations_since_refit: 0,
+            vacuum_policy: VacuumPolicy::default(),
+            vacuums: 0,
+            last_vacuum: None,
         })
     }
 
@@ -270,7 +343,126 @@ impl SignatureDb {
         self.num_live -= 1;
         self.mutations_since_refit += 1;
         self.maybe_refit();
+        self.maybe_vacuum();
         Ok(())
+    }
+
+    /// Compacts the database in place: tombstoned slots are dropped for
+    /// good (raw counts, stored vectors, postings, epoch bookkeeping)
+    /// and the surviving signatures are renumbered to dense doc ids
+    /// `0..len()` in their original order.
+    ///
+    /// This is the memory-reclamation half of the streaming contract:
+    /// [`remove`](Self::remove) keeps doc ids stable by leaving
+    /// permanent holes, so a daemon with a sliding retention window
+    /// grows one dead slot per evicted interval forever; `vacuum`
+    /// trades id stability for bounded memory at a moment the caller
+    /// (or the [`VacuumPolicy`]) chooses.
+    ///
+    /// **Every external doc id is invalidated on purpose.** The
+    /// returned [`VacuumStats::remap`] translates old ids to new ones
+    /// (`None` = the slot was dead); anything holding ids — syndrome
+    /// member lists, eviction cursors, ids handed to other systems —
+    /// must be remapped or rebuilt.
+    ///
+    /// The tf-idf model is untouched (document frequencies already
+    /// describe the live corpus only) and the epoch does not advance:
+    /// per-doc idf generations carry over, so a stale database stays
+    /// exactly as stale. The posting store is rebuilt from the live
+    /// vectors, which makes it bit-identical to a fresh
+    /// [`build`](Self::build)'s index over the surviving corpus.
+    pub fn vacuum(&mut self) -> VacuumStats {
+        let slots = self.signatures.len();
+        let dim = self.dim();
+        let mut remap: Vec<Option<DocId>> = vec![None; slots];
+        let mut index = InvertedIndex::new(dim);
+        let mut corpus = Corpus::new(dim);
+        let mut signatures = Vec::with_capacity(self.num_live);
+        let mut doc_epoch = Vec::with_capacity(self.num_live);
+        let old_signatures = std::mem::take(&mut self.signatures);
+        let old_corpus = std::mem::replace(&mut self.corpus, Corpus::new(dim));
+        for ((d, sig), counts) in old_signatures.into_iter().enumerate().zip(old_corpus) {
+            if !self.live[d] {
+                continue;
+            }
+            remap[d] = Some(signatures.len());
+            index
+                .insert(sig.vector.clone())
+                .expect("live vector matches the database dimension");
+            corpus.push(counts);
+            doc_epoch.push(self.doc_epoch[d]);
+            signatures.push(sig);
+        }
+        index.optimize();
+        self.signatures = signatures;
+        self.corpus = corpus;
+        self.index = index;
+        self.doc_epoch = doc_epoch;
+        self.live = vec![true; self.num_live];
+        self.vacuums += 1;
+        let stats = VacuumStats {
+            dropped_slots: slots - self.num_live,
+            live_docs: self.num_live,
+            remap,
+        };
+        self.last_vacuum = Some(stats.clone());
+        stats
+    }
+
+    /// Runs the configured [`VacuumPolicy`], vacuuming when due.
+    fn maybe_vacuum(&mut self) -> Option<&VacuumStats> {
+        let VacuumPolicy::DeadFraction {
+            max_dead_fraction,
+            min_dead,
+        } = self.vacuum_policy
+        else {
+            return None;
+        };
+        let dead = self.signatures.len() - self.num_live;
+        let due = dead >= min_dead.max(1)
+            && dead as f64 >= max_dead_fraction * self.signatures.len() as f64;
+        if due {
+            self.vacuum();
+            self.last_vacuum.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The automatic-vacuum policy (defaults to
+    /// [`VacuumPolicy::Never`]).
+    pub fn vacuum_policy(&self) -> VacuumPolicy {
+        self.vacuum_policy
+    }
+
+    /// Replaces the automatic-vacuum policy.
+    pub fn set_vacuum_policy(&mut self, policy: VacuumPolicy) {
+        self.vacuum_policy = policy;
+    }
+
+    /// Number of vacuums performed over the database's lifetime
+    /// (persisted across save/load).
+    pub fn vacuums(&self) -> u64 {
+        self.vacuums
+    }
+
+    /// Stats of the most recent vacuum in this process, if any —
+    /// including the old→new id remap an automatic
+    /// ([`VacuumPolicy`]-driven) vacuum produced. Cleared by neither
+    /// mutations nor refits, but not persisted: a loaded database
+    /// starts with `None`.
+    pub fn last_vacuum(&self) -> Option<&VacuumStats> {
+        self.last_vacuum.as_ref()
+    }
+
+    /// Fraction of the slot space occupied by tombstones (`0.0` for an
+    /// empty database) — what [`VacuumPolicy::DeadFraction`] watches.
+    pub fn dead_fraction(&self) -> f64 {
+        if self.signatures.is_empty() {
+            0.0
+        } else {
+            (self.signatures.len() - self.num_live) as f64 / self.signatures.len() as f64
+        }
     }
 
     /// Republishes the idf weights from the current document
@@ -329,7 +521,11 @@ impl SignatureDb {
         stats
     }
 
-    /// Runs the configured [`RefitPolicy`], refitting when due.
+    /// Runs the configured [`RefitPolicy`], refitting when due. The
+    /// drift bound is checked with [`TfIdfModel::idf_drift_cached`] —
+    /// one `ln` per term *dirtied* since the last check instead of one
+    /// per dimension — so the policy costs O(dim) arithmetic, not
+    /// O(dim) transcendentals, on every mutation.
     fn maybe_refit(&mut self) -> Option<RefitStats> {
         let due = match self.refit_policy {
             RefitPolicy::Manual => false,
@@ -342,7 +538,7 @@ impl SignatureDb {
                     && ((self.num_live > 0
                         && self.mutations_since_refit as f64
                             >= max_stale_fraction * self.num_live as f64)
-                        || self.model.idf_drift() > max_idf_drift)
+                        || self.model.idf_drift_cached() > max_idf_drift)
             }
         };
         due.then(|| self.refit())
@@ -571,23 +767,51 @@ impl SignatureDb {
         ranked
     }
 
-    /// Serialises the database as JSON.
+    /// Serialises the database in the current on-disk format: a tagged
+    /// envelope (magic, format version, section table) whose layout is
+    /// specified and version-tabled in the [`persist`](crate::persist)
+    /// module. Older formats load via [`load`](Self::load)'s migration
+    /// chain; to *write* an older format (e.g. for a fleet that has not
+    /// upgraded yet), use
+    /// [`save_as_version`](Self::save_as_version).
     ///
     /// # Errors
     ///
     /// Propagates I/O and serialisation failures.
     pub fn save<W: Write>(&self, writer: W) -> Result<(), FmeterError> {
-        serde_json::to_writer(writer, self)?;
-        Ok(())
+        crate::persist::save(self, crate::persist::CURRENT_FORMAT_VERSION, writer)
     }
 
-    /// Loads a database previously written by [`save`](Self::save).
+    /// Serialises the database as a specific historical format version
+    /// (`0` = the pre-envelope bare JSON). Downgrading is lossy where
+    /// the older format has no room for newer state: a v1 (or v0) save
+    /// drops the vacuum policy and counter, which load back as their
+    /// defaults. Primarily for fixture generation and mixed-version
+    /// fleets.
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialisation failures.
+    /// Returns [`FmeterError::UnsupportedFormat`] for unknown versions
+    /// and propagates I/O and serialisation failures.
+    pub fn save_as_version<W: Write>(&self, version: u32, writer: W) -> Result<(), FmeterError> {
+        crate::persist::save(self, version, writer)
+    }
+
+    /// Loads a database previously written by [`save`](Self::save) —
+    /// by *any* release: the reader detects the format version (the
+    /// pre-envelope bare JSON counts as version 0) and migrates the
+    /// payload forward through every version table entry up to the
+    /// current one. A database saved by version N−1 code therefore
+    /// loads on version N with search/classify behaviour identical to
+    /// the state it was saved in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialisation failures; returns
+    /// [`FmeterError::UnsupportedFormat`] when the file was written by
+    /// a *newer* format than this build understands.
     pub fn load<R: Read>(reader: R) -> Result<Self, FmeterError> {
-        Ok(serde_json::from_reader(reader)?)
+        crate::persist::load(reader)
     }
 }
 
@@ -913,6 +1137,151 @@ mod tests {
         let r = raw_a(62, Some("a"));
         assert_eq!(restored.insert(&r).unwrap(), db.insert(&r).unwrap());
         assert_eq!(restored.refit(), db.refit());
+    }
+
+    #[test]
+    fn vacuum_renumbers_and_matches_rebuild() {
+        let raw = sample_raw();
+        let mut db = SignatureDb::build(&raw).unwrap();
+        db.set_refit_policy(RefitPolicy::Manual);
+        // Remove all six "b" signatures (odd doc ids), leaving holes.
+        for d in (1..12).step_by(2) {
+            db.remove(d).unwrap();
+        }
+        assert_eq!(db.num_slots(), 12);
+        assert!((db.dead_fraction() - 0.5).abs() < 1e-12);
+        let epoch_before = db.epoch();
+        let stats = db.vacuum();
+        assert_eq!(stats.dropped_slots, 6);
+        assert_eq!(stats.live_docs, 6);
+        assert_eq!(db.num_slots(), 6, "dead slots reclaimed");
+        assert_eq!(db.len(), 6);
+        assert_eq!(db.dead_fraction(), 0.0);
+        assert_eq!(db.vacuums(), 1);
+        assert_eq!(
+            db.epoch(),
+            epoch_before,
+            "vacuum does not advance the epoch"
+        );
+        assert_eq!(db.last_vacuum(), Some(&stats));
+        // The remap sends live slot 2k to k and dead slots to None.
+        for d in 0..12 {
+            if d % 2 == 0 {
+                assert_eq!(stats.remap[d], Some(d / 2));
+            } else {
+                assert_eq!(stats.remap[d], None);
+            }
+        }
+        // Renumbered ids are live and freshly dense.
+        for d in 0..6 {
+            assert!(db.is_live(d));
+        }
+        // After a refit (the stored vectors still carry the pre-removal
+        // idf generation) the compacted database behaves exactly like a
+        // fresh build over the survivors.
+        db.refit();
+        let surviving: Vec<RawSignature> = raw.iter().step_by(2).cloned().collect();
+        assert_matches_rebuild(&db, &surviving);
+        let syndromes = db.syndromes(1, 7).unwrap();
+        assert_eq!(syndromes[0].members.len(), 6);
+        // Ids keep extending densely after the vacuum.
+        let id = db.insert(&raw_a(70, Some("a"))).unwrap();
+        assert_eq!(id, 6);
+    }
+
+    #[test]
+    fn vacuum_after_refit_churn_matches_rebuild() {
+        // Vacuum on a database whose epochs are mid-drift: insert, refit,
+        // insert more (stale docs at mixed epochs), remove some, vacuum.
+        let mut raw = sample_raw();
+        let mut db = SignatureDb::build(&raw).unwrap();
+        db.set_refit_policy(RefitPolicy::Manual);
+        for i in 20..24u64 {
+            let r = raw_a(i, Some("a"));
+            db.insert(&r).unwrap();
+            raw.push(r);
+        }
+        db.refit();
+        for i in 24..28u64 {
+            let r = raw_a(i, Some("a"));
+            db.insert(&r).unwrap();
+            raw.push(r);
+        }
+        for d in [0usize, 5, 13, 17] {
+            db.remove(d).unwrap();
+        }
+        let stats = db.vacuum();
+        assert_eq!(stats.dropped_slots, 4);
+        // Per-doc epochs carry over through the renumbering.
+        assert!(db.signatures().len() == db.len());
+        let surviving: Vec<RawSignature> = (0..raw.len())
+            .filter(|d| ![0usize, 5, 13, 17].contains(d))
+            .map(|d| raw[d].clone())
+            .collect();
+        db.refit();
+        assert_matches_rebuild(&db, &surviving);
+    }
+
+    #[test]
+    fn vacuum_policy_triggers_on_dead_fraction() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.set_refit_policy(RefitPolicy::Manual);
+        db.set_vacuum_policy(VacuumPolicy::DeadFraction {
+            max_dead_fraction: 0.25,
+            min_dead: 3,
+        });
+        assert_eq!(db.vacuum_policy(), db.vacuum_policy());
+        db.remove(1).unwrap();
+        db.remove(3).unwrap();
+        // 2 dead of 12 slots: under both bounds, nothing happens.
+        assert_eq!(db.num_slots(), 12);
+        assert!(db.last_vacuum().is_none());
+        // Third removal crosses min_dead and the 25% fraction.
+        db.remove(5).unwrap();
+        assert_eq!(db.vacuums(), 1);
+        assert_eq!(db.num_slots(), 9, "auto-vacuum compacted the slots");
+        let stats = db.last_vacuum().expect("auto-vacuum records its remap");
+        assert_eq!(stats.dropped_slots, 3);
+        assert_eq!(stats.remap.len(), 12);
+        assert_eq!(stats.remap[1], None);
+        assert_eq!(stats.remap[2], Some(1));
+    }
+
+    #[test]
+    fn vacuum_on_clean_database_is_identity() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        let before: Vec<SparseVec> = db.signatures().iter().map(|s| s.vector.clone()).collect();
+        let stats = db.vacuum();
+        assert_eq!(stats.dropped_slots, 0);
+        assert_eq!(stats.live_docs, 12);
+        assert!(stats.remap.iter().enumerate().all(|(d, m)| *m == Some(d)));
+        for (s, b) in db.signatures().iter().zip(&before) {
+            assert_eq!(&s.vector, b);
+        }
+        let query = TermCounts::from_dense(&[45, 38, 28, 22, 0, 0, 0, 0]);
+        assert_eq!(db.classify(&query, 3).unwrap().as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn save_load_round_trips_vacuum_state() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.set_refit_policy(RefitPolicy::Manual);
+        db.set_vacuum_policy(VacuumPolicy::DeadFraction {
+            max_dead_fraction: 0.9,
+            min_dead: 100,
+        });
+        db.remove(2).unwrap();
+        db.vacuum();
+        let mut buffer = Vec::new();
+        db.save(&mut buffer).unwrap();
+        let restored = SignatureDb::load(&buffer[..]).unwrap();
+        assert_eq!(restored.vacuum_policy(), db.vacuum_policy());
+        assert_eq!(restored.vacuums(), 1);
+        assert_eq!(restored.num_slots(), db.num_slots());
+        assert!(
+            restored.last_vacuum().is_none(),
+            "the remap is process-local state"
+        );
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub enum FmeterError {
     NoSignatures,
     /// Signature persistence failed.
     Persist(String),
+    /// A persisted database names a format version this build does not
+    /// know how to read or write (e.g. written by a newer release; see
+    /// [`persist::FORMAT_VERSIONS`](crate::persist::FORMAT_VERSIONS)).
+    UnsupportedFormat {
+        /// The version tag found in (or requested for) the file.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for FmeterError {
@@ -29,6 +38,10 @@ impl fmt::Display for FmeterError {
             FmeterError::Ml(e) => write!(f, "learning error: {e}"),
             FmeterError::NoSignatures => write!(f, "no signatures collected"),
             FmeterError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            FmeterError::UnsupportedFormat { found, supported } => write!(
+                f,
+                "unsupported database format version {found} (this build supports up to {supported})"
+            ),
         }
     }
 }

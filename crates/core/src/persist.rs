@@ -1,0 +1,728 @@
+//! Versioned on-disk persistence for [`SignatureDb`] — the format
+//! contract, its version table, and the migration chain.
+//!
+//! The paper's whole premise is that signatures are *indexable
+//! artifacts* an operator stores and searches over time (§1, §4); a
+//! monitoring daemon that cannot reload last week's database after a
+//! software upgrade defeats that. Persisted state is therefore a
+//! contract, not a debug dump:
+//!
+//! * every save is wrapped in a tagged **envelope** — a magic line, a
+//!   format version, and a section table with byte lengths — so readers
+//!   know exactly what they are holding before parsing a byte of
+//!   payload;
+//! * every historical layout has an entry in [`FORMAT_VERSIONS`] and a
+//!   committed fixture under `tests/fixtures/` that locks it in
+//!   forever;
+//! * [`load`] migrates any supported version forward, one
+//!   version-to-version migration function at a time, so a database
+//!   saved by release N−1 loads on release N with identical
+//!   search/classify behaviour;
+//! * the **bare unversioned JSON** that pre-envelope releases wrote
+//!   (format version 0) is detected by the absence of the magic and
+//!   adopted into the chain.
+//!
+//! # Envelope layout
+//!
+//! ```text
+//! FMETERDB 2\n                                   ← magic + format version
+//! {"format_version":2,"sections":[["model",N],…]}\n   ← section table (JSON)
+//! <model bytes><corpus bytes><signatures bytes><index bytes><state bytes>
+//! ```
+//!
+//! Each section is a self-contained JSON document; the table carries
+//! its byte length, so a reader can skip, split, or stream sections
+//! without parsing them. Section payloads are looked up by *name*, so
+//! future versions may add or reorder sections freely.
+//!
+//! See `docs/PERSISTENCE.md` in the repository for the narrative
+//! version of this contract, including a worked save→upgrade→load
+//! example.
+
+use std::io::{Read, Write};
+
+use fmeter_ir::{Corpus, InvertedIndex, TfIdfModel};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::{FmeterError, RefitPolicy, Signature, SignatureDb, VacuumPolicy};
+
+/// First bytes of every enveloped save. A file that does not start with
+/// this is treated as format version 0 (pre-envelope bare JSON).
+pub const MAGIC: &str = "FMETERDB";
+
+/// The format version [`SignatureDb::save`] writes.
+pub const CURRENT_FORMAT_VERSION: u32 = 2;
+
+/// One entry of the on-disk format history.
+#[derive(Debug, Clone, Copy)]
+pub struct FormatVersion {
+    /// The version tag (what the magic line carries).
+    pub version: u32,
+    /// What this layout contains / what changed relative to the
+    /// previous version.
+    pub summary: &'static str,
+}
+
+/// Every on-disk layout ever written, oldest first. Each entry is
+/// locked in by a committed fixture under `tests/fixtures/`; changing
+/// the serialized layout requires appending a new entry here, a
+/// migration from the previous version, and a new fixture — the
+/// `persistence_formats` integration test fails otherwise.
+pub const FORMAT_VERSIONS: &[FormatVersion] = &[
+    FormatVersion {
+        version: 0,
+        summary: "bare unversioned JSON of the whole database struct (pre-envelope \
+                  releases); detected by the absence of the magic and adopted as v1",
+    },
+    FormatVersion {
+        version: 1,
+        summary: "first enveloped layout: model / corpus / signatures / index / state \
+                  sections, state carrying the incremental-ingest epoch bookkeeping \
+                  (live set, per-doc epochs, refit policy, mutation counter)",
+    },
+    FormatVersion {
+        version: 2,
+        summary: "state section gains the vacuum policy and the lifetime vacuum counter",
+    },
+];
+
+const SEC_MODEL: &str = "model";
+const SEC_CORPUS: &str = "corpus";
+const SEC_SIGNATURES: &str = "signatures";
+const SEC_INDEX: &str = "index";
+const SEC_STATE: &str = "state";
+
+/// The section table line that follows the magic line.
+#[derive(Debug, Serialize, Deserialize)]
+struct EnvelopeHeader {
+    format_version: u32,
+    /// `(section name, payload length in bytes)` in payload order.
+    sections: Vec<(String, usize)>,
+}
+
+/// The `state` section as written by format version 1.
+#[derive(Debug, Serialize, Deserialize)]
+struct StateV1 {
+    live: Vec<bool>,
+    num_live: usize,
+    epoch: u64,
+    doc_epoch: Vec<u64>,
+    refit_policy: RefitPolicy,
+    mutations_since_refit: usize,
+}
+
+/// The `state` section as written by format version 2.
+#[derive(Debug, Serialize, Deserialize)]
+struct StateV2 {
+    live: Vec<bool>,
+    num_live: usize,
+    epoch: u64,
+    doc_epoch: Vec<u64>,
+    refit_policy: RefitPolicy,
+    mutations_since_refit: usize,
+    vacuum_policy: VacuumPolicy,
+    vacuums: u64,
+}
+
+/// An in-memory envelope: version + named section value trees. The
+/// migration chain rewrites sections in place until the version reaches
+/// [`CURRENT_FORMAT_VERSION`].
+struct Envelope {
+    version: u32,
+    sections: Vec<(String, Value)>,
+}
+
+impl Envelope {
+    fn section(&self, name: &str) -> Result<&Value, FmeterError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| FmeterError::Persist(format!("envelope is missing section `{name}`")))
+    }
+
+    fn replace(&mut self, name: &str, value: Value) {
+        match self.sections.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.sections.push((name.to_string(), value)),
+        }
+    }
+}
+
+fn persist_err(context: &str, e: impl std::fmt::Display) -> FmeterError {
+    FmeterError::Persist(format!("{context}: {e}"))
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, FmeterError> {
+    v.get_field(name)
+        .map_err(|e| persist_err("legacy layout", e))
+}
+
+fn section_as<T: Deserialize>(env: &Envelope, name: &str) -> Result<T, FmeterError> {
+    T::from_value(env.section(name)?).map_err(|e| persist_err(&format!("section `{name}`"), e))
+}
+
+// ---- writing ---------------------------------------------------------
+
+/// Serialises `db` as on-disk format `version` (used by
+/// [`SignatureDb::save`] / [`SignatureDb::save_as_version`]).
+///
+/// # Errors
+///
+/// Returns [`FmeterError::UnsupportedFormat`] for versions outside
+/// [`FORMAT_VERSIONS`] and propagates I/O failures.
+pub fn save<W: Write>(db: &SignatureDb, version: u32, writer: W) -> Result<(), FmeterError> {
+    match version {
+        0 => save_v0(db, writer),
+        1 | 2 => write_envelope(&encode(db, version), writer),
+        found => Err(FmeterError::UnsupportedFormat {
+            found,
+            supported: CURRENT_FORMAT_VERSION,
+        }),
+    }
+}
+
+/// The pre-envelope layout: one bare JSON object holding every field of
+/// the database struct as the old `#[derive(Serialize)]` emitted it.
+fn save_v0<W: Write>(db: &SignatureDb, writer: W) -> Result<(), FmeterError> {
+    let value = Value::Object(vec![
+        ("model".to_string(), db.model.to_value()),
+        ("signatures".to_string(), db.signatures.to_value()),
+        ("index".to_string(), db.index.to_value()),
+        ("corpus".to_string(), db.corpus.to_value()),
+        ("live".to_string(), db.live.to_value()),
+        ("num_live".to_string(), db.num_live.to_value()),
+        ("epoch".to_string(), db.epoch.to_value()),
+        ("doc_epoch".to_string(), db.doc_epoch.to_value()),
+        ("refit_policy".to_string(), db.refit_policy.to_value()),
+        (
+            "mutations_since_refit".to_string(),
+            db.mutations_since_refit.to_value(),
+        ),
+    ]);
+    serde_json::to_writer(writer, &value)?;
+    Ok(())
+}
+
+fn encode(db: &SignatureDb, version: u32) -> Envelope {
+    debug_assert!(version == 1 || version == 2);
+    let state = if version == 1 {
+        StateV1 {
+            live: db.live.clone(),
+            num_live: db.num_live,
+            epoch: db.epoch,
+            doc_epoch: db.doc_epoch.clone(),
+            refit_policy: db.refit_policy,
+            mutations_since_refit: db.mutations_since_refit,
+        }
+        .to_value()
+    } else {
+        StateV2 {
+            live: db.live.clone(),
+            num_live: db.num_live,
+            epoch: db.epoch,
+            doc_epoch: db.doc_epoch.clone(),
+            refit_policy: db.refit_policy,
+            mutations_since_refit: db.mutations_since_refit,
+            vacuum_policy: db.vacuum_policy,
+            vacuums: db.vacuums,
+        }
+        .to_value()
+    };
+    Envelope {
+        version,
+        sections: vec![
+            (SEC_MODEL.to_string(), db.model.to_value()),
+            (SEC_CORPUS.to_string(), db.corpus.to_value()),
+            (SEC_SIGNATURES.to_string(), db.signatures.to_value()),
+            (SEC_INDEX.to_string(), db.index.to_value()),
+            (SEC_STATE.to_string(), state),
+        ],
+    }
+}
+
+fn write_envelope<W: Write>(env: &Envelope, mut writer: W) -> Result<(), FmeterError> {
+    let mut payloads = Vec::with_capacity(env.sections.len());
+    let mut table = Vec::with_capacity(env.sections.len());
+    for (name, value) in &env.sections {
+        let text = serde_json::to_string(value)?;
+        table.push((name.clone(), text.len()));
+        payloads.push(text);
+    }
+    let header = EnvelopeHeader {
+        format_version: env.version,
+        sections: table,
+    };
+    writer.write_all(format!("{MAGIC} {}\n", env.version).as_bytes())?;
+    writer.write_all(serde_json::to_string(&header)?.as_bytes())?;
+    writer.write_all(b"\n")?;
+    for payload in &payloads {
+        writer.write_all(payload.as_bytes())?;
+    }
+    Ok(())
+}
+
+// ---- reading ---------------------------------------------------------
+
+/// Peeks at serialized bytes and reports the on-disk format version:
+/// `Some(v)` for an enveloped save, `None` when the bytes carry no
+/// magic (i.e. a candidate version-0 bare-JSON save — or not a
+/// database at all, which only a full [`load`] can tell).
+pub fn detect_format_version(bytes: &[u8]) -> Option<u32> {
+    let text = std::str::from_utf8(bytes.get(..64.min(bytes.len()))?).ok()?;
+    let rest = text.strip_prefix(MAGIC)?.strip_prefix(' ')?;
+    rest.split('\n').next()?.trim().parse().ok()
+}
+
+/// Splits a serialized envelope into its format version and named
+/// section payloads (each a self-contained JSON string), without
+/// deserialising any of them — the introspection hook the layout-guard
+/// tests (and external tooling) use.
+///
+/// # Errors
+///
+/// Returns [`FmeterError::Persist`] when the bytes are not a
+/// well-formed envelope (version-0 saves have no envelope to split).
+pub fn split_envelope(text: &str) -> Result<(u32, Vec<(String, String)>), FmeterError> {
+    let (version, header, body) = parse_envelope_frame(text)?;
+    let mut offset = 0usize;
+    let mut sections = Vec::with_capacity(header.sections.len());
+    for (name, len) in header.sections {
+        let payload = body.get(offset..offset + len).ok_or_else(|| {
+            FmeterError::Persist(format!(
+                "section `{name}` (at {offset}, {len} bytes) overruns the file"
+            ))
+        })?;
+        sections.push((name, payload.to_string()));
+        offset += len;
+    }
+    if offset != body.len() {
+        return Err(FmeterError::Persist(format!(
+            "{} trailing bytes after the last section",
+            body.len() - offset
+        )));
+    }
+    Ok((version, sections))
+}
+
+/// Parses the magic and header lines, returning `(version, header,
+/// section payload bytes)`.
+fn parse_envelope_frame(text: &str) -> Result<(u32, EnvelopeHeader, &str), FmeterError> {
+    let rest = text
+        .strip_prefix(MAGIC)
+        .and_then(|t| t.strip_prefix(' '))
+        .ok_or_else(|| FmeterError::Persist("missing FMETERDB magic".to_string()))?;
+    let (version_str, rest) = rest
+        .split_once('\n')
+        .ok_or_else(|| FmeterError::Persist("truncated magic line".to_string()))?;
+    let version: u32 = version_str
+        .trim()
+        .parse()
+        .map_err(|e| persist_err("unparsable format version", e))?;
+    let (header_line, body) = rest
+        .split_once('\n')
+        .ok_or_else(|| FmeterError::Persist("truncated section table".to_string()))?;
+    let header: EnvelopeHeader = serde_json::from_str(header_line)?;
+    if header.format_version != version {
+        return Err(FmeterError::Persist(format!(
+            "magic line says version {version} but the section table says {}",
+            header.format_version
+        )));
+    }
+    Ok((version, header, body))
+}
+
+fn read_envelope(text: &str) -> Result<Envelope, FmeterError> {
+    let (version, sections) = split_envelope(text)?;
+    if version == 0 || version > CURRENT_FORMAT_VERSION {
+        return Err(FmeterError::UnsupportedFormat {
+            found: version,
+            supported: CURRENT_FORMAT_VERSION,
+        });
+    }
+    let sections = sections
+        .into_iter()
+        .map(|(name, payload)| {
+            let value: Value = serde_json::from_str(&payload)
+                .map_err(|e| persist_err(&format!("section `{name}`"), e))?;
+            Ok((name, value))
+        })
+        .collect::<Result<Vec<_>, FmeterError>>()?;
+    Ok(Envelope { version, sections })
+}
+
+/// Adopts a pre-envelope (format version 0) bare-JSON save: the old
+/// all-in-one object is split into the v1 sections, after which the
+/// ordinary migration chain takes over.
+fn adopt_legacy(text: &str) -> Result<Envelope, FmeterError> {
+    let value: Value = serde_json::from_str(text)?;
+    let state = Value::Object(vec![
+        ("live".to_string(), field(&value, "live")?.clone()),
+        ("num_live".to_string(), field(&value, "num_live")?.clone()),
+        ("epoch".to_string(), field(&value, "epoch")?.clone()),
+        ("doc_epoch".to_string(), field(&value, "doc_epoch")?.clone()),
+        (
+            "refit_policy".to_string(),
+            field(&value, "refit_policy")?.clone(),
+        ),
+        (
+            "mutations_since_refit".to_string(),
+            field(&value, "mutations_since_refit")?.clone(),
+        ),
+    ]);
+    Ok(Envelope {
+        version: 1,
+        sections: vec![
+            (SEC_MODEL.to_string(), field(&value, "model")?.clone()),
+            (SEC_CORPUS.to_string(), field(&value, "corpus")?.clone()),
+            (
+                SEC_SIGNATURES.to_string(),
+                field(&value, "signatures")?.clone(),
+            ),
+            (SEC_INDEX.to_string(), field(&value, "index")?.clone()),
+            (SEC_STATE.to_string(), state),
+        ],
+    })
+}
+
+// ---- migrations ------------------------------------------------------
+
+/// One step of the migration chain: rewrites an envelope from the keyed
+/// version to the next one.
+type Migration = fn(&mut Envelope) -> Result<(), FmeterError>;
+
+/// `(from_version, migration)` — every supported version below
+/// [`CURRENT_FORMAT_VERSION`] must have an entry; [`load`] applies them
+/// in sequence.
+const MIGRATIONS: &[(u32, Migration)] = &[(1, migrate_v1_to_v2)];
+
+/// v1 → v2: the state section gains the vacuum policy (default:
+/// [`VacuumPolicy::Never`]) and the lifetime vacuum counter (0 — a v1
+/// database never vacuumed).
+fn migrate_v1_to_v2(env: &mut Envelope) -> Result<(), FmeterError> {
+    let v1: StateV1 = section_as(env, SEC_STATE)?;
+    let v2 = StateV2 {
+        live: v1.live,
+        num_live: v1.num_live,
+        epoch: v1.epoch,
+        doc_epoch: v1.doc_epoch,
+        refit_policy: v1.refit_policy,
+        mutations_since_refit: v1.mutations_since_refit,
+        vacuum_policy: VacuumPolicy::Never,
+        vacuums: 0,
+    };
+    env.replace(SEC_STATE, v2.to_value());
+    Ok(())
+}
+
+fn migrate_to_current(env: &mut Envelope) -> Result<(), FmeterError> {
+    while env.version < CURRENT_FORMAT_VERSION {
+        let from = env.version;
+        let (_, migration) = MIGRATIONS.iter().find(|(v, _)| *v == from).ok_or_else(|| {
+            FmeterError::Persist(format!(
+                "no migration registered from format version {from}"
+            ))
+        })?;
+        migration(env)?;
+        env.version += 1;
+    }
+    Ok(())
+}
+
+// ---- decoding --------------------------------------------------------
+
+/// Reads a database from any supported on-disk format (used by
+/// [`SignatureDb::load`]): envelope saves are version-checked and
+/// migrated forward; magic-less bytes go through the version-0
+/// bare-JSON shim first.
+///
+/// # Errors
+///
+/// Returns [`FmeterError::UnsupportedFormat`] for saves from newer
+/// releases and [`FmeterError::Persist`] for malformed or inconsistent
+/// payloads.
+pub fn load<R: Read>(mut reader: R) -> Result<SignatureDb, FmeterError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let mut env = if text.starts_with(MAGIC) {
+        read_envelope(&text)?
+    } else {
+        adopt_legacy(&text)?
+    };
+    migrate_to_current(&mut env)?;
+    decode(&env)
+}
+
+/// Rebuilds the database from a current-version envelope, cross-checking
+/// the sections against each other so a corrupted (or hand-edited) file
+/// fails loudly instead of producing a database that panics later.
+fn decode(env: &Envelope) -> Result<SignatureDb, FmeterError> {
+    debug_assert_eq!(env.version, CURRENT_FORMAT_VERSION);
+    let model: TfIdfModel = section_as(env, SEC_MODEL)?;
+    let corpus: Corpus = section_as(env, SEC_CORPUS)?;
+    let signatures: Vec<Signature> = section_as(env, SEC_SIGNATURES)?;
+    let index: InvertedIndex = section_as(env, SEC_INDEX)?;
+    let state: StateV2 = section_as(env, SEC_STATE)?;
+    let slots = signatures.len();
+    let consistent = corpus.len() == slots
+        && state.live.len() == slots
+        && state.doc_epoch.len() == slots
+        && index.len() == slots
+        && state.num_live == state.live.iter().filter(|&&l| l).count()
+        && model.dim() == corpus.dim()
+        && model.dim() == index.dim();
+    if !consistent {
+        return Err(FmeterError::Persist(format!(
+            "inconsistent sections: {slots} signature slots vs {} corpus docs, \
+             {} live flags, {} doc epochs, {} indexed docs (num_live {})",
+            corpus.len(),
+            state.live.len(),
+            state.doc_epoch.len(),
+            index.len(),
+            state.num_live,
+        )));
+    }
+    // The index carries its own tombstones; they must agree slot-by-slot
+    // with the state section, or search would keep serving docs the
+    // database says are dead (and vice versa).
+    if let Some(d) = (0..slots).find(|&d| index.is_live(d) != state.live[d]) {
+        return Err(FmeterError::Persist(format!(
+            "inconsistent sections: doc {d} is {} in the state section but {} in the index",
+            if state.live[d] { "live" } else { "dead" },
+            if index.is_live(d) { "live" } else { "dead" },
+        )));
+    }
+    Ok(SignatureDb {
+        model,
+        signatures,
+        index,
+        corpus,
+        live: state.live,
+        num_live: state.num_live,
+        epoch: state.epoch,
+        doc_epoch: state.doc_epoch,
+        refit_policy: state.refit_policy,
+        mutations_since_refit: state.mutations_since_refit,
+        vacuum_policy: state.vacuum_policy,
+        vacuums: state.vacuums,
+        last_vacuum: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RawSignature;
+    use fmeter_ir::TermCounts;
+    use fmeter_kernel_sim::Nanos;
+
+    /// A small two-class database with tombstones and a bumped epoch —
+    /// non-trivial state in every section.
+    fn sample_db() -> SignatureDb {
+        let mut raw = Vec::new();
+        for i in 0..5u64 {
+            raw.push(RawSignature {
+                counts: vec![40 + i, 30, 20, 10, 0, 0, 1, 0],
+                started_at: Nanos(i * 100),
+                ended_at: Nanos((i + 1) * 100),
+                label: Some("a".into()),
+            });
+            raw.push(RawSignature {
+                counts: vec![0, 1, 0, 0, 50, 40 + i, 30, 20],
+                started_at: Nanos(i * 100),
+                ended_at: Nanos((i + 1) * 100),
+                label: Some("b".into()),
+            });
+        }
+        let mut db = SignatureDb::build(&raw).unwrap();
+        db.set_refit_policy(RefitPolicy::EveryN(1000));
+        db.remove(3).unwrap();
+        db.refit();
+        db.insert(&RawSignature {
+            counts: vec![44, 31, 19, 12, 0, 0, 1, 0],
+            started_at: Nanos(2000),
+            ended_at: Nanos(2100),
+            label: Some("a".into()),
+        })
+        .unwrap();
+        db
+    }
+
+    fn assert_equivalent(a: &SignatureDb, b: &SignatureDb) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.num_slots(), b.num_slots());
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.mutations_since_refit(), b.mutations_since_refit());
+        assert_eq!(a.refit_policy(), b.refit_policy());
+        for d in 0..a.num_slots() {
+            assert_eq!(a.is_live(d), b.is_live(d));
+            assert_eq!(a.doc_epoch(d), b.doc_epoch(d));
+            assert_eq!(a.signatures()[d].vector, b.signatures()[d].vector);
+        }
+        let q = TermCounts::from_dense(&[42, 30, 20, 11, 0, 0, 1, 0]);
+        let ha = a.search(&q, 4).unwrap();
+        let hb = b.search(&q, 4).unwrap();
+        assert_eq!(ha.len(), hb.len());
+        for ((s1, d1), (s2, d2)) in ha.iter().zip(&hb) {
+            assert_eq!(s1.label, s2.label);
+            assert_eq!(d1, d2);
+        }
+        assert_eq!(a.classify(&q, 3).unwrap(), b.classify(&q, 3).unwrap());
+    }
+
+    #[test]
+    fn current_version_round_trips() {
+        let mut db = sample_db();
+        db.set_vacuum_policy(VacuumPolicy::DeadFraction {
+            max_dead_fraction: 0.5,
+            min_dead: 4,
+        });
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        assert_eq!(
+            detect_format_version(&bytes),
+            Some(CURRENT_FORMAT_VERSION),
+            "save must write the current envelope"
+        );
+        let restored = SignatureDb::load(&bytes[..]).unwrap();
+        assert_equivalent(&db, &restored);
+        assert_eq!(restored.vacuum_policy(), db.vacuum_policy());
+        assert_eq!(restored.vacuums(), db.vacuums());
+        assert!(restored.last_vacuum().is_none(), "remaps are not persisted");
+    }
+
+    #[test]
+    fn every_historical_version_loads_via_migration() {
+        let db = sample_db();
+        for spec in FORMAT_VERSIONS {
+            let mut bytes = Vec::new();
+            db.save_as_version(spec.version, &mut bytes).unwrap();
+            if spec.version == 0 {
+                assert_eq!(detect_format_version(&bytes), None, "v0 has no magic");
+            } else {
+                assert_eq!(detect_format_version(&bytes), Some(spec.version));
+            }
+            let restored = SignatureDb::load(&bytes[..])
+                .unwrap_or_else(|e| panic!("v{} failed to load: {e}", spec.version));
+            assert_equivalent(&db, &restored);
+            // Fields the older layouts cannot carry come back as defaults.
+            assert_eq!(restored.vacuum_policy(), VacuumPolicy::Never);
+            assert_eq!(restored.vacuums(), 0);
+        }
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let future = text.replacen(
+            &format!("{MAGIC} {CURRENT_FORMAT_VERSION}\n"),
+            &format!("{MAGIC} 99\n"),
+            1,
+        );
+        let future = future.replacen(
+            &format!("\"format_version\":{CURRENT_FORMAT_VERSION}"),
+            "\"format_version\":99",
+            1,
+        );
+        match SignatureDb::load(future.as_bytes()) {
+            Err(FmeterError::UnsupportedFormat { found, supported }) => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, CURRENT_FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedFormat, got {other:?}"),
+        }
+        // Writing an unknown version is rejected the same way.
+        assert!(matches!(
+            db.save_as_version(99, &mut Vec::new()),
+            Err(FmeterError::UnsupportedFormat { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_envelopes_error_cleanly() {
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        // Truncated mid-section.
+        assert!(SignatureDb::load(&text.as_bytes()[..text.len() / 2]).is_err());
+        // Magic line and table disagree on the version.
+        let skewed = text.replacen(
+            &format!("{MAGIC} {CURRENT_FORMAT_VERSION}\n"),
+            &format!("{MAGIC} 1\n"),
+            1,
+        );
+        assert!(SignatureDb::load(skewed.as_bytes()).is_err());
+        // Garbage, empty, and non-database JSON all fail like before.
+        assert!(SignatureDb::load(&b"not json"[..]).is_err());
+        assert!(SignatureDb::load(&b""[..]).is_err());
+        assert!(SignatureDb::load(&b"{\"model\": 3}"[..]).is_err());
+    }
+
+    #[test]
+    fn mismatched_state_and_index_tombstones_are_rejected() {
+        // A self-consistent state section (flags and num_live agree) that
+        // disagrees with the index's own tombstones must not load: the
+        // database would search docs it reports as dead.
+        let db = sample_db();
+        let mut env = encode(&db, CURRENT_FORMAT_VERSION);
+        let mut state: StateV2 = section_as(&env, SEC_STATE).unwrap();
+        let victim = state.live.iter().position(|&l| l).unwrap();
+        state.live[victim] = false;
+        state.num_live -= 1;
+        env.replace(SEC_STATE, state.to_value());
+        let mut bytes = Vec::new();
+        write_envelope(&env, &mut bytes).unwrap();
+        match SignatureDb::load(&bytes[..]) {
+            Err(FmeterError::Persist(msg)) => {
+                assert!(msg.contains("state section"), "unexpected message: {msg}")
+            }
+            other => panic!("expected a Persist error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_envelope_exposes_the_section_table() {
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let (version, sections) = split_envelope(&text).unwrap();
+        assert_eq!(version, CURRENT_FORMAT_VERSION);
+        let names: Vec<&str> = sections.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [SEC_MODEL, SEC_CORPUS, SEC_SIGNATURES, SEC_INDEX, SEC_STATE]
+        );
+        // Every section is self-contained JSON.
+        for (name, payload) in &sections {
+            serde_json::from_str::<Value>(payload)
+                .unwrap_or_else(|e| panic!("section `{name}` is not valid JSON: {e}"));
+        }
+    }
+
+    #[test]
+    fn version_table_and_migrations_stay_in_sync() {
+        // Every version in the table except the newest must either be
+        // the legacy shim (0) or have a registered migration.
+        for spec in FORMAT_VERSIONS {
+            if spec.version == 0 || spec.version == CURRENT_FORMAT_VERSION {
+                continue;
+            }
+            assert!(
+                MIGRATIONS.iter().any(|(v, _)| *v == spec.version),
+                "format version {} has no migration to {}",
+                spec.version,
+                spec.version + 1
+            );
+        }
+        assert_eq!(
+            FORMAT_VERSIONS.last().map(|s| s.version),
+            Some(CURRENT_FORMAT_VERSION),
+            "the version table must end at the current version"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Property tests for the incremental `SignatureDb`: any interleave of
-//! insert / remove / refit must, once refitted, be indistinguishable
-//! from a from-scratch `build` over the surviving corpus, and the epoch
-//! state must survive save/load.
+//! insert / remove / refit / vacuum must, once refitted, be
+//! indistinguishable from a from-scratch `build` over the surviving
+//! corpus, and the epoch state must survive save/load.
 
 use fmeter_core::{RawSignature, RefitPolicy, SignatureDb};
 use fmeter_ir::TermCounts;
@@ -17,6 +17,8 @@ enum Op {
     /// Remove the `selector % live`-th live signature.
     Remove(usize),
     Refit,
+    /// Compact dead slots, renumbering every doc id.
+    Vacuum,
 }
 
 fn arb_counts() -> impl Strategy<Value = Vec<u64>> {
@@ -28,6 +30,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
         arb_counts().prop_map(Op::Insert),
         (0usize..64).prop_map(Op::Remove),
         Just(Op::Refit),
+        Just(Op::Vacuum),
     ]
 }
 
@@ -72,6 +75,22 @@ fn apply_ops(db: &mut SignatureDb, raws: &mut Vec<RawSignature>, ops: &[Op]) {
             }
             Op::Refit => {
                 db.refit();
+            }
+            Op::Vacuum => {
+                let slots_before = db.num_slots();
+                let live_before: Vec<usize> =
+                    (0..slots_before).filter(|&d| db.is_live(d)).collect();
+                let stats = db.vacuum();
+                assert_eq!(stats.remap.len(), slots_before);
+                assert_eq!(stats.live_docs, db.len());
+                assert_eq!(db.num_slots(), db.len(), "vacuum leaves no holes");
+                // The remap is exactly "live ids keep their order,
+                // renumbered densely"; the raw mirror compacts the same
+                // way so doc-id alignment survives.
+                for (new_id, &old_id) in live_before.iter().enumerate() {
+                    assert_eq!(stats.remap[old_id], Some(new_id));
+                }
+                *raws = live_before.iter().map(|&d| raws[d].clone()).collect();
             }
         }
     }
@@ -158,6 +177,41 @@ proptest! {
     }
 
     #[test]
+    fn vacuum_after_churn_matches_rebuild_and_drops_slots(
+        ops in prop::collection::vec(arb_op(), 0..24),
+        n_each in 2usize..5,
+    ) {
+        let mut raws = seed_corpus(n_each);
+        let mut db = SignatureDb::build(&raws).expect("seed corpus builds");
+        db.set_refit_policy(RefitPolicy::Manual);
+        apply_ops(&mut db, &mut raws, &ops);
+        let slots_with_holes = db.num_slots();
+        let dead = slots_with_holes - db.len();
+        // Capture the survivors while the raw mirror still aligns with
+        // the pre-vacuum slot space (the vacuum renumbers it).
+        let survivors = surviving(&db, &raws);
+        let stats = db.vacuum();
+        prop_assert_eq!(stats.dropped_slots, dead);
+        prop_assert_eq!(db.num_slots(), db.len());
+        prop_assert_eq!(db.dead_fraction(), 0.0);
+        // Post-vacuum (and post-refit, to land on the fresh idf
+        // generation) the database is indistinguishable from a rebuild:
+        // search, classification, and syndrome extraction all agree.
+        db.refit();
+        prop_assert!(!survivors.is_empty());
+        let fresh = SignatureDb::build(&survivors).expect("survivors build");
+        assert_equivalent(&db, &fresh, &survivors);
+        if db.len() >= 4 {
+            let a = db.syndromes(2, 11).expect("syndromes");
+            let b = fresh.syndromes(2, 11).expect("syndromes");
+            for (sa, sb) in a.iter().zip(&b) {
+                prop_assert_eq!(&sa.members, &sb.members);
+                prop_assert_eq!(&sa.dominant_label, &sb.dominant_label);
+            }
+        }
+    }
+
+    #[test]
     fn save_load_round_trips_epoch_state(
         ops in prop::collection::vec(arb_op(), 0..16),
     ) {
@@ -173,6 +227,7 @@ proptest! {
         prop_assert_eq!(restored.num_slots(), db.num_slots());
         prop_assert_eq!(restored.refit_policy(), db.refit_policy());
         prop_assert_eq!(restored.mutations_since_refit(), db.mutations_since_refit());
+        prop_assert_eq!(restored.vacuums(), db.vacuums());
         for d in 0..db.num_slots() {
             prop_assert_eq!(restored.is_live(d), db.is_live(d));
             prop_assert_eq!(restored.doc_epoch(d), db.doc_epoch(d));

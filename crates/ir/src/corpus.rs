@@ -210,6 +210,18 @@ impl Corpus {
     }
 }
 
+impl IntoIterator for Corpus {
+    type Item = TermCounts;
+    type IntoIter = std::vec::IntoIter<TermCounts>;
+
+    /// Consumes the corpus, yielding its documents in insertion order —
+    /// the move-based path compaction passes use to repack a corpus
+    /// without cloning every document's count buffers.
+    fn into_iter(self) -> Self::IntoIter {
+        self.docs.into_iter()
+    }
+}
+
 impl FromIterator<TermCounts> for Corpus {
     /// Collects documents into a corpus; the dimension is taken from the
     /// first document (empty input produces a zero-dimension corpus).
@@ -313,5 +325,8 @@ mod tests {
         assert_eq!(c.dim(), 3);
         c.extend([TermCounts::from_pairs(3, [(2, 2)]).unwrap()]);
         assert_eq!(c.len(), 3);
+        let docs: Vec<TermCounts> = c.into_iter().collect();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[2].count(2), 2);
     }
 }

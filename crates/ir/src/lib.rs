@@ -10,7 +10,24 @@
 //!
 //! The crate is deliberately independent of the kernel simulator: a *term* is
 //! just a `u32` [`TermId`], so the same model works for kernel-function
-//! signatures, text, or any other bag-of-terms data.
+//! signatures, text, or any other bag-of-terms data. It owns everything
+//! between raw counts and ranked hits:
+//!
+//! * [`TermCounts`] / [`Corpus`] — the raw bag-of-terms documents (§2.1's
+//!   `n_{i,j}` counts),
+//! * [`TfIdfModel`] — fitting, transforming, and *incrementally
+//!   maintaining* the weights (observe/unobserve, drift measurement with
+//!   a cached estimator, one-pass idf refits),
+//! * [`SparseVec`] and the fused [`Metric`] distance kernels, plus the
+//!   packed [`CsrMatrix`] corpus layout the batch/clustering paths use,
+//! * [`InvertedIndex`] — the flat-postings search structure with
+//!   tombstone-aware removal, posting rebuilds, and WAND/MaxScore
+//!   early-exit top-k (§2.2's "database of previously labeled
+//!   signatures" retrieval path).
+//!
+//! `fmeter-core` assembles these into the operator-facing
+//! [`SignatureDb`](https://docs.rs/fmeter-core); `docs/ARCHITECTURE.md`
+//! in the repository shows the full data flow.
 //!
 //! # Quickstart
 //!

@@ -8,6 +8,8 @@
 //! row at construction so cosine similarity and the K-means norm trick
 //! never recompute them.
 
+use serde::{Deserialize, Serialize, Value};
+
 use crate::distance::{cosine_similarity_with_norms, sq_norm};
 use crate::{IrError, Metric, SparseVec, TermId};
 
@@ -45,6 +47,35 @@ pub struct CsrMatrix {
     values: Vec<f64>,
     norms: Vec<f64>,
     sq_norms: Vec<f64>,
+}
+
+// Serde surface for packed corpora (nothing in the SignatureDb envelope
+// embeds a CsrMatrix today — this is for callers persisting their own
+// matrix artifacts). Implemented by hand so (a) the cached norms stay
+// out of the serialized layout (they are derived data, recomputed on
+// load) and (b) deserialization routes through `from_raw_parts`, whose
+// invariant checks turn a corrupted or hand-edited payload into an
+// error instead of a kernel that indexes out of bounds.
+impl Serialize for CsrMatrix {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("indptr".to_string(), self.indptr.to_value()),
+            ("indices".to_string(), self.indices.to_value()),
+            ("values".to_string(), self.values.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CsrMatrix {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let dim = usize::from_value(v.get_field("dim")?)?;
+        let indptr = Vec::from_value(v.get_field("indptr")?)?;
+        let indices = Vec::from_value(v.get_field("indices")?)?;
+        let values = Vec::from_value(v.get_field("values")?)?;
+        CsrMatrix::from_raw_parts(dim, indptr, indices, values)
+            .map_err(|e| serde::Error(format!("invalid CsrMatrix: {e}")))
+    }
 }
 
 impl CsrMatrix {
@@ -491,6 +522,43 @@ impl CsrMatrix {
 
 #[cfg(test)]
 mod tests {
+    mod serde_surface {
+        use crate::{CsrMatrix, SparseVec};
+
+        #[test]
+        fn round_trips_and_recomputes_norms() {
+            let rows = vec![
+                SparseVec::from_pairs(6, [(0, 3.0), (4, 4.0)]).unwrap(),
+                SparseVec::zeros(6),
+                SparseVec::from_pairs(6, [(2, -1.5)]).unwrap(),
+            ];
+            let m = CsrMatrix::from_rows(&rows).unwrap();
+            let json = serde_json::to_string(&m).unwrap();
+            // Derived data (norms) stays out of the persisted layout.
+            assert!(!json.contains("norms"));
+            let restored: CsrMatrix = serde_json::from_str(&json).unwrap();
+            assert_eq!(restored, m);
+            assert!((restored.norm(0) - 5.0).abs() < 1e-12);
+            assert_eq!(restored.norm(1), 0.0);
+        }
+
+        #[test]
+        fn rejects_corrupted_layout() {
+            // indptr not monotone / out of bounds must error, not panic.
+            for bad in [
+                r#"{"dim":4,"indptr":[0,5],"indices":[1],"values":[1.0]}"#,
+                r#"{"dim":4,"indptr":[0,1],"indices":[9],"values":[1.0]}"#,
+                r#"{"dim":4,"indptr":[0,2],"indices":[2,1],"values":[1.0,2.0]}"#,
+                r#"{"dim":4,"indptr":[0,1],"indices":[1,2],"values":[1.0]}"#,
+            ] {
+                assert!(
+                    serde_json::from_str::<CsrMatrix>(bad).is_err(),
+                    "accepted corrupt matrix {bad}"
+                );
+            }
+        }
+    }
+
     use super::*;
     use crate::euclidean_distance;
 

@@ -1,4 +1,4 @@
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::{Corpus, CsrMatrix, IrError, SparseVec, TermCounts};
 
@@ -84,13 +84,65 @@ pub struct IdfRefit {
 /// assert_eq!(w.get(0), 0.0);            // term 0 is in every doc
 /// assert!(w.get(1) > 0.0);              // term 1 is discriminative
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TfIdfModel {
     dim: usize,
     num_docs: usize,
     doc_freq: Vec<u32>,
     idf: Vec<f64>,
     options: TfIdfOptions,
+    /// Per-term `ln(df)` cache backing [`idf_drift_cached`]
+    /// (`NAN` = stale, recomputed lazily). Only `df` changes invalidate
+    /// an entry, so a mutation dirties at most its document's support
+    /// instead of the whole dimension. Not part of the serialized model.
+    ///
+    /// [`idf_drift_cached`]: TfIdfModel::idf_drift_cached
+    ln_df: Vec<f64>,
+    /// `true` exactly when no observe/unobserve happened since the last
+    /// fit/refit — the drift is then zero by construction and both drift
+    /// paths short-circuit. Not serialized (loads conservatively stale).
+    drift_clean: bool,
+}
+
+/// The serialized field set (and order) of [`TfIdfModel`] — the
+/// hand-written impls below must keep emitting exactly this layout so
+/// the persisted-database envelope stays stable while in-memory caches
+/// come and go.
+const MODEL_FIELDS: [&str; 5] = ["dim", "num_docs", "doc_freq", "idf", "options"];
+
+// Serialization is implemented by hand (not derived) so the `ln_df` /
+// `drift_clean` caches stay out of the on-disk layout: the value tree
+// is exactly what the pre-cache derive produced, and deserialization
+// rebuilds the caches in their conservative (all-stale) state.
+impl Serialize for TfIdfModel {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (MODEL_FIELDS[0].to_string(), self.dim.to_value()),
+            (MODEL_FIELDS[1].to_string(), self.num_docs.to_value()),
+            (MODEL_FIELDS[2].to_string(), self.doc_freq.to_value()),
+            (MODEL_FIELDS[3].to_string(), self.idf.to_value()),
+            (MODEL_FIELDS[4].to_string(), self.options.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TfIdfModel {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let dim = usize::from_value(v.get_field(MODEL_FIELDS[0])?)?;
+        let num_docs = usize::from_value(v.get_field(MODEL_FIELDS[1])?)?;
+        let doc_freq = Vec::from_value(v.get_field(MODEL_FIELDS[2])?)?;
+        let idf = Vec::from_value(v.get_field(MODEL_FIELDS[3])?)?;
+        let options = TfIdfOptions::from_value(v.get_field(MODEL_FIELDS[4])?)?;
+        Ok(TfIdfModel {
+            dim,
+            num_docs,
+            doc_freq,
+            idf,
+            options,
+            ln_df: vec![f64::NAN; dim],
+            drift_clean: false,
+        })
+    }
 }
 
 /// The idf formula for one term: `df` documents contain it out of `n`.
@@ -141,6 +193,8 @@ impl TfIdfModel {
             doc_freq,
             idf,
             options,
+            ln_df: vec![f64::NAN; corpus.dim()],
+            drift_clean: true,
         })
     }
 
@@ -167,7 +221,9 @@ impl TfIdfModel {
         self.num_docs += 1;
         for (t, _) in doc.iter() {
             self.doc_freq[t as usize] += 1;
+            self.ln_df[t as usize] = f64::NAN;
         }
+        self.drift_clean = false;
     }
 
     /// Drops one document's contribution to the document frequencies —
@@ -193,7 +249,9 @@ impl TfIdfModel {
             let df = &mut self.doc_freq[t as usize];
             assert!(*df > 0, "unobserve of a document never observed (term {t})");
             *df -= 1;
+            self.ln_df[t as usize] = f64::NAN;
         }
+        self.drift_clean = false;
     }
 
     /// How far the published idf weights lag behind the current document
@@ -207,6 +265,11 @@ impl TfIdfModel {
     /// first mutation. Zero when no mutation happened since the last
     /// refit.
     pub fn idf_drift(&self) -> f64 {
+        if self.drift_clean {
+            // No df mutation since the last (re)fit: every fresh value
+            // recomputes bit-identically to the published one.
+            return 0.0;
+        }
         let mut drift = 0.0f64;
         for (t, &df) in self.doc_freq.iter().enumerate() {
             let fresh = idf_value(self.options.idf, df, self.num_docs);
@@ -215,6 +278,66 @@ impl TfIdfModel {
             drift = drift.max(d);
         }
         drift
+    }
+
+    /// The cheap estimator of [`idf_drift`](Self::idf_drift) used by
+    /// policy checks on the mutation hot path.
+    ///
+    /// [`idf_drift`](Self::idf_drift) pays one `ln` per term on *every*
+    /// call even though a single mutation only changes the document
+    /// frequencies of its own support. This variant exploits
+    /// `ln(n / df) = ln(n) − ln(df)`: the per-term `ln(df)` values are
+    /// cached and invalidated only when that term's `df` changes, so a
+    /// call costs one `ln(n)`, one `ln` per *dirtied* term, and an
+    /// O(dim) pass of subtract/compare — no transcendental per clean
+    /// term. The result matches `idf_drift` to within a couple of ulps
+    /// (the decomposed logarithm rounds differently in the last bits),
+    /// which is far below any meaningful refit threshold; when exact
+    /// zero matters (reporting, tests), use `idf_drift`.
+    ///
+    /// Only [`IdfMode::Standard`] decomposes; [`IdfMode::Unit`] needs no
+    /// logarithm at all and [`IdfMode::Smooth`] (an ablation mode) falls
+    /// back to the exact computation.
+    pub fn idf_drift_cached(&mut self) -> f64 {
+        if self.drift_clean {
+            return 0.0;
+        }
+        match self.options.idf {
+            IdfMode::Smooth => self.idf_drift(),
+            IdfMode::Unit => {
+                let mut drift = 0.0f64;
+                for (t, &df) in self.doc_freq.iter().enumerate() {
+                    let fresh = if df == 0 { 0.0 } else { 1.0 };
+                    let published = self.idf[t];
+                    let d = (fresh - published).abs() / published.abs().max(1.0);
+                    drift = drift.max(d);
+                }
+                drift
+            }
+            IdfMode::Standard => {
+                let ln_n = if self.num_docs == 0 {
+                    0.0 // every df is 0 too; the fresh value never reads this
+                } else {
+                    (self.num_docs as f64).ln()
+                };
+                let mut drift = 0.0f64;
+                for (t, &df) in self.doc_freq.iter().enumerate() {
+                    let fresh = if df == 0 {
+                        0.0
+                    } else {
+                        let cached = &mut self.ln_df[t];
+                        if cached.is_nan() {
+                            *cached = (df as f64).ln();
+                        }
+                        ln_n - *cached
+                    };
+                    let published = self.idf[t];
+                    let d = (fresh - published).abs() / published.abs().max(1.0);
+                    drift = drift.max(d);
+                }
+                drift
+            }
+        }
     }
 
     /// Recomputes the published idf weights from the current document
@@ -231,6 +354,7 @@ impl TfIdfModel {
                 changed_terms.push(t as crate::TermId);
             }
         }
+        self.drift_clean = true;
         IdfRefit {
             changed_terms,
             max_drift,
@@ -638,6 +762,69 @@ mod tests {
         let mut m = TfIdfModel::fit(&sample_corpus()).unwrap();
         // Term 3 has df = 0: unobserving a doc containing it underflows.
         m.unobserve(&TermCounts::from_pairs(4, [(3, 1)]).unwrap());
+    }
+
+    #[test]
+    fn cached_drift_tracks_exact_drift_through_mutations() {
+        for idf in [IdfMode::Standard, IdfMode::Smooth, IdfMode::Unit] {
+            let mut m = TfIdfModel::fit_with(
+                &sample_corpus(),
+                TfIdfOptions {
+                    tf: TfMode::Normalized,
+                    idf,
+                },
+            )
+            .unwrap();
+            assert_eq!(m.idf_drift_cached(), 0.0, "{idf:?}: clean model drifts");
+            // A deterministic observe/unobserve churn touching every term.
+            let docs = [
+                TermCounts::from_pairs(4, [(0, 1), (3, 2)]).unwrap(),
+                TermCounts::from_pairs(4, [(1, 5)]).unwrap(),
+                TermCounts::from_pairs(4, [(2, 3), (3, 1)]).unwrap(),
+            ];
+            for d in &docs {
+                m.observe(d);
+                let exact = m.idf_drift();
+                let cached = m.idf_drift_cached();
+                assert!(
+                    (cached - exact).abs() <= 1e-12 * exact.abs().max(1.0),
+                    "{idf:?}: cached {cached} vs exact {exact}"
+                );
+            }
+            m.unobserve(&docs[1]);
+            let exact = m.idf_drift();
+            let cached = m.idf_drift_cached();
+            assert!((cached - exact).abs() <= 1e-12 * exact.abs().max(1.0));
+            // A refit re-arms the exact-zero short-circuit.
+            m.refit_idf();
+            assert_eq!(m.idf_drift_cached(), 0.0, "{idf:?}: post-refit drift");
+            assert_eq!(m.idf_drift(), 0.0);
+        }
+    }
+
+    #[test]
+    fn model_serde_layout_excludes_caches_and_round_trips() {
+        let mut m = TfIdfModel::fit(&sample_corpus()).unwrap();
+        m.observe(&TermCounts::from_pairs(4, [(1, 2), (3, 4)]).unwrap());
+        let value = serde::Serialize::to_value(&m);
+        // The on-disk layout is exactly the five model fields — the
+        // drift caches must never leak into persisted databases.
+        let serde::Value::Object(pairs) = &value else {
+            panic!("model must serialize as an object");
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, MODEL_FIELDS);
+        let restored: TfIdfModel = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(restored.num_docs(), m.num_docs());
+        assert_eq!(restored.options(), m.options());
+        for t in 0..4u32 {
+            assert_eq!(restored.document_frequency(t), m.document_frequency(t));
+            assert_eq!(restored.idf(t), m.idf(t));
+        }
+        // The restored model rebuilds its cache lazily and agrees with
+        // the original estimator.
+        let mut restored = restored;
+        assert!((restored.idf_drift_cached() - m.idf_drift_cached()).abs() <= 1e-12);
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //!   three myri10ge driver variants of the paper's Table 5), and
 //! * a [`boot`](Kernel::boot) sequence reproducing the Figure-1 power law.
 //!
+//! Everything is deterministic given the image seed and the op
+//! sequence: same calls, same clock, same counters on every run — the
+//! property the whole evaluation layer (and its committed baselines)
+//! rests on. The crate deliberately knows nothing about signatures or
+//! tracing policy; it only fires the [`FunctionTracer`] hook and lets
+//! `fmeter-trace` decide what a call means. `docs/ARCHITECTURE.md` in
+//! the repository shows where this substrate sits in the data flow
+//! (kernel-sim → trace → core → ir → ml → bench).
+//!
 //! # Quickstart
 //!
 //! ```

@@ -14,9 +14,20 @@
 //! * [`metrics`] — accuracy/precision/recall, majority baseline, and cluster
 //!   purity.
 //!
+//! Beyond the paper's §4.2 set, the crate carries the extension
+//! learners ([`DecisionTree`], [`AdaBoost`], [`Bagging`]) exercised by
+//! the `extension_classifiers` binary.
+//!
 //! All algorithms are deterministic given a seed, operate on
 //! [`fmeter_ir::SparseVec`] signatures, and use the Euclidean (L2) distance
-//! by default, exactly as the paper does.
+//! by default, exactly as the paper does. Scale comes from algorithmic
+//! structure rather than approximation: NN-chain agglomeration is O(n²)
+//! against the retained O(n³) reference, K-means assignment fans out
+//! over a persistent worker pool with deterministic merges, and SVM
+//! Gram rows are computed lazily behind a bounded LRU cache — each
+//! pinned to its slow reference by property tests. This crate sits
+//! last in the signature data flow (kernel-sim → trace → core → ir →
+//! ml); see `docs/ARCHITECTURE.md` in the repository.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

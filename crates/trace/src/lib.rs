@@ -15,6 +15,16 @@
 //! `tracer_overhead` Criterion bench; the simulated per-call overheads
 //! ([`FMETER_CALL_OVERHEAD`], [`FTRACE_CALL_OVERHEAD`]) encode the same
 //! ratio for the simulated-time experiments (Tables 1–3).
+//!
+//! Beyond the two paper tracers, the crate owns the snapshot plumbing
+//! the daemon layer consumes — [`CounterSnapshot`] (a point-in-time
+//! copy of every counter) and [`DeltaCursor`] (rolling consecutive
+//! snapshots into per-interval deltas) — plus beyond-the-paper
+//! variants: [`LockFreeFtraceTracer`] (atomic reservation instead of a
+//! per-CPU lock) and [`HotSetTracer`] (a bounded hot-function cache).
+//! In the repository's data flow (`docs/ARCHITECTURE.md`) this crate
+//! sits between the simulator's `mcount` hook and `fmeter-core`'s
+//! logging daemon.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,6 +12,15 @@
 //! (one compiled translation unit, one transferred chunk, one HTTP
 //! request, one received packet batch) issuing kernel operations and
 //! spending un-instrumented user time, just as the real programs would.
+//!
+//! Around the two paper families the crate owns the *composition*
+//! machinery streaming scenarios need: [`OpMix`] (weighted operation
+//! blends), [`Background`]/[`WithBackground`] (drifting daemon noise
+//! under a foreground workload), and [`RollingMix`] (seeded phase
+//! rotation through the macro workloads — what the streaming-daemon
+//! example classifies online). In the data flow of
+//! `docs/ARCHITECTURE.md` this crate is the stimulus: it drives
+//! `fmeter-kernel-sim` while the tracers count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

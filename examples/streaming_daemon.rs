@@ -2,15 +2,18 @@
 //! workflow ultimately runs as: signatures stream off the machine
 //! interval by interval, each one is classified against the live
 //! database *and then inserted into it*, old intervals age out of a
-//! sliding retention window, and the tf-idf weights are re-fitted
+//! sliding retention window, the tf-idf weights are re-fitted
 //! automatically whenever the corpus has drifted far enough from the
-//! published idf generation.
+//! published idf generation, dead slots are reclaimed by policy-driven
+//! vacuums (the daemon translates its eviction cursor through the
+//! remap), and at shutdown the window is persisted through the
+//! versioned envelope and reloaded as an upgraded daemon would.
 //!
 //! ```text
 //! cargo run --release --example streaming_daemon
 //! ```
 
-use fmeter::core::{Fmeter, RawSignature, RefitPolicy, SignatureDb};
+use fmeter::core::{persist, Fmeter, RawSignature, RefitPolicy, SignatureDb, VacuumPolicy};
 use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
 use fmeter::workloads::{ApacheBench, Dbench, KCompile, RollingMix, Scp, Workload};
 
@@ -71,6 +74,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_idf_drift: 0.5,
         max_stale_fraction: 0.2,
     });
+    // Sliding-window eviction leaves one dead slot per aged-out
+    // interval; let the database reclaim them once they pile up to a
+    // fifth of the slot space (but not before 8 accumulate).
+    db.set_vacuum_policy(VacuumPolicy::DeadFraction {
+        max_dead_fraction: 0.2,
+        min_dead: 8,
+    });
     println!(
         "bootstrap: {} signatures over {} functions, epoch {}",
         db.len(),
@@ -87,6 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut correct = 0usize;
     let mut votes = 0usize;
     let mut refits_seen = db.epoch();
+    let mut vacuums_seen = db.vacuums();
     logger.resync(kernel.now());
     for _ in 0..STREAM {
         let label = mix.name().to_string();
@@ -104,6 +115,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 oldest += 1;
             }
             db.remove(oldest)?;
+            // A removal may have crossed the dead-fraction bound and
+            // auto-vacuumed: every doc id just got renumbered, so the
+            // raw-history mirror and the eviction cursor must translate
+            // through the remap the vacuum left behind.
+            if db.vacuums() != vacuums_seen {
+                vacuums_seen = db.vacuums();
+                let stats = db.last_vacuum().expect("vacuum records its remap");
+                raw = stats
+                    .remap
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.is_some())
+                    .map(|(old_id, _)| raw[old_id].clone())
+                    .collect();
+                // Everything before the cursor was dead; the oldest
+                // surviving interval now sits at slot 0.
+                oldest = (oldest..stats.remap.len())
+                    .find_map(|d| stats.remap[d])
+                    .unwrap_or(0);
+                println!(
+                    "  vacuum -> reclaimed {} dead slots ({} live / {} slots)",
+                    stats.dropped_slots,
+                    db.len(),
+                    db.num_slots()
+                );
+            }
         }
         if db.epoch() != refits_seen {
             println!(
@@ -153,5 +190,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         agree += 1;
     }
     println!("post-refit equivalence: {agree}/12 probes matched a from-scratch rebuild");
+
+    // 4. Durability: persist the window through the versioned envelope
+    //    and reload it — what a daemon restart (or a rolling upgrade to
+    //    a release with a newer format version) does. The reloaded
+    //    database must classify identically and keep streaming.
+    let mut bytes = Vec::new();
+    db.save(&mut bytes)?;
+    let mut reloaded = SignatureDb::load(&bytes[..])?;
+    assert_eq!(reloaded.len(), db.len());
+    assert_eq!(reloaded.epoch(), db.epoch());
+    assert_eq!(reloaded.vacuums(), db.vacuums());
+    for probe in surviving.iter().rev().take(6) {
+        let q = probe.to_term_counts();
+        assert_eq!(
+            reloaded.classify(&q, 5)?,
+            db.classify(&q, 5)?,
+            "reloaded database diverged from the live one"
+        );
+    }
+    let next = surviving.last().expect("window is non-empty").clone();
+    assert_eq!(reloaded.insert(&next)?, db.insert(&next)?);
+    println!(
+        "persisted {} bytes (envelope v{}), reloaded: {} live signatures at epoch {}, \
+         stream resumes at doc {}",
+        bytes.len(),
+        persist::CURRENT_FORMAT_VERSION,
+        reloaded.len(),
+        reloaded.epoch(),
+        reloaded.num_slots() - 1,
+    );
     Ok(())
 }
