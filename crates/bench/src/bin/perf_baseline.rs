@@ -23,12 +23,13 @@
 //! nightly workflow points this at `$GITHUB_STEP_SUMMARY` so trajectory
 //! drift is readable straight from the run page.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use fmeter_bench::{
     synthetic_class_corpus, synthetic_corpus, synthetic_points, synthetic_raw_signatures,
 };
-use fmeter_core::{RefitPolicy, SignatureDb};
+use fmeter_core::{RefitPolicy, SignatureDb, SignatureService};
 use fmeter_ir::{CsrMatrix, InvertedIndex, Metric, SearchScratch, TfIdfModel};
 use fmeter_ml::{Agglomerative, KMeans, Linkage};
 use serde::{Deserialize, Serialize};
@@ -59,8 +60,10 @@ struct Reference {
 /// centroids + flat postings), the corpus-scale refactor (NN-chain
 /// agglomeration, scatter/gather pairwise kernel, worker-pool K-means,
 /// WAND/MaxScore early-exit top-k), and the durability refactor
-/// (versioned persistence envelope + vacuum compaction).
-const REFERENCES: [Reference; 15] = [
+/// (versioned persistence envelope + vacuum compaction), and the
+/// sharded-service refactor (renumber-in-place vacuum, snapshot-
+/// published concurrent search).
+const REFERENCES: [Reference; 17] = [
     Reference {
         name: "kmeans/k3_300pts_3815d",
         note: "pre-refactor (sub()-allocating kernels)",
@@ -138,6 +141,18 @@ const REFERENCES: [Reference; 15] = [
         name: "db/save_load",
         note: "versioned-envelope save + migrate/validate/load round trip at 11k docs",
         ns_per_iter: 977_006_913.0,
+    },
+    Reference {
+        name: "db/vacuum_after_churn",
+        note: "post renumber-in-place vacuum: clone ~3.0 ms + compaction ~2.5 ms \
+               (was ~17.6 ms when compaction recomputed weights into a fresh index, 5.2x)",
+        ns_per_iter: 5_515_016.0,
+    },
+    Reference {
+        name: "service_throughput",
+        note: "sharded snapshot search under concurrent insert_batch ingest \
+               (8 shards, 10k-doc base, k=10; ~1160 queries/sec on the reference box)",
+        ns_per_iter: 862_436.0,
     },
 ];
 
@@ -664,6 +679,49 @@ fn main() {
         format!("n={} dim={ingest_dim} bytes={saved_len}", db.num_slots()),
         iters,
         ns,
+    );
+
+    // Sharded-service query throughput under concurrent ingest: a
+    // background writer streams insert_batch loops (publishing a new
+    // snapshot generation per batch) while the measured thread runs
+    // pooled fan-out searches. Snapshot publication means the search
+    // path takes no lock the writer holds — this case regressing to
+    // db-search-under-mutex cost is exactly what the trajectory gate
+    // is here to catch.
+    let service = SignatureService::build(base_raws, 8).unwrap();
+    service.set_refit_policy(RefitPolicy::Threshold {
+        max_idf_drift: 0.02,
+        max_stale_fraction: 0.05,
+    });
+    let probe = base_raws[ingest_base / 2].to_term_counts();
+    let stop = AtomicBool::new(false);
+    let mut measured = (0u64, 0f64);
+    std::thread::scope(|s| {
+        let svc = &service;
+        let stop = &stop;
+        s.spawn(move || {
+            let mut at = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                let end = (at + 16).min(stream_raws.len());
+                svc.insert_batch(&stream_raws[at..end]).unwrap();
+                at = if end == stream_raws.len() { 0 } else { end };
+            }
+        });
+        measured = time_case(budget_ms, 20, || svc.search(&probe, 10).unwrap());
+        stop.store(true, Ordering::Release);
+    });
+    let (iters, ns) = measured;
+    push(
+        "service_throughput",
+        format!("base={ingest_base} dim={ingest_dim} shards=8 k=10 writer=insert_batch"),
+        iters,
+        ns,
+    );
+    println!(
+        "   service: {:.0} queries/sec under concurrent ingest \
+         ({} generations published)",
+        1e9 / ns,
+        service.generation()
     );
 
     let report = Report {

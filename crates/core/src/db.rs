@@ -342,8 +342,13 @@ impl SignatureDb {
         self.live[doc] = false;
         self.num_live -= 1;
         self.mutations_since_refit += 1;
-        self.maybe_refit();
+        // Vacuum before refit: vacuuming is pure renumbering (it moves
+        // postings, touching no floats) and changes none of the refit
+        // policy's inputs, so when both are due the refit's single
+        // posting rebuild runs over the already-renumbered survivors —
+        // one weight-recomputing rewrite serves both maintenance tasks.
         self.maybe_vacuum();
+        self.maybe_refit();
         Ok(())
     }
 
@@ -368,36 +373,50 @@ impl SignatureDb {
     /// The tf-idf model is untouched (document frequencies already
     /// describe the live corpus only) and the epoch does not advance:
     /// per-doc idf generations carry over, so a stale database stays
-    /// exactly as stale. The posting store is rebuilt from the live
-    /// vectors, which makes it bit-identical to a fresh
-    /// [`build`](Self::build)'s index over the surviving corpus.
+    /// exactly as stale. The posting store is renumbered *in place* —
+    /// one O(nnz) pass of moves via
+    /// [`InvertedIndex::renumber_compact`], recomputing no weight — and
+    /// since every stored weight was already computed by the insert (or
+    /// refit) that produced it, the result is still bit-identical to a
+    /// fresh [`build`](Self::build)'s index over the surviving corpus.
     pub fn vacuum(&mut self) -> VacuumStats {
         let slots = self.signatures.len();
-        let dim = self.dim();
         let mut remap: Vec<Option<DocId>> = vec![None; slots];
-        let mut index = InvertedIndex::new(dim);
-        let mut corpus = Corpus::new(dim);
-        let mut signatures = Vec::with_capacity(self.num_live);
-        let mut doc_epoch = Vec::with_capacity(self.num_live);
-        let old_signatures = std::mem::take(&mut self.signatures);
-        let old_corpus = std::mem::replace(&mut self.corpus, Corpus::new(dim));
-        for ((d, sig), counts) in old_signatures.into_iter().enumerate().zip(old_corpus) {
-            if !self.live[d] {
-                continue;
+        let mut next = 0usize;
+        for (d, slot) in remap.iter_mut().enumerate() {
+            if self.live[d] {
+                *slot = Some(next);
+                next += 1;
             }
-            remap[d] = Some(signatures.len());
-            index
-                .insert(sig.vector.clone())
-                .expect("live vector matches the database dimension");
-            corpus.push(counts);
-            doc_epoch.push(self.doc_epoch[d]);
-            signatures.push(sig);
         }
-        index.optimize();
-        self.signatures = signatures;
+        self.index
+            .renumber_compact(&remap)
+            .expect("live flags mirror the index tombstones");
+        // Repack the side arrays with moves (no clones, no re-weighting).
+        let live = std::mem::take(&mut self.live);
+        let old_signatures = std::mem::take(&mut self.signatures);
+        self.signatures = old_signatures
+            .into_iter()
+            .enumerate()
+            .filter(|(d, _)| live[*d])
+            .map(|(_, sig)| sig)
+            .collect();
+        let dim = self.dim();
+        let old_corpus = std::mem::replace(&mut self.corpus, Corpus::new(dim));
+        let mut corpus = Corpus::new(dim);
+        for (d, counts) in old_corpus.into_iter().enumerate() {
+            if live[d] {
+                corpus.push(counts);
+            }
+        }
         self.corpus = corpus;
-        self.index = index;
-        self.doc_epoch = doc_epoch;
+        let old_epochs = std::mem::take(&mut self.doc_epoch);
+        self.doc_epoch = old_epochs
+            .into_iter()
+            .enumerate()
+            .filter(|(d, _)| live[*d])
+            .map(|(_, e)| e)
+            .collect();
         self.live = vec![true; self.num_live];
         self.vacuums += 1;
         let stats = VacuumStats {

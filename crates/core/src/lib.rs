@@ -53,6 +53,7 @@ mod error;
 mod fmeter;
 mod logger;
 pub mod persist;
+mod service;
 mod signature;
 mod userspace;
 
@@ -61,5 +62,6 @@ pub use db::{RefitPolicy, RefitStats, SignatureDb, Syndrome, VacuumPolicy, Vacuu
 pub use error::FmeterError;
 pub use fmeter::Fmeter;
 pub use logger::SignatureLogger;
+pub use service::{ShardPiece, ShardSnapshot, ShardWriter, SignatureService};
 pub use signature::{RawSignature, Signature};
 pub use userspace::{sample_via_debugfs, DebugfsReader, SymbolMap};

@@ -25,15 +25,24 @@
 //! # Envelope layout
 //!
 //! ```text
-//! FMETERDB 2\n                                   ← magic + format version
-//! {"format_version":2,"sections":[["model",N],…]}\n   ← section table (JSON)
-//! <model bytes><corpus bytes><signatures bytes><index bytes><state bytes>
+//! FMETERDB 3\n                                   ← magic + format version
+//! {"format_version":3,"sections":[["model",N],…]}\n   ← section table (JSON)
+//! <model bytes><corpus bytes><signatures bytes><index bytes><state bytes><sharding bytes>
 //! ```
 //!
 //! Each section is a self-contained JSON document; the table carries
 //! its byte length, so a reader can skip, split, or stream sections
 //! without parsing them. Section payloads are looked up by *name*, so
 //! future versions may add or reorder sections freely.
+//!
+//! Loading exploits that: section payloads are kept as **raw strings**
+//! and only parsed when (and if) their decoder runs. A migration that
+//! rewrites the few-hundred-byte `state` section never pays a JSON
+//! parse of the megabytes of corpus sitting next to it; the full-corpus
+//! sections are each parsed exactly once, directly into their target
+//! types, by the final decode. (The version-0 shim is the exception:
+//! bare JSON has no section table to slice, so adopting it parses the
+//! whole save.)
 //!
 //! See `docs/PERSISTENCE.md` in the repository for the narrative
 //! version of this contract, including a worked save→upgrade→load
@@ -51,7 +60,7 @@ use crate::{FmeterError, RefitPolicy, Signature, SignatureDb, VacuumPolicy};
 pub const MAGIC: &str = "FMETERDB";
 
 /// The format version [`SignatureDb::save`] writes.
-pub const CURRENT_FORMAT_VERSION: u32 = 2;
+pub const CURRENT_FORMAT_VERSION: u32 = 3;
 
 /// One entry of the on-disk format history.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +93,11 @@ pub const FORMAT_VERSIONS: &[FormatVersion] = &[
         version: 2,
         summary: "state section gains the vacuum policy and the lifetime vacuum counter",
     },
+    FormatVersion {
+        version: 3,
+        summary: "new `sharding` section carrying the SignatureService shard layout \
+                  (shard count); every other section is unchanged",
+    },
 ];
 
 const SEC_MODEL: &str = "model";
@@ -91,6 +105,7 @@ const SEC_CORPUS: &str = "corpus";
 const SEC_SIGNATURES: &str = "signatures";
 const SEC_INDEX: &str = "index";
 const SEC_STATE: &str = "state";
+const SEC_SHARDING: &str = "sharding";
 
 /// The section table line that follows the magic line.
 #[derive(Debug, Serialize, Deserialize)]
@@ -124,16 +139,37 @@ struct StateV2 {
     vacuums: u64,
 }
 
-/// An in-memory envelope: version + named section value trees. The
-/// migration chain rewrites sections in place until the version reaches
-/// [`CURRENT_FORMAT_VERSION`].
+/// The `sharding` section as written by format version 3: the
+/// [`SignatureService`](crate::SignatureService) shard layout. A plain
+/// [`SignatureDb::save`] writes `num_shards: 1` (one shard *is* the
+/// flat layout), and a plain load simply ignores the section.
+#[derive(Debug, Serialize, Deserialize)]
+struct ShardingV3 {
+    num_shards: usize,
+}
+
+/// One envelope section: the raw payload string as sliced out of the
+/// file, or a parsed value tree once something rewrote it.
+///
+/// Sections stay [`Raw`](Section::Raw) until their decoder runs — a
+/// migration that touches only the small `state` section leaves the
+/// full-corpus payloads unparsed, and the final decode parses each of
+/// them exactly once, straight into its target type.
+enum Section {
+    Raw(String),
+    Parsed(Value),
+}
+
+/// An in-memory envelope: version + named sections (raw payload slices
+/// until something parses them). The migration chain rewrites sections
+/// in place until the version reaches [`CURRENT_FORMAT_VERSION`].
 struct Envelope {
     version: u32,
-    sections: Vec<(String, Value)>,
+    sections: Vec<(String, Section)>,
 }
 
 impl Envelope {
-    fn section(&self, name: &str) -> Result<&Value, FmeterError> {
+    fn section(&self, name: &str) -> Result<&Section, FmeterError> {
         self.sections
             .iter()
             .find(|(n, _)| n == name)
@@ -142,6 +178,7 @@ impl Envelope {
     }
 
     fn replace(&mut self, name: &str, value: Value) {
+        let value = Section::Parsed(value);
         match self.sections.iter_mut().find(|(n, _)| n == name) {
             Some((_, v)) => *v = value,
             None => self.sections.push((name.to_string(), value)),
@@ -159,7 +196,16 @@ fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, FmeterError> {
 }
 
 fn section_as<T: Deserialize>(env: &Envelope, name: &str) -> Result<T, FmeterError> {
-    T::from_value(env.section(name)?).map_err(|e| persist_err(&format!("section `{name}`"), e))
+    match env.section(name)? {
+        // The lazy path: parse the payload string directly into the
+        // target type, skipping the intermediate value tree entirely.
+        Section::Raw(payload) => {
+            serde_json::from_str(payload).map_err(|e| persist_err(&format!("section `{name}`"), e))
+        }
+        Section::Parsed(value) => {
+            T::from_value(value).map_err(|e| persist_err(&format!("section `{name}`"), e))
+        }
+    }
 }
 
 // ---- writing ---------------------------------------------------------
@@ -172,9 +218,30 @@ fn section_as<T: Deserialize>(env: &Envelope, name: &str) -> Result<T, FmeterErr
 /// Returns [`FmeterError::UnsupportedFormat`] for versions outside
 /// [`FORMAT_VERSIONS`] and propagates I/O failures.
 pub fn save<W: Write>(db: &SignatureDb, version: u32, writer: W) -> Result<(), FmeterError> {
+    save_sharded(db, 1, version, writer)
+}
+
+/// Serialises `db` together with a [`SignatureService`] shard layout
+/// (used by [`SignatureService::save`]). Only format version 3 carries
+/// the layout; writing an older version silently drops it (that is the
+/// format those releases read).
+///
+/// [`SignatureService`]: crate::SignatureService
+/// [`SignatureService::save`]: crate::SignatureService::save
+///
+/// # Errors
+///
+/// Returns [`FmeterError::UnsupportedFormat`] for versions outside
+/// [`FORMAT_VERSIONS`] and propagates I/O failures.
+pub fn save_sharded<W: Write>(
+    db: &SignatureDb,
+    num_shards: usize,
+    version: u32,
+    writer: W,
+) -> Result<(), FmeterError> {
     match version {
         0 => save_v0(db, writer),
-        1 | 2 => write_envelope(&encode(db, version), writer),
+        1..=3 => write_envelope(&encode_sharded(db, num_shards, version), writer),
         found => Err(FmeterError::UnsupportedFormat {
             found,
             supported: CURRENT_FORMAT_VERSION,
@@ -204,8 +271,8 @@ fn save_v0<W: Write>(db: &SignatureDb, writer: W) -> Result<(), FmeterError> {
     Ok(())
 }
 
-fn encode(db: &SignatureDb, version: u32) -> Envelope {
-    debug_assert!(version == 1 || version == 2);
+fn encode_sharded(db: &SignatureDb, num_shards: usize, version: u32) -> Envelope {
+    debug_assert!((1..=3).contains(&version));
     let state = if version == 1 {
         StateV1 {
             live: db.live.clone(),
@@ -229,23 +296,36 @@ fn encode(db: &SignatureDb, version: u32) -> Envelope {
         }
         .to_value()
     };
-    Envelope {
-        version,
-        sections: vec![
-            (SEC_MODEL.to_string(), db.model.to_value()),
-            (SEC_CORPUS.to_string(), db.corpus.to_value()),
-            (SEC_SIGNATURES.to_string(), db.signatures.to_value()),
-            (SEC_INDEX.to_string(), db.index.to_value()),
-            (SEC_STATE.to_string(), state),
-        ],
+    let mut sections = vec![
+        (SEC_MODEL.to_string(), Section::Parsed(db.model.to_value())),
+        (
+            SEC_CORPUS.to_string(),
+            Section::Parsed(db.corpus.to_value()),
+        ),
+        (
+            SEC_SIGNATURES.to_string(),
+            Section::Parsed(db.signatures.to_value()),
+        ),
+        (SEC_INDEX.to_string(), Section::Parsed(db.index.to_value())),
+        (SEC_STATE.to_string(), Section::Parsed(state)),
+    ];
+    if version >= 3 {
+        sections.push((
+            SEC_SHARDING.to_string(),
+            Section::Parsed(ShardingV3 { num_shards }.to_value()),
+        ));
     }
+    Envelope { version, sections }
 }
 
 fn write_envelope<W: Write>(env: &Envelope, mut writer: W) -> Result<(), FmeterError> {
     let mut payloads = Vec::with_capacity(env.sections.len());
     let mut table = Vec::with_capacity(env.sections.len());
-    for (name, value) in &env.sections {
-        let text = serde_json::to_string(value)?;
+    for (name, section) in &env.sections {
+        let text = match section {
+            Section::Raw(payload) => payload.clone(),
+            Section::Parsed(value) => serde_json::to_string(value)?,
+        };
         table.push((name.clone(), text.len()));
         payloads.push(text);
     }
@@ -340,14 +420,12 @@ fn read_envelope(text: &str) -> Result<Envelope, FmeterError> {
             supported: CURRENT_FORMAT_VERSION,
         });
     }
+    // Keep every payload raw: nothing is parsed until a migration or
+    // the final decode actually needs the section.
     let sections = sections
         .into_iter()
-        .map(|(name, payload)| {
-            let value: Value = serde_json::from_str(&payload)
-                .map_err(|e| persist_err(&format!("section `{name}`"), e))?;
-            Ok((name, value))
-        })
-        .collect::<Result<Vec<_>, FmeterError>>()?;
+        .map(|(name, payload)| (name, Section::Raw(payload)))
+        .collect();
     Ok(Envelope { version, sections })
 }
 
@@ -373,14 +451,23 @@ fn adopt_legacy(text: &str) -> Result<Envelope, FmeterError> {
     Ok(Envelope {
         version: 1,
         sections: vec![
-            (SEC_MODEL.to_string(), field(&value, "model")?.clone()),
-            (SEC_CORPUS.to_string(), field(&value, "corpus")?.clone()),
+            (
+                SEC_MODEL.to_string(),
+                Section::Parsed(field(&value, "model")?.clone()),
+            ),
+            (
+                SEC_CORPUS.to_string(),
+                Section::Parsed(field(&value, "corpus")?.clone()),
+            ),
             (
                 SEC_SIGNATURES.to_string(),
-                field(&value, "signatures")?.clone(),
+                Section::Parsed(field(&value, "signatures")?.clone()),
             ),
-            (SEC_INDEX.to_string(), field(&value, "index")?.clone()),
-            (SEC_STATE.to_string(), state),
+            (
+                SEC_INDEX.to_string(),
+                Section::Parsed(field(&value, "index")?.clone()),
+            ),
+            (SEC_STATE.to_string(), Section::Parsed(state)),
         ],
     })
 }
@@ -394,7 +481,7 @@ type Migration = fn(&mut Envelope) -> Result<(), FmeterError>;
 /// `(from_version, migration)` — every supported version below
 /// [`CURRENT_FORMAT_VERSION`] must have an entry; [`load`] applies them
 /// in sequence.
-const MIGRATIONS: &[(u32, Migration)] = &[(1, migrate_v1_to_v2)];
+const MIGRATIONS: &[(u32, Migration)] = &[(1, migrate_v1_to_v2), (2, migrate_v2_to_v3)];
 
 /// v1 → v2: the state section gains the vacuum policy (default:
 /// [`VacuumPolicy::Never`]) and the lifetime vacuum counter (0 — a v1
@@ -412,6 +499,15 @@ fn migrate_v1_to_v2(env: &mut Envelope) -> Result<(), FmeterError> {
         vacuums: 0,
     };
     env.replace(SEC_STATE, v2.to_value());
+    Ok(())
+}
+
+/// v2 → v3: a `sharding` section appears, defaulting to one shard (the
+/// flat layout every pre-service save implicitly was). Note this
+/// migration parses nothing: it only appends a new section, leaving the
+/// corpus-sized payloads as the raw strings the reader sliced.
+fn migrate_v2_to_v3(env: &mut Envelope) -> Result<(), FmeterError> {
+    env.replace(SEC_SHARDING, ShardingV3 { num_shards: 1 }.to_value());
     Ok(())
 }
 
@@ -441,7 +537,21 @@ fn migrate_to_current(env: &mut Envelope) -> Result<(), FmeterError> {
 /// Returns [`FmeterError::UnsupportedFormat`] for saves from newer
 /// releases and [`FmeterError::Persist`] for malformed or inconsistent
 /// payloads.
-pub fn load<R: Read>(mut reader: R) -> Result<SignatureDb, FmeterError> {
+pub fn load<R: Read>(reader: R) -> Result<SignatureDb, FmeterError> {
+    Ok(load_sharded(reader)?.0)
+}
+
+/// Like [`load`], additionally returning the persisted
+/// [`SignatureService`](crate::SignatureService) shard layout. Saves
+/// older than format v3 (which could not carry a layout) come back as
+/// one shard.
+///
+/// # Errors
+///
+/// Returns [`FmeterError::UnsupportedFormat`] for saves from newer
+/// releases and [`FmeterError::Persist`] for malformed or inconsistent
+/// payloads.
+pub fn load_sharded<R: Read>(mut reader: R) -> Result<(SignatureDb, usize), FmeterError> {
     let mut text = String::new();
     reader.read_to_string(&mut text)?;
     let mut env = if text.starts_with(MAGIC) {
@@ -450,7 +560,13 @@ pub fn load<R: Read>(mut reader: R) -> Result<SignatureDb, FmeterError> {
         adopt_legacy(&text)?
     };
     migrate_to_current(&mut env)?;
-    decode(&env)
+    let sharding: ShardingV3 = section_as(&env, SEC_SHARDING)?;
+    if sharding.num_shards == 0 {
+        return Err(FmeterError::Persist(
+            "sharding section declares zero shards".to_string(),
+        ));
+    }
+    Ok((decode(&env)?, sharding.num_shards))
 }
 
 /// Rebuilds the database from a current-version envelope, cross-checking
@@ -668,7 +784,7 @@ mod tests {
         // disagrees with the index's own tombstones must not load: the
         // database would search docs it reports as dead.
         let db = sample_db();
-        let mut env = encode(&db, CURRENT_FORMAT_VERSION);
+        let mut env = encode_sharded(&db, 1, CURRENT_FORMAT_VERSION);
         let mut state: StateV2 = section_as(&env, SEC_STATE).unwrap();
         let victim = state.live.iter().position(|&l| l).unwrap();
         state.live[victim] = false;
@@ -695,13 +811,70 @@ mod tests {
         let names: Vec<&str> = sections.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
-            [SEC_MODEL, SEC_CORPUS, SEC_SIGNATURES, SEC_INDEX, SEC_STATE]
+            [
+                SEC_MODEL,
+                SEC_CORPUS,
+                SEC_SIGNATURES,
+                SEC_INDEX,
+                SEC_STATE,
+                SEC_SHARDING
+            ]
         );
         // Every section is self-contained JSON.
         for (name, payload) in &sections {
             serde_json::from_str::<Value>(payload)
                 .unwrap_or_else(|e| panic!("section `{name}` is not valid JSON: {e}"));
         }
+    }
+
+    #[test]
+    fn sharded_saves_round_trip_the_layout() {
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        save_sharded(&db, 4, CURRENT_FORMAT_VERSION, &mut bytes).unwrap();
+        let (restored, num_shards) = load_sharded(&bytes[..]).unwrap();
+        assert_eq!(num_shards, 4);
+        assert_equivalent(&db, &restored);
+        // A plain load reads the same bytes and just drops the layout.
+        let plain = SignatureDb::load(&bytes[..]).unwrap();
+        assert_equivalent(&db, &plain);
+        // Saves from releases that predate the layout come back as one
+        // shard via the v2→v3 migration.
+        let mut old = Vec::new();
+        db.save_as_version(2, &mut old).unwrap();
+        let (_, migrated_shards) = load_sharded(&old[..]).unwrap();
+        assert_eq!(migrated_shards, 1);
+        // A zero-shard layout is rejected, not served.
+        let mut env = encode_sharded(&db, 4, CURRENT_FORMAT_VERSION);
+        env.replace(SEC_SHARDING, ShardingV3 { num_shards: 0 }.to_value());
+        let mut bad = Vec::new();
+        write_envelope(&env, &mut bad).unwrap();
+        assert!(load_sharded(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn migrations_leave_untouched_sections_raw() {
+        // The v1→v2→v3 chain only rewrites `state` and appends
+        // `sharding`; every corpus-sized section must still be a Raw
+        // slice when the chain finishes (the lazy-parse contract).
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        db.save_as_version(1, &mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let mut env = read_envelope(&text).unwrap();
+        migrate_to_current(&mut env).unwrap();
+        assert_eq!(env.version, CURRENT_FORMAT_VERSION);
+        for name in [SEC_MODEL, SEC_CORPUS, SEC_SIGNATURES, SEC_INDEX] {
+            assert!(
+                matches!(env.section(name).unwrap(), Section::Raw(_)),
+                "section `{name}` was parsed by a migration that does not touch it"
+            );
+        }
+        assert!(matches!(
+            env.section(SEC_STATE).unwrap(),
+            Section::Parsed(_)
+        ));
+        assert!(decode(&env).is_ok());
     }
 
     #[test]

@@ -1,0 +1,931 @@
+//! Concurrently-readable signature serving: a single-writer
+//! [`ShardWriter`] that mirrors a [`SignatureDb`] into per-shard search
+//! structures, immutable [`ShardSnapshot`] generations published by
+//! atomic swap, and the [`SignatureService`] facade that fans queries
+//! across the shards on a persistent worker pool.
+//!
+//! The concurrency model (see `docs/ARCHITECTURE.md` for the narrative):
+//!
+//! * **One writer.** All mutations — insert, remove, refit, vacuum —
+//!   funnel through the `ShardWriter` behind a mutex. The writer owns
+//!   the authoritative flat [`SignatureDb`] plus one [`Shard`] per
+//!   router slot and keeps them in lockstep: cheap mutations patch the
+//!   affected shard in place, and any mutation that re-weights or
+//!   renumbers the corpus (refit, vacuum) rebuilds the sharded mirror
+//!   off to the side.
+//! * **Immutable snapshots.** After every mutation the writer publishes
+//!   a new [`ShardSnapshot`] — an [`Arc`]'d, never-mutated view holding
+//!   the tf-idf model and the shard pieces of that generation. Shard
+//!   pieces are [`Arc`]-shared across generations; only the pieces a
+//!   mutation touched are re-allocated (copy-on-write via
+//!   [`Arc::make_mut`]).
+//! * **Non-blocking reads.** A search clones the current snapshot `Arc`
+//!   under a momentary read lock (no allocation, no wait on the writer)
+//!   and then runs entirely against that immutable generation: a
+//!   concurrent refit or vacuum builds the *next* generation elsewhere
+//!   and can never stall or tear an in-flight query.
+//!
+//! Sharded results are **bit-identical** to the flat database's: a
+//! document's cosine score depends only on its own postings and the
+//! query, every member of the flat top-k is in its own shard's top-k,
+//! and [`merge_topk`] re-ranks with exactly the flat comparator (see
+//! `fmeter_ir::shard`).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use fmeter_ir::{
+    merge_topk, DocId, IrError, SearchHit, SearchScratch, Shard, ShardRouter, SparseVec,
+    TermCounts, TfIdfModel,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::{
+    persist, FmeterError, RawSignature, RefitPolicy, RefitStats, Signature, SignatureDb,
+    VacuumPolicy, VacuumStats,
+};
+
+/// One shard of a published generation: the shard's search structures
+/// plus its slice of the stored signatures, indexed by shard-local id.
+#[derive(Debug, Clone)]
+pub struct ShardPiece {
+    shard: Shard,
+    /// Signature per local slot; tombstoned locals keep their last
+    /// contents (same contract as [`SignatureDb::signatures`]).
+    signatures: Vec<Signature>,
+}
+
+impl ShardPiece {
+    /// The shard's inverted index, WAND bounds, and packed vectors.
+    pub fn shard(&self) -> &Shard {
+        &self.shard
+    }
+
+    /// The shard's signatures, indexed by *local* id (translate global
+    /// ids with the shard's router).
+    pub fn signatures(&self) -> &[Signature] {
+        &self.signatures
+    }
+}
+
+/// One immutable, published generation of the sharded store.
+///
+/// A snapshot is never mutated after publication: readers score against
+/// it for as long as they hold the [`Arc`], no matter how many
+/// generations the writer publishes meanwhile. Equal-generation reads
+/// are deterministic — searching the same snapshot twice returns
+/// bit-identical results.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    generation: u64,
+    epoch: u64,
+    num_live: usize,
+    num_slots: usize,
+    model: TfIdfModel,
+    router: ShardRouter,
+    pieces: Vec<Arc<ShardPiece>>,
+}
+
+impl ShardSnapshot {
+    /// The publication sequence number (monotone across the service's
+    /// lifetime; one publish per mutation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The idf generation this snapshot's weights were computed under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live signatures in this generation.
+    pub fn len(&self) -> usize {
+        self.num_live
+    }
+
+    /// Returns `true` when the generation holds no live signature.
+    pub fn is_empty(&self) -> bool {
+        self.num_live == 0
+    }
+
+    /// Number of doc-id slots (live + tombstoned).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Number of shards in the layout.
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    /// Dimensionality of the signature space.
+    pub fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// The doc→shard router of this layout.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The tf-idf model of this generation.
+    pub fn model(&self) -> &TfIdfModel {
+        &self.model
+    }
+
+    /// The per-shard pieces of this generation.
+    pub fn pieces(&self) -> &[Arc<ShardPiece>] {
+        &self.pieces
+    }
+
+    /// Returns `true` when `doc` is live in this generation.
+    pub fn is_live(&self, doc: DocId) -> bool {
+        doc < self.num_slots && self.pieces[self.router.shard_of(doc)].shard.is_live(doc)
+    }
+
+    /// The stored signature at `doc`, if the slot exists (tombstoned
+    /// slots keep their last contents — check [`is_live`](Self::is_live)).
+    pub fn signature(&self, doc: DocId) -> Option<&Signature> {
+        if doc >= self.num_slots {
+            return None;
+        }
+        self.pieces[self.router.shard_of(doc)]
+            .signatures
+            .get(self.router.local_of(doc))
+    }
+
+    /// Transforms raw interval counts with this generation's model.
+    pub fn transform(&self, counts: &TermCounts) -> SparseVec {
+        self.model.transform(counts)
+    }
+
+    /// Sequential in-thread search over this generation — the reference
+    /// the pooled fan-out (and the stress test's serial replay) is
+    /// compared against. Results are `(doc id, signature, score)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn search(
+        &self,
+        counts: &TermCounts,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<(DocId, Signature, f64)>, FmeterError> {
+        let query = self.transform(counts);
+        let mut per_shard = Vec::with_capacity(self.pieces.len());
+        for piece in &self.pieces {
+            per_shard.push(piece.shard.search_with(&query, k, scratch)?);
+        }
+        Ok(self.resolve_hits(merge_topk(per_shard, k)))
+    }
+
+    /// Maps merged global hits to owned `(doc, signature, score)` rows.
+    fn resolve_hits(&self, hits: Vec<SearchHit>) -> Vec<(DocId, Signature, f64)> {
+        hits.into_iter()
+            .map(|h| {
+                let sig = self
+                    .signature(h.doc)
+                    .expect("hit doc ids come from this snapshot")
+                    .clone();
+                (h.doc, sig, h.score)
+            })
+            .collect()
+    }
+}
+
+/// The single-writer mutation path of the sharded store.
+///
+/// Owns the authoritative flat [`SignatureDb`] and mirrors every
+/// mutation into the per-shard structures, so a consistent
+/// [`ShardSnapshot`] can be published at any moment with nothing but
+/// `Arc` clones. All the flat database's semantics — refit and vacuum
+/// policies, epochs, doc-id stability, remaps — carry over unchanged.
+///
+/// Shard pieces are copy-on-write: a piece still referenced by a
+/// published snapshot is cloned the first time a mutation touches it
+/// after a publish ([`Arc::make_mut`]), which is exactly the "build the
+/// next generation off to the side" cost. Pieces untouched by a
+/// mutation are shared with prior generations for free.
+#[derive(Debug)]
+pub struct ShardWriter {
+    db: SignatureDb,
+    router: ShardRouter,
+    pieces: Vec<Arc<ShardPiece>>,
+    /// Global slots already mirrored into `pieces`.
+    synced_slots: usize,
+}
+
+impl ShardWriter {
+    /// Wraps `db` in a `num_shards`-way sharded mirror (clamped to at
+    /// least 1 shard).
+    pub fn new(db: SignatureDb, num_shards: usize) -> Self {
+        let router = ShardRouter::new(num_shards);
+        let mut writer = ShardWriter {
+            db,
+            router,
+            pieces: Vec::new(),
+            synced_slots: 0,
+        };
+        writer.resync();
+        writer
+    }
+
+    /// The authoritative flat database.
+    pub fn db(&self) -> &SignatureDb {
+        &self.db
+    }
+
+    /// Unwraps the writer back into its flat database.
+    pub fn into_db(self) -> SignatureDb {
+        self.db
+    }
+
+    /// The doc→shard router of this layout.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Number of shards in the layout.
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    /// Publishes the current state as an immutable snapshot stamped
+    /// with `generation`. Costs one `Arc` clone per shard plus a model
+    /// clone — the heavy piece rebuilds already happened on the
+    /// mutation that made them necessary.
+    pub fn publish(&self, generation: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            generation,
+            epoch: self.db.epoch(),
+            num_live: self.db.len(),
+            num_slots: self.db.num_slots(),
+            model: self.db.model().clone(),
+            router: self.router,
+            pieces: self.pieces.clone(),
+        }
+    }
+
+    /// Appends one signature (see [`SignatureDb::insert`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn insert(&mut self, raw: &RawSignature) -> Result<DocId, FmeterError> {
+        self.mutate(|db| db.insert(raw))
+    }
+
+    /// Appends a batch of signatures (see [`SignatureDb::insert_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch on the first offending signature;
+    /// earlier elements of the batch remain inserted.
+    pub fn insert_batch(&mut self, raw: &[RawSignature]) -> Result<Vec<DocId>, FmeterError> {
+        self.mutate(|db| db.insert_batch(raw))
+    }
+
+    /// Tombstones a stored signature (see [`SignatureDb::remove`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DocNotLive`] (wrapped) when `doc` was never
+    /// assigned or is already removed.
+    pub fn remove(&mut self, doc: DocId) -> Result<(), FmeterError> {
+        self.mutate(|db| db.remove(doc))
+    }
+
+    /// Republishes idf and re-weights affected signatures (see
+    /// [`SignatureDb::refit`]); rebuilds the sharded mirror.
+    pub fn refit(&mut self) -> RefitStats {
+        self.mutate(SignatureDb::refit)
+    }
+
+    /// Compacts tombstoned slots, renumbering doc ids (see
+    /// [`SignatureDb::vacuum`]); rebuilds the sharded mirror.
+    pub fn vacuum(&mut self) -> VacuumStats {
+        self.mutate(SignatureDb::vacuum)
+    }
+
+    /// Replaces the automatic-refit policy.
+    pub fn set_refit_policy(&mut self, policy: RefitPolicy) {
+        self.db.set_refit_policy(policy);
+    }
+
+    /// Replaces the automatic-vacuum policy.
+    pub fn set_vacuum_policy(&mut self, policy: VacuumPolicy) {
+        self.db.set_vacuum_policy(policy);
+    }
+
+    /// Runs one mutation against the flat database, then brings the
+    /// sharded mirror back in lockstep: a weight- or id-space-changing
+    /// mutation (refit or vacuum fired, observable through the epoch
+    /// and vacuum counters) rebuilds the mirror; anything else is
+    /// patched incrementally — appended slots are routed to their
+    /// shards, new tombstones forwarded.
+    fn mutate<R>(&mut self, f: impl FnOnce(&mut SignatureDb) -> R) -> R {
+        let epoch = self.db.epoch();
+        let vacuums = self.db.vacuums();
+        let out = f(&mut self.db);
+        if self.db.epoch() != epoch || self.db.vacuums() != vacuums {
+            self.resync();
+        } else {
+            self.sync_incremental();
+        }
+        out
+    }
+
+    /// Incremental lockstep: route new slots to their shards and
+    /// forward tombstones for slots that died since the last sync.
+    fn sync_incremental(&mut self) {
+        let slots = self.db.num_slots();
+        for d in self.synced_slots..slots {
+            let sig = self.db.signatures()[d].clone();
+            let live = self.db.is_live(d);
+            let piece = Arc::make_mut(&mut self.pieces[self.router.shard_of(d)]);
+            piece
+                .shard
+                .insert(d, sig.vector.clone())
+                .expect("sequential global ids route in order");
+            piece.signatures.push(sig);
+            if !live {
+                piece.shard.remove(d).expect("slot was just inserted");
+            }
+        }
+        self.synced_slots = slots;
+        // Forward tombstones: compare liveness piece-by-piece. The scan
+        // is O(slots) of boolean reads — negligible next to the search
+        // structures it keeps consistent.
+        for d in 0..slots {
+            if !self.db.is_live(d) && self.pieces[self.router.shard_of(d)].shard.is_live(d) {
+                let piece = Arc::make_mut(&mut self.pieces[self.router.shard_of(d)]);
+                piece.shard.remove(d).expect("shard mirrors the database");
+            }
+        }
+    }
+
+    /// Full rebuild of the sharded mirror from the flat database — the
+    /// off-to-the-side construction of the next generation after a
+    /// refit (weights changed) or vacuum (ids renumbered). Tombstoned
+    /// slots are mirrored as zero-vector inserts followed by a remove,
+    /// keeping every shard's local id space aligned with the router.
+    fn resync(&mut self) {
+        let dim = self.db.dim();
+        let slots = self.db.num_slots();
+        let mut pieces: Vec<ShardPiece> = (0..self.router.num_shards())
+            .map(|s| ShardPiece {
+                shard: Shard::new(s, self.router, dim),
+                signatures: Vec::new(),
+            })
+            .collect();
+        for d in 0..slots {
+            let sig = self.db.signatures()[d].clone();
+            let live = self.db.is_live(d);
+            let piece = &mut pieces[self.router.shard_of(d)];
+            if live {
+                piece
+                    .shard
+                    .insert(d, sig.vector.clone())
+                    .expect("sequential global ids route in order");
+            } else {
+                piece
+                    .shard
+                    .insert(d, SparseVec::zeros(dim))
+                    .expect("zero placeholder matches the dimension");
+                piece.shard.remove(d).expect("slot was just inserted");
+            }
+            piece.signatures.push(sig);
+        }
+        self.pieces = pieces.into_iter().map(Arc::new).collect();
+        self.synced_slots = slots;
+    }
+}
+
+/// One per-shard unit of query work dispatched to the pool.
+struct QueryJob {
+    piece: Arc<ShardPiece>,
+    query: Arc<SparseVec>,
+    k: usize,
+    reply: mpsc::Sender<Result<Vec<SearchHit>, IrError>>,
+}
+
+/// Shared state behind the service handle.
+struct ServiceInner {
+    writer: Mutex<ShardWriter>,
+    current: RwLock<Arc<ShardSnapshot>>,
+    generation: AtomicU64,
+    /// One channel per pool worker; shard `s` is served by worker
+    /// `s % workers.len()`. Senders are mutex-wrapped so the service
+    /// handle stays `Sync` across std versions.
+    workers: Vec<Mutex<mpsc::Sender<QueryJob>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for ServiceInner {
+    fn drop(&mut self) {
+        // Disconnect the job channels so the workers' recv() loops end,
+        // then reap the threads.
+        self.workers.clear();
+        for handle in self.handles.get_mut().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The concurrently-readable facade over a sharded [`SignatureDb`].
+///
+/// Cloning the service clones a handle to the same store (shared
+/// writer, shared snapshot, shared worker pool) — hand clones to reader
+/// threads. Queries fan out across the shards on a persistent worker
+/// pool (one long-lived thread per pool slot, each owning its
+/// [`SearchScratch`] — the same pattern as parallel K-means) and are
+/// merged with the flat comparator, so results are bit-identical to
+/// [`SignatureDb::search`] on the equivalent flat database.
+///
+/// Mutations serialize on the writer; searches run against the
+/// published [`ShardSnapshot`] and never wait for an in-progress
+/// refit, vacuum, or insert.
+#[derive(Clone)]
+pub struct SignatureService {
+    inner: Arc<ServiceInner>,
+}
+
+impl std::fmt::Debug for SignatureService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.snapshot();
+        f.debug_struct("SignatureService")
+            .field("generation", &snapshot.generation())
+            .field("epoch", &snapshot.epoch())
+            .field("len", &snapshot.len())
+            .field("num_shards", &snapshot.num_shards())
+            .finish()
+    }
+}
+
+impl SignatureService {
+    /// Fits tf-idf over `raw` and serves it from `num_shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FmeterError::NoSignatures`] when `raw` is empty.
+    pub fn build(raw: &[RawSignature], num_shards: usize) -> Result<Self, FmeterError> {
+        Ok(Self::from_db(SignatureDb::build(raw)?, num_shards))
+    }
+
+    /// Serves an existing database from `num_shards` shards (clamped to
+    /// at least 1).
+    pub fn from_db(db: SignatureDb, num_shards: usize) -> Self {
+        let writer = ShardWriter::new(db, num_shards);
+        let snapshot = Arc::new(writer.publish(0));
+        let pool = num_shards
+            .clamp(1, 16)
+            .min(
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1),
+            )
+            .max(1);
+        let mut workers = Vec::with_capacity(pool);
+        let mut handles = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            let (sender, receiver) = mpsc::channel::<QueryJob>();
+            workers.push(Mutex::new(sender));
+            handles.push(std::thread::spawn(move || {
+                let mut scratch = SearchScratch::new();
+                while let Ok(job) = receiver.recv() {
+                    let hits = job
+                        .piece
+                        .shard()
+                        .search_with(&job.query, job.k, &mut scratch);
+                    let _ = job.reply.send(hits);
+                }
+            }));
+        }
+        SignatureService {
+            inner: Arc::new(ServiceInner {
+                writer: Mutex::new(writer),
+                current: RwLock::new(snapshot),
+                generation: AtomicU64::new(0),
+                workers,
+                handles: Mutex::new(handles),
+            }),
+        }
+    }
+
+    /// Loads a persisted database (any supported format version) and
+    /// serves it from its saved shard layout (see
+    /// [`save`](Self::save)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates envelope and migration failures.
+    pub fn load<R: Read>(reader: R) -> Result<Self, FmeterError> {
+        let (db, num_shards) = persist::load_sharded(reader)?;
+        Ok(Self::from_db(db, num_shards))
+    }
+
+    /// Saves the store through the versioned envelope, including the
+    /// shard layout (format v3); a plain [`SignatureDb::load`] reads
+    /// the same bytes and simply drops the layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), FmeterError> {
+        let guard = self.inner.writer.lock();
+        persist::save_sharded(
+            guard.db(),
+            guard.num_shards(),
+            persist::CURRENT_FORMAT_VERSION,
+            writer,
+        )
+    }
+
+    /// The currently published generation. The returned `Arc` stays
+    /// valid (and immutable) for as long as the caller holds it, no
+    /// matter what the writer does meanwhile.
+    pub fn snapshot(&self) -> Arc<ShardSnapshot> {
+        self.inner.current.read().clone()
+    }
+
+    /// Finds the `k` stored signatures most similar to a fresh
+    /// interval, fanning the query across the shards on the worker
+    /// pool. Results are `(doc id, signature, score)`, bit-identical to
+    /// the flat [`SignatureDb::search`] over the same corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn search(
+        &self,
+        counts: &TermCounts,
+        k: usize,
+    ) -> Result<Vec<(DocId, Signature, f64)>, FmeterError> {
+        let snapshot = self.snapshot();
+        self.search_snapshot(&snapshot, counts, k)
+    }
+
+    /// Like [`search`](Self::search), against a caller-held generation
+    /// — use this to run several queries against one consistent view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn search_snapshot(
+        &self,
+        snapshot: &ShardSnapshot,
+        counts: &TermCounts,
+        k: usize,
+    ) -> Result<Vec<(DocId, Signature, f64)>, FmeterError> {
+        let query = Arc::new(snapshot.transform(counts));
+        let (reply, replies) = mpsc::channel();
+        let mut per_shard: Vec<Vec<SearchHit>> = Vec::with_capacity(snapshot.pieces().len());
+        let mut pending = 0usize;
+        for (s, piece) in snapshot.pieces().iter().enumerate() {
+            let job = QueryJob {
+                piece: piece.clone(),
+                query: query.clone(),
+                k,
+                reply: reply.clone(),
+            };
+            let worker = &self.inner.workers[s % self.inner.workers.len()];
+            if worker.lock().send(job).is_ok() {
+                pending += 1;
+            } else {
+                // Pool shut down under us (handle race at drop): score
+                // the shard inline — same snapshot, same results.
+                let mut scratch = SearchScratch::new();
+                per_shard.push(piece.shard().search_with(&query, k, &mut scratch)?);
+            }
+        }
+        // Drop our sender so a lost worker surfaces as a disconnect
+        // instead of a deadlock.
+        drop(reply);
+        for _ in 0..pending {
+            match replies.recv() {
+                Ok(hits) => per_shard.push(hits?),
+                Err(_) => {
+                    // A worker died mid-query; fall back to the
+                    // sequential reference, which is bit-identical.
+                    return snapshot.search(counts, k, &mut SearchScratch::new());
+                }
+            }
+        }
+        Ok(snapshot.resolve_hits(merge_topk(per_shard, k)))
+    }
+
+    /// Classifies a fresh interval by majority label among its `k`
+    /// nearest stored signatures (same vote and tie-break as
+    /// [`SignatureDb::classify`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn classify(&self, counts: &TermCounts, k: usize) -> Result<Option<String>, FmeterError> {
+        let hits = self.search(counts, k)?;
+        let mut votes: HashMap<&str, usize> = HashMap::new();
+        for (_, sig, _) in &hits {
+            if let Some(label) = sig.label.as_deref() {
+                *votes.entry(label).or_default() += 1;
+            }
+        }
+        Ok(votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(label, _)| label.to_string()))
+    }
+
+    /// Appends one signature and publishes the next generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn insert(&self, raw: &RawSignature) -> Result<DocId, FmeterError> {
+        let mut writer = self.inner.writer.lock();
+        let id = writer.insert(raw)?;
+        self.publish(&writer);
+        Ok(id)
+    }
+
+    /// Appends a batch of signatures and publishes the next generation
+    /// (one publish for the whole batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch on the first offending signature;
+    /// earlier elements of the batch remain inserted and are published.
+    pub fn insert_batch(&self, raw: &[RawSignature]) -> Result<Vec<DocId>, FmeterError> {
+        let mut writer = self.inner.writer.lock();
+        let result = writer.insert_batch(raw);
+        self.publish(&writer);
+        result
+    }
+
+    /// Tombstones a stored signature and publishes the next generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DocNotLive`] (wrapped) when `doc` was never
+    /// assigned or is already removed.
+    pub fn remove(&self, doc: DocId) -> Result<(), FmeterError> {
+        let mut writer = self.inner.writer.lock();
+        let result = writer.remove(doc);
+        if result.is_ok() {
+            self.publish(&writer);
+        }
+        result
+    }
+
+    /// Refits idf over the live corpus and publishes the re-weighted
+    /// generation. In-flight and future reads on older snapshots are
+    /// untouched.
+    pub fn refit(&self) -> RefitStats {
+        let mut writer = self.inner.writer.lock();
+        let stats = writer.refit();
+        self.publish(&writer);
+        stats
+    }
+
+    /// Compacts tombstoned slots (renumbering doc ids — see
+    /// [`SignatureDb::vacuum`]) and publishes the renumbered
+    /// generation. Snapshots taken before the vacuum keep serving the
+    /// old ids.
+    pub fn vacuum(&self) -> VacuumStats {
+        let mut writer = self.inner.writer.lock();
+        let stats = writer.vacuum();
+        self.publish(&writer);
+        stats
+    }
+
+    /// Replaces the automatic-refit policy.
+    pub fn set_refit_policy(&self, policy: RefitPolicy) {
+        self.inner.writer.lock().set_refit_policy(policy);
+    }
+
+    /// Replaces the automatic-vacuum policy.
+    pub fn set_vacuum_policy(&self, policy: VacuumPolicy) {
+        self.inner.writer.lock().set_vacuum_policy(policy);
+    }
+
+    /// Stats (incl. the id remap) of the most recent vacuum, if any.
+    pub fn last_vacuum(&self) -> Option<VacuumStats> {
+        self.inner.writer.lock().db().last_vacuum().cloned()
+    }
+
+    /// Number of live signatures in the published generation.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Returns `true` when the published generation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Number of doc-id slots in the published generation.
+    pub fn num_slots(&self) -> usize {
+        self.snapshot().num_slots()
+    }
+
+    /// The published generation's idf epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// The current publication sequence number.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Number of shards in the layout.
+    pub fn num_shards(&self) -> usize {
+        self.snapshot().num_shards()
+    }
+
+    /// Dimensionality of the signature space.
+    pub fn dim(&self) -> usize {
+        self.snapshot().dim()
+    }
+
+    /// Returns `true` when `doc` is live in the published generation.
+    pub fn is_live(&self, doc: DocId) -> bool {
+        self.snapshot().is_live(doc)
+    }
+
+    /// Vacuums performed over the store's lifetime.
+    pub fn vacuums(&self) -> u64 {
+        self.inner.writer.lock().db().vacuums()
+    }
+
+    /// Stamps and swaps in the next generation. Called with the writer
+    /// lock held (mutations serialize), so generation numbers and
+    /// snapshot contents advance together; readers only ever take the
+    /// `current` read lock for the duration of an `Arc` clone.
+    fn publish(&self, writer: &ShardWriter) {
+        let generation = self.inner.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let snapshot = Arc::new(writer.publish(generation));
+        *self.inner.current.write() = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmeter_kernel_sim::Nanos;
+
+    fn raw(i: usize, label: &str, dim: usize) -> RawSignature {
+        let mut counts = vec![0u64; dim];
+        counts[i % dim] = 5 + (i % 7) as u64;
+        counts[(i * 3 + 1) % dim] = 2 + (i % 4) as u64;
+        counts[(i + dim / 2) % dim] = 1;
+        RawSignature {
+            counts,
+            started_at: Nanos(i as u64 * 100),
+            ended_at: Nanos(i as u64 * 100 + 100),
+            label: Some(label.to_string()),
+        }
+    }
+
+    fn sample(n: usize, dim: usize) -> Vec<RawSignature> {
+        (0..n)
+            .map(|i| raw(i, if i % 2 == 0 { "even" } else { "odd" }, dim))
+            .collect()
+    }
+
+    fn assert_same_hits(
+        service_hits: &[(DocId, Signature, f64)],
+        db_hits: &[(&Signature, f64)],
+        db: &SignatureDb,
+    ) {
+        assert_eq!(service_hits.len(), db_hits.len());
+        for ((doc, sig, score), (db_sig, db_score)) in service_hits.iter().zip(db_hits) {
+            assert_eq!(score, db_score, "scores must be bit-identical");
+            assert_eq!(sig, *db_sig);
+            assert!(std::ptr::eq(&db.signatures()[*doc], *db_sig));
+        }
+    }
+
+    #[test]
+    fn service_search_is_bit_identical_to_flat_db() {
+        let raws = sample(40, 12);
+        let db = SignatureDb::build(&raws).unwrap();
+        for num_shards in [1, 2, 3, 5] {
+            let service = SignatureService::build(&raws, num_shards).unwrap();
+            assert_eq!(service.num_shards(), num_shards);
+            for probe in raws.iter().step_by(7) {
+                let q = probe.to_term_counts();
+                let expected = db.search(&q, 6).unwrap();
+                let got = service.search(&q, 6).unwrap();
+                assert_same_hits(&got, &expected, &db);
+                assert_eq!(
+                    service.classify(&q, 5).unwrap(),
+                    db.classify(&q, 5).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_stay_in_lockstep_with_flat_db() {
+        let raws = sample(30, 10);
+        let extra = sample(60, 10);
+        let mut db = SignatureDb::build(&raws).unwrap();
+        db.set_refit_policy(RefitPolicy::EveryN(9));
+        let service = SignatureService::build(&raws, 3).unwrap();
+        service.set_refit_policy(RefitPolicy::EveryN(9));
+
+        db.insert_batch(&extra[30..45]).unwrap();
+        service.insert_batch(&extra[30..45]).unwrap();
+        for doc in [1, 4, 10, 33] {
+            db.remove(doc).unwrap();
+            service.remove(doc).unwrap();
+        }
+        assert_eq!(service.len(), db.len());
+        assert_eq!(service.epoch(), db.epoch());
+        for probe in extra.iter().step_by(11) {
+            let q = probe.to_term_counts();
+            let expected = db.search(&q, 8).unwrap();
+            let got = service.search(&q, 8).unwrap();
+            assert_same_hits(&got, &expected, &db);
+        }
+
+        // Explicit refit + vacuum keep the mirrors aligned too.
+        db.refit();
+        let db_stats = db.vacuum();
+        service.refit();
+        let service_stats = service.vacuum();
+        assert_eq!(service_stats.remap, db_stats.remap);
+        assert_eq!(service.len(), db.len());
+        assert_eq!(service.num_slots(), db.num_slots());
+        for probe in extra.iter().step_by(13) {
+            let q = probe.to_term_counts();
+            let expected = db.search(&q, 8).unwrap();
+            let got = service.search(&q, 8).unwrap();
+            assert_same_hits(&got, &expected, &db);
+        }
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_mutations() {
+        let raws = sample(24, 8);
+        let service = SignatureService::build(&raws, 4).unwrap();
+        let before = service.snapshot();
+        let q = raws[3].to_term_counts();
+        let hits_before = service.search_snapshot(&before, &q, 5).unwrap();
+        let gen_before = before.generation();
+
+        service.insert_batch(&sample(40, 8)[24..]).unwrap();
+        service.remove(2).unwrap();
+        service.refit();
+        service.vacuum();
+
+        // The old generation still serves exactly its old answers.
+        assert_eq!(before.generation(), gen_before);
+        assert_eq!(
+            service.search_snapshot(&before, &q, 5).unwrap(),
+            hits_before
+        );
+        let mut scratch = SearchScratch::new();
+        assert_eq!(before.search(&q, 5, &mut scratch).unwrap(), hits_before);
+        // And the service moved on: one publish per mutation call.
+        assert_eq!(service.generation(), gen_before + 4);
+        assert!(service.snapshot().generation() == service.generation());
+    }
+
+    #[test]
+    fn sequential_snapshot_search_matches_pooled_fanout() {
+        let raws = sample(50, 16);
+        let service = SignatureService::build(&raws, 5).unwrap();
+        let snapshot = service.snapshot();
+        let mut scratch = SearchScratch::new();
+        for probe in raws.iter().step_by(9) {
+            let q = probe.to_term_counts();
+            assert_eq!(
+                service.search_snapshot(&snapshot, &q, 7).unwrap(),
+                snapshot.search(&q, 7, &mut scratch).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_writer_round_trips_into_db() {
+        let raws = sample(20, 8);
+        let db = SignatureDb::build(&raws).unwrap();
+        let reference = db.clone();
+        let mut writer = ShardWriter::new(db, 3);
+        writer.remove(5).unwrap();
+        let snapshot = writer.publish(1);
+        assert_eq!(snapshot.len(), 19);
+        assert!(!snapshot.is_live(5));
+        assert_eq!(
+            snapshot.signature(7).unwrap(),
+            &reference.signatures()[7].clone()
+        );
+        let db = writer.into_db();
+        assert_eq!(db.len(), 19);
+    }
+}

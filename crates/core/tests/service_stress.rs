@@ -1,0 +1,219 @@
+//! Stress test for the sharded [`SignatureService`]: concurrent
+//! searchers against a writer looping insert/remove/refit/vacuum.
+//!
+//! The contract under test is snapshot consistency: every pooled
+//! fan-out search must return exactly what a serial replay of the same
+//! snapshot returns ([`ShardSnapshot::search`]), generations must never
+//! move backwards under a reader, and searches must never block behind
+//! the writer — enforced here as a (generous) per-search latency
+//! ceiling that a lock-coupled implementation would blow through the
+//! moment a vacuum or refit holds the writer busy.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use fmeter_core::{RawSignature, RefitPolicy, SignatureService, VacuumPolicy};
+use fmeter_ir::{SearchScratch, TermCounts};
+use fmeter_kernel_sim::Nanos;
+
+const DIM: usize = 12;
+const ROUNDS: u64 = 60;
+const NET_PER_ROUND: usize = 4; // 6 inserted, 2 removed
+/// Far above any real per-search cost at this corpus size (micro-
+/// seconds in debug builds); a search that serializes behind the
+/// writer's refit/vacuum loop blows through it immediately.
+const LATENCY_CEILING: Duration = Duration::from_millis(500);
+
+fn raw(i: u64, class: usize) -> RawSignature {
+    let mut counts = vec![0u64; DIM];
+    let base = class * 4;
+    counts[base] = 50 + i % 13;
+    counts[base + 1] = 35 + i % 7;
+    counts[base + 2] = 20;
+    counts[base + 3] = 10 + i % 3;
+    counts[(base + 6) % DIM] = 1; // cross-class noise term
+    RawSignature {
+        counts,
+        started_at: Nanos(i * 1_000),
+        ended_at: Nanos((i + 1) * 1_000),
+        label: Some(["io", "net", "sched"][class].to_string()),
+    }
+}
+
+fn seed_corpus() -> Vec<RawSignature> {
+    (0..24u64).map(|i| raw(i, (i % 3) as usize)).collect()
+}
+
+fn probe_queries() -> Vec<TermCounts> {
+    (0..4u64)
+        .map(|i| TermCounts::from_dense(&raw(100 + i, (i % 3) as usize).counts))
+        .collect()
+}
+
+/// Asserts a pooled fan-out result equals the serial replay of the
+/// same snapshot: same docs, bit-identical scores, same labels.
+fn assert_replay_identical(
+    pooled: &[(usize, fmeter_core::Signature, f64)],
+    serial: &[(usize, fmeter_core::Signature, f64)],
+) {
+    assert_eq!(pooled.len(), serial.len(), "hit counts diverged");
+    for ((d1, s1, x1), (d2, s2, x2)) in pooled.iter().zip(serial) {
+        assert_eq!(d1, d2, "doc ids diverged");
+        assert_eq!(s1.label, s2.label, "labels diverged");
+        assert_eq!(
+            x1.to_bits(),
+            x2.to_bits(),
+            "scores not bit-identical: {x1} vs {x2}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_searches_stay_consistent_under_writer_churn() {
+    let service = SignatureService::build(&seed_corpus(), 4).expect("seed corpus builds");
+    service.set_refit_policy(RefitPolicy::Manual);
+    service.set_vacuum_policy(VacuumPolicy::Never);
+    let queries = probe_queries();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let svc = &service;
+        let done = &done;
+        let queries = &queries;
+
+        let writer = s.spawn(move || {
+            for round in 0..ROUNDS {
+                let batch: Vec<RawSignature> = (0..6)
+                    .map(|j| raw(1_000 + round * 6 + j, ((round + j) % 3) as usize))
+                    .collect();
+                let ids = svc.insert_batch(&batch).expect("batch insert");
+                // Remove two of the ids we just minted: they are live
+                // by construction and this round's vacuum (if any)
+                // renumbers them only after the removes land.
+                svc.remove(ids[0]).expect("remove fresh doc");
+                svc.remove(ids[3]).expect("remove fresh doc");
+                if round % 5 == 4 {
+                    svc.refit();
+                }
+                if round % 7 == 6 {
+                    let stats = svc.vacuum();
+                    assert_eq!(stats.live_docs, svc.len());
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut scratch = SearchScratch::new();
+                    let mut last_generation = 0u64;
+                    let mut iterations = 0usize;
+                    let mut max_latency = Duration::ZERO;
+                    // Keep reading while the writer runs, with an
+                    // iteration floor so the test still exercises the
+                    // path when the scheduler starves a reader.
+                    while !done.load(Ordering::Acquire) || iterations < 25 {
+                        let snapshot = svc.snapshot();
+                        assert!(
+                            snapshot.generation() >= last_generation,
+                            "generation went backwards: {} after {}",
+                            snapshot.generation(),
+                            last_generation
+                        );
+                        last_generation = snapshot.generation();
+                        // Snapshot-internal consistency: the liveness
+                        // bitmap and the live count agree, always.
+                        let live = (0..snapshot.num_slots())
+                            .filter(|&d| snapshot.is_live(d))
+                            .count();
+                        assert_eq!(live, snapshot.len(), "liveness drifted inside a snapshot");
+                        for q in queries {
+                            let t0 = Instant::now();
+                            let pooled =
+                                svc.search_snapshot(&snapshot, q, 8).expect("pooled search");
+                            max_latency = max_latency.max(t0.elapsed());
+                            let serial =
+                                snapshot.search(q, 8, &mut scratch).expect("serial replay");
+                            assert_replay_identical(&pooled, &serial);
+                        }
+                        iterations += 1;
+                    }
+                    (iterations, max_latency, last_generation)
+                })
+            })
+            .collect();
+
+        writer.join().expect("writer thread");
+        for handle in readers {
+            let (iterations, max_latency, last_generation) = handle.join().expect("reader thread");
+            assert!(
+                iterations >= 25,
+                "reader barely ran: {iterations} iterations"
+            );
+            assert!(
+                max_latency < LATENCY_CEILING,
+                "search latency {max_latency:?} exceeded the no-blocking ceiling"
+            );
+            assert!(
+                last_generation > 0,
+                "reader never saw a published generation"
+            );
+        }
+    });
+
+    // Final state: every round nets +4 docs, vacuums change none.
+    assert_eq!(
+        service.len(),
+        seed_corpus().len() + ROUNDS as usize * NET_PER_ROUND
+    );
+    let snapshot = service.snapshot();
+    let serial = snapshot
+        .search(&probe_queries()[0], 8, &mut SearchScratch::new())
+        .expect("final serial search");
+    let pooled = service
+        .search(&probe_queries()[0], 8)
+        .expect("final pooled search");
+    assert_replay_identical(&pooled, &serial);
+}
+
+/// A snapshot taken before a burst of mutations keeps answering with
+/// its own generation's corpus even while new generations publish —
+/// readers pay zero coordination with the writer.
+#[test]
+fn old_snapshots_survive_concurrent_churn() {
+    let service = SignatureService::build(&seed_corpus(), 3).expect("seed corpus builds");
+    service.set_refit_policy(RefitPolicy::Manual);
+    let query = probe_queries().remove(0);
+    let before = service.snapshot();
+    let mut scratch = SearchScratch::new();
+    let frozen = before.search(&query, 6, &mut scratch).expect("search");
+
+    std::thread::scope(|s| {
+        let svc = &service;
+        let writer = s.spawn(move || {
+            for round in 0..20u64 {
+                let batch: Vec<RawSignature> = (0..4)
+                    .map(|j| raw(5_000 + round * 4 + j, (j % 3) as usize))
+                    .collect();
+                svc.insert_batch(&batch).expect("insert");
+                if round % 4 == 3 {
+                    svc.refit();
+                }
+            }
+        });
+        // Interleave reads of the frozen snapshot with the writer.
+        for _ in 0..50 {
+            let again = before.search(&query, 6, &mut scratch).expect("search");
+            assert_replay_identical(&frozen, &again);
+        }
+        writer.join().expect("writer thread");
+    });
+
+    // The frozen generation still answers identically afterwards, and
+    // the live service has moved on.
+    let again = before.search(&query, 6, &mut scratch).expect("search");
+    assert_replay_identical(&frozen, &again);
+    assert!(service.generation() > before.generation());
+    assert_eq!(service.len(), seed_corpus().len() + 20 * 4);
+}

@@ -440,6 +440,74 @@ impl InvertedIndex {
         Ok(())
     }
 
+    /// Renumbers the id space in place, dropping every tombstoned slot:
+    /// live doc `d` becomes `remap[d]`, which must enumerate the live
+    /// docs densely (`Some(0), Some(1), …` in old-id order, `None` for
+    /// every tombstone). This is the vacuum path — one O(nnz) pass that
+    /// *moves* the stored weights, never recomputing a float: a
+    /// renumbered index is bit-identical to one rebuilt by re-inserting
+    /// the survivors, at a fraction of the cost.
+    ///
+    /// The rewrite folds the tails into the flat buffer (the canonical
+    /// compacted layout) and recomputes the max-impact bounds exactly,
+    /// using comparisons only. Afterwards the index has no tombstones
+    /// and `len() == live_len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DocNotLive`] when `remap` has the wrong
+    /// length, maps a tombstone, skips a live doc, or is not the dense
+    /// ascending enumeration. The index is unchanged on error.
+    pub fn renumber_compact(&mut self, remap: &[Option<DocId>]) -> Result<(), IrError> {
+        if remap.len() != self.num_docs {
+            return Err(IrError::DocNotLive(remap.len()));
+        }
+        let mut next = 0usize;
+        for (d, slot) in remap.iter().enumerate() {
+            match (self.removed[d], slot) {
+                (false, Some(new)) if *new == next => next += 1,
+                (true, None) => {}
+                _ => return Err(IrError::DocNotLive(d)),
+            }
+        }
+        let live = next;
+        let total = self.docs.len() + self.tail_len;
+        let mut offsets = Vec::with_capacity(self.dim + 1);
+        let mut docs = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        offsets.push(0);
+        for t in 0..self.dim {
+            let mut impact = 0.0f64;
+            let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+            let list = &mut self.tail[t];
+            let flat = self.docs[lo..hi].iter().zip(&self.weights[lo..hi]);
+            let tail = list.docs.iter().zip(&list.weights);
+            for (&d, &w) in flat.chain(tail) {
+                // remap is monotone over live docs, so mapped ids stay
+                // ascending within the term's postings.
+                if let Some(new) = remap[d as usize] {
+                    docs.push(new as u32);
+                    weights.push(w);
+                    impact = impact.max(w.abs());
+                }
+            }
+            list.docs.clear();
+            list.weights.clear();
+            offsets.push(docs.len());
+            self.max_impact[t] = impact;
+        }
+        self.offsets = offsets;
+        self.docs = docs;
+        self.weights = weights;
+        self.tail_len = 0;
+        self.num_docs = live;
+        self.removed.clear();
+        self.removed.resize(live, false);
+        self.num_removed = 0;
+        self.dead_unpurged = 0;
+        Ok(())
+    }
+
     /// Term `t`'s postings as `(flat, tail)` slice pairs; doc ids ascend
     /// across the concatenation because tail postings are always newer.
     #[inline]
@@ -1278,6 +1346,85 @@ mod tests {
         // The tombstone itself survives the purge.
         assert!(!idx.is_live(0));
         assert_eq!(idx.live_len(), 3);
+    }
+
+    #[test]
+    fn renumber_compact_matches_fresh_build_bitwise() {
+        let dim = 32u32;
+        let docs = banded_corpus(150, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        for d in (0..150).step_by(4) {
+            idx.remove(d).unwrap();
+        }
+        let mut remap: Vec<Option<DocId>> = vec![None; 150];
+        let mut next = 0usize;
+        for (d, slot) in remap.iter_mut().enumerate() {
+            if idx.is_live(d) {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+        idx.renumber_compact(&remap).unwrap();
+        assert_eq!(idx.len(), next);
+        assert_eq!(idx.live_len(), next);
+        assert_eq!(idx.num_removed(), 0);
+        // Bit-identical to a fresh build over the survivors: the rewrite
+        // moved the already-normalised weights instead of recomputing.
+        let mut fresh = InvertedIndex::new(dim as usize);
+        for (d, v) in docs.iter().enumerate() {
+            if d % 4 != 0 {
+                fresh.insert(v.clone()).unwrap();
+            }
+        }
+        fresh.optimize();
+        let mut scratch = SearchScratch::new();
+        for q in docs.iter().step_by(11) {
+            let a = idx.search_exhaustive(q, 9, &mut scratch).unwrap();
+            let b = fresh.search_exhaustive(q, 9, &mut scratch).unwrap();
+            assert_eq!(a, b);
+            let aw = idx.search_wand(q, 9, &mut scratch).unwrap();
+            let bw = fresh.search_wand(q, 9, &mut scratch).unwrap();
+            assert_eq!(aw, bw);
+        }
+        for t in 0..dim {
+            assert_eq!(idx.max_impact(t), fresh.max_impact(t));
+            assert_eq!(idx.posting_len(t), fresh.posting_len(t));
+        }
+    }
+
+    #[test]
+    fn renumber_compact_rejects_bad_remaps() {
+        let mut idx = sample_index();
+        idx.remove(1).unwrap();
+        // Wrong length.
+        assert_eq!(
+            idx.renumber_compact(&[Some(0), None]),
+            Err(IrError::DocNotLive(2))
+        );
+        // Maps a tombstone.
+        assert_eq!(
+            idx.renumber_compact(&[Some(0), Some(1), Some(2)]),
+            Err(IrError::DocNotLive(1))
+        );
+        // Skips a live doc.
+        assert_eq!(
+            idx.renumber_compact(&[None, None, Some(0)]),
+            Err(IrError::DocNotLive(0))
+        );
+        // Not dense-ascending.
+        assert_eq!(
+            idx.renumber_compact(&[Some(1), None, Some(0)]),
+            Err(IrError::DocNotLive(0))
+        );
+        // The failed calls left the index untouched.
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.live_len(), 2);
+        idx.renumber_compact(&[Some(0), None, Some(1)]).unwrap();
+        assert_eq!(idx.len(), 2);
+        assert!(idx.is_live(0) && idx.is_live(1));
     }
 
     #[test]

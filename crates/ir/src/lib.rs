@@ -55,6 +55,7 @@ mod distance;
 mod error;
 mod index;
 mod matrix;
+mod shard;
 mod sparse;
 mod tfidf;
 
@@ -66,6 +67,7 @@ pub use distance::{
 pub use error::IrError;
 pub use index::{InvertedIndex, SearchHit, SearchScratch};
 pub use matrix::CsrMatrix;
+pub use shard::{merge_topk, search_sharded, Shard, ShardRouter};
 pub use sparse::SparseVec;
 pub use tfidf::{IdfMode, IdfRefit, TfIdfModel, TfIdfOptions, TfMode};
 

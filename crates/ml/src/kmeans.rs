@@ -339,8 +339,9 @@ impl KMeans {
                 &mut partial,
             );
             let inertia: f64 = d_sqs.iter().sum();
-            Self::reset_accumulators(&mut sums, &mut counts);
-            Self::merge_partial(&mut sums, &mut counts, &partial);
+            // Single worker: its partial IS the merged state — overwrite
+            // instead of zeroing the global arrays and re-adding.
+            Self::copy_partial(&mut sums, &mut counts, &partial);
             self.finish_update(
                 points,
                 sq_norms,
@@ -479,11 +480,21 @@ impl KMeans {
                 assign_round(&mut slots, &mut assignments, &mut d_sqs);
                 // Summed in point order: bit-identical to sequential.
                 let inertia: f64 = d_sqs.iter().sum();
-                Self::reset_accumulators(&mut sums, &mut counts);
                 // Merge the workers' partial sums in chunk order
-                // (deterministic for a fixed thread count).
+                // (deterministic for a fixed thread count). The first
+                // partial overwrites the global buffers outright — the
+                // barrier no longer pays a zeroing pass per round.
+                let mut first = true;
                 for job in slots.iter().flatten() {
-                    Self::merge_partial(&mut sums, &mut counts, &job.partial);
+                    if first {
+                        Self::copy_partial(&mut sums, &mut counts, &job.partial);
+                        first = false;
+                    } else {
+                        Self::merge_partial(&mut sums, &mut counts, &job.partial);
+                    }
+                }
+                if first {
+                    Self::reset_accumulators(&mut sums, &mut counts);
                 }
                 {
                     let mut centroids = centroid_lock.write().expect("centroid lock");
@@ -524,6 +535,20 @@ impl KMeans {
             s.fill(0.0);
         }
         counts.fill(0);
+    }
+
+    /// Overwrites the merged accumulators with one worker's partial —
+    /// the double-buffered handoff for the *first* partial of a round,
+    /// replacing a full zeroing pass over the global arrays. Partial
+    /// sums are never `-0.0` (accumulation starts at `+0.0`, and under
+    /// default rounding IEEE-754 addition cannot reach `-0.0` from
+    /// there), so the straight copy is bit-identical to zero-then-add.
+    fn copy_partial(sums: &mut [Vec<f64>], counts: &mut [usize], part: &AssignPartial) {
+        let dim = sums.first().map_or(0, Vec::len);
+        for (c, sum) in sums.iter_mut().enumerate() {
+            counts[c] = part.counts[c];
+            sum.copy_from_slice(&part.sums[c * dim..(c + 1) * dim]);
+        }
     }
 
     /// Folds one worker's partial centroid sums and counts into the

@@ -1,19 +1,29 @@
 //! Always-on streaming ingest — the monitoring daemon the paper's §2.2
-//! workflow ultimately runs as: signatures stream off the machine
-//! interval by interval, each one is classified against the live
-//! database *and then inserted into it*, old intervals age out of a
-//! sliding retention window, the tf-idf weights are re-fitted
-//! automatically whenever the corpus has drifted far enough from the
-//! published idf generation, dead slots are reclaimed by policy-driven
-//! vacuums (the daemon translates its eviction cursor through the
-//! remap), and at shutdown the window is persisted through the
-//! versioned envelope and reloaded as an upgraded daemon would.
+//! workflow ultimately runs as, now fronted by the sharded
+//! [`SignatureService`]: signatures stream off the machine interval by
+//! interval, each one is classified against the live service *and then
+//! inserted into it*, old intervals age out of a sliding retention
+//! window, the tf-idf weights are re-fitted automatically whenever the
+//! corpus has drifted far enough from the published idf generation,
+//! dead slots are reclaimed by policy-driven vacuums (the daemon
+//! translates its eviction cursor through the remap), and at shutdown
+//! the window is persisted through the versioned envelope — shard
+//! layout included — and reloaded as an upgraded daemon would.
+//!
+//! Every mutation publishes an immutable snapshot generation, so a
+//! dashboard (or any other reader) can pin a generation and keep
+//! querying it lock-free while the daemon streams — demonstrated below
+//! with a snapshot frozen at bootstrap and re-queried after the whole
+//! stream has churned the live corpus.
 //!
 //! ```text
 //! cargo run --release --example streaming_daemon
 //! ```
 
-use fmeter::core::{persist, Fmeter, RawSignature, RefitPolicy, SignatureDb, VacuumPolicy};
+use fmeter::core::{
+    persist, Fmeter, RawSignature, RefitPolicy, SignatureDb, SignatureService, VacuumPolicy,
+};
+use fmeter::ir::SearchScratch;
 use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
 use fmeter::workloads::{ApacheBench, Dbench, KCompile, RollingMix, Scp, Workload};
 
@@ -21,6 +31,8 @@ use fmeter::workloads::{ApacheBench, Dbench, KCompile, RollingMix, Scp, Workload
 const WINDOW: usize = 56;
 /// Streamed intervals after the bootstrap corpus.
 const STREAM: usize = 48;
+/// Shards the service spreads the window over.
+const SHARDS: usize = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kernel = Kernel::new(KernelConfig {
@@ -66,62 +78,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut ApacheBench::new(4),
         "apachebench",
     )?);
-    let mut db = SignatureDb::build(&raw)?;
+    let service = SignatureService::build(&raw, SHARDS)?;
     // A 56-signature window is tiny, so every mutation moves idf a lot;
     // the drift bound is set loose enough that staleness (a fifth of the
     // window's worth of mutations) is what usually fires.
-    db.set_refit_policy(RefitPolicy::Threshold {
+    service.set_refit_policy(RefitPolicy::Threshold {
         max_idf_drift: 0.5,
         max_stale_fraction: 0.2,
     });
     // Sliding-window eviction leaves one dead slot per aged-out
-    // interval; let the database reclaim them once they pile up to a
+    // interval; let the service reclaim them once they pile up to a
     // fifth of the slot space (but not before 8 accumulate).
-    db.set_vacuum_policy(VacuumPolicy::DeadFraction {
+    service.set_vacuum_policy(VacuumPolicy::DeadFraction {
         max_dead_fraction: 0.2,
         min_dead: 8,
     });
     println!(
-        "bootstrap: {} signatures over {} functions, epoch {}",
-        db.len(),
-        db.dim(),
-        db.epoch()
+        "bootstrap: {} signatures over {} functions in {} shards, epoch {}",
+        service.len(),
+        service.dim(),
+        service.num_shards(),
+        service.epoch()
     );
+    // A dashboard pins the bootstrap generation: this Arc stays valid
+    // and immutable no matter what the streaming loop does below.
+    let pinned = service.snapshot();
+    let bootstrap_len = service.len();
+    let bootstrap_probe = raw[0].to_term_counts();
 
     // 2. Stream: a rolling workload mix (phases rotate through the four
     //    classes, drifting daemon noise underneath). Every interval is
-    //    classified against the live database, then ingested; the oldest
-    //    signature ages out once the window is full.
+    //    classified against the live service, then ingested; the oldest
+    //    signature ages out once the window is full. Each mutation
+    //    publishes the next snapshot generation off to the side —
+    //    concurrent readers never wait on this loop.
     let mut mix = RollingMix::standard(42, 300..=900);
     let mut oldest = 0usize; // sliding-window eviction cursor
     let mut correct = 0usize;
     let mut votes = 0usize;
-    let mut refits_seen = db.epoch();
-    let mut vacuums_seen = db.vacuums();
+    let mut refits_seen = service.epoch();
+    let mut vacuums_seen = service.vacuums();
     logger.resync(kernel.now());
     for _ in 0..STREAM {
         let label = mix.name().to_string();
         let sig = logger.collect_one(&mut kernel, &mut mix, &cpus, Some(&label))?;
-        if let Some(predicted) = db.classify(&sig.to_term_counts(), 5)? {
+        if let Some(predicted) = service.classify(&sig.to_term_counts(), 5)? {
             votes += 1;
             if predicted == label {
                 correct += 1;
             }
         }
         raw.push(sig.clone());
-        db.insert(&sig)?;
-        while db.len() > WINDOW {
-            while !db.is_live(oldest) {
+        service.insert(&sig)?;
+        while service.len() > WINDOW {
+            while !service.is_live(oldest) {
                 oldest += 1;
             }
-            db.remove(oldest)?;
+            service.remove(oldest)?;
             // A removal may have crossed the dead-fraction bound and
             // auto-vacuumed: every doc id just got renumbered, so the
             // raw-history mirror and the eviction cursor must translate
             // through the remap the vacuum left behind.
-            if db.vacuums() != vacuums_seen {
-                vacuums_seen = db.vacuums();
-                let stats = db.last_vacuum().expect("vacuum records its remap");
+            if service.vacuums() != vacuums_seen {
+                vacuums_seen = service.vacuums();
+                let stats = service.last_vacuum().expect("vacuum records its remap");
                 raw = stats
                     .remap
                     .iter()
@@ -135,30 +155,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .find_map(|d| stats.remap[d])
                     .unwrap_or(0);
                 println!(
-                    "  vacuum -> reclaimed {} dead slots ({} live / {} slots)",
+                    "  vacuum -> reclaimed {} dead slots ({} live / {} slots, generation {})",
                     stats.dropped_slots,
-                    db.len(),
-                    db.num_slots()
+                    service.len(),
+                    service.num_slots(),
+                    service.generation()
                 );
             }
         }
-        if db.epoch() != refits_seen {
+        if service.epoch() != refits_seen {
             println!(
-                "  refit -> epoch {} (drift absorbed, {} live / {} slots)",
-                db.epoch(),
-                db.len(),
-                db.num_slots()
+                "  refit -> epoch {} (drift absorbed, {} live / {} slots, generation {})",
+                service.epoch(),
+                service.len(),
+                service.num_slots(),
+                service.generation()
             );
-            refits_seen = db.epoch();
+            refits_seen = service.epoch();
         }
     }
     let accuracy = correct as f64 / votes.max(1) as f64;
     println!(
         "streamed {STREAM} intervals: window {} live / {} slots, {} refits, \
-         online classification accuracy {:.2}",
-        db.len(),
-        db.num_slots(),
-        db.epoch(),
+         {} snapshot generations, online classification accuracy {:.2}",
+        service.len(),
+        service.num_slots(),
+        service.epoch(),
+        service.generation(),
         accuracy
     );
     assert!(votes > 0, "classification must produce votes");
@@ -169,53 +192,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "online accuracy collapsed: {accuracy:.2} < 0.60"
     );
 
-    // 3. The incremental database must be indistinguishable from a
-    //    from-scratch rebuild over the surviving window once refitted.
-    db.refit();
-    let surviving: Vec<RawSignature> = (0..db.num_slots())
-        .filter(|&d| db.is_live(d))
+    // The pinned bootstrap generation still answers — untouched by the
+    // stream's inserts, evictions, refits, and vacuums.
+    assert_eq!(pinned.len(), bootstrap_len);
+    let mut scratch = SearchScratch::new();
+    let frozen_hits = pinned.search(&bootstrap_probe, 3, &mut scratch)?;
+    assert!(!frozen_hits.is_empty(), "pinned snapshot went dark");
+    println!(
+        "pinned generation {} still serves {} signatures (live service is at generation {})",
+        pinned.generation(),
+        pinned.len(),
+        service.generation()
+    );
+
+    // 3. The incremental service must be indistinguishable from a
+    //    from-scratch flat rebuild over the surviving window once
+    //    refitted — sharding changes the layout, never the answers.
+    service.refit();
+    let surviving: Vec<RawSignature> = (0..service.num_slots())
+        .filter(|&d| service.is_live(d))
         .map(|d| raw[d].clone())
         .collect();
     let rebuilt = SignatureDb::build(&surviving)?;
-    assert_eq!(db.len(), rebuilt.len());
+    assert_eq!(service.len(), rebuilt.len());
     let mut agree = 0usize;
     for probe in surviving.iter().rev().take(12) {
         let q = probe.to_term_counts();
-        let incremental = db.classify(&q, 5)?;
+        let incremental = service.classify(&q, 5)?;
         let fresh = rebuilt.classify(&q, 5)?;
         assert_eq!(
             incremental, fresh,
-            "post-refit classification diverged from rebuild"
+            "post-refit classification diverged from flat rebuild"
         );
         agree += 1;
     }
-    println!("post-refit equivalence: {agree}/12 probes matched a from-scratch rebuild");
+    println!("post-refit equivalence: {agree}/12 probes matched a from-scratch flat rebuild");
 
     // 4. Durability: persist the window through the versioned envelope
-    //    and reload it — what a daemon restart (or a rolling upgrade to
-    //    a release with a newer format version) does. The reloaded
-    //    database must classify identically and keep streaming.
+    //    (v3 carries the shard layout) and reload it — what a daemon
+    //    restart (or a rolling upgrade to a release with a newer format
+    //    version) does. The reloaded service must keep the layout,
+    //    classify identically, and keep streaming.
     let mut bytes = Vec::new();
-    db.save(&mut bytes)?;
-    let mut reloaded = SignatureDb::load(&bytes[..])?;
-    assert_eq!(reloaded.len(), db.len());
-    assert_eq!(reloaded.epoch(), db.epoch());
-    assert_eq!(reloaded.vacuums(), db.vacuums());
+    service.save(&mut bytes)?;
+    let reloaded = SignatureService::load(&bytes[..])?;
+    assert_eq!(reloaded.num_shards(), service.num_shards());
+    assert_eq!(reloaded.len(), service.len());
+    assert_eq!(reloaded.epoch(), service.epoch());
+    assert_eq!(reloaded.vacuums(), service.vacuums());
     for probe in surviving.iter().rev().take(6) {
         let q = probe.to_term_counts();
         assert_eq!(
             reloaded.classify(&q, 5)?,
-            db.classify(&q, 5)?,
-            "reloaded database diverged from the live one"
+            service.classify(&q, 5)?,
+            "reloaded service diverged from the live one"
         );
     }
     let next = surviving.last().expect("window is non-empty").clone();
-    assert_eq!(reloaded.insert(&next)?, db.insert(&next)?);
+    assert_eq!(reloaded.insert(&next)?, service.insert(&next)?);
     println!(
-        "persisted {} bytes (envelope v{}), reloaded: {} live signatures at epoch {}, \
-         stream resumes at doc {}",
+        "persisted {} bytes (envelope v{}, {} shards), reloaded: {} live signatures \
+         at epoch {}, stream resumes at doc {}",
         bytes.len(),
         persist::CURRENT_FORMAT_VERSION,
+        reloaded.num_shards(),
         reloaded.len(),
         reloaded.epoch(),
         reloaded.num_slots() - 1,
