@@ -19,6 +19,20 @@ pub enum FmeterError {
     NoSignatures,
     /// Signature persistence failed.
     Persist(String),
+    /// A persisted envelope is structurally damaged: a section is
+    /// shorter than its declared length (truncated / mid-write file) or
+    /// its payload no longer matches the checksum recorded in the
+    /// header. `expected`/`got` are byte lengths for truncation and
+    /// CRC32 values for checksum mismatches.
+    CorruptEnvelope {
+        /// Name of the first damaged section (e.g. `"signatures"`).
+        section: String,
+        /// Declared byte length, or the checksum recorded in the header.
+        expected: u64,
+        /// Bytes actually present, or the checksum recomputed from the
+        /// payload on disk.
+        got: u64,
+    },
     /// A persisted database names a format version this build does not
     /// know how to read or write (e.g. written by a newer release; see
     /// [`persist::FORMAT_VERSIONS`](crate::persist::FORMAT_VERSIONS)).
@@ -38,6 +52,14 @@ impl fmt::Display for FmeterError {
             FmeterError::Ml(e) => write!(f, "learning error: {e}"),
             FmeterError::NoSignatures => write!(f, "no signatures collected"),
             FmeterError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            FmeterError::CorruptEnvelope {
+                section,
+                expected,
+                got,
+            } => write!(
+                f,
+                "corrupt envelope: section `{section}` expected {expected}, got {got}"
+            ),
             FmeterError::UnsupportedFormat { found, supported } => write!(
                 f,
                 "unsupported database format version {found} (this build supports up to {supported})"
@@ -108,6 +130,15 @@ mod tests {
         assert_eq!(
             FmeterError::NoSignatures.to_string(),
             "no signatures collected"
+        );
+        let e = FmeterError::CorruptEnvelope {
+            section: "signatures".into(),
+            expected: 100,
+            got: 7,
+        };
+        assert_eq!(
+            e.to_string(),
+            "corrupt envelope: section `signatures` expected 100, got 7"
         );
     }
 

@@ -1,0 +1,253 @@
+//! Deterministic IO fault injection for the durability layer.
+//!
+//! The testing posture here follows the kernel-fuzzing literature:
+//! don't *hope* a write completed — inject the failure at a chosen byte
+//! and prove recovery. Every wrapper in this module is deterministic
+//! (no clocks, no randomness), so a failing case replays exactly.
+//!
+//! * [`FailpointFile`] wraps any [`Write`] with a scripted [`FailPlan`]
+//!   (kill-at-byte-N, short writes, injected errors, failing syncs);
+//! * [`CrashWriter`] is the common case — persist exactly the first `n`
+//!   bytes, then fail every write, simulating a process killed
+//!   mid-write (a *torn* write: the prefix survives);
+//! * [`ShortWriter`] caps every `write` call, exercising the
+//!   `write_all` retry loops that real kernels exercise on `ENOSPC`-ish
+//!   partial writes.
+//!
+//! [`DurableLog`](crate::wal::DurableLog) accepts a [`FailPlan`] for
+//! its WAL and checkpoint paths, which is how the kill-and-replay suite
+//! and the degraded-mode tests drive failures through the *real* code
+//! paths rather than mocks.
+
+use std::io::{self, Write};
+
+use crate::wal::WalSink;
+
+/// A deterministic script of IO failures for [`FailpointFile`].
+///
+/// The default plan injects nothing (every field off), so a
+/// `FailpointFile` with a default plan is a transparent pass-through.
+#[derive(Debug, Clone, Default)]
+pub struct FailPlan {
+    /// Cumulative byte offset at which writes start failing. The write
+    /// call that crosses the boundary persists the prefix below it and
+    /// reports it written (a torn write); the next call fails. `Some(0)`
+    /// fails every write immediately.
+    pub kill_at_byte: Option<u64>,
+    /// Cap each `write` call to at most this many bytes, forcing the
+    /// caller's `write_all` loop to retry (never silently drops data).
+    pub short_write: Option<usize>,
+    /// Fail the nth `write` call (0-based, counted per wrapper) with an
+    /// injected [`io::Error`], without writing anything.
+    pub fail_nth_write: Option<u64>,
+    /// Make every `sync`/`flush` fail with an injected error.
+    pub fail_syncs: bool,
+}
+
+impl FailPlan {
+    /// A plan that kills the writer at cumulative byte `n`.
+    pub fn kill_at(n: u64) -> Self {
+        FailPlan {
+            kill_at_byte: Some(n),
+            ..FailPlan::default()
+        }
+    }
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+/// A [`Write`] wrapper that fails according to a [`FailPlan`].
+#[derive(Debug)]
+pub struct FailpointFile<W> {
+    inner: W,
+    plan: FailPlan,
+    written: u64,
+    calls: u64,
+}
+
+impl<W: Write> FailpointFile<W> {
+    /// Wraps `inner` with the given failure script.
+    pub fn new(inner: W, plan: FailPlan) -> Self {
+        FailpointFile {
+            inner,
+            plan,
+            written: 0,
+            calls: 0,
+        }
+    }
+
+    /// Total bytes successfully handed to the inner writer.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Consumes the wrapper, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailpointFile<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let call = self.calls;
+        self.calls += 1;
+        if self.plan.fail_nth_write == Some(call) {
+            return Err(injected(&format!("write call {call}")));
+        }
+        let mut n = buf.len();
+        if let Some(cap) = self.plan.short_write {
+            // A zero cap would make write_all spin forever; clamp to 1.
+            n = n.min(cap.max(1));
+        }
+        if let Some(kill) = self.plan.kill_at_byte {
+            let remaining = kill.saturating_sub(self.written);
+            if remaining == 0 && !buf.is_empty() {
+                return Err(injected(&format!("crash at byte {kill}")));
+            }
+            n = n.min(remaining as usize);
+        }
+        let n = self.inner.write(&buf[..n])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.plan.fail_syncs {
+            return Err(injected("flush"));
+        }
+        self.inner.flush()
+    }
+}
+
+impl<W: WalSink> WalSink for FailpointFile<W> {
+    fn sync(&mut self) -> io::Result<()> {
+        if self.plan.fail_syncs {
+            return Err(injected("sync"));
+        }
+        self.inner.sync()
+    }
+}
+
+/// A [`Write`] wrapper that persists exactly the first `n` bytes and
+/// fails everything after — a process killed mid-write.
+#[derive(Debug)]
+pub struct CrashWriter<W>(FailpointFile<W>);
+
+impl<W: Write> CrashWriter<W> {
+    /// Kills the writer once `kill_at_byte` cumulative bytes went
+    /// through; the crossing write persists its prefix (a torn write).
+    pub fn new(inner: W, kill_at_byte: u64) -> Self {
+        CrashWriter(FailpointFile::new(inner, FailPlan::kill_at(kill_at_byte)))
+    }
+
+    /// Bytes that made it to the inner writer before the crash.
+    pub fn bytes_written(&self) -> u64 {
+        self.0.bytes_written()
+    }
+
+    /// Consumes the wrapper, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.0.into_inner()
+    }
+}
+
+impl<W: Write> Write for CrashWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl<W: WalSink> WalSink for CrashWriter<W> {
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync()
+    }
+}
+
+/// A [`Write`] wrapper that caps every `write` call at `max` bytes,
+/// forcing callers to handle partial writes.
+#[derive(Debug)]
+pub struct ShortWriter<W>(FailpointFile<W>);
+
+impl<W: Write> ShortWriter<W> {
+    /// Caps each `write` call at `max` bytes (at least 1).
+    pub fn new(inner: W, max: usize) -> Self {
+        ShortWriter(FailpointFile::new(
+            inner,
+            FailPlan {
+                short_write: Some(max),
+                ..FailPlan::default()
+            },
+        ))
+    }
+
+    /// Consumes the wrapper, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.0.into_inner()
+    }
+}
+
+impl<W: Write> Write for ShortWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl<W: WalSink> WalSink for ShortWriter<W> {
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_writer_persists_exactly_the_prefix() {
+        let mut w = CrashWriter::new(Vec::new(), 5);
+        assert!(w.write_all(b"abc").is_ok());
+        // The crossing write persists 2 bytes, then the retry fails.
+        assert!(w.write_all(b"defg").is_err());
+        assert_eq!(w.bytes_written(), 5);
+        assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn crash_at_zero_fails_every_write() {
+        let mut w = CrashWriter::new(Vec::new(), 0);
+        assert!(w.write_all(b"x").is_err());
+        assert_eq!(w.into_inner(), b"");
+    }
+
+    #[test]
+    fn short_writer_never_drops_bytes_under_write_all() {
+        let mut w = ShortWriter::new(Vec::new(), 3);
+        w.write_all(b"hello durable world").unwrap();
+        assert_eq!(w.into_inner(), b"hello durable world");
+    }
+
+    #[test]
+    fn failpoint_nth_write_and_syncs() {
+        let plan = FailPlan {
+            fail_nth_write: Some(1),
+            fail_syncs: true,
+            ..FailPlan::default()
+        };
+        let mut w = FailpointFile::new(Vec::new(), plan);
+        assert!(w.write(b"ok").is_ok());
+        assert!(w.write(b"boom").is_err());
+        assert!(w.write(b"fine again").is_ok());
+        assert!(w.flush().is_err());
+        assert!(WalSink::sync(&mut w).is_err());
+    }
+}

@@ -50,12 +50,14 @@
 mod anomaly;
 mod db;
 mod error;
+pub mod fault;
 mod fmeter;
 mod logger;
 pub mod persist;
 mod service;
 mod signature;
 mod userspace;
+pub mod wal;
 
 pub use anomaly::{AnomalyDetector, AnomalyVerdict};
 pub use db::{RefitPolicy, RefitStats, SignatureDb, Syndrome, VacuumPolicy, VacuumStats};
@@ -65,3 +67,7 @@ pub use logger::SignatureLogger;
 pub use service::{ShardPiece, ShardSnapshot, ShardWriter, SignatureService};
 pub use signature::{RawSignature, Signature};
 pub use userspace::{sample_via_debugfs, DebugfsReader, SymbolMap};
+pub use wal::{
+    CheckpointPolicy, DurableDb, DurableLog, DurableOptions, RecoveryReport, SyncPolicy, WalHealth,
+    WalOp,
+};

@@ -25,15 +25,20 @@
 //! # Envelope layout
 //!
 //! ```text
-//! FMETERDB 3\n                                   ← magic + format version
-//! {"format_version":3,"sections":[["model",N],…]}\n   ← section table (JSON)
+//! FMETERDB 4\n                                   ← magic + format version
+//! {"format_version":4,"sections":[["model",N],…],"crc32":[…]}\n   ← section table (JSON)
 //! <model bytes><corpus bytes><signatures bytes><index bytes><state bytes><sharding bytes>
 //! ```
 //!
 //! Each section is a self-contained JSON document; the table carries
 //! its byte length, so a reader can skip, split, or stream sections
 //! without parsing them. Section payloads are looked up by *name*, so
-//! future versions may add or reorder sections freely.
+//! future versions may add or reorder sections freely. Since v4 the
+//! header also carries one CRC32 per section (parallel to the table);
+//! readers verify every checksum *before* parsing a byte of payload, so
+//! a torn or bit-flipped save fails with a precise
+//! [`FmeterError::CorruptEnvelope`] instead of a JSON parse error deep
+//! inside a section.
 //!
 //! Loading exploits that: section payloads are kept as **raw strings**
 //! and only parsed when (and if) their decoder runs. A migration that
@@ -60,7 +65,7 @@ use crate::{FmeterError, RefitPolicy, Signature, SignatureDb, VacuumPolicy};
 pub const MAGIC: &str = "FMETERDB";
 
 /// The format version [`SignatureDb::save`] writes.
-pub const CURRENT_FORMAT_VERSION: u32 = 3;
+pub const CURRENT_FORMAT_VERSION: u32 = 4;
 
 /// One entry of the on-disk format history.
 #[derive(Debug, Clone, Copy)]
@@ -98,6 +103,12 @@ pub const FORMAT_VERSIONS: &[FormatVersion] = &[
         summary: "new `sharding` section carrying the SignatureService shard layout \
                   (shard count); every other section is unchanged",
     },
+    FormatVersion {
+        version: 4,
+        summary: "the envelope header gains a `crc32` array (one checksum per \
+                  section, parallel to the section table), verified on load before \
+                  any payload is parsed; section payloads are byte-identical to v3",
+    },
 ];
 
 const SEC_MODEL: &str = "model";
@@ -108,11 +119,47 @@ const SEC_STATE: &str = "state";
 const SEC_SHARDING: &str = "sharding";
 
 /// The section table line that follows the magic line.
-#[derive(Debug, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) because `crc32` is
+/// *optional on read*: headers written before v4 do not carry the field
+/// and must keep parsing, while the vendored derive treats every named
+/// field as required.
+#[derive(Debug)]
 struct EnvelopeHeader {
     format_version: u32,
     /// `(section name, payload length in bytes)` in payload order.
     sections: Vec<(String, usize)>,
+    /// One CRC32 per section, parallel to `sections` (v4 and later).
+    crc32: Option<Vec<u32>>,
+}
+
+impl Serialize for EnvelopeHeader {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("format_version".to_string(), self.format_version.to_value()),
+            ("sections".to_string(), self.sections.to_value()),
+        ];
+        if let Some(crcs) = &self.crc32 {
+            pairs.push(("crc32".to_string(), crcs.to_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for EnvelopeHeader {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let format_version = u32::from_value(v.get_field("format_version")?)?;
+        let sections = Vec::<(String, usize)>::from_value(v.get_field("sections")?)?;
+        let crc32 = match v.get_field("crc32") {
+            Ok(field) => Some(Vec::<u32>::from_value(field)?),
+            Err(_) => None,
+        };
+        Ok(EnvelopeHeader {
+            format_version,
+            sections,
+            crc32,
+        })
+    }
 }
 
 /// The `state` section as written by format version 1.
@@ -241,7 +288,9 @@ pub fn save_sharded<W: Write>(
 ) -> Result<(), FmeterError> {
     match version {
         0 => save_v0(db, writer),
-        1..=3 => write_envelope(&encode_sharded(db, num_shards, version), writer),
+        1..=CURRENT_FORMAT_VERSION => {
+            write_envelope(&encode_sharded(db, num_shards, version), writer)
+        }
         found => Err(FmeterError::UnsupportedFormat {
             found,
             supported: CURRENT_FORMAT_VERSION,
@@ -272,7 +321,7 @@ fn save_v0<W: Write>(db: &SignatureDb, writer: W) -> Result<(), FmeterError> {
 }
 
 fn encode_sharded(db: &SignatureDb, num_shards: usize, version: u32) -> Envelope {
-    debug_assert!((1..=3).contains(&version));
+    debug_assert!((1..=CURRENT_FORMAT_VERSION).contains(&version));
     let state = if version == 1 {
         StateV1 {
             live: db.live.clone(),
@@ -329,9 +378,18 @@ fn write_envelope<W: Write>(env: &Envelope, mut writer: W) -> Result<(), FmeterE
         table.push((name.clone(), text.len()));
         payloads.push(text);
     }
+    // v4 headers bind every payload to a checksum; older versions keep
+    // the exact header shape their fixtures pin.
+    let crc32 = (env.version >= 4).then(|| {
+        payloads
+            .iter()
+            .map(|p| crate::wal::crc32(p.as_bytes()))
+            .collect()
+    });
     let header = EnvelopeHeader {
         format_version: env.version,
         sections: table,
+        crc32,
     };
     writer.write_all(format!("{MAGIC} {}\n", env.version).as_bytes())?;
     writer.write_all(serde_json::to_string(&header)?.as_bytes())?;
@@ -362,16 +420,24 @@ pub fn detect_format_version(bytes: &[u8]) -> Option<u32> {
 /// # Errors
 ///
 /// Returns [`FmeterError::Persist`] when the bytes are not a
-/// well-formed envelope (version-0 saves have no envelope to split).
+/// well-formed envelope (version-0 saves have no envelope to split) and
+/// [`FmeterError::CorruptEnvelope`] when a section is shorter than the
+/// table declares (truncated / mid-write file) or fails its v4
+/// checksum.
 pub fn split_envelope(text: &str) -> Result<(u32, Vec<(String, String)>), FmeterError> {
     let (version, header, body) = parse_envelope_frame(text)?;
     let mut offset = 0usize;
     let mut sections = Vec::with_capacity(header.sections.len());
     for (name, len) in header.sections {
         let payload = body.get(offset..offset + len).ok_or_else(|| {
-            FmeterError::Persist(format!(
-                "section `{name}` (at {offset}, {len} bytes) overruns the file"
-            ))
+            // A section that overruns the file is the signature of a
+            // save truncated mid-write: report exactly which section
+            // came up short and by how much.
+            FmeterError::CorruptEnvelope {
+                section: name.clone(),
+                expected: len as u64,
+                got: body.len().saturating_sub(offset) as u64,
+            }
         })?;
         sections.push((name, payload.to_string()));
         offset += len;
@@ -381,6 +447,25 @@ pub fn split_envelope(text: &str) -> Result<(u32, Vec<(String, String)>), Fmeter
             "{} trailing bytes after the last section",
             body.len() - offset
         )));
+    }
+    if let Some(crcs) = &header.crc32 {
+        if crcs.len() != sections.len() {
+            return Err(FmeterError::Persist(format!(
+                "header carries {} checksums for {} sections",
+                crcs.len(),
+                sections.len()
+            )));
+        }
+        for ((name, payload), &stored) in sections.iter().zip(crcs) {
+            let computed = crate::wal::crc32(payload.as_bytes());
+            if computed != stored {
+                return Err(FmeterError::CorruptEnvelope {
+                    section: name.clone(),
+                    expected: u64::from(stored),
+                    got: u64::from(computed),
+                });
+            }
+        }
     }
     Ok((version, sections))
 }
@@ -481,7 +566,11 @@ type Migration = fn(&mut Envelope) -> Result<(), FmeterError>;
 /// `(from_version, migration)` — every supported version below
 /// [`CURRENT_FORMAT_VERSION`] must have an entry; [`load`] applies them
 /// in sequence.
-const MIGRATIONS: &[(u32, Migration)] = &[(1, migrate_v1_to_v2), (2, migrate_v2_to_v3)];
+const MIGRATIONS: &[(u32, Migration)] = &[
+    (1, migrate_v1_to_v2),
+    (2, migrate_v2_to_v3),
+    (3, migrate_v3_to_v4),
+];
 
 /// v1 → v2: the state section gains the vacuum policy (default:
 /// [`VacuumPolicy::Never`]) and the lifetime vacuum counter (0 — a v1
@@ -508,6 +597,15 @@ fn migrate_v1_to_v2(env: &mut Envelope) -> Result<(), FmeterError> {
 /// corpus-sized payloads as the raw strings the reader sliced.
 fn migrate_v2_to_v3(env: &mut Envelope) -> Result<(), FmeterError> {
     env.replace(SEC_SHARDING, ShardingV3 { num_shards: 1 }.to_value());
+    Ok(())
+}
+
+/// v3 → v4: the envelope *header* gains per-section checksums. Checksums
+/// are a property of the serialized frame — computed by the writer,
+/// verified by the reader before any parsing — so the in-memory envelope
+/// of a v3 file needs no rewriting at all: its sections were already
+/// length-validated when sliced, and the next save will emit checksums.
+fn migrate_v3_to_v4(_env: &mut Envelope) -> Result<(), FmeterError> {
     Ok(())
 }
 
@@ -776,6 +874,60 @@ mod tests {
         assert!(SignatureDb::load(&b"not json"[..]).is_err());
         assert!(SignatureDb::load(&b""[..]).is_err());
         assert!(SignatureDb::load(&b"{\"model\": 3}"[..]).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_section_boundary_names_the_section() {
+        // Cut a current-version save at the start and the middle of
+        // every section: the load must fail with CorruptEnvelope naming
+        // exactly the first section that came up short.
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let (_, sections) = split_envelope(&text).unwrap();
+        let body_len: usize = sections.iter().map(|(_, p)| p.len()).sum();
+        let mut offset = text.len() - body_len;
+        for (name, payload) in &sections {
+            for cut in [offset, offset + payload.len() / 2] {
+                match SignatureDb::load(&text.as_bytes()[..cut]) {
+                    Err(FmeterError::CorruptEnvelope {
+                        section,
+                        expected,
+                        got,
+                    }) => {
+                        assert_eq!(&section, name, "cut at byte {cut}");
+                        assert!(got < expected, "cut at byte {cut}: {got} vs {expected}");
+                    }
+                    other => {
+                        panic!("cut at {cut}: expected CorruptEnvelope `{name}`, got {other:?}")
+                    }
+                }
+            }
+            offset += payload.len();
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_section_payloads_fail_the_checksum() {
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let (_, sections) = split_envelope(&text).unwrap();
+        let body_len: usize = sections.iter().map(|(_, p)| p.len()).sum();
+        let mut offset = bytes.len() - body_len;
+        for (name, payload) in &sections {
+            let mut corrupt = bytes.clone();
+            corrupt[offset + payload.len() / 2] ^= 0x01;
+            match SignatureDb::load(&corrupt[..]) {
+                Err(FmeterError::CorruptEnvelope { section, .. }) => {
+                    assert_eq!(&section, name, "flip inside `{name}` blamed `{section}`")
+                }
+                other => panic!("flip inside `{name}`: expected CorruptEnvelope, got {other:?}"),
+            }
+            offset += payload.len();
+        }
     }
 
     #[test]

@@ -30,9 +30,20 @@
 //! query, every member of the flat top-k is in its own shard's top-k,
 //! and [`merge_topk`] re-ranks with exactly the flat comparator (see
 //! `fmeter_ir::shard`).
+//!
+//! The service can additionally run in **durable mode**
+//! ([`SignatureService::from_db_durable`] /
+//! [`SignatureService::recover_durable`]): the writer appends every
+//! mutation to a [`DurableLog`] *before* applying it and checkpoints on
+//! the log's policy, so a crash at any point loses at most the
+//! unsynced WAL tail (see the [`wal`](crate::wal) module and
+//! `docs/PERSISTENCE.md`). A failing WAL degrades the log's
+//! [`WalHealth`] rather than poisoning the writer — mutations and
+//! queries keep working in memory while the log backs off and retries.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -43,6 +54,7 @@ use fmeter_ir::{
 };
 use parking_lot::{Mutex, RwLock};
 
+use crate::wal::{DurableLog, DurableOptions, RecoveryReport, WalHealth, WalOp};
 use crate::{
     persist, FmeterError, RawSignature, RefitPolicy, RefitStats, Signature, SignatureDb,
     VacuumPolicy, VacuumStats,
@@ -217,6 +229,9 @@ pub struct ShardWriter {
     pieces: Vec<Arc<ShardPiece>>,
     /// Global slots already mirrored into `pieces`.
     synced_slots: usize,
+    /// Crash-consistency engine, when the writer runs in durable mode:
+    /// mutations append here *before* they apply.
+    durable: Option<DurableLog>,
 }
 
 impl ShardWriter {
@@ -229,9 +244,75 @@ impl ShardWriter {
             router,
             pieces: Vec::new(),
             synced_slots: 0,
+            durable: None,
         };
         writer.resync();
         writer
+    }
+
+    /// Attaches a durability engine: every subsequent mutation is
+    /// WAL-appended before it applies and checkpointed per the log's
+    /// policy. The log's on-disk state must already describe this
+    /// writer's database (freshly [`DurableLog::create`]d from it, or
+    /// the log/database pair returned by [`DurableLog::recover`]).
+    pub fn attach_durable(&mut self, log: DurableLog) {
+        self.durable = Some(log);
+    }
+
+    /// The durability engine, when running in durable mode.
+    pub fn durable_log(&self) -> Option<&DurableLog> {
+        self.durable.as_ref()
+    }
+
+    /// Mutable access to the durability engine (sync and
+    /// fault-injection hooks; the log cannot corrupt the mirror).
+    pub fn durable_log_mut(&mut self) -> Option<&mut DurableLog> {
+        self.durable.as_mut()
+    }
+
+    /// Health of the durability layer; `None` when not durable.
+    pub fn durability_health(&self) -> Option<WalHealth> {
+        self.durable.as_ref().map(|log| log.health())
+    }
+
+    /// Takes a checkpoint now.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the writer has no durable log attached, and
+    /// propagates checkpoint I/O failures (the writer stays usable —
+    /// the log folds the failure into its retry backoff).
+    pub fn checkpoint(&mut self) -> Result<(), FmeterError> {
+        match &mut self.durable {
+            Some(log) => log.checkpoint(&self.db, self.router.num_shards()),
+            None => Err(FmeterError::Persist(
+                "writer has no durable log attached".into(),
+            )),
+        }
+    }
+
+    /// Appends `op` to the WAL when durable (before the mutation it
+    /// describes is applied — write-ahead).
+    fn wal_append(&mut self, op: impl FnOnce() -> WalOp) {
+        if let Some(log) = &mut self.durable {
+            log.append(&op());
+        }
+    }
+
+    /// Runs the checkpoint policy after a mutation, when durable.
+    fn checkpoint_if_due(&mut self) {
+        if let Some(log) = &mut self.durable {
+            log.maybe_checkpoint(&self.db, self.router.num_shards());
+        }
+    }
+
+    /// Persists a policy change by checkpointing immediately (policy
+    /// changes are not WAL ops — see [`crate::DurableDb`]); a failure
+    /// degrades into the log's retry backoff instead of surfacing.
+    fn persist_policy_change(&mut self) {
+        if let Some(log) = &mut self.durable {
+            log.try_checkpoint(&self.db, self.router.num_shards());
+        }
     }
 
     /// The authoritative flat database.
@@ -239,7 +320,8 @@ impl ShardWriter {
         &self.db
     }
 
-    /// Unwraps the writer back into its flat database.
+    /// Unwraps the writer back into its flat database, dropping the
+    /// durable log (if any) — acked state stays on disk.
     pub fn into_db(self) -> SignatureDb {
         self.db
     }
@@ -276,7 +358,10 @@ impl ShardWriter {
     ///
     /// Propagates dimension mismatches.
     pub fn insert(&mut self, raw: &RawSignature) -> Result<DocId, FmeterError> {
-        self.mutate(|db| db.insert(raw))
+        self.wal_append(|| WalOp::Insert(raw.clone()));
+        let out = self.mutate(|db| db.insert(raw));
+        self.checkpoint_if_due();
+        out
     }
 
     /// Appends a batch of signatures (see [`SignatureDb::insert_batch`]).
@@ -286,7 +371,10 @@ impl ShardWriter {
     /// Returns a dimension mismatch on the first offending signature;
     /// earlier elements of the batch remain inserted.
     pub fn insert_batch(&mut self, raw: &[RawSignature]) -> Result<Vec<DocId>, FmeterError> {
-        self.mutate(|db| db.insert_batch(raw))
+        self.wal_append(|| WalOp::InsertBatch(raw.to_vec()));
+        let out = self.mutate(|db| db.insert_batch(raw));
+        self.checkpoint_if_due();
+        out
     }
 
     /// Tombstones a stored signature (see [`SignatureDb::remove`]).
@@ -296,29 +384,42 @@ impl ShardWriter {
     /// Returns [`IrError::DocNotLive`] (wrapped) when `doc` was never
     /// assigned or is already removed.
     pub fn remove(&mut self, doc: DocId) -> Result<(), FmeterError> {
-        self.mutate(|db| db.remove(doc))
+        self.wal_append(|| WalOp::Remove(doc));
+        let out = self.mutate(|db| db.remove(doc));
+        self.checkpoint_if_due();
+        out
     }
 
     /// Republishes idf and re-weights affected signatures (see
     /// [`SignatureDb::refit`]); rebuilds the sharded mirror.
     pub fn refit(&mut self) -> RefitStats {
-        self.mutate(SignatureDb::refit)
+        self.wal_append(|| WalOp::Refit);
+        let out = self.mutate(SignatureDb::refit);
+        self.checkpoint_if_due();
+        out
     }
 
     /// Compacts tombstoned slots, renumbering doc ids (see
     /// [`SignatureDb::vacuum`]); rebuilds the sharded mirror.
     pub fn vacuum(&mut self) -> VacuumStats {
-        self.mutate(SignatureDb::vacuum)
+        self.wal_append(|| WalOp::Vacuum);
+        let out = self.mutate(SignatureDb::vacuum);
+        self.checkpoint_if_due();
+        out
     }
 
-    /// Replaces the automatic-refit policy.
+    /// Replaces the automatic-refit policy. In durable mode the change
+    /// is persisted by an immediate (best-effort) checkpoint.
     pub fn set_refit_policy(&mut self, policy: RefitPolicy) {
         self.db.set_refit_policy(policy);
+        self.persist_policy_change();
     }
 
-    /// Replaces the automatic-vacuum policy.
+    /// Replaces the automatic-vacuum policy. In durable mode the change
+    /// is persisted by an immediate (best-effort) checkpoint.
     pub fn set_vacuum_policy(&mut self, policy: VacuumPolicy) {
         self.db.set_vacuum_policy(policy);
+        self.persist_policy_change();
     }
 
     /// Runs one mutation against the flat database, then brings the
@@ -413,6 +514,13 @@ struct QueryJob {
     reply: mpsc::Sender<Result<Vec<SearchHit>, IrError>>,
 }
 
+/// A message to a pool worker: query work, or an order to exit (the
+/// fault-injection hook behind [`SignatureService::kill_worker`]).
+enum Job {
+    Query(QueryJob),
+    Die,
+}
+
 /// Shared state behind the service handle.
 struct ServiceInner {
     writer: Mutex<ShardWriter>,
@@ -421,8 +529,10 @@ struct ServiceInner {
     /// One channel per pool worker; shard `s` is served by worker
     /// `s % workers.len()`. Senders are mutex-wrapped so the service
     /// handle stays `Sync` across std versions.
-    workers: Vec<Mutex<mpsc::Sender<QueryJob>>>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: Vec<Mutex<mpsc::Sender<Job>>>,
+    /// Join handles, indexed like `workers`; a slot goes `None` once
+    /// its thread has been reaped (shutdown or an injected kill).
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 impl Drop for ServiceInner {
@@ -430,7 +540,7 @@ impl Drop for ServiceInner {
         // Disconnect the job channels so the workers' recv() loops end,
         // then reap the threads.
         self.workers.clear();
-        for handle in self.handles.get_mut().drain(..) {
+        for handle in self.handles.get_mut().drain(..).flatten() {
             let _ = handle.join();
         }
     }
@@ -479,9 +589,56 @@ impl SignatureService {
     /// Serves an existing database from `num_shards` shards (clamped to
     /// at least 1).
     pub fn from_db(db: SignatureDb, num_shards: usize) -> Self {
-        let writer = ShardWriter::new(db, num_shards);
+        Self::from_writer(ShardWriter::new(db, num_shards))
+    }
+
+    /// Serves `db` from `num_shards` shards in **durable mode**: a
+    /// fresh crash-consistency directory is initialised at `dir`
+    /// (checkpoint + WAL + manifest) and every subsequent mutation is
+    /// WAL-appended before it applies. Recover a crashed instance with
+    /// [`recover_durable`](Self::recover_durable).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `dir` already holds a durable database, and
+    /// propagates I/O failures writing the initial checkpoint.
+    pub fn from_db_durable(
+        db: SignatureDb,
+        num_shards: usize,
+        dir: &Path,
+        opts: DurableOptions,
+    ) -> Result<Self, FmeterError> {
+        let mut writer = ShardWriter::new(db, num_shards);
+        let log = DurableLog::create(dir, writer.db(), writer.num_shards(), opts)?;
+        writer.attach_durable(log);
+        Ok(Self::from_writer(writer))
+    }
+
+    /// Recovers the durably-acked state from `dir` (newest loadable
+    /// checkpoint + WAL replay up to the first torn record, falling
+    /// back a generation when the newest checkpoint is damaged) and
+    /// serves it from its saved shard layout, continuing in durable
+    /// mode. The report says what was recovered.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `dir` holds no loadable checkpoint generation.
+    pub fn recover_durable(
+        dir: &Path,
+        opts: DurableOptions,
+    ) -> Result<(Self, RecoveryReport), FmeterError> {
+        let (db, num_shards, log, report) = DurableLog::recover(dir, opts)?;
+        let mut writer = ShardWriter::new(db, num_shards);
+        writer.attach_durable(log);
+        Ok((Self::from_writer(writer), report))
+    }
+
+    /// Wraps a prepared writer (durable or not) in the service facade:
+    /// publishes generation 0 and spins up the worker pool.
+    fn from_writer(writer: ShardWriter) -> Self {
         let snapshot = Arc::new(writer.publish(0));
-        let pool = num_shards
+        let pool = writer
+            .num_shards()
             .clamp(1, 16)
             .min(
                 std::thread::available_parallelism()
@@ -492,18 +649,23 @@ impl SignatureService {
         let mut workers = Vec::with_capacity(pool);
         let mut handles = Vec::with_capacity(pool);
         for _ in 0..pool {
-            let (sender, receiver) = mpsc::channel::<QueryJob>();
+            let (sender, receiver) = mpsc::channel::<Job>();
             workers.push(Mutex::new(sender));
-            handles.push(std::thread::spawn(move || {
+            handles.push(Some(std::thread::spawn(move || {
                 let mut scratch = SearchScratch::new();
                 while let Ok(job) = receiver.recv() {
-                    let hits = job
-                        .piece
-                        .shard()
-                        .search_with(&job.query, job.k, &mut scratch);
-                    let _ = job.reply.send(hits);
+                    match job {
+                        Job::Query(job) => {
+                            let hits =
+                                job.piece
+                                    .shard()
+                                    .search_with(&job.query, job.k, &mut scratch);
+                            let _ = job.reply.send(hits);
+                        }
+                        Job::Die => break,
+                    }
                 }
-            }));
+            })));
         }
         SignatureService {
             inner: Arc::new(ServiceInner {
@@ -529,7 +691,7 @@ impl SignatureService {
     }
 
     /// Saves the store through the versioned envelope, including the
-    /// shard layout (format v3); a plain [`SignatureDb::load`] reads
+    /// shard layout (format v3+); a plain [`SignatureDb::load`] reads
     /// the same bytes and simply drops the layout.
     ///
     /// # Errors
@@ -586,18 +748,19 @@ impl SignatureService {
         let mut per_shard: Vec<Vec<SearchHit>> = Vec::with_capacity(snapshot.pieces().len());
         let mut pending = 0usize;
         for (s, piece) in snapshot.pieces().iter().enumerate() {
-            let job = QueryJob {
+            let job = Job::Query(QueryJob {
                 piece: piece.clone(),
                 query: query.clone(),
                 k,
                 reply: reply.clone(),
-            };
+            });
             let worker = &self.inner.workers[s % self.inner.workers.len()];
             if worker.lock().send(job).is_ok() {
                 pending += 1;
             } else {
-                // Pool shut down under us (handle race at drop): score
-                // the shard inline — same snapshot, same results.
+                // The worker is gone (pool shutdown, or a killed
+                // thread): score the shard inline — same snapshot,
+                // same results.
                 let mut scratch = SearchScratch::new();
                 per_shard.push(piece.shard().search_with(&query, k, &mut scratch)?);
             }
@@ -761,6 +924,61 @@ impl SignatureService {
         self.inner.writer.lock().db().vacuums()
     }
 
+    /// Takes a durability checkpoint now (durable mode only).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the service is not durable, and propagates checkpoint
+    /// I/O failures (the service stays usable — the log folds the
+    /// failure into its retry backoff).
+    pub fn checkpoint(&self) -> Result<(), FmeterError> {
+        self.inner.writer.lock().checkpoint()
+    }
+
+    /// Health of the durability layer; `None` when the service does not
+    /// run in durable mode.
+    pub fn durability_health(&self) -> Option<WalHealth> {
+        self.inner.writer.lock().durability_health()
+    }
+
+    /// Runs `f` against the durable log under the writer lock (sync and
+    /// fault-injection hooks); `None` when not durable.
+    #[doc(hidden)]
+    pub fn with_durable_log<R>(&self, f: impl FnOnce(&mut DurableLog) -> R) -> Option<R> {
+        self.inner.writer.lock().durable_log_mut().map(f)
+    }
+
+    /// Fault injection: kills pool worker `i` (modulo the pool size)
+    /// and waits for its thread to exit. Queries keep succeeding — the
+    /// dead worker's shards are scored inline on the calling thread —
+    /// and stay bit-identical, since every fallback scores the same
+    /// immutable snapshot.
+    #[doc(hidden)]
+    pub fn kill_worker(&self, i: usize) {
+        if self.inner.workers.is_empty() {
+            return;
+        }
+        let idx = i % self.inner.workers.len();
+        // The worker drains jobs in order, so Die is processed after
+        // anything already queued; join makes the death deterministic.
+        let _ = self.inner.workers[idx].lock().send(Job::Die);
+        if let Some(handle) = self.inner.handles.lock()[idx].take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Number of pool workers still alive (used by the stress tests to
+    /// assert the kill hook really took a thread down).
+    #[doc(hidden)]
+    pub fn live_workers(&self) -> usize {
+        self.inner
+            .handles
+            .lock()
+            .iter()
+            .filter(|h| h.is_some())
+            .count()
+    }
+
     /// Stamps and swaps in the next generation. Called with the writer
     /// lock held (mutations serialize), so generation numbers and
     /// snapshot contents advance together; readers only ever take the
@@ -908,6 +1126,74 @@ mod tests {
                 service.search_snapshot(&snapshot, &q, 7).unwrap(),
                 snapshot.search(&q, 7, &mut scratch).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn durable_service_recovers_its_acked_state() {
+        let dir = std::env::temp_dir().join(format!(
+            "fmeter-svc-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let raws = sample(20, 8);
+        let service = SignatureService::from_db_durable(
+            SignatureDb::build(&raws[..12]).unwrap(),
+            3,
+            &dir,
+            DurableOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(service.durability_health(), Some(WalHealth::Healthy));
+        service.insert_batch(&raws[12..]).unwrap();
+        service.remove(3).unwrap();
+        let q = raws[5].to_term_counts();
+        let expected = service.search(&q, 6).unwrap();
+        drop(service); // "crash": no explicit checkpoint of the tail
+
+        let (recovered, report) =
+            SignatureService::recover_durable(&dir, DurableOptions::default()).unwrap();
+        assert_eq!(report.replayed_ops, 2, "batch insert + remove");
+        assert!(!report.torn_tail);
+        assert_eq!(recovered.num_shards(), 3, "saved layout restored");
+        assert_eq!(recovered.len(), 19);
+        assert_eq!(recovered.search(&q, 6).unwrap(), expected);
+        // Durable mode keeps working after recovery.
+        recovered.insert(&raw(99, "odd", 8)).unwrap();
+        recovered.checkpoint().unwrap();
+        assert_eq!(recovered.durability_health(), Some(WalHealth::Healthy));
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_durable_service_reports_no_health_and_refuses_checkpoints() {
+        let service = SignatureService::build(&sample(8, 6), 2).unwrap();
+        assert_eq!(service.durability_health(), None);
+        assert!(service.checkpoint().is_err());
+        assert!(service.with_durable_log(|_| ()).is_none());
+    }
+
+    #[test]
+    fn killed_workers_leave_results_bit_identical() {
+        let raws = sample(36, 10);
+        let db = SignatureDb::build(&raws).unwrap();
+        let service = SignatureService::build(&raws, 4).unwrap();
+        let alive = service.live_workers();
+        service.kill_worker(0);
+        assert_eq!(service.live_workers(), alive - 1);
+        // Kill the entire pool: every shard falls back to inline
+        // scoring, still against the same immutable snapshot.
+        for i in 0..alive {
+            service.kill_worker(i);
+        }
+        assert_eq!(service.live_workers(), 0);
+        for probe in raws.iter().step_by(5) {
+            let q = probe.to_term_counts();
+            let expected = db.search(&q, 6).unwrap();
+            let got = service.search(&q, 6).unwrap();
+            assert_same_hits(&got, &expected, &db);
         }
     }
 

@@ -177,6 +177,66 @@ fn concurrent_searches_stay_consistent_under_writer_churn() {
     assert_replay_identical(&pooled, &serial);
 }
 
+/// Worker death is a degradation, not an outage: after killing one
+/// pooled worker — or every one of them — mid-stream, searches keep
+/// succeeding and stay bit-identical to the serial replay of the same
+/// snapshot (dead workers' shards are scored inline on the caller).
+#[test]
+fn worker_death_degrades_gracefully_and_stays_bit_identical() {
+    let service = SignatureService::build(&seed_corpus(), 4).expect("seed corpus builds");
+    let queries = probe_queries();
+    let mut scratch = SearchScratch::new();
+    let pool = service.live_workers();
+    assert!(pool >= 1, "pool spun up");
+
+    // Kill one worker while a reader hammers the service from another
+    // thread: no search may fail or diverge across the transition.
+    std::thread::scope(|s| {
+        let svc = &service;
+        let queries = &queries;
+        let reader = s.spawn(move || {
+            let mut scratch = SearchScratch::new();
+            for round in 0..200 {
+                let snapshot = svc.snapshot();
+                let q = &queries[round % queries.len()];
+                let pooled = svc.search_snapshot(&snapshot, q, 8).expect("pooled search");
+                let serial = snapshot.search(q, 8, &mut scratch).expect("serial replay");
+                assert_replay_identical(&pooled, &serial);
+            }
+        });
+        svc.kill_worker(0);
+        reader.join().expect("reader thread");
+    });
+    assert_eq!(service.live_workers(), pool - 1, "the kill took a thread");
+
+    // The writer is untouched by dead readers: mutations still publish.
+    let ids = service
+        .insert_batch(
+            &(0..4)
+                .map(|j| raw(9_000 + j, (j % 3) as usize))
+                .collect::<Vec<_>>(),
+        )
+        .expect("insert after worker death");
+    service.remove(ids[1]).expect("remove after worker death");
+    service.refit();
+
+    // Kill the entire pool: every shard falls back to inline scoring,
+    // still against the same immutable snapshot.
+    for i in 0..pool {
+        service.kill_worker(i);
+    }
+    assert_eq!(service.live_workers(), 0, "the whole pool is gone");
+    let snapshot = service.snapshot();
+    for q in &queries {
+        let pooled = service
+            .search_snapshot(&snapshot, q, 8)
+            .expect("search with a dead pool");
+        let serial = snapshot.search(q, 8, &mut scratch).expect("serial replay");
+        assert_replay_identical(&pooled, &serial);
+        assert!(service.classify(q, 5).expect("classify").is_some());
+    }
+}
+
 /// A snapshot taken before a burst of mutations keeps answering with
 /// its own generation's corpus even while new generations publish —
 /// readers pay zero coordination with the writer.

@@ -6,9 +6,11 @@
 //! window, the tf-idf weights are re-fitted automatically whenever the
 //! corpus has drifted far enough from the published idf generation,
 //! dead slots are reclaimed by policy-driven vacuums (the daemon
-//! translates its eviction cursor through the remap), and at shutdown
-//! the window is persisted through the versioned envelope — shard
-//! layout included — and reloaded as an upgraded daemon would.
+//! translates its eviction cursor through the remap), and the whole
+//! run is **crash-consistent**: the service streams in durable mode
+//! (WAL-append before every mutation, policy-driven checkpoints), the
+//! daemon is killed mid-write — torn WAL tail and all — and recovery
+//! restores exactly the durably-acked state and keeps streaming.
 //!
 //! Every mutation publishes an immutable snapshot generation, so a
 //! dashboard (or any other reader) can pin a generation and keep
@@ -21,7 +23,8 @@
 //! ```
 
 use fmeter::core::{
-    persist, Fmeter, RawSignature, RefitPolicy, SignatureDb, SignatureService, VacuumPolicy,
+    persist, CheckpointPolicy, DurableOptions, Fmeter, RawSignature, RefitPolicy, SignatureDb,
+    SignatureService, SyncPolicy, VacuumPolicy, WalHealth,
 };
 use fmeter::ir::SearchScratch;
 use fmeter::kernel_sim::{CpuId, Kernel, KernelConfig, Nanos};
@@ -78,7 +81,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut ApacheBench::new(4),
         "apachebench",
     )?);
-    let service = SignatureService::build(&raw, SHARDS)?;
+    // The daemon runs durable: every mutation is WAL-appended (and
+    // fsynced) before it applies, and the log folds into a fresh
+    // checkpoint every 24 ops — so the kill below can only ever cost
+    // the mutation whose record it tears.
+    let durable_dir =
+        std::env::temp_dir().join(format!("fmeter-streaming-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    let opts = DurableOptions {
+        sync: SyncPolicy::EveryRecord,
+        checkpoint: CheckpointPolicy::Every {
+            ops: Some(24),
+            wal_bytes: Some(256 * 1024),
+            interval: None,
+        },
+    };
+    let service =
+        SignatureService::from_db_durable(SignatureDb::build(&raw)?, SHARDS, &durable_dir, opts)?;
     // A 56-signature window is tiny, so every mutation moves idf a lot;
     // the drift bound is set loose enough that staleness (a fifth of the
     // window's worth of mutations) is what usually fires.
@@ -94,11 +113,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         min_dead: 8,
     });
     println!(
-        "bootstrap: {} signatures over {} functions in {} shards, epoch {}",
+        "bootstrap: {} signatures over {} functions in {} shards, epoch {}, durable at {}",
         service.len(),
         service.dim(),
         service.num_shards(),
-        service.epoch()
+        service.epoch(),
+        durable_dir.display()
     );
     // A dashboard pins the bootstrap generation: this Arc stays valid
     // and immutable no matter what the streaming loop does below.
@@ -228,37 +248,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("post-refit equivalence: {agree}/12 probes matched a from-scratch flat rebuild");
 
-    // 4. Durability: persist the window through the versioned envelope
-    //    (v3 carries the shard layout) and reload it — what a daemon
-    //    restart (or a rolling upgrade to a release with a newer format
-    //    version) does. The reloaded service must keep the layout,
-    //    classify identically, and keep streaming.
-    let mut bytes = Vec::new();
-    service.save(&mut bytes)?;
-    let reloaded = SignatureService::load(&bytes[..])?;
-    assert_eq!(reloaded.num_shards(), service.num_shards());
-    assert_eq!(reloaded.len(), service.len());
-    assert_eq!(reloaded.epoch(), service.epoch());
-    assert_eq!(reloaded.vacuums(), service.vacuums());
-    for probe in surviving.iter().rev().take(6) {
-        let q = probe.to_term_counts();
-        assert_eq!(
-            reloaded.classify(&q, 5)?,
-            service.classify(&q, 5)?,
-            "reloaded service diverged from the live one"
-        );
-    }
-    let next = surviving.last().expect("window is non-empty").clone();
-    assert_eq!(reloaded.insert(&next)?, service.insert(&next)?);
+    // 4. Crash consistency: kill the daemon mid-write and recover.
+    //    First fold everything so far into a clean checkpoint (v4
+    //    envelope, per-section checksums), then insert one more
+    //    interval whose WAL record we tear — the byte-level shape of a
+    //    process killed while appending.
+    service.checkpoint()?;
+    let before_kill = service.len();
+    let probe_before = surviving.last().expect("window is non-empty").clone();
+    let verdict_before = service.classify(&probe_before.to_term_counts(), 5)?;
+    let doomed = logger.collect_one(&mut kernel, &mut mix, &cpus, Some("doomed"))?;
+    service.insert(&doomed)?;
+    let (generation, wal_bytes) = service
+        .with_durable_log(|log| (log.generation(), log.wal_bytes()))
+        .expect("daemon runs durable");
+    drop(service); // kill -9: no shutdown save, no final checkpoint
+    let wal_path = durable_dir.join(format!("wal-{generation:010}.log"));
+    let wal = std::fs::read(&wal_path)?;
+    std::fs::write(&wal_path, &wal[..wal.len() - 5])?; // torn final record
     println!(
-        "persisted {} bytes (envelope v{}, {} shards), reloaded: {} live signatures \
-         at epoch {}, stream resumes at doc {}",
-        bytes.len(),
-        persist::CURRENT_FORMAT_VERSION,
-        reloaded.num_shards(),
-        reloaded.len(),
-        reloaded.epoch(),
-        reloaded.num_slots() - 1,
+        "killed the daemon mid-append: wal-{generation:010}.log torn at byte {} of {wal_bytes}",
+        wal.len() - 5,
     );
+
+    //    Recovery loads the newest good checkpoint, replays the WAL up
+    //    to the torn record, and starts a fresh generation. Exactly the
+    //    doomed insert is gone; everything acked before it survives
+    //    with identical answers.
+    let (recovered, report) = SignatureService::recover_durable(&durable_dir, opts)?;
+    println!(
+        "recovered from generation {}: {} op(s) replayed, torn tail = {}, {} live signatures",
+        report.generation,
+        report.replayed_ops,
+        report.torn_tail,
+        recovered.len()
+    );
+    assert!(report.torn_tail, "the torn record must be detected");
+    assert_eq!(recovered.len(), before_kill, "the torn insert is lost");
+    assert_eq!(recovered.num_shards(), SHARDS, "saved layout restored");
+    assert_eq!(
+        recovered.classify(&probe_before.to_term_counts(), 5)?,
+        verdict_before,
+        "recovered service diverged from the pre-kill state"
+    );
+
+    //    ... and the recovered daemon keeps streaming durably.
+    logger.resync(kernel.now());
+    for _ in 0..4 {
+        let label = mix.name().to_string();
+        let sig = logger.collect_one(&mut kernel, &mut mix, &cpus, Some(&label))?;
+        recovered.insert(&sig)?;
+    }
+    recovered.checkpoint()?;
+    assert_eq!(recovered.durability_health(), Some(WalHealth::Healthy));
+    println!(
+        "daemon resumed: {} live signatures at epoch {} (envelope v{}, durability healthy)",
+        recovered.len(),
+        recovered.epoch(),
+        persist::CURRENT_FORMAT_VERSION,
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&durable_dir);
     Ok(())
 }
