@@ -762,10 +762,12 @@ fn main() {
     // db-search-under-mutex cost is exactly what the trajectory gate
     // is here to catch.
     let service = SignatureService::build(base_raws, 8).unwrap();
-    service.set_refit_policy(RefitPolicy::Threshold {
-        max_idf_drift: 0.02,
-        max_stale_fraction: 0.05,
-    });
+    service
+        .set_refit_policy(RefitPolicy::Threshold {
+            max_idf_drift: 0.02,
+            max_stale_fraction: 0.05,
+        })
+        .unwrap();
     let probe = base_raws[ingest_base / 2].to_term_counts();
     let stop = AtomicBool::new(false);
     let mut measured = (0u64, 0f64);

@@ -448,6 +448,14 @@ pub fn split_envelope(text: &str) -> Result<(u32, Vec<(String, String)>), Fmeter
             body.len() - offset
         )));
     }
+    // `crc32` is optional only for pre-v4 headers; a v4+ header without
+    // it has lost data (or was tampered with) — loading it would mean
+    // silently skipping checksum verification, so reject it instead.
+    if header.crc32.is_none() && version >= 4 {
+        return Err(FmeterError::Persist(format!(
+            "format version {version} header carries no per-section checksums"
+        )));
+    }
     if let Some(crcs) = &header.crc32 {
         if crcs.len() != sections.len() {
             return Err(FmeterError::Persist(format!(
@@ -927,6 +935,26 @@ mod tests {
                 other => panic!("flip inside `{name}`: expected CorruptEnvelope, got {other:?}"),
             }
             offset += payload.len();
+        }
+    }
+
+    #[test]
+    fn v4_header_without_checksums_is_rejected() {
+        // A v4 header that lost its `crc32` field must not load with
+        // verification silently disabled — only genuinely pre-v4
+        // headers may omit checksums.
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let at = text.find(",\"crc32\":").expect("v4 header carries crc32");
+        let end = at + text[at..].find(']').expect("crc32 array closes") + 1;
+        let stripped = format!("{}{}", &text[..at], &text[end..]);
+        match SignatureDb::load(stripped.as_bytes()) {
+            Err(FmeterError::Persist(msg)) => {
+                assert!(msg.contains("checksums"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Persist error, got {other:?}"),
         }
     }
 

@@ -307,11 +307,15 @@ impl ShardWriter {
     }
 
     /// Persists a policy change by checkpointing immediately (policy
-    /// changes are not WAL ops — see [`crate::DurableDb`]); a failure
-    /// degrades into the log's retry backoff instead of surfacing.
-    fn persist_policy_change(&mut self) {
-        if let Some(log) = &mut self.durable {
-            log.try_checkpoint(&self.db, self.router.num_shards());
+    /// changes are not WAL ops — see [`crate::DurableDb`]). A failure
+    /// is propagated — until a checkpoint lands, recovery would replay
+    /// the WAL under the *old* policy and diverge from the acked
+    /// in-memory state — and also folds into the log's retry backoff,
+    /// so the writer itself stays usable.
+    fn persist_policy_change(&mut self) -> Result<(), FmeterError> {
+        match &mut self.durable {
+            Some(log) => log.checkpoint_with_backoff(&self.db, self.router.num_shards()),
+            None => Ok(()),
         }
     }
 
@@ -409,17 +413,30 @@ impl ShardWriter {
     }
 
     /// Replaces the automatic-refit policy. In durable mode the change
-    /// is persisted by an immediate (best-effort) checkpoint.
-    pub fn set_refit_policy(&mut self, policy: RefitPolicy) {
+    /// is persisted by an immediate checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a checkpoint failure (durable mode only): the policy
+    /// *is* applied in memory but is not yet durable — retry, or accept
+    /// that a crash before the next successful checkpoint recovers
+    /// under the old policy. The writer stays usable either way.
+    /// Infallible when not durable.
+    pub fn set_refit_policy(&mut self, policy: RefitPolicy) -> Result<(), FmeterError> {
         self.db.set_refit_policy(policy);
-        self.persist_policy_change();
+        self.persist_policy_change()
     }
 
     /// Replaces the automatic-vacuum policy. In durable mode the change
-    /// is persisted by an immediate (best-effort) checkpoint.
-    pub fn set_vacuum_policy(&mut self, policy: VacuumPolicy) {
+    /// is persisted by an immediate checkpoint (see
+    /// [`ShardWriter::set_refit_policy`] for the failure contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a checkpoint failure in durable mode.
+    pub fn set_vacuum_policy(&mut self, policy: VacuumPolicy) -> Result<(), FmeterError> {
         self.db.set_vacuum_policy(policy);
-        self.persist_policy_change();
+        self.persist_policy_change()
     }
 
     /// Runs one mutation against the flat database, then brings the
@@ -865,13 +882,25 @@ impl SignatureService {
     }
 
     /// Replaces the automatic-refit policy.
-    pub fn set_refit_policy(&self, policy: RefitPolicy) {
-        self.inner.writer.lock().set_refit_policy(policy);
+    ///
+    /// # Errors
+    ///
+    /// In durable mode the change is persisted by an immediate
+    /// checkpoint; a checkpoint failure is propagated (the policy is
+    /// applied in memory, the service stays usable — see
+    /// [`ShardWriter::set_refit_policy`]). Infallible when not durable.
+    pub fn set_refit_policy(&self, policy: RefitPolicy) -> Result<(), FmeterError> {
+        self.inner.writer.lock().set_refit_policy(policy)
     }
 
     /// Replaces the automatic-vacuum policy.
-    pub fn set_vacuum_policy(&self, policy: VacuumPolicy) {
-        self.inner.writer.lock().set_vacuum_policy(policy);
+    ///
+    /// # Errors
+    ///
+    /// Propagates a checkpoint failure in durable mode (see
+    /// [`SignatureService::set_refit_policy`]).
+    pub fn set_vacuum_policy(&self, policy: VacuumPolicy) -> Result<(), FmeterError> {
+        self.inner.writer.lock().set_vacuum_policy(policy)
     }
 
     /// Stats (incl. the id remap) of the most recent vacuum, if any.
@@ -1054,7 +1083,7 @@ mod tests {
         let mut db = SignatureDb::build(&raws).unwrap();
         db.set_refit_policy(RefitPolicy::EveryN(9));
         let service = SignatureService::build(&raws, 3).unwrap();
-        service.set_refit_policy(RefitPolicy::EveryN(9));
+        service.set_refit_policy(RefitPolicy::EveryN(9)).unwrap();
 
         db.insert_batch(&extra[30..45]).unwrap();
         service.insert_batch(&extra[30..45]).unwrap();

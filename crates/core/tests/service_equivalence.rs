@@ -140,7 +140,7 @@ proptest! {
         let mut db = SignatureDb::build(&raws).expect("flat build");
         db.set_refit_policy(RefitPolicy::Manual);
         let service = SignatureService::build(&raws, num_shards).expect("service build");
-        service.set_refit_policy(RefitPolicy::Manual);
+        service.set_refit_policy(RefitPolicy::Manual).unwrap();
         prop_assert_eq!(service.num_shards(), num_shards);
         apply_ops(&mut db, &service, &ops);
         prop_assert_eq!(service.len(), db.len());
@@ -161,7 +161,7 @@ proptest! {
         let mut db = SignatureDb::build(&raws).expect("flat build");
         db.set_refit_policy(RefitPolicy::Manual);
         let service = SignatureService::build(&raws, num_shards).expect("service build");
-        service.set_refit_policy(RefitPolicy::Manual);
+        service.set_refit_policy(RefitPolicy::Manual).unwrap();
         apply_ops(&mut db, &service, &ops);
 
         let mut buf = Vec::new();

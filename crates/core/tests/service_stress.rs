@@ -71,8 +71,8 @@ fn assert_replay_identical(
 #[test]
 fn concurrent_searches_stay_consistent_under_writer_churn() {
     let service = SignatureService::build(&seed_corpus(), 4).expect("seed corpus builds");
-    service.set_refit_policy(RefitPolicy::Manual);
-    service.set_vacuum_policy(VacuumPolicy::Never);
+    service.set_refit_policy(RefitPolicy::Manual).unwrap();
+    service.set_vacuum_policy(VacuumPolicy::Never).unwrap();
     let queries = probe_queries();
     let done = AtomicBool::new(false);
 
@@ -243,7 +243,7 @@ fn worker_death_degrades_gracefully_and_stays_bit_identical() {
 #[test]
 fn old_snapshots_survive_concurrent_churn() {
     let service = SignatureService::build(&seed_corpus(), 3).expect("seed corpus builds");
-    service.set_refit_policy(RefitPolicy::Manual);
+    service.set_refit_policy(RefitPolicy::Manual).unwrap();
     let query = probe_queries().remove(0);
     let before = service.snapshot();
     let mut scratch = SearchScratch::new();

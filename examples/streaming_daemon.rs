@@ -104,14 +104,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     service.set_refit_policy(RefitPolicy::Threshold {
         max_idf_drift: 0.5,
         max_stale_fraction: 0.2,
-    });
+    })?;
     // Sliding-window eviction leaves one dead slot per aged-out
     // interval; let the service reclaim them once they pile up to a
     // fifth of the slot space (but not before 8 accumulate).
     service.set_vacuum_policy(VacuumPolicy::DeadFraction {
         max_dead_fraction: 0.2,
         min_dead: 8,
-    });
+    })?;
     println!(
         "bootstrap: {} signatures over {} functions in {} shards, epoch {}, durable at {}",
         service.len(),
