@@ -25,29 +25,37 @@
 //! # Envelope layout
 //!
 //! ```text
-//! FMETERDB 4\n                                   ← magic + format version
-//! {"format_version":4,"sections":[["model",N],…],"crc32":[…]}\n   ← section table (JSON)
+//! FMETERDB 5\n                                   ← magic + format version
+//! {"format_version":5,"sections":[["model",N],…],"crc32":[…],"codec":["bin",…]}\n
 //! <model bytes><corpus bytes><signatures bytes><index bytes><state bytes><sharding bytes>
 //! ```
 //!
-//! Each section is a self-contained JSON document; the table carries
-//! its byte length, so a reader can skip, split, or stream sections
-//! without parsing them. Section payloads are looked up by *name*, so
-//! future versions may add or reorder sections freely. Since v4 the
-//! header also carries one CRC32 per section (parallel to the table);
-//! readers verify every checksum *before* parsing a byte of payload, so
-//! a torn or bit-flipped save fails with a precise
-//! [`FmeterError::CorruptEnvelope`] instead of a JSON parse error deep
-//! inside a section.
+//! The table carries each section's byte length, so a reader can skip,
+//! split, or stream sections without parsing them. Section payloads are
+//! looked up by *name*, so future versions may add or reorder sections
+//! freely. Since v4 the header also carries one CRC32 per section
+//! (parallel to the table); readers verify every checksum *before*
+//! parsing a byte of payload, so a torn or bit-flipped save fails with
+//! a precise [`FmeterError::CorruptEnvelope`] instead of a parse error
+//! deep inside a section.
 //!
-//! Loading exploits that: section payloads are kept as **raw strings**
-//! and only parsed when (and if) their decoder runs. A migration that
-//! rewrites the few-hundred-byte `state` section never pays a JSON
-//! parse of the megabytes of corpus sitting next to it; the full-corpus
-//! sections are each parsed exactly once, directly into their target
-//! types, by the final decode. (The version-0 shim is the exception:
-//! bare JSON has no section table to slice, so adopting it parses the
-//! whole save.)
+//! Since v5 the header additionally carries one **codec tag** per
+//! section: `"json"` payloads are self-contained JSON documents,
+//! `"bin"` payloads use the length-prefixed little-endian codec of
+//! [`fmeter_ir::codec`]. The heavy sections (model, corpus, signatures,
+//! index) are binary — parsing hundreds of thousands of JSON float
+//! literals dominated checkpoint loads — while the small, operator-
+//! inspectable `state` and `sharding` sections stay JSON. The byte-level
+//! wire format per section is documented in `docs/PERSISTENCE.md`.
+//!
+//! Loading stays lazy: section payloads are kept as **raw bytes** and
+//! only parsed when (and if) their decoder runs. A migration that
+//! rewrites the few-hundred-byte `state` section never pays a parse of
+//! the megabytes of corpus sitting next to it; the full-corpus sections
+//! are each decoded exactly once, directly into their target types, by
+//! the final decode. (The version-0 shim is the exception: bare JSON
+//! has no section table to slice, so adopting it parses the whole
+//! save.)
 //!
 //! See `docs/PERSISTENCE.md` in the repository for the narrative
 //! version of this contract, including a worked save→upgrade→load
@@ -55,6 +63,7 @@
 
 use std::io::{Read, Write};
 
+use fmeter_ir::codec::BinCodec;
 use fmeter_ir::{Corpus, InvertedIndex, TfIdfModel};
 use serde::{Deserialize, Serialize, Value};
 
@@ -65,7 +74,7 @@ use crate::{FmeterError, RefitPolicy, Signature, SignatureDb, VacuumPolicy};
 pub const MAGIC: &str = "FMETERDB";
 
 /// The format version [`SignatureDb::save`] writes.
-pub const CURRENT_FORMAT_VERSION: u32 = 4;
+pub const CURRENT_FORMAT_VERSION: u32 = 5;
 
 /// One entry of the on-disk format history.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +118,13 @@ pub const FORMAT_VERSIONS: &[FormatVersion] = &[
                   section, parallel to the section table), verified on load before \
                   any payload is parsed; section payloads are byte-identical to v3",
     },
+    FormatVersion {
+        version: 5,
+        summary: "the header gains a `codec` array tagging each section `json` or \
+                  `bin`; the model / corpus / signatures / index payloads switch \
+                  to the length-prefixed little-endian binary codec, the state and \
+                  sharding sections stay JSON, checksums are unchanged",
+    },
 ];
 
 const SEC_MODEL: &str = "model";
@@ -118,12 +134,41 @@ const SEC_INDEX: &str = "index";
 const SEC_STATE: &str = "state";
 const SEC_SHARDING: &str = "sharding";
 
+/// How one envelope section's payload bytes are encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionCodec {
+    /// A self-contained JSON document (every section before v5; the
+    /// small `state` / `sharding` sections in v5 and later).
+    Json,
+    /// The length-prefixed little-endian codec of [`fmeter_ir::codec`]
+    /// (the heavy sections in v5 and later).
+    Binary,
+}
+
+impl SectionCodec {
+    /// The tag this codec carries in the header's `codec` array.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SectionCodec::Json => "json",
+            SectionCodec::Binary => "bin",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "json" => Some(SectionCodec::Json),
+            "bin" => Some(SectionCodec::Binary),
+            _ => None,
+        }
+    }
+}
+
 /// The section table line that follows the magic line.
 ///
-/// Serialization is hand-written (not derived) because `crc32` is
-/// *optional on read*: headers written before v4 do not carry the field
-/// and must keep parsing, while the vendored derive treats every named
-/// field as required.
+/// Serialization is hand-written (not derived) because `crc32` and
+/// `codec` are *optional on read*: headers written before v4 / v5 do
+/// not carry the fields and must keep parsing, while the vendored
+/// derive treats every named field as required.
 #[derive(Debug)]
 struct EnvelopeHeader {
     format_version: u32,
@@ -131,6 +176,8 @@ struct EnvelopeHeader {
     sections: Vec<(String, usize)>,
     /// One CRC32 per section, parallel to `sections` (v4 and later).
     crc32: Option<Vec<u32>>,
+    /// One codec tag per section, parallel to `sections` (v5 and later).
+    codec: Option<Vec<String>>,
 }
 
 impl Serialize for EnvelopeHeader {
@@ -141,6 +188,9 @@ impl Serialize for EnvelopeHeader {
         ];
         if let Some(crcs) = &self.crc32 {
             pairs.push(("crc32".to_string(), crcs.to_value()));
+        }
+        if let Some(codecs) = &self.codec {
+            pairs.push(("codec".to_string(), codecs.to_value()));
         }
         Value::Object(pairs)
     }
@@ -154,10 +204,15 @@ impl Deserialize for EnvelopeHeader {
             Ok(field) => Some(Vec::<u32>::from_value(field)?),
             Err(_) => None,
         };
+        let codec = match v.get_field("codec") {
+            Ok(field) => Some(Vec::<String>::from_value(field)?),
+            Err(_) => None,
+        };
         Ok(EnvelopeHeader {
             format_version,
             sections,
             crc32,
+            codec,
         })
     }
 }
@@ -195,16 +250,19 @@ struct ShardingV3 {
     num_shards: usize,
 }
 
-/// One envelope section: the raw payload string as sliced out of the
-/// file, or a parsed value tree once something rewrote it.
+/// One envelope section: the raw payload as sliced out of the file
+/// (JSON text or binary bytes, per its codec tag), or a parsed value
+/// tree once something rewrote it.
 ///
-/// Sections stay [`Raw`](Section::Raw) until their decoder runs — a
-/// migration that touches only the small `state` section leaves the
-/// full-corpus payloads unparsed, and the final decode parses each of
-/// them exactly once, straight into its target type.
+/// Sections stay [`Raw`](Section::Raw) / [`Bin`](Section::Bin) until
+/// their decoder runs — a migration that touches only the small `state`
+/// section leaves the full-corpus payloads unparsed, and the final
+/// decode parses each of them exactly once, straight into its target
+/// type.
 enum Section {
     Raw(String),
     Parsed(Value),
+    Bin(Vec<u8>),
 }
 
 /// An in-memory envelope: version + named sections (raw payload slices
@@ -225,10 +283,13 @@ impl Envelope {
     }
 
     fn replace(&mut self, name: &str, value: Value) {
-        let value = Section::Parsed(value);
+        self.replace_with(name, Section::Parsed(value));
+    }
+
+    fn replace_with(&mut self, name: &str, section: Section) {
         match self.sections.iter_mut().find(|(n, _)| n == name) {
-            Some((_, v)) => *v = value,
-            None => self.sections.push((name.to_string(), value)),
+            Some((_, v)) => *v = section,
+            None => self.sections.push((name.to_string(), section)),
         }
     }
 }
@@ -252,6 +313,20 @@ fn section_as<T: Deserialize>(env: &Envelope, name: &str) -> Result<T, FmeterErr
         Section::Parsed(value) => {
             T::from_value(value).map_err(|e| persist_err(&format!("section `{name}`"), e))
         }
+        Section::Bin(_) => Err(FmeterError::Persist(format!(
+            "section `{name}` is binary but a JSON decoder was asked for it"
+        ))),
+    }
+}
+
+/// Like [`section_as`], for sections that may be carried by either
+/// codec: binary payloads decode through [`BinCodec`], everything else
+/// falls back to the JSON path.
+fn section_bin_as<T: Deserialize + BinCodec>(env: &Envelope, name: &str) -> Result<T, FmeterError> {
+    match env.section(name)? {
+        Section::Bin(bytes) => fmeter_ir::codec::decode_from_slice(bytes)
+            .map_err(|e| persist_err(&format!("section `{name}`"), e)),
+        _ => section_as(env, name),
     }
 }
 
@@ -345,19 +420,43 @@ fn encode_sharded(db: &SignatureDb, num_shards: usize, version: u32) -> Envelope
         }
         .to_value()
     };
-    let mut sections = vec![
-        (SEC_MODEL.to_string(), Section::Parsed(db.model.to_value())),
-        (
-            SEC_CORPUS.to_string(),
-            Section::Parsed(db.corpus.to_value()),
-        ),
-        (
-            SEC_SIGNATURES.to_string(),
-            Section::Parsed(db.signatures.to_value()),
-        ),
-        (SEC_INDEX.to_string(), Section::Parsed(db.index.to_value())),
-        (SEC_STATE.to_string(), Section::Parsed(state)),
-    ];
+    // v5 and later carry the heavy sections in the binary codec; older
+    // versions keep the JSON value trees their fixtures pin.
+    let mut sections = if version >= 5 {
+        vec![
+            (
+                SEC_MODEL.to_string(),
+                Section::Bin(fmeter_ir::codec::encode_to_vec(&db.model)),
+            ),
+            (
+                SEC_CORPUS.to_string(),
+                Section::Bin(fmeter_ir::codec::encode_to_vec(&db.corpus)),
+            ),
+            (
+                SEC_SIGNATURES.to_string(),
+                Section::Bin(fmeter_ir::codec::encode_to_vec(&db.signatures)),
+            ),
+            (
+                SEC_INDEX.to_string(),
+                Section::Bin(fmeter_ir::codec::encode_to_vec(&db.index)),
+            ),
+            (SEC_STATE.to_string(), Section::Parsed(state)),
+        ]
+    } else {
+        vec![
+            (SEC_MODEL.to_string(), Section::Parsed(db.model.to_value())),
+            (
+                SEC_CORPUS.to_string(),
+                Section::Parsed(db.corpus.to_value()),
+            ),
+            (
+                SEC_SIGNATURES.to_string(),
+                Section::Parsed(db.signatures.to_value()),
+            ),
+            (SEC_INDEX.to_string(), Section::Parsed(db.index.to_value())),
+            (SEC_STATE.to_string(), Section::Parsed(state)),
+        ]
+    };
     if version >= 3 {
         sections.push((
             SEC_SHARDING.to_string(),
@@ -368,34 +467,41 @@ fn encode_sharded(db: &SignatureDb, num_shards: usize, version: u32) -> Envelope
 }
 
 fn write_envelope<W: Write>(env: &Envelope, mut writer: W) -> Result<(), FmeterError> {
-    let mut payloads = Vec::with_capacity(env.sections.len());
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(env.sections.len());
+    let mut codecs = Vec::with_capacity(env.sections.len());
     let mut table = Vec::with_capacity(env.sections.len());
     for (name, section) in &env.sections {
-        let text = match section {
-            Section::Raw(payload) => payload.clone(),
-            Section::Parsed(value) => serde_json::to_string(value)?,
+        let (bytes, codec) = match section {
+            Section::Raw(payload) => (payload.clone().into_bytes(), SectionCodec::Json),
+            Section::Parsed(value) => (
+                serde_json::to_string(value)?.into_bytes(),
+                SectionCodec::Json,
+            ),
+            Section::Bin(payload) => (payload.clone(), SectionCodec::Binary),
         };
-        table.push((name.clone(), text.len()));
-        payloads.push(text);
+        debug_assert!(
+            env.version >= 5 || codec == SectionCodec::Json,
+            "pre-v5 envelopes cannot carry binary sections"
+        );
+        table.push((name.clone(), bytes.len()));
+        codecs.push(codec.tag().to_string());
+        payloads.push(bytes);
     }
-    // v4 headers bind every payload to a checksum; older versions keep
-    // the exact header shape their fixtures pin.
-    let crc32 = (env.version >= 4).then(|| {
-        payloads
-            .iter()
-            .map(|p| crate::wal::crc32(p.as_bytes()))
-            .collect()
-    });
+    // v4 headers bind every payload to a checksum, v5 headers tag every
+    // payload with its codec; older versions keep the exact header
+    // shape their fixtures pin.
+    let crc32 = (env.version >= 4).then(|| payloads.iter().map(|p| crate::wal::crc32(p)).collect());
     let header = EnvelopeHeader {
         format_version: env.version,
         sections: table,
         crc32,
+        codec: (env.version >= 5).then_some(codecs),
     };
     writer.write_all(format!("{MAGIC} {}\n", env.version).as_bytes())?;
     writer.write_all(serde_json::to_string(&header)?.as_bytes())?;
     writer.write_all(b"\n")?;
     for payload in &payloads {
-        writer.write_all(payload.as_bytes())?;
+        writer.write_all(payload)?;
     }
     Ok(())
 }
@@ -412,10 +518,23 @@ pub fn detect_format_version(bytes: &[u8]) -> Option<u32> {
     rest.split('\n').next()?.trim().parse().ok()
 }
 
+/// One section as sliced out of a serialized envelope by
+/// [`split_envelope`]: its name, codec tag, and raw payload bytes.
+#[derive(Debug, Clone)]
+pub struct RawSection {
+    /// Section name from the table.
+    pub name: String,
+    /// How [`payload`](Self::payload) is encoded. Headers before v5
+    /// carry no codec tags; their sections are implicitly JSON.
+    pub codec: SectionCodec,
+    /// The payload bytes, exactly as stored (checksum-verified).
+    pub payload: Vec<u8>,
+}
+
 /// Splits a serialized envelope into its format version and named
-/// section payloads (each a self-contained JSON string), without
-/// deserialising any of them — the introspection hook the layout-guard
-/// tests (and external tooling) use.
+/// section payloads, without deserialising any of them — the
+/// introspection hook the layout-guard tests (and external tooling)
+/// use.
 ///
 /// # Errors
 ///
@@ -424,11 +543,37 @@ pub fn detect_format_version(bytes: &[u8]) -> Option<u32> {
 /// [`FmeterError::CorruptEnvelope`] when a section is shorter than the
 /// table declares (truncated / mid-write file) or fails its v4
 /// checksum.
-pub fn split_envelope(text: &str) -> Result<(u32, Vec<(String, String)>), FmeterError> {
-    let (version, header, body) = parse_envelope_frame(text)?;
+pub fn split_envelope(bytes: &[u8]) -> Result<(u32, Vec<RawSection>), FmeterError> {
+    let (version, header, body) = parse_envelope_frame(bytes)?;
+    // `codec` is optional only for pre-v5 headers (all-JSON layouts); a
+    // v5+ header without it cannot say how to parse its payloads.
+    let codecs = match &header.codec {
+        None if version >= 5 => {
+            return Err(FmeterError::Persist(format!(
+                "format version {version} header carries no per-section codec tags"
+            )));
+        }
+        None => vec![SectionCodec::Json; header.sections.len()],
+        Some(tags) => {
+            if tags.len() != header.sections.len() {
+                return Err(FmeterError::Persist(format!(
+                    "header carries {} codec tags for {} sections",
+                    tags.len(),
+                    header.sections.len()
+                )));
+            }
+            tags.iter()
+                .map(|t| {
+                    SectionCodec::from_tag(t).ok_or_else(|| {
+                        FmeterError::Persist(format!("unknown section codec tag `{t}`"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
     let mut offset = 0usize;
     let mut sections = Vec::with_capacity(header.sections.len());
-    for (name, len) in header.sections {
+    for ((name, len), codec) in header.sections.into_iter().zip(codecs) {
         let payload = body.get(offset..offset + len).ok_or_else(|| {
             // A section that overruns the file is the signature of a
             // save truncated mid-write: report exactly which section
@@ -439,7 +584,11 @@ pub fn split_envelope(text: &str) -> Result<(u32, Vec<(String, String)>), Fmeter
                 got: body.len().saturating_sub(offset) as u64,
             }
         })?;
-        sections.push((name, payload.to_string()));
+        sections.push(RawSection {
+            name,
+            codec,
+            payload: payload.to_vec(),
+        });
         offset += len;
     }
     if offset != body.len() {
@@ -464,11 +613,11 @@ pub fn split_envelope(text: &str) -> Result<(u32, Vec<(String, String)>), Fmeter
                 sections.len()
             )));
         }
-        for ((name, payload), &stored) in sections.iter().zip(crcs) {
-            let computed = crate::wal::crc32(payload.as_bytes());
+        for (section, &stored) in sections.iter().zip(crcs) {
+            let computed = crate::wal::crc32(&section.payload);
             if computed != stored {
                 return Err(FmeterError::CorruptEnvelope {
-                    section: name.clone(),
+                    section: section.name.clone(),
                     expected: u64::from(stored),
                     got: u64::from(computed),
                 });
@@ -479,22 +628,29 @@ pub fn split_envelope(text: &str) -> Result<(u32, Vec<(String, String)>), Fmeter
 }
 
 /// Parses the magic and header lines, returning `(version, header,
-/// section payload bytes)`.
-fn parse_envelope_frame(text: &str) -> Result<(u32, EnvelopeHeader, &str), FmeterError> {
-    let rest = text
-        .strip_prefix(MAGIC)
-        .and_then(|t| t.strip_prefix(' '))
+/// section payload bytes)`. The two header lines are ASCII by
+/// construction; the body may be arbitrary bytes (binary sections).
+fn parse_envelope_frame(bytes: &[u8]) -> Result<(u32, EnvelopeHeader, &[u8]), FmeterError> {
+    let rest = bytes
+        .strip_prefix(MAGIC.as_bytes())
+        .and_then(|t| t.strip_prefix(b" "))
         .ok_or_else(|| FmeterError::Persist("missing FMETERDB magic".to_string()))?;
-    let (version_str, rest) = rest
-        .split_once('\n')
+    let nl = rest
+        .iter()
+        .position(|&b| b == b'\n')
         .ok_or_else(|| FmeterError::Persist("truncated magic line".to_string()))?;
-    let version: u32 = version_str
+    let version: u32 = std::str::from_utf8(&rest[..nl])
+        .map_err(|e| persist_err("unparsable format version", e))?
         .trim()
         .parse()
         .map_err(|e| persist_err("unparsable format version", e))?;
-    let (header_line, body) = rest
-        .split_once('\n')
+    let rest = &rest[nl + 1..];
+    let nl = rest
+        .iter()
+        .position(|&b| b == b'\n')
         .ok_or_else(|| FmeterError::Persist("truncated section table".to_string()))?;
+    let header_line =
+        std::str::from_utf8(&rest[..nl]).map_err(|e| persist_err("section table", e))?;
     let header: EnvelopeHeader = serde_json::from_str(header_line)?;
     if header.format_version != version {
         return Err(FmeterError::Persist(format!(
@@ -502,11 +658,11 @@ fn parse_envelope_frame(text: &str) -> Result<(u32, EnvelopeHeader, &str), Fmete
             header.format_version
         )));
     }
-    Ok((version, header, body))
+    Ok((version, header, &rest[nl + 1..]))
 }
 
-fn read_envelope(text: &str) -> Result<Envelope, FmeterError> {
-    let (version, sections) = split_envelope(text)?;
+fn read_envelope(bytes: &[u8]) -> Result<Envelope, FmeterError> {
+    let (version, sections) = split_envelope(bytes)?;
     if version == 0 || version > CURRENT_FORMAT_VERSION {
         return Err(FmeterError::UnsupportedFormat {
             found: version,
@@ -517,8 +673,16 @@ fn read_envelope(text: &str) -> Result<Envelope, FmeterError> {
     // the final decode actually needs the section.
     let sections = sections
         .into_iter()
-        .map(|(name, payload)| (name, Section::Raw(payload)))
-        .collect();
+        .map(|s| {
+            let section = match s.codec {
+                SectionCodec::Json => Section::Raw(String::from_utf8(s.payload).map_err(|e| {
+                    persist_err(&format!("section `{}` is not UTF-8 JSON", s.name), e)
+                })?),
+                SectionCodec::Binary => Section::Bin(s.payload),
+            };
+            Ok((s.name, section))
+        })
+        .collect::<Result<Vec<_>, FmeterError>>()?;
     Ok(Envelope { version, sections })
 }
 
@@ -578,6 +742,7 @@ const MIGRATIONS: &[(u32, Migration)] = &[
     (1, migrate_v1_to_v2),
     (2, migrate_v2_to_v3),
     (3, migrate_v3_to_v4),
+    (4, migrate_v4_to_v5),
 ];
 
 /// v1 → v2: the state section gains the vacuum policy (default:
@@ -614,6 +779,35 @@ fn migrate_v2_to_v3(env: &mut Envelope) -> Result<(), FmeterError> {
 /// of a v3 file needs no rewriting at all: its sections were already
 /// length-validated when sliced, and the next save will emit checksums.
 fn migrate_v3_to_v4(_env: &mut Envelope) -> Result<(), FmeterError> {
+    Ok(())
+}
+
+/// v4 → v5: the heavy sections switch from JSON to the length-prefixed
+/// little-endian binary codec. This is the one migration that *does*
+/// parse the corpus-sized payloads — it re-encodes them — which is
+/// exactly the work a v4 load was already paying; every subsequent save
+/// and load runs on the binary path.
+fn migrate_v4_to_v5(env: &mut Envelope) -> Result<(), FmeterError> {
+    let model: TfIdfModel = section_as(env, SEC_MODEL)?;
+    env.replace_with(
+        SEC_MODEL,
+        Section::Bin(fmeter_ir::codec::encode_to_vec(&model)),
+    );
+    let corpus: Corpus = section_as(env, SEC_CORPUS)?;
+    env.replace_with(
+        SEC_CORPUS,
+        Section::Bin(fmeter_ir::codec::encode_to_vec(&corpus)),
+    );
+    let signatures: Vec<Signature> = section_as(env, SEC_SIGNATURES)?;
+    env.replace_with(
+        SEC_SIGNATURES,
+        Section::Bin(fmeter_ir::codec::encode_to_vec(&signatures)),
+    );
+    let index: InvertedIndex = section_as(env, SEC_INDEX)?;
+    env.replace_with(
+        SEC_INDEX,
+        Section::Bin(fmeter_ir::codec::encode_to_vec(&index)),
+    );
     Ok(())
 }
 
@@ -658,12 +852,14 @@ pub fn load<R: Read>(reader: R) -> Result<SignatureDb, FmeterError> {
 /// releases and [`FmeterError::Persist`] for malformed or inconsistent
 /// payloads.
 pub fn load_sharded<R: Read>(mut reader: R) -> Result<(SignatureDb, usize), FmeterError> {
-    let mut text = String::new();
-    reader.read_to_string(&mut text)?;
-    let mut env = if text.starts_with(MAGIC) {
-        read_envelope(&text)?
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    let mut env = if bytes.starts_with(MAGIC.as_bytes()) {
+        read_envelope(&bytes)?
     } else {
-        adopt_legacy(&text)?
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| persist_err("pre-envelope save is not UTF-8 JSON", e))?;
+        adopt_legacy(text)?
     };
     migrate_to_current(&mut env)?;
     let sharding: ShardingV3 = section_as(&env, SEC_SHARDING)?;
@@ -680,10 +876,10 @@ pub fn load_sharded<R: Read>(mut reader: R) -> Result<(SignatureDb, usize), Fmet
 /// fails loudly instead of producing a database that panics later.
 fn decode(env: &Envelope) -> Result<SignatureDb, FmeterError> {
     debug_assert_eq!(env.version, CURRENT_FORMAT_VERSION);
-    let model: TfIdfModel = section_as(env, SEC_MODEL)?;
-    let corpus: Corpus = section_as(env, SEC_CORPUS)?;
-    let signatures: Vec<Signature> = section_as(env, SEC_SIGNATURES)?;
-    let index: InvertedIndex = section_as(env, SEC_INDEX)?;
+    let model: TfIdfModel = section_bin_as(env, SEC_MODEL)?;
+    let corpus: Corpus = section_bin_as(env, SEC_CORPUS)?;
+    let signatures: Vec<Signature> = section_bin_as(env, SEC_SIGNATURES)?;
+    let index: InvertedIndex = section_bin_as(env, SEC_INDEX)?;
     let state: StateV2 = section_as(env, SEC_STATE)?;
     let slots = signatures.len();
     let consistent = corpus.len() == slots
@@ -770,6 +966,21 @@ mod tests {
         db
     }
 
+    /// Byte-level `replacen(.., 1)`: the envelope body is not UTF-8 once
+    /// sections are binary, so tests patch the ASCII header bytes of a
+    /// save directly instead of round-tripping through `String`.
+    fn replace_once(bytes: &[u8], needle: &[u8], replacement: &[u8]) -> Vec<u8> {
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("needle present in envelope bytes");
+        let mut out = Vec::with_capacity(bytes.len() - needle.len() + replacement.len());
+        out.extend_from_slice(&bytes[..pos]);
+        out.extend_from_slice(replacement);
+        out.extend_from_slice(&bytes[pos + needle.len()..]);
+        out
+    }
+
     fn assert_equivalent(a: &SignatureDb, b: &SignatureDb) {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.num_slots(), b.num_slots());
@@ -838,18 +1049,17 @@ mod tests {
         let db = sample_db();
         let mut bytes = Vec::new();
         db.save(&mut bytes).unwrap();
-        let text = String::from_utf8(bytes).unwrap();
-        let future = text.replacen(
-            &format!("{MAGIC} {CURRENT_FORMAT_VERSION}\n"),
-            &format!("{MAGIC} 99\n"),
-            1,
+        let future = replace_once(
+            &bytes,
+            format!("{MAGIC} {CURRENT_FORMAT_VERSION}\n").as_bytes(),
+            format!("{MAGIC} 99\n").as_bytes(),
         );
-        let future = future.replacen(
-            &format!("\"format_version\":{CURRENT_FORMAT_VERSION}"),
-            "\"format_version\":99",
-            1,
+        let future = replace_once(
+            &future,
+            format!("\"format_version\":{CURRENT_FORMAT_VERSION}").as_bytes(),
+            b"\"format_version\":99",
         );
-        match SignatureDb::load(future.as_bytes()) {
+        match SignatureDb::load(&future[..]) {
             Err(FmeterError::UnsupportedFormat { found, supported }) => {
                 assert_eq!(found, 99);
                 assert_eq!(supported, CURRENT_FORMAT_VERSION);
@@ -868,16 +1078,15 @@ mod tests {
         let db = sample_db();
         let mut bytes = Vec::new();
         db.save(&mut bytes).unwrap();
-        let text = String::from_utf8(bytes).unwrap();
         // Truncated mid-section.
-        assert!(SignatureDb::load(&text.as_bytes()[..text.len() / 2]).is_err());
+        assert!(SignatureDb::load(&bytes[..bytes.len() / 2]).is_err());
         // Magic line and table disagree on the version.
-        let skewed = text.replacen(
-            &format!("{MAGIC} {CURRENT_FORMAT_VERSION}\n"),
-            &format!("{MAGIC} 1\n"),
-            1,
+        let skewed = replace_once(
+            &bytes,
+            format!("{MAGIC} {CURRENT_FORMAT_VERSION}\n").as_bytes(),
+            format!("{MAGIC} 1\n").as_bytes(),
         );
-        assert!(SignatureDb::load(skewed.as_bytes()).is_err());
+        assert!(SignatureDb::load(&skewed[..]).is_err());
         // Garbage, empty, and non-database JSON all fail like before.
         assert!(SignatureDb::load(&b"not json"[..]).is_err());
         assert!(SignatureDb::load(&b""[..]).is_err());
@@ -892,13 +1101,13 @@ mod tests {
         let db = sample_db();
         let mut bytes = Vec::new();
         db.save(&mut bytes).unwrap();
-        let text = String::from_utf8(bytes).unwrap();
-        let (_, sections) = split_envelope(&text).unwrap();
-        let body_len: usize = sections.iter().map(|(_, p)| p.len()).sum();
-        let mut offset = text.len() - body_len;
-        for (name, payload) in &sections {
-            for cut in [offset, offset + payload.len() / 2] {
-                match SignatureDb::load(&text.as_bytes()[..cut]) {
+        let (_, sections) = split_envelope(&bytes).unwrap();
+        let body_len: usize = sections.iter().map(|s| s.payload.len()).sum();
+        let mut offset = bytes.len() - body_len;
+        for section in &sections {
+            let name = &section.name;
+            for cut in [offset, offset + section.payload.len() / 2] {
+                match SignatureDb::load(&bytes[..cut]) {
                     Err(FmeterError::CorruptEnvelope {
                         section,
                         expected,
@@ -912,7 +1121,7 @@ mod tests {
                     }
                 }
             }
-            offset += payload.len();
+            offset += section.payload.len();
         }
     }
 
@@ -921,31 +1130,32 @@ mod tests {
         let db = sample_db();
         let mut bytes = Vec::new();
         db.save(&mut bytes).unwrap();
-        let text = String::from_utf8(bytes.clone()).unwrap();
-        let (_, sections) = split_envelope(&text).unwrap();
-        let body_len: usize = sections.iter().map(|(_, p)| p.len()).sum();
+        let (_, sections) = split_envelope(&bytes).unwrap();
+        let body_len: usize = sections.iter().map(|s| s.payload.len()).sum();
         let mut offset = bytes.len() - body_len;
-        for (name, payload) in &sections {
+        for section in &sections {
+            let name = &section.name;
             let mut corrupt = bytes.clone();
-            corrupt[offset + payload.len() / 2] ^= 0x01;
+            corrupt[offset + section.payload.len() / 2] ^= 0x01;
             match SignatureDb::load(&corrupt[..]) {
                 Err(FmeterError::CorruptEnvelope { section, .. }) => {
                     assert_eq!(&section, name, "flip inside `{name}` blamed `{section}`")
                 }
                 other => panic!("flip inside `{name}`: expected CorruptEnvelope, got {other:?}"),
             }
-            offset += payload.len();
+            offset += section.payload.len();
         }
     }
 
     #[test]
     fn v4_header_without_checksums_is_rejected() {
-        // A v4 header that lost its `crc32` field must not load with
+        // A v4+ header that lost its `crc32` field must not load with
         // verification silently disabled — only genuinely pre-v4
-        // headers may omit checksums.
+        // headers may omit checksums. (A v4 save is all-JSON, so string
+        // surgery on the whole file is still safe here.)
         let db = sample_db();
         let mut bytes = Vec::new();
-        db.save(&mut bytes).unwrap();
+        db.save_as_version(4, &mut bytes).unwrap();
         let text = String::from_utf8(bytes).unwrap();
         let at = text.find(",\"crc32\":").expect("v4 header carries crc32");
         let end = at + text[at..].find(']').expect("crc32 array closes") + 1;
@@ -953,6 +1163,43 @@ mod tests {
         match SignatureDb::load(stripped.as_bytes()) {
             Err(FmeterError::Persist(msg)) => {
                 assert!(msg.contains("checksums"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Persist error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v5_header_without_codec_tags_is_rejected() {
+        // Same contract for the v5 `codec` array: a header that lost it
+        // cannot say how to parse its payloads, so it must be rejected
+        // rather than guessed at.
+        let db = sample_db();
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let header_end = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .nth(1)
+            .map(|(i, _)| i)
+            .expect("envelope has two header lines");
+        let header = std::str::from_utf8(&bytes[..header_end]).expect("header is ASCII");
+        let at = header.find(",\"codec\":").expect("v5 header carries codec");
+        let end = at + header[at..].find(']').expect("codec array closes") + 1;
+        let mut stripped = Vec::new();
+        stripped.extend_from_slice(&bytes[..at]);
+        stripped.extend_from_slice(&bytes[end..]);
+        match SignatureDb::load(&stripped[..]) {
+            Err(FmeterError::Persist(msg)) => {
+                assert!(msg.contains("codec"), "unexpected message: {msg}")
+            }
+            other => panic!("expected Persist error, got {other:?}"),
+        }
+        // An unknown codec tag is rejected too, not treated as JSON.
+        let unknown = replace_once(&bytes, b"\"bin\"", b"\"zst\"");
+        match SignatureDb::load(&unknown[..]) {
+            Err(FmeterError::Persist(msg)) => {
+                assert!(msg.contains("zst"), "unexpected message: {msg}")
             }
             other => panic!("expected Persist error, got {other:?}"),
         }
@@ -985,10 +1232,9 @@ mod tests {
         let db = sample_db();
         let mut bytes = Vec::new();
         db.save(&mut bytes).unwrap();
-        let text = String::from_utf8(bytes).unwrap();
-        let (version, sections) = split_envelope(&text).unwrap();
+        let (version, sections) = split_envelope(&bytes).unwrap();
         assert_eq!(version, CURRENT_FORMAT_VERSION);
-        let names: Vec<&str> = sections.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = sections.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
             [
@@ -1000,10 +1246,39 @@ mod tests {
                 SEC_SHARDING
             ]
         );
-        // Every section is self-contained JSON.
-        for (name, payload) in &sections {
-            serde_json::from_str::<Value>(payload)
-                .unwrap_or_else(|e| panic!("section `{name}` is not valid JSON: {e}"));
+        // The heavy sections are binary, the small ones JSON — and every
+        // payload is self-contained under its tagged codec.
+        for section in &sections {
+            let expected = match section.name.as_str() {
+                SEC_STATE | SEC_SHARDING => SectionCodec::Json,
+                _ => SectionCodec::Binary,
+            };
+            assert_eq!(
+                section.codec, expected,
+                "section `{}` carries the wrong codec tag",
+                section.name
+            );
+            match section.codec {
+                SectionCodec::Json => {
+                    let text = std::str::from_utf8(&section.payload)
+                        .unwrap_or_else(|e| panic!("section `{}` not UTF-8: {e}", section.name));
+                    serde_json::from_str::<Value>(text).unwrap_or_else(|e| {
+                        panic!("section `{}` is not valid JSON: {e}", section.name)
+                    });
+                }
+                SectionCodec::Binary => {
+                    let mut r = fmeter_ir::codec::Reader::new(&section.payload);
+                    match section.name.as_str() {
+                        SEC_MODEL => drop(TfIdfModel::decode_bin(&mut r).unwrap()),
+                        SEC_CORPUS => drop(Corpus::decode_bin(&mut r).unwrap()),
+                        SEC_SIGNATURES => drop(Vec::<Signature>::decode_bin(&mut r).unwrap()),
+                        SEC_INDEX => drop(InvertedIndex::decode_bin(&mut r).unwrap()),
+                        other => panic!("unexpected binary section `{other}`"),
+                    }
+                    r.finish()
+                        .unwrap_or_else(|e| panic!("section `{}`: {e}", section.name));
+                }
+            }
         }
     }
 
@@ -1034,20 +1309,33 @@ mod tests {
 
     #[test]
     fn migrations_leave_untouched_sections_raw() {
-        // The v1→v2→v3 chain only rewrites `state` and appends
+        // The v1→v2→v3→v4 chain only rewrites `state` and appends
         // `sharding`; every corpus-sized section must still be a Raw
-        // slice when the chain finishes (the lazy-parse contract).
+        // slice when those steps finish (the lazy-parse contract). The
+        // v4→v5 step is the designed exception: it re-encodes the heavy
+        // sections into the binary codec, after which they are Bin.
         let db = sample_db();
         let mut bytes = Vec::new();
         db.save_as_version(1, &mut bytes).unwrap();
-        let text = String::from_utf8(bytes).unwrap();
-        let mut env = read_envelope(&text).unwrap();
-        migrate_to_current(&mut env).unwrap();
-        assert_eq!(env.version, CURRENT_FORMAT_VERSION);
+        let mut env = read_envelope(&bytes).unwrap();
+        while env.version < 4 {
+            let from = env.version;
+            let (_, migration) = MIGRATIONS.iter().find(|(v, _)| *v == from).unwrap();
+            migration(&mut env).unwrap();
+            env.version += 1;
+        }
         for name in [SEC_MODEL, SEC_CORPUS, SEC_SIGNATURES, SEC_INDEX] {
             assert!(
                 matches!(env.section(name).unwrap(), Section::Raw(_)),
                 "section `{name}` was parsed by a migration that does not touch it"
+            );
+        }
+        migrate_to_current(&mut env).unwrap();
+        assert_eq!(env.version, CURRENT_FORMAT_VERSION);
+        for name in [SEC_MODEL, SEC_CORPUS, SEC_SIGNATURES, SEC_INDEX] {
+            assert!(
+                matches!(env.section(name).unwrap(), Section::Bin(_)),
+                "section `{name}` was not re-encoded by the v4→v5 migration"
             );
         }
         assert!(matches!(

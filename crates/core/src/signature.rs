@@ -1,3 +1,4 @@
+use fmeter_ir::codec::{self, BinCodec, CodecError, Reader};
 use fmeter_ir::{SparseVec, TermCounts};
 use fmeter_kernel_sim::Nanos;
 use serde::{Deserialize, Serialize};
@@ -82,6 +83,45 @@ impl Signature {
     /// spaces.
     pub fn distance(&self, other: &Signature) -> Result<f64, fmeter_ir::IrError> {
         fmeter_ir::euclidean_distance(&self.vector, &other.vector)
+    }
+}
+
+// Binary wire layouts (see `fmeter_ir::codec`) for the v5 envelope sections
+// and the binary WAL payloads: fields in declaration order, timestamps as
+// their `u64` nanosecond counts.
+impl BinCodec for RawSignature {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_u64s(out, &self.counts);
+        codec::put_u64(out, self.started_at.0);
+        codec::put_u64(out, self.ended_at.0);
+        codec::put_opt_str(out, self.label.as_deref());
+    }
+
+    fn decode_bin(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RawSignature {
+            counts: r.get_u64s()?,
+            started_at: Nanos(r.get_u64()?),
+            ended_at: Nanos(r.get_u64()?),
+            label: r.get_opt_str()?,
+        })
+    }
+}
+
+impl BinCodec for Signature {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        self.vector.encode_bin(out);
+        codec::put_opt_str(out, self.label.as_deref());
+        codec::put_u64(out, self.started_at.0);
+        codec::put_u64(out, self.ended_at.0);
+    }
+
+    fn decode_bin(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Signature {
+            vector: SparseVec::decode_bin(r)?,
+            label: r.get_opt_str()?,
+            started_at: Nanos(r.get_u64()?),
+            ended_at: Nanos(r.get_u64()?),
+        })
     }
 }
 

@@ -10,7 +10,8 @@
 //!   (see [`WalOp`]); records are length-prefixed, carry a monotone
 //!   sequence number, and are bound to a CRC32 checksum, so replay can
 //!   stop *cleanly* at the first torn or corrupted record;
-//! * a **checkpoint** is a full v4 envelope written to a temp file,
+//! * a **checkpoint** is a full current-version envelope written to a
+//!   temp file,
 //!   fsynced, and atomically renamed into place; a small `MANIFEST`
 //!   binds the newest good checkpoint to the WAL that continues it, and
 //!   the previous generation is retained so a damaged newest checkpoint
@@ -29,12 +30,17 @@
 //! # WAL file layout
 //!
 //! ```text
-//! FMWAL 1 <start_seq> <contiguous:0|1>\n      ← header (fsynced at creation)
+//! FMWAL 2 <start_seq> <contiguous:0|1>\n      ← header (fsynced at creation)
 //! [len: u32 LE][seq: u64 LE][crc32: u32 LE][payload: len bytes]   ← repeated
 //! ```
 //!
-//! The payload is the JSON encoding of a [`WalOp`]; the checksum covers
-//! the sequence number and the payload. `contiguous` records whether
+//! The payload is the binary encoding of a [`WalOp`] (a one-byte op tag
+//! followed by the op's fields in the length-prefixed little-endian
+//! codec of [`fmeter_ir::codec`] — see `docs/PERSISTENCE.md` for the
+//! byte layout); the checksum covers the sequence number and the
+//! payload. Readers also accept the `FMWAL 1` framing, whose payloads
+//! are JSON — a daemon upgraded in place replays its old log, and the
+//! next generation is written as v2. `contiguous` records whether
 //! this WAL directly continues the previous generation's (used by
 //! recovery to chain segments when the newest checkpoint is damaged; a
 //! WAL opened after a degraded period, whose predecessor is missing
@@ -61,6 +67,7 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use fmeter_ir::codec::{self, BinCodec, CodecError, Reader};
 use fmeter_ir::DocId;
 use serde::{Deserialize, Serialize};
 
@@ -70,8 +77,14 @@ use crate::{persist, FmeterError, RawSignature, SignatureDb};
 /// First token of every WAL file header line.
 pub const WAL_MAGIC: &str = "FMWAL";
 
-/// The WAL framing version this build reads and writes.
-pub const WAL_VERSION: u32 = 1;
+/// The WAL version this build writes: binary [`WalOp`] payloads.
+/// [`read_wal`] also accepts [`WAL_VERSION_JSON`] files.
+pub const WAL_VERSION: u32 = 2;
+
+/// The original WAL version: identical framing, JSON payloads. Still
+/// readable (a daemon upgraded in place must replay its old log), never
+/// written.
+pub const WAL_VERSION_JSON: u32 = 1;
 
 /// Checkpoint generations kept on disk: the newest plus one fallback.
 pub const KEEP_GENERATIONS: u64 = 2;
@@ -88,9 +101,15 @@ const MANIFEST_MAGIC: &str = "FMMANIFEST";
 
 // ---- CRC32 -----------------------------------------------------------
 
-/// The standard IEEE CRC32 lookup table (reflected, poly 0xEDB88320).
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Slice-by-8 lookup tables for the standard IEEE CRC32 (reflected,
+/// poly 0xEDB88320). `TABLES[0]` is the classic byte-at-a-time table;
+/// `TABLES[k][i]` extends it by `k` more zero bytes, so eight table
+/// hits fold eight input bytes per iteration. Same polynomial, same
+/// checksums — only the walk is wider (the v5 envelope checksums
+/// megabytes of binary section per save/load, so CRC throughput is on
+/// the checkpoint critical path).
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -103,20 +122,45 @@ const CRC32_TABLE: [u32; 256] = {
             };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 };
 
 fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
-    bytes.iter().fold(state, |c, &b| {
-        CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8)
-    })
+    let mut c = state;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().unwrap()) ^ c;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().unwrap());
+        c = CRC32_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC32_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[4][(lo >> 24) as usize]
+            ^ CRC32_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC32_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC32_TABLES[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
 }
 
 /// CRC32 (IEEE 802.3, the zlib/`cksum -o 3` polynomial) of `bytes` —
-/// the checksum both WAL records and v4 envelope sections use.
+/// the checksum both WAL records and envelope sections (v4+) use.
 pub fn crc32(bytes: &[u8]) -> u32 {
     !crc32_update(0xFFFF_FFFF, bytes)
 }
@@ -159,6 +203,40 @@ impl WalOp {
                 db.vacuum();
                 Ok(())
             }
+        }
+    }
+}
+
+// v2 WAL payload layout: a one-byte op tag, then the op's fields. The
+// tag values are on the wire forever — never renumber, only append.
+impl BinCodec for WalOp {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        match self {
+            WalOp::Insert(raw) => {
+                codec::put_u8(out, 0);
+                raw.encode_bin(out);
+            }
+            WalOp::InsertBatch(raws) => {
+                codec::put_u8(out, 1);
+                raws.encode_bin(out);
+            }
+            WalOp::Remove(doc) => {
+                codec::put_u8(out, 2);
+                codec::put_usize(out, *doc);
+            }
+            WalOp::Refit => codec::put_u8(out, 3),
+            WalOp::Vacuum => codec::put_u8(out, 4),
+        }
+    }
+
+    fn decode_bin(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(WalOp::Insert(RawSignature::decode_bin(r)?)),
+            1 => Ok(WalOp::InsertBatch(Vec::decode_bin(r)?)),
+            2 => Ok(WalOp::Remove(r.get_usize()?)),
+            3 => Ok(WalOp::Refit),
+            4 => Ok(WalOp::Vacuum),
+            tag => Err(CodecError::new(format!("unknown WalOp tag {tag}"))),
         }
     }
 }
@@ -248,17 +326,34 @@ impl<W: WalSink + ?Sized> WalSink for Box<W> {
 
 // ---- writer ----------------------------------------------------------
 
-fn encode_record(seq: u64, op: &WalOp) -> Result<Vec<u8>, FmeterError> {
-    let payload = serde_json::to_string(op)?;
-    let payload = payload.as_bytes();
-    let crc = !crc32_update(crc32_update(0xFFFF_FFFF, &seq.to_le_bytes()), payload);
-    let mut buf = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(&seq.to_le_bytes());
-    buf.extend_from_slice(&crc.to_le_bytes());
-    buf.extend_from_slice(payload);
-    Ok(buf)
+/// Encodes one framed v2 record into `buf` (clearing it first). The
+/// binary payload is written straight into the frame — no intermediate
+/// allocation — so a writer reusing one buffer appends garbage-free.
+fn encode_record_into(buf: &mut Vec<u8>, seq: u64, op: &WalOp) {
+    buf.clear();
+    buf.resize(RECORD_HEADER_BYTES, 0);
+    op.encode_bin(buf);
+    let payload_len = buf.len() - RECORD_HEADER_BYTES;
+    let crc = !crc32_update(
+        crc32_update(0xFFFF_FFFF, &seq.to_le_bytes()),
+        &buf[RECORD_HEADER_BYTES..],
+    );
+    buf[..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    buf[4..12].copy_from_slice(&seq.to_le_bytes());
+    buf[12..16].copy_from_slice(&crc.to_le_bytes());
 }
+
+#[cfg(test)]
+fn encode_record(seq: u64, op: &WalOp) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_record_into(&mut buf, seq, op);
+    buf
+}
+
+/// Capacity the reusable append buffer is trimmed back to after an
+/// oversized record (e.g. a huge `InsertBatch`), so one outlier does
+/// not pin its high-water mark for the writer's lifetime.
+const APPEND_BUF_RETAIN: usize = 1 << 20;
 
 /// An append-only writer over one WAL file (or any [`WalSink`]).
 pub struct WalWriter {
@@ -267,6 +362,9 @@ pub struct WalWriter {
     next_seq: u64,
     bytes: u64,
     unsynced: usize,
+    /// Reused per-append serialize buffer: steady-state appends do not
+    /// allocate.
+    buf: Vec<u8>,
 }
 
 impl WalWriter {
@@ -290,6 +388,7 @@ impl WalWriter {
             next_seq: start_seq,
             bytes: header.len() as u64,
             unsynced: 0,
+            buf: Vec::new(),
         })
     }
 
@@ -299,11 +398,14 @@ impl WalWriter {
     /// at the damage).
     pub fn append(&mut self, op: &WalOp) -> Result<u64, FmeterError> {
         let seq = self.next_seq;
-        let frame = encode_record(seq, op)?;
-        self.sink.write_all(&frame)?;
+        encode_record_into(&mut self.buf, seq, op);
+        self.sink.write_all(&self.buf)?;
         self.next_seq += 1;
-        self.bytes += frame.len() as u64;
+        self.bytes += self.buf.len() as u64;
         self.unsynced += 1;
+        if self.buf.capacity() > APPEND_BUF_RETAIN {
+            self.buf.shrink_to(APPEND_BUF_RETAIN);
+        }
         match self.policy {
             SyncPolicy::EveryRecord => self.sync()?,
             SyncPolicy::EveryN(n) => {
@@ -382,8 +484,8 @@ pub fn read_wal(bytes: &[u8]) -> WalSegment {
         records: Vec::new(),
         torn: true,
     };
-    // Header line: "FMWAL 1 <start_seq> <contiguous>\n" within the
-    // first 64 bytes.
+    // Header line: "FMWAL <version> <start_seq> <contiguous>\n" within
+    // the first 64 bytes.
     let Some(nl) = bytes.iter().take(64).position(|&b| b == b'\n') else {
         return seg;
     };
@@ -392,14 +494,14 @@ pub fn read_wal(bytes: &[u8]) -> WalSegment {
     };
     let tokens: Vec<&str> = header.split_whitespace().collect();
     let parsed = match tokens.as_slice() {
-        [magic, version, start, contig]
-            if *magic == WAL_MAGIC && version.parse::<u32>().ok() == Some(WAL_VERSION) =>
-        {
-            start.parse::<u64>().ok().map(|s| (s, *contig == "1"))
-        }
+        [magic, version, start, contig] if *magic == WAL_MAGIC => version
+            .parse::<u32>()
+            .ok()
+            .filter(|v| *v == WAL_VERSION || *v == WAL_VERSION_JSON)
+            .and_then(|v| start.parse::<u64>().ok().map(|s| (v, s, *contig == "1"))),
         _ => None,
     };
-    let Some((start_seq, contiguous)) = parsed else {
+    let Some((version, start_seq, contiguous)) = parsed else {
         return seg;
     };
     seg.start_seq = Some(start_seq);
@@ -427,11 +529,19 @@ pub fn read_wal(bytes: &[u8]) -> WalSegment {
         if crc != stored_crc || seq != expected {
             return seg;
         }
-        let Ok(text) = std::str::from_utf8(payload) else {
-            return seg;
-        };
-        let Ok(op) = serde_json::from_str::<WalOp>(text) else {
-            return seg;
+        let op = if version == WAL_VERSION_JSON {
+            let Ok(text) = std::str::from_utf8(payload) else {
+                return seg;
+            };
+            let Ok(op) = serde_json::from_str::<WalOp>(text) else {
+                return seg;
+            };
+            op
+        } else {
+            let Ok(op) = codec::decode_from_slice::<WalOp>(payload) else {
+                return seg;
+            };
+            op
         };
         seg.records.push((seq, op));
         expected += 1;
@@ -1235,7 +1345,7 @@ mod tests {
         // writer interface hides them, so frame a parallel buffer.
         let mut bytes = format!("{WAL_MAGIC} {WAL_VERSION} 7 1\n").into_bytes();
         for (i, op) in ops.iter().enumerate() {
-            bytes.extend_from_slice(&encode_record(7 + i as u64, op).unwrap());
+            bytes.extend_from_slice(&encode_record(7 + i as u64, op));
         }
         let seg = read_wal(&bytes);
         assert_eq!(seg.start_seq, Some(7));
@@ -1249,6 +1359,52 @@ mod tests {
     }
 
     #[test]
+    fn v1_json_wal_segments_still_replay() {
+        // A daemon upgraded in place finds the previous build's v1 WAL
+        // on disk; its JSON payloads must replay exactly.
+        let ops = [
+            WalOp::Insert(raw(1)),
+            WalOp::Remove(3),
+            WalOp::Refit,
+            WalOp::InsertBatch(vec![raw(2), raw(3)]),
+            WalOp::Vacuum,
+        ];
+        let mut bytes = format!("{WAL_MAGIC} {WAL_VERSION_JSON} 4 0\n").into_bytes();
+        for (i, op) in ops.iter().enumerate() {
+            let seq = 4 + i as u64;
+            let payload = serde_json::to_string(op).unwrap().into_bytes();
+            let crc = !crc32_update(crc32_update(0xFFFF_FFFF, &seq.to_le_bytes()), &payload);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&seq.to_le_bytes());
+            bytes.extend_from_slice(&crc.to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        let seg = read_wal(&bytes);
+        assert_eq!(seg.start_seq, Some(4));
+        assert!(!seg.contiguous);
+        assert!(!seg.torn);
+        assert_eq!(seg.records.len(), ops.len());
+        for ((_, got), want) in seg.records.iter().zip(ops.iter()) {
+            assert_eq!(got, want);
+        }
+        // A binary payload inside a v1 file is *not* silently accepted:
+        // the JSON decode fails and replay stops cleanly there.
+        let mut mixed = format!("{WAL_MAGIC} {WAL_VERSION_JSON} 1 1\n").into_bytes();
+        mixed.extend_from_slice(&encode_record(1, &WalOp::Refit));
+        let seg = read_wal(&mixed);
+        assert!(seg.torn);
+        assert!(seg.records.is_empty());
+    }
+
+    #[test]
+    fn unknown_wal_versions_are_ignored() {
+        let bytes = format!("{WAL_MAGIC} 3 1 1\n").into_bytes();
+        let seg = read_wal(&bytes);
+        assert_eq!(seg.start_seq, None);
+        assert!(seg.torn);
+    }
+
+    #[test]
     fn truncation_at_every_byte_yields_a_clean_prefix() {
         let ops = [
             WalOp::Insert(raw(1)),
@@ -1259,7 +1415,7 @@ mod tests {
         let mut bytes = format!("{WAL_MAGIC} {WAL_VERSION} 1 1\n").into_bytes();
         let mut boundaries = vec![bytes.len()];
         for (i, op) in ops.iter().enumerate() {
-            bytes.extend_from_slice(&encode_record(1 + i as u64, op).unwrap());
+            bytes.extend_from_slice(&encode_record(1 + i as u64, op));
             boundaries.push(bytes.len());
         }
         for cut in 0..=bytes.len() {
@@ -1287,7 +1443,7 @@ mod tests {
         let mut starts = Vec::new();
         for (i, op) in ops.iter().enumerate() {
             starts.push(bytes.len());
-            bytes.extend_from_slice(&encode_record(1 + i as u64, op).unwrap());
+            bytes.extend_from_slice(&encode_record(1 + i as u64, op));
         }
         // Flip one bit inside record 2 (in its payload area).
         let mut damaged = bytes.clone();
@@ -1314,7 +1470,7 @@ mod tests {
         // prove it by replaying the exact same frames.
         let mut bytes = format!("{WAL_MAGIC} {WAL_VERSION} 1 1\n").into_bytes();
         for i in 0..3 {
-            bytes.extend_from_slice(&encode_record(1 + i, &WalOp::Insert(raw(i))).unwrap());
+            bytes.extend_from_slice(&encode_record(1 + i, &WalOp::Insert(raw(i))));
         }
         let seg = read_wal(&bytes);
         assert_eq!(seg.records.len(), 3);

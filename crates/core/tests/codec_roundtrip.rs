@@ -1,0 +1,173 @@
+//! Property tests for the v5 binary codec: arbitrary churned databases
+//! must round-trip through the binary envelope *bit-identically* — and
+//! land on exactly the same bits as the legacy all-JSON v4 path, so the
+//! codec switch is invisible to every consumer of the data.
+//!
+//! (The companion property — any single-bit flip in a binary section
+//! payload is caught by checksum and attributed to the right section —
+//! lives in `durability.rs`, where the negative-persistence suite is.)
+
+use fmeter_core::{RawSignature, SignatureDb, WalOp};
+use fmeter_ir::codec::{decode_from_slice, encode_to_vec};
+use fmeter_kernel_sim::Nanos;
+use proptest::prelude::*;
+
+const DIM: usize = 8;
+
+fn raw(mut counts: Vec<u64>, i: u64, label: Option<String>) -> RawSignature {
+    // Keep every document non-empty so builds never degenerate.
+    if counts.iter().all(|&c| c == 0) {
+        counts[i as usize % DIM] = 1;
+    }
+    RawSignature {
+        counts,
+        started_at: Nanos(i * 10),
+        ended_at: Nanos((i + 1) * 10),
+        label,
+    }
+}
+
+fn arb_label() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        Just(Some("alpha".to_string())),
+        Just(Some("beta".to_string())),
+        // Exercise non-ASCII labels through the length-prefixed UTF-8
+        // string encoding.
+        Just(Some("düsseldorf-零".to_string())),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Churn {
+    Insert(Vec<u64>),
+    Remove(usize),
+    Refit,
+    Vacuum,
+}
+
+fn arb_churn() -> impl Strategy<Value = Churn> {
+    prop_oneof![
+        prop::collection::vec(0u64..100, DIM..DIM + 1).prop_map(Churn::Insert),
+        (0usize..64).prop_map(Churn::Remove),
+        Just(Churn::Refit),
+        Just(Churn::Vacuum),
+    ]
+}
+
+fn churned_db(seeds: &[(Vec<u64>, u64)], churn: &[Churn]) -> SignatureDb {
+    let raws: Vec<RawSignature> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, (counts, salt))| {
+            let label = match salt % 3 {
+                0 => None,
+                1 => Some("alpha".to_string()),
+                _ => Some("beta".to_string()),
+            };
+            raw(counts.clone(), i as u64, label)
+        })
+        .collect();
+    let mut db = SignatureDb::build(&raws).expect("seed corpus builds");
+    for (i, op) in churn.iter().enumerate() {
+        match op {
+            Churn::Insert(counts) => {
+                db.insert(&raw(counts.clone(), 100 + i as u64, None))
+                    .expect("insert");
+            }
+            Churn::Remove(selector) => {
+                if db.len() > 1 {
+                    let live: Vec<usize> = (0..db.num_slots()).filter(|&d| db.is_live(d)).collect();
+                    db.remove(live[selector % live.len()]).expect("remove live");
+                }
+            }
+            Churn::Refit => {
+                db.refit();
+            }
+            Churn::Vacuum => {
+                db.vacuum();
+            }
+        }
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Save-v5 → load → save-v5 is a byte-level fixed point, and the
+    /// v4 JSON detour (save-v4 → load → save-v5) lands on the *same*
+    /// bytes. Byte equality of the binary envelope is `f64::to_bits`
+    /// equality of every stored weight — the binary codec loses
+    /// nothing the JSON path kept.
+    #[test]
+    fn churned_dbs_round_trip_bit_identically_vs_the_v4_path(
+        seeds in prop::collection::vec(
+            (prop::collection::vec(0u64..100, DIM..DIM + 1), 0u64..100),
+            2..8,
+        ),
+        churn in prop::collection::vec(arb_churn(), 0..12),
+    ) {
+        let db = churned_db(&seeds, &churn);
+
+        let mut v5 = Vec::new();
+        db.save(&mut v5).expect("save v5");
+        let from5 = SignatureDb::load(&v5[..]).expect("load v5");
+        let mut v5_again = Vec::new();
+        from5.save(&mut v5_again).expect("re-save v5");
+        // v5 save/load must be a byte fixed point.
+        prop_assert_eq!(&v5, &v5_again);
+
+        let mut v4 = Vec::new();
+        db.save_as_version(4, &mut v4).expect("save v4");
+        let from4 = SignatureDb::load(&v4[..]).expect("load v4 (migrates)");
+        let mut v4_to_v5 = Vec::new();
+        from4.save(&mut v4_to_v5).expect("save migrated db as v5");
+        // The v4 JSON path and the v5 binary path must not diverge
+        // bit-wise.
+        prop_assert_eq!(&v5, &v4_to_v5);
+    }
+
+    /// Every [`WalOp`] round-trips exactly through the binary WAL
+    /// payload codec, arbitrary counts / timestamps / labels included.
+    #[test]
+    fn wal_ops_round_trip_through_the_binary_codec(
+        counts in prop::collection::vec(any::<u64>(), 0..12),
+        start in any::<u64>(),
+        len in 0u64..1_000_000,
+        label in arb_label(),
+        batch in prop::collection::vec(
+            (prop::collection::vec(any::<u64>(), 0..6), any::<u64>()),
+            0..4,
+        ),
+        doc in any::<usize>(),
+    ) {
+        let sig = RawSignature {
+            counts,
+            started_at: Nanos(start),
+            ended_at: Nanos(start.saturating_add(len)),
+            label,
+        };
+        let batch: Vec<RawSignature> = batch
+            .into_iter()
+            .map(|(counts, t)| RawSignature {
+                counts,
+                started_at: Nanos(t),
+                ended_at: Nanos(t.saturating_add(1)),
+                label: None,
+            })
+            .collect();
+        let ops = [
+            WalOp::Insert(sig),
+            WalOp::InsertBatch(batch),
+            WalOp::Remove(doc),
+            WalOp::Refit,
+            WalOp::Vacuum,
+        ];
+        for op in &ops {
+            let bytes = encode_to_vec(op);
+            let back: WalOp = decode_from_slice(&bytes).expect("decode WalOp");
+            prop_assert_eq!(&back, op);
+        }
+    }
+}

@@ -299,39 +299,48 @@ proptest! {
         let _ = fs::remove_dir_all(&dir);
     }
 
-    /// Any single-bit flip inside any v{4} section payload fails that
-    /// section's checksum on load, by name, before any payload parses.
+    /// Any single-bit flip inside any section payload — binary or JSON
+    /// — fails that section's checksum on load, by name, before any
+    /// payload parses. (Under v5 the heavy sections are binary, so the
+    /// full 0..8 bit range applies; there is no UTF-8 layer to trip
+    /// over first.)
     #[test]
     fn any_single_bit_flip_in_a_section_payload_is_caught(
         section_frac in 0.0f64..1.0,
         byte_frac in 0.0f64..1.0,
-        bit in 0u8..7, // bit 7 would break UTF-8 first; see below
+        bit in 0u8..8,
     ) {
         let mut bytes = Vec::new();
         seed_db().save(&mut bytes).expect("save");
-        let text = String::from_utf8(bytes.clone()).expect("envelope is UTF-8");
-        let (version, sections) = split_envelope(&text).expect("well-formed envelope");
+        let (version, sections) = split_envelope(&bytes).expect("well-formed envelope");
         prop_assert_eq!(version, CURRENT_FORMAT_VERSION);
 
-        let magic_end = text.find('\n').expect("magic line") + 1;
-        let body_start = magic_end + text[magic_end..].find('\n').expect("header line") + 1;
+        let magic_end = bytes.iter().position(|&b| b == b'\n').expect("magic line") + 1;
+        let body_start = magic_end
+            + bytes[magic_end..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .expect("header line")
+            + 1;
         let k = ((sections.len() as f64 * section_frac) as usize).min(sections.len() - 1);
+        let payload = &sections[k].payload;
         let offset_in_section =
-            ((sections[k].1.len() as f64 * byte_frac) as usize).min(sections[k].1.len() - 1);
+            ((payload.len() as f64 * byte_frac) as usize).min(payload.len() - 1);
         let pos = body_start
-            + sections[..k].iter().map(|(_, p)| p.len()).sum::<usize>()
+            + sections[..k].iter().map(|s| s.payload.len()).sum::<usize>()
             + offset_in_section;
         bytes[pos] ^= 1 << bit;
-        if bytes == text.as_bytes() {
-            return Ok(()); // the flip was a no-op (cannot happen with XOR, but be explicit)
-        }
         match SignatureDb::load(&bytes[..]) {
             Err(FmeterError::CorruptEnvelope { section, .. }) => {
                 // The checksum failure names the damaged section.
-                prop_assert_eq!(&section, &sections[k].0);
+                prop_assert_eq!(&section, &sections[k].name);
             }
             Err(other) => prop_assert!(false, "expected CorruptEnvelope, got: {other}"),
-            Ok(_) => prop_assert!(false, "bit flip in `{}` loaded successfully", sections[k].0),
+            Ok(_) => prop_assert!(
+                false,
+                "bit flip in `{}` loaded successfully",
+                sections[k].name
+            ),
         }
     }
 }
@@ -508,20 +517,32 @@ fn durable_service_degrades_and_heals_without_poisoning_the_writer() {
 
 // ---- negative persistence (satellite) --------------------------------
 
+/// Replaces the first occurrence of `needle` in `bytes` (the v5
+/// envelope is no longer UTF-8, so edits are byte surgery).
+fn replace_once(bytes: &[u8], needle: &[u8], replacement: &[u8]) -> Vec<u8> {
+    let pos = bytes
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("needle present in envelope");
+    let mut out = Vec::with_capacity(bytes.len() - needle.len() + replacement.len());
+    out.extend_from_slice(&bytes[..pos]);
+    out.extend_from_slice(replacement);
+    out.extend_from_slice(&bytes[pos + needle.len()..]);
+    out
+}
+
 #[test]
 fn future_format_versions_are_rejected() {
     let mut bytes = Vec::new();
     seed_db().save(&mut bytes).expect("save");
-    let text = String::from_utf8(bytes).expect("envelope is UTF-8");
     let cur = CURRENT_FORMAT_VERSION;
-    let bumped = text
-        .replacen(&format!("FMETERDB {cur}"), "FMETERDB 9", 1)
-        .replacen(
-            &format!("\"format_version\":{cur}"),
-            "\"format_version\":9",
-            1,
-        );
-    match SignatureDb::load(bumped.as_bytes()) {
+    let bumped = replace_once(&bytes, format!("FMETERDB {cur}").as_bytes(), b"FMETERDB 9");
+    let bumped = replace_once(
+        &bumped,
+        format!("\"format_version\":{cur}").as_bytes(),
+        b"\"format_version\":9",
+    );
+    match SignatureDb::load(&bumped[..]) {
         Err(FmeterError::UnsupportedFormat { found, supported }) => {
             assert_eq!(found, 9);
             assert_eq!(supported, cur);
@@ -534,9 +555,8 @@ fn future_format_versions_are_rejected() {
 fn bad_magic_and_garbage_are_rejected() {
     let mut bytes = Vec::new();
     seed_db().save(&mut bytes).expect("save");
-    let text = String::from_utf8(bytes).expect("envelope is UTF-8");
-    let mangled = text.replacen("FMETERDB", "NOTMYDBX", 1);
-    assert!(SignatureDb::load(mangled.as_bytes()).is_err(), "bad magic");
+    let mangled = replace_once(&bytes, b"FMETERDB", b"NOTMYDBX");
+    assert!(SignatureDb::load(&mangled[..]).is_err(), "bad magic");
     assert!(SignatureDb::load(&b""[..]).is_err(), "empty input");
     assert!(
         SignatureDb::load(&b"\x00\xff\x00\xff garbage"[..]).is_err(),

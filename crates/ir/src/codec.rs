@@ -1,0 +1,470 @@
+//! Length-prefixed little-endian binary codec for the heavy persistence
+//! sections.
+//!
+//! JSON is the right format for small, hand-inspectable sections (envelope
+//! headers, daemon state), but re-parsing ~10⁵ floating-point literals on
+//! every checkpoint load dominated restart time. This module defines a
+//! deliberately boring wire format for the bulk payloads instead:
+//!
+//! * every integer is fixed-width little-endian (`u8`/`u32`/`u64`),
+//! * every `f64` is its IEEE-754 bit pattern (`f64::to_bits`) little-endian,
+//!   so values round-trip **bit-identically** (NaN payloads included),
+//! * every variable-length field is prefixed with a `u64` element count,
+//! * there is no padding, no alignment, and no varint encoding.
+//!
+//! Types opt in by implementing [`BinCodec`]. Decoders read through
+//! [`Reader`], which bounds-checks every access and guards length prefixes
+//! against the remaining input before allocating, so a corrupt or truncated
+//! payload yields a [`CodecError`] rather than a panic or an OOM attempt.
+//! Corruption *detection* is not this module's job — the envelope and WAL
+//! layers checksum whole payloads with CRC32 before decoding starts — but
+//! decoding must still be total on arbitrary bytes.
+
+use std::fmt;
+
+/// Decode-side failure: truncated input, an implausible length prefix, or
+/// bytes that violate a type's structural invariants.
+///
+/// Encoding is infallible; only [`BinCodec::decode_bin`] produces these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(String);
+
+impl CodecError {
+    /// Build an error carrying a human-readable description of what the
+    /// decoder expected and what it found.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CodecError(msg.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binary codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A type with a fixed little-endian binary wire encoding.
+///
+/// Implementations must guarantee `decode_bin(encode_bin(x)) == x` with
+/// *bit-identical* floating-point fields, and `decode_bin` must validate the
+/// same structural invariants the type's constructors enforce (sortedness,
+/// index ranges, matching array lengths) so a decoded value is as trustworthy
+/// as a constructed one.
+pub trait BinCodec: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode_bin(&self, out: &mut Vec<u8>);
+    /// Decode one value from the reader, advancing it past the consumed
+    /// bytes. Callers that expect the value to fill the input should follow
+    /// up with [`Reader::finish`].
+    fn decode_bin(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+/// Convenience: encode a value into a fresh buffer.
+pub fn encode_to_vec<T: BinCodec>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode_bin(&mut out);
+    out
+}
+
+/// Convenience: decode a value that must consume the entire input.
+pub fn decode_from_slice<T: BinCodec>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode_bin(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its little-endian IEEE-754 bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a `usize` widened to `u64` little-endian.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append a `bool` as a single `0`/`1` byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Append a string as a `u64` byte count followed by its UTF-8 bytes.
+pub fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_usize(out, v.len());
+    out.extend_from_slice(v.as_bytes());
+}
+
+/// Append an optional string as a presence byte, then the string if present.
+pub fn put_opt_str(out: &mut Vec<u8>, v: Option<&str>) {
+    match v {
+        None => put_u8(out, 0),
+        Some(s) => {
+            put_u8(out, 1);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Append a `u32` slice as a `u64` count followed by the elements.
+pub fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Append a `u64` slice as a `u64` count followed by the elements.
+pub fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+/// Append an `f64` slice as a `u64` count followed by the bit patterns.
+pub fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Append a `usize` slice as a `u64` count followed by `u64` elements.
+pub fn put_usizes(out: &mut Vec<u8>, vs: &[usize]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_usize(out, v);
+    }
+}
+
+/// Append a `bool` slice as a `u64` count followed by one byte per element.
+pub fn put_bools(out: &mut Vec<u8>, vs: &[bool]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_bool(out, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over an encoded byte slice.
+///
+/// Every accessor either returns the decoded value and advances the cursor,
+/// or returns a [`CodecError`] and leaves the reader unusable for that
+/// decode attempt. Array reads check `count * elem_size` against the bytes
+/// actually remaining before allocating, so a flipped length prefix cannot
+/// request an absurd allocation.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Error unless the input was consumed exactly.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::new(format!(
+                "{} trailing bytes after value",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if n > self.remaining() {
+            return Err(CodecError::new(format!(
+                "need {n} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Read an `f64` from its little-endian bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a `u64` and narrow it to `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CodecError::new(format!("length {v} exceeds usize")))
+    }
+
+    /// Read a `bool`; any byte other than `0`/`1` is an error.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::new(format!("invalid bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let len = self.array_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::new(format!("invalid UTF-8 in string: {e}")))
+    }
+
+    /// Read an optional string written by [`put_opt_str`].
+    pub fn get_opt_str(&mut self) -> Result<Option<String>, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_str()?)),
+            b => Err(CodecError::new(format!("invalid option byte {b:#04x}"))),
+        }
+    }
+
+    /// Read an element count and verify `count * elem_size` fits in the
+    /// remaining input before the caller allocates for it.
+    pub fn array_len(&mut self, elem_size: usize) -> Result<usize, CodecError> {
+        let count = self.get_usize()?;
+        let needed = count
+            .checked_mul(elem_size)
+            .ok_or_else(|| CodecError::new(format!("array length {count} overflows")))?;
+        if needed > self.remaining() {
+            return Err(CodecError::new(format!(
+                "array claims {needed} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Read a length-prefixed `u32` array.
+    pub fn get_u32s(&mut self) -> Result<Vec<u32>, CodecError> {
+        let count = self.array_len(4)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.get_u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `u64` array.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>, CodecError> {
+        let count = self.array_len(8)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.get_u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `f64` array (bit patterns, so NaNs survive).
+    pub fn get_f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let count = self.array_len(8)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `usize` array (stored as `u64`s).
+    pub fn get_usizes(&mut self) -> Result<Vec<usize>, CodecError> {
+        let count = self.array_len(8)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.get_usize()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `bool` array (one byte per element).
+    pub fn get_bools(&mut self) -> Result<Vec<bool>, CodecError> {
+        let count = self.array_len(1)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.get_bool()?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: BinCodec> BinCodec for Vec<T> {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.len());
+        for item in self {
+            item.encode_bin(out);
+        }
+    }
+
+    fn decode_bin(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        // Elements are variable-size, so the tightest universal guard is one
+        // byte per element; it still rejects length prefixes beyond the input.
+        let count = r.array_len(1)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode_bin(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::from_bits(0x7FF8_0000_0000_1234)); // NaN payload
+        put_bool(&mut buf, true);
+        put_str(&mut buf, "héllo");
+        put_opt_str(&mut buf, None);
+        put_opt_str(&mut buf, Some("x"));
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64().unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_opt_str().unwrap(), None);
+        assert_eq!(r.get_opt_str().unwrap().as_deref(), Some("x"));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let mut buf = Vec::new();
+        put_u32s(&mut buf, &[1, 2, 3]);
+        put_u64s(&mut buf, &[]);
+        put_f64s(&mut buf, &[1.5, f64::INFINITY]);
+        put_usizes(&mut buf, &[0, 42]);
+        put_bools(&mut buf, &[true, false, true]);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u32s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64s().unwrap(), Vec::<u64>::new());
+        assert_eq!(r.get_f64s().unwrap(), vec![1.5, f64::INFINITY]);
+        assert_eq!(r.get_usizes().unwrap(), vec![0, 42]);
+        assert_eq!(r.get_bools().unwrap(), vec![true, false, true]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 7);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(r.get_u64().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // claims ~1.8e19 elements
+        let mut r = Reader::new(&buf);
+        assert!(r.get_f64s().is_err());
+
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 1 << 40); // plausible usize, impossible for input
+        let mut r = Reader::new(&buf);
+        assert!(r.get_u32s().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_bytes_are_rejected() {
+        let mut r = Reader::new(&[2]);
+        assert!(r.get_bool().is_err());
+        let mut r = Reader::new(&[9]);
+        assert!(r.get_opt_str().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let buf = [0u8; 3];
+        let mut r = Reader::new(&buf);
+        r.get_u8().unwrap();
+        assert!(r.finish().is_err());
+        r.get_u8().unwrap();
+        r.get_u8().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn vec_of_bincodec_round_trips() {
+        #[derive(Debug, PartialEq)]
+        struct P(u32, f64);
+        impl BinCodec for P {
+            fn encode_bin(&self, out: &mut Vec<u8>) {
+                put_u32(out, self.0);
+                put_f64(out, self.1);
+            }
+            fn decode_bin(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(P(r.get_u32()?, r.get_f64()?))
+            }
+        }
+        let v = vec![P(1, 2.0), P(3, -4.5)];
+        let bytes = encode_to_vec(&v);
+        let back: Vec<P> = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use crate::codec;
 use crate::{IrError, SparseVec, TermId};
 
 /// Raw term counts for one document.
@@ -245,6 +246,71 @@ impl Extend<TermCounts> for Corpus {
         for d in iter {
             self.push(d);
         }
+    }
+}
+
+// Binary wire layout (see `crate::codec`): `dim` then the `terms`/`counts`
+// parallel arrays. Decoding re-validates the constructor invariants (terms
+// strictly ascending and in range, counts non-zero, arrays parallel) directly
+// instead of routing through `from_pairs`, which would re-sort already-sorted
+// input on the checkpoint-restart hot path.
+impl codec::BinCodec for TermCounts {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.dim);
+        codec::put_u32s(out, &self.terms);
+        codec::put_u64s(out, &self.counts);
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        let dim = r.get_usize()?;
+        let terms = r.get_u32s()?;
+        let counts = r.get_u64s()?;
+        if terms.len() != counts.len() {
+            return Err(codec::CodecError::new(format!(
+                "TermCounts arrays disagree: {} terms vs {} counts",
+                terms.len(),
+                counts.len()
+            )));
+        }
+        for pair in terms.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(codec::CodecError::new(
+                    "TermCounts terms not strictly ascending",
+                ));
+            }
+        }
+        if let Some(&t) = terms.last() {
+            if t as usize >= dim {
+                return Err(codec::CodecError::new(format!(
+                    "TermCounts term {t} out of range for dim {dim}"
+                )));
+            }
+        }
+        if counts.contains(&0) {
+            return Err(codec::CodecError::new("TermCounts stores a zero count"));
+        }
+        Ok(TermCounts { dim, terms, counts })
+    }
+}
+
+// `dim` then the documents; every document must share the corpus dimension
+// (the same invariant `push` asserts).
+impl codec::BinCodec for Corpus {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.dim);
+        self.docs.encode_bin(out);
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        let dim = r.get_usize()?;
+        let docs = Vec::<TermCounts>::decode_bin(r)?;
+        if let Some(bad) = docs.iter().find(|d| d.dim() != dim) {
+            return Err(codec::CodecError::new(format!(
+                "Corpus document dimension {} does not match corpus dimension {dim}",
+                bad.dim()
+            )));
+        }
+        Ok(Corpus { dim, docs })
     }
 }
 

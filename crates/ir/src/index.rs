@@ -3,6 +3,7 @@ use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec;
 use crate::{DocId, IrError, SparseVec, TermId};
 
 /// One result of a similarity search.
@@ -958,6 +959,104 @@ impl InvertedIndex {
     /// impact bound); zero for empty or out-of-range terms.
     pub fn max_impact(&self, term: TermId) -> f64 {
         self.max_impact.get(term as usize).copied().unwrap_or(0.0)
+    }
+}
+
+impl codec::BinCodec for PostingList {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_u32s(out, &self.docs);
+        codec::put_f64s(out, &self.weights);
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        let docs = r.get_u32s()?;
+        let weights = r.get_f64s()?;
+        if docs.len() != weights.len() {
+            return Err(codec::CodecError::new(format!(
+                "PostingList arrays disagree: {} docs vs {} weights",
+                docs.len(),
+                weights.len()
+            )));
+        }
+        Ok(PostingList { docs, weights })
+    }
+}
+
+// Binary wire layout (see `crate::codec`): every persisted field in
+// declaration order, weights as IEEE-754 bit patterns. Decoding checks the
+// cheap structural invariants (array lengths tied to `dim`, parallel
+// postings buffers, `indptr`-style `offsets` bounded by the buffer); the
+// envelope layer's cross-checks against the daemon state cover the rest,
+// same as for the JSON surface.
+impl codec::BinCodec for InvertedIndex {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.dim);
+        codec::put_usizes(out, &self.offsets);
+        codec::put_u32s(out, &self.docs);
+        codec::put_f64s(out, &self.weights);
+        self.tail.encode_bin(out);
+        codec::put_usize(out, self.tail_len);
+        codec::put_usize(out, self.num_docs);
+        codec::put_f64s(out, &self.max_impact);
+        codec::put_bools(out, &self.removed);
+        codec::put_usize(out, self.num_removed);
+        codec::put_usize(out, self.dead_unpurged);
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        let dim = r.get_usize()?;
+        let offsets = r.get_usizes()?;
+        let docs = r.get_u32s()?;
+        let weights = r.get_f64s()?;
+        let tail = Vec::<PostingList>::decode_bin(r)?;
+        let tail_len = r.get_usize()?;
+        let num_docs = r.get_usize()?;
+        let max_impact = r.get_f64s()?;
+        let removed = r.get_bools()?;
+        let num_removed = r.get_usize()?;
+        let dead_unpurged = r.get_usize()?;
+
+        let bad = |msg: String| Err(codec::CodecError::new(format!("InvertedIndex: {msg}")));
+        if offsets.len() != dim + 1 || tail.len() != dim || max_impact.len() != dim {
+            return bad(format!(
+                "per-term arrays disagree with dim {dim}: {} offsets, {} tail, {} max_impact",
+                offsets.len(),
+                tail.len(),
+                max_impact.len()
+            ));
+        }
+        if docs.len() != weights.len() {
+            return bad(format!(
+                "flat buffers disagree: {} docs vs {} weights",
+                docs.len(),
+                weights.len()
+            ));
+        }
+        if offsets.first() != Some(&0) || offsets.last() != Some(&docs.len()) {
+            return bad("offsets do not span the flat postings buffer".to_string());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return bad("offsets are not monotone".to_string());
+        }
+        if removed.len() != num_docs {
+            return bad(format!(
+                "{} tombstone slots for {num_docs} docs",
+                removed.len()
+            ));
+        }
+        Ok(InvertedIndex {
+            dim,
+            offsets,
+            docs,
+            weights,
+            tail,
+            tail_len,
+            num_docs,
+            max_impact,
+            removed,
+            num_removed,
+            dead_unpurged,
+        })
     }
 }
 

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod corpus;
 mod distance;
 mod error;
@@ -59,6 +60,7 @@ mod shard;
 mod sparse;
 mod tfidf;
 
+pub use codec::{BinCodec, CodecError};
 pub use corpus::{Corpus, TermCounts};
 pub use distance::{
     cosine_similarity, dot_slices, dot_sparse_dense, euclidean_distance, euclidean_distance_sq,

@@ -2,6 +2,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec;
 use crate::{IrError, TermId};
 
 /// A sparse vector in the signature vector space.
@@ -319,6 +320,50 @@ impl FromIterator<(TermId, f64)> for SparseVec {
             .max()
             .unwrap_or(0);
         SparseVec::from_pairs(dim, pairs).expect("dim computed from max term id")
+    }
+}
+
+// Binary wire layout (see `crate::codec`): `dim` then the `terms`/`values`
+// parallel arrays. Values travel as IEEE-754 bit patterns, so a decoded
+// vector is bit-identical to the encoded one. Decoding re-validates the
+// storage invariants (terms strictly ascending and in range, no stored
+// zeros, arrays parallel) without the re-sort `from_pairs` would do.
+impl codec::BinCodec for SparseVec {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.dim);
+        codec::put_u32s(out, &self.terms);
+        codec::put_f64s(out, &self.values);
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        let dim = r.get_usize()?;
+        let terms = r.get_u32s()?;
+        let values = r.get_f64s()?;
+        if terms.len() != values.len() {
+            return Err(codec::CodecError::new(format!(
+                "SparseVec arrays disagree: {} terms vs {} values",
+                terms.len(),
+                values.len()
+            )));
+        }
+        for pair in terms.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(codec::CodecError::new(
+                    "SparseVec terms not strictly ascending",
+                ));
+            }
+        }
+        if let Some(&t) = terms.last() {
+            if t as usize >= dim {
+                return Err(codec::CodecError::new(format!(
+                    "SparseVec term {t} out of range for dim {dim}"
+                )));
+            }
+        }
+        if values.contains(&0.0) {
+            return Err(codec::CodecError::new("SparseVec stores a zero value"));
+        }
+        Ok(SparseVec { dim, terms, values })
     }
 }
 

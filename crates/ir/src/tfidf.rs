@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize, Value};
 
+use crate::codec;
 use crate::{Corpus, CsrMatrix, IrError, SparseVec, TermCounts};
 
 /// Term-frequency flavour used when weighting a document.
@@ -482,6 +483,104 @@ impl TfIdfModel {
     /// The options the model was fitted with.
     pub fn options(&self) -> TfIdfOptions {
         self.options
+    }
+}
+
+// Binary wire layout (see `crate::codec`). The mode enums travel as one-byte
+// tags; the tag values are part of the v5 wire format and must never be
+// renumbered, only appended to.
+impl codec::BinCodec for TfMode {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_u8(
+            out,
+            match self {
+                TfMode::Normalized => 0,
+                TfMode::Raw => 1,
+                TfMode::Sublinear => 2,
+            },
+        );
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        match r.get_u8()? {
+            0 => Ok(TfMode::Normalized),
+            1 => Ok(TfMode::Raw),
+            2 => Ok(TfMode::Sublinear),
+            b => Err(codec::CodecError::new(format!("unknown TfMode tag {b}"))),
+        }
+    }
+}
+
+impl codec::BinCodec for IdfMode {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_u8(
+            out,
+            match self {
+                IdfMode::Standard => 0,
+                IdfMode::Smooth => 1,
+                IdfMode::Unit => 2,
+            },
+        );
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        match r.get_u8()? {
+            0 => Ok(IdfMode::Standard),
+            1 => Ok(IdfMode::Smooth),
+            2 => Ok(IdfMode::Unit),
+            b => Err(codec::CodecError::new(format!("unknown IdfMode tag {b}"))),
+        }
+    }
+}
+
+impl codec::BinCodec for TfIdfOptions {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        self.tf.encode_bin(out);
+        self.idf.encode_bin(out);
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        Ok(TfIdfOptions {
+            tf: TfMode::decode_bin(r)?,
+            idf: IdfMode::decode_bin(r)?,
+        })
+    }
+}
+
+// Same field set as the JSON surface (`MODEL_FIELDS`): the in-memory caches
+// stay off the wire and are rebuilt conservatively stale on decode, exactly
+// like `Deserialize::from_value`.
+impl codec::BinCodec for TfIdfModel {
+    fn encode_bin(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.dim);
+        codec::put_usize(out, self.num_docs);
+        codec::put_u32s(out, &self.doc_freq);
+        codec::put_f64s(out, &self.idf);
+        self.options.encode_bin(out);
+    }
+
+    fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        let dim = r.get_usize()?;
+        let num_docs = r.get_usize()?;
+        let doc_freq = r.get_u32s()?;
+        let idf = r.get_f64s()?;
+        let options = TfIdfOptions::decode_bin(r)?;
+        if doc_freq.len() != dim || idf.len() != dim {
+            return Err(codec::CodecError::new(format!(
+                "TfIdfModel arrays disagree with dim {dim}: {} doc_freq, {} idf",
+                doc_freq.len(),
+                idf.len()
+            )));
+        }
+        Ok(TfIdfModel {
+            dim,
+            num_docs,
+            doc_freq,
+            idf,
+            options,
+            ln_df: vec![f64::NAN; dim],
+            drift_clean: false,
+        })
     }
 }
 
