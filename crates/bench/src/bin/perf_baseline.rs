@@ -68,8 +68,10 @@ struct Reference {
 /// published concurrent search), and the crash-consistency refactor
 /// (write-ahead log + atomic checkpoints + torn-tail recovery), and
 /// the binary-codec refactor (v5 per-section binary envelope, binary
-/// WAL payloads into a reused append buffer, slice-by-8 CRC32).
-const REFERENCES: [Reference; 22] = [
+/// WAL payloads into a reused append buffer, slice-by-8 CRC32), and
+/// the block-max refactor (blocked postings with per-block maxima,
+/// galloping block-aligned seek, opt-in 8-bit quantized impacts).
+const REFERENCES: [Reference; 24] = [
     Reference {
         name: "kmeans/k3_300pts_3815d",
         note: "pre-refactor (sub()-allocating kernels)",
@@ -114,6 +116,16 @@ const REFERENCES: [Reference; 22] = [
         name: "search/top10_of_10k_probe40",
         note: "post (WAND/MaxScore early-exit, 1.75x)",
         ns_per_iter: 194_756.0,
+    },
+    Reference {
+        name: "search/top10_of_10k_block_max",
+        note: "post block-max refactor (blocked postings + galloping seek, 1.70x vs WAND pin)",
+        ns_per_iter: 114_460.0,
+    },
+    Reference {
+        name: "search/top10_of_10k_block_max_int8",
+        note: "post block-max refactor (8-bit quantized impacts, 2.3x smaller resident postings)",
+        ns_per_iter: 115_308.0,
     },
     Reference {
         name: "kmeans/assign_10k",
@@ -554,6 +566,47 @@ fn main() {
     push(
         "search/top10_of_10k_wand",
         format!("n={big_docs} dim=3815 classes={classes} probe=40"),
+        iters,
+        ns,
+    );
+    // Block-max WAND over the same corpus/probe: per-block maxima let
+    // the dense syndrome probe skip whole blocks of the ubiquitous
+    // daemon-noise postings instead of binary-searching through them.
+    let (iters, ns) = time_case(budget_ms, 20, || {
+        class_index
+            .search_block_max(&class_query, 10, &mut class_scratch)
+            .unwrap()
+    });
+    push(
+        "search/top10_of_10k_block_max",
+        format!(
+            "n={big_docs} dim=3815 classes={classes} probe=40 block={}",
+            InvertedIndex::BLOCK_SIZE
+        ),
+        iters,
+        ns,
+    );
+    // The same search with 8-bit quantized impacts: ~4x smaller postings
+    // working set at a half-step rounding cost per weight.
+    let flat_bytes = class_index.postings_resident_bytes();
+    let mut quant_index = class_index.clone();
+    quant_index.set_quantization(fmeter_ir::QuantizationMode::Int8);
+    let quant_bytes = quant_index.postings_resident_bytes();
+    println!(
+        "postings resident bytes: flat={flat_bytes} int8={quant_bytes} ({:.2}x smaller)",
+        flat_bytes as f64 / quant_bytes as f64
+    );
+    let (iters, ns) = time_case(budget_ms, 20, || {
+        quant_index
+            .search_block_max(&class_query, 10, &mut class_scratch)
+            .unwrap()
+    });
+    push(
+        "search/top10_of_10k_block_max_int8",
+        format!(
+            "n={big_docs} dim=3815 classes={classes} probe=40 block={}",
+            InvertedIndex::BLOCK_SIZE
+        ),
         iters,
         ns,
     );

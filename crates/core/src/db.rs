@@ -640,11 +640,28 @@ impl SignatureDb {
         self.model.transform(counts)
     }
 
+    /// How the index stores its compacted posting weights (see
+    /// [`fmeter_ir::QuantizationMode`]).
+    pub fn quantization(&self) -> fmeter_ir::QuantizationMode {
+        self.index.quantization()
+    }
+
+    /// Switches the index's compacted posting weights between exact
+    /// `f64` and 8-bit quantized storage (~4x smaller resident
+    /// postings, per-weight error at most half a quantization step —
+    /// see [`InvertedIndex::set_quantization`]). The mode survives
+    /// vacuums, refits, and v6+ saves; saving as an older format
+    /// version downgrades to the dequantized `f64` weights.
+    pub fn set_quantization(&mut self, mode: fmeter_ir::QuantizationMode) {
+        self.index.set_quantization(mode);
+    }
+
     /// Finds the `k` most similar stored signatures to a fresh interval.
     ///
     /// Goes through [`InvertedIndex::search`], which at database scale
-    /// dispatches to the WAND early-exit top-k (per-term impact bounds
-    /// skip every signature that cannot reach the current k-th best
+    /// dispatches to the block-max WAND early-exit top-k (per-term
+    /// impact bounds pick the pivot, per-block maxima skip whole
+    /// posting blocks that cannot reach the current k-th best
     /// similarity). For a steady query stream, prefer
     /// [`search_with`](Self::search_with) with a long-lived scratch.
     ///
@@ -876,6 +893,30 @@ mod tests {
             SignatureDb::build(&[]),
             Err(FmeterError::NoSignatures)
         ));
+    }
+
+    #[test]
+    fn quantization_survives_save_load_and_vacuum() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.set_quantization(fmeter_ir::QuantizationMode::Int8);
+        assert_eq!(db.quantization(), fmeter_ir::QuantizationMode::Int8);
+        // Vacuums rewrite the flat postings; the mode must persist.
+        db.remove(0).unwrap();
+        db.vacuum();
+        assert_eq!(db.quantization(), fmeter_ir::QuantizationMode::Int8);
+        // And so must a current-version save/load round trip.
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let back = SignatureDb::load(&bytes[..]).unwrap();
+        assert_eq!(back.quantization(), fmeter_ir::QuantizationMode::Int8);
+        let probe = TermCounts::from_dense(&[48, 41, 29, 22, 0, 0, 0, 0]);
+        let a = db.search(&probe, 3).unwrap();
+        let b = back.search(&probe, 3).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((s1, sc1), (s2, sc2)) in a.iter().zip(&b) {
+            assert_eq!(s1.label, s2.label);
+            assert_eq!(sc1.to_bits(), sc2.to_bits());
+        }
     }
 
     #[test]

@@ -74,7 +74,7 @@ use crate::{FmeterError, RefitPolicy, Signature, SignatureDb, VacuumPolicy};
 pub const MAGIC: &str = "FMETERDB";
 
 /// The format version [`SignatureDb::save`] writes.
-pub const CURRENT_FORMAT_VERSION: u32 = 5;
+pub const CURRENT_FORMAT_VERSION: u32 = 6;
 
 /// One entry of the on-disk format history.
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +124,13 @@ pub const FORMAT_VERSIONS: &[FormatVersion] = &[
                   `bin`; the model / corpus / signatures / index payloads switch \
                   to the length-prefixed little-endian binary codec, the state and \
                   sharding sections stay JSON, checksums are unchanged",
+    },
+    FormatVersion {
+        version: 6,
+        summary: "the index section gains block-max metadata (block size, per-term \
+                  block offsets, per-block max impacts) and the quantization \
+                  extension (mode tag, per-term scale/offset, u8 impacts); every \
+                  other section is byte-identical to v5",
     },
 ];
 
@@ -421,8 +428,17 @@ fn encode_sharded(db: &SignatureDb, num_shards: usize, version: u32) -> Envelope
         .to_value()
     };
     // v5 and later carry the heavy sections in the binary codec; older
-    // versions keep the JSON value trees their fixtures pin.
+    // versions keep the JSON value trees their fixtures pin. Within the
+    // binary era, v5 pins the legacy flat-postings index layout and v6
+    // the block-max/quantization one.
     let mut sections = if version >= 5 {
+        let index_bytes = if version >= 6 {
+            fmeter_ir::codec::encode_to_vec(&db.index)
+        } else {
+            let mut out = Vec::new();
+            db.index.encode_bin_legacy(&mut out);
+            out
+        };
         vec![
             (
                 SEC_MODEL.to_string(),
@@ -436,10 +452,7 @@ fn encode_sharded(db: &SignatureDb, num_shards: usize, version: u32) -> Envelope
                 SEC_SIGNATURES.to_string(),
                 Section::Bin(fmeter_ir::codec::encode_to_vec(&db.signatures)),
             ),
-            (
-                SEC_INDEX.to_string(),
-                Section::Bin(fmeter_ir::codec::encode_to_vec(&db.index)),
-            ),
+            (SEC_INDEX.to_string(), Section::Bin(index_bytes)),
             (SEC_STATE.to_string(), Section::Parsed(state)),
         ]
     } else {
@@ -743,6 +756,7 @@ const MIGRATIONS: &[(u32, Migration)] = &[
     (2, migrate_v2_to_v3),
     (3, migrate_v3_to_v4),
     (4, migrate_v4_to_v5),
+    (5, migrate_v5_to_v6),
 ];
 
 /// v1 → v2: the state section gains the vacuum policy (default:
@@ -804,6 +818,30 @@ fn migrate_v4_to_v5(env: &mut Envelope) -> Result<(), FmeterError> {
         Section::Bin(fmeter_ir::codec::encode_to_vec(&signatures)),
     );
     let index: InvertedIndex = section_as(env, SEC_INDEX)?;
+    let mut index_bytes = Vec::new();
+    index.encode_bin_legacy(&mut index_bytes);
+    env.replace_with(SEC_INDEX, Section::Bin(index_bytes));
+    Ok(())
+}
+
+/// v5 → v6: the index section gains block-max metadata and the
+/// quantization extension. Only the index payload is rewritten — it is
+/// decoded from the legacy flat layout (which rebuilds the block
+/// metadata from the postings) and re-encoded in the v6 layout; every
+/// other section's bytes pass through untouched.
+fn migrate_v5_to_v6(env: &mut Envelope) -> Result<(), FmeterError> {
+    let bytes = match env.section(SEC_INDEX)? {
+        Section::Bin(bytes) => bytes.clone(),
+        _ => {
+            return Err(FmeterError::Persist(
+                "v5 index section is not binary".to_string(),
+            ))
+        }
+    };
+    let mut r = fmeter_ir::codec::Reader::new(&bytes);
+    let index = InvertedIndex::decode_bin_legacy(&mut r)
+        .and_then(|idx| r.finish().map(|()| idx))
+        .map_err(|e| FmeterError::Persist(format!("migrating index section to v6: {e}")))?;
     env.replace_with(
         SEC_INDEX,
         Section::Bin(fmeter_ir::codec::encode_to_vec(&index)),

@@ -167,6 +167,12 @@ pub fn put_bools(out: &mut Vec<u8>, vs: &[bool]) {
     }
 }
 
+/// Append a raw byte slice as a `u64` count followed by the bytes.
+pub fn put_bytes(out: &mut Vec<u8>, vs: &[u8]) {
+    put_usize(out, vs.len());
+    out.extend_from_slice(vs);
+}
+
 // ---------------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------------
@@ -326,6 +332,12 @@ impl<'a> Reader<'a> {
             out.push(self.get_usize()?);
         }
         Ok(out)
+    }
+
+    /// Read a length-prefixed raw byte array written by [`put_bytes`].
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let count = self.array_len(1)?;
+        Ok(self.take(count)?.to_vec())
     }
 
     /// Read a length-prefixed `bool` array (one byte per element).

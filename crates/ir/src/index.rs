@@ -103,6 +103,16 @@ struct WandCursor {
     flat_lo: usize,
     /// Length of the term's flat postings (`pos >= flat_len` ⇒ tail).
     flat_len: usize,
+    /// The most a *block*-level bound can undercut `bound` anywhere in
+    /// the list: `bound - |qw| * min(block maxima)`, clamped to zero.
+    /// Lets block-max search prove — from the cursor alone — that
+    /// reading the block metadata cannot change a descend decision.
+    refine: f64,
+    /// The term's dequantization scale (`Int8` mode; zero otherwise),
+    /// cached so the advance hot loop never chases `scale[term]`.
+    dq_scale: f64,
+    /// The term's dequantization offset (`Int8` mode; zero otherwise).
+    dq_off: f64,
 }
 
 /// Absolute slack subtracted from the top-k threshold before a WAND skip:
@@ -112,6 +122,51 @@ struct WandCursor {
 /// `[-1, 1]`, so 1e-9 dwarfs the accumulation error while costing
 /// essentially no pruning power.
 const WAND_SLACK: f64 = 1e-9;
+
+/// How the flat (compacted) posting weights are stored.
+///
+/// Tail postings — inserts since the last compaction — always keep exact
+/// `f64` weights; the mode governs only the flat buffer, which holds the
+/// bulk of a compacted index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QuantizationMode {
+    /// Exact IEEE-754 `f64` weights. Every search path is bit-identical
+    /// to [`InvertedIndex::search_exhaustive`] over the same postings.
+    #[default]
+    Off,
+    /// 8-bit per-term linear quantization: term `t`'s flat weights are
+    /// stored as `u8` codes `q` decoding to `qoffset[t] + scale[t] * q`,
+    /// with `qoffset[t]` the smallest weight under the term and
+    /// `scale[t]` spanning the weight range in 255 steps. Shrinks the
+    /// flat weight buffer 8x (plus 16 bytes per term of parameters) at a
+    /// per-weight error of at most `scale[t] / 2` — about 0.2% of the
+    /// term's weight spread. Searches remain bit-identical to
+    /// [`InvertedIndex::search_exhaustive`] *over the same quantized
+    /// index*; versus an unquantized index the scores shift slightly,
+    /// which is why the quantized path is gated on recall, not bitwise
+    /// equality.
+    Int8,
+}
+
+impl QuantizationMode {
+    /// Stable wire tag for the v6 binary codec.
+    fn tag(self) -> u8 {
+        match self {
+            QuantizationMode::Off => 0,
+            QuantizationMode::Int8 => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, codec::CodecError> {
+        match tag {
+            0 => Ok(QuantizationMode::Off),
+            1 => Ok(QuantizationMode::Int8),
+            t => Err(codec::CodecError::new(format!(
+                "invalid quantization mode tag {t:#04x}"
+            ))),
+        }
+    }
+}
 
 impl SearchScratch {
     /// Creates an empty scratch; buffers grow to the index size on first
@@ -167,12 +222,22 @@ impl SearchScratch {
 /// posting instead of a pointer-chased 16). Fresh inserts land in small
 /// per-term tail lists and are folded into the flat buffer by geometric
 /// compaction, keeping `insert` amortised O(nnz).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// The flat buffer is additionally carved into fixed-size *blocks* of
+/// [`BLOCK_SIZE`](Self::BLOCK_SIZE) postings (per term, so a block never
+/// spans terms), each carrying the max `|weight|` of its postings. These
+/// shallow bounds let [`search_block_max`](Self::search_block_max) skip
+/// whole blocks that the per-term bound alone cannot rule out. Flat
+/// weights can optionally be stored 8-bit quantized — see
+/// [`QuantizationMode`].
+#[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     dim: usize,
     /// Flat compacted postings: term `t` owns `docs[offsets[t]..offsets[t+1]]`.
     offsets: Vec<usize>,
     docs: Vec<u32>,
+    /// Flat weights in [`QuantizationMode::Off`]; empty in `Int8` mode
+    /// (the weights live in `qweights` instead).
     weights: Vec<f64>,
     /// Per-term postings inserted since the last compaction.
     tail: Vec<PostingList>,
@@ -195,6 +260,26 @@ pub struct InvertedIndex {
     /// Tombstoned docs whose postings still sit in the buffers (purge
     /// trigger).
     dead_unpurged: usize,
+    /// Storage mode of the flat weights (tails are always exact `f64`).
+    quantization: QuantizationMode,
+    /// Quantized flat weights, parallel to `docs` (`Int8` mode only;
+    /// empty in `Off` mode).
+    qweights: Vec<u8>,
+    /// Per-term quantization step (`Int8` mode only, else empty).
+    scale: Vec<f64>,
+    /// Per-term quantization origin — the smallest flat weight under the
+    /// term (`Int8` mode only, else empty).
+    qoffset: Vec<f64>,
+    /// Per-term prefix into `block_max`: term `t` owns blocks
+    /// `block_starts[t]..block_starts[t + 1]`, one per
+    /// [`BLOCK_SIZE`](Self::BLOCK_SIZE) flat postings (the last block may
+    /// be shorter). Rebuilt on every flat rewrite, so it always equals a
+    /// recompute from the buffers.
+    block_starts: Vec<usize>,
+    /// Per-block max `|weight|` over the block's *stored* flat postings
+    /// (dequantized values in `Int8` mode) — the shallow bound
+    /// [`search_block_max`](Self::search_block_max) skips with.
+    block_max: Vec<f64>,
 }
 
 /// One term's not-yet-compacted postings, as parallel arrays.
@@ -204,10 +289,24 @@ struct PostingList {
     weights: Vec<f64>,
 }
 
-/// A term's postings as parallel `(docs, weights)` slices.
-type PostingSlices<'a> = (&'a [u32], &'a [f64]);
+/// Quantizes `w` onto the term's 8-bit grid (`0` when the term's weights
+/// are all equal, i.e. `scale == 0`).
+#[inline]
+fn quantize(w: f64, scale: f64, offset: f64) -> u8 {
+    if scale == 0.0 {
+        return 0;
+    }
+    ((w - offset) / scale).round().clamp(0.0, 255.0) as u8
+}
 
 impl InvertedIndex {
+    /// Number of flat postings per block-max block. Blocks never span
+    /// terms: term `t`'s flat range is carved into `ceil(len / 128)`
+    /// blocks, the last possibly short. 128 postings keep the block
+    /// metadata at ~1/128th of the posting payload while still letting
+    /// dense-term skips drop hundreds of postings at a time.
+    pub const BLOCK_SIZE: usize = 128;
+
     /// Creates an empty index over a `dim`-term space.
     pub fn new(dim: usize) -> Self {
         InvertedIndex {
@@ -222,6 +321,12 @@ impl InvertedIndex {
             removed: Vec::new(),
             num_removed: 0,
             dead_unpurged: 0,
+            quantization: QuantizationMode::Off,
+            qweights: Vec::new(),
+            scale: Vec::new(),
+            qoffset: Vec::new(),
+            block_starts: vec![0; dim + 1],
+            block_max: Vec::new(),
         }
     }
 
@@ -312,28 +417,28 @@ impl InvertedIndex {
         let mut weights = Vec::with_capacity(total);
         offsets.push(0);
         for t in 0..self.dim {
-            let mut impact = 0.0f64;
             let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+            for i in lo..hi {
+                let d = self.docs[i];
+                if !self.removed[d as usize] {
+                    docs.push(d);
+                    weights.push(self.flat_weight(t, i));
+                }
+            }
             let list = &mut self.tail[t];
-            let flat = self.docs[lo..hi].iter().zip(&self.weights[lo..hi]);
-            let tail = list.docs.iter().zip(&list.weights);
-            for (&d, &w) in flat.chain(tail) {
+            for (&d, &w) in list.docs.iter().zip(&list.weights) {
                 if !self.removed[d as usize] {
                     docs.push(d);
                     weights.push(w);
-                    impact = impact.max(w.abs());
                 }
             }
             list.docs.clear();
             list.weights.clear();
             offsets.push(docs.len());
-            self.max_impact[t] = impact;
         }
-        self.offsets = offsets;
-        self.docs = docs;
-        self.weights = weights;
         self.tail_len = 0;
         self.dead_unpurged = 0;
+        self.install_flat(offsets, docs, weights);
     }
 
     /// Fully compacts the postings into the flat buffer.
@@ -364,16 +469,20 @@ impl InvertedIndex {
         for t in 0..self.dim {
             let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
             docs.extend_from_slice(&self.docs[lo..hi]);
-            weights.extend_from_slice(&self.weights[lo..hi]);
+            match self.quantization {
+                QuantizationMode::Off => weights.extend_from_slice(&self.weights[lo..hi]),
+                QuantizationMode::Int8 => {
+                    let (s, o) = (self.scale[t], self.qoffset[t]);
+                    weights.extend(self.qweights[lo..hi].iter().map(|&q| o + s * f64::from(q)));
+                }
+            }
             let list = &mut self.tail[t];
             docs.append(&mut list.docs);
             weights.append(&mut list.weights);
             offsets.push(docs.len());
         }
-        self.offsets = offsets;
-        self.docs = docs;
-        self.weights = weights;
         self.tail_len = 0;
+        self.install_flat(offsets, docs, weights);
     }
 
     /// Replaces every posting with the given live vectors in one pass —
@@ -400,7 +509,6 @@ impl InvertedIndex {
         I: IntoIterator<Item = (DocId, &'a SparseVec)>,
     {
         let mut lists: Vec<PostingList> = vec![PostingList::default(); self.dim];
-        let mut max_impact = vec![0.0f64; self.dim];
         let mut prev: Option<DocId> = None;
         for (doc, vector) in live {
             if !self.is_live(doc) || prev.is_some_and(|p| p >= doc) {
@@ -417,8 +525,6 @@ impl InvertedIndex {
                 let list = &mut lists[t as usize];
                 list.docs.push(doc as u32);
                 list.weights.push(w);
-                let impact = &mut max_impact[t as usize];
-                *impact = impact.max(w.abs());
             }
         }
         let total: usize = lists.iter().map(|l| l.docs.len()).sum();
@@ -431,13 +537,10 @@ impl InvertedIndex {
             weights.append(&mut list.weights);
             offsets.push(docs.len());
         }
-        self.offsets = offsets;
-        self.docs = docs;
-        self.weights = weights;
         self.tail = lists;
         self.tail_len = 0;
-        self.max_impact = max_impact;
         self.dead_unpurged = 0;
+        self.install_flat(offsets, docs, weights);
         Ok(())
     }
 
@@ -478,47 +581,178 @@ impl InvertedIndex {
         let mut weights = Vec::with_capacity(total);
         offsets.push(0);
         for t in 0..self.dim {
-            let mut impact = 0.0f64;
             let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
-            let list = &mut self.tail[t];
-            let flat = self.docs[lo..hi].iter().zip(&self.weights[lo..hi]);
-            let tail = list.docs.iter().zip(&list.weights);
-            for (&d, &w) in flat.chain(tail) {
+            for i in lo..hi {
                 // remap is monotone over live docs, so mapped ids stay
                 // ascending within the term's postings.
+                if let Some(new) = remap[self.docs[i] as usize] {
+                    docs.push(new as u32);
+                    weights.push(self.flat_weight(t, i));
+                }
+            }
+            let list = &mut self.tail[t];
+            for (&d, &w) in list.docs.iter().zip(&list.weights) {
                 if let Some(new) = remap[d as usize] {
                     docs.push(new as u32);
                     weights.push(w);
-                    impact = impact.max(w.abs());
                 }
             }
             list.docs.clear();
             list.weights.clear();
             offsets.push(docs.len());
-            self.max_impact[t] = impact;
         }
-        self.offsets = offsets;
-        self.docs = docs;
-        self.weights = weights;
         self.tail_len = 0;
         self.num_docs = live;
         self.removed.clear();
         self.removed.resize(live, false);
         self.num_removed = 0;
         self.dead_unpurged = 0;
+        self.install_flat(offsets, docs, weights);
         Ok(())
     }
 
-    /// Term `t`'s postings as `(flat, tail)` slice pairs; doc ids ascend
-    /// across the concatenation because tail postings are always newer.
+    /// Installs a rewritten flat posting stream (exact `f64` weights)
+    /// under the current quantization mode and recomputes every piece of
+    /// derived state from the stored values: the per-term quantization
+    /// parameters (`Int8`), the per-block max impacts, and the per-term
+    /// max-impact bounds (over the stored flat weights plus whatever
+    /// tail postings remain).
+    ///
+    /// Every flat rewrite funnels through here, so the maintained block
+    /// metadata always equals a recompute from the buffers — the
+    /// invariant the codec round-trip suite pins bitwise.
+    fn install_flat(&mut self, offsets: Vec<usize>, docs: Vec<u32>, weights: Vec<f64>) {
+        debug_assert_eq!(offsets.len(), self.dim + 1);
+        debug_assert_eq!(docs.len(), weights.len());
+        self.offsets = offsets;
+        self.docs = docs;
+        match self.quantization {
+            QuantizationMode::Off => {
+                self.weights = weights;
+                self.qweights = Vec::new();
+                self.scale = Vec::new();
+                self.qoffset = Vec::new();
+            }
+            QuantizationMode::Int8 => {
+                self.scale = vec![0.0; self.dim];
+                self.qoffset = vec![0.0; self.dim];
+                let mut qweights = Vec::with_capacity(weights.len());
+                for t in 0..self.dim {
+                    let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+                    if lo == hi {
+                        continue;
+                    }
+                    // Per-term linear grid: origin at the smallest weight,
+                    // 255 steps to the largest. The extremes quantize
+                    // exactly (codes 0 and 255), everything else rounds to
+                    // the nearest step — error at most `scale / 2`.
+                    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for &w in &weights[lo..hi] {
+                        min = min.min(w);
+                        max = max.max(w);
+                    }
+                    let scale = (max - min) / 255.0;
+                    self.qoffset[t] = min;
+                    self.scale[t] = scale;
+                    for &w in &weights[lo..hi] {
+                        qweights.push(quantize(w, scale, min));
+                    }
+                }
+                self.qweights = qweights;
+                self.weights = Vec::new();
+            }
+        }
+        self.rebuild_blocks();
+        self.recompute_max_impact();
+    }
+
+    /// Rebuilds `block_starts`/`block_max` from the flat buffers: one
+    /// block per [`BLOCK_SIZE`](Self::BLOCK_SIZE) postings within each
+    /// term's range, each holding the max `|stored weight|` of its
+    /// postings.
+    fn rebuild_blocks(&mut self) {
+        let mut starts = Vec::with_capacity(self.dim + 1);
+        starts.push(0usize);
+        let mut maxima = Vec::with_capacity(self.docs.len().div_ceil(Self::BLOCK_SIZE));
+        for t in 0..self.dim {
+            let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+            for b in 0..(hi - lo).div_ceil(Self::BLOCK_SIZE) {
+                let s = lo + b * Self::BLOCK_SIZE;
+                let e = (s + Self::BLOCK_SIZE).min(hi);
+                let mut m = 0.0f64;
+                match self.quantization {
+                    QuantizationMode::Off => {
+                        for &w in &self.weights[s..e] {
+                            m = m.max(w.abs());
+                        }
+                    }
+                    QuantizationMode::Int8 => {
+                        let (sc, o) = (self.scale[t], self.qoffset[t]);
+                        for &q in &self.qweights[s..e] {
+                            m = m.max((o + sc * f64::from(q)).abs());
+                        }
+                    }
+                }
+                maxima.push(m);
+            }
+            starts.push(maxima.len());
+        }
+        self.block_starts = starts;
+        self.block_max = maxima;
+    }
+
+    /// Recomputes the per-term max-impact bounds from the stored
+    /// postings: the block maxima already cover the flat buffer, so this
+    /// folds them with the exact tail weights.
+    fn recompute_max_impact(&mut self) {
+        for t in 0..self.dim {
+            let mut m = 0.0f64;
+            for &bm in &self.block_max[self.block_starts[t]..self.block_starts[t + 1]] {
+                m = m.max(bm);
+            }
+            for &w in &self.tail[t].weights {
+                m = m.max(w.abs());
+            }
+            self.max_impact[t] = m;
+        }
+    }
+
+    /// The stored weight at flat position `i` under `term` (dequantized
+    /// in `Int8` mode).
     #[inline]
-    fn term_postings(&self, t: usize) -> (PostingSlices<'_>, PostingSlices<'_>) {
+    fn flat_weight(&self, term: usize, i: usize) -> f64 {
+        match self.quantization {
+            QuantizationMode::Off => self.weights[i],
+            QuantizationMode::Int8 => {
+                self.qoffset[term] + self.scale[term] * f64::from(self.qweights[i])
+            }
+        }
+    }
+
+    /// Streams term `t`'s postings — flat (stored weights, dequantized
+    /// in `Int8` mode) then tail — to `f(doc, weight)`. The mode branch
+    /// is taken once per term, not per posting, so the `Off` path stays
+    /// the tight two-slice zip it always was.
+    #[inline]
+    fn for_each_posting(&self, t: usize, mut f: impl FnMut(u32, f64)) {
         let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+        match self.quantization {
+            QuantizationMode::Off => {
+                for (&d, &w) in self.docs[lo..hi].iter().zip(&self.weights[lo..hi]) {
+                    f(d, w);
+                }
+            }
+            QuantizationMode::Int8 => {
+                let (s, o) = (self.scale[t], self.qoffset[t]);
+                for (&d, &q) in self.docs[lo..hi].iter().zip(&self.qweights[lo..hi]) {
+                    f(d, o + s * f64::from(q));
+                }
+            }
+        }
         let list = &self.tail[t];
-        (
-            (&self.docs[lo..hi], &self.weights[lo..hi]),
-            (&list.docs, &list.weights),
-        )
+        for (&d, &w) in list.docs.iter().zip(&list.weights) {
+            f(d, w);
+        }
     }
 
     /// Number of doc ids ever assigned, including tombstoned ones (the
@@ -563,10 +797,11 @@ impl InvertedIndex {
     /// repeated queries perform no per-document allocations.
     ///
     /// Dispatches between two scoring strategies that return identical
-    /// results: WAND early-exit top-k
-    /// ([`search_wand`](Self::search_wand)) when the corpus is large and
-    /// `k` is a small fraction of it, and exhaustive accumulation
-    /// ([`search_exhaustive`](Self::search_exhaustive)) otherwise.
+    /// results: block-max WAND early-exit top-k
+    /// ([`search_block_max`](Self::search_block_max)) when the corpus is
+    /// large and `k` is a small fraction of it, and exhaustive
+    /// accumulation ([`search_exhaustive`](Self::search_exhaustive))
+    /// otherwise.
     ///
     /// # Errors
     ///
@@ -578,17 +813,18 @@ impl InvertedIndex {
         k: usize,
         scratch: &mut SearchScratch,
     ) -> Result<Vec<SearchHit>, IrError> {
-        // WAND pays off for selective queries over large corpora: few
-        // terms (so per-candidate cursor bookkeeping stays small and the
-        // bound sum can actually drop below the top-k bar) and a small k.
-        // Dense whole-signature queries keep the exhaustive accumulator —
-        // with hundreds of terms the cumulative bound almost never prunes
-        // and DAAT degenerates to a slower exhaustive pass.
+        // Document-at-a-time pruning pays off for selective queries over
+        // large corpora: few terms (so per-candidate cursor bookkeeping
+        // stays small and the bound sum can actually drop below the
+        // top-k bar) and a small k. Dense whole-signature queries keep
+        // the exhaustive accumulator — with hundreds of terms the
+        // cumulative bound almost never prunes and DAAT degenerates to a
+        // slower exhaustive pass.
         if self.num_docs >= 4096
             && k.saturating_mul(8) <= self.num_docs
             && query.nnz().saturating_mul(32) <= self.num_docs
         {
-            self.search_wand(query, k, scratch)
+            self.search_block_max(query, k, scratch)
         } else {
             self.search_exhaustive(query, k, scratch)
         }
@@ -658,12 +894,9 @@ impl InvertedIndex {
             scores.fill(0.0);
             for (t, qw) in query.iter() {
                 let qw = qw * inv_norm;
-                let (flat, tail) = self.term_postings(t as usize);
-                for part in [flat, tail] {
-                    for (&doc, &dw) in part.0.iter().zip(part.1) {
-                        scores[doc as usize] += qw * dw;
-                    }
-                }
+                self.for_each_posting(t as usize, |doc, dw| {
+                    scores[doc as usize] += qw * dw;
+                });
             }
             for (doc, &score) in scores.iter().enumerate() {
                 push_hit(doc, score);
@@ -672,24 +905,24 @@ impl InvertedIndex {
             // Sparse mode: few candidates — track membership with the
             // epoch stamp (not the score, which can transiently cancel to
             // exactly 0.0 and must not re-enter the candidate list).
+            let stamps = &mut scratch.stamps;
+            let scores = &mut scratch.scores;
+            let touched = &mut scratch.touched;
             for (t, qw) in query.iter() {
                 let qw = qw * inv_norm;
-                let (flat, tail) = self.term_postings(t as usize);
-                for part in [flat, tail] {
-                    for (&doc, &dw) in part.0.iter().zip(part.1) {
-                        let doc = doc as usize;
-                        if scratch.stamps[doc] != epoch {
-                            scratch.stamps[doc] = epoch;
-                            scratch.scores[doc] = qw * dw;
-                            scratch.touched.push(doc);
-                        } else {
-                            scratch.scores[doc] += qw * dw;
-                        }
+                self.for_each_posting(t as usize, |doc, dw| {
+                    let doc = doc as usize;
+                    if stamps[doc] != epoch {
+                        stamps[doc] = epoch;
+                        scores[doc] = qw * dw;
+                        touched.push(doc);
+                    } else {
+                        scores[doc] += qw * dw;
                     }
-                }
+                });
             }
-            for &doc in &scratch.touched {
-                push_hit(doc, scratch.scores[doc]);
+            for &doc in touched.iter() {
+                push_hit(doc, scores[doc]);
             }
         }
         let mut hits: Vec<SearchHit> = heap
@@ -769,6 +1002,15 @@ impl InvertedIndex {
                 doc: 0,
                 flat_lo,
                 flat_len: self.offsets[t as usize + 1] - flat_lo,
+                refine: 0.0,
+                dq_scale: match self.quantization {
+                    QuantizationMode::Off => 0.0,
+                    QuantizationMode::Int8 => self.scale[t as usize],
+                },
+                dq_off: match self.quantization {
+                    QuantizationMode::Off => 0.0,
+                    QuantizationMode::Int8 => self.qoffset[t as usize],
+                },
             };
             cursor.doc = self.cursor_doc(&cursor);
             scratch.cursors.push(cursor);
@@ -905,6 +1147,267 @@ impl InvertedIndex {
         Ok(hits)
     }
 
+    /// Block-max WAND top-k (BMW over the MaxScore cursor split): the
+    /// same essential/non-essential traversal as
+    /// [`search_wand`](Self::search_wand), with one extra *shallow* test
+    /// before a candidate is scored. The per-term bounds pick the pivot;
+    /// the current blocks' maxima then refine the pivot's score bound,
+    /// and when even that refined bound cannot reach the top-k bar the
+    /// search skips straight past the shortest matching block — pruning
+    /// a whole block of postings (up to [`BLOCK_SIZE`](Self::BLOCK_SIZE)
+    /// per matching term) with a handful of comparisons, where plain
+    /// WAND would have descended and scored posting by posting.
+    ///
+    /// The skip is sound because every document before the skip target is
+    /// covered by the very bounds that were summed: non-essential terms
+    /// by their term-level prefix bound, matching essential cursors by
+    /// their current block's maximum (the target never passes a matching
+    /// block's end), and the remaining essential cursors hold no
+    /// documents below the target at all.
+    ///
+    /// Candidates that survive the shallow test are scored by exactly
+    /// the code [`search_wand`](Self::search_wand) uses, so the result
+    /// is bit-identical to
+    /// [`search_exhaustive`](Self::search_exhaustive) over the same
+    /// index — in *any* [`QuantizationMode`] (a quantized index shifts
+    /// what the stored weights are, not how they are scored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DimensionMismatch`] when the query dimension
+    /// differs from the index dimension.
+    pub fn search_block_max(
+        &self,
+        query: &SparseVec,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<SearchHit>, IrError> {
+        if query.dim() != self.dim {
+            return Err(IrError::DimensionMismatch {
+                left: self.dim,
+                right: query.dim(),
+            });
+        }
+        if k == 0 || self.num_docs == 0 {
+            return Ok(Vec::new());
+        }
+        let query_norm = query.norm_l2();
+        if query_norm == 0.0 {
+            return Ok(Vec::new());
+        }
+        let inv_norm = 1.0 / query_norm;
+        scratch.cursors.clear();
+        for (t, qw) in query.iter() {
+            let len = self.posting_len(t);
+            if len == 0 {
+                continue;
+            }
+            let qw = qw * inv_norm;
+            let flat_lo = self.offsets[t as usize];
+            let mut cursor = WandCursor {
+                term: t,
+                qw,
+                bound: qw.abs() * self.max_impact[t as usize],
+                pos: 0,
+                len,
+                doc: 0,
+                flat_lo,
+                flat_len: self.offsets[t as usize + 1] - flat_lo,
+                refine: 0.0,
+                dq_scale: match self.quantization {
+                    QuantizationMode::Off => 0.0,
+                    QuantizationMode::Int8 => self.scale[t as usize],
+                },
+                dq_off: match self.quantization {
+                    QuantizationMode::Off => 0.0,
+                    QuantizationMode::Int8 => self.qoffset[t as usize],
+                },
+            };
+            cursor.doc = self.cursor_doc(&cursor);
+            // How much tighter this term's *block* maxima can get than
+            // its term bound, at best. One contiguous scan per query
+            // term; per pivot it makes "would the block metadata even
+            // matter?" a cursor-local question.
+            let (bs, be) = (
+                self.block_starts[t as usize],
+                self.block_starts[t as usize + 1],
+            );
+            if be > bs {
+                let min_bm = self.block_max[bs..be]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                cursor.refine = (cursor.bound - qw.abs() * min_bm).max(0.0);
+            }
+            scratch.cursors.push(cursor);
+        }
+        let cursors = &mut scratch.cursors;
+        let touched = &mut scratch.touched_cursors;
+        let contrib = &mut scratch.contrib;
+        let prefix_bounds = &mut scratch.prefix_bounds;
+        cursors.sort_unstable_by(|a, b| a.bound.total_cmp(&b.bound).then(a.term.cmp(&b.term)));
+        let m = cursors.len();
+        prefix_bounds.clear();
+        let mut acc = 0.0;
+        for c in cursors.iter() {
+            acc += c.bound;
+            prefix_bounds.push(acc);
+        }
+        contrib.clear();
+        contrib.resize(m, 0.0);
+        touched.clear();
+        let mut essential_from = 0;
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        loop {
+            let threshold = if heap.len() == k {
+                heap.peek().expect("heap is full").score - WAND_SLACK
+            } else {
+                f64::NEG_INFINITY
+            };
+            while essential_from < m && prefix_bounds[essential_from] < threshold {
+                essential_from += 1;
+            }
+            if essential_from >= m {
+                break;
+            }
+            // Shallow pass, term level: a single scan over the essential
+            // cursors finds the pivot (their minimum doc) while collecting
+            // the matching set, its summed term bounds, and `next_doc` —
+            // the first doc held by a *non*-matching essential cursor.
+            // Term bounds hold globally, so a failed term-level check
+            // skips every doc up to `next_doc` at once.
+            touched.clear();
+            let prefix = if essential_from > 0 {
+                prefix_bounds[essential_from - 1]
+            } else {
+                0.0
+            };
+            let mut pivot_doc = u32::MAX;
+            let mut next_doc = u32::MAX;
+            let mut term_sum = prefix;
+            let mut refine_sum = 0.0;
+            for (off, c) in cursors[essential_from..].iter().enumerate() {
+                let ci = essential_from + off;
+                if c.doc < pivot_doc {
+                    next_doc = next_doc.min(pivot_doc);
+                    pivot_doc = c.doc;
+                    touched.clear();
+                    touched.push(ci);
+                    term_sum = prefix + c.bound;
+                    refine_sum = c.refine;
+                } else if c.doc == pivot_doc {
+                    term_sum += c.bound;
+                    refine_sum += c.refine;
+                    touched.push(ci);
+                } else {
+                    next_doc = next_doc.min(c.doc);
+                }
+            }
+            if pivot_doc == u32::MAX {
+                break;
+            }
+            if self.removed[pivot_doc as usize] {
+                for &ci in touched.iter() {
+                    self.cursor_advance(&mut cursors[ci]);
+                }
+                continue;
+            }
+            if term_sum < threshold {
+                // Docs below `next_doc` are covered by the matching
+                // cursors' term bounds plus the non-essential prefix —
+                // none can clear the bar. Leap the matching cursors over
+                // the whole window.
+                for &ci in touched.iter() {
+                    self.cursor_seek(&mut cursors[ci], next_doc);
+                }
+                continue;
+            }
+            // Shallow pass, block level — but only when it can matter:
+            // `refine_sum` is the most the block maxima can undercut the
+            // term bounds, so when even a full refinement leaves the
+            // pivot over the bar, descend without touching the (colder)
+            // block metadata at all.
+            if term_sum - refine_sum < threshold {
+                let mut block_sum = prefix;
+                let mut min_block_last = u32::MAX;
+                for &ci in touched.iter() {
+                    let (bound, last) = self.cursor_block(&cursors[ci]);
+                    block_sum += bound;
+                    min_block_last = min_block_last.min(last);
+                }
+                if block_sum < threshold {
+                    // No document up to the shortest matching block's
+                    // end (and below the other essential cursors) can
+                    // clear the bar: skip every matching cursor straight
+                    // there instead of scoring the block posting by
+                    // posting.
+                    let target = next_doc.min(min_block_last.saturating_add(1));
+                    for &ci in touched.iter() {
+                        self.cursor_seek(&mut cursors[ci], target);
+                    }
+                    continue;
+                }
+            }
+            // Deep pass: identical to `search_wand` from here on, so
+            // surviving candidates score bit-identically.
+            let mut partial = 0.0;
+            for &ci in touched.iter() {
+                let p = cursors[ci].qw * self.cursor_advance(&mut cursors[ci]);
+                contrib[ci] = p;
+                partial += p;
+            }
+            let mut abandoned = false;
+            for ci in (0..essential_from).rev() {
+                if partial + prefix_bounds[ci] < threshold {
+                    abandoned = true;
+                    break;
+                }
+                if cursors[ci].doc < pivot_doc {
+                    self.cursor_seek(&mut cursors[ci], pivot_doc);
+                }
+                if cursors[ci].doc == pivot_doc {
+                    let p = cursors[ci].qw * self.cursor_advance(&mut cursors[ci]);
+                    contrib[ci] = p;
+                    touched.push(ci);
+                    partial += p;
+                }
+            }
+            if !abandoned {
+                touched.sort_unstable_by_key(|&ci| cursors[ci].term);
+                let mut score = 0.0;
+                for &ci in touched.iter() {
+                    score += contrib[ci];
+                }
+                if score != 0.0 {
+                    heap.push(HeapEntry {
+                        score,
+                        doc: pivot_doc as DocId,
+                    });
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                }
+            }
+            for &ci in touched.iter() {
+                contrib[ci] = 0.0;
+            }
+        }
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit {
+                doc: e.doc,
+                score: e.score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        Ok(hits)
+    }
+
     /// The doc id under a live cursor.
     #[inline]
     fn cursor_doc(&self, c: &WandCursor) -> u32 {
@@ -921,7 +1424,14 @@ impl InvertedIndex {
     #[inline]
     fn cursor_advance(&self, c: &mut WandCursor) -> f64 {
         let w = if c.pos < c.flat_len {
-            self.weights[c.flat_lo + c.pos]
+            // Same expression as `flat_weight`, with the per-term
+            // scale/offset loads hoisted into the cursor at setup.
+            match self.quantization {
+                QuantizationMode::Off => self.weights[c.flat_lo + c.pos],
+                QuantizationMode::Int8 => {
+                    c.dq_off + c.dq_scale * f64::from(self.qweights[c.flat_lo + c.pos])
+                }
+            }
         } else {
             self.tail[c.term as usize].weights[c.pos - c.flat_len]
         };
@@ -934,16 +1444,75 @@ impl InvertedIndex {
         w
     }
 
+    /// The shallow bound of the cursor's current position: its score
+    /// contribution bound within the current *block*, and the last doc
+    /// id that bound covers. Flat positions use the block maximum (the
+    /// bound holds through the end of the block); tail positions fall
+    /// back to the term-level bound, which covers the rest of the list
+    /// (`u32::MAX`).
+    #[inline]
+    fn cursor_block(&self, c: &WandCursor) -> (f64, u32) {
+        if c.pos < c.flat_len {
+            let t = c.term as usize;
+            let b = c.pos / Self::BLOCK_SIZE;
+            let bound = c.qw.abs() * self.block_max[self.block_starts[t] + b];
+            let last = ((b + 1) * Self::BLOCK_SIZE).min(c.flat_len) - 1;
+            (bound, self.docs[c.flat_lo + last])
+        } else {
+            (c.bound, u32::MAX)
+        }
+    }
+
     /// Advances `c` to the first posting with doc id `>= target`
-    /// (possibly past the end), binary-searching the remaining range.
+    /// (possibly past the end). The seek is block-aligned: the
+    /// block-boundary doc ids locate the target block — checking the
+    /// cursor's current and next block first, since consecutive pivots
+    /// usually land a step or two ahead, before binary-searching the
+    /// remaining blocks — then a short gallop plus binary search inside
+    /// that one block finds the posting. Same result as binary-searching
+    /// the whole remaining range, but the block phase touches one doc id
+    /// per block and the near-miss fast path touches only a handful.
     fn cursor_seek(&self, c: &mut WandCursor, target: u32) {
         if c.pos < c.flat_len {
             let flat = &self.docs[c.flat_lo..c.flat_lo + c.flat_len];
-            c.pos += flat[c.pos..].partition_point(|&d| d < target);
-            if c.pos < c.flat_len {
+            let nblocks = c.flat_len.div_ceil(Self::BLOCK_SIZE);
+            let block_last = |b: usize| flat[((b + 1) * Self::BLOCK_SIZE).min(c.flat_len) - 1];
+            // First block (at or after the cursor's) whose last doc id
+            // reaches the target.
+            let mut lo_b = c.pos / Self::BLOCK_SIZE;
+            if block_last(lo_b) < target {
+                lo_b += 1;
+                if lo_b < nblocks && block_last(lo_b) < target {
+                    let mut hi_b = nblocks;
+                    lo_b += 1;
+                    while lo_b < hi_b {
+                        let mid = lo_b + (hi_b - lo_b) / 2;
+                        if block_last(mid) < target {
+                            lo_b = mid + 1;
+                        } else {
+                            hi_b = mid;
+                        }
+                    }
+                }
+            }
+            if lo_b < nblocks {
+                let start = (lo_b * Self::BLOCK_SIZE).max(c.pos);
+                let end = ((lo_b + 1) * Self::BLOCK_SIZE).min(c.flat_len);
+                // The block's last doc is >= target, so the hit is
+                // inside. Gallop from the start: a seek that stays in the
+                // cursor's own block is usually only a few postings ahead.
+                let mut p = start;
+                let mut step = 1;
+                while p + step < end && flat[p + step] < target {
+                    p += step;
+                    step <<= 1;
+                }
+                let hi = (p + step + 1).min(end);
+                c.pos = p + flat[p..hi].partition_point(|&d| d < target);
                 c.doc = flat[c.pos];
                 return;
             }
+            c.pos = c.flat_len;
         }
         let tail = &self.tail[c.term as usize].docs;
         let tail_pos = c.pos - c.flat_len;
@@ -959,6 +1528,88 @@ impl InvertedIndex {
     /// impact bound); zero for empty or out-of-range terms.
     pub fn max_impact(&self, term: TermId) -> f64 {
         self.max_impact.get(term as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The active storage mode of the flat posting weights.
+    pub fn quantization(&self) -> QuantizationMode {
+        self.quantization
+    }
+
+    /// Switches the flat weight storage to `mode`, rewriting the posting
+    /// store in place (a no-op when already in `mode`).
+    ///
+    /// The switch first folds tails and purges tombstoned postings
+    /// (like [`optimize`](Self::optimize)), then re-encodes the flat
+    /// weights: `Off → Int8` quantizes them onto per-term 8-bit grids,
+    /// `Int8 → Off` materialises the dequantized values as `f64`s.
+    /// Quantization rounds each weight to its nearest grid step, so a
+    /// round trip through `Int8` does *not* restore the original bits —
+    /// it restores the grid values (which a second `Int8` pass maps to
+    /// themselves).
+    pub fn set_quantization(&mut self, mode: QuantizationMode) {
+        if mode == self.quantization {
+            return;
+        }
+        self.optimize();
+        let offsets = std::mem::take(&mut self.offsets);
+        let docs = std::mem::take(&mut self.docs);
+        let weights = match self.quantization {
+            QuantizationMode::Off => std::mem::take(&mut self.weights),
+            QuantizationMode::Int8 => {
+                let mut out = Vec::with_capacity(docs.len());
+                for t in 0..self.dim {
+                    let (lo, hi) = (offsets[t], offsets[t + 1]);
+                    let (s, o) = (self.scale[t], self.qoffset[t]);
+                    out.extend(self.qweights[lo..hi].iter().map(|&q| o + s * f64::from(q)));
+                }
+                out
+            }
+        };
+        self.quantization = mode;
+        self.install_flat(offsets, docs, weights);
+    }
+
+    /// Number of block-max blocks carved over `term`'s flat postings
+    /// (tail postings are not blocked; zero for out-of-range terms).
+    pub fn num_blocks(&self, term: TermId) -> usize {
+        let t = term as usize;
+        if t >= self.dim {
+            return 0;
+        }
+        self.block_starts[t + 1] - self.block_starts[t]
+    }
+
+    /// The largest `|stored weight|` in `block` of `term`'s flat
+    /// postings (block `b` covers flat positions `b * BLOCK_SIZE ..` of
+    /// the term's range); zero when out of range.
+    pub fn block_max_impact(&self, term: TermId, block: usize) -> f64 {
+        let t = term as usize;
+        if t >= self.dim || block >= self.num_blocks(term) {
+            return 0.0;
+        }
+        self.block_max[self.block_starts[t] + block]
+    }
+
+    /// Resident bytes of the posting store payload: flat doc ids and
+    /// weights (8-bit codes plus per-term parameters in `Int8` mode),
+    /// tail postings, and the block-max metadata. Vec capacity overhead
+    /// and fixed struct fields are not counted — this is the number that
+    /// shrinks ~4x when quantization is on, the one the capacity of an
+    /// in-memory shard is sized by.
+    pub fn postings_resident_bytes(&self) -> usize {
+        let tail: usize = self
+            .tail
+            .iter()
+            .map(|l| l.docs.len() * 4 + l.weights.len() * 8)
+            .sum();
+        self.docs.len() * 4
+            + self.weights.len() * 8
+            + self.qweights.len()
+            + (self.scale.len() + self.qoffset.len()) * 8
+            + tail
+            + self.offsets.len() * 8
+            + self.block_starts.len() * 8
+            + self.block_max.len() * 8
     }
 }
 
@@ -982,12 +1633,141 @@ impl codec::BinCodec for PostingList {
     }
 }
 
-// Binary wire layout (see `crate::codec`): every persisted field in
-// declaration order, weights as IEEE-754 bit patterns. Decoding checks the
-// cheap structural invariants (array lengths tied to `dim`, parallel
-// postings buffers, `indptr`-style `offsets` bounded by the buffer); the
-// envelope layer's cross-checks against the daemon state cover the rest,
-// same as for the JSON surface.
+/// Checks the legacy structural invariants shared by every decode
+/// surface: per-term array lengths, parallel flat buffers (whichever of
+/// `weights`/`qweights` is active), and an `indptr`-style `offsets`.
+#[allow(clippy::too_many_arguments)]
+fn check_index_shape(
+    dim: usize,
+    offsets: &[usize],
+    docs_len: usize,
+    weights_len: usize,
+    tail_len: usize,
+    max_impact_len: usize,
+    removed_len: usize,
+    num_docs: usize,
+) -> Result<(), codec::CodecError> {
+    let bad = |msg: String| Err(codec::CodecError::new(format!("InvertedIndex: {msg}")));
+    if offsets.len() != dim + 1 || tail_len != dim || max_impact_len != dim {
+        return bad(format!(
+            "per-term arrays disagree with dim {dim}: {} offsets, {tail_len} tail, {max_impact_len} max_impact",
+            offsets.len(),
+        ));
+    }
+    if docs_len != weights_len {
+        return bad(format!(
+            "flat buffers disagree: {docs_len} docs vs {weights_len} weights"
+        ));
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&docs_len) {
+        return bad("offsets do not span the flat postings buffer".to_string());
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return bad("offsets are not monotone".to_string());
+    }
+    if removed_len != num_docs {
+        return bad(format!("{removed_len} tombstone slots for {num_docs} docs"));
+    }
+    Ok(())
+}
+
+impl InvertedIndex {
+    /// Encodes this index in the legacy v5 wire layout: the flat
+    /// postings with exact `f64` weights and no block or quantization
+    /// metadata — what `FMETERDB 5` envelopes carry. A quantized index
+    /// writes its *dequantized* weights (the grid values), so a v5
+    /// downgrade of an `Int8` index is a documented lossy step: the
+    /// pre-quantization bits are already gone.
+    pub fn encode_bin_legacy(&self, out: &mut Vec<u8>) {
+        codec::put_usize(out, self.dim);
+        codec::put_usizes(out, &self.offsets);
+        codec::put_u32s(out, &self.docs);
+        match self.quantization {
+            QuantizationMode::Off => codec::put_f64s(out, &self.weights),
+            QuantizationMode::Int8 => {
+                codec::put_usize(out, self.qweights.len());
+                for t in 0..self.dim {
+                    let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+                    let (s, o) = (self.scale[t], self.qoffset[t]);
+                    for &q in &self.qweights[lo..hi] {
+                        codec::put_f64(out, o + s * f64::from(q));
+                    }
+                }
+            }
+        }
+        codec::BinCodec::encode_bin(&self.tail, out);
+        codec::put_usize(out, self.tail_len);
+        codec::put_usize(out, self.num_docs);
+        codec::put_f64s(out, &self.max_impact);
+        codec::put_bools(out, &self.removed);
+        codec::put_usize(out, self.num_removed);
+        codec::put_usize(out, self.dead_unpurged);
+    }
+
+    /// Decodes the legacy v5 wire layout written by
+    /// [`encode_bin_legacy`](Self::encode_bin_legacy). Quantization
+    /// comes out `Off` and the block metadata is rebuilt from the
+    /// decoded postings (v5 envelopes never carried it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`codec::CodecError`] on truncated input or structural
+    /// invariant violations, like any [`codec::BinCodec`] decode.
+    pub fn decode_bin_legacy(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
+        let dim = r.get_usize()?;
+        let offsets = r.get_usizes()?;
+        let docs = r.get_u32s()?;
+        let weights = r.get_f64s()?;
+        let tail = <Vec<PostingList> as codec::BinCodec>::decode_bin(r)?;
+        let tail_len = r.get_usize()?;
+        let num_docs = r.get_usize()?;
+        let max_impact = r.get_f64s()?;
+        let removed = r.get_bools()?;
+        let num_removed = r.get_usize()?;
+        let dead_unpurged = r.get_usize()?;
+        check_index_shape(
+            dim,
+            &offsets,
+            docs.len(),
+            weights.len(),
+            tail.len(),
+            max_impact.len(),
+            removed.len(),
+            num_docs,
+        )?;
+        let mut idx = InvertedIndex {
+            dim,
+            offsets,
+            docs,
+            weights,
+            tail,
+            tail_len,
+            num_docs,
+            max_impact,
+            removed,
+            num_removed,
+            dead_unpurged,
+            quantization: QuantizationMode::Off,
+            qweights: Vec::new(),
+            scale: Vec::new(),
+            qoffset: Vec::new(),
+            block_starts: Vec::new(),
+            block_max: Vec::new(),
+        };
+        idx.rebuild_blocks();
+        Ok(idx)
+    }
+}
+
+// v6 binary wire layout (see `crate::codec`): the legacy v5 fields in
+// declaration order, then the quantization mode and its per-term
+// parameters, then the block-max metadata (prefixed with the block size
+// the blocks were carved at, so a future re-tuning of `BLOCK_SIZE` keeps
+// loading old envelopes by rebuilding instead of rejecting). Decoding
+// checks the structural invariants and — because block metadata is
+// derived state whose unsoundness would silently corrupt search results
+// rather than error — verifies the stored blocks bitwise against a
+// recompute from the decoded postings.
 impl codec::BinCodec for InvertedIndex {
     fn encode_bin(&self, out: &mut Vec<u8>) {
         codec::put_usize(out, self.dim);
@@ -1001,6 +1781,13 @@ impl codec::BinCodec for InvertedIndex {
         codec::put_bools(out, &self.removed);
         codec::put_usize(out, self.num_removed);
         codec::put_usize(out, self.dead_unpurged);
+        codec::put_u8(out, self.quantization.tag());
+        codec::put_f64s(out, &self.scale);
+        codec::put_f64s(out, &self.qoffset);
+        codec::put_bytes(out, &self.qweights);
+        codec::put_usize(out, Self::BLOCK_SIZE);
+        codec::put_usizes(out, &self.block_starts);
+        codec::put_f64s(out, &self.block_max);
     }
 
     fn decode_bin(r: &mut codec::Reader<'_>) -> Result<Self, codec::CodecError> {
@@ -1015,36 +1802,52 @@ impl codec::BinCodec for InvertedIndex {
         let removed = r.get_bools()?;
         let num_removed = r.get_usize()?;
         let dead_unpurged = r.get_usize()?;
+        let quantization = QuantizationMode::from_tag(r.get_u8()?)?;
+        let scale = r.get_f64s()?;
+        let qoffset = r.get_f64s()?;
+        let qweights = r.get_bytes()?;
+        let block_size = r.get_usize()?;
+        let block_starts = r.get_usizes()?;
+        let block_max = r.get_f64s()?;
 
         let bad = |msg: String| Err(codec::CodecError::new(format!("InvertedIndex: {msg}")));
-        if offsets.len() != dim + 1 || tail.len() != dim || max_impact.len() != dim {
-            return bad(format!(
-                "per-term arrays disagree with dim {dim}: {} offsets, {} tail, {} max_impact",
-                offsets.len(),
-                tail.len(),
-                max_impact.len()
-            ));
-        }
-        if docs.len() != weights.len() {
-            return bad(format!(
-                "flat buffers disagree: {} docs vs {} weights",
-                docs.len(),
+        // The active flat weight buffer must parallel `docs`; the other
+        // must be absent.
+        let weights_len = match quantization {
+            QuantizationMode::Off => {
+                if !qweights.is_empty() || !scale.is_empty() || !qoffset.is_empty() {
+                    return bad("quantization arrays present in Off mode".to_string());
+                }
                 weights.len()
-            ));
+            }
+            QuantizationMode::Int8 => {
+                if !weights.is_empty() {
+                    return bad("f64 flat weights present in Int8 mode".to_string());
+                }
+                if scale.len() != dim || qoffset.len() != dim {
+                    return bad(format!(
+                        "quantization parameters disagree with dim {dim}: {} scale, {} qoffset",
+                        scale.len(),
+                        qoffset.len()
+                    ));
+                }
+                qweights.len()
+            }
+        };
+        check_index_shape(
+            dim,
+            &offsets,
+            docs.len(),
+            weights_len,
+            tail.len(),
+            max_impact.len(),
+            removed.len(),
+            num_docs,
+        )?;
+        if block_size == 0 {
+            return bad("block size is zero".to_string());
         }
-        if offsets.first() != Some(&0) || offsets.last() != Some(&docs.len()) {
-            return bad("offsets do not span the flat postings buffer".to_string());
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return bad("offsets are not monotone".to_string());
-        }
-        if removed.len() != num_docs {
-            return bad(format!(
-                "{} tombstone slots for {num_docs} docs",
-                removed.len()
-            ));
-        }
-        Ok(InvertedIndex {
+        let mut idx = InvertedIndex {
             dim,
             offsets,
             docs,
@@ -1056,7 +1859,98 @@ impl codec::BinCodec for InvertedIndex {
             removed,
             num_removed,
             dead_unpurged,
-        })
+            quantization,
+            qweights,
+            scale,
+            qoffset,
+            block_starts: Vec::new(),
+            block_max: Vec::new(),
+        };
+        idx.rebuild_blocks();
+        if block_size == Self::BLOCK_SIZE {
+            let same = idx.block_starts == block_starts
+                && idx.block_max.len() == block_max.len()
+                && idx
+                    .block_max
+                    .iter()
+                    .zip(&block_max)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !same {
+                return bad("stored block metadata disagrees with the postings".to_string());
+            }
+        }
+        // A different (older/newer) block size: keep the rebuilt blocks.
+        Ok(idx)
+    }
+}
+
+// JSON surface (v0–v4 envelopes): hand-written to pin the *legacy* field
+// shape — exactly the eleven pre-block-max fields, in declaration order,
+// like the old derive emitted. Block metadata is derived state and the
+// quantization extension must not leak into historical formats, so
+// serialization dequantizes (`Int8` downgrades lossily to its grid
+// values) and deserialization rebuilds blocks with quantization off.
+impl Serialize for InvertedIndex {
+    fn to_value(&self) -> serde::Value {
+        let weights: Vec<f64> = match self.quantization {
+            QuantizationMode::Off => self.weights.clone(),
+            QuantizationMode::Int8 => (0..self.dim)
+                .flat_map(|t| {
+                    let (lo, hi) = (self.offsets[t], self.offsets[t + 1]);
+                    let (s, o) = (self.scale[t], self.qoffset[t]);
+                    self.qweights[lo..hi]
+                        .iter()
+                        .map(move |&q| o + s * f64::from(q))
+                })
+                .collect(),
+        };
+        serde::Value::Object(vec![
+            (String::from("dim"), self.dim.to_value()),
+            (String::from("offsets"), self.offsets.to_value()),
+            (String::from("docs"), self.docs.to_value()),
+            (String::from("weights"), weights.to_value()),
+            (String::from("tail"), self.tail.to_value()),
+            (String::from("tail_len"), self.tail_len.to_value()),
+            (String::from("num_docs"), self.num_docs.to_value()),
+            (String::from("max_impact"), self.max_impact.to_value()),
+            (String::from("removed"), self.removed.to_value()),
+            (String::from("num_removed"), self.num_removed.to_value()),
+            (String::from("dead_unpurged"), self.dead_unpurged.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for InvertedIndex {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let mut idx = InvertedIndex {
+            dim: Deserialize::from_value(v.get_field("dim")?)?,
+            offsets: Deserialize::from_value(v.get_field("offsets")?)?,
+            docs: Deserialize::from_value(v.get_field("docs")?)?,
+            weights: Deserialize::from_value(v.get_field("weights")?)?,
+            tail: Deserialize::from_value(v.get_field("tail")?)?,
+            tail_len: Deserialize::from_value(v.get_field("tail_len")?)?,
+            num_docs: Deserialize::from_value(v.get_field("num_docs")?)?,
+            max_impact: Deserialize::from_value(v.get_field("max_impact")?)?,
+            removed: Deserialize::from_value(v.get_field("removed")?)?,
+            num_removed: Deserialize::from_value(v.get_field("num_removed")?)?,
+            dead_unpurged: Deserialize::from_value(v.get_field("dead_unpurged")?)?,
+            quantization: QuantizationMode::Off,
+            qweights: Vec::new(),
+            scale: Vec::new(),
+            qoffset: Vec::new(),
+            block_starts: Vec::new(),
+            block_max: Vec::new(),
+        };
+        if idx.offsets.len() != idx.dim + 1
+            || idx.docs.len() != idx.weights.len()
+            || idx.offsets.last() != Some(&idx.docs.len())
+        {
+            return Err(serde::Error(String::from(
+                "InvertedIndex: inconsistent posting buffers",
+            )));
+        }
+        idx.rebuild_blocks();
+        Ok(idx)
     }
 }
 
@@ -1635,5 +2529,272 @@ mod tests {
         // Both have cosine 1.0; lower doc id first.
         assert_eq!(hits[0].doc, 0);
         assert_eq!(hits[1].doc, 1);
+    }
+
+    /// Recomputes `block_starts`/`block_max` from the stored flat
+    /// buffers and asserts the maintained metadata matches bitwise —
+    /// the invariant every flat rewrite must uphold (the v6 codec
+    /// hard-errors on any drift).
+    fn assert_blocks_match_reference(idx: &InvertedIndex) {
+        let mut starts = vec![0usize];
+        let mut maxima = Vec::new();
+        for t in 0..idx.dim {
+            let (lo, hi) = (idx.offsets[t], idx.offsets[t + 1]);
+            for b in 0..(hi - lo).div_ceil(InvertedIndex::BLOCK_SIZE) {
+                let s = lo + b * InvertedIndex::BLOCK_SIZE;
+                let e = (s + InvertedIndex::BLOCK_SIZE).min(hi);
+                let mut m = 0.0f64;
+                for i in s..e {
+                    m = m.max(idx.flat_weight(t, i).abs());
+                }
+                maxima.push(m);
+            }
+            starts.push(maxima.len());
+        }
+        assert_eq!(idx.block_starts, starts, "block_starts drifted");
+        assert_eq!(idx.block_max.len(), maxima.len());
+        for (i, (have, want)) in idx.block_max.iter().zip(&maxima).enumerate() {
+            assert_eq!(have.to_bits(), want.to_bits(), "block_max[{i}] drifted");
+        }
+    }
+
+    #[test]
+    fn block_metadata_tracks_every_flat_rewrite() {
+        let dim = 32u32;
+        let docs = banded_corpus(300, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        assert_blocks_match_reference(&idx);
+        for d in (0..300).step_by(5) {
+            idx.remove(d).unwrap(); // triggers geometric purges
+        }
+        assert_blocks_match_reference(&idx);
+        idx.optimize();
+        assert_blocks_match_reference(&idx);
+        // Re-weight the survivors through rebuild_postings.
+        let survivors: Vec<(usize, SparseVec)> = (0..300)
+            .filter(|&i| idx.is_live(i))
+            .map(|i| (i, docs[i].scaled(3.0)))
+            .collect();
+        idx.rebuild_postings(survivors.iter().map(|(i, v)| (*i, v)))
+            .unwrap();
+        assert_blocks_match_reference(&idx);
+        // Renumber-compact away the tombstones.
+        let mut remap = vec![None; idx.len()];
+        let mut next = 0usize;
+        for (d, slot) in remap.iter_mut().enumerate() {
+            if idx.is_live(d) {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+        idx.renumber_compact(&remap).unwrap();
+        assert_blocks_match_reference(&idx);
+        // Quantize, then back to exact (lossy, but metadata must track).
+        idx.set_quantization(QuantizationMode::Int8);
+        assert_blocks_match_reference(&idx);
+        idx.set_quantization(QuantizationMode::Off);
+        assert_blocks_match_reference(&idx);
+        // Fresh tail inserts leave the flat block metadata untouched.
+        idx.insert(docs[0].clone()).unwrap();
+        assert_blocks_match_reference(&idx);
+    }
+
+    #[test]
+    fn block_max_matches_exhaustive_bit_for_bit() {
+        let dim = 64u32;
+        let docs = banded_corpus(400, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        // Half-compacted on purpose: cursors must traverse flat + tail.
+        let mut scratch = SearchScratch::new();
+        for k in [1usize, 3, 10, 400] {
+            for qseed in 0..8u32 {
+                let q = SparseVec::from_pairs(
+                    dim as usize,
+                    [
+                        (qseed * 5 % dim, 2.0),
+                        (qseed * 11 % dim, 1.0),
+                        (dim - 1, 0.5),
+                    ],
+                )
+                .unwrap();
+                let exhaustive = idx.search_exhaustive(&q, k, &mut scratch).unwrap();
+                let bm = idx.search_block_max(&q, k, &mut scratch).unwrap();
+                assert_eq!(bm, exhaustive, "k={k} qseed={qseed}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_max_matches_exhaustive_with_negative_weights_and_removals() {
+        let mut idx = InvertedIndex::new(8);
+        idx.insert(vec8(&[(0, 1.0), (1, -1.0), (2, 1.0)])).unwrap();
+        idx.insert(vec8(&[(0, 1.0), (2, -2.0)])).unwrap();
+        idx.insert(vec8(&[(1, 3.0)])).unwrap();
+        idx.insert(vec8(&[(0, -1.0), (1, 1.0)])).unwrap();
+        idx.optimize();
+        idx.remove(1).unwrap(); // tombstone stays in the flat postings
+        let mut scratch = SearchScratch::new();
+        for k in 1..=4 {
+            let q = vec8(&[(0, 1.0), (1, 1.0), (2, 2.0)]);
+            let exhaustive = idx.search_exhaustive(&q, k, &mut scratch).unwrap();
+            let bm = idx.search_block_max(&q, k, &mut scratch).unwrap();
+            assert_eq!(bm, exhaustive, "k={k}");
+        }
+    }
+
+    #[test]
+    fn block_max_skips_blocks_on_skewed_impacts() {
+        // Multi-block postings where one block carries all the impact:
+        // block maxima let the search leap the flat blocks the term
+        // bound alone cannot rule out, and the answer stays exact.
+        let dim = 16usize;
+        let mut idx = InvertedIndex::new(dim);
+        let n = 3000;
+        for i in 0..n {
+            let mut pairs = vec![(0u32, 0.05 + (i % 5) as f64 * 0.01)];
+            if i / 100 == 7 {
+                pairs.push((1, 10.0)); // docs 700..800: one hot stripe
+            }
+            idx.insert(SparseVec::from_pairs(dim, pairs).unwrap())
+                .unwrap();
+        }
+        idx.optimize();
+        assert!(idx.num_blocks(0) > 4, "term 0 must span several blocks");
+        let q = SparseVec::from_pairs(dim, [(0, 0.3), (1, 3.0)]).unwrap();
+        let mut scratch = SearchScratch::new();
+        let bm = idx.search_block_max(&q, 10, &mut scratch).unwrap();
+        let exhaustive = idx.search_exhaustive(&q, 10, &mut scratch).unwrap();
+        assert_eq!(bm, exhaustive);
+        for h in &bm {
+            assert!((700..800).contains(&h.doc));
+        }
+    }
+
+    #[test]
+    fn quantization_error_stays_within_half_step() {
+        let dim = 32u32;
+        let docs = banded_corpus(500, dim);
+        let mut exact = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            exact.insert(d.clone()).unwrap();
+        }
+        exact.optimize();
+        let mut quant = exact.clone();
+        quant.set_quantization(QuantizationMode::Int8);
+        assert_eq!(quant.quantization(), QuantizationMode::Int8);
+        for t in 0..dim as usize {
+            let (lo, hi) = (exact.offsets[t], exact.offsets[t + 1]);
+            let step = quant.scale[t];
+            for i in lo..hi {
+                let err = (exact.flat_weight(t, i) - quant.flat_weight(t, i)).abs();
+                assert!(
+                    err <= step / 2.0 + 1e-15,
+                    "term {t} pos {i}: err {err} > scale/2 {}",
+                    step / 2.0
+                );
+            }
+        }
+        // The quantized index is internally consistent: its block-max
+        // search is bit-identical to its own exhaustive scan (both
+        // score the same dequantized stored weights).
+        let mut scratch = SearchScratch::new();
+        for q in docs.iter().step_by(37) {
+            let a = quant.search_exhaustive(q, 10, &mut scratch).unwrap();
+            let b = quant.search_block_max(q, 10, &mut scratch).unwrap();
+            assert_eq!(a, b);
+        }
+        // And resident postings shrink (8-bit vs 64-bit impacts).
+        assert!(quant.postings_resident_bytes() < exact.postings_resident_bytes());
+    }
+
+    #[test]
+    fn legacy_codec_round_trips_and_downgrades_quantized() {
+        let dim = 16u32;
+        let docs = banded_corpus(150, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        idx.remove(3).unwrap();
+        let mut bytes = Vec::new();
+        idx.encode_bin_legacy(&mut bytes);
+        let mut r = codec::Reader::new(&bytes);
+        let back = InvertedIndex::decode_bin_legacy(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.quantization(), QuantizationMode::Off);
+        assert_blocks_match_reference(&back);
+        let mut scratch = SearchScratch::new();
+        for q in docs.iter().step_by(13) {
+            let a = idx.search_exhaustive(q, 8, &mut scratch).unwrap();
+            let b = back.search_exhaustive(q, 8, &mut scratch).unwrap();
+            assert_eq!(a, b);
+        }
+        // A quantized index downgrades to exact-f64 *dequantized* weights:
+        // the legacy stream has no quantization fields, so the round trip
+        // preserves the stored (already lossy) values, not the originals.
+        let mut quant = idx.clone();
+        quant.set_quantization(QuantizationMode::Int8);
+        let mut qbytes = Vec::new();
+        quant.encode_bin_legacy(&mut qbytes);
+        let mut qr = codec::Reader::new(&qbytes);
+        let qback = InvertedIndex::decode_bin_legacy(&mut qr).unwrap();
+        qr.finish().unwrap();
+        assert_eq!(qback.quantization(), QuantizationMode::Off);
+        for q in docs.iter().step_by(13) {
+            let a = quant.search_exhaustive(q, 8, &mut scratch).unwrap();
+            let b = qback.search_exhaustive(q, 8, &mut scratch).unwrap();
+            assert_eq!(a, b, "dequantized downgrade must score identically");
+        }
+    }
+
+    #[test]
+    fn v6_codec_round_trips_both_modes() {
+        let dim = 16u32;
+        let docs = banded_corpus(150, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        idx.remove(5).unwrap();
+        let mut scratch = SearchScratch::new();
+        for mode in [QuantizationMode::Off, QuantizationMode::Int8] {
+            let mut this = idx.clone();
+            this.set_quantization(mode);
+            let bytes = codec::encode_to_vec(&this);
+            let back: InvertedIndex = codec::decode_from_slice(&bytes).unwrap();
+            assert_eq!(back.quantization(), mode);
+            assert_blocks_match_reference(&back);
+            for q in docs.iter().step_by(13) {
+                let a = this.search_exhaustive(q, 8, &mut scratch).unwrap();
+                let b = back.search_exhaustive(q, 8, &mut scratch).unwrap();
+                assert_eq!(a, b, "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn v6_codec_rejects_drifted_block_max() {
+        let dim = 16u32;
+        let docs = banded_corpus(200, dim);
+        let mut idx = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            idx.insert(d.clone()).unwrap();
+        }
+        idx.optimize();
+        let mut bytes = codec::encode_to_vec(&idx);
+        // `block_max` is the final field; flipping a low mantissa bit of
+        // the last maximum desyncs it from the recomputed reference.
+        let n = bytes.len();
+        bytes[n - 8] ^= 1;
+        assert!(
+            codec::decode_from_slice::<InvertedIndex>(&bytes).is_err(),
+            "drifted block maxima must not decode"
+        );
     }
 }

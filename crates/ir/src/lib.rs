@@ -20,8 +20,9 @@
 //!   a cached estimator, one-pass idf refits),
 //! * [`SparseVec`] and the fused [`Metric`] distance kernels, plus the
 //!   packed [`CsrMatrix`] corpus layout the batch/clustering paths use,
-//! * [`InvertedIndex`] — the flat-postings search structure with
-//!   tombstone-aware removal, posting rebuilds, and WAND/MaxScore
+//! * [`InvertedIndex`] — the block-max postings search structure with
+//!   tombstone-aware removal, posting rebuilds, optional 8-bit impact
+//!   quantization ([`QuantizationMode`]), and WAND/MaxScore/block-max
 //!   early-exit top-k (§2.2's "database of previously labeled
 //!   signatures" retrieval path).
 //!
@@ -67,7 +68,7 @@ pub use distance::{
     manhattan_distance, minkowski_distance, Metric,
 };
 pub use error::IrError;
-pub use index::{InvertedIndex, SearchHit, SearchScratch};
+pub use index::{InvertedIndex, QuantizationMode, SearchHit, SearchScratch};
 pub use matrix::CsrMatrix;
 pub use shard::{merge_topk, search_sharded, Shard, ShardRouter};
 pub use sparse::SparseVec;

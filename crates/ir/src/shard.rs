@@ -11,8 +11,9 @@
 //! per-shard top-k lists and re-ranking by the flat comparator — score
 //! descending, then global doc id ascending — reproduces the flat
 //! result exactly, bit for bit. [`merge_topk`] implements that merge;
-//! the shard-local WAND bounds are just the flat bounds restricted to
-//! the shard's postings, so pruning stays sound per shard.
+//! the shard-local WAND term bounds (and the block maxima the block-max
+//! path refines them with) are just the flat bounds restricted to the
+//! shard's postings, so pruning stays sound per shard.
 
 use std::cmp::Ordering;
 
@@ -199,6 +200,22 @@ impl Shard {
     /// [`InvertedIndex::optimize`]).
     pub fn optimize(&mut self) {
         self.index.optimize();
+    }
+
+    /// Switches this shard's flat posting weights between exact `f64`
+    /// and 8-bit quantized storage (see
+    /// [`InvertedIndex::set_quantization`]).
+    ///
+    /// Quantization grids are shard-local: each shard fits its per-term
+    /// scale/offset to *its own* postings, so a shard's grid is at least
+    /// as tight as the flat index's (a subset's min/max range can only
+    /// shrink) and the `scale / 2` error bound still holds per posting.
+    /// Within one stored corpus the merge contract is unchanged — every
+    /// search path scores the same dequantized stored weights, so
+    /// [`merge_topk`] over uniformly quantized shards reproduces their
+    /// own exhaustive ranking bit for bit.
+    pub fn set_quantization(&mut self, mode: crate::QuantizationMode) {
+        self.index.set_quantization(mode);
     }
 
     /// Rewrites this shard's postings (and stored vectors) from the
@@ -494,6 +511,86 @@ mod tests {
             shards[0].vectors().row_to_sparse(local_of_6),
             docs[6].scaled(3.0)
         );
+    }
+
+    #[test]
+    fn sharded_block_max_is_bit_identical_to_flat() {
+        // Per-shard explicit block-max search merged by merge_topk must
+        // reproduce the flat exhaustive ranking bit for bit, including
+        // through tombstones.
+        let dim = 32u32;
+        let docs = corpus(400, dim);
+        let mut flat = InvertedIndex::new(dim as usize);
+        for d in &docs {
+            flat.insert(d.clone()).unwrap();
+        }
+        let mut shards = build_sharded(&docs, 3, dim as usize);
+        for s in &mut shards {
+            s.optimize();
+        }
+        for d in (0..400).step_by(7) {
+            flat.remove(d).unwrap();
+            shards[d % 3].remove(d).unwrap();
+        }
+        let mut scratch = SearchScratch::new();
+        for qseed in 0..6usize {
+            let q = &docs[qseed * 37 % docs.len()];
+            let expected = flat.search_exhaustive(q, 10, &mut scratch).unwrap();
+            let per_shard: Vec<Vec<SearchHit>> = shards
+                .iter()
+                .map(|s| {
+                    let mut hits = s.index().search_block_max(q, 10, &mut scratch).unwrap();
+                    for h in &mut hits {
+                        h.doc = s.router().global_of(s.shard_id(), h.doc);
+                    }
+                    hits
+                })
+                .collect();
+            let got = merge_topk(per_shard, 10);
+            assert_eq!(got, expected, "qseed={qseed}");
+        }
+    }
+
+    #[test]
+    fn quantized_shards_merge_their_own_exhaustive_ranking() {
+        // Quantization grids are shard-local, so the oracle is each
+        // shard's own exhaustive scan over its dequantized weights —
+        // search_with must match it bitwise after the merge, and the
+        // quantized ranking must stay close to the exact one.
+        let dim = 32u32;
+        let docs = corpus(400, dim);
+        let mut shards = build_sharded(&docs, 3, dim as usize);
+        for s in &mut shards {
+            s.optimize();
+            s.set_quantization(crate::QuantizationMode::Int8);
+            assert_eq!(s.index().quantization(), crate::QuantizationMode::Int8);
+        }
+        let mut exact_shards = build_sharded(&docs, 3, dim as usize);
+        for s in &mut exact_shards {
+            s.optimize();
+        }
+        let mut scratch = SearchScratch::new();
+        for qseed in 0..6usize {
+            let q = &docs[qseed * 37 % docs.len()];
+            let got = search_sharded(&shards, q, 10, &mut scratch).unwrap();
+            let oracle: Vec<Vec<SearchHit>> = shards
+                .iter()
+                .map(|s| {
+                    let mut hits = s.index().search_exhaustive(q, 10, &mut scratch).unwrap();
+                    for h in &mut hits {
+                        h.doc = s.router().global_of(s.shard_id(), h.doc);
+                    }
+                    hits
+                })
+                .collect();
+            assert_eq!(got, merge_topk(oracle, 10), "qseed={qseed}");
+            // Recall vs the exact shards: the 8-bit grid should barely
+            // move a 10-deep ranking on this corpus.
+            let exact = search_sharded(&exact_shards, q, 10, &mut scratch).unwrap();
+            let exact_ids: Vec<DocId> = exact.iter().map(|h| h.doc).collect();
+            let hit = got.iter().filter(|h| exact_ids.contains(&h.doc)).count();
+            assert!(hit >= 9, "qseed={qseed}: recall {hit}/10");
+        }
     }
 
     #[test]
