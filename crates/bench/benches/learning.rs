@@ -3,9 +3,9 @@
 //! signatures in a ~3815-dimensional space).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fmeter_ir::SparseVec;
+use fmeter_ir::{AnnGraph, SparseVec};
 use fmeter_kernel_sim::NUM_KERNEL_FUNCTIONS;
-use fmeter_ml::{Agglomerative, KMeans, Kernel, Label, Linkage, SvmTrainer};
+use fmeter_ml::{Agglomerative, KMeans, Kernel, Label, Linkage, SnnParams, SvmTrainer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,6 +64,31 @@ fn bench_kmeans(c: &mut Criterion) {
         b.iter(|| KMeans::new(8).seed(1).max_iters(20).run(&ten_k).unwrap())
     });
     group.finish();
+
+    // Warm-started recluster after streaming churn: converge cold once,
+    // replace 64 points, and refit from the surviving assignment — the
+    // per-maintenance-cycle cost of `SignatureDb::recluster`. The cold
+    // prime mirrors the db's cold path (seeded, 3 restarts) on a corpus
+    // with real cluster structure so convergence speed is meaningful.
+    let warm_pts = fmeter_bench::synthetic_clustered_points(10_000, 8, 48, 24, 12);
+    let cold = KMeans::new(8).seed(7).restarts(3).run(&warm_pts).unwrap();
+    let mut churned = warm_pts.clone();
+    let fresh = fmeter_bench::synthetic_clustered_points(64, 8, 48, 24, 13);
+    let stride = churned.len() / 64;
+    for (i, p) in fresh.into_iter().enumerate() {
+        churned[i * stride] = p;
+    }
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.bench_function("kmeans_warm_vs_cold_10k", |b| {
+        b.iter(|| {
+            KMeans::new(8)
+                .seed(7)
+                .fit_warm(&churned, &cold.assignments)
+                .unwrap()
+        })
+    });
+    group.finish();
 }
 
 fn bench_hierarchical(c: &mut Criterion) {
@@ -92,6 +117,29 @@ fn bench_hierarchical(c: &mut Criterion) {
     // NN-chain at fleet scale: O(n²) over the condensed matrix.
     group.bench_function("nn_chain_10k", |b| {
         b.iter(|| Agglomerative::new(Linkage::Single).fit(&ten_k).unwrap())
+    });
+    group.finish();
+
+    // The sub-quadratic tier at the same 10k scale, on a corpus with
+    // planted class structure (50 classes) so the ANN graph's locality
+    // pruning has real neighbourhoods to preserve: bulk graph
+    // construction, then SNN-pruned agglomeration off its k-NN lists.
+    let ann_pts = fmeter_bench::synthetic_clustered_points(10_000, 50, 12, 8, 11);
+    let ann_dim = ann_pts[0].dim();
+    let mut group = c.benchmark_group("ann");
+    group.sample_size(10);
+    group.bench_function("knn_build_10k", |b| {
+        b.iter(|| AnnGraph::build(ann_dim, &ann_pts).unwrap())
+    });
+    group.finish();
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.bench_function("snn_agglomerative_10k", |b| {
+        b.iter(|| {
+            Agglomerative::new(Linkage::Single)
+                .fit_snn(&ann_pts, &SnnParams::default())
+                .unwrap()
+        })
     });
     group.finish();
 }

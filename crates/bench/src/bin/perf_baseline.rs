@@ -27,14 +27,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use fmeter_bench::{
-    synthetic_class_corpus, synthetic_corpus, synthetic_points, synthetic_raw_signatures,
+    synthetic_class_corpus, synthetic_clustered_points, synthetic_corpus, synthetic_points,
+    synthetic_raw_signatures,
 };
 use fmeter_core::{
     CheckpointPolicy, DurableLog, DurableOptions, RefitPolicy, SignatureDb, SignatureService,
     SyncPolicy, WalOp,
 };
-use fmeter_ir::{CsrMatrix, InvertedIndex, Metric, SearchScratch, TfIdfModel};
-use fmeter_ml::{Agglomerative, KMeans, Linkage};
+use fmeter_ir::{AnnGraph, CsrMatrix, InvertedIndex, Metric, SearchScratch, TfIdfModel};
+use fmeter_ml::{Agglomerative, KMeans, Linkage, SnnParams};
 use serde::{Deserialize, Serialize};
 
 /// A shared case fails the trajectory gate when it runs more than this
@@ -70,8 +71,10 @@ struct Reference {
 /// the binary-codec refactor (v5 per-section binary envelope, binary
 /// WAL payloads into a reused append buffer, slice-by-8 CRC32), and
 /// the block-max refactor (blocked postings with per-block maxima,
-/// galloping block-aligned seek, opt-in 8-bit quantized impacts).
-const REFERENCES: [Reference; 24] = [
+/// galloping block-aligned seek, opt-in 8-bit quantized impacts), and
+/// the sub-quadratic clustering tier (term-blocked bulk ANN graph
+/// build, SNN-pruned agglomeration, warm-started recluster).
+const REFERENCES: [Reference; 27] = [
     Reference {
         name: "kmeans/k3_300pts_3815d",
         note: "pre-refactor (sub()-allocating kernels)",
@@ -204,6 +207,27 @@ const REFERENCES: [Reference; 24] = [
         note: "post binary codec: binary checkpoint decode + binary WAL \
                tail replay (was ~27 ms with JSON sections, 4.0x)",
         ns_per_iter: 6_768_301.0,
+    },
+    Reference {
+        name: "ann/knn_build_10k",
+        note: "bulk ANN graph build at 10k docs, 50 classes: term-blocked \
+               candidate generation + diverse linking + layer bridging \
+               (~2.3 s when built by repeated beam-search insert)",
+        ns_per_iter: 179_508_816.0,
+    },
+    Reference {
+        name: "cluster/snn_agglomerative_10k",
+        note: "SNN-pruned single-linkage agglomeration off the ANN graph's \
+               2-hop candidate lists (same-corpus exact NN-chain ~4.1 s, \
+               9.6x; ARI 1.0 at the class cut — see ann_clustering.rs)",
+        ns_per_iter: 430_308_807.0,
+    },
+    Reference {
+        name: "cluster/kmeans_warm_vs_cold_10k",
+        note: "warm-started recluster after 64 churned docs of 10k \
+               (cold path = seeded k-means++ with 3 restarts ~75 ms, 8.7x \
+               — the per-maintenance-cycle cost of SignatureDb::recluster)",
+        ns_per_iter: 8_617_248.0,
     },
 ];
 
@@ -458,6 +482,45 @@ fn main() {
         iters,
         ns,
     );
+    let nn_chain_ns = ns;
+
+    // The sub-quadratic clustering tier, on a class-structured corpus —
+    // the fleet-scale workload (many distinct behaviour classes on
+    // disjoint kernel-function bands) the ANN graph's term blocking and
+    // the SNN candidate pruning exist for. `synthetic_points`' four
+    // loosely-banded mega-clusters stay the stress corpus for the exact
+    // NN-chain pin above; the exact comparator here re-runs the
+    // NN-chain on this corpus so the printed speedup is like-for-like.
+    let ann_classes = 50;
+    let ann_pts = synthetic_clustered_points(big_hier_n, ann_classes, 12, 8, 11);
+    let ann_dim = ann_pts[0].dim();
+    let (iters, ns) = time_case(budget_ms, 1, || AnnGraph::build(ann_dim, &ann_pts).unwrap());
+    push(
+        "ann/knn_build_10k",
+        format!("n={big_hier_n} classes={ann_classes} nnz=9 M=16 efc=64"),
+        iters,
+        ns,
+    );
+    let (_, exact_ns) = time_case(budget_ms, 1, || {
+        Agglomerative::new(Linkage::Single).fit(&ann_pts).unwrap()
+    });
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        Agglomerative::new(Linkage::Single)
+            .fit_snn(&ann_pts, &SnnParams::default())
+            .unwrap()
+    });
+    push(
+        "cluster/snn_agglomerative_10k",
+        format!("n={big_hier_n} classes={ann_classes} nnz=9 knn=32"),
+        iters,
+        ns,
+    );
+    println!(
+        "   snn agglomeration: {ns:.0} ns vs {exact_ns:.0} ns exact NN-chain \
+         -> {:.1}x faster at n={big_hier_n} ({:.1}x vs the nn_chain_10k case)",
+        exact_ns / ns,
+        nn_chain_ns / ns
+    );
 
     // Thread-parallel K-means assignment at corpus scale: the explicit
     // threads(1) run is the scaling denominator.
@@ -489,6 +552,46 @@ fn main() {
         format!("k=8 n={big_km_n} dim=2000"),
         iters,
         ns,
+    );
+
+    // Warm-started K-means under streaming churn: converge cold once on
+    // a class-structured corpus, replace a 64-doc slice (the churn
+    // between two maintenance cycles of the streaming daemon), and
+    // re-cluster from the surviving assignment. The cold denominator
+    // mirrors `SignatureDb::recluster`'s cold path exactly — k-means++
+    // with three restarts on the churned corpus.
+    let warm_classes = 8;
+    let warm_pts = synthetic_clustered_points(big_km_n, warm_classes, 48, 24, 12);
+    let churn = 64.min(big_km_n / 4);
+    let cold_fit = KMeans::new(8).seed(7).restarts(3).run(&warm_pts).unwrap();
+    let mut churned_pts = warm_pts.clone();
+    let replacements = synthetic_clustered_points(churn, warm_classes, 48, 24, 13);
+    for (i, r) in replacements.into_iter().enumerate() {
+        churned_pts[i * (big_km_n / churn)] = r;
+    }
+    let (_, cold_ns) = time_case(budget_ms, 1, || {
+        KMeans::new(8)
+            .seed(7)
+            .restarts(3)
+            .run(&churned_pts)
+            .unwrap()
+    });
+    let (iters, ns) = time_case(budget_ms, 1, || {
+        KMeans::new(8)
+            .seed(7)
+            .fit_warm(&churned_pts, &cold_fit.assignments)
+            .unwrap()
+    });
+    push(
+        "cluster/kmeans_warm_vs_cold_10k",
+        format!("k=8 n={big_km_n} classes={warm_classes} churn={churn} restarts=3"),
+        iters,
+        ns,
+    );
+    println!(
+        "   warm recluster: {ns:.0} ns vs {cold_ns:.0} ns cold fit \
+         -> {:.1}x faster after {churn} changed docs",
+        cold_ns / ns
     );
 
     // Inverted-index search, fresh allocation vs scratch reuse.

@@ -31,6 +31,51 @@ pub fn synthetic_points(n: usize, dim: usize, nnz: usize, seed: u64) -> Vec<Spar
         .collect()
 }
 
+/// `n` l2-normalised points over `classes` well-separated clusters —
+/// the corpus shape of a fleet-scale signature database (many distinct
+/// behaviour classes, each concentrated on its own kernel-function
+/// band). Each class owns a contiguous `band`-term slice; every point
+/// activates the first `nnz / 2` terms of its band (the class's hot
+/// kernel functions, shared by all members) plus a per-point rotation
+/// over the rest of the band, and a jittered weight on one shared
+/// anchor term. The hot prefix keeps intra-class cohesion well above
+/// the cross-class floor; the anchor keeps every pairwise distance
+/// distinct — without it any two points with disjoint supports sit at
+/// exactly sqrt(2) after normalisation, and that tie field makes
+/// dendrograms non-unique (see `docs/CLUSTERING.md`).
+pub fn synthetic_clustered_points(
+    n: usize,
+    classes: usize,
+    band: usize,
+    nnz: usize,
+    seed: u64,
+) -> Vec<SparseVec> {
+    assert!(nnz <= band, "class band must fit the active terms");
+    let dim = classes * band + 1;
+    let anchor = (classes * band) as u32;
+    let hot = nnz / 2;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let base = (i % classes) * band;
+            let mut pairs: Vec<(u32, f64)> = (0..nnz)
+                .map(|k| {
+                    let term = if k < hot {
+                        base + k
+                    } else {
+                        base + hot + (k * 7 + i) % (band - hot)
+                    };
+                    (term as u32, 0.5 + rng.random::<f64>())
+                })
+                .collect();
+            pairs.push((anchor, 0.2 + 0.1 * rng.random::<f64>()));
+            SparseVec::from_pairs(dim, pairs)
+                .expect("terms in range")
+                .l2_normalized()
+        })
+        .collect()
+}
+
 /// `n` count documents over a `dim`-term space, each with ~`active`
 /// expected active terms carrying uniform counts — the shared index/tf-idf
 /// benchmark corpus.

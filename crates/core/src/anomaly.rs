@@ -60,6 +60,42 @@ impl AnomalyDetector {
             )));
         }
         let syndromes = db.syndromes(k, seed)?;
+        Self::from_syndromes(db, syndromes, margin)
+    }
+
+    /// Like [`fit`](Self::fit), but routed through
+    /// [`SignatureDb::recluster`]: the first call clusters cold, and a
+    /// detector refreshed after streaming churn warm-starts from the
+    /// database's cached assignment — O(changed docs) of Lloyd work
+    /// instead of a full multi-restart K-means — while the threshold is
+    /// recomputed over the full surviving membership either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering failures; rejects `margin < 1` like
+    /// [`fit`](Self::fit).
+    pub fn fit_incremental(
+        db: &mut SignatureDb,
+        k: usize,
+        margin: f64,
+        seed: u64,
+    ) -> Result<Self, FmeterError> {
+        if margin < 1.0 {
+            return Err(FmeterError::Ml(fmeter_ml::MlError::InvalidConfig(
+                "margin must be >= 1".into(),
+            )));
+        }
+        let recluster = db.recluster(k, seed)?;
+        Self::from_syndromes(db, recluster.syndromes, margin)
+    }
+
+    /// Shared tail of the fit paths: derive the novelty threshold from
+    /// the training population's largest member-to-centroid distance.
+    fn from_syndromes(
+        db: &SignatureDb,
+        syndromes: Vec<Syndrome>,
+        margin: f64,
+    ) -> Result<Self, FmeterError> {
         let mut max_radius: f64 = 0.0;
         for syndrome in &syndromes {
             for &member in &syndrome.members {
@@ -203,6 +239,30 @@ mod tests {
     fn margin_below_one_rejected() {
         let db = training();
         assert!(AnomalyDetector::fit(&db, 2, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn incremental_fit_matches_cold_fit_and_warm_starts() {
+        let mut db = training();
+        let cold = AnomalyDetector::fit(&db, 2, 1.5, 1).unwrap();
+        // First incremental fit is a cold recluster with the same k-means
+        // configuration modulo restarts; on this well-separated corpus the
+        // syndromes agree exactly.
+        let first = AnomalyDetector::fit_incremental(&mut db, 2, 1.5, 1).unwrap();
+        assert_eq!(first.syndromes(), cold.syndromes());
+        assert_eq!(first.threshold(), cold.threshold());
+        // Second fit with unchanged data warm-starts and reproduces the
+        // detector bit for bit.
+        let second = AnomalyDetector::fit_incremental(&mut db, 2, 1.5, 1).unwrap();
+        assert_eq!(second.syndromes(), first.syndromes());
+        assert_eq!(second.threshold(), first.threshold());
+        let verdict = second
+            .inspect(
+                &db,
+                &fmeter_ir::TermCounts::from_dense(&[0, 80, 0, 0, 0, 90, 0, 0]),
+            )
+            .unwrap();
+        assert!(verdict.is_anomalous);
     }
 
     #[test]

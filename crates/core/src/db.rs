@@ -132,6 +132,38 @@ pub struct VacuumStats {
     pub remap: Vec<Option<DocId>>,
 }
 
+/// Outcome of one [`SignatureDb::recluster`] pass: the syndromes plus
+/// how they were obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recluster {
+    /// The clustered syndromes, identical in shape to what
+    /// [`SignatureDb::syndromes`] returns.
+    pub syndromes: Vec<Syndrome>,
+    /// `true` when the pass warm-started from the cached assignment
+    /// ([`KMeans::fit_warm`]); `false` for a cold, multi-restart run.
+    pub warm: bool,
+    /// Lloyd iterations the (final) K-means run performed.
+    pub iterations: usize,
+}
+
+/// The clustering state [`SignatureDb::recluster`] carries between
+/// calls so a steady-state pass costs O(changed), not O(n · restarts).
+///
+/// Derived state, like [`VacuumStats`]: never persisted (a loaded
+/// database starts cold) and never written to the WAL — it is rebuilt
+/// by the first `recluster` after recovery.
+#[derive(Debug, Clone)]
+pub(crate) struct ClusterCache {
+    k: usize,
+    seed: u64,
+    /// Per-slot cluster assignment from the last pass; `None` for slots
+    /// inserted since, removed, or never clustered.
+    assignment: Vec<Option<usize>>,
+    /// Centroids from the last pass (used to attach new docs to their
+    /// nearest cluster before warm-starting).
+    centroids: Vec<SparseVec>,
+}
+
 /// A labelled database of indexable signatures.
 ///
 /// This is the paper's envisioned operator workflow (§2.2): signatures
@@ -198,6 +230,9 @@ pub struct SignatureDb {
     /// process. *Not* persisted — a remap is only meaningful to the
     /// process whose ids it invalidated.
     pub(crate) last_vacuum: Option<VacuumStats>,
+    /// Warm-start state for [`recluster`](Self::recluster). Derived,
+    /// not persisted (see [`ClusterCache`]).
+    pub(crate) cluster_cache: Option<ClusterCache>,
 }
 
 impl SignatureDb {
@@ -254,6 +289,7 @@ impl SignatureDb {
             vacuum_policy: VacuumPolicy::default(),
             vacuums: 0,
             last_vacuum: None,
+            cluster_cache: None,
         })
     }
 
@@ -321,6 +357,9 @@ impl SignatureDb {
         self.doc_epoch.push(self.epoch);
         self.num_live += 1;
         self.mutations_since_refit += 1;
+        if let Some(cache) = &mut self.cluster_cache {
+            cache.assignment.push(None);
+        }
         Ok(id)
     }
 
@@ -342,6 +381,9 @@ impl SignatureDb {
         self.live[doc] = false;
         self.num_live -= 1;
         self.mutations_since_refit += 1;
+        if let Some(cache) = &mut self.cluster_cache {
+            cache.assignment[doc] = None;
+        }
         // Vacuum before refit: vacuuming is pure renumbering (it moves
         // postings, touching no floats) and changes none of the refit
         // policy's inputs, so when both are due the refit's single
@@ -417,6 +459,17 @@ impl SignatureDb {
             .filter(|(d, _)| live[*d])
             .map(|(_, e)| e)
             .collect();
+        if let Some(cache) = &mut self.cluster_cache {
+            // Renumber the warm-start assignments alongside the doc ids;
+            // dead slots (already `None`) drop out of the vector.
+            let old = std::mem::take(&mut cache.assignment);
+            cache.assignment = old
+                .into_iter()
+                .enumerate()
+                .filter(|(d, _)| live[*d])
+                .map(|(_, a)| a)
+                .collect();
+        }
         self.live = vec![true; self.num_live];
         self.vacuums += 1;
         let stats = VacuumStats {
@@ -732,8 +785,20 @@ impl SignatureDb {
             .map(|&d| self.signatures[d].vector.clone())
             .collect();
         let result = KMeans::new(k).seed(seed).restarts(3).run(&vectors)?;
-        let mut syndromes: Vec<Syndrome> = result
-            .centroids
+        Ok(self.syndromes_from(&live_ids, result.centroids, &result.assignments))
+    }
+
+    /// Labels a K-means result as syndromes: builds one [`Syndrome`]
+    /// per centroid, distributes the live doc ids into member lists,
+    /// and votes each cluster's dominant label (ties break towards the
+    /// lexically smaller label, deterministically).
+    fn syndromes_from(
+        &self,
+        live_ids: &[usize],
+        centroids: Vec<SparseVec>,
+        assignments: &[usize],
+    ) -> Vec<Syndrome> {
+        let mut syndromes: Vec<Syndrome> = centroids
             .into_iter()
             .map(|centroid| Syndrome {
                 centroid,
@@ -741,7 +806,7 @@ impl SignatureDb {
                 members: Vec::new(),
             })
             .collect();
-        for (i, &cluster) in result.assignments.iter().enumerate() {
+        for (i, &cluster) in assignments.iter().enumerate() {
             syndromes[cluster].members.push(live_ids[i]);
         }
         for syndrome in &mut syndromes {
@@ -756,7 +821,111 @@ impl SignatureDb {
                 .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
                 .map(|(l, _)| l.to_string());
         }
-        Ok(syndromes)
+        syndromes
+    }
+
+    /// Incremental syndrome maintenance: like
+    /// [`syndromes`](Self::syndromes), but warm-started from the
+    /// previous pass so a steady-state call costs O(changed docs) Lloyd
+    /// work instead of a full multi-restart K-means.
+    ///
+    /// The first call (or any call after [`load`](Self::load), which
+    /// starts cold) runs exactly what `syndromes(k, seed)` runs and
+    /// caches the resulting assignment per doc slot. Subsequent calls
+    /// with the *same* `k` and `seed` attach every doc inserted since
+    /// to its nearest cached centroid and resume Lloyd iterations from
+    /// there ([`KMeans::fit_warm`]): with no churn the pass converges in
+    /// one assignment sweep with bit-identical centroids, and with
+    /// bounded churn it converges in the few iterations the moved
+    /// points need. The cache follows removals and [`vacuum`]
+    /// renumbering automatically; changing `k` or `seed` — or churn so
+    /// heavy that a cached cluster lost all its members — falls back to
+    /// the cold path (observable via [`Recluster::warm`]).
+    ///
+    /// The cache is derived state: it is not persisted and not written
+    /// to the write-ahead log, so a crash simply means the next
+    /// `recluster` after recovery is a cold one.
+    ///
+    /// [`vacuum`]: Self::vacuum
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering failures (e.g. fewer signatures than `k`).
+    pub fn recluster(&mut self, k: usize, seed: u64) -> Result<Recluster, FmeterError> {
+        let live_ids: Vec<usize> = (0..self.signatures.len())
+            .filter(|&d| self.live[d])
+            .collect();
+        let vectors: Vec<SparseVec> = live_ids
+            .iter()
+            .map(|&d| self.signatures[d].vector.clone())
+            .collect();
+        let prev = self.warm_assignment(k, seed, &live_ids, &vectors);
+        let (result, warm) = match prev {
+            Some(prev) => match KMeans::new(k).seed(seed).fit_warm(&vectors, &prev) {
+                Ok(result) => (result, true),
+                // Defensive: any warm-start rejection (all guarded
+                // against above) degrades to a cold run, never an error.
+                Err(_) => (KMeans::new(k).seed(seed).restarts(3).run(&vectors)?, false),
+            },
+            None => (KMeans::new(k).seed(seed).restarts(3).run(&vectors)?, false),
+        };
+        let mut assignment = vec![None; self.signatures.len()];
+        for (i, &d) in live_ids.iter().enumerate() {
+            assignment[d] = Some(result.assignments[i]);
+        }
+        self.cluster_cache = Some(ClusterCache {
+            k,
+            seed,
+            assignment,
+            centroids: result.centroids.clone(),
+        });
+        Ok(Recluster {
+            syndromes: self.syndromes_from(&live_ids, result.centroids, &result.assignments),
+            warm,
+            iterations: result.iterations,
+        })
+    }
+
+    /// Builds the warm-start assignment for [`recluster`] from the
+    /// cache, or `None` when a cold run is required: no cache, `k` or
+    /// `seed` changed, too few points, or churn emptied a cached
+    /// cluster (a [`KMeans::fit_warm`] precondition).
+    fn warm_assignment(
+        &self,
+        k: usize,
+        seed: u64,
+        live_ids: &[usize],
+        vectors: &[SparseVec],
+    ) -> Option<Vec<usize>> {
+        let cache = self.cluster_cache.as_ref()?;
+        if cache.k != k || cache.seed != seed || k == 0 || vectors.len() < k {
+            return None;
+        }
+        let mut prev = Vec::with_capacity(live_ids.len());
+        for (i, &d) in live_ids.iter().enumerate() {
+            match cache.assignment.get(d).copied().flatten() {
+                Some(a) if a < k => prev.push(a),
+                Some(_) => return None,
+                // Inserted since the last pass: attach to the nearest
+                // cached centroid (same metric K-means assigns with).
+                None => {
+                    let mut best: Option<(usize, f64)> = None;
+                    for (c, centroid) in cache.centroids.iter().enumerate() {
+                        let d2 = fmeter_ir::euclidean_distance_sq(&vectors[i], centroid)
+                            .expect("cached centroids share the database dimension");
+                        if best.is_none_or(|(_, bd)| d2 < bd) {
+                            best = Some((c, d2));
+                        }
+                    }
+                    prev.push(best?.0);
+                }
+            }
+        }
+        let mut counts = vec![0usize; k];
+        for &a in &prev {
+            counts[a] += 1;
+        }
+        counts.iter().all(|&c| c > 0).then_some(prev)
     }
 
     /// Meta-clustering (paper §2.2, §6): clusters syndrome *centroids*
@@ -974,6 +1143,103 @@ mod tests {
         for s in &syndromes {
             assert_eq!(s.members.len(), 6);
         }
+    }
+
+    #[test]
+    fn recluster_first_call_is_cold_and_matches_syndromes() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        let cold = db.syndromes(2, 7).unwrap();
+        let pass = db.recluster(2, 7).unwrap();
+        assert!(!pass.warm, "no cache yet: the first pass must run cold");
+        assert_eq!(pass.syndromes, cold);
+    }
+
+    #[test]
+    fn recluster_steady_state_warm_starts_bit_identically() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        let first = db.recluster(2, 7).unwrap();
+        let second = db.recluster(2, 7).unwrap();
+        assert!(second.warm, "unchanged corpus must take the warm path");
+        assert_eq!(
+            second.iterations, 1,
+            "a converged assignment is a Lloyd fixpoint"
+        );
+        assert_eq!(second.syndromes, first.syndromes);
+    }
+
+    #[test]
+    fn recluster_cache_invalidates_on_config_change() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.recluster(2, 7).unwrap();
+        // Different k and different seed each force a cold pass…
+        assert!(!db.recluster(3, 7).unwrap().warm);
+        assert!(!db.recluster(3, 8).unwrap().warm);
+        // …and each cold pass re-primes the cache for its own config.
+        assert!(db.recluster(3, 8).unwrap().warm);
+    }
+
+    #[test]
+    fn recluster_follows_churn_and_vacuum() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.recluster(2, 7).unwrap();
+        // Churn: remove one doc of each class, insert a fresh class-A
+        // signature. The cache survives (inserted doc attaches to its
+        // nearest cached centroid) and the pass stays warm.
+        db.remove(0).unwrap();
+        db.remove(1).unwrap();
+        db.insert(&RawSignature {
+            counts: vec![52, 41, 29, 21, 0, 1, 0, 0],
+            started_at: Nanos(0),
+            ended_at: Nanos(1),
+            label: Some("a".into()),
+        })
+        .unwrap();
+        let churned = db.recluster(2, 7).unwrap();
+        assert!(churned.warm, "bounded churn should keep the warm path");
+        let labels: Vec<_> = churned
+            .syndromes
+            .iter()
+            .map(|s| s.dominant_label.clone().unwrap())
+            .collect();
+        assert!(labels.contains(&"a".to_string()) && labels.contains(&"b".to_string()));
+        // Vacuum renumbers doc ids; the cached assignment must follow.
+        db.vacuum();
+        let after_vacuum = db.recluster(2, 7).unwrap();
+        assert!(after_vacuum.warm, "vacuum renumbering must not go cold");
+        for s in &after_vacuum.syndromes {
+            for &m in &s.members {
+                assert!(db.is_live(m), "member ids must be post-vacuum ids");
+            }
+        }
+        // And the result agrees with a from-scratch clustering of the
+        // compacted corpus.
+        let cold = db.syndromes(2, 7).unwrap();
+        let warm_members: Vec<_> = after_vacuum
+            .syndromes
+            .iter()
+            .map(|s| {
+                let mut m = s.members.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        for s in &cold {
+            let mut m = s.members.clone();
+            m.sort_unstable();
+            assert!(warm_members.contains(&m), "partition diverged: {m:?}");
+        }
+    }
+
+    #[test]
+    fn recluster_cache_is_not_persisted() {
+        let mut db = SignatureDb::build(&sample_raw()).unwrap();
+        db.recluster(2, 7).unwrap();
+        let mut bytes = Vec::new();
+        db.save(&mut bytes).unwrap();
+        let mut back = SignatureDb::load(&bytes[..]).unwrap();
+        let pass = back.recluster(2, 7).unwrap();
+        assert!(!pass.warm, "a loaded database must recluster cold once");
+        assert!(back.recluster(2, 7).unwrap().warm);
     }
 
     #[test]

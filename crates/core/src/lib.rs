@@ -60,7 +60,9 @@ mod userspace;
 pub mod wal;
 
 pub use anomaly::{AnomalyDetector, AnomalyVerdict};
-pub use db::{RefitPolicy, RefitStats, SignatureDb, Syndrome, VacuumPolicy, VacuumStats};
+pub use db::{
+    Recluster, RefitPolicy, RefitStats, SignatureDb, Syndrome, VacuumPolicy, VacuumStats,
+};
 pub use error::FmeterError;
 pub use fmeter::Fmeter;
 pub use logger::SignatureLogger;

@@ -962,6 +962,9 @@ fn decode(env: &Envelope) -> Result<SignatureDb, FmeterError> {
         vacuum_policy: state.vacuum_policy,
         vacuums: state.vacuums,
         last_vacuum: None,
+        // Warm-start clustering state is process-local, like the vacuum
+        // remap above: a loaded database reclusters cold once.
+        cluster_cache: None,
     })
 }
 

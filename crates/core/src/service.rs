@@ -56,7 +56,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::wal::{DurableLog, DurableOptions, RecoveryReport, WalHealth, WalOp};
 use crate::{
-    persist, FmeterError, RawSignature, RefitPolicy, RefitStats, Signature, SignatureDb,
+    persist, FmeterError, RawSignature, Recluster, RefitPolicy, RefitStats, Signature, SignatureDb,
     VacuumPolicy, VacuumStats,
 };
 
@@ -410,6 +410,22 @@ impl ShardWriter {
         let out = self.mutate(SignatureDb::vacuum);
         self.checkpoint_if_due();
         out
+    }
+
+    /// Warm-started syndrome maintenance (see
+    /// [`SignatureDb::recluster`]).
+    ///
+    /// Deliberately *not* a WAL op and not a mirror-desyncing mutation:
+    /// reclustering only touches the database's derived warm-start
+    /// cache — no weights, doc ids, or postings change — so recovery
+    /// simply starts the cache cold and the sharded mirror stays valid
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering failures (e.g. fewer signatures than `k`).
+    pub fn recluster(&mut self, k: usize, seed: u64) -> Result<Recluster, FmeterError> {
+        self.db.recluster(k, seed)
     }
 
     /// Replaces the automatic-refit policy. In durable mode the change
@@ -879,6 +895,20 @@ impl SignatureService {
         let stats = writer.vacuum();
         self.publish(&writer);
         stats
+    }
+
+    /// Warm-started syndrome maintenance over the authoritative
+    /// database (see [`SignatureDb::recluster`]): the first call runs a
+    /// cold multi-restart K-means, steady-state calls resume from the
+    /// cached assignment in O(changed docs). No generation is published
+    /// — snapshots do not carry syndromes, and the pass mutates only
+    /// the writer-side warm-start cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering failures (e.g. fewer signatures than `k`).
+    pub fn recluster(&self, k: usize, seed: u64) -> Result<Recluster, FmeterError> {
+        self.inner.writer.lock().recluster(k, seed)
     }
 
     /// Replaces the automatic-refit policy.

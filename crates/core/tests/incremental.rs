@@ -3,10 +3,11 @@
 //! indistinguishable from a from-scratch `build` over the surviving
 //! corpus, and the epoch state must survive save/load.
 
-use fmeter_core::{RawSignature, RefitPolicy, SignatureDb};
+use fmeter_core::{RawSignature, RefitPolicy, SignatureDb, Syndrome};
 use fmeter_ir::TermCounts;
 use fmeter_kernel_sim::Nanos;
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 const DIM: usize = 10;
 
@@ -138,6 +139,80 @@ fn assert_equivalent(db: &SignatureDb, fresh: &SignatureDb, probes: &[RawSignatu
     }
 }
 
+/// One scripted mutation for the recluster churn test: inserts stay
+/// class-shaped (a jittered member of one of the two seed bands) so the
+/// ground-truth partition survives arbitrary interleaves and purity is
+/// a stable yardstick between independently converged clusterings.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    InsertAlpha(u64),
+    InsertBeta(u64),
+    Remove(usize),
+    Vacuum,
+}
+
+fn arb_churn_op() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        (0u64..20).prop_map(ChurnOp::InsertAlpha),
+        (0u64..20).prop_map(ChurnOp::InsertBeta),
+        (0usize..64).prop_map(ChurnOp::Remove),
+        Just(ChurnOp::Vacuum),
+    ]
+}
+
+fn apply_churn(db: &mut SignatureDb, ops: &[ChurnOp]) {
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            ChurnOp::InsertAlpha(j) => {
+                let r = raw(
+                    vec![40 + j, 30, 20, 10, 0, 0, 1, 0, 0, 0],
+                    200 + i as u64,
+                    "alpha",
+                );
+                db.insert(&r).expect("insert succeeds");
+            }
+            ChurnOp::InsertBeta(j) => {
+                let r = raw(
+                    vec![0, 0, 1, 0, 0, 50, 40 + j, 30, 20, 10],
+                    200 + i as u64,
+                    "beta",
+                );
+                db.insert(&r).expect("insert succeeds");
+            }
+            ChurnOp::Remove(selector) => {
+                // Keep enough points for a k=2 clustering to stay sane.
+                if db.len() <= 4 {
+                    continue;
+                }
+                let live: Vec<usize> = (0..db.num_slots()).filter(|&d| db.is_live(d)).collect();
+                db.remove(live[selector % live.len()])
+                    .expect("victim is live");
+            }
+            ChurnOp::Vacuum => {
+                db.vacuum();
+            }
+        }
+    }
+}
+
+/// Label purity of a clustering: the fraction of members whose stored
+/// label agrees with their syndrome's majority label.
+fn purity(db: &SignatureDb, syndromes: &[Syndrome]) -> f64 {
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for s in syndromes {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for &m in &s.members {
+            if let Some(label) = db.signatures()[m].label.as_deref() {
+                *counts.entry(label).or_insert(0) += 1;
+            }
+        }
+        agree += counts.values().copied().max().unwrap_or(0);
+        total += s.members.len();
+    }
+    agree as f64 / total.max(1) as f64
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -209,6 +284,44 @@ proptest! {
                 prop_assert_eq!(&sa.dominant_label, &sb.dominant_label);
             }
         }
+    }
+
+    #[test]
+    fn recluster_after_churn_matches_cold_purity(
+        ops in prop::collection::vec(arb_churn_op(), 0..24),
+        manual in any::<bool>(),
+        every_n in 1usize..5,
+    ) {
+        // The warm-start contract under streaming churn: a recluster
+        // that reuses the cached assignment must land on a partition as
+        // label-pure as an independent cold clustering of the same
+        // state — under both refit policies, since auto-refits rewrite
+        // the tf-idf vectors mid-interleave.
+        let raws = seed_corpus(4);
+        let mut db = SignatureDb::build(&raws).expect("seed corpus builds");
+        db.set_refit_policy(if manual {
+            RefitPolicy::Manual
+        } else {
+            RefitPolicy::EveryN(every_n)
+        });
+        // Prime the cache: the first call is always cold.
+        let first = db.recluster(2, 7).expect("recluster");
+        prop_assert!(!first.warm);
+        apply_churn(&mut db, &ops);
+        let warm = db.recluster(2, 7).expect("recluster");
+        let cold = db.syndromes(2, 7).expect("syndromes");
+        let (wp, cp) = (purity(&db, &warm.syndromes), purity(&db, &cold));
+        prop_assert!(
+            (wp - cp).abs() <= 1e-9,
+            "warm recluster purity {} drifted from cold {} (warm path: {})",
+            wp, cp, warm.warm
+        );
+        // And the syndromes it reports are exactly the database's own
+        // view of the cached partition: reclustering again without any
+        // intervening mutation reproduces them bit for bit.
+        let again = db.recluster(2, 7).expect("recluster");
+        prop_assert!(again.warm);
+        prop_assert_eq!(again.syndromes, warm.syndromes);
     }
 
     #[test]

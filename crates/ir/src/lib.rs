@@ -20,6 +20,10 @@
 //!   a cached estimator, one-pass idf refits),
 //! * [`SparseVec`] and the fused [`Metric`] distance kernels, plus the
 //!   packed [`CsrMatrix`] corpus layout the batch/clustering paths use,
+//! * [`AnnGraph`] — an incremental navigable-small-world graph whose
+//!   `knn(query, k, ef)` beam search feeds sub-quadratic clustering and
+//!   approximate retrieval with candidate lists in O(ef · degree)
+//!   distance evaluations,
 //! * [`InvertedIndex`] — the block-max postings search structure with
 //!   tombstone-aware removal, posting rebuilds, optional 8-bit impact
 //!   quantization ([`QuantizationMode`]), and WAND/MaxScore/block-max
@@ -51,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ann;
 pub mod codec;
 mod corpus;
 mod distance;
@@ -61,6 +66,7 @@ mod shard;
 mod sparse;
 mod tfidf;
 
+pub use ann::{AnnGraph, DEFAULT_EF_CONSTRUCTION, DEFAULT_MAX_DEGREE};
 pub use codec::{BinCodec, CodecError};
 pub use corpus::{Corpus, TermCounts};
 pub use distance::{

@@ -81,6 +81,20 @@ impl Deserialize for CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// An empty matrix over a fixed `dim`-dimensional space, grown one
+    /// row at a time with [`push_row`](Self::push_row) — the streaming
+    /// counterpart of [`from_rows`](Self::from_rows).
+    pub fn new(dim: usize) -> Self {
+        CsrMatrix {
+            dim,
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+            norms: Vec::new(),
+            sq_norms: Vec::new(),
+        }
+    }
+
     /// Packs a slice of sparse vectors into one CSR buffer.
     ///
     /// An empty slice yields an empty matrix of dimension zero.

@@ -1,7 +1,13 @@
-use fmeter_ir::{CsrMatrix, Metric, SparseVec};
+use std::collections::BTreeMap;
+
+use fmeter_ir::{AnnGraph, CsrMatrix, Metric, SparseVec};
 use serde::{Deserialize, Serialize};
 
 use crate::MlError;
+
+/// Per-point candidate lists: for each point, its `(neighbour, distance)`
+/// edges ranked by exact distance.
+type CandidateLists = Vec<Vec<(usize, f64)>>;
 
 /// Linkage criterion for agglomerative clustering.
 ///
@@ -39,6 +45,36 @@ pub struct Merge {
 pub struct Dendrogram {
     num_points: usize,
     merges: Vec<Merge>,
+}
+
+/// Tuning knobs for the locality-pruned agglomeration of
+/// [`Agglomerative::fit_snn`].
+///
+/// The candidate graph is the symmetric union of every point's `knn`
+/// best candidates, harvested from the layer-0 adjacency of an
+/// [`AnnGraph`] built with `max_degree`/`ef_construction` (each
+/// point's direct neighbours plus their neighbours, ranked by exact
+/// distance). Larger values buy accuracy with time; when
+/// `knn >= n - 1` the candidate graph is complete and the path
+/// degenerates to the exact NN-chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnnParams {
+    /// Nearest neighbours kept per point (candidate edges).
+    pub knn: usize,
+    /// Maximum degree of the underlying [`AnnGraph`].
+    pub max_degree: usize,
+    /// Construction-time beam width of the underlying [`AnnGraph`].
+    pub ef_construction: usize,
+}
+
+impl Default for SnnParams {
+    fn default() -> Self {
+        SnnParams {
+            knn: 32,
+            max_degree: 16,
+            ef_construction: 80,
+        }
+    }
 }
 
 /// Agglomerative hierarchical clustering.
@@ -103,18 +139,40 @@ impl Agglomerative {
     /// the tree may differ from the brute-force one, but both are valid
     /// dendrograms of the same height multiset.
     ///
+    /// # Degenerate inputs
+    ///
+    /// All three paths (`fit`, [`fit_brute_force`](Self::fit_brute_force),
+    /// [`fit_snn`](Self::fit_snn)) share one contract: zero points is
+    /// [`MlError::EmptyInput`]; a single point yields a one-leaf tree
+    /// with no merges; all-duplicate points yield `n - 1` merges at
+    /// height exactly `0.0`.
+    ///
     /// # Errors
     ///
     /// * [`MlError::EmptyInput`] when no points are given,
     /// * [`MlError::Ir`] when points disagree on dimensionality.
     pub fn fit(&self, points: &[SparseVec]) -> Result<Dendrogram, MlError> {
         let n = points.len();
-        if n == 0 {
-            return Err(MlError::EmptyInput);
+        if let Some(degenerate) = Self::degenerate(points)? {
+            return Ok(degenerate);
         }
         let csr = CsrMatrix::from_rows(points)?;
         let mut condensed = csr.pairwise_condensed(self.metric)?;
         Ok(self.merge_nn_chain(n, &mut condensed))
+    }
+
+    /// The shared degenerate-input contract of every fit path: `Err`
+    /// for zero points, a one-leaf no-merge tree for a single point,
+    /// `None` when the input needs a real agglomeration.
+    fn degenerate(points: &[SparseVec]) -> Result<Option<Dendrogram>, MlError> {
+        match points.len() {
+            0 => Err(MlError::EmptyInput),
+            1 => Ok(Some(Dendrogram {
+                num_points: 1,
+                merges: Vec::new(),
+            })),
+            _ => Ok(None),
+        }
     }
 
     /// The original O(n³) closest-pair implementation, kept as the
@@ -127,8 +185,8 @@ impl Agglomerative {
     /// Same contract as [`fit`](Self::fit).
     pub fn fit_brute_force(&self, points: &[SparseVec]) -> Result<Dendrogram, MlError> {
         let n = points.len();
-        if n == 0 {
-            return Err(MlError::EmptyInput);
+        if let Some(degenerate) = Self::degenerate(points)? {
+            return Ok(degenerate);
         }
         let csr = CsrMatrix::from_rows(points)?;
         let condensed = csr.pairwise_condensed(self.metric)?;
@@ -205,6 +263,294 @@ impl Agglomerative {
             num_points: n,
             merges,
         })
+    }
+
+    /// Locality-pruned agglomeration: the sub-quadratic path.
+    ///
+    /// Instead of the n(n-1)/2-entry condensed matrix, this builds a
+    /// *shared-nearest-neighbour candidate graph* — the symmetric union
+    /// of every point's `params.knn` approximate nearest neighbours
+    /// from an incremental [`AnnGraph`] — and runs the same
+    /// nearest-neighbour-chain / Lance–Williams merge engine as
+    /// [`fit`](Self::fit), but only ever over graph-connected
+    /// candidates: cluster-to-cluster distances live in per-cluster
+    /// sparse maps that merge in O(degree) per step. Memory is
+    /// O(n · knn) and time is dominated by the O(n · ef · degree) ANN
+    /// build, so 10k-point dendrograms cost milliseconds-to-
+    /// hundreds-of-milliseconds instead of seconds (see
+    /// `cluster/snn_agglomerative_10k` in `BENCH_ir.json`).
+    ///
+    /// Accuracy contract (pinned by `crates/ml/tests/ann_clustering.rs`
+    /// and tabulated in `docs/CLUSTERING.md`): when the candidate graph
+    /// is complete (`params.knn >= n - 1` with a generous `ef`) the
+    /// result is *identical* to [`fit`](Self::fit); on sparser graphs a
+    /// missing candidate edge means the Lance–Williams update falls
+    /// back to the distances it has (exact for single linkage as long
+    /// as the true merge edge is in the graph; an approximation for
+    /// complete/average), so cut partitions are approximate with high
+    /// agreement (ARI ≥ 0.95 on clustered corpora). Disconnected
+    /// candidate graphs are bridged with exact distances between
+    /// component representatives before merging, so the dendrogram is
+    /// always complete. Degenerate inputs follow the shared contract
+    /// documented on [`fit`](Self::fit).
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::EmptyInput`] when no points are given,
+    /// * [`MlError::Ir`] when points disagree on dimensionality or the
+    ///   metric is invalid.
+    pub fn fit_snn(&self, points: &[SparseVec], params: &SnnParams) -> Result<Dendrogram, MlError> {
+        let n = points.len();
+        if let Some(degenerate) = Self::degenerate(points)? {
+            return Ok(degenerate);
+        }
+        self.metric.validate()?;
+        let k = params.knn.min(n - 1).max(1);
+        // Symmetric union of the k-NN lists; BTreeMaps so every
+        // nearest-neighbour scan iterates candidates in ascending slot
+        // order — the same deterministic tie order as the dense chain.
+        let mut adj: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); n];
+        if k >= n - 1 {
+            // `knn >= n-1` *requests* the complete candidate graph — the
+            // exact-oracle configuration the reference tests pin. Build
+            // it directly from exact pairwise distances rather than
+            // through beam searches, so exactness never depends on ANN
+            // recall.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = self.metric.distance(&points[i], &points[j])?;
+                    adj[i].insert(j, d);
+                    adj[j].insert(i, d);
+                }
+            }
+        } else {
+            let mut graph = AnnGraph::new(points[0].dim())
+                .metric(self.metric)
+                .max_degree(params.max_degree)
+                .ef_construction(params.ef_construction);
+            graph.extend(points)?;
+            for (i, list) in self
+                .harvest_candidates(points, &graph, k)?
+                .into_iter()
+                .enumerate()
+            {
+                for (j, d) in list {
+                    adj[i].insert(j, d);
+                    adj[j].insert(i, d);
+                }
+            }
+        }
+        self.bridge_components(points, &mut adj)?;
+        Ok(self.merge_nn_chain_sparse(n, &mut adj))
+    }
+
+    /// Harvests each point's `k` best candidate edges from the built
+    /// graph's layer-0 adjacency: the point's direct neighbours plus
+    /// their neighbours (the 2-hop closure), ranked by exact distance.
+    /// With degree `d` that is at most `d + d²` candidates per point —
+    /// a fixed, beam-free cost — and the closure recovers near
+    /// neighbours the diversity pruning displaced to a mutual
+    /// neighbour's list. Each point's list is an independent exact
+    /// computation, so the result is deterministic regardless of the
+    /// worker count (the fan-out mirrors the K-means assignment step).
+    fn harvest_candidates(
+        &self,
+        points: &[SparseVec],
+        graph: &AnnGraph,
+        k: usize,
+    ) -> Result<CandidateLists, MlError> {
+        let n = points.len();
+        let harvest_one = |i: usize| -> Result<Vec<(usize, f64)>, MlError> {
+            let mut cand: Vec<usize> = Vec::new();
+            for &j in graph.neighbors(i) {
+                cand.push(j as usize);
+                for &h in graph.neighbors(j as usize) {
+                    cand.push(h as usize);
+                }
+            }
+            cand.sort_unstable();
+            cand.dedup();
+            cand.retain(|&j| j != i);
+            let mut ranked: Vec<(usize, f64)> = cand
+                .into_iter()
+                .map(|j| Ok((j, self.metric.distance(&points[i], &points[j])?)))
+                .collect::<Result<_, MlError>>()?;
+            ranked.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            ranked.truncate(k);
+            Ok(ranked)
+        };
+        let threads = if n >= 2048 {
+            std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .min(n)
+        } else {
+            1
+        };
+        if threads <= 1 {
+            return (0..n).map(harvest_one).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut lists = Vec::with_capacity(n);
+        let results: Vec<Result<CandidateLists, MlError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    let harvest_one = &harvest_one;
+                    s.spawn(move || (lo..hi).map(harvest_one).collect())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("harvest worker panicked"))
+                .collect()
+        });
+        for r in results {
+            lists.extend(r?);
+        }
+        Ok(lists)
+    }
+
+    /// Connects the candidate graph when the k-NN union left it in
+    /// multiple components (possible on corpora with far-apart blobs):
+    /// each component gains one exact-distance edge to its nearest
+    /// other component, judged over up to 8 representative members, and
+    /// the pass repeats until one component remains. Component count at
+    /// least halves per pass, so the loop is O(log n) passes of
+    /// bounded-size distance scans.
+    fn bridge_components(
+        &self,
+        points: &[SparseVec],
+        adj: &mut [BTreeMap<usize, f64>],
+    ) -> Result<(), MlError> {
+        const REPS: usize = 8;
+        let n = points.len();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        loop {
+            let mut parent: Vec<usize> = (0..n).collect();
+            for (i, nbrs) in adj.iter().enumerate() {
+                for &j in nbrs.keys() {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+            let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for i in 0..n {
+                let root = find(&mut parent, i);
+                let m = members.entry(root).or_default();
+                if m.len() < REPS {
+                    m.push(i);
+                }
+            }
+            if members.len() <= 1 {
+                return Ok(());
+            }
+            let comps: Vec<Vec<usize>> = members.into_values().collect();
+            for (ci, reps) in comps.iter().enumerate() {
+                let mut best: Option<(usize, usize, f64)> = None;
+                for (cj, other) in comps.iter().enumerate() {
+                    if ci == cj {
+                        continue;
+                    }
+                    for &a in reps {
+                        for &b in other {
+                            let d = self.metric.distance(&points[a], &points[b])?;
+                            if best.is_none_or(|(_, _, bd)| d < bd) {
+                                best = Some((a, b, d));
+                            }
+                        }
+                    }
+                }
+                let (a, b, d) = best.expect("at least two components remain");
+                adj[a].insert(b, d);
+                adj[b].insert(a, d);
+            }
+        }
+    }
+
+    /// The NN-chain merge engine over a sparse candidate graph: the
+    /// same chain/mutual-pair/Lance–Williams logic as
+    /// [`merge_nn_chain`](Self::merge_nn_chain), with cluster-to-
+    /// cluster distances held in per-slot maps instead of the condensed
+    /// matrix. On a complete graph the two are step-for-step identical
+    /// (same slot bookkeeping, same ascending-index tie order); on a
+    /// pruned graph a Lance–Williams update missing one side keeps the
+    /// side it has.
+    fn merge_nn_chain_sparse(&self, n: usize, adj: &mut [BTreeMap<usize, f64>]) -> Dendrogram {
+        let mut size = vec![1usize; n];
+        let mut chain: Vec<usize> = Vec::with_capacity(n);
+        let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n.saturating_sub(1));
+        for _ in 0..n.saturating_sub(1) {
+            if chain.is_empty() {
+                let start = size
+                    .iter()
+                    .position(|&s| s > 0)
+                    .expect("an active cluster remains");
+                chain.push(start);
+            }
+            let (x, y, height) = loop {
+                let x = *chain.last().expect("chain is non-empty");
+                let mut y = usize::MAX;
+                let mut best = f64::INFINITY;
+                if chain.len() > 1 {
+                    y = chain[chain.len() - 2];
+                    best = *adj[x]
+                        .get(&y)
+                        .expect("chain predecessors stay graph-adjacent");
+                }
+                for (&i, &dist) in adj[x].iter() {
+                    if dist < best {
+                        best = dist;
+                        y = i;
+                    }
+                }
+                assert!(y != usize::MAX, "candidate graph must stay connected");
+                if chain.len() > 1 && y == chain[chain.len() - 2] {
+                    break (x, y, best);
+                }
+                chain.push(y);
+            };
+            chain.pop();
+            chain.pop();
+            let (x, y) = if x > y { (y, x) } else { (x, y) };
+            let (nx, ny) = (size[x], size[y]);
+            raw.push((x, y, height));
+            // The merged cluster takes slot y; slot x is retired and its
+            // candidate edges fold into y's map.
+            size[x] = 0;
+            size[y] = nx + ny;
+            let x_map = std::mem::take(&mut adj[x]);
+            adj[y].remove(&x);
+            for (i, dxi) in x_map {
+                if i == y {
+                    continue;
+                }
+                adj[i].remove(&x);
+                let updated = match (self.linkage, adj[y].get(&i)) {
+                    (Linkage::Single, Some(&dyi)) => dxi.min(dyi),
+                    (Linkage::Complete, Some(&dyi)) => dxi.max(dyi),
+                    (Linkage::Average, Some(&dyi)) => {
+                        ((nx as f64) * dxi + (ny as f64) * dyi) / ((nx + ny) as f64)
+                    }
+                    // Candidate edge exists on x's side only: keep it.
+                    (_, None) => dxi,
+                };
+                adj[y].insert(i, updated);
+                adj[i].insert(y, updated);
+            }
+        }
+        Dendrogram {
+            num_points: n,
+            merges: canonicalize_merges(n, raw),
+        }
     }
 
     /// Nearest-neighbour-chain agglomeration over a condensed distance
@@ -560,6 +906,108 @@ mod tests {
             Agglomerative::new(Linkage::Single).fit(&[]),
             Err(MlError::EmptyInput)
         ));
+    }
+
+    /// Every fit path under one closure, for the degenerate-contract
+    /// regressions below.
+    type FitPath = Box<dyn Fn(&[SparseVec]) -> Result<Dendrogram, MlError>>;
+    fn all_paths() -> Vec<(&'static str, FitPath)> {
+        let agg = || Agglomerative::new(Linkage::Single);
+        vec![
+            ("fit", Box::new(move |p: &[SparseVec]| agg().fit(p))),
+            (
+                "fit_brute_force",
+                Box::new(move |p: &[SparseVec]| agg().fit_brute_force(p)),
+            ),
+            (
+                "fit_snn",
+                Box::new(move |p: &[SparseVec]| agg().fit_snn(p, &SnnParams::default())),
+            ),
+        ]
+    }
+
+    #[test]
+    fn degenerate_contract_empty_input_uniform() {
+        for (name, path) in all_paths() {
+            assert!(
+                matches!(path(&[]), Err(MlError::EmptyInput)),
+                "{name} must reject empty input"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_contract_single_point_uniform() {
+        let pts = line_points(&[1.0]);
+        for (name, path) in all_paths() {
+            let tree = path(&pts).unwrap_or_else(|e| panic!("{name} on 1 point: {e}"));
+            assert_eq!(tree.num_points(), 1, "{name}");
+            assert!(tree.merges().is_empty(), "{name}");
+            assert_eq!(tree.cut(1), vec![0], "{name}");
+            assert_eq!(tree.cut(7), vec![0], "{name} (k clamps to n)");
+            assert!(tree.root_split().is_none(), "{name}");
+        }
+    }
+
+    #[test]
+    fn degenerate_contract_all_duplicates_uniform() {
+        let pts = line_points(&[2.5; 6]);
+        for (name, path) in all_paths() {
+            let tree = path(&pts).unwrap_or_else(|e| panic!("{name} on duplicates: {e}"));
+            assert_eq!(tree.merges().len(), 5, "{name}");
+            for m in tree.merges() {
+                assert_eq!(m.distance, 0.0, "{name}: duplicate heights are exact zeros");
+            }
+            assert_eq!(tree.merges().last().unwrap().size, 6, "{name}");
+            for k in 1..=6 {
+                let cut = tree.cut(k);
+                let mut ids = cut.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), k, "{name}: cut({k}) has {k} clusters");
+            }
+        }
+    }
+
+    #[test]
+    fn snn_complete_graph_matches_brute_force() {
+        // knn >= n - 1: the candidate graph is complete, so the pruned
+        // path must reproduce the exact tree (distinct heights).
+        let pts = line_points(&[0.0, 0.7, 1.9, 5.0, 5.4, 11.0, 11.9, 30.0]);
+        let params = SnnParams {
+            knn: pts.len(),
+            ..SnnParams::default()
+        };
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let snn = Agglomerative::new(linkage).fit_snn(&pts, &params).unwrap();
+            let slow = Agglomerative::new(linkage).fit_brute_force(&pts).unwrap();
+            for (a, b) in snn.merges().iter().zip(slow.merges()) {
+                assert!((a.distance - b.distance).abs() < 1e-12, "{linkage:?}");
+            }
+            for k in 1..=pts.len() {
+                assert_eq!(snn.cut(k), slow.cut(k), "{linkage:?} cut at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn snn_pruned_graph_recovers_blobs() {
+        // Two tight blobs, pruned candidate lists: the approximate tree
+        // still separates them perfectly at k = 2.
+        let pts = line_points(&[0.0, 0.1, 0.2, 0.3, 9.0, 9.1, 9.2, 9.3]);
+        let params = SnnParams {
+            knn: 2,
+            ..SnnParams::default()
+        };
+        let tree = Agglomerative::new(Linkage::Single)
+            .fit_snn(&pts, &params)
+            .unwrap();
+        let cut = tree.cut(2);
+        for i in 0..4 {
+            assert_eq!(cut[i], cut[0]);
+            assert_eq!(cut[4 + i], cut[4]);
+        }
+        assert_ne!(cut[0], cut[4]);
     }
 
     #[test]

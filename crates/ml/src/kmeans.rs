@@ -237,6 +237,28 @@ impl KMeans {
     /// * [`MlError::NotEnoughData`] if `points.len() < k`,
     /// * [`MlError::Ir`] if the points disagree on dimensionality.
     pub fn run(&self, points: &[SparseVec]) -> Result<KMeansResult, MlError> {
+        self.validate_inputs(points)?;
+        // Point norms are loop invariants of the whole fit: compute once.
+        let sq_norms: Vec<f64> = points.iter().map(SparseVec::norm_l2_sq).collect();
+        let norms: Vec<f64> = sq_norms.iter().map(|s| s.sqrt()).collect();
+        let mut best: Option<KMeansResult> = None;
+        for restart in 0..self.restarts {
+            let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(restart as u64));
+            let result = self.run_once(points, &sq_norms, &norms, &mut rng);
+            let better = match &best {
+                None => true,
+                Some(b) => result.inertia < b.inertia,
+            };
+            if better {
+                best = Some(result);
+            }
+        }
+        Ok(best.expect("at least one restart"))
+    }
+
+    /// The shared input contract of [`run`](Self::run) and
+    /// [`fit_warm`](Self::fit_warm).
+    fn validate_inputs(&self, points: &[SparseVec]) -> Result<(), MlError> {
         if self.k == 0 {
             return Err(MlError::InvalidConfig("k must be at least 1".into()));
         }
@@ -260,23 +282,170 @@ impl KMeans {
         }
         // Reject invalid metric parameters up front so every inner-loop
         // kernel below is infallible.
-        self.metric.validate().map_err(MlError::Ir)?;
-        // Point norms are loop invariants of the whole fit: compute once.
+        self.metric.validate().map_err(MlError::Ir)
+    }
+
+    /// Warm-started K-means: resumes Lloyd's algorithm from a previous
+    /// assignment instead of re-seeding and restarting.
+    ///
+    /// The initial centroids are the per-cluster means of
+    /// `prev_assignment`, accumulated in point order — exactly the
+    /// arithmetic of the sequential update step — so feeding back a
+    /// *converged* assignment reaches its fixpoint immediately: the
+    /// first assignment pass reproduces `prev_assignment`, the run
+    /// stops after that single iteration, and the returned centroids
+    /// are bit-identical to the converged ones (pinned by the
+    /// warm-start equivalence tests). After bounded churn the loop
+    /// instead runs the few iterations needed to re-converge — the cost
+    /// profile behind the incremental `recluster()` surface in
+    /// `fmeter-core`, and the `cluster/kmeans_warm_vs_cold_10k` pin in
+    /// `BENCH_ir.json`.
+    ///
+    /// Convergence is detected by assignment fixpoint (in addition to
+    /// the inertia tolerance of [`run`](Self::run)); the loop always
+    /// runs the deterministic sequential kernel, because a warm resume
+    /// does so few passes that worker-pool startup would dominate.
+    /// [`restarts`](Self::restarts) and [`init`](Self::init) are
+    /// ignored — the previous assignment *is* the initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Self::run) rejects, plus
+    /// [`MlError::InvalidConfig`] when `prev_assignment` has the wrong
+    /// length, names a cluster `>= k`, or leaves any cluster empty
+    /// (callers with emptied clusters should fall back to a cold run).
+    pub fn fit_warm(
+        &self,
+        points: &[SparseVec],
+        prev_assignment: &[usize],
+    ) -> Result<KMeansResult, MlError> {
+        self.validate_inputs(points)?;
+        if prev_assignment.len() != points.len() {
+            return Err(MlError::InvalidConfig(format!(
+                "warm start needs one previous assignment per point: {} assignments for {} points",
+                prev_assignment.len(),
+                points.len()
+            )));
+        }
+        let mut counts = vec![0usize; self.k];
+        for &a in prev_assignment {
+            if a >= self.k {
+                return Err(MlError::InvalidConfig(format!(
+                    "previous assignment names cluster {a}, but k = {}",
+                    self.k
+                )));
+            }
+            counts[a] += 1;
+        }
+        if let Some(empty) = counts.iter().position(|&c| c == 0) {
+            return Err(MlError::InvalidConfig(format!(
+                "warm start needs every cluster populated; cluster {empty} is empty"
+            )));
+        }
+        let dim = points[0].dim();
         let sq_norms: Vec<f64> = points.iter().map(SparseVec::norm_l2_sq).collect();
         let norms: Vec<f64> = sq_norms.iter().map(|s| s.sqrt()).collect();
-        let mut best: Option<KMeansResult> = None;
-        for restart in 0..self.restarts {
-            let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(restart as u64));
-            let result = self.run_once(points, &sq_norms, &norms, &mut rng);
-            let better = match &best {
-                None => true,
-                Some(b) => result.inertia < b.inertia,
-            };
-            if better {
-                best = Some(result);
+        // Seed centroids as the means of the previous assignment, with
+        // the accumulation order of the sequential assignment step.
+        let mut sums = vec![vec![0.0f64; dim]; self.k];
+        for (p, &a) in points.iter().zip(prev_assignment) {
+            for (t, v) in p.iter() {
+                sums[a][t as usize] += v;
             }
         }
-        Ok(best.expect("at least one restart"))
+        let mut centroids: Vec<CentroidBuf> = Vec::with_capacity(self.k);
+        for (sum, &members) in sums.iter_mut().zip(&counts) {
+            for v in sum.iter_mut() {
+                *v /= members as f64;
+            }
+            let mut buf = CentroidBuf::new(dim);
+            buf.set_from_mean(sum);
+            centroids.push(buf);
+        }
+        Ok(self.lloyd_warm(points, &sq_norms, &norms, centroids, prev_assignment))
+    }
+
+    /// The warm-start Lloyd loop: sequential assignment with an
+    /// assignment-fixpoint convergence check layered over the usual
+    /// inertia tolerance.
+    fn lloyd_warm(
+        &self,
+        points: &[SparseVec],
+        sq_norms: &[f64],
+        norms: &[f64],
+        mut centroids: Vec<CentroidBuf>,
+        prev_assignment: &[usize],
+    ) -> KMeansResult {
+        let dim = points[0].dim();
+        let n = points.len();
+        let mut current = prev_assignment.to_vec();
+        let mut assignments = vec![0usize; n];
+        let mut d_sqs = vec![0.0f64; n];
+        let mut partial = AssignPartial::new(self.k, dim);
+        let mut sums = vec![vec![0.0f64; dim]; self.k];
+        let mut counts = vec![0usize; self.k];
+        let mut previous_inertia = f64::INFINITY;
+        let mut iterations = 0;
+        let mut converged = false;
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            self.assign_chunk(
+                points,
+                sq_norms,
+                norms,
+                &centroids,
+                &mut assignments,
+                &mut d_sqs,
+                &mut partial,
+            );
+            let inertia: f64 = d_sqs.iter().sum();
+            if assignments == current {
+                // Assignment fixpoint: the centroids are already the
+                // means of exactly this assignment (the seeding above,
+                // or the previous round's update), so another update
+                // pass would rewrite them with themselves.
+                converged = true;
+                break;
+            }
+            current.copy_from_slice(&assignments);
+            Self::copy_partial(&mut sums, &mut counts, &partial);
+            self.finish_update(
+                points,
+                sq_norms,
+                norms,
+                &mut centroids,
+                &mut assignments,
+                &mut sums,
+                &mut counts,
+            );
+            // Empty-cluster repair inside finish_update may have moved a
+            // point; keep the fixpoint reference in lockstep.
+            current.copy_from_slice(&assignments);
+            if (previous_inertia - inertia).abs() <= self.tol {
+                converged = true;
+                break;
+            }
+            previous_inertia = inertia;
+        }
+        // Final assignment against the final centroids (identical to
+        // the in-loop pass when the fixpoint fired, by definition).
+        self.assign_chunk(
+            points,
+            sq_norms,
+            norms,
+            &centroids,
+            &mut assignments,
+            &mut d_sqs,
+            &mut partial,
+        );
+        let inertia: f64 = d_sqs.iter().sum();
+        KMeansResult {
+            centroids: centroids.iter().map(CentroidBuf::to_sparse).collect(),
+            assignments,
+            inertia,
+            iterations,
+            converged,
+        }
     }
 
     fn run_once(
@@ -906,6 +1075,73 @@ mod tests {
             assert!(rel < 1e-9, "inertia drift {rel} at {threads} threads");
             assert_eq!(parallel.iterations, sequential.iterations);
         }
+    }
+
+    #[test]
+    fn fit_warm_converged_input_stops_in_one_iteration() {
+        let pts = blobs();
+        let cold = KMeans::new(2).seed(7).threads(1).run(&pts).unwrap();
+        assert!(cold.converged);
+        let warm = KMeans::new(2).fit_warm(&pts, &cold.assignments).unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.iterations, 1);
+        assert_eq!(warm.assignments, cold.assignments);
+        // Bit-identical centroids: the warm seeding replays the exact
+        // accumulation arithmetic of the sequential update step.
+        for (w, c) in warm.centroids.iter().zip(&cold.centroids) {
+            assert_eq!(w.terms(), c.terms());
+            assert_eq!(w.values(), c.values());
+        }
+        assert_eq!(warm.inertia, cold.inertia);
+    }
+
+    #[test]
+    fn fit_warm_reconverges_after_churn() {
+        let pts = blobs();
+        let cold = KMeans::new(2).seed(7).threads(1).run(&pts).unwrap();
+        // Perturb a handful of assignments: the warm run must repair
+        // them and land back on the cold clustering.
+        let mut stale = cold.assignments.clone();
+        for i in [0usize, 3, 8] {
+            stale[i] = 1 - stale[i];
+        }
+        let warm = KMeans::new(2).fit_warm(&pts, &stale).unwrap();
+        assert!(warm.converged);
+        assert!(warm.iterations <= 3, "took {} iterations", warm.iterations);
+        assert_eq!(warm.assignments, cold.assignments);
+        assert!((warm.inertia - cold.inertia).abs() <= 1e-9 * cold.inertia.max(1.0));
+    }
+
+    #[test]
+    fn fit_warm_rejects_bad_assignments() {
+        let pts = blobs();
+        // Wrong length.
+        assert!(matches!(
+            KMeans::new(2).fit_warm(&pts, &[0, 1]),
+            Err(MlError::InvalidConfig(_))
+        ));
+        // Cluster id out of range.
+        let mut bad = vec![0usize; pts.len()];
+        bad[0] = 5;
+        assert!(matches!(
+            KMeans::new(2).fit_warm(&pts, &bad),
+            Err(MlError::InvalidConfig(_))
+        ));
+        // An empty cluster: callers must fall back to a cold run.
+        let empty = vec![0usize; pts.len()];
+        assert!(matches!(
+            KMeans::new(2).fit_warm(&pts, &empty),
+            Err(MlError::InvalidConfig(_))
+        ));
+        // And the shared input contract still applies.
+        assert!(matches!(
+            KMeans::new(0).fit_warm(&pts, &[]),
+            Err(MlError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            KMeans::new(2).fit_warm(&[], &[]),
+            Err(MlError::EmptyInput)
+        ));
     }
 
     #[test]

@@ -20,14 +20,19 @@
 //!
 //! All algorithms are deterministic given a seed, operate on
 //! [`fmeter_ir::SparseVec`] signatures, and use the Euclidean (L2) distance
-//! by default, exactly as the paper does. Scale comes from algorithmic
-//! structure rather than approximation: NN-chain agglomeration is O(n²)
+//! by default, exactly as the paper does. Scale comes in two pinned
+//! tiers. Exact algorithmic structure: NN-chain agglomeration is O(n²)
 //! against the retained O(n³) reference, K-means assignment fans out
 //! over a persistent worker pool with deterministic merges, and SVM
-//! Gram rows are computed lazily behind a bounded LRU cache — each
-//! pinned to its slow reference by property tests. This crate sits
-//! last in the signature data flow (kernel-sim → trace → core → ir →
-//! ml); see `docs/ARCHITECTURE.md` in the repository.
+//! Gram rows are computed lazily behind a bounded LRU cache. And
+//! oracle-pinned approximation: [`Agglomerative::fit_snn`] agglomerates
+//! over a shared-nearest-neighbour candidate graph from
+//! [`fmeter_ir::AnnGraph`] k-NN lists in sub-quadratic time, and
+//! [`KMeans::fit_warm`] re-clusters incrementally from a previous
+//! assignment — each property-tested against the exact paths
+//! (`tests/ann_clustering.rs`; contract table in `docs/CLUSTERING.md`).
+//! This crate sits last in the signature data flow (kernel-sim → trace
+//! → core → ir → ml); see `docs/ARCHITECTURE.md` in the repository.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,7 +49,7 @@ mod tree;
 pub use cv::{CrossValidation, CvReport, FoldOutcome};
 pub use ensemble::{AdaBoost, AdaBoostModel, Bagging, BaggingModel};
 pub use error::MlError;
-pub use hierarchical::{Agglomerative, Dendrogram, Linkage, Merge};
+pub use hierarchical::{Agglomerative, Dendrogram, Linkage, Merge, SnnParams};
 pub use kmeans::{KMeans, KMeansInit, KMeansResult};
 pub use svm::{Kernel, SvmModel, SvmTrainer};
 pub use tree::{DecisionTree, DecisionTreeTrainer};

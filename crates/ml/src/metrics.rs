@@ -295,6 +295,53 @@ pub fn rand_index(assignments: &[usize], classes: &[usize]) -> Result<f64, MlErr
     Ok(agreements / total_pairs)
 }
 
+/// Adjusted Rand index: the [`rand_index`] corrected for chance, so a
+/// random labelling scores `~0.0` and a perfect one `1.0` (it can go
+/// negative for worse-than-chance agreement).
+///
+/// `ARI = (Σ_{ij} C(n_{ij},2) − E) / (max − E)` where
+/// `E = Σ_i C(a_i,2) · Σ_j C(b_j,2) / C(n,2)` and
+/// `max = ½ (Σ_i C(a_i,2) + Σ_j C(b_j,2))`. This is the agreement score
+/// the sub-quadratic clustering tests use to pin [`Agglomerative::fit_snn`]
+/// against the exact NN-chain at scales where exact cut equality is too
+/// strict.
+///
+/// Degenerate inputs where `max == E` (e.g. both sides a single cluster,
+/// or every point alone) carry no pair decisions to adjust and evaluate
+/// to `1.0` when the clusterings agree perfectly, matching the usual
+/// convention.
+///
+/// [`Agglomerative::fit_snn`]: crate::Agglomerative::fit_snn
+///
+/// # Errors
+///
+/// Returns [`MlError::LabelCountMismatch`] / [`MlError::EmptyInput`] for
+/// malformed input; requires at least two points (no pairs otherwise).
+pub fn adjusted_rand_index(assignments: &[usize], classes: &[usize]) -> Result<f64, MlError> {
+    let table = contingency(assignments, classes)?;
+    let n = assignments.len();
+    if n < 2 {
+        return Err(MlError::NotEnoughData { have: n, need: 2 });
+    }
+    let choose2 = |x: usize| (x * x.saturating_sub(1) / 2) as f64;
+    let cluster_sizes: Vec<usize> = table.iter().map(|row| row.iter().sum()).collect();
+    let mut class_sizes = vec![0usize; table.first().map_or(0, Vec::len)];
+    for row in &table {
+        for (c, &v) in row.iter().enumerate() {
+            class_sizes[c] += v;
+        }
+    }
+    let index: f64 = table.iter().flatten().map(|&v| choose2(v)).sum();
+    let sum_a: f64 = cluster_sizes.iter().map(|&s| choose2(s)).sum();
+    let sum_b: f64 = class_sizes.iter().map(|&s| choose2(s)).sum();
+    let expected = sum_a * sum_b / choose2(n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < f64::EPSILON {
+        return Ok(1.0);
+    }
+    Ok((index - expected) / (max_index - expected))
+}
+
 /// Clustering F-measure (F1 over pair decisions): precision = of the
 /// pairs the clustering put together, how many share a class; recall = of
 /// the same-class pairs, how many the clustering put together.
@@ -489,6 +536,35 @@ mod tests {
         assert!(matches!(
             rand_index(&[0], &[0]),
             Err(MlError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn adjusted_rand_index_extremes_and_chance() {
+        let classes = [0, 0, 1, 1];
+        // Perfect agreement (label permutation is irrelevant).
+        assert_eq!(adjusted_rand_index(&[0, 0, 1, 1], &classes).unwrap(), 1.0);
+        assert_eq!(adjusted_rand_index(&[1, 1, 0, 0], &classes).unwrap(), 1.0);
+        // Anti-clustering agrees on no same-pair decisions: ARI < 0.
+        let ari = adjusted_rand_index(&[0, 1, 0, 1], &classes).unwrap();
+        assert!(
+            ari < 0.0,
+            "anti-clustering should score below chance: {ari}"
+        );
+        // Hand-computed mixed case: clusters {0,0,1}, {1}; classes {0,0},{1,1}.
+        // index = C(2,2)=1; sum_a = C(3,2)+C(1,2)=3; sum_b = 2; C(4,2)=6.
+        // E = 3*2/6 = 1; max = 2.5; ARI = (1-1)/(2.5-1) = 0.
+        let mixed = adjusted_rand_index(&[0, 0, 0, 1], &classes).unwrap();
+        assert!(mixed.abs() < 1e-12, "chance-level split: {mixed}");
+        // Degenerate: both sides one big cluster — no decisions to adjust.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[0, 0, 0]).unwrap(), 1.0);
+        assert!(matches!(
+            adjusted_rand_index(&[0], &[0]),
+            Err(MlError::NotEnoughData { .. })
+        ));
+        assert!(matches!(
+            adjusted_rand_index(&[0], &[0, 1]),
+            Err(MlError::LabelCountMismatch { .. })
         ));
     }
 

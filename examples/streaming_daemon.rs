@@ -3,8 +3,11 @@
 //! [`SignatureService`]: signatures stream off the machine interval by
 //! interval, each one is classified against the live service *and then
 //! inserted into it*, old intervals age out of a sliding retention
-//! window, the tf-idf weights are re-fitted automatically whenever the
-//! corpus has drifted far enough from the published idf generation,
+//! window, behaviour syndromes are refreshed every few intervals
+//! through the warm-started `recluster` path (cold K-means once, then
+//! O(changed docs) per maintenance cycle), the tf-idf weights are
+//! re-fitted automatically whenever the corpus has drifted far enough
+//! from the published idf generation,
 //! dead slots are reclaimed by policy-driven vacuums (the daemon
 //! translates its eviction cursor through the remap), and the whole
 //! run is **crash-consistent**: the service streams in durable mode
@@ -138,8 +141,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut votes = 0usize;
     let mut refits_seen = service.epoch();
     let mut vacuums_seen = service.vacuums();
+    let mut warm_reclusters = 0usize;
+    let mut cold_reclusters = 0usize;
     logger.resync(kernel.now());
-    for _ in 0..STREAM {
+    for interval in 0..STREAM {
         let label = mix.name().to_string();
         let sig = logger.collect_one(&mut kernel, &mut mix, &cpus, Some(&label))?;
         if let Some(predicted) = service.classify(&sig.to_term_counts(), 5)? {
@@ -193,6 +198,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             refits_seen = service.epoch();
         }
+        // Syndrome maintenance rides the stream: every few intervals the
+        // daemon refreshes its behaviour syndromes through the warm-started
+        // recluster path. The first call clusters cold; after that only
+        // the docs churned since the last cycle cost any Lloyd work — the
+        // cached assignment follows inserts, evictions, and vacuums.
+        if interval % 6 == 5 {
+            let rc = service.recluster(4, 9)?;
+            if rc.warm {
+                warm_reclusters += 1;
+            } else {
+                cold_reclusters += 1;
+            }
+        }
     }
     let accuracy = correct as f64 / votes.max(1) as f64;
     println!(
@@ -210,6 +228,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         accuracy >= 0.6,
         "online accuracy collapsed: {accuracy:.2} < 0.60"
+    );
+    // The maintenance cycles must have settled onto the warm path: after
+    // the first cold call, every refresh is O(changed docs).
+    let final_syndromes = service.recluster(4, 9)?;
+    assert!(final_syndromes.warm, "steady-state recluster fell cold");
+    println!(
+        "syndrome maintenance: {} cycles ({} warm-started, {} cold), final partition:",
+        warm_reclusters + cold_reclusters,
+        warm_reclusters,
+        cold_reclusters
+    );
+    for (i, s) in final_syndromes.syndromes.iter().enumerate() {
+        println!(
+            "  syndrome {i}: {} members, dominant label {:?}",
+            s.members.len(),
+            s.dominant_label
+        );
+    }
+    assert!(
+        warm_reclusters >= 1,
+        "the cached assignment never warm-started a cycle"
     );
 
     // The pinned bootstrap generation still answers — untouched by the
